@@ -1,0 +1,94 @@
+//! Criterion ablation microbenchmarks for BePI's discretionary design
+//! choices: GMRES restart length, inner Krylov solver, and preconditioner
+//! kind (backing the `ablation_solvers` experiment).
+
+use bepi_core::prelude::*;
+use bepi_graph::Dataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_restart_length(c: &mut Criterion) {
+    let ds = Dataset::Wikipedia;
+    let g = ds.generate();
+    let k = ds.spec().hub_ratio;
+    let seed = 777 % g.n();
+    let mut group = c.benchmark_group("ablation/gmres_restart");
+    group.sample_size(20);
+    for restart in [5usize, 20, 50, 100] {
+        let cfg = BePiConfig {
+            gmres_restart: restart,
+            hub_ratio: Some(k),
+            ..BePiConfig::default()
+        };
+        let solver = BePi::preprocess(&g, &cfg).unwrap();
+        group.bench_function(format!("m{restart}"), |b| {
+            b.iter(|| black_box(solver.query(black_box(seed)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_inner_and_precond(c: &mut Criterion) {
+    let ds = Dataset::Wikipedia;
+    let g = ds.generate();
+    let k = ds.spec().hub_ratio;
+    let seed = 777 % g.n();
+    let mut group = c.benchmark_group("ablation/inner_precond");
+    group.sample_size(20);
+    let combos: [(&str, InnerSolver, BePiVariant, PrecondKind); 6] = [
+        ("gmres_plain", InnerSolver::Gmres, BePiVariant::Sparse, PrecondKind::Ilu0),
+        ("gmres_ilu0", InnerSolver::Gmres, BePiVariant::Full, PrecondKind::Ilu0),
+        ("gmres_jacobi", InnerSolver::Gmres, BePiVariant::Full, PrecondKind::Jacobi),
+        ("bicgstab_plain", InnerSolver::BiCgStab, BePiVariant::Sparse, PrecondKind::Ilu0),
+        ("bicgstab_ilu0", InnerSolver::BiCgStab, BePiVariant::Full, PrecondKind::Ilu0),
+        (
+            "gmres_neumann3",
+            InnerSolver::Gmres,
+            BePiVariant::Full,
+            PrecondKind::Neumann(3),
+        ),
+    ];
+    for (name, inner, variant, precond) in combos {
+        let cfg = BePiConfig {
+            variant,
+            inner,
+            precond,
+            hub_ratio: Some(k),
+            ..BePiConfig::default()
+        };
+        let solver = BePi::preprocess(&g, &cfg).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(solver.query(black_box(seed)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_batch(c: &mut Criterion) {
+    let ds = Dataset::Wikipedia;
+    let g = ds.generate();
+    let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+    let seeds: Vec<usize> = (0..16).map(|i| (i * 211) % g.n()).collect();
+    let mut group = c.benchmark_group("ablation/batch_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("t{threads}"), |b| {
+            b.iter(|| {
+                black_box(
+                    solver
+                        .query_batch_parallel(black_box(&seeds), threads)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_restart_length,
+    bench_inner_and_precond,
+    bench_parallel_batch
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion microbenchmarks isolating the iterative Schur solve
+//! (Algorithm 2/4 line 4): plain vs ILU(0)-preconditioned GMRES on a real
+//! Schur complement — the mechanism behind Table 4.
+
+use bepi_core::hmatrix::HPartition;
+use bepi_graph::Dataset;
+use bepi_solver::{gmres, BlockLu, GmresConfig, Ilu0, Preconditioner};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_gmres(c: &mut Criterion) {
+    let ds = Dataset::Wikipedia;
+    let g = ds.generate();
+    let p = HPartition::build(&g, 0.05, ds.spec().hub_ratio).unwrap();
+    let blu = BlockLu::factor(&p.h11, &p.block_sizes).unwrap();
+    let s = bepi_core::schur::schur_complement(&p, &blu).unwrap();
+    let ilu = Ilu0::factor(&s).unwrap();
+    let b: Vec<f64> = (0..s.nrows())
+        .map(|i| if i % 97 == 0 { 0.05 } else { 0.0 })
+        .collect();
+    let cfg = GmresConfig::default();
+
+    let mut group = c.benchmark_group("gmres/wikipedia-like-schur");
+    group.sample_size(20);
+    group.bench_function("plain", |bch| {
+        bch.iter(|| black_box(gmres(&s, black_box(&b), None, None, &cfg).unwrap()))
+    });
+    group.bench_function("ilu0_preconditioned", |bch| {
+        bch.iter(|| {
+            black_box(
+                gmres(
+                    &s,
+                    black_box(&b),
+                    None,
+                    Some(&ilu as &dyn Preconditioner),
+                    &cfg,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("ilu0_apply", |bch| {
+        let mut z = vec![0.0; s.nrows()];
+        bch.iter(|| ilu.apply(black_box(&b), &mut z))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gmres);
+criterion_main!(benches);

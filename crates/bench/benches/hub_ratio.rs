@@ -1,0 +1,46 @@
+//! Criterion microbenchmarks sweeping the hub selection ratio `k`
+//! (Figure 8 ablation): end-to-end BePI preprocessing and one query per
+//! `k` on the Slashdot stand-in.
+
+use bepi_core::prelude::*;
+use bepi_graph::Dataset;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_hub_ratio(c: &mut Criterion) {
+    let g = Dataset::Slashdot.generate();
+    let seed = 42 % g.n();
+
+    let mut pre = c.benchmark_group("hub_ratio/preprocess");
+    pre.sample_size(10);
+    for k in [0.01, 0.1, 0.2, 0.3, 0.5] {
+        let cfg = BePiConfig {
+            hub_ratio: Some(k),
+            ..BePiConfig::default()
+        };
+        pre.bench_function(format!("k{k}"), |b| {
+            b.iter_batched(
+                || g.clone(),
+                |g| black_box(BePi::preprocess(&g, &cfg).unwrap()),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    pre.finish();
+
+    let mut q = c.benchmark_group("hub_ratio/query");
+    for k in [0.01, 0.1, 0.2, 0.3, 0.5] {
+        let cfg = BePiConfig {
+            hub_ratio: Some(k),
+            ..BePiConfig::default()
+        };
+        let solver = BePi::preprocess(&g, &cfg).unwrap();
+        q.bench_function(format!("k{k}"), |b| {
+            b.iter(|| black_box(solver.query(black_box(seed)).unwrap()))
+        });
+    }
+    q.finish();
+}
+
+criterion_group!(benches, bench_hub_ratio);
+criterion_main!(benches);

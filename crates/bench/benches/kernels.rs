@@ -1,0 +1,46 @@
+//! Criterion microbenchmarks for the sparse kernels underlying every
+//! phase: SpMV (query inner loop), SpGEMM (Schur construction), ILU(0)
+//! factorization, and block-LU factorization.
+
+use bepi_core::hmatrix::HPartition;
+use bepi_graph::Dataset;
+use bepi_solver::{BlockLu, Ilu0};
+use bepi_sparse::spgemm;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let ds = Dataset::Wikipedia;
+    let g = ds.generate();
+    let p = HPartition::build(&g, 0.05, ds.spec().hub_ratio).unwrap();
+    let blu = BlockLu::factor(&p.h11, &p.block_sizes).unwrap();
+    let s = bepi_core::schur::schur_complement(&p, &blu).unwrap();
+    let a = g.row_normalized();
+    let x: Vec<f64> = (0..g.n()).map(|i| (i as f64 * 0.1).sin()).collect();
+
+    let mut group = c.benchmark_group("kernels/wikipedia-like");
+    group.bench_function("spmv", |b| {
+        let mut y = vec![0.0; g.n()];
+        b.iter(|| a.mul_vec_into(black_box(&x), &mut y).unwrap())
+    });
+    group.bench_function("spmv_transposed", |b| {
+        let mut y = vec![0.0; g.n()];
+        b.iter(|| a.mul_vec_transposed_into(black_box(&x), &mut y).unwrap())
+    });
+    group.bench_function("spgemm_h21_h12", |b| {
+        b.iter(|| black_box(spgemm(black_box(&p.h21), black_box(&p.h12)).unwrap()))
+    });
+    group.bench_function("block_lu_factor", |b| {
+        b.iter(|| black_box(BlockLu::factor(&p.h11, &p.block_sizes).unwrap()))
+    });
+    group.bench_function("ilu0_factor", |b| {
+        b.iter(|| black_box(Ilu0::factor(&s).unwrap()))
+    });
+    group.bench_function("schur_complement", |b| {
+        b.iter(|| black_box(bepi_core::schur::schur_complement(&p, &blu).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

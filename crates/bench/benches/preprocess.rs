@@ -1,0 +1,52 @@
+//! Criterion microbenchmarks for the preprocessing phase (backs
+//! Figures 1(a), 5(a), 6(a)): full pipeline per variant, plus the Bear
+//! and LU baselines, on a small suite member.
+
+use bepi_core::bear::{Bear, BearConfig};
+use bepi_core::lu_method::{LuDecomp, LuDecompConfig};
+use bepi_core::prelude::*;
+use bepi_graph::Dataset;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_preprocess(c: &mut Criterion) {
+    let g = Dataset::Slashdot.generate();
+    let k = Dataset::Slashdot.spec().hub_ratio;
+    let mut group = c.benchmark_group("preprocess/slashdot-like");
+    group.sample_size(10);
+    for variant in [BePiVariant::Basic, BePiVariant::Sparse, BePiVariant::Full] {
+        let cfg = BePiConfig {
+            variant,
+            hub_ratio: match variant {
+                BePiVariant::Basic => None,
+                _ => Some(k),
+            },
+            ..BePiConfig::default()
+        };
+        group.bench_function(variant.name(), |b| {
+            b.iter_batched(
+                || g.clone(),
+                |g| black_box(BePi::preprocess(&g, &cfg).unwrap()),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.bench_function("Bear", |b| {
+        b.iter_batched(
+            || g.clone(),
+            |g| black_box(Bear::preprocess(&g, &BearConfig::default()).unwrap()),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("LU", |b| {
+        b.iter_batched(
+            || g.clone(),
+            |g| black_box(LuDecomp::preprocess(&g, &LuDecompConfig::default()).unwrap()),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocess);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion microbenchmarks for the query phase (backs Figures 1(c),
+//! 5(c), 6(c), 12): one query per method on a mid-size suite member.
+
+use bepi_core::bear::{Bear, BearConfig};
+use bepi_core::lu_method::{LuDecomp, LuDecompConfig};
+use bepi_core::prelude::*;
+use bepi_graph::Dataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_query(c: &mut Criterion) {
+    let ds = Dataset::Wikipedia;
+    let g = ds.generate();
+    let k = ds.spec().hub_ratio;
+    let seed = 1234 % g.n();
+
+    let bepi_b = BePi::preprocess(&g, &BePiConfig::for_variant(BePiVariant::Basic)).unwrap();
+    let bepi_s = BePi::preprocess(
+        &g,
+        &BePiConfig {
+            variant: BePiVariant::Sparse,
+            hub_ratio: Some(k),
+            ..BePiConfig::default()
+        },
+    )
+    .unwrap();
+    let bepi = BePi::preprocess(
+        &g,
+        &BePiConfig {
+            hub_ratio: Some(k),
+            ..BePiConfig::default()
+        },
+    )
+    .unwrap();
+    let bear = Bear::preprocess(&g, &BearConfig::default()).unwrap();
+    let lu = LuDecomp::preprocess(&g, &LuDecompConfig::default()).unwrap();
+    let power = PowerSolver::with_defaults(&g).unwrap();
+    let gm = GmresSolver::with_defaults(&g).unwrap();
+
+    let mut group = c.benchmark_group("query/wikipedia-like");
+    group.sample_size(20);
+    let solvers: [(&str, &dyn RwrSolver); 7] = [
+        ("BePI-B", &bepi_b),
+        ("BePI-S", &bepi_s),
+        ("BePI", &bepi),
+        ("Bear", &bear),
+        ("LU", &lu),
+        ("Power", &power),
+        ("GMRES", &gm),
+    ];
+    for (name, solver) in solvers {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(solver.query(black_box(seed)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion microbenchmarks for the reordering methods (the SlashBurn
+//! iteration count drives Theorem 1's preprocessing complexity).
+
+use bepi_graph::Dataset;
+use bepi_reorder::{degree_order, reorder_deadends, slashburn, DegreeOrder, SlashBurnConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_reorder(c: &mut Criterion) {
+    let g = Dataset::Wikipedia.generate();
+    let sym = g.undirected_structure();
+
+    let mut group = c.benchmark_group("reorder/wikipedia-like");
+    group.sample_size(10);
+    for k in [0.01, 0.1, 0.2, 0.5] {
+        group.bench_function(format!("slashburn_k{k}"), |b| {
+            let cfg = SlashBurnConfig::with_ratio(k);
+            b.iter(|| black_box(slashburn(black_box(&sym), &cfg)))
+        });
+    }
+    group.bench_function("deadend_reorder", |b| {
+        b.iter(|| black_box(reorder_deadends(black_box(&g))))
+    });
+    group.bench_function("degree_order", |b| {
+        b.iter(|| black_box(degree_order(black_box(&g), DegreeOrder::Ascending)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reorder);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the ablation study; see `bepi_bench::experiments::ablation`.
+
+fn main() {
+    print!("{}", bepi_bench::experiments::ablation::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the exact-vs-approximate comparison; see
+//! `bepi_bench::experiments::approx_comparison`.
+
+fn main() {
+    print!("{}", bepi_bench::experiments::approx_comparison::run());
+}

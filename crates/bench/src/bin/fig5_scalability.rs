@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact; see `bepi_bench::experiments::fig5`.
+
+fn main() {
+    print!("{}", bepi_bench::experiments::fig5::run());
+}

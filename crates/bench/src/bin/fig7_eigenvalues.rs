@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact; see `bepi_bench::experiments::fig7`.
+
+fn main() {
+    print!("{}", bepi_bench::experiments::fig7::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact; see `bepi_bench::experiments::table34`.
+
+fn main() {
+    print!("{}", bepi_bench::experiments::table34::run_table4());
+}

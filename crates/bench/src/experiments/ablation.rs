@@ -1,0 +1,92 @@
+//! Ablation study (beyond the paper's figures): quantifies BePI's two
+//! discretionary design choices —
+//!
+//! 1. the inner Krylov solver (GMRES, as chosen in the paper, vs
+//!    BiCGSTAB, which Section 2.2 notes is equally applicable), and
+//! 2. the preconditioner (ILU(0), as chosen in Section 3.5, vs the
+//!    diagonal/Jacobi and Neumann-series/SPAI-style alternatives the
+//!    paper mentions and rejects).
+//!
+//! Reported per configuration: average inner iterations and query time.
+
+use crate::harness::{query_seeds, seed_count};
+use crate::table::{fmt_secs, Table};
+use bepi_core::prelude::*;
+use bepi_graph::Dataset;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Runs the ablation on two mid-size datasets.
+pub fn run() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation — inner solver × preconditioner ({} seeds)\n",
+        seed_count()
+    );
+    let combos: [(&str, InnerSolver, Option<PrecondKind>); 8] = [
+        ("GMRES, none", InnerSolver::Gmres, None),
+        ("GMRES + Jacobi", InnerSolver::Gmres, Some(PrecondKind::Jacobi)),
+        (
+            "GMRES + Neumann(3)",
+            InnerSolver::Gmres,
+            Some(PrecondKind::Neumann(3)),
+        ),
+        ("GMRES + ILU(0)", InnerSolver::Gmres, Some(PrecondKind::Ilu0)),
+        ("BiCGSTAB, none", InnerSolver::BiCgStab, None),
+        (
+            "BiCGSTAB + Jacobi",
+            InnerSolver::BiCgStab,
+            Some(PrecondKind::Jacobi),
+        ),
+        (
+            "BiCGSTAB + Neumann(3)",
+            InnerSolver::BiCgStab,
+            Some(PrecondKind::Neumann(3)),
+        ),
+        (
+            "BiCGSTAB + ILU(0)",
+            InnerSolver::BiCgStab,
+            Some(PrecondKind::Ilu0),
+        ),
+    ];
+    for ds in [Dataset::Wikipedia, Dataset::Flickr] {
+        let spec = ds.spec();
+        let g = ds.generate();
+        let seeds = query_seeds(&g, seed_count(), 0xAB1A ^ spec.seed);
+        let _ = writeln!(out, "{} (n = {}, m = {}):", spec.name, g.n(), g.m());
+        let mut t = Table::new(vec!["configuration", "avg iterations", "avg query"]);
+        for (label, inner, precond) in combos {
+            eprintln!("[ablation] {} {}", spec.name, label);
+            let cfg = BePiConfig {
+                variant: if precond.is_some() {
+                    BePiVariant::Full
+                } else {
+                    BePiVariant::Sparse
+                },
+                inner,
+                precond: precond.unwrap_or_default(),
+                hub_ratio: Some(spec.hub_ratio),
+                ..BePiConfig::default()
+            };
+            let solver = BePi::preprocess(&g, &cfg).expect("preprocess");
+            let t0 = Instant::now();
+            let mut iters = 0usize;
+            for &s in &seeds {
+                iters += solver.query(s).expect("query").iterations;
+            }
+            let avg_q = t0.elapsed().as_secs_f64() / seeds.len() as f64;
+            t.row(vec![
+                label.to_string(),
+                format!("{:.1}", iters as f64 / seeds.len() as f64),
+                fmt_secs(avg_q),
+            ]);
+        }
+        let _ = writeln!(out, "{}", t.render());
+    }
+    let _ = writeln!(
+        out,
+        "Note: BiCGSTAB iterations involve two operator applications each; compare wall-clock, not counts."
+    );
+    out
+}

@@ -1,0 +1,110 @@
+//! Figure 1 — the headline comparison: (a) preprocessing time and
+//! (b) preprocessed-data memory across preprocessing methods, and
+//! (c) query time across all methods, on the full dataset suite.
+
+use crate::harness::{
+    query_seeds, run_method, seed_count, suite, Budget, Method, Metric, Status,
+};
+use crate::table::Table;
+use bepi_core::prelude::BePiVariant;
+use std::fmt::Write as _;
+
+/// Measured outcomes for one dataset.
+pub struct DatasetRow {
+    /// Dataset short name.
+    pub name: &'static str,
+    /// `(method, status)` pairs in presentation order.
+    pub methods: Vec<(Method, Status)>,
+}
+
+/// Runs all Figure 1 methods on the suite and returns per-dataset rows.
+pub fn measure() -> Vec<DatasetRow> {
+    let methods = [
+        Method::BePi(BePiVariant::Full),
+        Method::Bear,
+        Method::Lu,
+        Method::Power,
+        Method::Gmres,
+    ];
+    let budget = Budget::default();
+    let mut rows = Vec::new();
+    for ds in suite() {
+        let spec = ds.spec();
+        let g = ds.generate();
+        let seeds = query_seeds(&g, seed_count(), 0xF161 ^ spec.seed);
+        eprintln!("[fig1] {} (n={}, m={})", spec.name, g.n(), g.m());
+        let outcomes = methods
+            .iter()
+            .map(|&m| {
+                eprintln!("[fig1]   {}", m.name());
+                (m, run_method(m, &g, spec.hub_ratio, &seeds, &budget))
+            })
+            .collect();
+        rows.push(DatasetRow {
+            name: spec.name,
+            methods: outcomes,
+        });
+    }
+    rows
+}
+
+/// Renders the three sub-figures from measured rows.
+pub fn render(rows: &[DatasetRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 1 — performance of BePI vs baselines ({} query seeds per dataset)\n",
+        seed_count()
+    );
+    let sections: [(&str, Metric, fn(Method) -> bool); 3] = [
+        (
+            "(a) Preprocessing time (preprocessing methods)",
+            Metric::Preprocess,
+            is_preprocessing_method,
+        ),
+        (
+            "(b) Memory for preprocessed data (preprocessing methods)",
+            Metric::Memory,
+            is_preprocessing_method,
+        ),
+        ("(c) Query time (all methods)", Metric::Query, all_methods),
+    ];
+    for (title, metric, filter) in sections {
+        let _ = writeln!(out, "{title}");
+        let mut header = vec!["dataset".to_string()];
+        if let Some(r) = rows.first() {
+            header.extend(
+                r.methods
+                    .iter()
+                    .filter(|(m, _)| filter(*m))
+                    .map(|(m, _)| m.name().to_string()),
+            );
+        }
+        let mut t = Table::new(header);
+        for row in rows {
+            let mut cells = vec![row.name.to_string()];
+            cells.extend(
+                row.methods
+                    .iter()
+                    .filter(|(m, _)| filter(*m))
+                    .map(|(_, s)| s.cell(metric)),
+            );
+            t.row(cells);
+        }
+        let _ = writeln!(out, "{}", t.render());
+    }
+    out
+}
+
+fn is_preprocessing_method(m: Method) -> bool {
+    matches!(m, Method::BePi(_) | Method::Bear | Method::Lu)
+}
+
+fn all_methods(_: Method) -> bool {
+    true
+}
+
+/// Runs and renders Figure 1.
+pub fn run() -> String {
+    render(&measure())
+}

@@ -1,0 +1,64 @@
+//! Figure 11 / Table 5 (Appendix J) — head-to-head with Bear on the four
+//! appendix datasets small enough for Bear to finish: preprocessing time,
+//! preprocessed memory, and query time.
+
+use crate::harness::{query_seeds, run_method, seed_count, Budget, Method, Metric};
+use crate::table::Table;
+use bepi_core::prelude::BePiVariant;
+use bepi_graph::datasets::appendix_suite;
+use std::fmt::Write as _;
+
+/// Runs the BePI-vs-Bear comparison.
+pub fn run() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 11 — BePI vs Bear on the appendix suite (Table 5 datasets)\n"
+    );
+    let budget = Budget {
+        bear_max_hubs: usize::MAX, // Bear must finish here, as in the paper
+        ..Budget::default()
+    };
+    let mut tables = [
+        Table::new(vec!["dataset", "BePI", "Bear"]),
+        Table::new(vec!["dataset", "BePI", "Bear"]),
+        Table::new(vec!["dataset", "BePI", "Bear"]),
+    ];
+    for spec in appendix_suite() {
+        let g = spec.generate();
+        eprintln!("[fig11] {} (n={}, m={})", spec.name, g.n(), g.m());
+        let seeds = query_seeds(&g, seed_count(), 0xF1611 ^ spec.seed);
+        let bepi = run_method(
+            Method::BePi(BePiVariant::Full),
+            &g,
+            spec.hub_ratio,
+            &seeds,
+            &budget,
+        );
+        let bear = run_method(Method::Bear, &g, spec.hub_ratio, &seeds, &budget);
+        for (ti, metric) in [
+            (0usize, Metric::Preprocess),
+            (1, Metric::Memory),
+            (2, Metric::Query),
+        ] {
+            tables[ti].row(vec![
+                spec.name.to_string(),
+                bepi.cell(metric),
+                bear.cell(metric),
+            ]);
+        }
+    }
+    for (title, t) in [
+        ("(a) Preprocessing time", &tables[0]),
+        ("(b) Memory for preprocessed data", &tables[1]),
+        ("(c) Query time", &tables[2]),
+    ] {
+        let _ = writeln!(out, "{title}");
+        let _ = writeln!(out, "{}", t.render());
+    }
+    let _ = writeln!(
+        out,
+        "Expected shape: BePI preprocesses orders of magnitude faster and smaller; query times are comparable."
+    );
+    out
+}

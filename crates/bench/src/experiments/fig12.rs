@@ -1,0 +1,57 @@
+//! Figure 12 (Appendix K) — total running time: preprocessing plus 30
+//! queries for the preprocessing methods, 30 queries alone for the
+//! iterative methods.
+
+use crate::harness::{
+    query_seeds, run_method, seed_count, suite, Budget, Method, Status,
+};
+use crate::table::Table;
+use bepi_core::prelude::BePiVariant;
+use std::fmt::Write as _;
+
+/// Runs the total-time comparison.
+pub fn run() -> String {
+    let mut out = String::new();
+    let nq = seed_count();
+    let _ = writeln!(
+        out,
+        "Figure 12 — total running time (preprocessing + {nq} queries)\n"
+    );
+    let methods = [
+        Method::BePi(BePiVariant::Full),
+        Method::Gmres,
+        Method::Power,
+        Method::Bear,
+        Method::Lu,
+    ];
+    let budget = Budget::default();
+    let mut t = Table::new(vec![
+        "dataset", "BePI", "GMRES", "Power", "Bear", "LU",
+    ]);
+    for ds in suite() {
+        let spec = ds.spec();
+        let g = ds.generate();
+        eprintln!("[fig12] {}", spec.name);
+        let seeds = query_seeds(&g, nq, 0xF1612 ^ spec.seed);
+        let mut cells = vec![spec.name.to_string()];
+        for &m in &methods {
+            let status = run_method(m, &g, spec.hub_ratio, &seeds, &budget);
+            cells.push(match status {
+                Status::Done {
+                    preprocess, query, ..
+                } => crate::table::fmt_secs(
+                    preprocess.as_secs_f64() + query.as_secs_f64() * nq as f64,
+                ),
+                Status::Oom(_) => "o.o.m.".to_string(),
+                Status::Oot => "o.o.t.".to_string(),
+            });
+        }
+        t.row(cells);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "Expected shape: BePI has the smallest total time once preprocessing amortizes over the query batch."
+    );
+    out
+}

@@ -1,0 +1,129 @@
+//! Figure 5 — scalability in the number of edges: preprocessing time,
+//! preprocessed memory, and query time on principal submatrices of the
+//! WikiLink stand-in, with fitted log-log slopes (the paper reports
+//! 1.01 / 0.99 / 1.1 for BePI).
+
+use crate::fit::loglog_slope;
+use crate::harness::{query_seeds, run_method, Budget, Method, Metric, Status};
+use crate::table::Table;
+use bepi_core::prelude::BePiVariant;
+use bepi_graph::Dataset;
+use std::fmt::Write as _;
+
+/// Node fractions defining the principal submatrices.
+pub const FRACTIONS: [f64; 5] = [1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0, 1.0];
+
+/// Runs the scalability sweep.
+pub fn run() -> String {
+    let mut out = String::new();
+    let ds = Dataset::WikiLink;
+    let spec = ds.spec();
+    let full = ds.generate();
+    let _ = writeln!(
+        out,
+        "Figure 5 — scalability on principal submatrices of {} (n = {}, m = {})\n",
+        spec.name,
+        full.n(),
+        full.m()
+    );
+    let methods = [
+        Method::BePi(BePiVariant::Full),
+        Method::Bear,
+        Method::Lu,
+        Method::Power,
+        Method::Gmres,
+    ];
+    let budget = Budget::default();
+    let seeds_per = std::cmp::min(crate::harness::seed_count(), 10);
+
+    let mut tables: Vec<Table> = vec![
+        Table::new(vec!["edges", "BePI", "Bear", "LU"]),
+        Table::new(vec!["edges", "BePI", "Bear", "LU"]),
+        Table::new(vec!["edges", "BePI", "Bear", "LU", "Power", "GMRES"]),
+    ];
+    let mut bepi_points: Vec<(f64, f64, f64, f64)> = Vec::new(); // m, pre, bytes, query
+
+    for &frac in &FRACTIONS {
+        let k = ((full.n() as f64) * frac).round() as usize;
+        let g = full.principal_subgraph(k).expect("prefix in range");
+        if g.m() == 0 {
+            continue;
+        }
+        eprintln!("[fig5] prefix n={} m={}", g.n(), g.m());
+        let seeds = query_seeds(&g, seeds_per, 0xF165 ^ k as u64);
+        let outcomes: Vec<(Method, Status)> = methods
+            .iter()
+            .map(|&m| (m, run_method(m, &g, spec.hub_ratio, &seeds, &budget)))
+            .collect();
+        let m_edges = g.m().to_string();
+        // (a) preprocessing, (b) memory: preprocessing methods only.
+        for (ti, metric) in [(0usize, Metric::Preprocess), (1, Metric::Memory)] {
+            let mut cells = vec![m_edges.clone()];
+            cells.extend(
+                outcomes
+                    .iter()
+                    .take(3)
+                    .map(|(_, s)| s.cell(metric)),
+            );
+            tables[ti].row(cells);
+        }
+        let mut cells = vec![m_edges.clone()];
+        cells.extend(outcomes.iter().map(|(_, s)| s.cell(Metric::Query)));
+        tables[2].row(cells);
+
+        if let Status::Done {
+            preprocess,
+            bytes,
+            query,
+            ..
+        } = &outcomes[0].1
+        {
+            bepi_points.push((
+                g.m() as f64,
+                preprocess.as_secs_f64(),
+                *bytes as f64,
+                query.as_secs_f64(),
+            ));
+        }
+    }
+
+    for (title, t) in [
+        ("(a) Preprocessing time vs edges", &tables[0]),
+        ("(b) Preprocessed memory vs edges", &tables[1]),
+        ("(c) Query time vs edges", &tables[2]),
+    ] {
+        let _ = writeln!(out, "{title}");
+        let _ = writeln!(out, "{}", t.render());
+    }
+
+    let pre_slope = loglog_slope(
+        &bepi_points
+            .iter()
+            .map(|&(m, p, _, _)| (m, p))
+            .collect::<Vec<_>>(),
+    );
+    let mem_slope = loglog_slope(
+        &bepi_points
+            .iter()
+            .map(|&(m, _, b, _)| (m, b))
+            .collect::<Vec<_>>(),
+    );
+    let query_slope = loglog_slope(
+        &bepi_points
+            .iter()
+            .map(|&(m, _, _, q)| (m, q))
+            .collect::<Vec<_>>(),
+    );
+    let _ = writeln!(
+        out,
+        "BePI fitted log-log slopes (paper: 1.01 / 0.99 / 1.1): preprocessing {}, memory {}, query {}",
+        fmt_slope(pre_slope),
+        fmt_slope(mem_slope),
+        fmt_slope(query_slope)
+    );
+    out
+}
+
+fn fmt_slope(s: Option<f64>) -> String {
+    s.map_or("n/a".to_string(), |v| format!("{v:.2}"))
+}

@@ -1,0 +1,99 @@
+//! Figure 7 — eigenvalue clustering under preconditioning: the top Ritz
+//! values of the Schur complement `S` vs the preconditioned operator
+//! `(L̂2Û2)^{-1} S`, on the Slashdot, Wikipedia, and Baidu stand-ins.
+//!
+//! The paper's scatter plots show the preconditioned spectrum collapsing
+//! into a tight cluster near 1; we report the same top-eigenvalue sets
+//! numerically (per-dataset summary + the leading values).
+
+use crate::table::Table;
+use bepi_core::prelude::*;
+use bepi_graph::Dataset;
+use bepi_solver::arnoldi::ritz_values;
+use bepi_solver::eig::Complex;
+use bepi_solver::linop::PrecondOp;
+use std::fmt::Write as _;
+
+/// How many top eigenvalues to report (the paper plots 200).
+pub const TOP_K: usize = 200;
+
+fn dispersion(eigs: &[Complex]) -> (f64, f64) {
+    // GMRES converges fast when eigenvalues cluster tightly away from the
+    // origin; for these systems the cluster point is 1. Report the mean
+    // and max distance of the top Ritz values from (1, 0).
+    let n = eigs.len().max(1) as f64;
+    let dists: Vec<f64> = eigs
+        .iter()
+        .map(|e| ((e.0 - 1.0).powi(2) + e.1.powi(2)).sqrt())
+        .collect();
+    let mean = dists.iter().sum::<f64>() / n;
+    let max = dists.iter().cloned().fold(0.0, f64::max);
+    (mean, max)
+}
+
+/// Runs the eigenvalue study.
+pub fn run() -> String {
+    let mut out = String::new();
+    let _ = std::fs::create_dir_all("experiments");
+    let _ = writeln!(
+        out,
+        "Figure 7 — top-{TOP_K} Ritz values of S vs preconditioned S\n"
+    );
+    let mut t = Table::new(vec![
+        "dataset",
+        "operator",
+        "mean dist to 1",
+        "max dist to 1",
+        "top eigenvalue",
+    ]);
+    for ds in [Dataset::Slashdot, Dataset::Wikipedia, Dataset::Baidu] {
+        let spec = ds.spec();
+        let g = ds.generate();
+        eprintln!("[fig7] {}", spec.name);
+        let bepi = BePi::preprocess(
+            &g,
+            &BePiConfig {
+                hub_ratio: Some(spec.hub_ratio),
+                ..BePiConfig::default()
+            },
+        )
+        .expect("preprocess");
+        let s = bepi.schur();
+        let n2 = s.nrows();
+        let m = TOP_K.min(n2);
+        let v0 = vec![1.0; n2];
+        let plain = ritz_values(s, &v0, m, m);
+        let ilu = bepi.preconditioner().expect("full BePI has ILU factors");
+        let op = PrecondOp::new(s, ilu);
+        let pre = ritz_values(&op, &v0, m, m);
+        // Dump the full top-k spectra for plotting (the paper's scatter).
+        let csv_path = format!("experiments/fig7_{}_eigenvalues.csv", spec.name);
+        if let Ok(mut csv) = std::fs::File::create(&csv_path) {
+            use std::io::Write as _;
+            let _ = writeln!(csv, "operator,re,im");
+            for (label, eigs) in [("S", &plain), ("precond", &pre)] {
+                for e in eigs.iter() {
+                    let _ = writeln!(csv, "{label},{:.12e},{:.12e}", e.0, e.1);
+                }
+            }
+        }
+        for (label, eigs) in [("S", &plain), ("M^-1 S", &pre)] {
+            let (mean_d, max_d) = dispersion(eigs);
+            let top = eigs.first().copied().unwrap_or((0.0, 0.0));
+            t.row(vec![
+                spec.name.to_string(),
+                label.to_string(),
+                format!("{mean_d:.4}"),
+                format!("{max_d:.4}"),
+                format!("{:.4}{:+.4}i", top.0, top.1),
+            ]);
+        }
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "Expected shape: the preconditioned operator's eigenvalues cluster tightly\n\
+         (small dispersion, moduli near 1), explaining the faster GMRES convergence of Table 4."
+    );
+    out
+}

@@ -1,0 +1,90 @@
+//! Tables 3 and 4 — the two mechanisms behind Figure 6:
+//!
+//! * Table 3: `|S|` under BePI-B vs BePI-S (Schur sparsification).
+//! * Table 4: average GMRES iterations for `r2` under BePI-S vs BePI
+//!   (ILU(0) preconditioning).
+
+use crate::harness::{query_seeds, seed_count, suite};
+use crate::table::Table;
+use bepi_core::prelude::*;
+use std::fmt::Write as _;
+
+/// Table 3: Schur-complement non-zeros, BePI-B vs BePI-S.
+pub fn run_table3() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3 — |S| with and without sparsification\n");
+    let mut t = Table::new(vec!["dataset", "|S| BePI-B", "|S| BePI-S", "ratio"]);
+    for ds in suite() {
+        let spec = ds.spec();
+        let g = ds.generate();
+        eprintln!("[table3] {}", spec.name);
+        let b = BePi::preprocess(&g, &BePiConfig::for_variant(BePiVariant::Basic))
+            .expect("BePI-B preprocess");
+        let s = BePi::preprocess(
+            &g,
+            &BePiConfig {
+                variant: BePiVariant::Sparse,
+                hub_ratio: Some(spec.hub_ratio),
+                ..BePiConfig::default()
+            },
+        )
+        .expect("BePI-S preprocess");
+        let (bn, sn) = (b.stats().s_nnz, s.stats().s_nnz);
+        t.row(vec![
+            spec.name.to_string(),
+            bn.to_string(),
+            sn.to_string(),
+            format!("{:.1}x", bn as f64 / sn.max(1) as f64),
+        ]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    out
+}
+
+/// Table 4: average iterations to compute `r2`, BePI-S vs BePI.
+pub fn run_table4() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 4 — average GMRES iterations for r2 ({} seeds)\n",
+        seed_count()
+    );
+    let mut t = Table::new(vec!["dataset", "iters BePI-S", "iters BePI", "ratio"]);
+    for ds in suite() {
+        let spec = ds.spec();
+        let g = ds.generate();
+        eprintln!("[table4] {}", spec.name);
+        let seeds = query_seeds(&g, seed_count(), 0x7AB4 ^ spec.seed);
+        let avg = |variant: BePiVariant| -> f64 {
+            let solver = BePi::preprocess(
+                &g,
+                &BePiConfig {
+                    variant,
+                    hub_ratio: Some(spec.hub_ratio),
+                    ..BePiConfig::default()
+                },
+            )
+            .expect("preprocess");
+            let total: usize = seeds
+                .iter()
+                .map(|&s| solver.query(s).expect("query").iterations)
+                .sum();
+            total as f64 / seeds.len() as f64
+        };
+        let plain = avg(BePiVariant::Sparse);
+        let pre = avg(BePiVariant::Full);
+        t.row(vec![
+            spec.name.to_string(),
+            format!("{plain:.1}"),
+            format!("{pre:.1}"),
+            format!("{:.1}x", plain / pre.max(1e-9)),
+        ]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    out
+}
+
+/// Runs both tables.
+pub fn run() -> String {
+    format!("{}\n{}", run_table3(), run_table4())
+}

@@ -1,0 +1,75 @@
+//! Least-squares log-log slope fitting.
+//!
+//! Figure 5 reports the fitted slopes of preprocessing time, memory, and
+//! query time against edge count (1.01 / 0.99 / 1.1 in the paper — near
+//! linear scalability). This is an ordinary least-squares fit in log-log
+//! space.
+
+/// Fits `y = a * x^slope` by least squares on `(ln x, ln y)` and returns
+/// the slope. Points with non-positive coordinates are skipped; returns
+/// `None` with fewer than two usable points.
+pub fn loglog_slope(points: &[(f64, f64)]) -> Option<f64> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|(x, _)| x).sum();
+    let sy: f64 = logs.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = logs.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_law_recovered() {
+        let pts: Vec<(f64, f64)> = (1..=10)
+            .map(|i| {
+                let x = i as f64 * 100.0;
+                (x, 3.0 * x.powf(1.25))
+            })
+            .collect();
+        let slope = loglog_slope(&pts).unwrap();
+        assert!((slope - 1.25).abs() < 1e-10);
+    }
+
+    #[test]
+    fn linear_scaling_is_slope_one() {
+        let pts: Vec<(f64, f64)> = (1..=5).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        assert!((loglog_slope(&pts).unwrap() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(loglog_slope(&[]), None);
+        assert_eq!(loglog_slope(&[(1.0, 1.0)]), None);
+        assert_eq!(loglog_slope(&[(0.0, 1.0), (-1.0, 2.0)]), None);
+        // All x equal → vertical line.
+        assert_eq!(loglog_slope(&[(2.0, 1.0), (2.0, 3.0)]), None);
+    }
+
+    #[test]
+    fn noisy_fit_is_close() {
+        let pts: Vec<(f64, f64)> = (1..=20)
+            .map(|i| {
+                let x = (i * i) as f64;
+                let noise = 1.0 + 0.05 * ((i as f64).sin());
+                (x, x.powf(0.99) * noise)
+            })
+            .collect();
+        let slope = loglog_slope(&pts).unwrap();
+        assert!((slope - 0.99).abs() < 0.05, "slope {slope}");
+    }
+}

@@ -1,0 +1,299 @@
+//! Shared experiment machinery: dataset loading, seed selection, method
+//! execution with budget gates, and outcome bookkeeping.
+
+use bepi_core::bear::BearConfig;
+use bepi_core::lu_method::LuDecompConfig;
+use bepi_core::prelude::*;
+use bepi_graph::{Dataset, Graph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Outcome of one method on one dataset — either measurements or the
+/// "bar omitted" states of the paper's figures.
+#[derive(Debug, Clone)]
+pub enum Status {
+    /// Completed with measurements.
+    Done {
+        /// Preprocessing wall-clock time.
+        preprocess: Duration,
+        /// Bytes of preprocessed data.
+        bytes: usize,
+        /// Average query wall-clock time.
+        query: Duration,
+        /// Average inner iterations per query.
+        iterations: f64,
+    },
+    /// Out of memory budget (preprocessing refused).
+    Oom(String),
+    /// Out of time budget.
+    Oot,
+}
+
+impl Status {
+    /// Preprocessing seconds, if completed.
+    pub fn preprocess_secs(&self) -> Option<f64> {
+        match self {
+            Status::Done { preprocess, .. } => Some(preprocess.as_secs_f64()),
+            _ => None,
+        }
+    }
+
+    /// Preprocessed bytes, if completed.
+    pub fn bytes(&self) -> Option<usize> {
+        match self {
+            Status::Done { bytes, .. } => Some(*bytes),
+            _ => None,
+        }
+    }
+
+    /// Average query seconds, if completed.
+    pub fn query_secs(&self) -> Option<f64> {
+        match self {
+            Status::Done { query, .. } => Some(query.as_secs_f64()),
+            _ => None,
+        }
+    }
+
+    /// Cell text for tables (`o.o.m.` / `o.o.t.` markers as in Figure 1).
+    pub fn cell(&self, which: Metric) -> String {
+        match self {
+            Status::Done {
+                preprocess,
+                bytes,
+                query,
+                iterations,
+            } => match which {
+                Metric::Preprocess => crate::table::fmt_secs(preprocess.as_secs_f64()),
+                Metric::Memory => bepi_sparse::mem::format_bytes(*bytes),
+                Metric::Query => crate::table::fmt_secs(query.as_secs_f64()),
+                Metric::Iterations => format!("{iterations:.1}"),
+            },
+            Status::Oom(_) => "o.o.m.".to_string(),
+            Status::Oot => "o.o.t.".to_string(),
+        }
+    }
+}
+
+/// Which measurement a table cell shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Preprocessing time.
+    Preprocess,
+    /// Preprocessed-data bytes.
+    Memory,
+    /// Average query time.
+    Query,
+    /// Average inner iterations.
+    Iterations,
+}
+
+/// Query-seed count (paper: 30 random seeds), overridable via
+/// `BEPI_SEEDS`.
+pub fn seed_count() -> usize {
+    std::env::var("BEPI_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30)
+}
+
+/// Deterministic pseudo-random query seeds for a graph.
+pub fn query_seeds(g: &Graph, count: usize, rng_seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    (0..count).map(|_| rng.random_range(0..g.n())).collect()
+}
+
+/// The evaluation suite, possibly truncated by `BEPI_SUITE_MAX`.
+pub fn suite() -> Vec<Dataset> {
+    let max = std::env::var("BEPI_SUITE_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8usize);
+    Dataset::all().into_iter().take(max.max(1)).collect()
+}
+
+/// The methods compared in Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// BePI (a specific variant).
+    BePi(BePiVariant),
+    /// The Bear baseline.
+    Bear,
+    /// The LU-decomposition baseline.
+    Lu,
+    /// Power iteration.
+    Power,
+    /// Plain GMRES on `H`.
+    Gmres,
+}
+
+impl Method {
+    /// Figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::BePi(v) => v.name(),
+            Method::Bear => "Bear",
+            Method::Lu => "LU",
+            Method::Power => "Power",
+            Method::Gmres => "GMRES",
+        }
+    }
+}
+
+/// Budget gates standing in for the paper's 24 h / 500 GB limits
+/// (documented in DESIGN.md §4).
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Bear: refuse when `n2` exceeds this (dense `S^{-1}` is `8·n2²` B).
+    pub bear_max_hubs: usize,
+    /// LU: refuse when the non-deadend dimension exceeds this.
+    pub lu_max_dim: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self {
+            bear_max_hubs: 2_000,
+            lu_max_dim: 10_000,
+        }
+    }
+}
+
+/// Runs one method on one graph: preprocess once, then average query time
+/// over the given seeds.
+pub fn run_method(
+    method: Method,
+    g: &Graph,
+    hub_ratio: f64,
+    seeds: &[usize],
+    budget: &Budget,
+) -> Status {
+    let t0 = Instant::now();
+    let solver: Box<dyn RwrSolver> = match method {
+        Method::BePi(variant) => {
+            let cfg = BePiConfig {
+                variant,
+                hub_ratio: match variant {
+                    BePiVariant::Basic => None, // 0.001, as in the paper
+                    _ => Some(hub_ratio),
+                },
+                ..BePiConfig::default()
+            };
+            match BePi::preprocess(g, &cfg) {
+                Ok(s) => Box::new(s),
+                Err(e) => return Status::Oom(e.to_string()),
+            }
+        }
+        Method::Bear => {
+            let cfg = BearConfig {
+                max_hub_count: budget.bear_max_hubs,
+                ..BearConfig::default()
+            };
+            match Bear::preprocess(g, &cfg) {
+                Ok(s) => Box::new(s),
+                Err(e) => return Status::Oom(e.to_string()),
+            }
+        }
+        Method::Lu => {
+            let cfg = LuDecompConfig {
+                max_dimension: budget.lu_max_dim,
+                ..LuDecompConfig::default()
+            };
+            match LuDecomp::preprocess(g, &cfg) {
+                Ok(s) => Box::new(s),
+                Err(e) => return Status::Oom(e.to_string()),
+            }
+        }
+        Method::Power => match PowerSolver::with_defaults(g) {
+            Ok(s) => Box::new(s),
+            Err(e) => return Status::Oom(e.to_string()),
+        },
+        Method::Gmres => match GmresSolver::with_defaults(g) {
+            Ok(s) => Box::new(s),
+            Err(e) => return Status::Oom(e.to_string()),
+        },
+    };
+    let preprocess = t0.elapsed();
+
+    let t1 = Instant::now();
+    let mut iter_sum = 0usize;
+    for &s in seeds {
+        match solver.query(s) {
+            Ok(r) => iter_sum += r.iterations,
+            Err(e) => return Status::Oom(e.to_string()),
+        }
+    }
+    let query = t1.elapsed() / seeds.len().max(1) as u32;
+    Status::Done {
+        preprocess,
+        bytes: solver.preprocessed_bytes(),
+        query,
+        iterations: iter_sum as f64 / seeds.len().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bepi_graph::generators;
+
+    #[test]
+    fn run_method_measures_bepi() {
+        let g = generators::erdos_renyi(200, 1000, 5).unwrap();
+        let seeds = query_seeds(&g, 3, 7);
+        let s = run_method(
+            Method::BePi(BePiVariant::Full),
+            &g,
+            0.2,
+            &seeds,
+            &Budget::default(),
+        );
+        match s {
+            Status::Done { bytes, .. } => assert!(bytes > 0),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_gate_produces_oom() {
+        let g = generators::erdos_renyi(300, 1500, 5).unwrap();
+        let seeds = query_seeds(&g, 2, 7);
+        let budget = Budget {
+            bear_max_hubs: 0,
+            lu_max_dim: 1,
+        };
+        assert!(matches!(
+            run_method(Method::Bear, &g, 0.2, &seeds, &budget),
+            Status::Oom(_)
+        ));
+        assert!(matches!(
+            run_method(Method::Lu, &g, 0.2, &seeds, &budget),
+            Status::Oom(_)
+        ));
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_in_range() {
+        let g = generators::cycle(50);
+        let a = query_seeds(&g, 10, 3);
+        let b = query_seeds(&g, 10, 3);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&s| s < 50));
+    }
+
+    #[test]
+    fn status_cells() {
+        let s = Status::Oom("x".into());
+        assert_eq!(s.cell(Metric::Preprocess), "o.o.m.");
+        let d = Status::Done {
+            preprocess: Duration::from_millis(1500),
+            bytes: 2048,
+            query: Duration::from_micros(250),
+            iterations: 7.5,
+        };
+        assert_eq!(d.cell(Metric::Preprocess), "1.50 s");
+        assert_eq!(d.cell(Metric::Memory), "2.00 KiB");
+        assert_eq!(d.cell(Metric::Query), "250 µs");
+        assert_eq!(d.cell(Metric::Iterations), "7.5");
+    }
+}

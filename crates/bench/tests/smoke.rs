@@ -1,0 +1,62 @@
+//! Smoke tests: every experiment report generator runs end-to-end on the
+//! smallest inputs and emits the expected table skeletons. Guarded by
+//! env-var scoping to keep the run fast (debug builds).
+//!
+//! Env vars are process-global, so everything runs inside one test.
+
+use bepi_bench::experiments as ex;
+
+#[test]
+fn fast_experiments_produce_reports() {
+    // Shrink the suite to its smallest member and the seed count.
+    std::env::set_var("BEPI_SUITE_MAX", "1");
+    std::env::set_var("BEPI_SEEDS", "2");
+
+    let table2 = ex::table2::run();
+    assert!(table2.contains("slashdot-like"));
+    assert!(table2.contains("n3"));
+    // Exactly one dataset row: header + rule + 1 row + trailing text.
+    assert_eq!(
+        table2.matches("-like").count(),
+        1,
+        "BEPI_SUITE_MAX=1 must limit the suite:\n{table2}"
+    );
+
+    let fig3 = ex::fig3::run();
+    for block in ["H11", "H12", "H21", "H22", "H31", "H32"] {
+        assert!(fig3.contains(block), "missing {block} in:\n{fig3}");
+    }
+    assert!(fig3.contains("block diagonal"));
+
+    let fig10 = ex::fig10::run();
+    assert!(fig10.contains("Power iteration"));
+    assert!(fig10.contains("BePI"));
+    assert!(fig10.contains("GMRES"));
+    assert!(fig10.contains("1e-12"));
+
+    let t34 = ex::table34::run_table3();
+    assert!(t34.contains("|S| BePI-B"));
+    assert!(t34.contains("slashdot-like"));
+
+    let fig6 = ex::fig6::run();
+    assert!(fig6.contains("BePI-B"));
+    assert!(fig6.contains("(c) Query time"));
+
+    let fig1 = ex::fig1::run();
+    assert!(fig1.contains("Bear"));
+    assert!(fig1.contains("LU"));
+    assert!(fig1.contains("Power"));
+    assert!(fig1.contains("(b) Memory"));
+
+    let fig12 = ex::fig12::run();
+    assert!(fig12.contains("total running time"));
+}
+
+#[test]
+fn table_and_fit_helpers_are_exercised_via_public_api() {
+    let mut t = bepi_bench::Table::new(vec!["a", "b"]);
+    t.row(vec!["x", "1"]);
+    assert!(t.render().contains('x'));
+    let slope = bepi_bench::fit::loglog_slope(&[(1.0, 2.0), (10.0, 20.0)]).unwrap();
+    assert!((slope - 1.0).abs() < 1e-12);
+}

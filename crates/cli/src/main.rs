@@ -1,0 +1,368 @@
+//! `bepi` — command-line RWR queries over edge-list graphs.
+//!
+//! ```text
+//! bepi query      <edges.txt> <seed> [--top K] [common flags]
+//! bepi ppr        <edges.txt> <seed:weight> [<seed:weight> ...] [--top K] [common flags]
+//! bepi community  <edges.txt> <seed> [--max-size N] [common flags]
+//! bepi stats      <edges.txt> [common flags]
+//! bepi select-k   <edges.txt> [--c C]
+//! bepi preprocess <edges.txt> <out.bepi> [common flags]
+//! bepi serve      <index.bepi> <seed> [--top K]
+//! ```
+//!
+//! Common flags: `--c C --tol EPS --k RATIO --variant full|sparse|basic
+//! --labels` (treat node ids as arbitrary strings instead of 0-indexed
+//! integers). The edge list is whitespace-separated `src dst [weight]`
+//! per line, `#`/`%` comments allowed.
+
+use bepi_core::community::sweep_cut;
+use bepi_core::prelude::*;
+use bepi_core::schur::select_hub_ratio;
+use bepi_graph::io::read_labeled_edge_list_file;
+use bepi_graph::{Graph, NodeIndexer};
+use bepi_sparse::io::read_edge_list_file;
+use bepi_sparse::mem::format_bytes;
+use std::process::ExitCode;
+
+struct Options {
+    c: f64,
+    tol: f64,
+    k: Option<f64>,
+    top: usize,
+    max_size: Option<usize>,
+    variant: BePiVariant,
+    labels: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            c: bepi_core::DEFAULT_RESTART_PROB,
+            tol: bepi_core::DEFAULT_TOLERANCE,
+            k: None,
+            top: 10,
+            max_size: None,
+            variant: BePiVariant::Full,
+            labels: false,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  bepi query      <edges.txt> <seed> [--top K] [--c C] [--tol EPS] [--k RATIO] [--variant full|sparse|basic] [--labels]
+  bepi ppr        <edges.txt> <seed:weight> [<seed:weight> ...] [--top K] [flags]
+  bepi community  <edges.txt> <seed> [--max-size N] [flags]
+  bepi stats      <edges.txt> [flags]
+  bepi select-k   <edges.txt> [--c C]
+  bepi preprocess <edges.txt> <out.bepi> [flags]
+  bepi serve      <index.bepi> <seed> [--top K]";
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "query" => {
+            let (path, rest) = rest.split_first().ok_or("missing edge-list path")?;
+            let (seed_s, rest) = rest.split_first().ok_or("missing seed node")?;
+            let opts = parse_opts(rest)?;
+            cmd_query(path, seed_s, &opts)
+        }
+        "ppr" => {
+            let (path, rest) = rest.split_first().ok_or("missing edge-list path")?;
+            let split = rest
+                .iter()
+                .position(|a| a.starts_with("--"))
+                .unwrap_or(rest.len());
+            let (seed_specs, flags) = rest.split_at(split);
+            if seed_specs.is_empty() {
+                return Err("ppr needs at least one seed:weight".into());
+            }
+            let opts = parse_opts(flags)?;
+            cmd_ppr(path, seed_specs, &opts)
+        }
+        "community" => {
+            let (path, rest) = rest.split_first().ok_or("missing edge-list path")?;
+            let (seed_s, rest) = rest.split_first().ok_or("missing seed node")?;
+            let opts = parse_opts(rest)?;
+            cmd_community(path, seed_s, &opts)
+        }
+        "stats" => {
+            let (path, rest) = rest.split_first().ok_or("missing edge-list path")?;
+            let opts = parse_opts(rest)?;
+            cmd_stats(path, &opts)
+        }
+        "select-k" => {
+            let (path, rest) = rest.split_first().ok_or("missing edge-list path")?;
+            let opts = parse_opts(rest)?;
+            cmd_select_k(path, &opts)
+        }
+        "preprocess" => {
+            let (path, rest) = rest.split_first().ok_or("missing edge-list path")?;
+            let (out, rest) = rest.split_first().ok_or("missing output path")?;
+            let opts = parse_opts(rest)?;
+            cmd_preprocess(path, out, &opts)
+        }
+        "serve" => {
+            let (index, rest) = rest.split_first().ok_or("missing index path")?;
+            let (seed_s, rest) = rest.split_first().ok_or("missing seed node")?;
+            let opts = parse_opts(rest)?;
+            cmd_serve(index, seed_s, &opts)
+        }
+        other => Err(format!("unknown subcommand: {other}")),
+    }
+}
+
+fn parse_opts(mut rest: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    while let Some((flag, tail)) = rest.split_first() {
+        if flag == "--labels" {
+            o.labels = true;
+            rest = tail;
+            continue;
+        }
+        let (value, tail) = tail
+            .split_first()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--c" => o.c = value.parse().map_err(|_| format!("bad --c: {value}"))?,
+            "--tol" => o.tol = value.parse().map_err(|_| format!("bad --tol: {value}"))?,
+            "--k" => o.k = Some(value.parse().map_err(|_| format!("bad --k: {value}"))?),
+            "--top" => o.top = value.parse().map_err(|_| format!("bad --top: {value}"))?,
+            "--max-size" => {
+                o.max_size = Some(value.parse().map_err(|_| format!("bad --max-size: {value}"))?)
+            }
+            "--variant" => {
+                o.variant = match value.as_str() {
+                    "full" => BePiVariant::Full,
+                    "sparse" => BePiVariant::Sparse,
+                    "basic" => BePiVariant::Basic,
+                    v => return Err(format!("bad --variant: {v}")),
+                }
+            }
+            f => return Err(format!("unknown flag: {f}")),
+        }
+        rest = tail;
+    }
+    Ok(o)
+}
+
+/// A loaded graph plus optional label mapping.
+struct Loaded {
+    graph: Graph,
+    indexer: Option<NodeIndexer>,
+}
+
+impl Loaded {
+    fn node_id(&self, token: &str) -> Result<usize, String> {
+        match &self.indexer {
+            Some(ix) => ix
+                .id(token)
+                .ok_or_else(|| format!("unknown node label: {token}")),
+            None => token.parse().map_err(|_| format!("bad node id: {token}")),
+        }
+    }
+
+    fn node_name(&self, id: usize) -> String {
+        match &self.indexer {
+            Some(ix) => ix.label(id).unwrap_or("?").to_string(),
+            None => id.to_string(),
+        }
+    }
+}
+
+fn load(path: &str, opts: &Options) -> Result<Loaded, String> {
+    if opts.labels {
+        let (graph, indexer) = read_labeled_edge_list_file(path).map_err(|e| e.to_string())?;
+        Ok(Loaded {
+            graph,
+            indexer: Some(indexer),
+        })
+    } else {
+        let coo = read_edge_list_file(path, None).map_err(|e| e.to_string())?;
+        Ok(Loaded {
+            graph: Graph::from_adjacency(coo.to_csr()).map_err(|e| e.to_string())?,
+            indexer: None,
+        })
+    }
+}
+
+fn config_of(o: &Options) -> BePiConfig {
+    BePiConfig {
+        variant: o.variant,
+        c: o.c,
+        tol: o.tol,
+        hub_ratio: o.k,
+        ..BePiConfig::default()
+    }
+}
+
+fn preprocess(g: &Graph, o: &Options) -> Result<BePi, String> {
+    BePi::preprocess(g, &config_of(o)).map_err(|e| e.to_string())
+}
+
+fn print_ranking(loaded: &Loaded, scores: &RwrScores, top: usize) {
+    println!("{:<16} {:>14} {:>6}", "node", "rwr-score", "rank");
+    for (rank, node) in scores.top_k(top).into_iter().enumerate() {
+        println!(
+            "{:<16} {:>14.6e} {:>6}",
+            loaded.node_name(node),
+            scores.scores[node],
+            rank + 1
+        );
+    }
+}
+
+fn cmd_query(path: &str, seed_s: &str, o: &Options) -> Result<(), String> {
+    let loaded = load(path, o)?;
+    let seed = loaded.node_id(seed_s)?;
+    let solver = preprocess(&loaded.graph, o)?;
+    let r = solver.query(seed).map_err(|e| e.to_string())?;
+    println!(
+        "# {} on {} nodes / {} edges, seed {}, {} inner iterations",
+        o.variant.name(),
+        loaded.graph.n(),
+        loaded.graph.m(),
+        seed_s,
+        r.iterations
+    );
+    print_ranking(&loaded, &r, o.top);
+    Ok(())
+}
+
+fn cmd_ppr(path: &str, seed_specs: &[String], o: &Options) -> Result<(), String> {
+    let loaded = load(path, o)?;
+    let mut q = vec![0.0; loaded.graph.n()];
+    for spec in seed_specs {
+        let (node_s, weight_s) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("seed spec must be node:weight, got {spec}"))?;
+        let node = loaded.node_id(node_s)?;
+        let w: f64 = weight_s
+            .parse()
+            .map_err(|_| format!("bad weight in {spec}"))?;
+        q[node] += w;
+    }
+    let total: f64 = q.iter().sum();
+    if total <= 0.0 {
+        return Err("preference weights must sum to a positive value".into());
+    }
+    for v in &mut q {
+        *v /= total;
+    }
+    let solver = preprocess(&loaded.graph, o)?;
+    let r = solver.query_vector(&q).map_err(|e| e.to_string())?;
+    println!(
+        "# Personalized PageRank over {} seeds, {} inner iterations",
+        seed_specs.len(),
+        r.iterations
+    );
+    print_ranking(&loaded, &r, o.top);
+    Ok(())
+}
+
+fn cmd_community(path: &str, seed_s: &str, o: &Options) -> Result<(), String> {
+    let loaded = load(path, o)?;
+    let seed = loaded.node_id(seed_s)?;
+    let solver = preprocess(&loaded.graph, o)?;
+    let scores = solver.query(seed).map_err(|e| e.to_string())?;
+    let cut = sweep_cut(&loaded.graph, &scores, o.max_size).map_err(|e| e.to_string())?;
+    println!(
+        "# community of seed {} — {} nodes, conductance {:.4}",
+        seed_s,
+        cut.nodes.len(),
+        cut.conductance
+    );
+    for node in &cut.nodes {
+        println!("{}", loaded.node_name(*node));
+    }
+    Ok(())
+}
+
+fn cmd_stats(path: &str, o: &Options) -> Result<(), String> {
+    let loaded = load(path, o)?;
+    let g = &loaded.graph;
+    let stats = bepi_graph::stats::graph_stats(g);
+    println!("nodes            {}", stats.n);
+    println!("edges            {}", stats.m);
+    println!("deadends         {}", stats.deadends);
+    println!("max degree       {}", stats.max_degree);
+    println!("mean degree      {:.2}", stats.mean_degree);
+    if let Some(a) = stats.power_law_alpha {
+        println!("power-law alpha  {a:.2}");
+    }
+    println!("GCC size         {}", stats.gcc_size);
+    let solver = preprocess(g, o)?;
+    let s = solver.stats();
+    println!("--- BePI preprocessing ({}) ---", o.variant.name());
+    println!("n1 / n2 / n3     {} / {} / {}", s.n1, s.n2, s.n3);
+    println!("H11 blocks       {}", s.num_blocks);
+    println!("|S|              {}", s.s_nnz);
+    println!("preprocess time  {:?}", s.elapsed);
+    println!(
+        "preprocessed     {}",
+        format_bytes(solver.preprocessed_bytes())
+    );
+    Ok(())
+}
+
+fn cmd_select_k(path: &str, o: &Options) -> Result<(), String> {
+    let loaded = load(path, o)?;
+    let grid = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5];
+    let (best, curve) =
+        select_hub_ratio(&loaded.graph, o.c, &grid).map_err(|e| e.to_string())?;
+    println!("{:<6} {:>12}", "k", "|S|");
+    for (k, nnz) in curve {
+        let marker = if k == best { "  <-- minimum" } else { "" };
+        println!("{k:<6.2} {nnz:>12}{marker}");
+    }
+    println!("\nrecommended hub ratio: {best}");
+    Ok(())
+}
+
+fn cmd_preprocess(path: &str, out: &str, o: &Options) -> Result<(), String> {
+    if o.labels {
+        return Err("preprocess/serve work with integer node ids (the label \
+                    mapping is not stored in the index)"
+            .into());
+    }
+    let loaded = load(path, o)?;
+    let solver = preprocess(&loaded.graph, o)?;
+    bepi_core::persist::save_file(&solver, out).map_err(|e| e.to_string())?;
+    println!(
+        "preprocessed {} nodes / {} edges into {out} ({})",
+        loaded.graph.n(),
+        loaded.graph.m(),
+        format_bytes(std::fs::metadata(out).map(|m| m.len() as usize).unwrap_or(0))
+    );
+    Ok(())
+}
+
+fn cmd_serve(index: &str, seed_s: &str, o: &Options) -> Result<(), String> {
+    let solver = bepi_core::persist::load_file(index).map_err(|e| e.to_string())?;
+    let seed: usize = seed_s.parse().map_err(|_| format!("bad node id: {seed_s}"))?;
+    let r = solver.query(seed).map_err(|e| e.to_string())?;
+    let loaded = Loaded {
+        graph: Graph::from_edges(solver.node_count(), &[]).map_err(|e| e.to_string())?,
+        indexer: None,
+    };
+    println!(
+        "# loaded index of {} nodes, seed {}, {} inner iterations",
+        solver.node_count(),
+        seed_s,
+        r.iterations
+    );
+    print_ranking(&loaded, &r, o.top);
+    Ok(())
+}

@@ -1,0 +1,114 @@
+//! Batch query execution, serial and multi-threaded.
+//!
+//! The paper's target workload is many queries against one preprocessed
+//! instance ("especially when they should serve many query nodes",
+//! Section 1). BePI's query phase is read-only over the preprocessed
+//! matrices, so queries parallelize embarrassingly across threads; this
+//! module provides the fan-out on top of `crossbeam`'s scoped threads.
+
+use crate::bepi::BePi;
+use crate::rwr::RwrScores;
+use bepi_sparse::{Result, SparseError};
+
+impl BePi {
+    /// Answers a batch of queries serially, in input order.
+    pub fn query_batch(&self, seeds: &[usize]) -> Result<Vec<RwrScores>> {
+        seeds.iter().map(|&s| self.query_with_stats(s)).collect()
+    }
+
+    /// Answers a batch of queries on `threads` worker threads, preserving
+    /// input order. Results are identical to [`BePi::query_batch`] —
+    /// every query runs the same deterministic solve on shared read-only
+    /// data.
+    pub fn query_batch_parallel(
+        &self,
+        seeds: &[usize],
+        threads: usize,
+    ) -> Result<Vec<RwrScores>> {
+        if threads <= 1 || seeds.len() <= 1 {
+            return self.query_batch(seeds);
+        }
+        let threads = threads.min(seeds.len());
+        let mut results: Vec<Option<Result<RwrScores>>> = Vec::new();
+        results.resize_with(seeds.len(), || None);
+        let chunk = seeds.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (seed_chunk, result_chunk) in
+                seeds.chunks(chunk).zip(results.chunks_mut(chunk))
+            {
+                scope.spawn(move |_| {
+                    for (s, slot) in seed_chunk.iter().zip(result_chunk.iter_mut()) {
+                        *slot = Some(self.query_with_stats(*s));
+                    }
+                });
+            }
+        })
+        .map_err(|_| SparseError::Numerical("query worker thread panicked".into()))?;
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot filled by its worker"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bepi::BePiConfig;
+    use crate::rwr::RwrSolver;
+    use bepi_graph::generators;
+
+    #[test]
+    fn serial_batch_matches_individual_queries() {
+        let g = generators::erdos_renyi(150, 700, 3).unwrap();
+        let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let seeds = [0usize, 5, 149, 5]; // duplicates allowed
+        let batch = solver.query_batch(&seeds).unwrap();
+        assert_eq!(batch.len(), 4);
+        for (i, &s) in seeds.iter().enumerate() {
+            assert_eq!(batch[i].scores, solver.query(s).unwrap().scores);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let g = generators::rmat(8, 900, generators::RmatParams::default(), 71).unwrap();
+        let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let seeds: Vec<usize> = (0..24).map(|i| (i * 17) % g.n()).collect();
+        let serial = solver.query_batch(&seeds).unwrap();
+        for threads in [2usize, 4, 7] {
+            let parallel = solver.query_batch_parallel(&seeds, threads).unwrap();
+            assert_eq!(parallel.len(), serial.len());
+            for (a, b) in parallel.iter().zip(&serial) {
+                assert_eq!(a.scores, b.scores, "threads = {threads}");
+                assert_eq!(a.iterations, b.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_with_one_thread_or_one_seed_degenerates() {
+        let g = generators::cycle(20);
+        let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let one = solver.query_batch_parallel(&[3], 8).unwrap();
+        assert_eq!(one.len(), 1);
+        let single_thread = solver.query_batch_parallel(&[1, 2, 3], 1).unwrap();
+        assert_eq!(single_thread.len(), 3);
+    }
+
+    #[test]
+    fn bad_seed_in_batch_is_an_error() {
+        let g = generators::cycle(10);
+        let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        assert!(solver.query_batch(&[1, 99]).is_err());
+        assert!(solver.query_batch_parallel(&[1, 99, 2, 3], 2).is_err());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let g = generators::cycle(5);
+        let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        assert!(solver.query_batch(&[]).unwrap().is_empty());
+        assert!(solver.query_batch_parallel(&[], 4).unwrap().is_empty());
+    }
+}

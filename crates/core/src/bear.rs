@@ -1,0 +1,232 @@
+//! Bear — the state-of-the-art preprocessing baseline (Shin et al.,
+//! SIGMOD 2015; Section 2.3 of the BePI paper).
+//!
+//! Bear uses the same reordering + block elimination as BePI but inverts
+//! the Schur complement *explicitly*: preprocessing stores a dense
+//! `S^{-1}` (`O(n2²)` space, `O(n2³)` time), which is precisely what stops
+//! it from scaling past mid-size graphs in Figures 1 and 5. Queries are
+//! then pure matrix-vector products.
+
+use crate::hmatrix::HPartition;
+use crate::rwr::{check_restart_prob, check_seed, RwrScores, RwrSolver};
+use crate::schur::schur_complement;
+use crate::DEFAULT_RESTART_PROB;
+use bepi_graph::Graph;
+use bepi_solver::{BlockLu, DenseLu};
+use bepi_sparse::{Csr, Dense, MemBytes, Permutation, Result, SparseError};
+use std::time::{Duration, Instant};
+
+/// Configuration of a Bear preprocessing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BearConfig {
+    /// Restart probability.
+    pub c: f64,
+    /// SlashBurn hub ratio (the Bear paper uses 0.001).
+    pub hub_ratio: f64,
+    /// Refuse to invert `S` when `n2` exceeds this bound — the stand-in
+    /// for the paper's 24-hour / 500 GB gates (bars "omitted" in Fig. 1).
+    pub max_hub_count: usize,
+}
+
+impl Default for BearConfig {
+    fn default() -> Self {
+        Self {
+            c: DEFAULT_RESTART_PROB,
+            hub_ratio: 0.001,
+            max_hub_count: 4_000,
+        }
+    }
+}
+
+/// A preprocessed Bear instance.
+#[derive(Debug, Clone)]
+pub struct Bear {
+    config: BearConfig,
+    perm: Permutation,
+    n1: usize,
+    n2: usize,
+    n3: usize,
+    h11_lu: BlockLu,
+    /// The dense inverse Schur complement — Bear's memory hog.
+    s_inv: Dense,
+    h12: Csr,
+    h21: Csr,
+    h31: Csr,
+    h32: Csr,
+    /// Preprocessing wall-clock time.
+    pub preprocess_time: Duration,
+}
+
+impl Bear {
+    /// Runs Bear's preprocessing phase.
+    ///
+    /// # Errors
+    /// Besides numerical failures, returns [`SparseError::Numerical`] when
+    /// `n2 > max_hub_count` — the "out of budget" condition the harness
+    /// reports as `o.o.m.`.
+    pub fn preprocess(g: &Graph, config: &BearConfig) -> Result<Self> {
+        check_restart_prob(config.c)?;
+        let start = Instant::now();
+        let part = HPartition::build(g, config.c, config.hub_ratio)?;
+        if part.n2 > config.max_hub_count {
+            return Err(SparseError::Numerical(format!(
+                "Bear out of budget: n2 = {} exceeds cap {} (dense S^-1 would need {} bytes)",
+                part.n2,
+                config.max_hub_count,
+                part.n2 * part.n2 * 8
+            )));
+        }
+        let h11_lu = BlockLu::factor(&part.h11, &part.block_sizes)?;
+        let s = schur_complement(&part, &h11_lu)?;
+        let s_inv = DenseLu::factor(&s.to_dense())?.inverse()?;
+        let HPartition {
+            perm,
+            n1,
+            n2,
+            n3,
+            h12,
+            h21,
+            h31,
+            h32,
+            ..
+        } = part;
+        Ok(Self {
+            config: *config,
+            perm,
+            n1,
+            n2,
+            n3,
+            h11_lu,
+            s_inv,
+            h12,
+            h21,
+            h31,
+            h32,
+            preprocess_time: start.elapsed(),
+        })
+    }
+
+    /// Hub count (dimension of the dense `S^{-1}`).
+    pub fn n2(&self) -> usize {
+        self.n2
+    }
+}
+
+impl RwrSolver for Bear {
+    fn name(&self) -> &'static str {
+        "Bear"
+    }
+
+    fn node_count(&self) -> usize {
+        self.n1 + self.n2 + self.n3
+    }
+
+    fn query(&self, seed: usize) -> Result<RwrScores> {
+        let n = self.node_count();
+        check_seed(seed, n)?;
+        let c = self.config.c;
+        let l = self.n1 + self.n2;
+        let seed_new = self.perm.apply(seed);
+        let mut q1 = vec![0.0; self.n1];
+        let mut q2 = vec![0.0; self.n2];
+        let mut q3 = vec![0.0; self.n3];
+        if seed_new < self.n1 {
+            q1[seed_new] = 1.0;
+        } else if seed_new < l {
+            q2[seed_new - self.n1] = 1.0;
+        } else {
+            q3[seed_new - l] = 1.0;
+        }
+
+        let cq1: Vec<f64> = q1.iter().map(|v| c * v).collect();
+        let t = self.h11_lu.solve_vec(&cq1)?;
+        let h21t = self.h21.mul_vec(&t)?;
+        let q2_hat: Vec<f64> = q2.iter().zip(&h21t).map(|(qv, hv)| c * qv - hv).collect();
+        // Bear: r2 = S^{-1} q̂2 directly (Equation 7).
+        let r2 = self.s_inv.mul_vec(&q2_hat)?;
+
+        let h12r2 = self.h12.mul_vec(&r2)?;
+        let rhs1: Vec<f64> = cq1.iter().zip(&h12r2).map(|(a, b)| a - b).collect();
+        let r1 = self.h11_lu.solve_vec(&rhs1)?;
+
+        let h31r1 = self.h31.mul_vec(&r1)?;
+        let h32r2 = self.h32.mul_vec(&r2)?;
+        let r3: Vec<f64> = q3
+            .iter()
+            .zip(h31r1.iter().zip(&h32r2))
+            .map(|(qv, (a, b))| c * qv - a - b)
+            .collect();
+
+        let mut r = Vec::with_capacity(n);
+        r.extend_from_slice(&r1);
+        r.extend_from_slice(&r2);
+        r.extend_from_slice(&r3);
+        Ok(RwrScores {
+            scores: self.perm.unpermute_vec(&r)?,
+            iterations: 0,
+        })
+    }
+
+    fn preprocessed_bytes(&self) -> usize {
+        self.h11_lu.mem_bytes()
+            + self.s_inv.mem_bytes()
+            + self.h12.mem_bytes()
+            + self.h21.mem_bytes()
+            + self.h31.mem_bytes()
+            + self.h32.mem_bytes()
+            + self.perm.mem_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bepi::{BePi, BePiConfig};
+    use bepi_graph::generators;
+
+    #[test]
+    fn matches_bepi_solution() {
+        let g = generators::rmat(8, 800, generators::RmatParams::default(), 3).unwrap();
+        let bear = Bear::preprocess(&g, &BearConfig::default()).unwrap();
+        let bepi = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        for seed in [0usize, 17, 200] {
+            let a = bear.query(seed).unwrap();
+            let b = bepi.query(seed).unwrap();
+            for (x, y) in a.scores.iter().zip(&b.scores) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn bear_uses_more_memory_than_bepi() {
+        // The whole point of the paper: dense S^{-1} dominates.
+        let g = generators::rmat(9, 2_500, generators::RmatParams::default(), 5).unwrap();
+        let bear = Bear::preprocess(&g, &BearConfig::default()).unwrap();
+        let bepi = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        assert!(
+            bear.preprocessed_bytes() > bepi.preprocessed_bytes(),
+            "bear {} vs bepi {}",
+            bear.preprocessed_bytes(),
+            bepi.preprocessed_bytes()
+        );
+    }
+
+    #[test]
+    fn hub_cap_triggers_out_of_budget() {
+        let g = generators::rmat(8, 900, generators::RmatParams::default(), 11).unwrap();
+        let cfg = BearConfig {
+            max_hub_count: 1,
+            ..BearConfig::default()
+        };
+        let err = Bear::preprocess(&g, &cfg).unwrap_err();
+        assert!(err.to_string().contains("out of budget"));
+    }
+
+    #[test]
+    fn query_has_zero_iterations() {
+        let g = generators::erdos_renyi(100, 500, 9).unwrap();
+        let bear = Bear::preprocess(&g, &BearConfig::default()).unwrap();
+        assert_eq!(bear.query(3).unwrap().iterations, 0);
+    }
+}

@@ -1,0 +1,777 @@
+//! BePI — the paper's proposed method, in its three variants
+//! (Section 3, Algorithms 1–4).
+//!
+//! * **BePI-B** — node reordering + block elimination, with GMRES solving
+//!   the Schur system at query time (no `S^{-1}`). SlashBurn runs with a
+//!   small hub ratio (`k = 0.001`, as Bear uses) to make `n2` small.
+//! * **BePI-S** — same pipeline, but the hub ratio is chosen to minimize
+//!   `|S|` (Section 3.4; `k ≈ 0.2–0.3` in Table 2), shrinking both the
+//!   preprocessing cost and the per-iteration cost of GMRES.
+//! * **BePI** — additionally precomputes ILU(0) factors of `S` and runs
+//!   *preconditioned* GMRES (Section 3.5), cutting iteration counts
+//!   several-fold (Table 4).
+
+use crate::hmatrix::HPartition;
+use crate::rwr::{check_restart_prob, check_seed, RwrScores, RwrSolver};
+use crate::schur::schur_complement;
+use crate::{DEFAULT_RESTART_PROB, DEFAULT_TOLERANCE};
+use bepi_graph::Graph;
+use bepi_solver::{
+    bicgstab, gmres, BiCgStabConfig, BlockLu, GmresConfig, Ilu0, JacobiPrecond, NeumannPrecond,
+    Preconditioner,
+};
+use bepi_sparse::{Csr, MemBytes, Permutation, Result};
+use std::time::{Duration, Instant};
+
+/// Which of the three BePI variants to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BePiVariant {
+    /// BePI-B: block elimination + iterative Schur solve.
+    Basic,
+    /// BePI-S: + Schur-complement sparsification via the hub ratio.
+    Sparse,
+    /// BePI: + ILU(0) preconditioning of the Schur system.
+    Full,
+}
+
+impl BePiVariant {
+    /// Name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            BePiVariant::Basic => "BePI-B",
+            BePiVariant::Sparse => "BePI-S",
+            BePiVariant::Full => "BePI",
+        }
+    }
+}
+
+/// Which Krylov method solves the Schur system at query time.
+///
+/// The paper uses GMRES but notes (Section 2.2) that any Krylov method
+/// for non-symmetric systems applies; BiCGSTAB is the short-recurrence
+/// alternative, compared in the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InnerSolver {
+    /// Restarted GMRES (the paper's choice).
+    #[default]
+    Gmres,
+    /// BiCGSTAB.
+    BiCgStab,
+}
+
+/// Which preconditioner the full BePI variant builds for the Schur system
+/// (Section 3.5 discusses ILU vs SPAI-style alternatives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrecondKind {
+    /// ILU(0) — the paper's choice.
+    #[default]
+    Ilu0,
+    /// Diagonal (Jacobi) scaling.
+    Jacobi,
+    /// Truncated Neumann series of the given order (SPAI-style explicit
+    /// approximate inverse; applications are pure SpMVs).
+    Neumann(usize),
+}
+
+/// Configuration of a BePI preprocessing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BePiConfig {
+    /// Variant to run.
+    pub variant: BePiVariant,
+    /// Restart probability `c` (paper default 0.05).
+    pub c: f64,
+    /// Error tolerance ε for the iterative Schur solve (paper: 1e-9).
+    pub tol: f64,
+    /// SlashBurn hub selection ratio; `None` picks the variant default
+    /// (0.001 for BePI-B as in Bear, 0.2 for BePI-S/BePI).
+    pub hub_ratio: Option<f64>,
+    /// GMRES restart length.
+    pub gmres_restart: usize,
+    /// Iterative-solver total-iteration cap.
+    pub max_iters: usize,
+    /// Krylov method for the Schur solve.
+    pub inner: InnerSolver,
+    /// Preconditioner built by the full variant (ignored by BePI-B/-S,
+    /// which run unpreconditioned as in the paper).
+    pub precond: PrecondKind,
+}
+
+impl Default for BePiConfig {
+    fn default() -> Self {
+        Self {
+            variant: BePiVariant::Full,
+            c: DEFAULT_RESTART_PROB,
+            tol: DEFAULT_TOLERANCE,
+            hub_ratio: None,
+            gmres_restart: 100,
+            max_iters: 10_000,
+            inner: InnerSolver::Gmres,
+            precond: PrecondKind::Ilu0,
+        }
+    }
+}
+
+impl BePiConfig {
+    /// Config for a given variant with the other fields defaulted.
+    pub fn for_variant(variant: BePiVariant) -> Self {
+        Self {
+            variant,
+            ..Self::default()
+        }
+    }
+
+    /// The effective hub ratio.
+    pub fn effective_hub_ratio(&self) -> f64 {
+        self.hub_ratio.unwrap_or(match self.variant {
+            BePiVariant::Basic => 0.001,
+            BePiVariant::Sparse | BePiVariant::Full => 0.2,
+        })
+    }
+}
+
+/// Statistics recorded during preprocessing (Algorithm 1 / 3).
+#[derive(Debug, Clone)]
+pub struct PreprocessStats {
+    /// Wall-clock preprocessing time.
+    pub elapsed: Duration,
+    /// Spoke count `n1`.
+    pub n1: usize,
+    /// Hub count `n2`.
+    pub n2: usize,
+    /// Deadend count `n3`.
+    pub n3: usize,
+    /// SlashBurn iterations.
+    pub slashburn_iterations: usize,
+    /// Number of diagonal blocks `b` in `H11`.
+    pub num_blocks: usize,
+    /// Non-zeros of the Schur complement `|S|`.
+    pub s_nnz: usize,
+    /// Non-zeros of the inverted block factors `|L1^{-1}| + |U1^{-1}|`.
+    pub h11_inv_nnz: usize,
+}
+
+/// A preprocessed BePI instance, ready to answer RWR queries
+/// (Algorithm 2 / 4).
+/// The preconditioner actually built at preprocessing time.
+#[derive(Debug, Clone)]
+enum BuiltPrecond {
+    None,
+    Ilu(Ilu0),
+    Jacobi(JacobiPrecond),
+    Neumann(NeumannPrecond),
+}
+
+impl BuiltPrecond {
+    fn as_dyn(&self) -> Option<&dyn Preconditioner> {
+        match self {
+            BuiltPrecond::None => None,
+            BuiltPrecond::Ilu(m) => Some(m),
+            BuiltPrecond::Jacobi(m) => Some(m),
+            BuiltPrecond::Neumann(m) => Some(m),
+        }
+    }
+}
+
+impl MemBytes for BuiltPrecond {
+    fn mem_bytes(&self) -> usize {
+        match self {
+            BuiltPrecond::None => 0,
+            BuiltPrecond::Ilu(m) => m.mem_bytes(),
+            BuiltPrecond::Jacobi(m) => m.mem_bytes(),
+            BuiltPrecond::Neumann(m) => m.mem_bytes(),
+        }
+    }
+}
+
+/// A preprocessed BePI instance, ready to answer RWR queries
+/// (Algorithm 2 / 4).
+#[derive(Debug, Clone)]
+pub struct BePi {
+    config: BePiConfig,
+    perm: Permutation,
+    n1: usize,
+    n2: usize,
+    n3: usize,
+    h11_lu: BlockLu,
+    s: Csr,
+    precond: BuiltPrecond,
+    h12: Csr,
+    h21: Csr,
+    h31: Csr,
+    h32: Csr,
+    stats: PreprocessStats,
+}
+
+impl BePi {
+    /// Runs the preprocessing phase (Algorithm 1 for BePI-B/-S,
+    /// Algorithm 3 for full BePI).
+    pub fn preprocess(g: &Graph, config: &BePiConfig) -> Result<Self> {
+        check_restart_prob(config.c)?;
+        let start = Instant::now();
+        let k = config.effective_hub_ratio();
+        let part = HPartition::build(g, config.c, k)?;
+        let h11_lu = BlockLu::factor(&part.h11, &part.block_sizes)?;
+        let s = schur_complement(&part, &h11_lu)?;
+        let precond = match config.variant {
+            BePiVariant::Full => match config.precond {
+                PrecondKind::Ilu0 => BuiltPrecond::Ilu(Ilu0::factor(&s)?),
+                PrecondKind::Jacobi => BuiltPrecond::Jacobi(JacobiPrecond::new(&s)?),
+                PrecondKind::Neumann(order) => {
+                    BuiltPrecond::Neumann(NeumannPrecond::new(&s, order)?)
+                }
+            },
+            _ => BuiltPrecond::None,
+        };
+        let stats = PreprocessStats {
+            elapsed: start.elapsed(),
+            n1: part.n1,
+            n2: part.n2,
+            n3: part.n3,
+            slashburn_iterations: part.slashburn_iterations,
+            num_blocks: part.block_sizes.len(),
+            s_nnz: s.nnz(),
+            h11_inv_nnz: h11_lu.l_inv.nnz() + h11_lu.u_inv.nnz(),
+        };
+        let HPartition {
+            perm,
+            n1,
+            n2,
+            n3,
+            h12,
+            h21,
+            h31,
+            h32,
+            ..
+        } = part;
+        Ok(Self {
+            config: *config,
+            perm,
+            n1,
+            n2,
+            n3,
+            h11_lu,
+            s,
+            precond,
+            h12,
+            h21,
+            h31,
+            h32,
+            stats,
+        })
+    }
+
+    /// Preprocessing statistics.
+    pub fn stats(&self) -> &PreprocessStats {
+        &self.stats
+    }
+
+    /// The configuration used at preprocessing time.
+    pub fn config(&self) -> &BePiConfig {
+        &self.config
+    }
+
+    /// The Schur complement (exposed for the eigenvalue and accuracy
+    /// experiments of Figures 7 and 10).
+    pub fn schur(&self) -> &Csr {
+        &self.s
+    }
+
+    /// The ILU(0) preconditioner, when the variant computed one (used by
+    /// the eigenvalue experiment of Figure 7).
+    pub fn preconditioner(&self) -> Option<&Ilu0> {
+        match &self.precond {
+            BuiltPrecond::Ilu(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The preconditioner of whatever kind was configured, as a trait
+    /// object (None for BePI-B/-S).
+    pub fn preconditioner_dyn(&self) -> Option<&dyn Preconditioner> {
+        self.precond.as_dyn()
+    }
+
+    /// The composite node permutation (original → reordered).
+    pub fn permutation(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Solves `H11^{-1} x` through the inverted block factors.
+    pub fn solve_h11(&self, x: &[f64]) -> Result<Vec<f64>> {
+        self.h11_lu.solve_vec(x)
+    }
+
+    /// The inverted block factors of `H11`.
+    pub fn h11_factors(&self) -> &BlockLu {
+        &self.h11_lu
+    }
+
+    /// The coupling blocks `(H12, H21, H31, H32)` — used by the accuracy
+    /// bound of Theorem 4.
+    pub fn coupling_blocks(&self) -> (&Csr, &Csr, &Csr, &Csr) {
+        (&self.h12, &self.h21, &self.h31, &self.h32)
+    }
+
+    /// Serializes everything needed to reconstruct the instance
+    /// (persistence support; see [`crate::persist`]).
+    pub(crate) fn write_parts<W: std::io::Write>(&self, w: &mut W) -> Result<()> {
+        use crate::persist as p;
+        p::write_config(w, &self.config)?;
+        p::write_permutation(w, &self.perm)?;
+        p::write_u64(w, self.n1 as u64)?;
+        p::write_u64(w, self.n2 as u64)?;
+        p::write_u64(w, self.n3 as u64)?;
+        p::write_usize_slice(w, &self.h11_lu.block_sizes)?;
+        p::write_csr(w, &self.h11_lu.l_inv)?;
+        p::write_csr(w, &self.h11_lu.u_inv)?;
+        p::write_csr(w, &self.s)?;
+        p::write_csr(w, &self.h12)?;
+        p::write_csr(w, &self.h21)?;
+        p::write_csr(w, &self.h31)?;
+        p::write_csr(w, &self.h32)?;
+        // Stats worth persisting (elapsed is a fresh-run property).
+        p::write_u64(w, self.stats.slashburn_iterations as u64)?;
+        Ok(())
+    }
+
+    /// Reconstructs an instance from [`BePi::write_parts`] output. The
+    /// preconditioner is recomputed from `S` (deterministic, cheap).
+    pub(crate) fn read_parts<R: std::io::Read>(r: &mut R) -> Result<Self> {
+        use crate::persist as p;
+        let config = p::read_config(r)?;
+        let perm = p::read_permutation(r)?;
+        let n1 = p::read_u64(r)? as usize;
+        let n2 = p::read_u64(r)? as usize;
+        let n3 = p::read_u64(r)? as usize;
+        let block_sizes = p::read_usize_vec(r)?;
+        let l_inv = p::read_csr(r)?;
+        let u_inv = p::read_csr(r)?;
+        let h11_lu = BlockLu::from_inverse_factors(l_inv, u_inv, block_sizes)?;
+        let s = p::read_csr(r)?;
+        let h12 = p::read_csr(r)?;
+        let h21 = p::read_csr(r)?;
+        let h31 = p::read_csr(r)?;
+        let h32 = p::read_csr(r)?;
+        let slashburn_iterations = p::read_u64(r)? as usize;
+        let precond = match config.variant {
+            BePiVariant::Full => match config.precond {
+                PrecondKind::Ilu0 => BuiltPrecond::Ilu(Ilu0::factor(&s)?),
+                PrecondKind::Jacobi => BuiltPrecond::Jacobi(JacobiPrecond::new(&s)?),
+                PrecondKind::Neumann(order) => {
+                    BuiltPrecond::Neumann(NeumannPrecond::new(&s, order)?)
+                }
+            },
+            _ => BuiltPrecond::None,
+        };
+        let stats = PreprocessStats {
+            elapsed: Duration::ZERO,
+            n1,
+            n2,
+            n3,
+            slashburn_iterations,
+            num_blocks: h11_lu.block_sizes.len(),
+            s_nnz: s.nnz(),
+            h11_inv_nnz: h11_lu.l_inv.nnz() + h11_lu.u_inv.nnz(),
+        };
+        Ok(Self {
+            config,
+            perm,
+            n1,
+            n2,
+            n3,
+            h11_lu,
+            s,
+            precond,
+            h12,
+            h21,
+            h31,
+            h32,
+            stats,
+        })
+    }
+
+    /// The query phase (Algorithm 2 / 4) with full statistics.
+    pub fn query_with_stats(&self, seed: usize) -> Result<RwrScores> {
+        let n = self.node_count();
+        check_seed(seed, n)?;
+        let mut q = vec![0.0; n];
+        q[seed] = 1.0;
+        self.query_vector(&q)
+    }
+
+    /// Personalized PageRank: solves `H r = c q` for an arbitrary
+    /// preference vector `q` in original node order (RWR is the special
+    /// case of an indicator `q`; the paper notes PPR "sets multiple seed
+    /// nodes in the starting vector", Section 2.1).
+    pub fn query_vector(&self, q: &[f64]) -> Result<RwrScores> {
+        let n = self.node_count();
+        if q.len() != n {
+            return Err(bepi_sparse::SparseError::VectorLength {
+                expected: n,
+                actual: q.len(),
+            });
+        }
+        let c = self.config.c;
+        let l = self.n1 + self.n2;
+
+        // Partitioned starting vector in the reordered space (lines 1–2).
+        let qr = self.perm.permute_vec(q)?;
+        let q1 = &qr[..self.n1];
+        let q2 = &qr[self.n1..l];
+        let q3 = &qr[l..];
+
+        // Line 3: q̂2 = c q2 − H21 (U1^{-1}(L1^{-1}(c q1))).
+        let cq1: Vec<f64> = q1.iter().map(|v| c * v).collect();
+        let t = self.h11_lu.solve_vec(&cq1)?;
+        let h21t = self.h21.mul_vec(&t)?;
+        let q2_hat: Vec<f64> = q2
+            .iter()
+            .zip(&h21t)
+            .map(|(qv, hv)| c * qv - hv)
+            .collect();
+
+        // Line 4: solve S r2 = q̂2 (preconditioned for the full variant).
+        let (r2, inner_iterations) = match self.config.inner {
+            InnerSolver::Gmres => {
+                let cfg = GmresConfig {
+                    tol: self.config.tol,
+                    restart: self.config.gmres_restart,
+                    max_iters: self.config.max_iters,
+                };
+                let gm = gmres(&self.s, &q2_hat, None, self.precond.as_dyn(), &cfg)?;
+                (gm.x, gm.iterations)
+            }
+            InnerSolver::BiCgStab => {
+                let cfg = BiCgStabConfig {
+                    tol: self.config.tol,
+                    max_iters: self.config.max_iters,
+                };
+                let bi = bicgstab(&self.s, &q2_hat, self.precond.as_dyn(), &cfg)?;
+                (bi.x, bi.iterations)
+            }
+        };
+
+        // Line 5: r1 = U1^{-1}(L1^{-1}(c q1 − H12 r2)).
+        let h12r2 = self.h12.mul_vec(&r2)?;
+        let rhs1: Vec<f64> = cq1.iter().zip(&h12r2).map(|(a, b)| a - b).collect();
+        let r1 = self.h11_lu.solve_vec(&rhs1)?;
+
+        // Line 6: r3 = c q3 − H31 r1 − H32 r2.
+        let h31r1 = self.h31.mul_vec(&r1)?;
+        let h32r2 = self.h32.mul_vec(&r2)?;
+        let r3: Vec<f64> = q3
+            .iter()
+            .zip(h31r1.iter().zip(&h32r2))
+            .map(|(qv, (a, b))| c * qv - a - b)
+            .collect();
+
+        // Line 7: concatenate and map back to original node ids.
+        let mut r = Vec::with_capacity(n);
+        r.extend_from_slice(&r1);
+        r.extend_from_slice(&r2);
+        r.extend_from_slice(&r3);
+        let scores = self.perm.unpermute_vec(&r)?;
+        Ok(RwrScores {
+            scores,
+            iterations: inner_iterations,
+        })
+    }
+}
+
+impl RwrSolver for BePi {
+    fn name(&self) -> &'static str {
+        self.config.variant.name()
+    }
+
+    fn node_count(&self) -> usize {
+        self.n1 + self.n2 + self.n3
+    }
+
+    fn query(&self, seed: usize) -> Result<RwrScores> {
+        self.query_with_stats(seed)
+    }
+
+    fn preprocessed_bytes(&self) -> usize {
+        // Everything Algorithm 3 returns: L1^{-1}, U1^{-1}, S, (L̂2, Û2),
+        // H12, H21, H31, H32 — plus the node relabeling.
+        self.h11_lu.mem_bytes()
+            + self.s.mem_bytes()
+            + self.precond.mem_bytes()
+            + self.h12.mem_bytes()
+            + self.h21.mem_bytes()
+            + self.h31.mem_bytes()
+            + self.h32.mem_bytes()
+            + self.perm.mem_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bepi_graph::generators;
+    use bepi_solver::power::{power_iteration, PowerConfig};
+
+    fn power_reference(g: &Graph, c: f64, seed: usize) -> Vec<f64> {
+        let a = g.row_normalized();
+        let q = crate::rwr::seed_vector(g.n(), seed).unwrap();
+        power_iteration(
+            &a,
+            c,
+            &q,
+            &PowerConfig {
+                tol: 1e-13,
+                max_iters: 100_000,
+            },
+            false,
+        )
+        .unwrap()
+        .r
+    }
+
+    fn assert_matches_power(g: &Graph, cfg: &BePiConfig, seeds: &[usize]) {
+        let solver = BePi::preprocess(g, cfg).unwrap();
+        for &s in seeds {
+            let got = solver.query(s).unwrap();
+            let want = power_reference(g, cfg.c, s);
+            for (i, (a, b)) in got.scores.iter().zip(&want).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-6,
+                    "{} seed {s} node {i}: {a} vs {b}",
+                    cfg.variant.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_variant_matches_power_iteration() {
+        let g = generators::rmat(8, 900, generators::RmatParams::default(), 3).unwrap();
+        let g = generators::inject_deadends(&g, 0.2, 1).unwrap();
+        assert_matches_power(&g, &BePiConfig::default(), &[0, 7, 100, 255]);
+    }
+
+    #[test]
+    fn basic_variant_matches_power_iteration() {
+        let g = generators::rmat(7, 500, generators::RmatParams::default(), 9).unwrap();
+        assert_matches_power(
+            &g,
+            &BePiConfig::for_variant(BePiVariant::Basic),
+            &[3, 64, 127],
+        );
+    }
+
+    #[test]
+    fn sparse_variant_matches_power_iteration() {
+        let g = generators::erdos_renyi(200, 1000, 17).unwrap();
+        assert_matches_power(
+            &g,
+            &BePiConfig::for_variant(BePiVariant::Sparse),
+            &[0, 42, 199],
+        );
+    }
+
+    #[test]
+    fn seed_on_each_partition_kind() {
+        // Pick seeds guaranteed to land in spoke / hub / deadend regions.
+        let g = generators::rmat(8, 700, generators::RmatParams::default(), 5).unwrap();
+        let g = generators::inject_deadends(&g, 0.3, 2).unwrap();
+        let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let inv = solver.permutation().inverse();
+        let n1 = solver.stats().n1;
+        let n2 = solver.stats().n2;
+        let seeds = [
+            inv.apply(0),                // a spoke
+            inv.apply(n1),               // a hub (if any)
+            inv.apply(n1 + n2),          // a deadend (if any)
+        ];
+        for s in seeds {
+            let got = solver.query(s).unwrap();
+            let want = power_reference(&g, 0.05, s);
+            for (a, b) in got.scores.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn preconditioner_reduces_iterations() {
+        let g = generators::rmat(10, 6_000, generators::RmatParams::default(), 21).unwrap();
+        let plain = BePi::preprocess(&g, &BePiConfig::for_variant(BePiVariant::Sparse)).unwrap();
+        let precond = BePi::preprocess(&g, &BePiConfig::for_variant(BePiVariant::Full)).unwrap();
+        let a = plain.query(5).unwrap();
+        let b = precond.query(5).unwrap();
+        assert!(
+            b.iterations <= a.iterations,
+            "precond {} vs plain {}",
+            b.iterations,
+            a.iterations
+        );
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn memory_accounting_is_positive_and_ordered() {
+        let g = generators::rmat(9, 2_000, generators::RmatParams::default(), 31).unwrap();
+        let b = BePi::preprocess(&g, &BePiConfig::for_variant(BePiVariant::Basic)).unwrap();
+        let s = BePi::preprocess(&g, &BePiConfig::for_variant(BePiVariant::Sparse)).unwrap();
+        let f = BePi::preprocess(&g, &BePiConfig::for_variant(BePiVariant::Full)).unwrap();
+        assert!(b.preprocessed_bytes() > 0);
+        // Sparsification shrinks S (Table 3) → BePI-S stores less than BePI-B.
+        assert!(
+            s.preprocessed_bytes() <= b.preprocessed_bytes(),
+            "S: {} B: {}",
+            s.preprocessed_bytes(),
+            b.preprocessed_bytes()
+        );
+        // Full adds the ILU factors (≈ |S| more).
+        assert!(f.preprocessed_bytes() > s.preprocessed_bytes());
+        assert_eq!(f.stats().s_nnz, s.stats().s_nnz);
+    }
+
+    #[test]
+    fn bicgstab_inner_solver_matches_gmres() {
+        let g = generators::rmat(8, 800, generators::RmatParams::default(), 51).unwrap();
+        let gm = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let bi = BePi::preprocess(
+            &g,
+            &BePiConfig {
+                inner: InnerSolver::BiCgStab,
+                ..BePiConfig::default()
+            },
+        )
+        .unwrap();
+        for seed in [0usize, 99, 201] {
+            let a = gm.query(seed).unwrap();
+            let b = bi.query(seed).unwrap();
+            for (x, y) in a.scores.iter().zip(&b.scores) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn alternative_preconditioners_match_ilu() {
+        let g = generators::erdos_renyi(250, 1500, 33).unwrap();
+        let reference = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let want = reference.query(7).unwrap();
+        for precond in [PrecondKind::Jacobi, PrecondKind::Neumann(3)] {
+            let solver = BePi::preprocess(
+                &g,
+                &BePiConfig {
+                    precond,
+                    ..BePiConfig::default()
+                },
+            )
+            .unwrap();
+            let got = solver.query(7).unwrap();
+            for (x, y) in got.scores.iter().zip(&want.scores) {
+                assert!((x - y).abs() < 1e-6, "{precond:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn preconditioner_accessors_reflect_config() {
+        let g = generators::erdos_renyi(100, 400, 3).unwrap();
+        let ilu = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        assert!(ilu.preconditioner().is_some());
+        assert!(ilu.preconditioner_dyn().is_some());
+        let jac = BePi::preprocess(
+            &g,
+            &BePiConfig {
+                precond: PrecondKind::Jacobi,
+                ..BePiConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(jac.preconditioner().is_none()); // ILU accessor is ILU-only
+        assert!(jac.preconditioner_dyn().is_some());
+        let plain = BePi::preprocess(&g, &BePiConfig::for_variant(BePiVariant::Sparse)).unwrap();
+        assert!(plain.preconditioner_dyn().is_none());
+    }
+
+    #[test]
+    fn multi_seed_ppr_matches_power_iteration() {
+        let g = generators::rmat(8, 700, generators::RmatParams::default(), 13).unwrap();
+        let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        // Preference vector over three seeds.
+        let mut q = vec![0.0; g.n()];
+        q[3] = 0.5;
+        q[100] = 0.3;
+        q[200] = 0.2;
+        let got = solver.query_vector(&q).unwrap();
+        let a = g.row_normalized();
+        let want = bepi_solver::power::power_iteration(
+            &a,
+            0.05,
+            &q,
+            &bepi_solver::power::PowerConfig {
+                tol: 1e-13,
+                max_iters: 100_000,
+            },
+            false,
+        )
+        .unwrap()
+        .r;
+        for (x, y) in got.scores.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ppr_is_linear_in_the_preference_vector() {
+        let g = generators::erdos_renyi(120, 600, 21).unwrap();
+        let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let a = solver.query(5).unwrap().scores;
+        let b = solver.query(80).unwrap().scores;
+        let mut q = vec![0.0; g.n()];
+        q[5] = 0.4;
+        q[80] = 0.6;
+        let mix = solver.query_vector(&q).unwrap().scores;
+        for i in 0..g.n() {
+            let expect = 0.4 * a[i] + 0.6 * b[i];
+            assert!((mix[i] - expect).abs() < 1e-7, "node {i}");
+        }
+    }
+
+    #[test]
+    fn query_vector_rejects_wrong_length() {
+        let g = generators::cycle(10);
+        let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        assert!(solver.query_vector(&[1.0; 9]).is_err());
+    }
+
+    #[test]
+    fn invalid_seed_rejected() {
+        let g = generators::cycle(10);
+        let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        assert!(solver.query(10).is_err());
+    }
+
+    #[test]
+    fn scores_are_nonnegative_and_seed_maximal() {
+        let g = generators::erdos_renyi(150, 900, 7).unwrap();
+        let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let res = solver.query(42).unwrap();
+        assert!(res.scores.iter().all(|&v| v >= -1e-12));
+        let max = res
+            .scores
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((res.scores[42] - max).abs() < 1e-12, "seed not maximal");
+    }
+
+    #[test]
+    fn deadend_heavy_graph() {
+        let g = generators::path(30); // extreme: chain ending in deadend
+        let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let got = solver.query(0).unwrap();
+        let want = power_reference(&g, 0.05, 0);
+        for (a, b) in got.scores.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

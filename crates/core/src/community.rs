@@ -1,0 +1,223 @@
+//! Local community detection from RWR scores (sweep cut).
+//!
+//! One of the applications motivating the paper (Andersen, Chung & Lang,
+//! FOCS 2006, reference 1 of the paper; Gleich & Seshadhri; Whang et al.):
+//! a random-walk score vector from a seed, swept in degree-normalized
+//! order, yields a low-conductance community around the seed. BePI makes
+//! the score computation fast; this module implements the sweep.
+
+use crate::rwr::RwrScores;
+use bepi_graph::Graph;
+use bepi_sparse::{Csr, Result, SparseError};
+
+/// A community produced by a sweep cut.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCut {
+    /// Member nodes, in sweep (score/degree) order.
+    pub nodes: Vec<usize>,
+    /// Conductance `φ(S) = cut(S) / min(vol(S), vol(V∖S))` of the cut.
+    pub conductance: f64,
+}
+
+/// Computes the conductance of a node set in the symmetrized structure.
+pub fn conductance(g: &Graph, set: &[usize]) -> Result<f64> {
+    let sym = g.undirected_structure();
+    let member = membership(&sym, set)?;
+    let (cut, vol_s) = cut_and_volume(&sym, &member);
+    let total_vol = sym.nnz() as f64;
+    let denom = vol_s.min(total_vol - vol_s);
+    if denom <= 0.0 {
+        return Ok(1.0);
+    }
+    Ok(cut / denom)
+}
+
+/// Sweeps the RWR scores in degree-normalized order and returns the
+/// prefix with minimal conductance (at most `max_size` nodes when given).
+///
+/// Zero-score nodes never enter the sweep; the seed is always first on
+/// connected graphs (its score dominates). Returns an error on an empty
+/// or all-zero score vector.
+pub fn sweep_cut(g: &Graph, scores: &RwrScores, max_size: Option<usize>) -> Result<SweepCut> {
+    let n = g.n();
+    if scores.scores.len() != n {
+        return Err(SparseError::VectorLength {
+            expected: n,
+            actual: scores.scores.len(),
+        });
+    }
+    let sym = g.undirected_structure();
+    let degree: Vec<usize> = (0..n).map(|u| sym.row_nnz(u)).collect();
+    let total_vol = sym.nnz() as f64;
+
+    // Degree-normalized sweep order (Andersen et al.), zero scores dropped.
+    let mut order: Vec<usize> = (0..n)
+        .filter(|&u| scores.scores[u] > 0.0 && degree[u] > 0)
+        .collect();
+    if order.is_empty() {
+        return Err(SparseError::Numerical(
+            "sweep cut needs at least one positive-score non-isolated node".into(),
+        ));
+    }
+    order.sort_by(|&a, &b| {
+        let sa = scores.scores[a] / degree[a] as f64;
+        let sb = scores.scores[b] / degree[b] as f64;
+        sb.partial_cmp(&sa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let cap = max_size.unwrap_or(order.len()).min(order.len());
+
+    // Incremental cut/volume maintenance: adding u adds deg(u) to the
+    // volume and flips each (u, v) edge between cut and interior.
+    let mut in_set = vec![false; n];
+    let mut cut = 0.0f64;
+    let mut vol = 0.0f64;
+    let mut best = (f64::INFINITY, 0usize);
+    for (i, &u) in order.iter().enumerate().take(cap) {
+        in_set[u] = true;
+        vol += degree[u] as f64;
+        for (v, _) in sym.row_iter(u) {
+            if v == u {
+                continue;
+            }
+            if in_set[v] {
+                cut -= 1.0; // edge absorbed into the set (counted once before)
+            } else {
+                cut += 1.0;
+            }
+        }
+        let denom = vol.min(total_vol - vol);
+        let phi = if denom > 0.0 { cut / denom } else { 1.0 };
+        if phi < best.0 {
+            best = (phi, i + 1);
+        }
+    }
+    let nodes = order[..best.1].to_vec();
+    Ok(SweepCut {
+        nodes,
+        conductance: best.0,
+    })
+}
+
+fn membership(sym: &Csr, set: &[usize]) -> Result<Vec<bool>> {
+    let n = sym.nrows();
+    let mut member = vec![false; n];
+    for &u in set {
+        if u >= n {
+            return Err(SparseError::IndexOutOfBounds {
+                index: (u, 0),
+                shape: (n, n),
+            });
+        }
+        member[u] = true;
+    }
+    Ok(member)
+}
+
+fn cut_and_volume(sym: &Csr, member: &[bool]) -> (f64, f64) {
+    let mut cut = 0.0;
+    let mut vol = 0.0;
+    for (r, c, _) in sym.iter() {
+        if member[r] {
+            vol += 1.0;
+            if !member[c] {
+                cut += 1.0;
+            }
+        }
+    }
+    (cut, vol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use bepi_graph::generators;
+
+    /// Two 10-cliques joined by a single bridge edge.
+    fn barbell() -> Graph {
+        let mut edges = Vec::new();
+        for base in [0usize, 10] {
+            for i in 0..10 {
+                for j in i + 1..10 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        edges.push((0, 10)); // the bridge
+        Graph::from_undirected_edges(20, &edges).unwrap()
+    }
+
+    #[test]
+    fn conductance_of_known_cut() {
+        let g = barbell();
+        // One clique: cut = 1 (the bridge), vol = 10*9 + 1 = 91.
+        let set: Vec<usize> = (0..10).collect();
+        let phi = conductance(&g, &set).unwrap();
+        assert!((phi - 1.0 / 91.0).abs() < 1e-12, "phi {phi}");
+    }
+
+    #[test]
+    fn conductance_of_everything_is_one() {
+        let g = generators::cycle(6);
+        let all: Vec<usize> = (0..6).collect();
+        assert_eq!(conductance(&g, &all).unwrap(), 1.0);
+        assert_eq!(conductance(&g, &[]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn sweep_recovers_planted_clique() {
+        let g = barbell();
+        let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let scores = solver.query(3).unwrap(); // seed inside clique 0
+        let cut = sweep_cut(&g, &scores, None).unwrap();
+        let mut nodes = cut.nodes.clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, (0..10).collect::<Vec<_>>(), "must recover the clique");
+        assert!(cut.conductance < 0.05);
+    }
+
+    #[test]
+    fn sweep_respects_max_size() {
+        let g = barbell();
+        let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let scores = solver.query(0).unwrap();
+        let cut = sweep_cut(&g, &scores, Some(4)).unwrap();
+        assert!(cut.nodes.len() <= 4);
+    }
+
+    #[test]
+    fn sweep_on_random_graph_is_sane() {
+        let g = generators::erdos_renyi(100, 600, 3).unwrap();
+        let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let scores = solver.query(7).unwrap();
+        let cut = sweep_cut(&g, &scores, None).unwrap();
+        assert!(!cut.nodes.is_empty());
+        assert!((0.0..=1.0 + 1e-12).contains(&cut.conductance));
+        // Reported conductance must match the standalone computation.
+        let phi = conductance(&g, &cut.nodes).unwrap();
+        assert!((phi - cut.conductance).abs() < 1e-9, "{phi} vs {}", cut.conductance);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_inputs() {
+        let g = generators::cycle(5);
+        let bad = RwrScores {
+            scores: vec![0.0; 3],
+            iterations: 0,
+        };
+        assert!(sweep_cut(&g, &bad, None).is_err());
+        let zeros = RwrScores {
+            scores: vec![0.0; 5],
+            iterations: 0,
+        };
+        assert!(sweep_cut(&g, &zeros, None).is_err());
+    }
+
+    #[test]
+    fn conductance_rejects_out_of_range() {
+        let g = generators::cycle(4);
+        assert!(conductance(&g, &[9]).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! The exact dense reference `r* = c H^{-1} q` (Appendix I).
+//!
+//! Only viable for small graphs (the paper uses the 241-node Physicians
+//! network); every other method is validated against this one in the
+//! accuracy experiment of Figure 10 and in the integration tests.
+
+use crate::rwr::{build_h, check_seed, RwrScores, RwrSolver};
+use crate::DEFAULT_RESTART_PROB;
+use bepi_graph::Graph;
+use bepi_solver::DenseLu;
+use bepi_sparse::{Dense, MemBytes, Result, SparseError};
+
+/// Maximum node count for which the dense inverse is permitted.
+const MAX_DENSE_NODES: usize = 5_000;
+
+/// An exact RWR solver holding the explicit dense `H^{-1}`.
+#[derive(Debug, Clone)]
+pub struct DenseExact {
+    h_inv: Dense,
+    c: f64,
+}
+
+impl DenseExact {
+    /// Inverts `H` densely. Rejects graphs above a small size cap.
+    pub fn preprocess(g: &Graph, c: f64) -> Result<Self> {
+        if g.n() > MAX_DENSE_NODES {
+            return Err(SparseError::Numerical(format!(
+                "DenseExact is for small graphs only ({} > {MAX_DENSE_NODES} nodes)",
+                g.n()
+            )));
+        }
+        let h = build_h(g, c)?;
+        let h_inv = DenseLu::factor(&h.to_dense())?.inverse()?;
+        Ok(Self { h_inv, c })
+    }
+
+    /// Exact solver with the paper's default `c = 0.05`.
+    pub fn with_defaults(g: &Graph) -> Result<Self> {
+        Self::preprocess(g, DEFAULT_RESTART_PROB)
+    }
+}
+
+impl RwrSolver for DenseExact {
+    fn name(&self) -> &'static str {
+        "Exact"
+    }
+
+    fn node_count(&self) -> usize {
+        self.h_inv.nrows()
+    }
+
+    fn query(&self, seed: usize) -> Result<RwrScores> {
+        let n = self.node_count();
+        check_seed(seed, n)?;
+        // r = c H^{-1} e_s = c * column s of H^{-1}.
+        let scores: Vec<f64> = (0..n).map(|i| self.c * self.h_inv[(i, seed)]).collect();
+        Ok(RwrScores {
+            scores,
+            iterations: 0,
+        })
+    }
+
+    fn preprocessed_bytes(&self) -> usize {
+        self.h_inv.mem_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bepi_graph::generators;
+
+    #[test]
+    fn exact_satisfies_linear_system() {
+        let g = generators::example_graph();
+        let solver = DenseExact::with_defaults(&g).unwrap();
+        let r = solver.query(0).unwrap();
+        let h = crate::rwr::build_h(&g, 0.05).unwrap();
+        let hr = h.mul_vec(&r.scores).unwrap();
+        for (i, v) in hr.iter().enumerate() {
+            let want = if i == 0 { 0.05 } else { 0.0 };
+            assert!((v - want).abs() < 1e-12, "row {i}");
+        }
+    }
+
+    #[test]
+    fn matches_power_iteration_closely() {
+        let g = bepi_graph::datasets::physicians_like();
+        let exact = DenseExact::with_defaults(&g).unwrap();
+        let power = crate::iterative::PowerSolver::with_defaults(&g).unwrap();
+        let a = exact.query(10).unwrap();
+        let b = power.query(10).unwrap();
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert!((x - y).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn rejects_large_graphs() {
+        let g = generators::cycle(6_000);
+        assert!(DenseExact::with_defaults(&g).is_err());
+    }
+
+    #[test]
+    fn memory_is_n_squared() {
+        let g = generators::cycle(10);
+        let solver = DenseExact::with_defaults(&g).unwrap();
+        assert_eq!(solver.preprocessed_bytes(), 100 * 8);
+    }
+}

@@ -1,0 +1,270 @@
+//! Node-reordering pipeline and block partition of `H` (Section 3.2,
+//! Figure 3 of the paper).
+//!
+//! The composite reordering = deadend reordering ∘ hub-and-spoke
+//! (SlashBurn) reordering of the non-deadend block. In the resulting
+//! order, with `n1` spokes, `n2` hubs, `n3` deadends:
+//!
+//! ```text
+//!       ┌ H11  H12  0 ┐   n1 (block diagonal H11)
+//!   H = │ H21  H22  0 │   n2
+//!       └ H31  H32  I ┘   n3
+//! ```
+//!
+//! Every BePI variant and the Bear baseline build on this partition.
+
+use crate::rwr::check_restart_prob;
+use bepi_graph::Graph;
+use bepi_reorder::{reorder_deadends, slashburn, SlashBurnConfig};
+use bepi_sparse::{ops, Csr, MemBytes, Permutation, Result};
+
+/// The reordered, partitioned `H` matrix.
+#[derive(Debug, Clone)]
+pub struct HPartition {
+    /// Composite relabeling original → reordered.
+    pub perm: Permutation,
+    /// Number of spokes.
+    pub n1: usize,
+    /// Number of hubs.
+    pub n2: usize,
+    /// Number of deadends.
+    pub n3: usize,
+    /// Diagonal block sizes of `H11` (SlashBurn's spoke components).
+    pub block_sizes: Vec<usize>,
+    /// `(n1 × n1)` block-diagonal spoke block.
+    pub h11: Csr,
+    /// `(n1 × n2)` spoke→hub coupling.
+    pub h12: Csr,
+    /// `(n2 × n1)` hub→spoke coupling.
+    pub h21: Csr,
+    /// `(n2 × n2)` hub block.
+    pub h22: Csr,
+    /// `(n3 × n1)` deadend rows against spokes.
+    pub h31: Csr,
+    /// `(n3 × n2)` deadend rows against hubs.
+    pub h32: Csr,
+    /// SlashBurn iterations performed (Theorem 1 diagnostics).
+    pub slashburn_iterations: usize,
+    /// Restart probability used to build `H`.
+    pub c: f64,
+}
+
+impl HPartition {
+    /// Runs the full reordering pipeline and partitions `H`.
+    ///
+    /// `k` is the SlashBurn hub selection ratio (Table 2 column `k`).
+    pub fn build(g: &Graph, c: f64, k: f64) -> Result<Self> {
+        check_restart_prob(c)?;
+        let n = g.n();
+
+        // 1. Deadend reordering (Figure 3(b)).
+        let dr = reorder_deadends(g);
+        let l = dr.n_non_deadend;
+        let n3 = dr.n_deadend;
+        let a1 = dr.perm.permute_symmetric(g.adjacency())?;
+
+        // 2. Hub-and-spoke reordering of Ann (Figure 3(c)); SlashBurn
+        //    works on the symmetrized structure of the non-deadend block.
+        let ann = a1.slice_block(0..l, 0..l)?;
+        let sym = symmetrize(&ann);
+        let sb = slashburn(&sym, &SlashBurnConfig::with_ratio(k));
+        let (n1, n2) = (sb.n_spokes, sb.n_hubs);
+
+        // Extend the SlashBurn permutation to all n nodes (deadends fixed).
+        let mut ext = vec![0u32; n];
+        for old in 0..l {
+            ext[old] = sb.perm.apply(old) as u32;
+        }
+        for (old, e) in ext.iter_mut().enumerate().skip(l) {
+            *e = old as u32;
+        }
+        let perm2 = Permutation::from_new_of_old(ext)?;
+        let perm = dr.perm.then(&perm2)?;
+
+        // 3. H in the final order (Figure 3(d)).
+        let a = perm.permute_symmetric(g.adjacency())?;
+        let mut a_norm = a;
+        a_norm.row_normalize();
+        let at = a_norm.transpose();
+        let h = ops::identity_minus_scaled(1.0 - c, &at)?;
+
+        // 4. Partition.
+        let h11 = h.slice_block(0..n1, 0..n1)?;
+        let h12 = h.slice_block(0..n1, n1..l)?;
+        let h21 = h.slice_block(n1..l, 0..n1)?;
+        let h22 = h.slice_block(n1..l, n1..l)?;
+        let h31 = h.slice_block(l..n, 0..n1)?;
+        let h32 = h.slice_block(l..n, n1..l)?;
+
+        debug_assert_eq!(h.slice_block(0..l, l..n)?.nnz(), 0, "upper-right must be 0");
+        debug_assert!(
+            bepi_reorder::blocks::is_block_diagonal(&h11, &sb.block_sizes),
+            "H11 must be block diagonal with SlashBurn's blocks"
+        );
+
+        Ok(Self {
+            perm,
+            n1,
+            n2,
+            n3,
+            block_sizes: sb.block_sizes,
+            h11,
+            h12,
+            h21,
+            h22,
+            h31,
+            h32,
+            slashburn_iterations: sb.iterations,
+            c,
+        })
+    }
+
+    /// Total node count.
+    pub fn n(&self) -> usize {
+        self.n1 + self.n2 + self.n3
+    }
+
+    /// Splits a reordered full-length vector into `(v1, v2, v3)`.
+    pub fn split_vec<'a>(&self, v: &'a [f64]) -> (&'a [f64], &'a [f64], &'a [f64]) {
+        let l = self.n1 + self.n2;
+        (&v[..self.n1], &v[self.n1..l], &v[l..])
+    }
+
+    /// Concatenates partitioned vectors back into a full-length vector.
+    pub fn concat_vec(&self, r1: &[f64], r2: &[f64], r3: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n());
+        out.extend_from_slice(r1);
+        out.extend_from_slice(r2);
+        out.extend_from_slice(r3);
+        out
+    }
+}
+
+impl MemBytes for HPartition {
+    fn mem_bytes(&self) -> usize {
+        self.perm.mem_bytes()
+            + self.h11.mem_bytes()
+            + self.h12.mem_bytes()
+            + self.h21.mem_bytes()
+            + self.h22.mem_bytes()
+            + self.h31.mem_bytes()
+            + self.h32.mem_bytes()
+    }
+}
+
+/// Symmetrized 0/1 structure of a square sparse matrix.
+fn symmetrize(a: &Csr) -> Csr {
+    let mut b = a.clone();
+    for v in b.values_mut() {
+        *v = 1.0;
+    }
+    let mut t = a.transpose();
+    for v in t.values_mut() {
+        *v = 1.0;
+    }
+    let mut s = ops::add(&b, &t).expect("same shape");
+    for v in s.values_mut() {
+        *v = 1.0;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bepi_graph::generators;
+
+    fn reassemble(p: &HPartition) -> bepi_sparse::Dense {
+        // Rebuild full H from the six blocks plus the identity corner.
+        let n = p.n();
+        let l = p.n1 + p.n2;
+        let mut h = bepi_sparse::Dense::zeros(n, n);
+        for (r, c, v) in p.h11.iter() {
+            h[(r, c)] = v;
+        }
+        for (r, c, v) in p.h12.iter() {
+            h[(r, c + p.n1)] = v;
+        }
+        for (r, c, v) in p.h21.iter() {
+            h[(r + p.n1, c)] = v;
+        }
+        for (r, c, v) in p.h22.iter() {
+            h[(r + p.n1, c + p.n1)] = v;
+        }
+        for (r, c, v) in p.h31.iter() {
+            h[(r + l, c)] = v;
+        }
+        for (r, c, v) in p.h32.iter() {
+            h[(r + l, c + p.n1)] = v;
+        }
+        for i in l..n {
+            h[(i, i)] = 1.0;
+        }
+        h
+    }
+
+    #[test]
+    fn partition_reassembles_to_h() {
+        let g = generators::rmat(8, 900, generators::RmatParams::default(), 3).unwrap();
+        let p = HPartition::build(&g, 0.05, 0.2).unwrap();
+        // Reference: permute graph, build H directly.
+        let a = p.perm.permute_symmetric(g.adjacency()).unwrap();
+        let g2 = Graph::from_adjacency(a).unwrap();
+        let h_ref = crate::rwr::build_h(&g2, 0.05).unwrap().to_dense();
+        let h_got = reassemble(&p);
+        assert!(h_got.max_abs_diff(&h_ref).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn counts_match_graph() {
+        let g = generators::rmat(9, 1500, generators::RmatParams::default(), 7).unwrap();
+        let g = generators::inject_deadends(&g, 0.2, 5).unwrap();
+        let p = HPartition::build(&g, 0.05, 0.25).unwrap();
+        assert_eq!(p.n(), g.n());
+        assert_eq!(p.n3, g.deadend_count());
+        assert_eq!(p.block_sizes.iter().sum::<usize>(), p.n1);
+    }
+
+    #[test]
+    fn h11_block_diagonal_and_dominant() {
+        let g = generators::rmat(9, 1200, generators::RmatParams::default(), 11).unwrap();
+        let p = HPartition::build(&g, 0.05, 0.2).unwrap();
+        assert!(bepi_reorder::blocks::is_block_diagonal(
+            &p.h11,
+            &p.block_sizes
+        ));
+        assert!(p.h11.is_column_diagonally_dominant());
+    }
+
+    #[test]
+    fn split_and_concat_roundtrip() {
+        let g = generators::rmat(7, 300, generators::RmatParams::default(), 1).unwrap();
+        let p = HPartition::build(&g, 0.1, 0.3).unwrap();
+        let v: Vec<f64> = (0..p.n()).map(|i| i as f64).collect();
+        let (v1, v2, v3) = p.split_vec(&v);
+        assert_eq!(v1.len(), p.n1);
+        assert_eq!(v2.len(), p.n2);
+        assert_eq!(v3.len(), p.n3);
+        assert_eq!(p.concat_vec(v1, v2, v3), v);
+    }
+
+    #[test]
+    fn all_deadend_graph() {
+        let g = Graph::from_edges(4, &[]).unwrap();
+        let p = HPartition::build(&g, 0.05, 0.2).unwrap();
+        assert_eq!(p.n1, 0);
+        assert_eq!(p.n2, 0);
+        assert_eq!(p.n3, 4);
+        assert_eq!(p.h11.nnz(), 0);
+    }
+
+    #[test]
+    fn deadend_free_graph() {
+        let g = generators::cycle(20);
+        let p = HPartition::build(&g, 0.05, 0.2).unwrap();
+        assert_eq!(p.n3, 0);
+        assert_eq!(p.n1 + p.n2, 20);
+        assert_eq!(p.h31.nnz(), 0);
+        assert_eq!(p.h32.nnz(), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The iterative baselines: power iteration and plain GMRES on the full
+//! system `H r = c q` (Section 2.2 of the paper).
+//!
+//! Neither stores preprocessed data (that is their selling point in
+//! Figure 1(b)); both redo all iterations per query (their weakness in
+//! Figure 1(c)).
+
+use crate::rwr::{build_h, check_restart_prob, seed_vector, RwrScores, RwrSolver};
+use crate::{DEFAULT_RESTART_PROB, DEFAULT_TOLERANCE};
+use bepi_graph::Graph;
+use bepi_solver::power::{power_iteration, PowerConfig};
+use bepi_solver::{gmres, GmresConfig};
+use bepi_sparse::{Csr, Result};
+
+/// Power-iteration RWR solver.
+#[derive(Debug, Clone)]
+pub struct PowerSolver {
+    a_norm: Csr,
+    c: f64,
+    cfg: PowerConfig,
+}
+
+impl PowerSolver {
+    /// Builds the solver (only the row-normalized adjacency is kept).
+    pub fn new(g: &Graph, c: f64, tol: f64) -> Result<Self> {
+        check_restart_prob(c)?;
+        Ok(Self {
+            a_norm: g.row_normalized(),
+            c,
+            cfg: PowerConfig {
+                tol,
+                max_iters: 100_000,
+            },
+        })
+    }
+
+    /// Solver with the paper's defaults (`c = 0.05`, `ε = 1e-9`).
+    pub fn with_defaults(g: &Graph) -> Result<Self> {
+        Self::new(g, DEFAULT_RESTART_PROB, DEFAULT_TOLERANCE)
+    }
+}
+
+impl RwrSolver for PowerSolver {
+    fn name(&self) -> &'static str {
+        "Power"
+    }
+
+    fn node_count(&self) -> usize {
+        self.a_norm.nrows()
+    }
+
+    fn query(&self, seed: usize) -> Result<RwrScores> {
+        let q = seed_vector(self.node_count(), seed)?;
+        let res = power_iteration(&self.a_norm, self.c, &q, &self.cfg, false)?;
+        Ok(RwrScores {
+            scores: res.r,
+            iterations: res.iterations,
+        })
+    }
+
+    fn preprocessed_bytes(&self) -> usize {
+        0 // iterative methods keep no preprocessed data
+    }
+}
+
+/// Plain (unpreconditioned) GMRES on `H r = c q`.
+#[derive(Debug, Clone)]
+pub struct GmresSolver {
+    h: Csr,
+    c: f64,
+    cfg: GmresConfig,
+}
+
+impl GmresSolver {
+    /// Builds `H` once and keeps it for queries.
+    pub fn new(g: &Graph, c: f64, tol: f64) -> Result<Self> {
+        Ok(Self {
+            h: build_h(g, c)?,
+            c,
+            cfg: GmresConfig {
+                tol,
+                ..GmresConfig::default()
+            },
+        })
+    }
+
+    /// Solver with the paper's defaults.
+    pub fn with_defaults(g: &Graph) -> Result<Self> {
+        Self::new(g, DEFAULT_RESTART_PROB, DEFAULT_TOLERANCE)
+    }
+}
+
+impl RwrSolver for GmresSolver {
+    fn name(&self) -> &'static str {
+        "GMRES"
+    }
+
+    fn node_count(&self) -> usize {
+        self.h.nrows()
+    }
+
+    fn query(&self, seed: usize) -> Result<RwrScores> {
+        let mut q = seed_vector(self.node_count(), seed)?;
+        for v in &mut q {
+            *v *= self.c;
+        }
+        let res = gmres(&self.h, &q, None, None, &self.cfg)?;
+        Ok(RwrScores {
+            scores: res.x,
+            iterations: res.iterations,
+        })
+    }
+
+    fn preprocessed_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bepi_graph::generators;
+
+    #[test]
+    fn power_and_gmres_agree() {
+        let g = generators::rmat(7, 400, generators::RmatParams::default(), 3).unwrap();
+        let p = PowerSolver::with_defaults(&g).unwrap();
+        let m = GmresSolver::with_defaults(&g).unwrap();
+        for seed in [0usize, 31, 100] {
+            let a = p.query(seed).unwrap();
+            let b = m.query(seed).unwrap();
+            for (x, y) in a.scores.iter().zip(&b.scores) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn iterations_are_reported() {
+        let g = generators::erdos_renyi(80, 400, 5).unwrap();
+        let p = PowerSolver::with_defaults(&g).unwrap();
+        let m = GmresSolver::with_defaults(&g).unwrap();
+        assert!(p.query(0).unwrap().iterations > 1);
+        assert!(m.query(0).unwrap().iterations > 1);
+    }
+
+    #[test]
+    fn no_preprocessed_bytes() {
+        let g = generators::cycle(10);
+        assert_eq!(PowerSolver::with_defaults(&g).unwrap().preprocessed_bytes(), 0);
+        assert_eq!(GmresSolver::with_defaults(&g).unwrap().preprocessed_bytes(), 0);
+    }
+
+    #[test]
+    fn example_graph_ranking_matches_figure_2_shape() {
+        // Figure 2: u1 seeds; bridge nodes u4/u5 outrank peripheral u6/u7.
+        let g = generators::example_graph();
+        let p = PowerSolver::with_defaults(&g).unwrap();
+        let r = p.query(0).unwrap();
+        assert!(r.scores[3] > r.scores[5]); // u4 > u6
+        assert!(r.scores[7] > r.scores[5]); // u8 > u6 (the paper's point)
+        assert_eq!(r.top_k(1), vec![0]); // seed first
+    }
+}

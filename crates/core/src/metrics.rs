@@ -1,0 +1,126 @@
+//! Ranking-quality metrics.
+//!
+//! RWR's product is a *ranking* (Figure 2); when comparing methods —
+//! exact vs approximate, or across parameter choices — score-space error
+//! can mislead. These metrics compare rankings directly: precision@k,
+//! top-k overlap, and Kendall's tau. Used by the approximate-method tests
+//! and available to library users evaluating their own trade-offs.
+
+use bepi_sparse::vecops::top_k_indices;
+
+/// Precision@k of `approx` against `truth` rankings derived from score
+/// vectors: `|top_k(approx) ∩ top_k(truth)| / k`.
+pub fn precision_at_k(truth: &[f64], approx: &[f64], k: usize) -> f64 {
+    assert_eq!(truth.len(), approx.len(), "score vectors must align");
+    let k = k.min(truth.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let t: std::collections::HashSet<usize> = top_k_indices(truth, k).into_iter().collect();
+    let hits = top_k_indices(approx, k)
+        .into_iter()
+        .filter(|i| t.contains(i))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Kendall's tau-a between the rankings induced by two score vectors,
+/// restricted to the union of their top-`k` nodes (full-vector tau is
+/// dominated by the zero-score tail). Returns a value in `[-1, 1]`;
+/// 1 means identical order.
+pub fn kendall_tau_top_k(truth: &[f64], approx: &[f64], k: usize) -> f64 {
+    assert_eq!(truth.len(), approx.len(), "score vectors must align");
+    let k = k.min(truth.len());
+    let mut nodes: Vec<usize> = top_k_indices(truth, k);
+    for i in top_k_indices(approx, k) {
+        if !nodes.contains(&i) {
+            nodes.push(i);
+        }
+    }
+    let m = nodes.len();
+    if m < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for a in 0..m {
+        for b in a + 1..m {
+            let (i, j) = (nodes[a], nodes[b]);
+            let dt = truth[i] - truth[j];
+            let da = approx[i] - approx[j];
+            let prod = dt * da;
+            if prod > 0.0 {
+                concordant += 1;
+            } else if prod < 0.0 {
+                discordant += 1;
+            }
+            // Ties count as neither (tau-a denominator keeps all pairs).
+        }
+    }
+    let pairs = (m * (m - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+/// Mean absolute error restricted to the true top-`k` nodes — the region
+/// applications actually consume.
+pub fn top_k_mae(truth: &[f64], approx: &[f64], k: usize) -> f64 {
+    assert_eq!(truth.len(), approx.len(), "score vectors must align");
+    let idx = top_k_indices(truth, k.min(truth.len()));
+    if idx.is_empty() {
+        return 0.0;
+    }
+    idx.iter().map(|&i| (truth[i] - approx[i]).abs()).sum::<f64>() / idx.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rankings_are_perfect() {
+        let s = vec![0.5, 0.3, 0.2, 0.1];
+        assert_eq!(precision_at_k(&s, &s, 3), 1.0);
+        assert_eq!(kendall_tau_top_k(&s, &s, 3), 1.0);
+        assert_eq!(top_k_mae(&s, &s, 2), 0.0);
+    }
+
+    #[test]
+    fn reversed_ranking_has_tau_minus_one() {
+        let truth = vec![4.0, 3.0, 2.0, 1.0];
+        let approx = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(kendall_tau_top_k(&truth, &approx, 4), -1.0);
+        // Top-2 sets are disjoint.
+        assert_eq!(precision_at_k(&truth, &approx, 2), 0.0);
+    }
+
+    #[test]
+    fn partial_agreement() {
+        let truth = vec![0.4, 0.3, 0.2, 0.1];
+        let approx = vec![0.4, 0.2, 0.3, 0.1]; // swap ranks 2 and 3
+        assert_eq!(precision_at_k(&truth, &approx, 2), 0.5);
+        assert_eq!(precision_at_k(&truth, &approx, 3), 1.0);
+        let tau = kendall_tau_top_k(&truth, &approx, 4);
+        assert!((tau - (5.0 - 1.0) / 6.0).abs() < 1e-12, "tau {tau}");
+    }
+
+    #[test]
+    fn mae_measures_only_top_region() {
+        let truth = vec![1.0, 0.5, 0.0, 0.0];
+        let approx = vec![0.9, 0.5, 0.0, 100.0];
+        assert!((top_k_mae(&truth, &approx, 2) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_zero_and_oversized_k() {
+        let s = vec![0.2, 0.1];
+        assert_eq!(precision_at_k(&s, &s, 0), 1.0);
+        assert_eq!(precision_at_k(&s, &s, 10), 1.0);
+        assert_eq!(kendall_tau_top_k(&s, &s, 10), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        precision_at_k(&[1.0], &[1.0, 2.0], 1);
+    }
+}

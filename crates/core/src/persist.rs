@@ -1,0 +1,315 @@
+//! Saving and loading preprocessed BePI instances.
+//!
+//! The economics of a preprocessing method (Section 2.3: "preprocessed
+//! matrices need to be computed just once, and then can be reused") only
+//! materialize if the preprocessed data survives the process. This module
+//! serializes a [`BePi`] instance to a compact little-endian binary format
+//! and restores it bit-for-bit.
+//!
+//! Format: magic `BEPI`, a format version, the config scalars, then each
+//! matrix as `(nrows, ncols, nnz, indptr, indices, values)`. No external
+//! serialization crates — the arrays are written directly.
+
+use crate::bepi::{BePi, BePiConfig};
+use bepi_sparse::{Csr, Permutation, Result, SparseError};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"BEPI";
+const VERSION: u32 = 1;
+
+/// Writes a preprocessed instance to a stream.
+pub fn save<W: Write>(bepi: &BePi, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    bepi.write_parts(&mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a preprocessed instance from a stream.
+pub fn load<R: Read>(reader: R) -> Result<BePi> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SparseError::Parse(format!(
+            "not a BePI file (magic {magic:?})"
+        )));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(SparseError::Parse(format!(
+            "unsupported BePI format version {version} (expected {VERSION})"
+        )));
+    }
+    BePi::read_parts(&mut r)
+}
+
+/// Convenience: saves to a file path.
+pub fn save_file<P: AsRef<Path>>(bepi: &BePi, path: P) -> Result<()> {
+    save(bepi, std::fs::File::create(path)?)
+}
+
+/// Convenience: loads from a file path.
+pub fn load_file<P: AsRef<Path>>(path: P) -> Result<BePi> {
+    load(std::fs::File::open(path)?)
+}
+
+// --- primitive readers/writers (little endian) ---
+
+pub(crate) fn write_u32<W: Write>(w: &mut W, v: u32) -> Result<()> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+pub(crate) fn read_u32<R: Read>(r: &mut R) -> Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+pub(crate) fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<()> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+pub(crate) fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+pub(crate) fn write_f64<W: Write>(w: &mut W, v: f64) -> Result<()> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+pub(crate) fn read_f64<R: Read>(r: &mut R) -> Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+pub(crate) fn write_usize_slice<W: Write>(w: &mut W, s: &[usize]) -> Result<()> {
+    write_u64(w, s.len() as u64)?;
+    for &v in s {
+        write_u64(w, v as u64)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn read_usize_vec<R: Read>(r: &mut R) -> Result<Vec<usize>> {
+    let len = read_u64(r)? as usize;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(read_u64(r)? as usize);
+    }
+    Ok(out)
+}
+
+pub(crate) fn write_u32_slice<W: Write>(w: &mut W, s: &[u32]) -> Result<()> {
+    write_u64(w, s.len() as u64)?;
+    for &v in s {
+        write_u32(w, v)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn read_u32_vec<R: Read>(r: &mut R) -> Result<Vec<u32>> {
+    let len = read_u64(r)? as usize;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(read_u32(r)?);
+    }
+    Ok(out)
+}
+
+pub(crate) fn write_f64_slice<W: Write>(w: &mut W, s: &[f64]) -> Result<()> {
+    write_u64(w, s.len() as u64)?;
+    for &v in s {
+        write_f64(w, v)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn read_f64_vec<R: Read>(r: &mut R) -> Result<Vec<f64>> {
+    let len = read_u64(r)? as usize;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(read_f64(r)?);
+    }
+    Ok(out)
+}
+
+pub(crate) fn write_csr<W: Write>(w: &mut W, m: &Csr) -> Result<()> {
+    write_u64(w, m.nrows() as u64)?;
+    write_u64(w, m.ncols() as u64)?;
+    write_usize_slice(w, m.indptr())?;
+    write_u32_slice(w, m.indices())?;
+    write_f64_slice(w, m.values())
+}
+
+pub(crate) fn read_csr<R: Read>(r: &mut R) -> Result<Csr> {
+    let nrows = read_u64(r)? as usize;
+    let ncols = read_u64(r)? as usize;
+    let indptr = read_usize_vec(r)?;
+    let indices = read_u32_vec(r)?;
+    let values = read_f64_vec(r)?;
+    Csr::from_parts(nrows, ncols, indptr, indices, values)
+}
+
+pub(crate) fn write_permutation<W: Write>(w: &mut W, p: &Permutation) -> Result<()> {
+    write_u32_slice(w, p.new_of_old())
+}
+
+pub(crate) fn read_permutation<R: Read>(r: &mut R) -> Result<Permutation> {
+    Permutation::from_new_of_old(read_u32_vec(r)?)
+}
+
+pub(crate) fn write_config<W: Write>(w: &mut W, c: &BePiConfig) -> Result<()> {
+    use crate::bepi::{BePiVariant, InnerSolver, PrecondKind};
+    write_u32(
+        w,
+        match c.variant {
+            BePiVariant::Basic => 0,
+            BePiVariant::Sparse => 1,
+            BePiVariant::Full => 2,
+        },
+    )?;
+    write_f64(w, c.c)?;
+    write_f64(w, c.tol)?;
+    write_f64(w, c.hub_ratio.unwrap_or(f64::NAN))?;
+    write_u64(w, c.gmres_restart as u64)?;
+    write_u64(w, c.max_iters as u64)?;
+    write_u32(
+        w,
+        match c.inner {
+            InnerSolver::Gmres => 0,
+            InnerSolver::BiCgStab => 1,
+        },
+    )?;
+    let (pk, order) = match c.precond {
+        PrecondKind::Ilu0 => (0u32, 0u64),
+        PrecondKind::Jacobi => (1, 0),
+        PrecondKind::Neumann(t) => (2, t as u64),
+    };
+    write_u32(w, pk)?;
+    write_u64(w, order)
+}
+
+pub(crate) fn read_config<R: Read>(r: &mut R) -> Result<BePiConfig> {
+    use crate::bepi::{BePiVariant, InnerSolver, PrecondKind};
+    let variant = match read_u32(r)? {
+        0 => BePiVariant::Basic,
+        1 => BePiVariant::Sparse,
+        2 => BePiVariant::Full,
+        v => return Err(SparseError::Parse(format!("bad variant tag {v}"))),
+    };
+    let c = read_f64(r)?;
+    let tol = read_f64(r)?;
+    let hub = read_f64(r)?;
+    let gmres_restart = read_u64(r)? as usize;
+    let max_iters = read_u64(r)? as usize;
+    let inner = match read_u32(r)? {
+        0 => InnerSolver::Gmres,
+        1 => InnerSolver::BiCgStab,
+        v => return Err(SparseError::Parse(format!("bad inner-solver tag {v}"))),
+    };
+    let precond = match (read_u32(r)?, read_u64(r)?) {
+        (0, _) => PrecondKind::Ilu0,
+        (1, _) => PrecondKind::Jacobi,
+        (2, t) => PrecondKind::Neumann(t as usize),
+        (v, _) => return Err(SparseError::Parse(format!("bad precond tag {v}"))),
+    };
+    Ok(BePiConfig {
+        variant,
+        c,
+        tol,
+        hub_ratio: if hub.is_nan() { None } else { Some(hub) },
+        gmres_restart,
+        max_iters,
+        inner,
+        precond,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use bepi_graph::generators;
+
+    fn roundtrip(cfg: &BePiConfig) {
+        let g = generators::rmat(7, 500, generators::RmatParams::default(), 61).unwrap();
+        let original = BePi::preprocess(&g, cfg).unwrap();
+        let mut buf = Vec::new();
+        save(&original, &mut buf).unwrap();
+        let restored = load(&buf[..]).unwrap();
+        assert_eq!(restored.preprocessed_bytes(), original.preprocessed_bytes());
+        assert_eq!(restored.schur(), original.schur());
+        for seed in [0usize, 31, 100] {
+            let a = original.query(seed).unwrap();
+            let b = restored.query(seed).unwrap();
+            assert_eq!(a.scores, b.scores, "queries must be bit-identical");
+            assert_eq!(a.iterations, b.iterations);
+        }
+    }
+
+    #[test]
+    fn roundtrip_full_variant() {
+        roundtrip(&BePiConfig::default());
+    }
+
+    #[test]
+    fn roundtrip_basic_variant() {
+        roundtrip(&BePiConfig::for_variant(BePiVariant::Basic));
+    }
+
+    #[test]
+    fn roundtrip_jacobi_and_neumann_preconds() {
+        roundtrip(&BePiConfig {
+            precond: PrecondKind::Jacobi,
+            ..BePiConfig::default()
+        });
+        roundtrip(&BePiConfig {
+            precond: PrecondKind::Neumann(3),
+            inner: InnerSolver::BiCgStab,
+            ..BePiConfig::default()
+        });
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let g = generators::erdos_renyi(100, 400, 5).unwrap();
+        let original = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let path = std::env::temp_dir().join("bepi_persist_test.bin");
+        save_file(&original, &path).unwrap();
+        let restored = load_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            original.query(3).unwrap().scores,
+            restored.query(3).unwrap().scores
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        assert!(load(&b"NOPE"[..]).is_err());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        assert!(load(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let g = generators::cycle(10);
+        let original = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let mut buf = Vec::new();
+        save(&original, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load(&buf[..]).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! The RWR problem definition and the unified solver interface.
+
+use bepi_graph::Graph;
+use bepi_sparse::{ops, Csr, Result, SparseError};
+
+/// RWR scores for one query, plus solve statistics.
+#[derive(Debug, Clone)]
+pub struct RwrScores {
+    /// Score per node, in the graph's *original* node numbering.
+    pub scores: Vec<f64>,
+    /// Inner iterations spent by the method's iterative component
+    /// (0 for fully direct methods).
+    pub iterations: usize,
+}
+
+impl RwrScores {
+    /// The `k` best-ranked nodes (descending score, ties by id) —
+    /// the personalized ranking of Figure 2.
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        bepi_sparse::vecops::top_k_indices(&self.scores, k)
+    }
+}
+
+/// Interface shared by every RWR method in the evaluation: BePI (all
+/// variants), Bear, LU decomposition, power iteration, GMRES, and the
+/// dense exact reference.
+///
+/// Construction (the *preprocessing phase*) is method-specific; querying
+/// (the *query phase*) is uniform. `preprocessed_bytes` reports the memory
+/// for preprocessed data — the metric of Figures 1(b), 5(b), 6(b).
+pub trait RwrSolver {
+    /// Human-readable method name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Number of nodes served.
+    fn node_count(&self) -> usize;
+
+    /// Computes the RWR score vector for a seed node.
+    fn query(&self, seed: usize) -> Result<RwrScores>;
+
+    /// Bytes of preprocessed data kept for the query phase.
+    fn preprocessed_bytes(&self) -> usize;
+}
+
+/// Validates a seed id against the node count.
+pub(crate) fn check_seed(seed: usize, n: usize) -> Result<()> {
+    if seed >= n {
+        return Err(SparseError::IndexOutOfBounds {
+            index: (seed, 0),
+            shape: (n, 1),
+        });
+    }
+    Ok(())
+}
+
+/// Validates the restart probability `0 < c < 1`.
+pub(crate) fn check_restart_prob(c: f64) -> Result<()> {
+    if !(c > 0.0 && c < 1.0) {
+        return Err(SparseError::Numerical(format!(
+            "restart probability must satisfy 0 < c < 1, got {c}"
+        )));
+    }
+    Ok(())
+}
+
+/// Builds `H = I − (1−c) Ã^T` for a graph in its current node order.
+pub fn build_h(g: &Graph, c: f64) -> Result<Csr> {
+    check_restart_prob(c)?;
+    let a_norm = g.row_normalized();
+    let at = a_norm.transpose();
+    ops::identity_minus_scaled(1.0 - c, &at)
+}
+
+/// The seed indicator vector `q` (length n, 1.0 at the seed).
+pub fn seed_vector(n: usize, seed: usize) -> Result<Vec<f64>> {
+    check_seed(seed, n)?;
+    let mut q = vec![0.0; n];
+    q[seed] = 1.0;
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bepi_graph::generators;
+
+    #[test]
+    fn h_is_diagonally_dominant_for_valid_c() {
+        let g = generators::example_graph();
+        let h = build_h(&g, 0.05).unwrap();
+        assert!(h.is_column_diagonally_dominant());
+        let h = build_h(&g, 0.9).unwrap();
+        assert!(h.is_column_diagonally_dominant());
+    }
+
+    #[test]
+    fn h_rows_for_deadends_are_identity_columns() {
+        let g = generators::path(3); // node 2 deadend
+        let h = build_h(&g, 0.2).unwrap();
+        // Column 2 of Ã^T is zero → H column 2 = e2.
+        assert_eq!(h.get(2, 2), 1.0);
+        assert_eq!(h.get(0, 2), 0.0);
+        assert_eq!(h.get(1, 2), 0.0);
+        // But H row 2 has -0.8 * Ã^T[2,1].
+        assert!((h.get(2, 1) + 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invalid_restart_prob_rejected() {
+        let g = generators::cycle(3);
+        assert!(build_h(&g, 0.0).is_err());
+        assert!(build_h(&g, 1.0).is_err());
+        assert!(build_h(&g, -0.5).is_err());
+    }
+
+    #[test]
+    fn seed_vector_shape() {
+        let q = seed_vector(4, 2).unwrap();
+        assert_eq!(q, vec![0.0, 0.0, 1.0, 0.0]);
+        assert!(seed_vector(4, 4).is_err());
+    }
+
+    #[test]
+    fn top_k_ranks_by_score() {
+        let s = RwrScores {
+            scores: vec![0.1, 0.4, 0.2],
+            iterations: 0,
+        };
+        assert_eq!(s.top_k(2), vec![1, 2]);
+    }
+}

@@ -1,0 +1,427 @@
+//! Random and deterministic graph generators.
+//!
+//! R-MAT is the workhorse: it produces the power-law, hub-and-spoke
+//! structure that SlashBurn (and hence BePI's reordering) exploits, and is
+//! the standard synthetic stand-in for graphs like Twitter or Friendster.
+//! All generators are deterministic given a seed.
+
+use crate::graph::Graph;
+use bepi_sparse::Result;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a directed Erdős–Rényi graph `G(n, m)`: `m` distinct directed
+/// edges (no self-loops) chosen uniformly.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Result<Graph> {
+    assert!(n >= 2 || m == 0, "need at least two nodes for edges");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_edges = n.saturating_mul(n.saturating_sub(1));
+    let m = m.min(max_edges);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v && seen.insert((u as u64) * n as u64 + v as u64) {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// R-MAT parameters: recursive quadrant probabilities `(a, b, c, d)`,
+/// `a + b + c + d = 1`. The classic skew `(0.57, 0.19, 0.19, 0.05)`
+/// yields power-law in/out degrees with pronounced hubs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Probability of the bottom-right quadrant.
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+}
+
+/// Generates a directed R-MAT graph with `2^scale` nodes and (up to) `m`
+/// edges; duplicate edges collapse, self-loops are dropped, so the final
+/// edge count is slightly below `m` — exactly as with real R-MAT tooling.
+pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> Result<Graph> {
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sum = params.a + params.b + params.c + params.d;
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "R-MAT quadrant probabilities must sum to 1, got {sum}"
+    );
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            // Slight parameter noise per level avoids degenerate striping.
+            let roll: f64 = rng.random();
+            if roll < params.a {
+                // top-left: neither bit set
+            } else if roll < params.a + params.b {
+                v |= 1;
+            } else if roll < params.a + params.b + params.c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Generates a directed preferential-attachment graph: nodes arrive in
+/// order, each adding `edges_per_node` out-edges to targets drawn
+/// proportionally to (1 + in-degree). Early nodes become hubs; node 0..m0
+/// seed the process.
+pub fn preferential_attachment(n: usize, edges_per_node: usize, seed: u64) -> Result<Graph> {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * edges_per_node);
+    // Repeated-target list implements the preferential distribution.
+    let mut targets: Vec<usize> = vec![0];
+    for u in 1..n {
+        for _ in 0..edges_per_node {
+            let v = targets[rng.random_range(0..targets.len())];
+            if v != u {
+                edges.push((u, v));
+                targets.push(v);
+            }
+        }
+        targets.push(u);
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Removes all out-edges from a random `fraction` of nodes, turning them
+/// into deadends — the paper's graphs have 0.2 %–42 % deadends (Table 2),
+/// and the deadend reordering of Section 3.2.1 needs them present.
+pub fn inject_deadends(g: &Graph, fraction: f64, seed: u64) -> Result<Graph> {
+    assert!((0.0..=1.0).contains(&fraction));
+    let n = g.n();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut kill = vec![false; n];
+    let target = ((n as f64) * fraction).round() as usize;
+    let mut killed = 0usize;
+    // Reservoir-free: random draws until enough distinct nodes are marked.
+    while killed < target {
+        let u = rng.random_range(0..n);
+        if !kill[u] {
+            kill[u] = true;
+            killed += 1;
+        }
+    }
+    let mut edges = Vec::with_capacity(g.m());
+    for u in 0..n {
+        if kill[u] {
+            continue;
+        }
+        for v in g.out_neighbors(u) {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The 8-node example graph of Figure 2 (reconstructed from the figure:
+/// u1 is the query node, u4/u5 bridge to u8, u6/u7 are peripheral).
+/// Nodes are 0-indexed: `u1 = 0, …, u8 = 7`. Undirected (both directions).
+pub fn example_graph() -> Graph {
+    let edges = [
+        (0, 1), // u1 - u2
+        (0, 2), // u1 - u3
+        (0, 3), // u1 - u4
+        (0, 4), // u1 - u5
+        (3, 7), // u4 - u8
+        (4, 7), // u5 - u8
+        (1, 2), // u2 - u3
+        (1, 5), // u2 - u6
+        (1, 6), // u2 - u7
+    ];
+    Graph::from_undirected_edges(8, &edges).expect("static edges are valid")
+}
+
+/// A directed cycle on `n` nodes.
+pub fn cycle(n: usize) -> Graph {
+    let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Graph::from_edges(n, &edges).expect("cycle edges valid")
+}
+
+/// A directed path `0 → 1 → … → n-1` (node `n-1` is a deadend).
+pub fn path(n: usize) -> Graph {
+    let edges: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    Graph::from_edges(n, &edges).expect("path edges valid")
+}
+
+/// An undirected star: hub 0 connected to all other nodes.
+pub fn star(n: usize) -> Graph {
+    let edges: Vec<(usize, usize)> = (1..n).map(|i| (0, i)).collect();
+    Graph::from_undirected_edges(n, &edges).expect("star edges valid")
+}
+
+/// Generates a Watts–Strogatz small-world graph: an undirected ring
+/// lattice where each node connects to its `k_half` nearest neighbors on
+/// each side, with each edge's far endpoint rewired with probability
+/// `beta`. Useful as a *non*-power-law contrast workload: SlashBurn's
+/// hub-and-spoke assumption fails here, which the tests exercise.
+pub fn watts_strogatz(n: usize, k_half: usize, beta: f64, seed: u64) -> Result<Graph> {
+    assert!(n > 2 * k_half, "ring too small for k_half = {k_half}");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut targets: Vec<std::collections::HashSet<usize>> =
+        (0..n).map(|_| std::collections::HashSet::new()).collect();
+    for u in 0..n {
+        for d in 1..=k_half {
+            let v = (u + d) % n;
+            let v = if rng.random::<f64>() < beta {
+                // Rewire to a uniform non-self target.
+                let mut w = rng.random_range(0..n);
+                while w == u {
+                    w = rng.random_range(0..n);
+                }
+                w
+            } else {
+                v
+            };
+            targets[u].insert(v);
+            targets[v].insert(u);
+        }
+    }
+    let mut edges = Vec::new();
+    for (u, ts) in targets.iter().enumerate() {
+        for &v in ts {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// A directed 2-D grid (4-neighborhood, edges in both directions) of
+/// `rows × cols` nodes; node `(r, c)` has id `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut edges = Vec::with_capacity(rows * cols * 4);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = r * cols + c;
+            if c + 1 < cols {
+                edges.push((id, id + 1));
+                edges.push((id + 1, id));
+            }
+            if r + 1 < rows {
+                edges.push((id, id + cols));
+                edges.push((id + cols, id));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, &edges).expect("grid edges valid")
+}
+
+/// The complete bipartite graph `K_{a,b}` (both directions): parts are
+/// nodes `0..a` and `a..a+b`. The classic worst case for hub detection —
+/// every node is a "hub" of the opposite part.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut edges = Vec::with_capacity(a * b * 2);
+    for u in 0..a {
+        for v in a..a + b {
+            edges.push((u, v));
+            edges.push((v, u));
+        }
+    }
+    Graph::from_edges(a + b, &edges).expect("bipartite edges valid")
+}
+
+/// The complete directed graph on `n` nodes (no self-loops).
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * (n - 1));
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("complete edges valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_deterministic_and_sized() {
+        let g1 = erdos_renyi(50, 200, 7).unwrap();
+        let g2 = erdos_renyi(50, 200, 7).unwrap();
+        assert_eq!(g1, g2);
+        assert_eq!(g1.m(), 200);
+        assert_eq!(g1.n(), 50);
+        // No self-loops.
+        for u in 0..g1.n() {
+            assert_eq!(g1.adjacency().get(u, u), 0.0);
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_caps_at_max_edges() {
+        let g = erdos_renyi(3, 100, 1).unwrap();
+        assert_eq!(g.m(), 6);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(10, 8_000, RmatParams::default(), 42).unwrap();
+        assert_eq!(g.n(), 1024);
+        assert!(g.m() > 4_000, "got {} edges", g.m());
+        // Power-law check: the max total degree should dwarf the average.
+        let degs = g.total_degrees();
+        let max = *degs.iter().max().unwrap() as f64;
+        let avg = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
+        assert!(
+            max > 8.0 * avg,
+            "R-MAT should have hubs: max {max}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn rmat_deterministic() {
+        let a = rmat(8, 1000, RmatParams::default(), 5).unwrap();
+        let b = rmat(8, 1000, RmatParams::default(), 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rmat_rejects_bad_params() {
+        let p = RmatParams {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: 0.5,
+        };
+        let _ = rmat(4, 10, p, 0);
+    }
+
+    #[test]
+    fn preferential_attachment_hubs_are_early() {
+        let g = preferential_attachment(300, 3, 11).unwrap();
+        let degs = g.in_degrees();
+        let early: usize = degs[..30].iter().sum();
+        let late: usize = degs[270..].iter().sum();
+        assert!(early > late * 3, "early {early}, late {late}");
+    }
+
+    #[test]
+    fn inject_deadends_hits_target_fraction() {
+        let g = erdos_renyi(200, 2000, 3).unwrap();
+        let d = inject_deadends(&g, 0.25, 9).unwrap();
+        assert!(d.deadend_count() >= 50, "deadends: {}", d.deadend_count());
+        assert_eq!(d.n(), g.n());
+        assert!(d.m() < g.m());
+    }
+
+    #[test]
+    fn inject_deadends_zero_fraction_is_identity() {
+        let g = erdos_renyi(50, 100, 3).unwrap();
+        let d = inject_deadends(&g, 0.0, 1).unwrap();
+        assert_eq!(d, g);
+    }
+
+    #[test]
+    fn example_graph_shape() {
+        let g = example_graph();
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 18); // 9 undirected edges
+        assert_eq!(g.deadend_count(), 0);
+        // u1 (node 0) is the highest-degree node, as drawn.
+        let degs = g.out_degrees();
+        assert_eq!(degs[0], *degs.iter().max().unwrap());
+    }
+
+    #[test]
+    fn watts_strogatz_degree_and_connectivity() {
+        let g = watts_strogatz(100, 3, 0.1, 5).unwrap();
+        assert_eq!(g.n(), 100);
+        // Symmetric by construction.
+        for (r, c, _) in g.adjacency().iter() {
+            assert!(g.adjacency().get(c, r) > 0.0, "edge ({r},{c}) not mirrored");
+        }
+        // Degrees stay near 2*k_half: no hubs.
+        let degs = g.out_degrees();
+        let max = *degs.iter().max().unwrap();
+        assert!(max <= 14, "small-world graph grew a hub: {max}");
+        assert_eq!(g.deadend_count(), 0);
+    }
+
+    #[test]
+    fn watts_strogatz_beta_zero_is_ring_lattice() {
+        let g = watts_strogatz(20, 2, 0.0, 1).unwrap();
+        for u in 0..20 {
+            assert_eq!(g.out_degree(u), 4, "node {u}");
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_deterministic() {
+        assert_eq!(
+            watts_strogatz(50, 2, 0.3, 9).unwrap(),
+            watts_strogatz(50, 2, 0.3, 9).unwrap()
+        );
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        // Interior node has degree 4, corner 2.
+        assert_eq!(g.out_degree(5), 4); // (1,1)
+        assert_eq!(g.out_degree(0), 2); // corner
+        assert_eq!(g.m(), 2 * (3 * 3 + 2 * 4)); // 2*(rows*(cols-1) + (rows-1)*cols)
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 24);
+        assert_eq!(g.out_degree(0), 4);
+        assert_eq!(g.out_degree(4), 3);
+        // No intra-part edges.
+        assert_eq!(g.adjacency().get(0, 1), 0.0);
+        assert_eq!(g.adjacency().get(4, 5), 0.0);
+    }
+
+    #[test]
+    fn utility_graphs() {
+        assert_eq!(cycle(5).m(), 5);
+        assert_eq!(cycle(5).deadend_count(), 0);
+        let p = path(4);
+        assert_eq!(p.m(), 3);
+        assert_eq!(p.deadends(), vec![3]);
+        let s = star(6);
+        assert_eq!(s.out_degree(0), 5);
+        assert_eq!(s.out_degree(3), 1);
+        let k = complete(4);
+        assert_eq!(k.m(), 12);
+    }
+}

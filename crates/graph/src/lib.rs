@@ -1,0 +1,40 @@
+//! # bepi-graph
+//!
+//! Directed graph type, random-graph generators, and the synthetic dataset
+//! suite used by the BePI reproduction (Jung et al., SIGMOD 2017).
+//!
+//! The paper evaluates on eight real-world graphs (Slashdot … Friendster,
+//! Table 2) whose defining structural properties are (a) power-law degree
+//! distributions — the *hub-and-spoke* structure SlashBurn exploits — and
+//! (b) substantial fractions of *deadend* nodes (no out-edges). The
+//! [`datasets`] module generates a scaled-down synthetic suite with those
+//! properties (R-MAT + deadend injection); see `DESIGN.md` §4 for the
+//! substitution rationale.
+//!
+//! ```
+//! use bepi_graph::{generators, Graph};
+//!
+//! let g = generators::rmat(8, 1000, generators::RmatParams::default(), 42)?;
+//! assert_eq!(g.n(), 256);
+//! let deadends = g.deadend_count();
+//! let a_norm = g.row_normalized(); // Ã of Equation (1); deadend rows stay zero
+//! assert_eq!((0..g.n()).filter(|&u| a_norm.row_nnz(u) == 0).count(), deadends);
+//! # Ok::<(), bepi_sparse::SparseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Index-based loops over multiple parallel arrays are the clearest (and
+// often fastest) idiom in the numerical kernels here; the iterator
+// rewrites clippy suggests obscure the subscript structure of the math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod datasets;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod stats;
+
+pub use datasets::{Dataset, DatasetSpec};
+pub use graph::Graph;
+pub use io::NodeIndexer;

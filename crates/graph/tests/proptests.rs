@@ -1,0 +1,84 @@
+//! Property-based tests for graph construction, generators and stats.
+
+use bepi_graph::{generators, stats, Graph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn from_edges_preserves_counts(n in 2usize..60, pairs in proptest::collection::vec((0usize..60, 0usize..60), 0..150)) {
+        let edges: Vec<(usize, usize)> = pairs
+            .into_iter()
+            .map(|(u, v)| (u % n, v % n))
+            .collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        prop_assert_eq!(g.n(), n);
+        // Merged edges never exceed inserted edges.
+        prop_assert!(g.m() <= edges.len());
+        // Degree sums are consistent.
+        prop_assert_eq!(g.out_degrees().iter().sum::<usize>(), g.m());
+        prop_assert_eq!(g.in_degrees().iter().sum::<usize>(), g.m());
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one_or_zero(n in 2usize..40, pairs in proptest::collection::vec((0usize..40, 0usize..40), 0..120)) {
+        let edges: Vec<(usize, usize)> = pairs.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let a = g.row_normalized();
+        for u in 0..n {
+            let sum: f64 = a.row(u).1.iter().sum();
+            if g.out_degree(u) == 0 {
+                prop_assert_eq!(sum, 0.0);
+            } else {
+                prop_assert!((sum - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_respects_parameters(n in 3usize..50, m_frac in 0.0f64..0.8, seed in 0u64..500) {
+        let max_m = n * (n - 1);
+        let m = ((max_m as f64) * m_frac) as usize;
+        let g = generators::erdos_renyi(n, m, seed).unwrap();
+        prop_assert_eq!(g.m(), m.min(max_m));
+        for u in 0..n {
+            prop_assert_eq!(g.adjacency().get(u, u), 0.0);
+        }
+    }
+
+    #[test]
+    fn inject_deadends_monotone(frac in 0.0f64..0.9, seed in 0u64..100) {
+        let g = generators::erdos_renyi(60, 400, 11).unwrap();
+        let d = generators::inject_deadends(&g, frac, seed).unwrap();
+        prop_assert!(d.deadend_count() >= g.deadend_count());
+        prop_assert!(d.m() <= g.m());
+        prop_assert_eq!(d.n(), g.n());
+    }
+
+    #[test]
+    fn wcc_partition_is_exhaustive(n in 2usize..50, pairs in proptest::collection::vec((0usize..50, 0usize..50), 0..100)) {
+        let edges: Vec<(usize, usize)> = pairs.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let (ids, sizes) = stats::weakly_connected_components(&g);
+        prop_assert_eq!(ids.len(), n);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+        // Every edge endpoint shares a component.
+        for u in 0..n {
+            for v in g.out_neighbors(u) {
+                prop_assert_eq!(ids[u], ids[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn principal_subgraph_is_consistent(k_frac in 0.1f64..1.0) {
+        let g = generators::rmat(7, 300, generators::RmatParams::default(), 9).unwrap();
+        let k = ((g.n() as f64) * k_frac) as usize;
+        let s = g.principal_subgraph(k).unwrap();
+        prop_assert_eq!(s.n(), k);
+        for (r, c, v) in s.adjacency().iter() {
+            prop_assert_eq!(g.adjacency().get(r, c), v);
+        }
+    }
+}

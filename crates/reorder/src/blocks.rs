@@ -1,0 +1,139 @@
+//! Diagonal-block detection and verification.
+//!
+//! `H11`'s block-diagonal structure is what makes its LU factors cheap
+//! (per-block factorization, Theorems 1–3 depend on the `n1i`). SlashBurn
+//! reports its block sizes directly; this module re-derives and verifies
+//! them from the matrix itself, which both guards the pipeline and serves
+//! matrices reordered by other means.
+
+use bepi_sparse::Csr;
+
+/// Partitions a square sparse matrix into the finest contiguous diagonal
+/// blocks such that no stored entry crosses a block boundary.
+///
+/// Returns the block sizes in order; they always sum to `n`. A diagonal
+/// matrix yields all-1 blocks; a fully coupled matrix yields one block.
+///
+/// Note this requires blocks to be *contiguous* in the current ordering —
+/// exactly what SlashBurn produces for `H11`.
+pub fn diagonal_blocks(a: &Csr) -> Vec<usize> {
+    assert_eq!(a.nrows(), a.ncols(), "diagonal_blocks needs a square matrix");
+    let n = a.nrows();
+    if n == 0 {
+        return Vec::new();
+    }
+    // reach[i] = furthest row/col index coupled to any row ≤ i.
+    let mut blocks = Vec::new();
+    let mut block_start = 0usize;
+    let mut reach = 0usize;
+    for row in 0..n {
+        reach = reach.max(row);
+        let (cols, _) = a.row(row);
+        if let Some(&max_col) = cols.last() {
+            reach = reach.max(max_col as usize);
+        }
+        if let Some(&min_col) = cols.first() {
+            // Entries below the current block start would merge blocks
+            // retroactively; the "finest contiguous" semantics require
+            // extending the block backwards, which contiguity forbids —
+            // instead we conservatively treat everything from min_col on
+            // as one block by keeping reach ≥ row until closure.
+            if (min_col as usize) < block_start {
+                // Merge: rewind to the block containing min_col.
+                let mut acc = 0usize;
+                while let Some(&last) = blocks.last() {
+                    if block_start - acc > min_col as usize {
+                        acc += last;
+                        blocks.pop();
+                    } else {
+                        break;
+                    }
+                }
+                block_start -= acc;
+            }
+        }
+        if reach == row {
+            blocks.push(row + 1 - block_start);
+            block_start = row + 1;
+        }
+    }
+    debug_assert_eq!(blocks.iter().sum::<usize>(), n);
+    blocks
+}
+
+/// Verifies that `a` is block diagonal with the *given* block sizes:
+/// every stored entry must fall inside one of the blocks.
+pub fn is_block_diagonal(a: &Csr, block_sizes: &[usize]) -> bool {
+    if a.nrows() != a.ncols() || block_sizes.iter().sum::<usize>() != a.nrows() {
+        return false;
+    }
+    let mut block_of = vec![0u32; a.nrows()];
+    let mut start = 0usize;
+    for (bi, &size) in block_sizes.iter().enumerate() {
+        for i in start..start + size {
+            block_of[i] = bi as u32;
+        }
+        start += size;
+    }
+    a.iter().all(|(r, c, _)| block_of[r] == block_of[c])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bepi_sparse::Coo;
+
+    fn m(n: usize, entries: &[(usize, usize)]) -> Csr {
+        let mut coo = Coo::new(n, n).unwrap();
+        for &(r, c) in entries {
+            coo.push(r, c, 1.0).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn diagonal_matrix_gives_unit_blocks() {
+        let a = Csr::identity(4);
+        assert_eq!(diagonal_blocks(&a), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn two_by_two_blocks() {
+        let a = m(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        assert_eq!(diagonal_blocks(&a), vec![2, 2]);
+    }
+
+    #[test]
+    fn coupling_merges_blocks() {
+        let a = m(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (0, 3)]);
+        assert_eq!(diagonal_blocks(&a), vec![4]);
+    }
+
+    #[test]
+    fn lower_entry_merges_backwards() {
+        // Entry (3, 0) links row 3 back to the first block.
+        let a = m(4, &[(0, 0), (1, 1), (2, 2), (3, 0)]);
+        assert_eq!(diagonal_blocks(&a), vec![4]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        assert_eq!(diagonal_blocks(&Csr::zeros(0, 0)), Vec::<usize>::new());
+        assert_eq!(diagonal_blocks(&Csr::zeros(3, 3)), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn is_block_diagonal_checks() {
+        let a = m(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        assert!(is_block_diagonal(&a, &[2, 2]));
+        assert!(is_block_diagonal(&a, &[4]));
+        assert!(!is_block_diagonal(&a, &[1, 3]));
+        assert!(!is_block_diagonal(&a, &[2, 1])); // doesn't sum to n
+    }
+
+    #[test]
+    fn mixed_block_sizes() {
+        let a = m(6, &[(0, 0), (1, 2), (2, 1), (3, 4), (4, 5), (5, 3)]);
+        assert_eq!(diagonal_blocks(&a), vec![1, 2, 3]);
+    }
+}

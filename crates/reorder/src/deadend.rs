@@ -1,0 +1,100 @@
+//! Deadend reordering (Section 3.2.1 of the paper).
+//!
+//! Deadends — nodes with no out-edges — are moved to the highest labels so
+//! the adjacency matrix takes the form `[[Ann, And], [0, 0]]` and `H`
+//! becomes `[[Hnn, 0], [Hdn, I]]` (Figure 3(b)). The identity block means
+//! the deadend part of an RWR query reduces to one SpMV (Equation 4).
+
+use bepi_graph::Graph;
+use bepi_sparse::Permutation;
+
+/// Result of the deadend reordering.
+#[derive(Debug, Clone)]
+pub struct DeadendReorder {
+    /// Relabeling: non-deadends keep relative order in `0..n_non_deadend`,
+    /// deadends keep relative order in `n_non_deadend..n`.
+    pub perm: Permutation,
+    /// Number of non-deadend nodes (paper's `n1 + n2` before hub-and-spoke).
+    pub n_non_deadend: usize,
+    /// Number of deadend nodes (paper's `n3`).
+    pub n_deadend: usize,
+}
+
+/// Computes the deadend reordering of a graph.
+///
+/// The ordering is *stable*: ties preserve the original node order, which
+/// keeps downstream experiments deterministic.
+pub fn reorder_deadends(g: &Graph) -> DeadendReorder {
+    let n = g.n();
+    let mut new_of_old = vec![0u32; n];
+    let mut next_live = 0u32;
+    let n_deadend = g.deadend_count();
+    let n_non_deadend = n - n_deadend;
+    let mut next_dead = n_non_deadend as u32;
+    for u in 0..n {
+        if g.out_degree(u) == 0 {
+            new_of_old[u] = next_dead;
+            next_dead += 1;
+        } else {
+            new_of_old[u] = next_live;
+            next_live += 1;
+        }
+    }
+    let perm = Permutation::from_new_of_old(new_of_old)
+        .expect("constructed mapping is a bijection by construction");
+    DeadendReorder {
+        perm,
+        n_non_deadend,
+        n_deadend,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_counts() {
+        // 0→1, 2→0; nodes 1 and 3 are deadends.
+        let g = Graph::from_edges(4, &[(0, 1), (2, 0)]).unwrap();
+        let r = reorder_deadends(&g);
+        assert_eq!(r.n_non_deadend, 2);
+        assert_eq!(r.n_deadend, 2);
+        // Non-deadends 0, 2 → labels 0, 1 (stable); deadends 1, 3 → 2, 3.
+        assert_eq!(r.perm.apply(0), 0);
+        assert_eq!(r.perm.apply(2), 1);
+        assert_eq!(r.perm.apply(1), 2);
+        assert_eq!(r.perm.apply(3), 3);
+    }
+
+    #[test]
+    fn reordered_adjacency_has_zero_deadend_rows() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 4), (2, 0), (2, 3)]).unwrap();
+        let r = reorder_deadends(&g);
+        let a = r.perm.permute_symmetric(g.adjacency()).unwrap();
+        // All rows >= n_non_deadend must be empty.
+        for row in r.n_non_deadend..g.n() {
+            assert_eq!(a.row_nnz(row), 0, "deadend row {row} not empty");
+        }
+        // Edge count preserved.
+        assert_eq!(a.nnz(), g.m());
+    }
+
+    #[test]
+    fn no_deadends_is_identity() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let r = reorder_deadends(&g);
+        assert_eq!(r.n_deadend, 0);
+        for u in 0..3 {
+            assert_eq!(r.perm.apply(u), u);
+        }
+    }
+
+    #[test]
+    fn all_deadends() {
+        let g = Graph::from_edges(3, &[]).unwrap();
+        let r = reorder_deadends(&g);
+        assert_eq!(r.n_non_deadend, 0);
+        assert_eq!(r.n_deadend, 3);
+    }
+}

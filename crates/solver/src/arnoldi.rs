@@ -1,0 +1,181 @@
+//! The Arnoldi process and Ritz-value extraction.
+//!
+//! Arnoldi builds an orthonormal basis `V` of the Krylov subspace of an
+//! operator `A` and the Hessenberg matrix `H = Vᵀ A V`; the eigenvalues of
+//! `H` (Ritz values) approximate `A`'s extremal eigenvalues. Figure 7 of
+//! the paper uses exactly this to compare the spectra of `S` and
+//! `M^{-1}S`.
+
+use crate::eig::{hessenberg_eigenvalues, sort_by_modulus_desc, Complex};
+use crate::linop::LinOp;
+use bepi_sparse::vecops::{axpy, dot, norm2};
+use bepi_sparse::Dense;
+
+/// Result of an Arnoldi run.
+#[derive(Debug, Clone)]
+pub struct ArnoldiResult {
+    /// The `(k+1) × k` Hessenberg matrix (only the leading `k × k` part is
+    /// used for Ritz values); `k ≤ requested m` on early breakdown.
+    pub hessenberg: Dense,
+    /// Orthonormal Krylov basis vectors (k+1 of them, each length n).
+    pub basis: Vec<Vec<f64>>,
+    /// Steps actually performed.
+    pub steps: usize,
+}
+
+/// Runs `m` steps of Arnoldi with modified Gram–Schmidt starting from `v0`
+/// (need not be normalized; must be non-zero).
+pub fn arnoldi<A: LinOp>(a: &A, v0: &[f64], m: usize) -> ArnoldiResult {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "arnoldi needs a square operator");
+    assert_eq!(v0.len(), n, "starting vector has wrong length");
+    let m = m.min(n);
+    let mut v = v0.to_vec();
+    let nrm = norm2(&v);
+    assert!(nrm > 0.0, "starting vector must be non-zero");
+    for x in &mut v {
+        *x /= nrm;
+    }
+    let mut basis = vec![v];
+    let mut h = Dense::zeros(m + 1, m);
+    let mut w = vec![0.0; n];
+    let mut steps = 0usize;
+    for j in 0..m {
+        a.apply(&basis[j], &mut w);
+        for (i, vi) in basis.iter().enumerate().take(j + 1) {
+            let hij = dot(&w, vi);
+            h[(i, j)] = hij;
+            axpy(-hij, vi, &mut w);
+        }
+        let hnext = norm2(&w);
+        h[(j + 1, j)] = hnext;
+        steps = j + 1;
+        if hnext <= 1e-14 {
+            break; // invariant subspace found (happy breakdown)
+        }
+        let mut next = w.clone();
+        for x in &mut next {
+            *x /= hnext;
+        }
+        basis.push(next);
+    }
+    ArnoldiResult {
+        hessenberg: h,
+        basis,
+        steps,
+    }
+}
+
+/// Computes the top-`k` Ritz values (by modulus) of an operator from an
+/// `m`-step Arnoldi run started at `v0`.
+pub fn ritz_values<A: LinOp>(a: &A, v0: &[f64], m: usize, k: usize) -> Vec<Complex> {
+    let res = arnoldi(a, v0, m);
+    let s = res.steps;
+    let mut hm = Dense::zeros(s, s);
+    for i in 0..s {
+        for j in 0..s {
+            hm[(i, j)] = res.hessenberg[(i, j)];
+        }
+    }
+    let mut eigs = hessenberg_eigenvalues(&hm);
+    sort_by_modulus_desc(&mut eigs);
+    eigs.truncate(k);
+    eigs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bepi_sparse::Coo;
+
+    #[test]
+    fn basis_is_orthonormal() {
+        let n = 20;
+        let mut coo = Coo::new(n, n).unwrap();
+        for i in 0..n {
+            coo.push(i, i, (i + 1) as f64).unwrap();
+            coo.push(i, (i + 1) % n, 0.5).unwrap();
+        }
+        let a = coo.to_csr();
+        let res = arnoldi(&a, &vec![1.0; n], 8);
+        assert_eq!(res.steps, 8);
+        for (i, vi) in res.basis.iter().enumerate() {
+            for (j, vj) in res.basis.iter().enumerate() {
+                let d = dot(vi, vj);
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-10, "<v{i}, v{j}> = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn arnoldi_relation_holds() {
+        // A V_k = V_{k+1} H̄_k, checked column-wise.
+        let n = 15;
+        let mut coo = Coo::new(n, n).unwrap();
+        for i in 0..n {
+            coo.push(i, i, 2.0 + (i % 3) as f64).unwrap();
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0).unwrap();
+                coo.push(i + 1, i, 0.5).unwrap();
+            }
+        }
+        let a = coo.to_csr();
+        let m = 6;
+        let res = arnoldi(&a, &vec![1.0; n], m);
+        for j in 0..res.steps {
+            let avj = a.mul_vec(&res.basis[j]).unwrap();
+            let mut recon = vec![0.0; n];
+            for i in 0..=j + 1 {
+                axpy(res.hessenberg[(i, j)], &res.basis[i], &mut recon);
+            }
+            for (x, y) in avj.iter().zip(&recon) {
+                assert!((x - y).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn happy_breakdown_on_low_rank_invariant_subspace() {
+        // A = e0 e0ᵀ scaled: starting from e0, Krylov space is 1-D.
+        let mut coo = Coo::new(5, 5).unwrap();
+        coo.push(0, 0, 3.0).unwrap();
+        let a = coo.to_csr();
+        let mut v0 = vec![0.0; 5];
+        v0[0] = 1.0;
+        let res = arnoldi(&a, &v0, 4);
+        assert_eq!(res.steps, 1);
+        assert!((res.hessenberg[(0, 0)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ritz_values_approximate_dominant_eigenvalue() {
+        // Diagonal operator: dominant eigenvalue 10 is found quickly.
+        let n = 30;
+        let mut coo = Coo::new(n, n).unwrap();
+        for i in 0..n {
+            let v = if i == 7 { 10.0 } else { 1.0 + (i % 4) as f64 * 0.5 };
+            coo.push(i, i, v).unwrap();
+        }
+        let a = coo.to_csr();
+        let rv = ritz_values(&a, &vec![1.0; n], 20, 1);
+        assert!((rv[0].0 - 10.0).abs() < 1e-6, "{:?}", rv[0]);
+        assert!(rv[0].1.abs() < 1e-8);
+    }
+
+    #[test]
+    fn full_dimension_arnoldi_gets_exact_spectrum() {
+        let n = 6;
+        let mut coo = Coo::new(n, n).unwrap();
+        for i in 0..n {
+            coo.push(i, i, (i + 1) as f64).unwrap();
+            coo.push(i, (i + 2) % n, 0.3).unwrap();
+        }
+        let a = coo.to_csr();
+        let rv = ritz_values(&a, &vec![1.0; n], n, n);
+        let dense = crate::eig::dense_eigenvalues(&a.to_dense());
+        let sum_rv: f64 = rv.iter().map(|e| e.0).sum();
+        let sum_de: f64 = dense.iter().map(|e| e.0).sum();
+        assert!((sum_rv - sum_de).abs() < 1e-7, "{sum_rv} vs {sum_de}");
+    }
+}

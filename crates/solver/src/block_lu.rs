@@ -1,0 +1,453 @@
+//! LU factorization and explicit inversion of the block-diagonal `H11`.
+//!
+//! SlashBurn leaves `H11` block diagonal with blocks `H11_1 … H11_b`
+//! (Figure 3(d)). Its LU factors — and their inverses — are block diagonal
+//! too, so everything is done per block and assembled into two global
+//! sparse triangular matrices `L1^{-1}`, `U1^{-1}` exactly as Algorithms 1
+//! and 3 store them. The per-block cost is what Theorems 1–3 count as
+//! `Σ n1i³`.
+//!
+//! Small blocks use dense no-pivot LU + dense triangular inversion (cheap,
+//! no allocation churn); larger blocks (e.g. the final-GCC block) use the
+//! sparse path of [`crate::sparse_lu`].
+
+use crate::dense_lu::{invert_unit_lower, invert_upper, lu_nopivot};
+use crate::sparse_lu::SparseLu;
+use bepi_sparse::{Coo, Csr, MemBytes, Result, SparseError};
+
+/// Block size at or below which the dense per-block path is used.
+const DENSE_BLOCK_THRESHOLD: usize = 128;
+
+/// Inverted LU factors of a block-diagonal matrix.
+#[derive(Debug, Clone)]
+pub struct BlockLu {
+    /// Global `L1^{-1}` (unit-lower-triangular, block diagonal), CSR.
+    pub l_inv: Csr,
+    /// Global `U1^{-1}` (upper-triangular, block diagonal), CSR.
+    pub u_inv: Csr,
+    /// The block sizes used for the factorization.
+    pub block_sizes: Vec<usize>,
+}
+
+impl BlockLu {
+    /// Factors and inverts a block-diagonal matrix given its block sizes
+    /// (which must tile the dimension; entries crossing blocks are a bug
+    /// in the caller and are rejected via per-block extraction checks in
+    /// debug builds).
+    pub fn factor(a: &Csr, block_sizes: &[usize]) -> Result<Self> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(SparseError::ShapeMismatch {
+                left: a.shape(),
+                right: a.shape(),
+                op: "BlockLu::factor (matrix must be square)",
+            });
+        }
+        if block_sizes.iter().sum::<usize>() != n {
+            return Err(SparseError::VectorLength {
+                expected: n,
+                actual: block_sizes.iter().sum(),
+            });
+        }
+        debug_assert!(
+            bepi_reorder_check(a, block_sizes),
+            "matrix entries cross declared diagonal blocks"
+        );
+
+        // Estimate capacity: inverse factors are at least as dense as the
+        // original blocks.
+        let mut l_coo = Coo::with_capacity(n, n, a.nnz() + n)?;
+        let mut u_coo = Coo::with_capacity(n, n, a.nnz() + n)?;
+        let mut start = 0usize;
+        for &size in block_sizes {
+            let range = start..start + size;
+            if size == 1 {
+                // 1×1 block: L^{-1} = [1], U^{-1} = [1/a].
+                let d = a.get(start, start);
+                if d == 0.0 {
+                    return Err(SparseError::ZeroDiagonal { row: start });
+                }
+                l_coo.push(start, start, 1.0)?;
+                u_coo.push(start, start, 1.0 / d)?;
+            } else if size <= DENSE_BLOCK_THRESHOLD {
+                let block = a.slice_block(range.clone(), range.clone())?.to_dense();
+                let (l, u) = lu_nopivot(&block)?;
+                let li = invert_unit_lower(&l);
+                let ui = invert_upper(&u)?;
+                for i in 0..size {
+                    for j in 0..size {
+                        let lv = li[(i, j)];
+                        if lv != 0.0 {
+                            l_coo.push(start + i, start + j, lv)?;
+                        }
+                        let uv = ui[(i, j)];
+                        if uv != 0.0 {
+                            u_coo.push(start + i, start + j, uv)?;
+                        }
+                    }
+                }
+            } else {
+                let block = a.slice_block(range.clone(), range.clone())?;
+                let lu = SparseLu::factor(&bepi_sparse::Csc::from_csr(&block))?;
+                let (linv, uinv) = lu.invert_factors();
+                for (r, c, v) in linv.to_csr().iter() {
+                    l_coo.push(start + r, start + c, v)?;
+                }
+                for (r, c, v) in uinv.to_csr().iter() {
+                    u_coo.push(start + r, start + c, v)?;
+                }
+            }
+            start += size;
+        }
+        Ok(Self {
+            l_inv: l_coo.to_csr(),
+            u_inv: u_coo.to_csr(),
+            block_sizes: block_sizes.to_vec(),
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn n(&self) -> usize {
+        self.l_inv.nrows()
+    }
+
+    /// Applies `A^{-1} x = U^{-1}(L^{-1} x)` — two SpMVs, as in the
+    /// paper's query phase (Algorithm 2 line 5, Algorithm 4 line 5).
+    pub fn solve_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let t = self.l_inv.mul_vec(x)?;
+        self.u_inv.mul_vec(&t)
+    }
+
+    /// Applies `A^{-1}` to a sparse matrix:
+    /// `U^{-1}(L^{-1} B)` via two SpGEMMs — the Schur-complement
+    /// construction of Algorithm 1 line 6.
+    pub fn solve_matrix(&self, b: &Csr) -> Result<Csr> {
+        let t = bepi_sparse::spgemm(&self.l_inv, b)?;
+        bepi_sparse::spgemm(&self.u_inv, &t)
+    }
+
+    /// Largest block size (diagnostics; the final-GCC block dominates).
+    pub fn max_block(&self) -> usize {
+        self.block_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Parallel variant of [`BlockLu::factor`]: the diagonal blocks are
+    /// independent, so they are factored and inverted across `threads`
+    /// worker threads. Produces bit-identical output to the serial path
+    /// (each block's computation is unchanged; assembly order is fixed).
+    pub fn factor_parallel(a: &Csr, block_sizes: &[usize], threads: usize) -> Result<Self> {
+        if threads <= 1 || block_sizes.len() <= 1 {
+            return Self::factor(a, block_sizes);
+        }
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(SparseError::ShapeMismatch {
+                left: a.shape(),
+                right: a.shape(),
+                op: "BlockLu::factor_parallel (matrix must be square)",
+            });
+        }
+        if block_sizes.iter().sum::<usize>() != n {
+            return Err(SparseError::VectorLength {
+                expected: n,
+                actual: block_sizes.iter().sum(),
+            });
+        }
+        // Block start offsets.
+        let mut starts = Vec::with_capacity(block_sizes.len());
+        let mut acc = 0usize;
+        for &s in block_sizes {
+            starts.push(acc);
+            acc += s;
+        }
+        // Chunk blocks across threads; each returns per-block factor
+        // matrices in order.
+        let threads = threads.min(block_sizes.len());
+        let chunk = block_sizes.len().div_ceil(threads);
+        type BlockOut = Result<Vec<(usize, Csr, Csr)>>;
+        let results: Vec<BlockOut> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(block_sizes.len());
+                let starts = &starts;
+                handles.push(scope.spawn(move |_| -> BlockOut {
+                    let mut out = Vec::with_capacity(hi - lo);
+                    for bi in lo..hi {
+                        let start = starts[bi];
+                        let size = block_sizes[bi];
+                        let range = start..start + size;
+                        let block = a.slice_block(range.clone(), range)?;
+                        let single = Self::factor(&block, &[size])?;
+                        out.push((start, single.l_inv, single.u_inv));
+                    }
+                    Ok(out)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        })
+        .map_err(|_| SparseError::Numerical("block LU worker thread panicked".into()))?;
+
+        let mut l_coo = bepi_sparse::Coo::with_capacity(n, n, a.nnz() + n)?;
+        let mut u_coo = bepi_sparse::Coo::with_capacity(n, n, a.nnz() + n)?;
+        for chunk_result in results {
+            for (start, l_inv, u_inv) in chunk_result? {
+                for (r, c, v) in l_inv.iter() {
+                    l_coo.push(start + r, start + c, v)?;
+                }
+                for (r, c, v) in u_inv.iter() {
+                    u_coo.push(start + r, start + c, v)?;
+                }
+            }
+        }
+        Ok(Self {
+            l_inv: l_coo.to_csr(),
+            u_inv: u_coo.to_csr(),
+            block_sizes: block_sizes.to_vec(),
+        })
+    }
+
+    /// Reassembles a `BlockLu` from previously computed inverse factors
+    /// (persistence support). Validates shapes and triangularity.
+    pub fn from_inverse_factors(
+        l_inv: Csr,
+        u_inv: Csr,
+        block_sizes: Vec<usize>,
+    ) -> Result<Self> {
+        let n = l_inv.nrows();
+        if l_inv.ncols() != n || u_inv.nrows() != n || u_inv.ncols() != n {
+            return Err(SparseError::ShapeMismatch {
+                left: l_inv.shape(),
+                right: u_inv.shape(),
+                op: "BlockLu::from_inverse_factors",
+            });
+        }
+        if block_sizes.iter().sum::<usize>() != n {
+            return Err(SparseError::VectorLength {
+                expected: n,
+                actual: block_sizes.iter().sum(),
+            });
+        }
+        if l_inv.iter().any(|(r, c, _)| r < c) {
+            return Err(SparseError::Parse(
+                "L^{-1} must be lower triangular".into(),
+            ));
+        }
+        if u_inv.iter().any(|(r, c, _)| r > c) {
+            return Err(SparseError::Parse(
+                "U^{-1} must be upper triangular".into(),
+            ));
+        }
+        Ok(Self {
+            l_inv,
+            u_inv,
+            block_sizes,
+        })
+    }
+}
+
+impl MemBytes for BlockLu {
+    fn mem_bytes(&self) -> usize {
+        self.l_inv.mem_bytes() + self.u_inv.mem_bytes()
+    }
+}
+
+fn bepi_reorder_check(a: &Csr, block_sizes: &[usize]) -> bool {
+    let mut block_of = vec![0u32; a.nrows()];
+    let mut start = 0usize;
+    for (bi, &size) in block_sizes.iter().enumerate() {
+        for i in start..start + size {
+            block_of[i] = bi as u32;
+        }
+        start += size;
+    }
+    a.iter().all(|(r, c, _)| block_of[r] == block_of[c])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bepi_sparse::{Coo, Dense};
+
+    /// Block-diagonal, diagonally dominant test matrix:
+    /// blocks of sizes [2, 1, 3].
+    fn sample() -> (Csr, Vec<usize>) {
+        let mut coo = Coo::new(6, 6).unwrap();
+        // Block 0 (rows 0-1)
+        coo.push(0, 0, 3.0).unwrap();
+        coo.push(0, 1, -1.0).unwrap();
+        coo.push(1, 0, -0.5).unwrap();
+        coo.push(1, 1, 2.0).unwrap();
+        // Block 1 (row 2)
+        coo.push(2, 2, 4.0).unwrap();
+        // Block 2 (rows 3-5)
+        coo.push(3, 3, 5.0).unwrap();
+        coo.push(3, 4, 1.0).unwrap();
+        coo.push(4, 4, 3.0).unwrap();
+        coo.push(4, 5, -1.0).unwrap();
+        coo.push(5, 3, 0.5).unwrap();
+        coo.push(5, 5, 6.0).unwrap();
+        (coo.to_csr(), vec![2, 1, 3])
+    }
+
+    #[test]
+    fn solve_vec_matches_dense_inverse() {
+        let (a, blocks) = sample();
+        let blu = BlockLu::factor(&a, &blocks).unwrap();
+        let dense_inv = crate::dense_lu::DenseLu::factor(&a.to_dense())
+            .unwrap()
+            .inverse()
+            .unwrap();
+        let x = vec![1.0, 2.0, -1.0, 0.5, 3.0, -2.0];
+        let got = blu.solve_vec(&x).unwrap();
+        let want = dense_inv.mul_vec(&x).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn inverse_factors_are_triangular_and_block_confined() {
+        let (a, blocks) = sample();
+        let blu = BlockLu::factor(&a, &blocks).unwrap();
+        for (r, c, _) in blu.l_inv.iter() {
+            assert!(r >= c, "L^-1 must be lower triangular");
+        }
+        for (r, c, _) in blu.u_inv.iter() {
+            assert!(r <= c, "U^-1 must be upper triangular");
+        }
+        assert!(bepi_reorder_check(&blu.l_inv, &blocks));
+        assert!(bepi_reorder_check(&blu.u_inv, &blocks));
+    }
+
+    #[test]
+    fn solve_matrix_matches_columnwise_solve() {
+        let (a, blocks) = sample();
+        let blu = BlockLu::factor(&a, &blocks).unwrap();
+        // Sparse RHS with two columns.
+        let mut bcoo = Coo::new(6, 2).unwrap();
+        bcoo.push(0, 0, 1.0).unwrap();
+        bcoo.push(4, 1, -2.0).unwrap();
+        bcoo.push(5, 0, 3.0).unwrap();
+        let b = bcoo.to_csr();
+        let x = blu.solve_matrix(&b).unwrap();
+        let bd = b.to_dense();
+        for j in 0..2 {
+            let col: Vec<f64> = (0..6).map(|i| bd[(i, j)]).collect();
+            let want = blu.solve_vec(&col).unwrap();
+            for i in 0..6 {
+                assert!((x.get(i, j) - want[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn large_block_uses_sparse_path() {
+        // One 200-node diagonally dominant tridiagonal block (> threshold).
+        let n = 200;
+        let mut coo = Coo::new(n, n).unwrap();
+        for i in 0..n {
+            coo.push(i, i, 3.0).unwrap();
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0).unwrap();
+                coo.push(i + 1, i, -1.0).unwrap();
+            }
+        }
+        let a = coo.to_csr();
+        let blu = BlockLu::factor(&a, &[n]).unwrap();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.05).cos()).collect();
+        let b = a.mul_vec(&x_true).unwrap();
+        let got = blu.solve_vec(&b).unwrap();
+        for (g, w) in got.iter().zip(&x_true) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_singleton_blocks() {
+        let mut coo = Coo::new(3, 3).unwrap();
+        for i in 0..3 {
+            coo.push(i, i, (i + 1) as f64).unwrap();
+        }
+        let a = coo.to_csr();
+        let blu = BlockLu::factor(&a, &[1, 1, 1]).unwrap();
+        let got = blu.solve_vec(&[2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(got, vec![2.0, 1.0, 1.0]);
+    }
+
+
+    #[test]
+    fn parallel_factor_is_bit_identical_to_serial() {
+        // Many independent blocks of mixed sizes.
+        let mut coo = Coo::new(60, 60).unwrap();
+        let mut sizes = Vec::new();
+        let mut at = 0usize;
+        for (i, size) in [1usize, 3, 2, 5, 1, 4, 6, 2, 3, 5, 7, 1, 4, 6, 10].iter().enumerate() {
+            let size = *size;
+            for r in 0..size {
+                let mut off = 0.0;
+                for c in 0..size {
+                    if r != c {
+                        let v = 0.1 + ((i + r + c) % 4) as f64 * 0.05;
+                        coo.push(at + r, at + c, -v).unwrap();
+                        off += v;
+                    }
+                }
+                coo.push(at + r, at + r, off + 1.0).unwrap();
+            }
+            sizes.push(size);
+            at += size;
+        }
+        let a = coo.to_csr();
+        let serial = BlockLu::factor(&a, &sizes).unwrap();
+        for threads in [2usize, 3, 8, 64] {
+            let par = BlockLu::factor_parallel(&a, &sizes, threads).unwrap();
+            assert_eq!(par.l_inv, serial.l_inv, "threads {threads}");
+            assert_eq!(par.u_inv, serial.u_inv, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_factor_single_thread_degenerates() {
+        let (a, blocks) = sample();
+        let p = BlockLu::factor_parallel(&a, &blocks, 1).unwrap();
+        let s = BlockLu::factor(&a, &blocks).unwrap();
+        assert_eq!(p.l_inv, s.l_inv);
+    }
+
+    #[test]
+    fn parallel_factor_rejects_bad_blocks() {
+        let (a, _) = sample();
+        assert!(BlockLu::factor_parallel(&a, &[2, 2], 4).is_err());
+    }
+
+    #[test]
+    fn zero_diagonal_singleton_rejected() {
+        let a = Csr::zeros(2, 2);
+        assert!(BlockLu::factor(&a, &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn bad_block_sizes_rejected() {
+        let (a, _) = sample();
+        assert!(BlockLu::factor(&a, &[2, 2]).is_err()); // sums to 4 ≠ 6
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Csr::zeros(0, 0);
+        let blu = BlockLu::factor(&a, &[]).unwrap();
+        assert_eq!(blu.solve_vec(&[]).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn identity_inverse_is_identity() {
+        let a = Csr::identity(5);
+        let blu = BlockLu::factor(&a, &[1; 5]).unwrap();
+        let i = Dense::identity(5);
+        let li = blu.l_inv.to_dense();
+        let ui = blu.u_inv.to_dense();
+        assert!(li.max_abs_diff(&i).unwrap() < 1e-15);
+        assert!(ui.max_abs_diff(&i).unwrap() < 1e-15);
+    }
+}

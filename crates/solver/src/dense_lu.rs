@@ -1,0 +1,332 @@
+//! Dense LU factorization, solves, and inversion.
+//!
+//! Three consumers in the reproduction:
+//! * the exact reference `r* = c H^{-1} q` on the small Physicians-like
+//!   graph (Appendix I / Figure 10);
+//! * the Bear baseline, which inverts the Schur complement `S` densely —
+//!   the `O(n2³)` time / `O(n2²)` space cost that BePI eliminates;
+//! * the small diagonal blocks of `H11` in [`crate::block_lu`], factored
+//!   without pivoting (safe by diagonal dominance) so the factors stay
+//!   triangular in the original row order.
+
+use bepi_sparse::{Dense, Result, SparseError};
+
+/// A dense LU factorization with partial (row) pivoting: `P A = L U`.
+#[derive(Debug, Clone)]
+pub struct DenseLu {
+    /// Packed factors: strictly-lower part holds `L` (unit diagonal
+    /// implicit), upper part holds `U`.
+    lu: Dense,
+    /// Row permutation: `pivots[i]` = original row now in position `i`.
+    pivots: Vec<usize>,
+}
+
+impl DenseLu {
+    /// Factors a square matrix. Fails on structural singularity.
+    pub fn factor(a: &Dense) -> Result<Self> {
+        if a.nrows() != a.ncols() {
+            return Err(SparseError::ShapeMismatch {
+                left: a.shape(),
+                right: a.shape(),
+                op: "DenseLu::factor (matrix must be square)",
+            });
+        }
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut pivots: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivoting: largest |entry| in column k at/below row k.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in k + 1..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best == 0.0 {
+                return Err(SparseError::Numerical(format!(
+                    "singular matrix: zero pivot column {k}"
+                )));
+            }
+            if p != k {
+                pivots.swap(k, p);
+                for j in 0..n {
+                    let t = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = t;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in k + 1..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m != 0.0 {
+                    for j in k + 1..n {
+                        let u = lu[(k, j)];
+                        lu[(i, j)] -= m * u;
+                    }
+                }
+            }
+        }
+        Ok(Self { lu, pivots })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn n(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.n();
+        if b.len() != n {
+            return Err(SparseError::VectorLength {
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        // Apply the row permutation, then L (unit) forward, then U backward.
+        let mut x: Vec<f64> = self.pivots.iter().map(|&p| b[p]).collect();
+        for i in 0..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in i + 1..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Computes the explicit inverse (solves against each unit vector).
+    pub fn inverse(&self) -> Result<Dense> {
+        let n = self.n();
+        let mut inv = Dense::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            e[j] = 0.0;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Determinant (product of pivots, adjusted for row-swap parity).
+    pub fn determinant(&self) -> f64 {
+        let n = self.n();
+        let mut det: f64 = (0..n).map(|i| self.lu[(i, i)]).product();
+        // Count permutation parity.
+        let mut perm = self.pivots.clone();
+        let mut swaps = 0usize;
+        for i in 0..n {
+            while perm[i] != i {
+                let t = perm[i];
+                perm.swap(i, t);
+                swaps += 1;
+            }
+        }
+        if swaps % 2 == 1 {
+            det = -det;
+        }
+        det
+    }
+}
+
+/// LU factorization *without pivoting*: `A = L U` with unit-diagonal `L`.
+///
+/// Valid for strictly diagonally dominant matrices such as `H` and its
+/// principal sub-blocks; keeping the original row order means `L`/`U` are
+/// genuinely triangular in the matrix's own indexing, which
+/// [`crate::block_lu`] needs when assembling the global block-diagonal
+/// `L1^{-1}` / `U1^{-1}`.
+pub fn lu_nopivot(a: &Dense) -> Result<(Dense, Dense)> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: a.shape(),
+            op: "lu_nopivot (matrix must be square)",
+        });
+    }
+    let n = a.nrows();
+    let mut u = a.clone();
+    let mut l = Dense::identity(n);
+    for k in 0..n {
+        let pivot = u[(k, k)];
+        if pivot == 0.0 {
+            return Err(SparseError::ZeroDiagonal { row: k });
+        }
+        for i in k + 1..n {
+            let m = u[(i, k)] / pivot;
+            if m != 0.0 {
+                l[(i, k)] = m;
+                for j in k..n {
+                    let ukj = u[(k, j)];
+                    u[(i, j)] -= m * ukj;
+                }
+            }
+        }
+    }
+    // Zero the strictly-lower part of U exactly.
+    for i in 0..n {
+        for j in 0..i {
+            u[(i, j)] = 0.0;
+        }
+    }
+    Ok((l, u))
+}
+
+/// Inverts a unit-lower-triangular dense matrix in `O(n³/3)`.
+pub fn invert_unit_lower(l: &Dense) -> Dense {
+    let n = l.nrows();
+    let mut inv = Dense::identity(n);
+    // Column-oriented forward substitution against each unit vector.
+    for j in 0..n {
+        for i in j + 1..n {
+            let mut acc = 0.0;
+            for k in j..i {
+                acc -= l[(i, k)] * inv[(k, j)];
+            }
+            inv[(i, j)] = acc;
+        }
+    }
+    inv
+}
+
+/// Inverts an upper-triangular dense matrix (non-zero diagonal required).
+pub fn invert_upper(u: &Dense) -> Result<Dense> {
+    let n = u.nrows();
+    let mut inv = Dense::zeros(n, n);
+    for j in (0..n).rev() {
+        let d = u[(j, j)];
+        if d == 0.0 {
+            return Err(SparseError::ZeroDiagonal { row: j });
+        }
+        inv[(j, j)] = 1.0 / d;
+        for i in (0..j).rev() {
+            let mut acc = 0.0;
+            for k in i + 1..=j {
+                acc -= u[(i, k)] * inv[(k, j)];
+            }
+            inv[(i, j)] = acc / u[(i, i)];
+        }
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dense {
+        Dense::from_rows(&[
+            &[4.0, 1.0, 0.0],
+            &[1.0, 3.0, -1.0],
+            &[0.0, -1.0, 5.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = sample();
+        let x_true = vec![1.0, -2.0, 0.25];
+        let b = a.mul_vec(&x_true).unwrap();
+        let lu = DenseLu::factor(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_needs_pivoting_case() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Dense::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = DenseLu::factor(&a).unwrap();
+        let x = lu.solve(&[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = sample();
+        let inv = DenseLu::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.mul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Dense::identity(3)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn singular_rejected() {
+        let a = Dense::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(DenseLu::factor(&a).is_err());
+    }
+
+    #[test]
+    fn determinant_known() {
+        let a = Dense::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]).unwrap();
+        assert!((DenseLu::factor(&a).unwrap().determinant() - 6.0).abs() < 1e-14);
+        let b = Dense::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!((DenseLu::factor(&b).unwrap().determinant() + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn nopivot_factors_multiply_back() {
+        let a = sample(); // diagonally dominant
+        let (l, u) = lu_nopivot(&a).unwrap();
+        let prod = l.mul(&u).unwrap();
+        assert!(prod.max_abs_diff(&a).unwrap() < 1e-12);
+        // L unit lower, U upper.
+        for i in 0..3 {
+            assert_eq!(l[(i, i)], 1.0);
+            for j in i + 1..3 {
+                assert_eq!(l[(i, j)], 0.0);
+                assert_eq!(u[(j, i)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn nopivot_rejects_zero_pivot() {
+        let a = Dense::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!(lu_nopivot(&a).is_err());
+    }
+
+    #[test]
+    fn triangular_inverses() {
+        let a = sample();
+        let (l, u) = lu_nopivot(&a).unwrap();
+        let li = invert_unit_lower(&l);
+        let ui = invert_upper(&u).unwrap();
+        assert!(l.mul(&li).unwrap().max_abs_diff(&Dense::identity(3)).unwrap() < 1e-12);
+        assert!(u.mul(&ui).unwrap().max_abs_diff(&Dense::identity(3)).unwrap() < 1e-12);
+        // A^{-1} = U^{-1} L^{-1}
+        let inv = ui.mul(&li).unwrap();
+        assert!(a.mul(&inv).unwrap().max_abs_diff(&Dense::identity(3)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn invert_upper_zero_diag_rejected() {
+        let u = Dense::from_rows(&[&[1.0, 2.0], &[0.0, 0.0]]).unwrap();
+        assert!(invert_upper(&u).is_err());
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Dense::from_rows(&[&[2.5]]).unwrap();
+        let lu = DenseLu::factor(&a).unwrap();
+        assert_eq!(lu.solve(&[5.0]).unwrap(), vec![2.0]);
+        assert!((lu.determinant() - 2.5).abs() < 1e-15);
+    }
+}

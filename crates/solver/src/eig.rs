@@ -1,0 +1,451 @@
+//! Dense eigenvalue computation: Householder Hessenberg reduction and the
+//! Francis double-shift QR iteration.
+//!
+//! Figure 7 of the paper plots the top eigenvalues of the Schur complement
+//! `S` and of the preconditioned operator `(L̂2Û2)^{-1} S` to show why the
+//! ILU preconditioner makes GMRES converge faster (tight eigenvalue
+//! clustering). The Ritz values come from an Arnoldi Hessenberg matrix
+//! ([`crate::arnoldi`]); this module computes that small dense matrix's
+//! eigenvalues from scratch.
+
+use bepi_sparse::Dense;
+
+/// A complex number represented as `(re, im)`.
+pub type Complex = (f64, f64);
+
+/// Reduces a square matrix to upper Hessenberg form by Householder
+/// similarity transformations (eigenvalues preserved).
+pub fn to_hessenberg(a: &Dense) -> Dense {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "to_hessenberg needs a square matrix");
+    let mut h = a.clone();
+    for k in 0..n.saturating_sub(2) {
+        // Householder vector annihilating h[k+2.., k].
+        let mut alpha = 0.0;
+        for i in k + 1..n {
+            alpha += h[(i, k)] * h[(i, k)];
+        }
+        alpha = alpha.sqrt();
+        if alpha == 0.0 {
+            continue;
+        }
+        if h[(k + 1, k)] > 0.0 {
+            alpha = -alpha;
+        }
+        let mut v = vec![0.0; n];
+        v[k + 1] = h[(k + 1, k)] - alpha;
+        for i in k + 2..n {
+            v[i] = h[(i, k)];
+        }
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        // H ← (I − 2vvᵀ/‖v‖²) H (I − 2vvᵀ/‖v‖²)
+        // Left multiply.
+        for j in 0..n {
+            let mut dot = 0.0;
+            for i in k + 1..n {
+                dot += v[i] * h[(i, j)];
+            }
+            let f = 2.0 * dot / vnorm2;
+            for i in k + 1..n {
+                h[(i, j)] -= f * v[i];
+            }
+        }
+        // Right multiply.
+        for i in 0..n {
+            let mut dot = 0.0;
+            for j in k + 1..n {
+                dot += h[(i, j)] * v[j];
+            }
+            let f = 2.0 * dot / vnorm2;
+            for j in k + 1..n {
+                h[(i, j)] -= f * v[j];
+            }
+        }
+        // Zero the annihilated entries exactly.
+        h[(k + 1, k)] = alpha;
+        for i in k + 2..n {
+            h[(i, k)] = 0.0;
+        }
+    }
+    h
+}
+
+/// Computes all eigenvalues of an upper Hessenberg matrix by the Francis
+/// implicit double-shift QR iteration with deflation.
+///
+/// Returns `n` complex eigenvalues in deflation order. Convergence is
+/// robust for the diagonally-dominant-derived matrices this workspace
+/// produces; a hard iteration cap guards pathological inputs (remaining
+/// eigenvalues then come from the unconverged block's diagonal).
+pub fn hessenberg_eigenvalues(h: &Dense) -> Vec<Complex> {
+    // Port of the classic EISPACK `hqr` routine (as popularized by
+    // Numerical Recipes): implicit double-shift QR with deflation and
+    // exceptional shifts every 10 stalled iterations.
+    let n = h.nrows();
+    assert_eq!(n, h.ncols(), "hessenberg_eigenvalues needs a square matrix");
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut a = h.clone();
+    let mut wr = vec![0.0f64; n];
+    let mut wi = vec![0.0f64; n];
+
+    // Norm of the Hessenberg band (used as scale for deflation tests).
+    let mut anorm = 0.0f64;
+    for i in 0..n {
+        let jlo = i.saturating_sub(1);
+        for j in jlo..n {
+            anorm += a[(i, j)].abs();
+        }
+    }
+    if anorm == 0.0 {
+        return vec![(0.0, 0.0); n];
+    }
+
+    let mut t = 0.0f64;
+    let mut nn = n as isize - 1;
+    'outer: while nn >= 0 {
+        let mut its = 0usize;
+        loop {
+            // Find l: smallest index with negligible subdiagonal below it.
+            let mut l = nn;
+            while l >= 1 {
+                let s = a[(l as usize - 1, l as usize - 1)].abs()
+                    + a[(l as usize, l as usize)].abs();
+                let s = if s == 0.0 { anorm } else { s };
+                if a[(l as usize, l as usize - 1)].abs() <= f64::EPSILON * s {
+                    a[(l as usize, l as usize - 1)] = 0.0;
+                    break;
+                }
+                l -= 1;
+            }
+            let x = a[(nn as usize, nn as usize)];
+            if l == nn {
+                // One real root found.
+                wr[nn as usize] = x + t;
+                wi[nn as usize] = 0.0;
+                nn -= 1;
+                continue 'outer;
+            }
+            let y = a[(nn as usize - 1, nn as usize - 1)];
+            let w = a[(nn as usize, nn as usize - 1)] * a[(nn as usize - 1, nn as usize)];
+            if l == nn - 1 {
+                // Two roots found from the trailing 2×2 block.
+                let p = 0.5 * (y - x);
+                let q = p * p + w;
+                let z = q.abs().sqrt();
+                let x = x + t;
+                if q >= 0.0 {
+                    let z = p + if p >= 0.0 { z } else { -z };
+                    wr[nn as usize - 1] = x + z;
+                    wr[nn as usize] = if z != 0.0 { x - w / z } else { x + z };
+                    wi[nn as usize - 1] = 0.0;
+                    wi[nn as usize] = 0.0;
+                } else {
+                    wr[nn as usize - 1] = x + p;
+                    wr[nn as usize] = x + p;
+                    wi[nn as usize - 1] = -z;
+                    wi[nn as usize] = z;
+                }
+                nn -= 2;
+                continue 'outer;
+            }
+            // No root yet: another double-shift iteration.
+            if its == 60 {
+                // Give up on this block: report its diagonal (never hit by
+                // the well-conditioned matrices this workspace produces).
+                for i in l..=nn {
+                    wr[i as usize] = a[(i as usize, i as usize)] + t;
+                    wi[i as usize] = 0.0;
+                }
+                nn = l - 1;
+                continue 'outer;
+            }
+            let (mut x, mut y, mut w) = (x, y, w);
+            if its == 10 || its == 20 || its == 30 || its == 40 || its == 50 {
+                // Exceptional shift.
+                t += x;
+                for i in 0..=nn as usize {
+                    a[(i, i)] -= x;
+                }
+                let s = a[(nn as usize, nn as usize - 1)].abs()
+                    + a[(nn as usize - 1, nn as usize - 2)].abs();
+                x = 0.75 * s;
+                y = x;
+                w = -0.4375 * s * s;
+            }
+            its += 1;
+            // Look for two consecutive small subdiagonal elements.
+            let mut m = nn - 2;
+            let (mut p, mut q, mut r) = (0.0f64, 0.0f64, 0.0f64);
+            while m >= l {
+                let mu = m as usize;
+                let z = a[(mu, mu)];
+                let rr = x - z;
+                let ss = y - z;
+                p = (rr * ss - w) / a[(mu + 1, mu)] + a[(mu, mu + 1)];
+                q = a[(mu + 1, mu + 1)] - z - rr - ss;
+                r = a[(mu + 2, mu + 1)];
+                let s = p.abs() + q.abs() + r.abs();
+                p /= s;
+                q /= s;
+                r /= s;
+                if m == l {
+                    break;
+                }
+                let u = a[(mu, mu - 1)].abs() * (q.abs() + r.abs());
+                let v = p.abs()
+                    * (a[(mu - 1, mu - 1)].abs() + z.abs() + a[(mu + 1, mu + 1)].abs());
+                if u <= f64::EPSILON * v {
+                    break;
+                }
+                m -= 1;
+            }
+            let m = m.max(l) as usize;
+            for i in (m + 2)..=(nn as usize) {
+                a[(i, i - 2)] = 0.0;
+            }
+            for i in (m + 3)..=(nn as usize) {
+                a[(i, i - 3)] = 0.0;
+            }
+            // Double QR step on rows l..=nn and columns m..=nn.
+            let lu = l as usize;
+            let nnu = nn as usize;
+            for k in m..nnu {
+                // `scale` is NR's `x` at this point: the pre-normalization
+                // magnitude used when storing the rotated subdiagonal.
+                let mut scale = 0.0f64;
+                if k != m {
+                    p = a[(k, k - 1)];
+                    q = a[(k + 1, k - 1)];
+                    r = if k != nnu - 1 { a[(k + 2, k - 1)] } else { 0.0 };
+                    scale = p.abs() + q.abs() + r.abs();
+                    if scale != 0.0 {
+                        p /= scale;
+                        q /= scale;
+                        r /= scale;
+                    }
+                }
+                let s_mag = (p * p + q * q + r * r).sqrt();
+                let s = if p >= 0.0 { s_mag } else { -s_mag };
+                if s == 0.0 {
+                    continue;
+                }
+                if k == m {
+                    if lu != m {
+                        a[(k, k - 1)] = -a[(k, k - 1)];
+                    }
+                } else {
+                    a[(k, k - 1)] = -s * scale;
+                }
+                p += s;
+                let xf = p / s;
+                let yf = q / s;
+                let zf = r / s;
+                q /= p;
+                r /= p;
+                // Row modification.
+                for j in k..=nnu {
+                    let mut pp = a[(k, j)] + q * a[(k + 1, j)];
+                    if k != nnu - 1 {
+                        pp += r * a[(k + 2, j)];
+                        a[(k + 2, j)] -= pp * zf;
+                    }
+                    a[(k + 1, j)] -= pp * yf;
+                    a[(k, j)] -= pp * xf;
+                }
+                // Column modification.
+                let imax = if nnu < k + 3 { nnu } else { k + 3 };
+                for i in lu..=imax {
+                    let mut pp = xf * a[(i, k)] + yf * a[(i, k + 1)];
+                    if k != nnu - 1 {
+                        pp += zf * a[(i, k + 2)];
+                        a[(i, k + 2)] -= pp * r;
+                    }
+                    a[(i, k + 1)] -= pp * q;
+                    a[(i, k)] -= pp;
+                }
+            }
+        }
+    }
+    wr.into_iter().zip(wi).collect()
+}
+
+/// Eigenvalues of a general square dense matrix (Hessenberg reduction
+/// followed by QR iteration).
+pub fn dense_eigenvalues(a: &Dense) -> Vec<Complex> {
+    hessenberg_eigenvalues(&to_hessenberg(a))
+}
+
+/// Sorts eigenvalues by decreasing modulus (the "top eigenvalues" order of
+/// Figure 7).
+pub fn sort_by_modulus_desc(eigs: &mut [Complex]) {
+    eigs.sort_by(|a, b| {
+        let ma = a.0.hypot(a.1);
+        let mb = b.0.hypot(b.1);
+        mb.partial_cmp(&ma).unwrap_or(std::cmp::Ordering::Equal)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close_sets(mut got: Vec<Complex>, mut want: Vec<Complex>, tol: f64) {
+        sort_by_modulus_desc(&mut got);
+        sort_by_modulus_desc(&mut want);
+        assert_eq!(got.len(), want.len());
+        // Match greedily (handles conjugate-order ambiguity).
+        for w in &want {
+            let (idx, _) = got
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let da = (a.0 - w.0).hypot(a.1 - w.1);
+                    let db = (b.0 - w.0).hypot(b.1 - w.1);
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            let g = got.remove(idx);
+            assert!(
+                (g.0 - w.0).hypot(g.1 - w.1) < tol,
+                "eigenvalue {g:?} vs expected {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Dense::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, -1.0, 0.0], &[0.0, 0.0, 0.5]])
+            .unwrap();
+        assert_close_sets(
+            dense_eigenvalues(&a),
+            vec![(3.0, 0.0), (-1.0, 0.0), (0.5, 0.0)],
+            1e-10,
+        );
+    }
+
+    #[test]
+    fn symmetric_2x2() {
+        // [[2,1],[1,2]] → 1, 3
+        let a = Dense::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        assert_close_sets(dense_eigenvalues(&a), vec![(3.0, 0.0), (1.0, 0.0)], 1e-10);
+    }
+
+    #[test]
+    fn rotation_has_complex_pair() {
+        // 90° rotation → ±i
+        let a = Dense::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]).unwrap();
+        assert_close_sets(dense_eigenvalues(&a), vec![(0.0, 1.0), (0.0, -1.0)], 1e-10);
+    }
+
+    #[test]
+    fn companion_matrix_roots() {
+        // x³ − 6x² + 11x − 6 = (x−1)(x−2)(x−3); companion matrix.
+        let a = Dense::from_rows(&[
+            &[6.0, -11.0, 6.0],
+            &[1.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        assert_close_sets(
+            dense_eigenvalues(&a),
+            vec![(1.0, 0.0), (2.0, 0.0), (3.0, 0.0)],
+            1e-8,
+        );
+    }
+
+    #[test]
+    fn complex_roots_of_cubic() {
+        // x³ − 1 = 0 → 1, e^{±2πi/3}
+        let a = Dense::from_rows(&[&[0.0, 0.0, 1.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]])
+            .unwrap();
+        let half = 0.5;
+        let s3 = 3f64.sqrt() / 2.0;
+        assert_close_sets(
+            dense_eigenvalues(&a),
+            vec![(1.0, 0.0), (-half, s3), (-half, -s3)],
+            1e-8,
+        );
+    }
+
+    #[test]
+    fn trace_and_det_invariants_on_random_matrix() {
+        // Deterministic pseudo-random 8×8.
+        let n = 8;
+        let mut a = Dense::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = (((i * 31 + j * 17 + 3) % 13) as f64 - 6.0) / 4.0;
+            }
+        }
+        let eigs = dense_eigenvalues(&a);
+        assert_eq!(eigs.len(), n);
+        let tr: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let eig_sum: f64 = eigs.iter().map(|e| e.0).sum();
+        assert!(
+            (tr - eig_sum).abs() < 1e-6,
+            "trace {tr} vs eig sum {eig_sum}"
+        );
+        let imag_sum: f64 = eigs.iter().map(|e| e.1).sum();
+        assert!(imag_sum.abs() < 1e-6, "imaginary parts must pair up");
+    }
+
+    #[test]
+    fn hessenberg_reduction_preserves_similarity() {
+        let a = Dense::from_rows(&[
+            &[4.0, 1.0, -2.0, 2.0],
+            &[1.0, 2.0, 0.0, 1.0],
+            &[-2.0, 0.0, 3.0, -2.0],
+            &[2.0, 1.0, -2.0, -1.0],
+        ])
+        .unwrap();
+        let h = to_hessenberg(&a);
+        // Hessenberg structure.
+        for i in 2..4 {
+            for j in 0..i - 1 {
+                assert!(h[(i, j)].abs() < 1e-12, "h[{i}][{j}] = {}", h[(i, j)]);
+            }
+        }
+        // Same trace (similarity invariant).
+        let tr_a: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        let tr_h: f64 = (0..4).map(|i| h[(i, i)]).sum();
+        assert!((tr_a - tr_h).abs() < 1e-10);
+        // Same eigenvalue multiset (symmetric matrix → all real).
+        let mut ea = dense_eigenvalues(&a);
+        let eh = hessenberg_eigenvalues(&h);
+        assert_close_sets(std::mem::take(&mut ea), eh, 1e-7);
+    }
+
+    #[test]
+    fn one_by_one_and_empty() {
+        let a = Dense::from_rows(&[&[7.0]]).unwrap();
+        assert_eq!(dense_eigenvalues(&a), vec![(7.0, 0.0)]);
+        let e = Dense::zeros(0, 0);
+        assert!(dense_eigenvalues(&e).is_empty());
+    }
+
+    #[test]
+    fn moderate_hessenberg_from_stochastic_like_matrix() {
+        // Row-stochastic-ish matrix: dominant eigenvalue near 1.
+        let n = 12;
+        let mut a = Dense::zeros(n, n);
+        for i in 0..n {
+            let j1 = (i + 1) % n;
+            let j2 = (i + 5) % n;
+            a[(i, j1)] += 0.6;
+            a[(i, j2)] += 0.4;
+        }
+        let eigs = dense_eigenvalues(&a);
+        // Row-stochastic: eigenvalue 1 present, spectral radius 1.
+        assert!(
+            eigs.iter()
+                .any(|e| (e.0 - 1.0).abs() < 1e-8 && e.1.abs() < 1e-8),
+            "{eigs:?}"
+        );
+        assert!(eigs.iter().all(|e| e.0.hypot(e.1) <= 1.0 + 1e-8));
+    }
+}

@@ -1,0 +1,143 @@
+//! Jacobi iteration — an additional stationary iterative baseline.
+//!
+//! Not in the paper's main comparison, but a standard point of reference
+//! for diagonally dominant systems such as `H r = c q`; the bench harness
+//! uses it for an ablation of iterative methods.
+
+use bepi_sparse::vecops::dist2;
+use bepi_sparse::{Csr, Result, SparseError};
+
+/// Configuration for Jacobi iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JacobiConfig {
+    /// Convergence tolerance on `‖x_i − x_{i−1}‖₂`.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for JacobiConfig {
+    fn default() -> Self {
+        Self {
+            tol: 1e-9,
+            max_iters: 10_000,
+        }
+    }
+}
+
+/// Outcome of a Jacobi run.
+#[derive(Debug, Clone)]
+pub struct JacobiResult {
+    /// Solution estimate.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+}
+
+/// Solves `A x = b` by Jacobi iteration
+/// `x_i ← D^{-1}(b − (A − D) x_{i−1})`.
+///
+/// Converges for strictly diagonally dominant `A` (all the systems BePI
+/// builds). Fails fast if some diagonal entry is missing.
+pub fn jacobi(a: &Csr, b: &[f64], cfg: &JacobiConfig) -> Result<JacobiResult> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: (n, n),
+            op: "jacobi (matrix must be square)",
+        });
+    }
+    if b.len() != n {
+        return Err(SparseError::VectorLength {
+            expected: n,
+            actual: b.len(),
+        });
+    }
+    let diag = a.diagonal();
+    if let Some(i) = diag.iter().position(|&d| d == 0.0) {
+        return Err(SparseError::ZeroDiagonal { row: i });
+    }
+    let mut x = vec![0.0; n];
+    let mut next = vec![0.0; n];
+    for it in 1..=cfg.max_iters {
+        for i in 0..n {
+            let mut acc = b[i];
+            for (j, v) in a.row_iter(i) {
+                if j != i {
+                    acc -= v * x[j];
+                }
+            }
+            next[i] = acc / diag[i];
+        }
+        let delta = dist2(&next, &x);
+        std::mem::swap(&mut x, &mut next);
+        if delta <= cfg.tol {
+            return Ok(JacobiResult {
+                x,
+                iterations: it,
+                converged: true,
+            });
+        }
+    }
+    Ok(JacobiResult {
+        x,
+        iterations: cfg.max_iters,
+        converged: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bepi_sparse::Coo;
+
+    fn dd_matrix(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n).unwrap();
+        for i in 0..n {
+            let mut off = 0.0;
+            for d in [1usize, 2] {
+                let j = (i + d) % n;
+                let v = 0.3;
+                coo.push(i, j, -v).unwrap();
+                off += v;
+            }
+            coo.push(i, i, off + 1.0).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn solves_dd_system() {
+        let a = dd_matrix(40);
+        let x_true: Vec<f64> = (0..40).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b = a.mul_vec(&x_true).unwrap();
+        let r = jacobi(&a, &b, &JacobiConfig::default()).unwrap();
+        assert!(r.converged);
+        for (g, w) in r.x.iter().zip(&x_true) {
+            assert!((g - w).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn missing_diagonal_rejected() {
+        let mut coo = Coo::new(2, 2).unwrap();
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        assert!(jacobi(&coo.to_csr(), &[1.0, 1.0], &JacobiConfig::default()).is_err());
+    }
+
+    #[test]
+    fn iteration_cap() {
+        let a = dd_matrix(20);
+        let cfg = JacobiConfig {
+            tol: 1e-30,
+            max_iters: 3,
+        };
+        let r = jacobi(&a, &[1.0; 20], &cfg).unwrap();
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 3);
+    }
+}

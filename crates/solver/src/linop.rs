@@ -1,0 +1,174 @@
+//! Linear-operator and preconditioner abstractions.
+//!
+//! GMRES and the norm estimators only need `y = A x`; abstracting the
+//! operator lets the same solver run on an explicit CSR matrix (BePI's
+//! Schur complement) and on matrix-free compositions (`M^{-1}A` for the
+//! eigenvalue study of Figure 7).
+
+use bepi_sparse::Csr;
+
+/// A real linear operator `R^ncols → R^nrows`.
+pub trait LinOp {
+    /// Output dimension.
+    fn nrows(&self) -> usize;
+    /// Input dimension.
+    fn ncols(&self) -> usize;
+    /// Computes `y = A x` (overwrites `y`; `x.len() == ncols`,
+    /// `y.len() == nrows`).
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+impl LinOp for Csr {
+    fn nrows(&self) -> usize {
+        Csr::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        Csr::ncols(self)
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.mul_vec_into(x, y).expect("dimension checked by caller");
+    }
+}
+
+/// A left preconditioner: computes `z = M^{-1} r`.
+pub trait Preconditioner {
+    /// Applies the preconditioner (overwrites `z`).
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+}
+
+/// The trivial preconditioner `M = I`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityPrecond;
+
+impl Preconditioner for IdentityPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// The preconditioned operator `M^{-1} A` as a [`LinOp`] — what GMRES
+/// actually Arnoldi-izes, and what Figure 7 takes eigenvalues of.
+pub struct PrecondOp<'a, A: LinOp, M: Preconditioner> {
+    a: &'a A,
+    m: &'a M,
+    scratch: std::cell::RefCell<Vec<f64>>,
+}
+
+impl<'a, A: LinOp, M: Preconditioner> PrecondOp<'a, A, M> {
+    /// Wraps `A` and `M` into the operator `M^{-1}A`.
+    pub fn new(a: &'a A, m: &'a M) -> Self {
+        let n = a.nrows();
+        Self {
+            a,
+            m,
+            scratch: std::cell::RefCell::new(vec![0.0; n]),
+        }
+    }
+}
+
+impl<A: LinOp, M: Preconditioner> LinOp for PrecondOp<'_, A, M> {
+    fn nrows(&self) -> usize {
+        self.a.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.a.ncols()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let mut t = self.scratch.borrow_mut();
+        self.a.apply(x, &mut t);
+        self.m.apply(&t, y);
+    }
+}
+
+/// The transpose-product operator `A^T A` as a [`LinOp`] (for the 2-norm
+/// power method).
+pub struct GramOp<'a> {
+    a: &'a Csr,
+    scratch: std::cell::RefCell<Vec<f64>>,
+}
+
+impl<'a> GramOp<'a> {
+    /// Wraps `A` into `A^T A`.
+    pub fn new(a: &'a Csr) -> Self {
+        Self {
+            a,
+            scratch: std::cell::RefCell::new(vec![0.0; a.nrows()]),
+        }
+    }
+}
+
+impl LinOp for GramOp<'_> {
+    fn nrows(&self) -> usize {
+        self.a.ncols()
+    }
+
+    fn ncols(&self) -> usize {
+        self.a.ncols()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let mut t = self.scratch.borrow_mut();
+        self.a.mul_vec_into(x, &mut t).expect("shape ok");
+        self.a
+            .mul_vec_transposed_into(&t, y)
+            .expect("shape ok");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bepi_sparse::Coo;
+
+    fn sample() -> Csr {
+        let mut coo = Coo::new(2, 2).unwrap();
+        coo.push(0, 0, 2.0).unwrap();
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(1, 1, 3.0).unwrap();
+        coo.to_csr()
+    }
+
+    #[test]
+    fn csr_linop_matches_mul_vec() {
+        let a = sample();
+        let x = [1.0, 2.0];
+        let mut y = [0.0; 2];
+        LinOp::apply(&a, &x, &mut y);
+        assert_eq!(y.to_vec(), a.mul_vec(&x).unwrap());
+    }
+
+    #[test]
+    fn identity_precond_copies() {
+        let r = [1.0, -2.0];
+        let mut z = [0.0; 2];
+        IdentityPrecond.apply(&r, &mut z);
+        assert_eq!(z, r);
+    }
+
+    #[test]
+    fn precond_op_composes() {
+        let a = sample();
+        let m = IdentityPrecond;
+        let op = PrecondOp::new(&a, &m);
+        let x = [1.0, 1.0];
+        let mut y = [0.0; 2];
+        op.apply(&x, &mut y);
+        assert_eq!(y, [3.0, 3.0]);
+        assert_eq!(op.nrows(), 2);
+    }
+
+    #[test]
+    fn gram_op_is_ata() {
+        let a = sample();
+        let g = GramOp::new(&a);
+        let x = [1.0, 0.0];
+        let mut y = [0.0; 2];
+        g.apply(&x, &mut y);
+        // A^T A e0 = A^T [2, 0] = [4, 2]
+        assert_eq!(y, [4.0, 2.0]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Power iteration for RWR (Section 2.2 of the paper).
+//!
+//! Repeats `r ← (1−c) Ã^T r + c q` until `‖r_i − r_{i−1}‖₂ ≤ ε`. This is
+//! the memory-light iterative baseline of Figures 1(c), 10 and 12; it
+//! converges for any `0 < c < 1` because the iteration operator has
+//! spectral radius at most `1 − c`.
+
+use bepi_sparse::vecops::dist2;
+use bepi_sparse::{Csr, Result, SparseError};
+
+/// Configuration for power iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerConfig {
+    /// Convergence tolerance ε on `‖r_i − r_{i−1}‖₂`.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        Self {
+            tol: 1e-9,
+            max_iters: 10_000,
+        }
+    }
+}
+
+/// Outcome of a power-iteration run.
+#[derive(Debug, Clone)]
+pub struct PowerResult {
+    /// The RWR score vector.
+    pub r: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final update norm `‖r_i − r_{i−1}‖₂`.
+    pub delta: f64,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+    /// Snapshot of `r` after each iteration when requested (Figure 10
+    /// plots the error trajectory); empty unless `track_history`.
+    pub history: Vec<Vec<f64>>,
+}
+
+/// Runs power iteration with the row-normalized adjacency matrix `Ã`
+/// (deadend rows all-zero), restart probability `c`, and starting vector
+/// `q` (the seed indicator).
+pub fn power_iteration(
+    a_norm: &Csr,
+    c: f64,
+    q: &[f64],
+    cfg: &PowerConfig,
+    track_history: bool,
+) -> Result<PowerResult> {
+    let n = a_norm.nrows();
+    if a_norm.ncols() != n {
+        return Err(SparseError::ShapeMismatch {
+            left: a_norm.shape(),
+            right: (n, n),
+            op: "power_iteration (matrix must be square)",
+        });
+    }
+    if q.len() != n {
+        return Err(SparseError::VectorLength {
+            expected: n,
+            actual: q.len(),
+        });
+    }
+    if !(0.0..1.0).contains(&c) || c == 0.0 {
+        return Err(SparseError::Numerical(format!(
+            "restart probability must satisfy 0 < c < 1, got {c}"
+        )));
+    }
+    let mut r: Vec<f64> = q.iter().map(|&v| c * v).collect();
+    let mut next = vec![0.0; n];
+    let mut history = Vec::new();
+    let mut delta = f64::INFINITY;
+    for it in 1..=cfg.max_iters {
+        // next = (1-c) Ã^T r + c q
+        a_norm.mul_vec_transposed_into(&r, &mut next)?;
+        for ((nx, qi), _) in next.iter_mut().zip(q).zip(0..n) {
+            *nx = (1.0 - c) * *nx + c * qi;
+        }
+        delta = dist2(&next, &r);
+        std::mem::swap(&mut r, &mut next);
+        if track_history {
+            history.push(r.clone());
+        }
+        if delta <= cfg.tol {
+            return Ok(PowerResult {
+                r,
+                iterations: it,
+                delta,
+                converged: true,
+                history,
+            });
+        }
+    }
+    Ok(PowerResult {
+        r,
+        iterations: cfg.max_iters,
+        delta,
+        converged: false,
+        history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bepi_graph::generators;
+
+    fn seed_vec(n: usize, s: usize) -> Vec<f64> {
+        let mut q = vec![0.0; n];
+        q[s] = 1.0;
+        q
+    }
+
+    #[test]
+    fn converges_on_cycle() {
+        let g = generators::cycle(5);
+        let a = g.row_normalized();
+        let q = seed_vec(5, 0);
+        let res = power_iteration(&a, 0.15, &q, &PowerConfig::default(), false).unwrap();
+        assert!(res.converged);
+        // On a deadend-free graph, RWR scores sum to 1.
+        let sum: f64 = res.r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        // Seed node has the highest score.
+        assert!(res.r[0] > res.r[1]);
+    }
+
+    #[test]
+    fn matches_linear_system_solution() {
+        let g = generators::example_graph();
+        let a = g.row_normalized();
+        let c = 0.05;
+        let q = seed_vec(8, 0);
+        let res = power_iteration(&a, c, &q, &PowerConfig::default(), false).unwrap();
+        // Verify H r = c q with H = I − (1−c)Ã^T.
+        let atr = a.mul_vec_transposed(&res.r).unwrap();
+        for i in 0..8 {
+            let hr = res.r[i] - (1.0 - c) * atr[i];
+            assert!((hr - c * q[i]).abs() < 1e-7, "row {i}");
+        }
+    }
+
+    #[test]
+    fn deadends_leak_mass() {
+        let g = generators::path(3); // node 2 is a deadend
+        let a = g.row_normalized();
+        let q = seed_vec(3, 0);
+        let res = power_iteration(&a, 0.2, &q, &PowerConfig::default(), false).unwrap();
+        let sum: f64 = res.r.iter().sum();
+        assert!(sum < 1.0, "deadend graphs have score sum < 1, got {sum}");
+        assert!(res.r.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn history_tracks_iterations() {
+        let g = generators::cycle(4);
+        let a = g.row_normalized();
+        let q = seed_vec(4, 1);
+        let res = power_iteration(&a, 0.3, &q, &PowerConfig::default(), true).unwrap();
+        assert_eq!(res.history.len(), res.iterations);
+        assert_eq!(res.history.last().unwrap(), &res.r);
+    }
+
+    #[test]
+    fn invalid_restart_probability_rejected() {
+        let g = generators::cycle(3);
+        let a = g.row_normalized();
+        let q = seed_vec(3, 0);
+        assert!(power_iteration(&a, 0.0, &q, &PowerConfig::default(), false).is_err());
+        assert!(power_iteration(&a, 1.5, &q, &PowerConfig::default(), false).is_err());
+    }
+
+    #[test]
+    fn iteration_cap() {
+        let g = generators::cycle(50);
+        let a = g.row_normalized();
+        let q = seed_vec(50, 0);
+        let cfg = PowerConfig {
+            tol: 1e-30,
+            max_iters: 7,
+        };
+        let res = power_iteration(&a, 0.05, &q, &cfg, false).unwrap();
+        assert!(!res.converged);
+        assert_eq!(res.iterations, 7);
+    }
+
+    #[test]
+    fn higher_restart_prob_converges_faster() {
+        let g = generators::erdos_renyi(100, 500, 3).unwrap();
+        let a = g.row_normalized();
+        let q = seed_vec(100, 5);
+        let slow = power_iteration(&a, 0.05, &q, &PowerConfig::default(), false).unwrap();
+        let fast = power_iteration(&a, 0.5, &q, &PowerConfig::default(), false).unwrap();
+        assert!(fast.iterations < slow.iterations);
+    }
+}

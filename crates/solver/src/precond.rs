@@ -1,0 +1,249 @@
+//! Alternative preconditioners.
+//!
+//! Section 3.5 of the paper: "Among various preconditioning techniques
+//! such as incomplete LU decomposition (ILU) or Sparse Approximate
+//! Inverse (SPAI), we choose ILU as a preconditioner because ILU factors
+//! are easily computed and effective." This module implements the
+//! alternatives so the ablation benches can quantify that choice:
+//!
+//! * [`JacobiPrecond`] — `M = diag(A)`, the cheapest possible choice.
+//! * [`NeumannPrecond`] — the truncated Neumann-series polynomial
+//!   preconditioner `M^{-1} = Σ_{i<t} (I − D^{-1}A)^i D^{-1}`, a simple
+//!   stand-in for SPAI-style explicit approximate inverses (it applies
+//!   only SpMVs, no triangular solves).
+
+use crate::linop::Preconditioner;
+use bepi_sparse::{Csr, MemBytes, Result, SparseError};
+
+/// Diagonal (Jacobi) preconditioner `M = diag(A)`.
+#[derive(Debug, Clone)]
+pub struct JacobiPrecond {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPrecond {
+    /// Extracts and inverts the diagonal.
+    ///
+    /// # Errors
+    /// [`SparseError::ZeroDiagonal`] if any diagonal entry is zero.
+    pub fn new(a: &Csr) -> Result<Self> {
+        let diag = a.diagonal();
+        if let Some(i) = diag.iter().position(|&d| d == 0.0) {
+            return Err(SparseError::ZeroDiagonal { row: i });
+        }
+        Ok(Self {
+            inv_diag: diag.into_iter().map(|d| 1.0 / d).collect(),
+        })
+    }
+}
+
+impl Preconditioner for JacobiPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        debug_assert_eq!(r.len(), self.inv_diag.len());
+        for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
+    }
+}
+
+impl MemBytes for JacobiPrecond {
+    fn mem_bytes(&self) -> usize {
+        self.inv_diag.mem_bytes()
+    }
+}
+
+/// Truncated Neumann-series polynomial preconditioner:
+/// `M^{-1} r = Σ_{i=0}^{order-1} (I − D^{-1}A)^i D^{-1} r`.
+///
+/// Converges as a preconditioner whenever Jacobi iteration converges
+/// (e.g. the diagonally dominant `S` BePI builds); each application costs
+/// `order − 1` SpMVs. Unlike ILU it is a purely explicit operator — the
+/// property SPAI methods trade accuracy for.
+#[derive(Debug, Clone)]
+pub struct NeumannPrecond {
+    a: Csr,
+    inv_diag: Vec<f64>,
+    order: usize,
+}
+
+impl NeumannPrecond {
+    /// Builds the preconditioner with the given truncation order (≥ 1;
+    /// order 1 degenerates to [`JacobiPrecond`]).
+    pub fn new(a: &Csr, order: usize) -> Result<Self> {
+        if order == 0 {
+            return Err(SparseError::Numerical(
+                "Neumann order must be at least 1".into(),
+            ));
+        }
+        let diag = a.diagonal();
+        if let Some(i) = diag.iter().position(|&d| d == 0.0) {
+            return Err(SparseError::ZeroDiagonal { row: i });
+        }
+        Ok(Self {
+            a: a.clone(),
+            inv_diag: diag.into_iter().map(|d| 1.0 / d).collect(),
+            order,
+        })
+    }
+
+    /// The truncation order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+}
+
+impl Preconditioner for NeumannPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let n = r.len();
+        debug_assert_eq!(n, self.inv_diag.len());
+        // term = D^{-1} r; z = term.
+        let mut term: Vec<f64> = r
+            .iter()
+            .zip(&self.inv_diag)
+            .map(|(ri, di)| ri * di)
+            .collect();
+        z.copy_from_slice(&term);
+        let mut at = vec![0.0; n];
+        for _ in 1..self.order {
+            // term ← (I − D^{-1}A) term = term − D^{-1}(A term)
+            self.a
+                .mul_vec_into(&term, &mut at)
+                .expect("square operator");
+            for ((t, av), di) in term.iter_mut().zip(&at).zip(&self.inv_diag) {
+                *t -= av * di;
+            }
+            for (zi, t) in z.iter_mut().zip(&term) {
+                *zi += t;
+            }
+        }
+    }
+}
+
+impl MemBytes for NeumannPrecond {
+    fn mem_bytes(&self) -> usize {
+        self.a.mem_bytes() + self.inv_diag.mem_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gmres, GmresConfig};
+    use bepi_sparse::Coo;
+
+    fn dd_matrix(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n).unwrap();
+        for i in 0..n {
+            let mut off = 0.0;
+            for d in [1usize, 3, 8] {
+                let j = (i + d) % n;
+                if j != i {
+                    let v = 0.25 + ((i + j) % 4) as f64 * 0.1;
+                    coo.push(i, j, -v).unwrap();
+                    off += v;
+                }
+            }
+            coo.push(i, i, off + 0.3).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn jacobi_is_exact_on_diagonal_matrix() {
+        let mut coo = Coo::new(3, 3).unwrap();
+        for (i, d) in [2.0, 4.0, 0.5].iter().enumerate() {
+            coo.push(i, i, *d).unwrap();
+        }
+        let m = JacobiPrecond::new(&coo.to_csr()).unwrap();
+        let mut z = vec![0.0; 3];
+        m.apply(&[2.0, 4.0, 0.5], &mut z);
+        assert_eq!(z, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn jacobi_rejects_zero_diagonal() {
+        let mut coo = Coo::new(2, 2).unwrap();
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        assert!(JacobiPrecond::new(&coo.to_csr()).is_err());
+    }
+
+    #[test]
+    fn neumann_order1_equals_jacobi() {
+        let a = dd_matrix(20);
+        let j = JacobiPrecond::new(&a).unwrap();
+        let nm = NeumannPrecond::new(&a, 1).unwrap();
+        let r: Vec<f64> = (0..20).map(|i| (i as f64).cos()).collect();
+        let mut z1 = vec![0.0; 20];
+        let mut z2 = vec![0.0; 20];
+        j.apply(&r, &mut z1);
+        nm.apply(&r, &mut z2);
+        for (a, b) in z1.iter().zip(&z2) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn higher_order_neumann_is_better_approximation() {
+        // ‖A M^{-1} r − r‖ should shrink as the order grows.
+        let a = dd_matrix(30);
+        let r: Vec<f64> = (0..30).map(|i| ((i * 3) as f64 * 0.2).sin()).collect();
+        let mut prev_res = f64::INFINITY;
+        for order in [1usize, 2, 4, 8] {
+            let m = NeumannPrecond::new(&a, order).unwrap();
+            let mut z = vec![0.0; 30];
+            m.apply(&r, &mut z);
+            let az = a.mul_vec(&z).unwrap();
+            let res: f64 = az
+                .iter()
+                .zip(&r)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            assert!(
+                res < prev_res,
+                "order {order}: residual {res} did not improve on {prev_res}"
+            );
+            prev_res = res;
+        }
+    }
+
+    #[test]
+    fn both_preconditioners_accelerate_gmres() {
+        let a = dd_matrix(120);
+        // Non-constant rhs (see bicgstab tests for why ones is degenerate).
+        let b: Vec<f64> = (0..120).map(|i| (i as f64 * 0.47).cos() + 0.2).collect();
+        let plain = gmres(&a, &b, None, None, &GmresConfig::default()).unwrap();
+        let jacobi = JacobiPrecond::new(&a).unwrap();
+        let with_jacobi = gmres(
+            &a,
+            &b,
+            None,
+            Some(&jacobi as &dyn Preconditioner),
+            &GmresConfig::default(),
+        )
+        .unwrap();
+        let neumann = NeumannPrecond::new(&a, 4).unwrap();
+        let with_neumann = gmres(
+            &a,
+            &b,
+            None,
+            Some(&neumann as &dyn Preconditioner),
+            &GmresConfig::default(),
+        )
+        .unwrap();
+        assert!(with_jacobi.converged && with_neumann.converged && plain.converged);
+        assert!(with_jacobi.iterations <= plain.iterations);
+        assert!(with_neumann.iterations <= with_jacobi.iterations);
+        // All agree on the solution.
+        for (x, y) in with_neumann.x.iter().zip(&plain.x) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn neumann_rejects_order_zero() {
+        let a = dd_matrix(5);
+        assert!(NeumannPrecond::new(&a, 0).is_err());
+    }
+}

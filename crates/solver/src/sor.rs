@@ -1,0 +1,187 @@
+//! Gauss–Seidel / SOR iteration — the remaining classic stationary
+//! solver, completing the iterative-method family (power iteration and
+//! Jacobi live in sibling modules). Converges for the strictly diagonally
+//! dominant systems BePI builds; typically ~2× fewer iterations than
+//! Jacobi on them.
+
+use bepi_sparse::vecops::norm2;
+use bepi_sparse::{Csr, Result, SparseError};
+
+/// Configuration for SOR iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SorConfig {
+    /// Relaxation factor ω ∈ (0, 2); ω = 1 is plain Gauss–Seidel.
+    pub omega: f64,
+    /// Convergence tolerance on `‖x_i − x_{i−1}‖₂`.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for SorConfig {
+    fn default() -> Self {
+        Self {
+            omega: 1.0,
+            tol: 1e-9,
+            max_iters: 10_000,
+        }
+    }
+}
+
+/// Outcome of an SOR run.
+#[derive(Debug, Clone)]
+pub struct SorResult {
+    /// Solution estimate.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+}
+
+/// Solves `A x = b` by successive over-relaxation.
+pub fn sor(a: &Csr, b: &[f64], cfg: &SorConfig) -> Result<SorResult> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: (n, n),
+            op: "sor (matrix must be square)",
+        });
+    }
+    if b.len() != n {
+        return Err(SparseError::VectorLength {
+            expected: n,
+            actual: b.len(),
+        });
+    }
+    if !(cfg.omega > 0.0 && cfg.omega < 2.0) {
+        return Err(SparseError::Numerical(format!(
+            "SOR needs 0 < omega < 2, got {}",
+            cfg.omega
+        )));
+    }
+    let diag = a.diagonal();
+    if let Some(i) = diag.iter().position(|&d| d == 0.0) {
+        return Err(SparseError::ZeroDiagonal { row: i });
+    }
+    let mut x = vec![0.0; n];
+    let mut delta_buf = vec![0.0; n];
+    for it in 1..=cfg.max_iters {
+        for i in 0..n {
+            let mut acc = b[i];
+            for (j, v) in a.row_iter(i) {
+                if j != i {
+                    acc -= v * x[j];
+                }
+            }
+            let gs = acc / diag[i];
+            let new = (1.0 - cfg.omega) * x[i] + cfg.omega * gs;
+            delta_buf[i] = new - x[i];
+            x[i] = new;
+        }
+        if norm2(&delta_buf) <= cfg.tol {
+            return Ok(SorResult {
+                x,
+                iterations: it,
+                converged: true,
+            });
+        }
+    }
+    Ok(SorResult {
+        x,
+        iterations: cfg.max_iters,
+        converged: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi::{jacobi, JacobiConfig};
+    use bepi_sparse::Coo;
+
+    fn dd_matrix(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n).unwrap();
+        for i in 0..n {
+            let mut off = 0.0;
+            for d in [1usize, 2] {
+                let j = (i + d) % n;
+                coo.push(i, j, -0.35).unwrap();
+                off += 0.35;
+            }
+            coo.push(i, i, off + 0.6).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn gauss_seidel_solves_dd_system() {
+        let a = dd_matrix(50);
+        let x_true: Vec<f64> = (0..50).map(|i| (i as f64 * 0.21).sin()).collect();
+        let b = a.mul_vec(&x_true).unwrap();
+        let r = sor(&a, &b, &SorConfig::default()).unwrap();
+        assert!(r.converged);
+        for (g, w) in r.x.iter().zip(&x_true) {
+            assert!((g - w).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_beats_jacobi() {
+        let a = dd_matrix(60);
+        let b: Vec<f64> = (0..60).map(|i| ((i + 1) as f64).recip()).collect();
+        let gs = sor(&a, &b, &SorConfig::default()).unwrap();
+        let jc = jacobi(&a, &b, &JacobiConfig::default()).unwrap();
+        assert!(gs.converged && jc.converged);
+        assert!(
+            gs.iterations < jc.iterations,
+            "GS {} vs Jacobi {}",
+            gs.iterations,
+            jc.iterations
+        );
+        for (x, y) in gs.x.iter().zip(&jc.x) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn over_relaxation_changes_iteration_count() {
+        let a = dd_matrix(60);
+        let b: Vec<f64> = (0..60).map(|i| (i as f64 * 0.4).cos()).collect();
+        let plain = sor(&a, &b, &SorConfig::default()).unwrap();
+        let relaxed = sor(
+            &a,
+            &b,
+            &SorConfig {
+                omega: 1.2,
+                ..SorConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(plain.converged && relaxed.converged);
+        for (x, y) in plain.x.iter().zip(&relaxed.x) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn invalid_omega_rejected() {
+        let a = dd_matrix(5);
+        for omega in [0.0, 2.0, -1.0] {
+            let cfg = SorConfig {
+                omega,
+                ..SorConfig::default()
+            };
+            assert!(sor(&a, &[1.0; 5], &cfg).is_err());
+        }
+    }
+
+    #[test]
+    fn zero_diagonal_rejected() {
+        let mut coo = Coo::new(2, 2).unwrap();
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        assert!(sor(&coo.to_csr(), &[1.0, 1.0], &SorConfig::default()).is_err());
+    }
+}

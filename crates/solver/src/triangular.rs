@@ -1,0 +1,258 @@
+//! Sparse triangular solves (forward and backward substitution).
+//!
+//! Appendix B of the paper: "forward and backward substitutions
+//! efficiently compute z without matrix inversion, i.e.
+//! `z = U₂\_B (L₂\_F w)`", with the same complexity as matrix-vector
+//! multiplication. These kernels back the ILU(0) preconditioner, the
+//! sparse-LU solves, and sparse-RHS variants drive triangular-factor
+//! inversion.
+
+use bepi_sparse::{Csc, Csr, Result, SparseError};
+
+/// Solves `L x = b` in place for a lower-triangular CSR matrix `L`
+/// (diagonal entries must be present and non-zero unless `unit_diag`).
+pub fn solve_lower_csr(l: &Csr, b: &mut [f64], unit_diag: bool) -> Result<()> {
+    let n = l.nrows();
+    if b.len() != n {
+        return Err(SparseError::VectorLength {
+            expected: n,
+            actual: b.len(),
+        });
+    }
+    for i in 0..n {
+        let (cols, vals) = l.row(i);
+        let mut acc = b[i];
+        let mut diag = if unit_diag { 1.0 } else { 0.0 };
+        for (&c, &v) in cols.iter().zip(vals) {
+            let c = c as usize;
+            match c.cmp(&i) {
+                std::cmp::Ordering::Less => acc -= v * b[c],
+                std::cmp::Ordering::Equal => diag = if unit_diag { 1.0 } else { v },
+                std::cmp::Ordering::Greater => {
+                    return Err(SparseError::Parse(format!(
+                        "matrix not lower triangular: entry ({i}, {c})"
+                    )))
+                }
+            }
+        }
+        if diag == 0.0 {
+            return Err(SparseError::ZeroDiagonal { row: i });
+        }
+        b[i] = acc / diag;
+    }
+    Ok(())
+}
+
+/// Solves `U x = b` in place for an upper-triangular CSR matrix `U`
+/// (diagonal entries must be present and non-zero).
+pub fn solve_upper_csr(u: &Csr, b: &mut [f64]) -> Result<()> {
+    let n = u.nrows();
+    if b.len() != n {
+        return Err(SparseError::VectorLength {
+            expected: n,
+            actual: b.len(),
+        });
+    }
+    for i in (0..n).rev() {
+        let (cols, vals) = u.row(i);
+        let mut acc = b[i];
+        let mut diag = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            let c = c as usize;
+            match c.cmp(&i) {
+                std::cmp::Ordering::Greater => acc -= v * b[c],
+                std::cmp::Ordering::Equal => diag = v,
+                std::cmp::Ordering::Less => {
+                    return Err(SparseError::Parse(format!(
+                        "matrix not upper triangular: entry ({i}, {c})"
+                    )))
+                }
+            }
+        }
+        if diag == 0.0 {
+            return Err(SparseError::ZeroDiagonal { row: i });
+        }
+        b[i] = acc / diag;
+    }
+    Ok(())
+}
+
+/// Solves `L x = b` for column-stored `L` (lower triangular CSC, sorted
+/// row indices so the diagonal is the first entry of each column).
+pub fn solve_lower_csc(l: &Csc, b: &mut [f64], unit_diag: bool) -> Result<()> {
+    let n = l.ncols();
+    if b.len() != n {
+        return Err(SparseError::VectorLength {
+            expected: n,
+            actual: b.len(),
+        });
+    }
+    for j in 0..n {
+        let (rows, vals) = l.col(j);
+        let mut iter = rows.iter().zip(vals).peekable();
+        // Diagonal first (row indices sorted ascending, all ≥ j).
+        let diag = if unit_diag {
+            if let Some(&(&r, _)) = iter.peek() {
+                if r as usize == j {
+                    iter.next();
+                }
+            }
+            1.0
+        } else {
+            match iter.next() {
+                Some((&r, &v)) if r as usize == j => v,
+                _ => return Err(SparseError::ZeroDiagonal { row: j }),
+            }
+        };
+        if diag == 0.0 {
+            return Err(SparseError::ZeroDiagonal { row: j });
+        }
+        let xj = b[j] / diag;
+        b[j] = xj;
+        if xj != 0.0 {
+            for (&r, &v) in iter {
+                b[r as usize] -= v * xj;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solves `U x = b` for column-stored `U` (upper triangular CSC, sorted
+/// row indices so the diagonal is the last entry of each column).
+pub fn solve_upper_csc(u: &Csc, b: &mut [f64]) -> Result<()> {
+    let n = u.ncols();
+    if b.len() != n {
+        return Err(SparseError::VectorLength {
+            expected: n,
+            actual: b.len(),
+        });
+    }
+    for j in (0..n).rev() {
+        let (rows, vals) = u.col(j);
+        let diag = match rows.last() {
+            Some(&r) if r as usize == j => vals[vals.len() - 1],
+            _ => return Err(SparseError::ZeroDiagonal { row: j }),
+        };
+        if diag == 0.0 {
+            return Err(SparseError::ZeroDiagonal { row: j });
+        }
+        let xj = b[j] / diag;
+        b[j] = xj;
+        if xj != 0.0 {
+            for (&r, &v) in rows[..rows.len() - 1].iter().zip(vals) {
+                b[r as usize] -= v * xj;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bepi_sparse::{Coo, Csc};
+
+    fn lower() -> Csr {
+        // L = [[2, 0, 0], [1, 3, 0], [0, -1, 4]]
+        let mut coo = Coo::new(3, 3).unwrap();
+        coo.push(0, 0, 2.0).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        coo.push(1, 1, 3.0).unwrap();
+        coo.push(2, 1, -1.0).unwrap();
+        coo.push(2, 2, 4.0).unwrap();
+        coo.to_csr()
+    }
+
+    fn upper() -> Csr {
+        lower().transpose()
+    }
+
+    #[test]
+    fn lower_csr_solve() {
+        let l = lower();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let mut b = l.mul_vec(&x_true).unwrap();
+        solve_lower_csr(&l, &mut b, false).unwrap();
+        for (a, e) in b.iter().zip(&x_true) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn upper_csr_solve() {
+        let u = upper();
+        let x_true = vec![3.0, 0.0, -1.0];
+        let mut b = u.mul_vec(&x_true).unwrap();
+        solve_upper_csr(&u, &mut b).unwrap();
+        for (a, e) in b.iter().zip(&x_true) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unit_diag_lower_ignores_missing_diag() {
+        // L = [[1, 0], [5, 1]] with implicit unit diagonal.
+        let mut coo = Coo::new(2, 2).unwrap();
+        coo.push(1, 0, 5.0).unwrap();
+        let l = coo.to_csr();
+        let mut b = vec![2.0, 11.0];
+        solve_lower_csr(&l, &mut b, true).unwrap();
+        assert_eq!(b, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn csc_solves_match_csr() {
+        let l = lower();
+        let u = upper();
+        let lc = Csc::from_csr(&l);
+        let uc = Csc::from_csr(&u);
+        let x_true = vec![0.3, 1.7, -0.9];
+
+        let mut b1 = l.mul_vec(&x_true).unwrap();
+        let mut b2 = b1.clone();
+        solve_lower_csr(&l, &mut b1, false).unwrap();
+        solve_lower_csc(&lc, &mut b2, false).unwrap();
+        for (a, b) in b1.iter().zip(&b2) {
+            assert!((a - b).abs() < 1e-13);
+        }
+
+        let mut b1 = u.mul_vec(&x_true).unwrap();
+        let mut b2 = b1.clone();
+        solve_upper_csr(&u, &mut b1).unwrap();
+        solve_upper_csc(&uc, &mut b2).unwrap();
+        for (a, b) in b1.iter().zip(&b2) {
+            assert!((a - b).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn zero_diagonal_rejected() {
+        let mut coo = Coo::new(2, 2).unwrap();
+        coo.push(1, 0, 1.0).unwrap(); // missing both diagonals
+        let l = coo.to_csr();
+        let mut b = vec![1.0, 1.0];
+        assert!(matches!(
+            solve_lower_csr(&l, &mut b, false),
+            Err(SparseError::ZeroDiagonal { .. })
+        ));
+    }
+
+    #[test]
+    fn non_triangular_rejected() {
+        let mut coo = Coo::new(2, 2).unwrap();
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 1, 1.0).unwrap(); // upper entry in "lower" matrix
+        coo.push(1, 1, 1.0).unwrap();
+        let l = coo.to_csr();
+        let mut b = vec![1.0, 1.0];
+        assert!(solve_lower_csr(&l, &mut b, false).is_err());
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let l = lower();
+        let mut b = vec![1.0; 2];
+        assert!(solve_lower_csr(&l, &mut b, false).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Error type shared by all matrix constructors and kernels.
+
+use std::fmt;
+
+/// Errors produced by matrix construction, conversion, and kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left/first operand.
+        left: (usize, usize),
+        /// Shape of the right/second operand.
+        right: (usize, usize),
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// An entry's row or column index lies outside the declared shape.
+    IndexOutOfBounds {
+        /// The offending (row, col) pair.
+        index: (usize, usize),
+        /// The declared matrix shape.
+        shape: (usize, usize),
+    },
+    /// A structurally required diagonal entry is missing or numerically zero.
+    ZeroDiagonal {
+        /// Row (= column) of the offending diagonal entry.
+        row: usize,
+    },
+    /// A dimension exceeds the `u32` index space used by the sparse formats.
+    DimensionTooLarge {
+        /// The offending dimension.
+        dim: usize,
+    },
+    /// A vector argument has the wrong length.
+    VectorLength {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// The input to a parser was malformed.
+    Parse(String),
+    /// An underlying IO operation failed (message-only so the error stays `Clone`).
+    Io(String),
+    /// A permutation array was not a bijection on `0..n`.
+    InvalidPermutation(String),
+    /// A numerical routine failed to make progress (e.g. singular pivot).
+    Numerical(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            SparseError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "entry ({}, {}) outside {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            SparseError::ZeroDiagonal { row } => {
+                write!(f, "zero or missing diagonal at row {row}")
+            }
+            SparseError::DimensionTooLarge { dim } => {
+                write!(f, "dimension {dim} exceeds u32 index space")
+            }
+            SparseError::VectorLength { expected, actual } => {
+                write!(f, "vector length {actual}, expected {expected}")
+            }
+            SparseError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SparseError::Io(msg) => write!(f, "io error: {msg}"),
+            SparseError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
+            SparseError::Numerical(msg) => write!(f, "numerical error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparseError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+            op: "add",
+        };
+        let s = e.to_string();
+        assert!(s.contains("add") && s.contains("2x3") && s.contains("4x5"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: SparseError = io.into();
+        assert!(matches!(e, SparseError::Io(_)));
+        assert!(e.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

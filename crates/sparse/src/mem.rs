@@ -1,0 +1,104 @@
+//! Logical memory accounting.
+//!
+//! The BePI paper's headline comparison (Figures 1(b), 5(b), 6(b)) is the
+//! memory occupied by *preprocessed data*. We report the exact number of
+//! bytes held by index and value arrays — the same quantity one would get
+//! from serializing the compressed storage — so the harness can reproduce
+//! those figures without depending on allocator behaviour.
+
+/// Types that can report the logical size in bytes of their payload.
+pub trait MemBytes {
+    /// Exact number of bytes of index + value storage (not allocator
+    /// capacity, not struct overhead).
+    fn mem_bytes(&self) -> usize;
+}
+
+impl MemBytes for Vec<f64> {
+    fn mem_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<f64>()
+    }
+}
+
+impl MemBytes for Vec<u32> {
+    fn mem_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<u32>()
+    }
+}
+
+impl MemBytes for Vec<usize> {
+    fn mem_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<usize>()
+    }
+}
+
+impl<T: MemBytes> MemBytes for Option<T> {
+    fn mem_bytes(&self) -> usize {
+        self.as_ref().map_or(0, MemBytes::mem_bytes)
+    }
+}
+
+impl<T: MemBytes> MemBytes for [T] {
+    fn mem_bytes(&self) -> usize {
+        self.iter().map(MemBytes::mem_bytes).sum()
+    }
+}
+
+impl<T: MemBytes> MemBytes for Vec<T> {
+    fn mem_bytes(&self) -> usize {
+        self.as_slice().mem_bytes()
+    }
+}
+
+/// Formats a byte count with binary units, e.g. `"1.50 MiB"`.
+pub fn format_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_f64_bytes() {
+        let v = vec![0.0f64; 10];
+        assert_eq!(v.mem_bytes(), 80);
+    }
+
+    #[test]
+    fn vec_u32_bytes() {
+        let v = vec![0u32; 10];
+        assert_eq!(v.mem_bytes(), 40);
+    }
+
+    #[test]
+    fn option_bytes() {
+        let some: Option<Vec<f64>> = Some(vec![0.0; 4]);
+        let none: Option<Vec<f64>> = None;
+        assert_eq!(some.mem_bytes(), 32);
+        assert_eq!(none.mem_bytes(), 0);
+    }
+
+    #[test]
+    fn nested_vec_bytes() {
+        let v: Vec<Vec<u32>> = vec![vec![0; 2], vec![0; 3]];
+        assert_eq!(v.mem_bytes(), 20);
+    }
+
+    #[test]
+    fn format_small_and_large() {
+        assert_eq!(format_bytes(12), "12 B");
+        assert_eq!(format_bytes(1536), "1.50 KiB");
+        assert_eq!(format_bytes(3 * 1024 * 1024), "3.00 MiB");
+    }
+}

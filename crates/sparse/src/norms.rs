@@ -1,0 +1,83 @@
+//! Matrix norms.
+//!
+//! Theorem 4's accuracy bound is stated in terms of `‖H12‖₂`, `‖H31‖₂`,
+//! `‖H32‖₂` and smallest singular values; the exact 1/∞/Frobenius norms
+//! here are cheap, while the 2-norm is estimated by the power method in
+//! `bepi-solver` (it needs repeated SpMV, which lives above this crate).
+
+use crate::Csr;
+
+/// Frobenius norm `sqrt(Σ a_ij²)`.
+pub fn frobenius(a: &Csr) -> f64 {
+    a.values().iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Induced 1-norm: maximum absolute column sum.
+pub fn norm1(a: &Csr) -> f64 {
+    let mut col_sums = vec![0.0f64; a.ncols()];
+    for (_, c, v) in a.iter() {
+        col_sums[c] += v.abs();
+    }
+    col_sums.into_iter().fold(0.0, f64::max)
+}
+
+/// Induced ∞-norm: maximum absolute row sum.
+pub fn norm_inf(a: &Csr) -> f64 {
+    (0..a.nrows())
+        .map(|r| a.row(r).1.iter().map(|v| v.abs()).sum())
+        .fold(0.0, f64::max)
+}
+
+/// Upper bound on the spectral norm: `‖A‖₂ ≤ sqrt(‖A‖₁ ‖A‖∞)`.
+///
+/// Used as a cheap, always-safe stand-in when the power-method estimate
+/// has not converged.
+pub fn norm2_upper_bound(a: &Csr) -> f64 {
+    (norm1(a) * norm_inf(a)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn sample() -> Csr {
+        // [1 -2]
+        // [0  3]
+        let mut coo = Coo::new(2, 2).unwrap();
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 1, -2.0).unwrap();
+        coo.push(1, 1, 3.0).unwrap();
+        coo.to_csr()
+    }
+
+    #[test]
+    fn frobenius_known() {
+        assert!((frobenius(&sample()) - 14.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_norm_is_max_col_sum() {
+        assert_eq!(norm1(&sample()), 5.0);
+    }
+
+    #[test]
+    fn inf_norm_is_max_row_sum() {
+        assert_eq!(norm_inf(&sample()), 3.0);
+    }
+
+    #[test]
+    fn two_norm_bound_dominates_true_norm() {
+        // ‖A‖₂ of the sample is ~3.58; bound is sqrt(5*3) ≈ 3.87.
+        let bound = norm2_upper_bound(&sample());
+        assert!(bound >= 3.58);
+    }
+
+    #[test]
+    fn zero_matrix_norms() {
+        let z = Csr::zeros(3, 3);
+        assert_eq!(frobenius(&z), 0.0);
+        assert_eq!(norm1(&z), 0.0);
+        assert_eq!(norm_inf(&z), 0.0);
+    }
+}

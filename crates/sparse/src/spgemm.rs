@@ -1,0 +1,171 @@
+//! Sparse matrix × sparse matrix multiplication (Gustavson's algorithm).
+//!
+//! The Schur complement `S = H22 − H21 (U1^{-1} (L1^{-1} H12))` of
+//! Algorithms 1 and 3 is a chain of sparse products; this row-wise kernel
+//! with a dense accumulator ("sparse accumulator" / SPA) is the standard
+//! way to compute them in `O(Σ flops)`.
+
+use crate::error::SparseError;
+use crate::{Csr, Result};
+
+/// Computes `C = A * B` for CSR operands.
+///
+/// Entries that cancel to exactly zero are kept out of the output, so
+/// `nnz(C)` reflects genuine structural fill.
+pub fn spgemm(a: &Csr, b: &Csr) -> Result<Csr> {
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "spgemm",
+        });
+    }
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    indptr.push(0usize);
+    let mut indices: Vec<u32> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+
+    // Sparse accumulator: dense value array + occupancy marks + touched list.
+    let mut acc = vec![0.0f64; ncols];
+    let mut mark = vec![false; ncols];
+    let mut touched: Vec<u32> = Vec::new();
+
+    for i in 0..nrows {
+        touched.clear();
+        for (k, aik) in a.row_iter(i) {
+            if aik == 0.0 {
+                continue;
+            }
+            let (bc, bv) = b.row(k);
+            for (idx, &j) in bc.iter().enumerate() {
+                let ju = j as usize;
+                if !mark[ju] {
+                    mark[ju] = true;
+                    touched.push(j);
+                }
+                acc[ju] += aik * bv[idx];
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            let ju = j as usize;
+            let v = acc[ju];
+            acc[ju] = 0.0;
+            mark[ju] = false;
+            if v != 0.0 {
+                indices.push(j);
+                values.push(v);
+            }
+        }
+        indptr.push(indices.len());
+    }
+    Csr::from_parts(nrows, ncols, indptr, indices, values)
+}
+
+/// Computes the triple product `A * B * C` left to right, returning the
+/// intermediate `A * B` size alongside (useful for the |H21 H11^{-1} H12|
+/// accounting in Figure 4).
+pub fn spgemm3(a: &Csr, b: &Csr, c: &Csr) -> Result<(Csr, usize)> {
+    let ab = spgemm(a, b)?;
+    let nnz_ab = ab.nnz();
+    Ok((spgemm(&ab, c)?, nnz_ab))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Coo, Dense};
+
+    fn m(entries: &[(usize, usize, f64)], shape: (usize, usize)) -> Csr {
+        let mut coo = Coo::new(shape.0, shape.1).unwrap();
+        for &(r, c, v) in entries {
+            coo.push(r, c, v).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = m(&[(0, 1, 2.0), (1, 0, 3.0), (1, 1, -1.0)], (2, 2));
+        let i = Csr::identity(2);
+        assert_eq!(spgemm(&a, &i).unwrap(), a);
+        assert_eq!(spgemm(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = m(&[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)], (2, 2));
+        let b = m(&[(0, 1, 1.0), (1, 0, 4.0)], (2, 2));
+        // A*B = [[8, 1], [12, 0]]
+        let c = spgemm(&a, &b).unwrap();
+        assert_eq!(c.get(0, 0), 8.0);
+        assert_eq!(c.get(0, 1), 1.0);
+        assert_eq!(c.get(1, 0), 12.0);
+        assert_eq!(c.get(1, 1), 0.0);
+        assert_eq!(c.nnz(), 3);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = m(&[(0, 2, 1.0), (1, 0, 2.0)], (2, 3));
+        let b = m(&[(0, 0, 1.0), (2, 1, 5.0)], (3, 2));
+        let c = spgemm(&a, &b).unwrap();
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.get(0, 1), 5.0);
+        assert_eq!(c.get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn incompatible_shapes_rejected() {
+        let a = m(&[], (2, 3));
+        let b = m(&[], (2, 2));
+        assert!(spgemm(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matches_dense_reference_on_random_like_pattern() {
+        let a = m(
+            &[(0, 0, 1.5), (0, 3, -2.0), (1, 1, 0.5), (2, 0, 1.0), (2, 2, 2.0), (3, 3, -1.0)],
+            (4, 4),
+        );
+        let b = m(
+            &[(0, 1, 2.0), (1, 1, -1.0), (2, 3, 4.0), (3, 0, 0.5), (3, 2, 3.0)],
+            (4, 4),
+        );
+        let c = spgemm(&a, &b).unwrap();
+        let dense_ref = dense_mul(&a.to_dense(), &b.to_dense());
+        assert!(c.to_dense().max_abs_diff(&dense_ref).unwrap() < 1e-14);
+        c.check_invariants().unwrap();
+    }
+
+    fn dense_mul(a: &Dense, b: &Dense) -> Dense {
+        a.mul(b).unwrap()
+    }
+
+    #[test]
+    fn cancellation_not_stored() {
+        let a = m(&[(0, 0, 1.0), (0, 1, 1.0)], (1, 2));
+        let b = m(&[(0, 0, 1.0), (1, 0, -1.0)], (2, 1));
+        let c = spgemm(&a, &b).unwrap();
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn triple_product_reports_intermediate() {
+        let a = Csr::identity(3);
+        let b = m(&[(0, 1, 1.0), (1, 2, 1.0)], (3, 3));
+        let c = Csr::identity(3);
+        let (abc, nnz_ab) = spgemm3(&a, &b, &c).unwrap();
+        assert_eq!(nnz_ab, 2);
+        assert_eq!(abc, b);
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a = Csr::zeros(3, 3);
+        let b = Csr::identity(3);
+        assert_eq!(spgemm(&a, &b).unwrap().nnz(), 0);
+    }
+}

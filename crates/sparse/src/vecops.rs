@@ -1,0 +1,138 @@
+//! Dense vector kernels shared by the iterative solvers.
+//!
+//! GMRES, power iteration, and the accuracy experiments all operate on
+//! dense vectors; these free functions keep those hot loops allocation-free.
+
+/// Dot product. Panics in debug builds on length mismatch.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// L1 norm.
+#[inline]
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// Infinity norm.
+#[inline]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// `||a - b||_2` without allocating the difference.
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Normalizes `x` to unit L2 norm in place; returns the original norm.
+/// A zero vector is left unchanged and 0.0 is returned.
+#[inline]
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Indices of the `k` largest entries, descending, ties broken by index.
+///
+/// This is the "top-k ranking" operation of Figure 2: turn an RWR score
+/// vector into a ranked node list.
+pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [1.0, 2.0, -2.0];
+        let b = [3.0, 0.0, 1.0];
+        assert_eq!(dot(&a, &b), 1.0);
+        assert_eq!(norm2(&a), 3.0);
+        assert_eq!(norm1(&a), 5.0);
+        assert_eq!(norm_inf(&a), 2.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, [6.0, 12.0]);
+    }
+
+    #[test]
+    fn dist2_matches_manual() {
+        let a = [0.0, 3.0];
+        let b = [4.0, 0.0];
+        assert_eq!(dist2(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn normalize_unit_and_zero() {
+        let mut x = [3.0, 4.0];
+        let n = normalize(&mut x);
+        assert_eq!(n, 5.0);
+        assert!((norm2(&x) - 1.0).abs() < 1e-15);
+        let mut z = [0.0, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+        assert_eq!(z, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn top_k_orders_descending_with_stable_ties() {
+        let scores = [0.1, 0.5, 0.5, 0.9, 0.0];
+        assert_eq!(top_k_indices(&scores, 3), vec![3, 1, 2]);
+        assert_eq!(top_k_indices(&scores, 10), vec![3, 1, 2, 0, 4]);
+        assert_eq!(top_k_indices(&scores, 0), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,132 @@
+//! End-to-end agreement: every RWR method must produce the same scores on
+//! every fixture graph, for seeds of every structural kind.
+
+use bepi_core::bear::{Bear, BearConfig};
+use bepi_core::lu_method::{LuDecomp, LuDecompConfig};
+use bepi_core::prelude::*;
+use bepi_tests::{assert_scores_close, fixture_zoo, reference_scores};
+
+const C: f64 = 0.05;
+const TOL: f64 = 1e-6;
+
+fn seeds_for(n: usize) -> Vec<usize> {
+    vec![0, n / 3, n - 1]
+}
+
+#[test]
+fn bepi_full_matches_reference_on_zoo() {
+    for fx in fixture_zoo() {
+        let solver = BePi::preprocess(&fx.graph, &BePiConfig::default()).unwrap();
+        for seed in seeds_for(fx.graph.n()) {
+            let got = solver.query(seed).unwrap();
+            let want = reference_scores(&fx.graph, C, seed);
+            assert_scores_close(fx.name, &got.scores, &want, TOL);
+        }
+    }
+}
+
+#[test]
+fn bepi_basic_matches_reference_on_zoo() {
+    for fx in fixture_zoo() {
+        let cfg = BePiConfig::for_variant(BePiVariant::Basic);
+        let solver = BePi::preprocess(&fx.graph, &cfg).unwrap();
+        for seed in seeds_for(fx.graph.n()) {
+            let got = solver.query(seed).unwrap();
+            let want = reference_scores(&fx.graph, C, seed);
+            assert_scores_close(fx.name, &got.scores, &want, TOL);
+        }
+    }
+}
+
+#[test]
+fn bepi_sparse_matches_reference_on_zoo() {
+    for fx in fixture_zoo() {
+        let cfg = BePiConfig::for_variant(BePiVariant::Sparse);
+        let solver = BePi::preprocess(&fx.graph, &cfg).unwrap();
+        for seed in seeds_for(fx.graph.n()) {
+            let got = solver.query(seed).unwrap();
+            let want = reference_scores(&fx.graph, C, seed);
+            assert_scores_close(fx.name, &got.scores, &want, TOL);
+        }
+    }
+}
+
+#[test]
+fn bear_matches_reference_on_zoo() {
+    for fx in fixture_zoo() {
+        let solver = Bear::preprocess(&fx.graph, &BearConfig::default()).unwrap();
+        for seed in seeds_for(fx.graph.n()) {
+            let got = solver.query(seed).unwrap();
+            let want = reference_scores(&fx.graph, C, seed);
+            assert_scores_close(fx.name, &got.scores, &want, TOL);
+        }
+    }
+}
+
+#[test]
+fn lu_decomp_matches_reference_on_zoo() {
+    for fx in fixture_zoo() {
+        let solver = LuDecomp::preprocess(&fx.graph, &LuDecompConfig::default()).unwrap();
+        for seed in seeds_for(fx.graph.n()) {
+            let got = solver.query(seed).unwrap();
+            let want = reference_scores(&fx.graph, C, seed);
+            assert_scores_close(fx.name, &got.scores, &want, 1e-7);
+        }
+    }
+}
+
+#[test]
+fn gmres_matches_reference_on_zoo() {
+    for fx in fixture_zoo() {
+        let solver = GmresSolver::with_defaults(&fx.graph).unwrap();
+        for seed in seeds_for(fx.graph.n()) {
+            let got = solver.query(seed).unwrap();
+            let want = reference_scores(&fx.graph, C, seed);
+            assert_scores_close(fx.name, &got.scores, &want, TOL);
+        }
+    }
+}
+
+#[test]
+fn exact_matches_reference_on_zoo() {
+    for fx in fixture_zoo() {
+        let solver = DenseExact::with_defaults(&fx.graph).unwrap();
+        for seed in seeds_for(fx.graph.n()) {
+            let got = solver.query(seed).unwrap();
+            let want = reference_scores(&fx.graph, C, seed);
+            assert_scores_close(fx.name, &got.scores, &want, 1e-7);
+        }
+    }
+}
+
+#[test]
+fn all_methods_agree_pairwise_on_one_graph() {
+    let fx = &fixture_zoo()[2]; // deadend-heavy R-MAT
+    let g = &fx.graph;
+    let solvers: Vec<Box<dyn RwrSolver>> = vec![
+        Box::new(BePi::preprocess(g, &BePiConfig::default()).unwrap()),
+        Box::new(Bear::preprocess(g, &BearConfig::default()).unwrap()),
+        Box::new(LuDecomp::preprocess(g, &LuDecompConfig::default()).unwrap()),
+        Box::new(PowerSolver::with_defaults(g).unwrap()),
+        Box::new(GmresSolver::with_defaults(g).unwrap()),
+        Box::new(DenseExact::with_defaults(g).unwrap()),
+    ];
+    let seed = 17 % g.n();
+    let baseline = solvers[0].query(seed).unwrap();
+    for s in &solvers[1..] {
+        let r = s.query(seed).unwrap();
+        assert_scores_close(s.name(), &r.scores, &baseline.scores, 1e-6);
+    }
+}
+
+#[test]
+fn rankings_are_stable_across_methods() {
+    let fx = &fixture_zoo()[1]; // rmat-powerlaw
+    let g = &fx.graph;
+    let bepi = BePi::preprocess(g, &BePiConfig::default()).unwrap();
+    let exact = DenseExact::with_defaults(g).unwrap();
+    let seed = 3;
+    let a = bepi.query(seed).unwrap().top_k(10);
+    let b = exact.query(seed).unwrap().top_k(10);
+    assert_eq!(a, b, "top-10 ranking must match the exact solver");
+}

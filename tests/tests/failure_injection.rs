@@ -1,0 +1,152 @@
+//! Failure injection and degenerate inputs: the library must fail
+//! loudly and precisely, never hang or return garbage.
+
+use bepi_core::bear::{Bear, BearConfig};
+use bepi_core::lu_method::{LuDecomp, LuDecompConfig};
+use bepi_core::prelude::*;
+use bepi_graph::{generators, Graph};
+
+#[test]
+fn empty_graph() {
+    let g = Graph::from_edges(0, &[]).unwrap();
+    let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+    assert_eq!(solver.node_count(), 0);
+    assert!(solver.query(0).is_err());
+}
+
+#[test]
+fn singleton_graph() {
+    let g = Graph::from_edges(1, &[]).unwrap();
+    let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+    let r = solver.query(0).unwrap();
+    // Sole node is a deadend: score = c.
+    assert!((r.scores[0] - 0.05).abs() < 1e-12);
+}
+
+#[test]
+fn all_deadends_graph() {
+    let g = Graph::from_edges(5, &[]).unwrap();
+    let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+    let r = solver.query(3).unwrap();
+    assert!((r.scores[3] - 0.05).abs() < 1e-12);
+    assert!(r.scores.iter().enumerate().all(|(i, &v)| i == 3 || v == 0.0));
+}
+
+#[test]
+fn self_loops_are_handled() {
+    let mut edges = vec![(0, 0), (1, 1)];
+    edges.extend([(0, 1), (1, 2), (2, 0)]);
+    let g = Graph::from_edges(3, &edges).unwrap();
+    let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+    let r = solver.query(0).unwrap();
+    let want = bepi_tests::reference_scores(&g, 0.05, 0);
+    bepi_tests::assert_scores_close("self-loops", &r.scores, &want, 1e-6);
+}
+
+#[test]
+fn invalid_restart_probabilities_rejected_everywhere() {
+    let g = generators::cycle(5);
+    for c in [0.0, 1.0, -1.0, 2.0, f64::NAN] {
+        assert!(
+            BePi::preprocess(&g, &BePiConfig { c, ..BePiConfig::default() }).is_err(),
+            "c = {c} must be rejected"
+        );
+        assert!(PowerSolver::new(&g, c, 1e-9).is_err());
+    }
+}
+
+#[test]
+fn out_of_range_seed_rejected_by_every_method() {
+    let g = generators::erdos_renyi(50, 200, 1).unwrap();
+    let n = g.n();
+    let solvers: Vec<Box<dyn RwrSolver>> = vec![
+        Box::new(BePi::preprocess(&g, &BePiConfig::default()).unwrap()),
+        Box::new(Bear::preprocess(&g, &BearConfig::default()).unwrap()),
+        Box::new(LuDecomp::preprocess(&g, &LuDecompConfig::default()).unwrap()),
+        Box::new(PowerSolver::with_defaults(&g).unwrap()),
+        Box::new(GmresSolver::with_defaults(&g).unwrap()),
+        Box::new(DenseExact::with_defaults(&g).unwrap()),
+    ];
+    for s in &solvers {
+        assert!(s.query(n).is_err(), "{} accepted bad seed", s.name());
+        assert!(s.query(usize::MAX).is_err());
+    }
+}
+
+#[test]
+fn budget_gates_fail_with_descriptive_errors() {
+    let g = generators::erdos_renyi(200, 1000, 2).unwrap();
+    let bear_err = Bear::preprocess(
+        &g,
+        &BearConfig {
+            max_hub_count: 0,
+            ..BearConfig::default()
+        },
+    )
+    .unwrap_err();
+    assert!(bear_err.to_string().contains("n2"));
+    let lu_err = LuDecomp::preprocess(
+        &g,
+        &LuDecompConfig {
+            max_dimension: 1,
+            ..LuDecompConfig::default()
+        },
+    )
+    .unwrap_err();
+    assert!(lu_err.to_string().contains("dimension"));
+}
+
+#[test]
+fn extreme_tolerances() {
+    let g = generators::erdos_renyi(80, 300, 7).unwrap();
+    // Very loose tolerance: still returns finite scores.
+    let loose = BePi::preprocess(
+        &g,
+        &BePiConfig {
+            tol: 0.5,
+            ..BePiConfig::default()
+        },
+    )
+    .unwrap();
+    let r = loose.query(0).unwrap();
+    assert!(r.scores.iter().all(|v| v.is_finite()));
+    // Very tight tolerance: converges (diagonally dominant system).
+    let tight = BePi::preprocess(
+        &g,
+        &BePiConfig {
+            tol: 1e-14,
+            ..BePiConfig::default()
+        },
+    )
+    .unwrap();
+    let r = tight.query(0).unwrap();
+    let want = bepi_tests::reference_scores(&g, 0.05, 0);
+    bepi_tests::assert_scores_close("tight", &r.scores, &want, 1e-7);
+}
+
+#[test]
+fn duplicate_and_antiparallel_edges() {
+    let g = Graph::from_edges(4, &[(0, 1), (0, 1), (1, 0), (2, 3), (3, 2), (0, 1)]).unwrap();
+    let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+    let r = solver.query(0).unwrap();
+    let want = bepi_tests::reference_scores(&g, 0.05, 0);
+    bepi_tests::assert_scores_close("multi-edges", &r.scores, &want, 1e-8);
+}
+
+#[test]
+fn hub_ratio_extremes() {
+    let g = generators::erdos_renyi(100, 500, 9).unwrap();
+    for k in [0.01, 0.9] {
+        let solver = BePi::preprocess(
+            &g,
+            &BePiConfig {
+                hub_ratio: Some(k),
+                ..BePiConfig::default()
+            },
+        )
+        .unwrap();
+        let r = solver.query(5).unwrap();
+        let want = bepi_tests::reference_scores(&g, 0.05, 5);
+        bepi_tests::assert_scores_close("hub-ratio-extreme", &r.scores, &want, 1e-6);
+    }
+}

@@ -1,0 +1,183 @@
+//! Structural invariants of the BePI pipeline, checked end to end:
+//! permutation validity, block structure, Schur identities, the
+//! Theorem 4 accuracy bound, and RWR score semantics.
+
+use bepi_core::accuracy::{l2_error, theorem4_bound};
+use bepi_core::hmatrix::HPartition;
+use bepi_core::prelude::*;
+use bepi_reorder::blocks::is_block_diagonal;
+use bepi_solver::BlockLu;
+use bepi_tests::{fixture_zoo, reference_scores};
+
+#[test]
+fn partition_is_exhaustive_and_blocks_tile() {
+    for fx in fixture_zoo() {
+        let p = HPartition::build(&fx.graph, 0.05, 0.2).unwrap();
+        assert_eq!(p.n(), fx.graph.n(), "{}", fx.name);
+        assert_eq!(p.n3, fx.graph.deadend_count(), "{}", fx.name);
+        assert_eq!(
+            p.block_sizes.iter().sum::<usize>(),
+            p.n1,
+            "{}: blocks must tile the spokes",
+            fx.name
+        );
+        assert!(
+            is_block_diagonal(&p.h11, &p.block_sizes),
+            "{}: H11 not block diagonal",
+            fx.name
+        );
+    }
+}
+
+#[test]
+fn h_blocks_are_diagonally_dominant_where_square() {
+    for fx in fixture_zoo() {
+        let p = HPartition::build(&fx.graph, 0.05, 0.25).unwrap();
+        if p.n1 > 0 {
+            assert!(
+                p.h11.is_column_diagonally_dominant(),
+                "{}: H11 must be diagonally dominant",
+                fx.name
+            );
+        }
+    }
+}
+
+#[test]
+fn schur_solve_equals_direct_solve() {
+    // Solving through the Schur complement must equal solving H directly.
+    for fx in fixture_zoo().into_iter().take(4) {
+        let g = &fx.graph;
+        let bepi = BePi::preprocess(g, &BePiConfig::default()).unwrap();
+        let gmres = GmresSolver::with_defaults(g).unwrap();
+        let seed = g.n() / 2;
+        let a = bepi.query(seed).unwrap();
+        let b = gmres.query(seed).unwrap();
+        assert!(
+            l2_error(&a.scores, &b.scores) < 1e-6,
+            "{}: block elimination diverges from direct solve",
+            fx.name
+        );
+    }
+}
+
+#[test]
+fn residual_of_returned_scores_is_small() {
+    // H r ≈ c q for the returned scores, verified in the original order.
+    for fx in fixture_zoo() {
+        let g = &fx.graph;
+        let solver = BePi::preprocess(g, &BePiConfig::default()).unwrap();
+        let seed = 0;
+        let r = solver.query(seed).unwrap();
+        let h = bepi_core::rwr::build_h(g, 0.05).unwrap();
+        let hr = h.mul_vec(&r.scores).unwrap();
+        for (i, v) in hr.iter().enumerate() {
+            let want = if i == seed { 0.05 } else { 0.0 };
+            assert!(
+                (v - want).abs() < 1e-7,
+                "{}: residual at node {i} = {}",
+                fx.name,
+                (v - want).abs()
+            );
+        }
+    }
+}
+
+#[test]
+fn scores_behave_like_probabilities() {
+    for fx in fixture_zoo() {
+        let g = &fx.graph;
+        let solver = BePi::preprocess(g, &BePiConfig::default()).unwrap();
+        let r = solver.query(0).unwrap();
+        assert!(
+            r.scores.iter().all(|&v| v >= -1e-10),
+            "{}: negative score",
+            fx.name
+        );
+        let sum: f64 = r.scores.iter().sum();
+        assert!(
+            sum <= 1.0 + 1e-9,
+            "{}: scores sum {sum} exceeds 1",
+            fx.name
+        );
+        if g.deadend_count() == 0 {
+            assert!(
+                (sum - 1.0).abs() < 1e-6,
+                "{}: deadend-free scores must sum to 1, got {sum}",
+                fx.name
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem4_bound_holds_empirically() {
+    let fx = &fixture_zoo()[3]; // erdos-renyi
+    let g = &fx.graph;
+    for eps in [1e-4, 1e-7] {
+        let cfg = BePiConfig {
+            tol: eps,
+            ..BePiConfig::default()
+        };
+        let solver = BePi::preprocess(g, &cfg).unwrap();
+        let bound = theorem4_bound(&solver).unwrap();
+        let exact = DenseExact::with_defaults(g).unwrap();
+        for seed in [0usize, 77] {
+            let approx = solver.query(seed).unwrap();
+            let truth = exact.query(seed).unwrap();
+            let err = l2_error(&approx.scores, &truth.scores);
+            // ‖q̂2‖₂ ≤ 1 for an indicator seed with our H (safe envelope).
+            let theory = bound.error_bound(1.0, eps);
+            assert!(
+                err <= theory,
+                "eps {eps} seed {seed}: err {err} > bound {theory}"
+            );
+        }
+    }
+}
+
+#[test]
+fn block_lu_inverse_is_exact_on_h11() {
+    for fx in fixture_zoo().into_iter().take(5) {
+        let p = HPartition::build(&fx.graph, 0.05, 0.2).unwrap();
+        if p.n1 == 0 {
+            continue;
+        }
+        let blu = BlockLu::factor(&p.h11, &p.block_sizes).unwrap();
+        let x: Vec<f64> = (0..p.n1).map(|i| ((i % 7) as f64 - 3.0) * 0.1).collect();
+        let b = p.h11.mul_vec(&x).unwrap();
+        let got = blu.solve_vec(&b).unwrap();
+        for (g_, w) in got.iter().zip(&x) {
+            assert!((g_ - w).abs() < 1e-9, "{}", fx.name);
+        }
+    }
+}
+
+#[test]
+fn permutation_roundtrip_through_query() {
+    // Scores must be reported in original ids: on a vertex-transitive
+    // graph (cycle) the seed carries the maximal score, so a permutation
+    // mix-up would move the argmax off the seed.
+    let fx = &fixture_zoo()[7]; // cycle
+    let solver = BePi::preprocess(&fx.graph, &BePiConfig::default()).unwrap();
+    for seed in [0usize, 5, 24] {
+        let r = solver.query(seed).unwrap();
+        let max_idx = r
+            .scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, seed);
+    }
+}
+
+#[test]
+fn reference_is_consistent_with_itself() {
+    // The shared fixture reference must be deterministic.
+    let fx = &fixture_zoo()[1];
+    let a = reference_scores(&fx.graph, 0.05, 3);
+    let b = reference_scores(&fx.graph, 0.05, 3);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,60 @@
+//! Property-based cross-crate tests: random graphs through the whole
+//! pipeline.
+
+use bepi_core::prelude::*;
+use bepi_graph::Graph;
+use bepi_tests::{assert_scores_close, reference_scores};
+use proptest::prelude::*;
+
+/// Strategy: a random directed graph with n in [5, 60] and some edges,
+/// possibly with deadends and self-loop-free.
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (5usize..60).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 1..(n * 4)).prop_map(move |pairs| {
+            let edges: Vec<(usize, usize)> =
+                pairs.into_iter().filter(|(u, v)| u != v).collect();
+            Graph::from_edges(n, &edges).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bepi_matches_power_on_random_graphs(g in graph_strategy(), seed_frac in 0.0f64..1.0) {
+        let seed = ((g.n() - 1) as f64 * seed_frac) as usize;
+        let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let got = solver.query(seed).unwrap();
+        let want = reference_scores(&g, 0.05, seed);
+        assert_scores_close("random", &got.scores, &want, 1e-6);
+    }
+
+    #[test]
+    fn variants_agree_on_random_graphs(g in graph_strategy()) {
+        let seed = g.n() / 2;
+        let full = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let basic = BePi::preprocess(&g, &BePiConfig::for_variant(BePiVariant::Basic)).unwrap();
+        let a = full.query(seed).unwrap();
+        let b = basic.query(seed).unwrap();
+        assert_scores_close("variants", &a.scores, &b.scores, 1e-6);
+    }
+
+    #[test]
+    fn scores_nonnegative_and_bounded(g in graph_strategy(), c in 0.05f64..0.9) {
+        let solver = BePi::preprocess(&g, &BePiConfig { c, ..BePiConfig::default() }).unwrap();
+        let r = solver.query(0).unwrap();
+        prop_assert!(r.scores.iter().all(|&v| v >= -1e-9));
+        let sum: f64 = r.scores.iter().sum();
+        prop_assert!(sum <= 1.0 + 1e-8, "sum {sum}");
+        prop_assert!(r.scores[0] >= c - 1e-9, "seed score below restart mass");
+    }
+
+    #[test]
+    fn restart_prob_one_limit(g in graph_strategy()) {
+        // As c → 1, scores concentrate on the seed.
+        let solver = BePi::preprocess(&g, &BePiConfig { c: 0.99, ..BePiConfig::default() }).unwrap();
+        let r = solver.query(1).unwrap();
+        prop_assert!(r.scores[1] > 0.98);
+    }
+}

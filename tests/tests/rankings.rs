@@ -1,0 +1,82 @@
+//! Ranking-level agreement across exact and approximate methods, plus
+//! reverse queries via the transpose graph.
+
+use bepi_core::approx::{forward_push, monte_carlo};
+use bepi_core::metrics::{kendall_tau_top_k, precision_at_k, top_k_mae};
+use bepi_core::prelude::*;
+use bepi_graph::{generators, Graph};
+
+#[test]
+fn forward_push_preserves_top_10_ranking() {
+    let g = generators::rmat(8, 900, generators::RmatParams::default(), 3).unwrap();
+    let exact = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+    for seed in [0usize, 17, 100] {
+        if g.out_degree(seed) == 0 {
+            continue;
+        }
+        let truth = exact.query(seed).unwrap().scores;
+        let push = forward_push(&g, 0.05, seed, 1e-9).unwrap().scores.scores;
+        assert!(
+            precision_at_k(&truth, &push, 10) >= 0.9,
+            "seed {seed}: push top-10 diverged"
+        );
+        assert!(kendall_tau_top_k(&truth, &push, 10) > 0.8);
+        assert!(top_k_mae(&truth, &push, 10) < 1e-6);
+    }
+}
+
+#[test]
+fn monte_carlo_preserves_top_5_ranking() {
+    let g = generators::erdos_renyi(80, 450, 9).unwrap();
+    let exact = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+    let seed = 11;
+    let truth = exact.query(seed).unwrap().scores;
+    let mc = monte_carlo(&g, 0.05, seed, 100_000, 7).unwrap().scores;
+    // MC noise can swap near-tied ranks; demand clear majority agreement
+    // plus agreement on the top node (the seed).
+    assert!(
+        precision_at_k(&truth, &mc, 5) >= 0.6,
+        "MC top-5 precision too low"
+    );
+    assert_eq!(
+        bepi_sparse::vecops::top_k_indices(&mc, 1),
+        bepi_sparse::vecops::top_k_indices(&truth, 1)
+    );
+}
+
+#[test]
+fn reverse_queries_via_transpose() {
+    // Directed chain 0 → 1 → 2: forward RWR from 0 reaches 2; the reverse
+    // question "who reaches 2?" is a forward query from 2 on Gᵀ.
+    let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    let forward = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+    let f = forward.query(0).unwrap().scores;
+    assert!(f[2] > 0.0, "forward walk reaches the chain end");
+
+    let reverse = BePi::preprocess(&g.transpose(), &BePiConfig::default()).unwrap();
+    let r = reverse.query(2).unwrap().scores;
+    assert!(r[0] > 0.0 && r[1] > 0.0, "reverse walk finds ancestors: {r:?}");
+    assert!(r[1] > r[0], "closer ancestor scores higher");
+
+    // Forward from 2 (a deadend) scores nothing but itself.
+    let f2 = forward.query(2).unwrap().scores;
+    assert!(f2[0] == 0.0 && f2[1] == 0.0);
+}
+
+#[test]
+fn reverse_ranking_on_citation_like_graph() {
+    // Preferential attachment points to "older" nodes; the reverse query
+    // from an old hub surfaces its followers.
+    let g = generators::preferential_attachment(200, 2, 5).unwrap();
+    let hub = (0..g.n()).max_by_key(|&u| g.in_degrees()[u]).unwrap();
+    let reverse = BePi::preprocess(&g.transpose(), &BePiConfig::default()).unwrap();
+    let r = reverse.query(hub).unwrap();
+    // Every in-neighbor of the hub gets positive reverse score.
+    let followers: Vec<usize> = (0..g.n())
+        .filter(|&u| g.adjacency().get(u, hub) > 0.0)
+        .collect();
+    assert!(!followers.is_empty());
+    for u in followers {
+        assert!(r.scores[u] > 0.0, "follower {u} unscored");
+    }
+}

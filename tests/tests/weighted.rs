@@ -1,0 +1,82 @@
+//! Weighted-graph support: RWR is defined through the row-normalized
+//! adjacency matrix, so edge weights shape the walk's transition
+//! probabilities. Every method must honor them identically.
+
+use bepi_core::prelude::*;
+use bepi_graph::Graph;
+use bepi_sparse::Coo;
+use bepi_tests::{assert_scores_close, reference_scores};
+
+/// A weighted triangle plus a weakly attached node.
+fn weighted_graph() -> Graph {
+    let mut coo = Coo::new(4, 4).unwrap();
+    coo.push(0, 1, 10.0).unwrap(); // strong edge
+    coo.push(0, 2, 1.0).unwrap(); // weak edge
+    coo.push(1, 0, 1.0).unwrap();
+    coo.push(1, 2, 1.0).unwrap();
+    coo.push(2, 0, 2.0).unwrap();
+    coo.push(2, 3, 0.5).unwrap();
+    coo.push(3, 2, 1.0).unwrap();
+    Graph::from_adjacency(coo.to_csr()).unwrap()
+}
+
+#[test]
+fn weights_shape_transition_probabilities() {
+    let g = weighted_graph();
+    let a = g.row_normalized();
+    // Node 0 splits 10:1 between nodes 1 and 2.
+    assert!((a.get(0, 1) - 10.0 / 11.0).abs() < 1e-15);
+    assert!((a.get(0, 2) - 1.0 / 11.0).abs() < 1e-15);
+}
+
+#[test]
+fn bepi_matches_power_on_weighted_graph() {
+    let g = weighted_graph();
+    let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+    for seed in 0..4 {
+        let got = solver.query(seed).unwrap();
+        let want = reference_scores(&g, 0.05, seed);
+        assert_scores_close("weighted", &got.scores, &want, 1e-8);
+    }
+}
+
+#[test]
+fn heavier_edge_means_higher_score() {
+    let g = weighted_graph();
+    let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+    let r = solver.query(0).unwrap();
+    // From node 0, node 1 (weight 10) must outrank node 2 (weight 1).
+    assert!(
+        r.scores[1] > r.scores[2],
+        "scores: {:?} — weight 10 edge must dominate",
+        r.scores
+    );
+}
+
+#[test]
+fn exact_solver_agrees_on_weighted_graph() {
+    let g = weighted_graph();
+    let bepi = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+    let exact = DenseExact::with_defaults(&g).unwrap();
+    for seed in 0..4 {
+        let a = bepi.query(seed).unwrap();
+        let b = exact.query(seed).unwrap();
+        assert_scores_close("weighted-exact", &a.scores, &b.scores, 1e-8);
+    }
+}
+
+#[test]
+fn scaling_all_weights_is_invariant() {
+    // Row normalization makes RWR invariant to uniform weight scaling.
+    let g1 = weighted_graph();
+    let mut adj = g1.adjacency().clone();
+    adj.scale(7.5);
+    let g2 = Graph::from_adjacency(adj).unwrap();
+    let s1 = BePi::preprocess(&g1, &BePiConfig::default()).unwrap();
+    let s2 = BePi::preprocess(&g2, &BePiConfig::default()).unwrap();
+    for seed in 0..4 {
+        let a = s1.query(seed).unwrap();
+        let b = s2.query(seed).unwrap();
+        assert_scores_close("weight-scaling", &a.scores, &b.scores, 1e-10);
+    }
+}
