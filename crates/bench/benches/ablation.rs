@@ -36,11 +36,36 @@ fn bench_inner_and_precond(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/inner_precond");
     group.sample_size(20);
     let combos: [(&str, InnerSolver, BePiVariant, PrecondKind); 6] = [
-        ("gmres_plain", InnerSolver::Gmres, BePiVariant::Sparse, PrecondKind::Ilu0),
-        ("gmres_ilu0", InnerSolver::Gmres, BePiVariant::Full, PrecondKind::Ilu0),
-        ("gmres_jacobi", InnerSolver::Gmres, BePiVariant::Full, PrecondKind::Jacobi),
-        ("bicgstab_plain", InnerSolver::BiCgStab, BePiVariant::Sparse, PrecondKind::Ilu0),
-        ("bicgstab_ilu0", InnerSolver::BiCgStab, BePiVariant::Full, PrecondKind::Ilu0),
+        (
+            "gmres_plain",
+            InnerSolver::Gmres,
+            BePiVariant::Sparse,
+            PrecondKind::Ilu0,
+        ),
+        (
+            "gmres_ilu0",
+            InnerSolver::Gmres,
+            BePiVariant::Full,
+            PrecondKind::Ilu0,
+        ),
+        (
+            "gmres_jacobi",
+            InnerSolver::Gmres,
+            BePiVariant::Full,
+            PrecondKind::Jacobi,
+        ),
+        (
+            "bicgstab_plain",
+            InnerSolver::BiCgStab,
+            BePiVariant::Sparse,
+            PrecondKind::Ilu0,
+        ),
+        (
+            "bicgstab_ilu0",
+            InnerSolver::BiCgStab,
+            BePiVariant::Full,
+            PrecondKind::Ilu0,
+        ),
         (
             "gmres_neumann3",
             InnerSolver::Gmres,

@@ -26,13 +26,21 @@ pub fn run() -> String {
     );
     let combos: [(&str, InnerSolver, Option<PrecondKind>); 8] = [
         ("GMRES, none", InnerSolver::Gmres, None),
-        ("GMRES + Jacobi", InnerSolver::Gmres, Some(PrecondKind::Jacobi)),
+        (
+            "GMRES + Jacobi",
+            InnerSolver::Gmres,
+            Some(PrecondKind::Jacobi),
+        ),
         (
             "GMRES + Neumann(3)",
             InnerSolver::Gmres,
             Some(PrecondKind::Neumann(3)),
         ),
-        ("GMRES + ILU(0)", InnerSolver::Gmres, Some(PrecondKind::Ilu0)),
+        (
+            "GMRES + ILU(0)",
+            InnerSolver::Gmres,
+            Some(PrecondKind::Ilu0),
+        ),
         ("BiCGSTAB, none", InnerSolver::BiCgStab, None),
         (
             "BiCGSTAB + Jacobi",

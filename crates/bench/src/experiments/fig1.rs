@@ -2,9 +2,7 @@
 //! (b) preprocessed-data memory across preprocessing methods, and
 //! (c) query time across all methods, on the full dataset suite.
 
-use crate::harness::{
-    query_seeds, run_method, seed_count, suite, Budget, Method, Metric, Status,
-};
+use crate::harness::{query_seeds, run_method, seed_count, suite, Budget, Method, Metric, Status};
 use crate::table::Table;
 use bepi_core::prelude::BePiVariant;
 use std::fmt::Write as _;

@@ -2,9 +2,7 @@
 //! queries for the preprocessing methods, 30 queries alone for the
 //! iterative methods.
 
-use crate::harness::{
-    query_seeds, run_method, seed_count, suite, Budget, Method, Status,
-};
+use crate::harness::{query_seeds, run_method, seed_count, suite, Budget, Method, Status};
 use crate::table::Table;
 use bepi_core::prelude::BePiVariant;
 use std::fmt::Write as _;
@@ -25,9 +23,7 @@ pub fn run() -> String {
         Method::Lu,
     ];
     let budget = Budget::default();
-    let mut t = Table::new(vec![
-        "dataset", "BePI", "GMRES", "Power", "Bear", "LU",
-    ]);
+    let mut t = Table::new(vec!["dataset", "BePI", "GMRES", "Power", "Bear", "LU"]);
     for ds in suite() {
         let spec = ds.spec();
         let g = ds.generate();

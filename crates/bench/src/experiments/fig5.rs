@@ -59,12 +59,7 @@ pub fn run() -> String {
         // (a) preprocessing, (b) memory: preprocessing methods only.
         for (ti, metric) in [(0usize, Metric::Preprocess), (1, Metric::Memory)] {
             let mut cells = vec![m_edges.clone()];
-            cells.extend(
-                outcomes
-                    .iter()
-                    .take(3)
-                    .map(|(_, s)| s.cell(metric)),
-            );
+            cells.extend(outcomes.iter().take(3).map(|(_, s)| s.cell(metric)));
             tables[ti].row(cells);
         }
         let mut cells = vec![m_edges.clone()];

@@ -15,7 +15,10 @@ pub const K_GRID: [f64; 7] = [0.001, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
 /// Runs the hub-ratio sweep.
 pub fn run() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 8 — effect of the hub selection ratio k on BePI\n");
+    let _ = writeln!(
+        out,
+        "Figure 8 — effect of the hub selection ratio k on BePI\n"
+    );
     let budget = Budget::default();
     for ds in [
         Dataset::Slashdot,
@@ -30,13 +33,7 @@ pub fn run() -> String {
         let mut t = Table::new(vec!["k", "preprocess", "memory", "query"]);
         for &k in &K_GRID {
             eprintln!("[fig8] {} k={}", spec.name, k);
-            let status = run_method(
-                Method::BePi(BePiVariant::Full),
-                &g,
-                k,
-                &seeds,
-                &budget,
-            );
+            let status = run_method(Method::BePi(BePiVariant::Full), &g, k, &seeds, &budget);
             // run_method maps BePI-Full's hub_ratio from the argument.
             t.row(vec![
                 format!("{k:.3}"),

@@ -1,19 +1,9 @@
 //! `bepi` — command-line RWR queries over edge-list graphs.
 //!
-//! ```text
-//! bepi query      <edges.txt> <seed> [--top K] [common flags]
-//! bepi ppr        <edges.txt> <seed:weight> [<seed:weight> ...] [--top K] [common flags]
-//! bepi community  <edges.txt> <seed> [--max-size N] [common flags]
-//! bepi stats      <edges.txt> [common flags]
-//! bepi select-k   <edges.txt> [--c C]
-//! bepi preprocess <edges.txt> <out.bepi> [common flags]
-//! bepi serve      <index.bepi> <seed> [--top K]
-//! ```
-//!
-//! Common flags: `--c C --tol EPS --k RATIO --variant full|sparse|basic
-//! --labels` (treat node ids as arbitrary strings instead of 0-indexed
-//! integers). The edge list is whitespace-separated `src dst [weight]`
-//! per line, `#`/`%` comments allowed.
+//! Run `bepi help` for the full usage text (the [`USAGE`] constant is the
+//! single source of truth for every subcommand and flag). The edge list
+//! is whitespace-separated `src dst [weight]` per line, `#`/`%` comments
+//! allowed.
 
 use bepi_core::community::sweep_cut;
 use bepi_core::prelude::*;
@@ -60,14 +50,45 @@ fn main() -> ExitCode {
     }
 }
 
+/// The one usage text: printed by `bepi help` / `--help` and after every
+/// argument error, so flag documentation cannot drift between the two.
 const USAGE: &str = "usage:
-  bepi query      <edges.txt> <seed> [--top K] [--c C] [--tol EPS] [--k RATIO] [--variant full|sparse|basic] [--labels]
-  bepi ppr        <edges.txt> <seed:weight> [<seed:weight> ...] [--top K] [flags]
-  bepi community  <edges.txt> <seed> [--max-size N] [flags]
-  bepi stats      <edges.txt> [flags]
+  bepi query      <edges.txt> <seed> [--top K] [common flags]
+  bepi ppr        <edges.txt> <seed:weight> [<seed:weight> ...] [--top K] [common flags]
+  bepi community  <edges.txt> <seed> [--max-size N] [common flags]
+  bepi stats      <edges.txt> [common flags]
   bepi select-k   <edges.txt> [--c C]
-  bepi preprocess <edges.txt> <out.bepi> [flags]
-  bepi serve      <index.bepi> <seed> [--top K]";
+  bepi preprocess <edges.txt> <out.bepi> [common flags]
+  bepi serve      <index.bepi> <seed> [--top K]          (one-shot query)
+  bepi serve      <index.bepi> --listen ADDR [--threads N] [--cache-entries M]
+                  [--queue-depth Q] [--timeout-ms T]     (HTTP daemon)
+  bepi help
+
+common flags:
+  --c C            restart probability (default 0.05)
+  --tol EPS        solver tolerance (default 1e-9)
+  --k RATIO        SlashBurn hub ratio (default: chosen automatically)
+  --variant V      full | sparse | basic (default full)
+  --top K          ranking rows to print (default 10)
+  --max-size N     community: cap the sweep-cut size
+  --labels         treat node ids as arbitrary strings instead of 0-indexed
+                   integers. Only for commands that read an edge list;
+                   preprocess and serve require integer ids because the
+                   label mapping is not stored in the .bepi index.
+
+serve daemon flags (with --listen):
+  --listen ADDR    bind address, e.g. 127.0.0.1:7462 (port 0 picks an
+                   ephemeral port; the bound address is printed on startup)
+  --threads N      worker threads (default: available parallelism)
+  --cache-entries M  response-cache capacity in entries (default 4096;
+                   0 disables caching)
+  --queue-depth Q  admission-queue depth; connections beyond it are shed
+                   with 503 + Retry-After (default 128)
+  --timeout-ms T   per-request deadline in milliseconds, including queue
+                   wait (default 10000)
+
+daemon endpoints: GET /query?seed=S&top=K   GET /healthz   GET /metrics
+the daemon shuts down gracefully (draining in-flight queries) on stdin EOF.";
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -116,9 +137,22 @@ fn run() -> Result<(), String> {
         }
         "serve" => {
             let (index, rest) = rest.split_first().ok_or("missing index path")?;
-            let (seed_s, rest) = rest.split_first().ok_or("missing seed node")?;
-            let opts = parse_opts(rest)?;
-            cmd_serve(index, seed_s, &opts)
+            if rest.first().is_some_and(|a| a.starts_with("--")) {
+                cmd_serve_daemon(index, rest)
+            } else {
+                let (seed_s, rest) = rest
+                    .split_first()
+                    .ok_or("missing seed node (or --listen ADDR for daemon mode)")?;
+                let opts = parse_opts(rest)?;
+                cmd_serve(index, seed_s, &opts)
+            }
+        }
+        "help" | "--help" | "-h" => {
+            // Tolerate a closed pipe (`bepi help | head`): ignore the
+            // write error instead of panicking like `println!` would.
+            use std::io::Write as _;
+            let _ = writeln!(std::io::stdout(), "{USAGE}");
+            Ok(())
         }
         other => Err(format!("unknown subcommand: {other}")),
     }
@@ -141,7 +175,11 @@ fn parse_opts(mut rest: &[String]) -> Result<Options, String> {
             "--k" => o.k = Some(value.parse().map_err(|_| format!("bad --k: {value}"))?),
             "--top" => o.top = value.parse().map_err(|_| format!("bad --top: {value}"))?,
             "--max-size" => {
-                o.max_size = Some(value.parse().map_err(|_| format!("bad --max-size: {value}"))?)
+                o.max_size = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad --max-size: {value}"))?,
+                )
             }
             "--variant" => {
                 o.variant = match value.as_str() {
@@ -320,8 +358,7 @@ fn cmd_stats(path: &str, o: &Options) -> Result<(), String> {
 fn cmd_select_k(path: &str, o: &Options) -> Result<(), String> {
     let loaded = load(path, o)?;
     let grid = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5];
-    let (best, curve) =
-        select_hub_ratio(&loaded.graph, o.c, &grid).map_err(|e| e.to_string())?;
+    let (best, curve) = select_hub_ratio(&loaded.graph, o.c, &grid).map_err(|e| e.to_string())?;
     println!("{:<6} {:>12}", "k", "|S|");
     for (k, nnz) in curve {
         let marker = if k == best { "  <-- minimum" } else { "" };
@@ -344,14 +381,92 @@ fn cmd_preprocess(path: &str, out: &str, o: &Options) -> Result<(), String> {
         "preprocessed {} nodes / {} edges into {out} ({})",
         loaded.graph.n(),
         loaded.graph.m(),
-        format_bytes(std::fs::metadata(out).map(|m| m.len() as usize).unwrap_or(0))
+        format_bytes(
+            std::fs::metadata(out)
+                .map(|m| m.len() as usize)
+                .unwrap_or(0)
+        )
     );
+    Ok(())
+}
+
+fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
+    use bepi_server::{Server, ServerConfig};
+
+    let mut cfg = ServerConfig::default();
+    let mut listen: Option<String> = None;
+    let mut rest = flags;
+    while let Some((flag, tail)) = rest.split_first() {
+        let (value, tail) = tail
+            .split_first()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--listen" => listen = Some(value.clone()),
+            "--threads" => {
+                cfg.threads = value
+                    .parse()
+                    .map_err(|_| format!("bad --threads: {value}"))?
+            }
+            "--cache-entries" => {
+                cfg.cache_entries = value
+                    .parse()
+                    .map_err(|_| format!("bad --cache-entries: {value}"))?
+            }
+            "--queue-depth" => {
+                cfg.queue_depth = value
+                    .parse()
+                    .map_err(|_| format!("bad --queue-depth: {value}"))?;
+                if cfg.queue_depth == 0 {
+                    return Err("--queue-depth must be at least 1".into());
+                }
+            }
+            "--timeout-ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad --timeout-ms: {value}"))?;
+                if ms == 0 {
+                    return Err("--timeout-ms must be at least 1".into());
+                }
+                cfg.timeout = std::time::Duration::from_millis(ms);
+            }
+            f => return Err(format!("unknown serve flag: {f}")),
+        }
+        rest = tail;
+    }
+    cfg.listen = listen.ok_or("daemon mode needs --listen ADDR")?;
+
+    let solver = bepi_core::persist::load_file(index).map_err(|e| e.to_string())?;
+    let nodes = solver.node_count();
+    let handle = Server::start(std::sync::Arc::new(solver), &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "bepi-server listening on http://{} ({} nodes; cache {} entries, \
+         queue depth {}, timeout {:?})",
+        handle.local_addr(),
+        nodes,
+        cfg.cache_entries,
+        cfg.queue_depth,
+        cfg.timeout,
+    );
+    println!("endpoints: /query?seed=S&top=K  /healthz  /metrics");
+    println!("EOF on stdin (e.g. ctrl-D) shuts down gracefully");
+
+    // stdin EOF is the daemon's SIGTERM-equivalent: installing a real
+    // signal handler would need a non-std dependency, and a supervising
+    // process can close our stdin just as easily as it can signal us.
+    let trigger = handle.trigger();
+    std::io::copy(&mut std::io::stdin().lock(), &mut std::io::sink()).ok();
+    eprintln!("shutting down: draining queued and in-flight queries");
+    trigger.fire();
+    handle.join();
+    eprintln!("bye");
     Ok(())
 }
 
 fn cmd_serve(index: &str, seed_s: &str, o: &Options) -> Result<(), String> {
     let solver = bepi_core::persist::load_file(index).map_err(|e| e.to_string())?;
-    let seed: usize = seed_s.parse().map_err(|_| format!("bad node id: {seed_s}"))?;
+    let seed: usize = seed_s
+        .parse()
+        .map_err(|_| format!("bad node id: {seed_s}"))?;
     let r = solver.query(seed).map_err(|e| e.to_string())?;
     let loaded = Loaded {
         graph: Graph::from_edges(solver.node_count(), &[]).map_err(|e| e.to_string())?,

@@ -78,10 +78,7 @@ pub fn theorem4_bound(bepi: &BePi) -> Result<Theorem4Bound> {
             |b| blu.solve_vec(b).expect("dimension fixed"),
             |b| {
                 // H11^{-T} b = L1^{-T} (U1^{-T} b)
-                let t = blu
-                    .u_inv
-                    .mul_vec_transposed(b)
-                    .expect("dimension fixed");
+                let t = blu.u_inv.mul_vec_transposed(b).expect("dimension fixed");
                 blu.l_inv.mul_vec_transposed(&t).expect("dimension fixed")
             },
             tol,

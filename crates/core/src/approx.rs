@@ -78,10 +78,7 @@ pub fn monte_carlo(
         }
     }
     let _ = leaked;
-    let scores: Vec<f64> = hits
-        .into_iter()
-        .map(|h| h as f64 / walks as f64)
-        .collect();
+    let scores: Vec<f64> = hits.into_iter().map(|h| h as f64 / walks as f64).collect();
     Ok(RwrScores {
         scores,
         iterations: walks,
@@ -168,7 +165,11 @@ mod tests {
     use bepi_graph::generators;
 
     fn exact(g: &Graph, seed: usize) -> Vec<f64> {
-        DenseExact::with_defaults(g).unwrap().query(seed).unwrap().scores
+        DenseExact::with_defaults(g)
+            .unwrap()
+            .query(seed)
+            .unwrap()
+            .scores
     }
 
     #[test]
@@ -242,11 +243,8 @@ mod tests {
     #[test]
     fn forward_push_is_local() {
         // Two islands: pushing from island A never touches island B.
-        let g = bepi_graph::Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
-        )
-        .unwrap();
+        let g = bepi_graph::Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+            .unwrap();
         let pr = forward_push(&g, 0.1, 0, 1e-10).unwrap();
         assert!(pr.scores.scores[3..].iter().all(|&v| v == 0.0));
         assert!(pr.touched <= 3);

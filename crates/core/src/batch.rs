@@ -7,8 +7,10 @@
 //! module provides the fan-out on top of `crossbeam`'s scoped threads.
 
 use crate::bepi::BePi;
-use crate::rwr::RwrScores;
+use crate::rwr::{check_seed, RwrScores, RwrSolver};
 use bepi_sparse::{Result, SparseError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 impl BePi {
     /// Answers a batch of queries serially, in input order.
@@ -20,33 +22,69 @@ impl BePi {
     /// input order. Results are identical to [`BePi::query_batch`] —
     /// every query runs the same deterministic solve on shared read-only
     /// data.
-    pub fn query_batch_parallel(
-        &self,
-        seeds: &[usize],
-        threads: usize,
-    ) -> Result<Vec<RwrScores>> {
+    ///
+    /// On failure the error is deterministic regardless of thread timing:
+    /// seeds are validated up front (so an out-of-range seed reports the
+    /// first offender in input order), and if a solve fails mid-batch the
+    /// lowest-indexed failure wins. A failure also cancels the remaining
+    /// work — workers check a shared flag between queries — so a batch
+    /// with an early error does not pay for the rest of the batch.
+    pub fn query_batch_parallel(&self, seeds: &[usize], threads: usize) -> Result<Vec<RwrScores>> {
+        let n = self.node_count();
+        for &s in seeds {
+            check_seed(s, n)?;
+        }
         if threads <= 1 || seeds.len() <= 1 {
             return self.query_batch(seeds);
         }
         let threads = threads.min(seeds.len());
-        let mut results: Vec<Option<Result<RwrScores>>> = Vec::new();
+        let mut results: Vec<Option<RwrScores>> = Vec::new();
         results.resize_with(seeds.len(), || None);
         let chunk = seeds.len().div_ceil(threads);
+        let cancelled = AtomicBool::new(false);
+        // Lowest-indexed failure across all workers; the index makes the
+        // winner deterministic even when several chunks fail at once.
+        let first_error: Mutex<Option<(usize, SparseError)>> = Mutex::new(None);
         crossbeam::thread::scope(|scope| {
-            for (seed_chunk, result_chunk) in
-                seeds.chunks(chunk).zip(results.chunks_mut(chunk))
+            for (chunk_no, (seed_chunk, result_chunk)) in seeds
+                .chunks(chunk)
+                .zip(results.chunks_mut(chunk))
+                .enumerate()
             {
+                let cancelled = &cancelled;
+                let first_error = &first_error;
+                let base = chunk_no * chunk;
                 scope.spawn(move |_| {
-                    for (s, slot) in seed_chunk.iter().zip(result_chunk.iter_mut()) {
-                        *slot = Some(self.query_with_stats(*s));
+                    for (offset, (s, slot)) in
+                        seed_chunk.iter().zip(result_chunk.iter_mut()).enumerate()
+                    {
+                        if cancelled.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        match self.query_with_stats(*s) {
+                            Ok(scores) => *slot = Some(scores),
+                            Err(e) => {
+                                let idx = base + offset;
+                                let mut guard =
+                                    first_error.lock().unwrap_or_else(|p| p.into_inner());
+                                if guard.as_ref().map_or(true, |(i, _)| idx < *i) {
+                                    *guard = Some((idx, e));
+                                }
+                                cancelled.store(true, Ordering::Relaxed);
+                                return;
+                            }
+                        }
                     }
                 });
             }
         })
         .map_err(|_| SparseError::Numerical("query worker thread panicked".into()))?;
+        if let Some((_, e)) = first_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            return Err(e);
+        }
         results
             .into_iter()
-            .map(|r| r.expect("every slot filled by its worker"))
+            .map(|r| Ok(r.expect("no error recorded, so every slot was filled")))
             .collect()
     }
 }
@@ -102,6 +140,36 @@ mod tests {
         let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
         assert!(solver.query_batch(&[1, 99]).is_err());
         assert!(solver.query_batch_parallel(&[1, 99, 2, 3], 2).is_err());
+    }
+
+    #[test]
+    fn out_of_range_seed_error_is_deterministic_by_input_order() {
+        let g = generators::erdos_renyi(50, 200, 9).unwrap();
+        let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        // Two invalid seeds buried in otherwise valid work, placed so they
+        // land in different worker chunks. The reported error must always
+        // name the first offender in input order (seed 77 at index 2), no
+        // matter how threads interleave.
+        let seeds = [0usize, 1, 77, 3, 4, 5, 6, 88, 8, 9, 10, 11];
+        let expected = solver
+            .query_batch_parallel(&seeds, 4)
+            .unwrap_err()
+            .to_string();
+        assert!(
+            expected.contains("77"),
+            "error should name seed 77: {expected}"
+        );
+        for _ in 0..20 {
+            for threads in [2usize, 3, 4, 6] {
+                let err = solver.query_batch_parallel(&seeds, threads).unwrap_err();
+                assert_eq!(err.to_string(), expected, "threads = {threads}");
+            }
+        }
+        // And the serial form agrees.
+        assert_eq!(
+            solver.query_batch(&seeds).unwrap_err().to_string(),
+            expected
+        );
     }
 
     #[test]

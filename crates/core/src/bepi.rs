@@ -424,11 +424,7 @@ impl BePi {
         let cq1: Vec<f64> = q1.iter().map(|v| c * v).collect();
         let t = self.h11_lu.solve_vec(&cq1)?;
         let h21t = self.h21.mul_vec(&t)?;
-        let q2_hat: Vec<f64> = q2
-            .iter()
-            .zip(&h21t)
-            .map(|(qv, hv)| c * qv - hv)
-            .collect();
+        let q2_hat: Vec<f64> = q2.iter().zip(&h21t).map(|(qv, hv)| c * qv - hv).collect();
 
         // Line 4: solve S r2 = q̂2 (preconditioned for the full variant).
         let (r2, inner_iterations) = match self.config.inner {
@@ -580,9 +576,9 @@ mod tests {
         let n1 = solver.stats().n1;
         let n2 = solver.stats().n2;
         let seeds = [
-            inv.apply(0),                // a spoke
-            inv.apply(n1),               // a hub (if any)
-            inv.apply(n1 + n2),          // a deadend (if any)
+            inv.apply(0),       // a spoke
+            inv.apply(n1),      // a hub (if any)
+            inv.apply(n1 + n2), // a deadend (if any)
         ];
         for s in seeds {
             let got = solver.query(s).unwrap();
@@ -756,11 +752,7 @@ mod tests {
         let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
         let res = solver.query(42).unwrap();
         assert!(res.scores.iter().all(|&v| v >= -1e-12));
-        let max = res
-            .scores
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max = res.scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!((res.scores[42] - max).abs() < 1e-12, "seed not maximal");
     }
 

@@ -174,7 +174,11 @@ mod tests {
         let cut = sweep_cut(&g, &scores, None).unwrap();
         let mut nodes = cut.nodes.clone();
         nodes.sort_unstable();
-        assert_eq!(nodes, (0..10).collect::<Vec<_>>(), "must recover the clique");
+        assert_eq!(
+            nodes,
+            (0..10).collect::<Vec<_>>(),
+            "must recover the clique"
+        );
         assert!(cut.conductance < 0.05);
     }
 
@@ -197,7 +201,11 @@ mod tests {
         assert!((0.0..=1.0 + 1e-12).contains(&cut.conductance));
         // Reported conductance must match the standalone computation.
         let phi = conductance(&g, &cut.nodes).unwrap();
-        assert!((phi - cut.conductance).abs() < 1e-9, "{phi} vs {}", cut.conductance);
+        assert!(
+            (phi - cut.conductance).abs() < 1e-9,
+            "{phi} vs {}",
+            cut.conductance
+        );
     }
 
     #[test]

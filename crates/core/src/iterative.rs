@@ -147,8 +147,14 @@ mod tests {
     #[test]
     fn no_preprocessed_bytes() {
         let g = generators::cycle(10);
-        assert_eq!(PowerSolver::with_defaults(&g).unwrap().preprocessed_bytes(), 0);
-        assert_eq!(GmresSolver::with_defaults(&g).unwrap().preprocessed_bytes(), 0);
+        assert_eq!(
+            PowerSolver::with_defaults(&g).unwrap().preprocessed_bytes(),
+            0
+        );
+        assert_eq!(
+            GmresSolver::with_defaults(&g).unwrap().preprocessed_bytes(),
+            0
+        );
     }
 
     #[test]

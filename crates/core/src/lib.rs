@@ -60,8 +60,8 @@ pub mod rwr;
 pub mod schur;
 
 pub use bear::Bear;
-pub use dynamic::DynamicBePi;
 pub use bepi::{BePi, BePiConfig, BePiVariant, InnerSolver, PrecondKind};
+pub use dynamic::DynamicBePi;
 pub use exact::DenseExact;
 pub use hmatrix::HPartition;
 pub use iterative::{GmresSolver, PowerSolver};

@@ -69,7 +69,10 @@ pub fn top_k_mae(truth: &[f64], approx: &[f64], k: usize) -> f64 {
     if idx.is_empty() {
         return 0.0;
     }
-    idx.iter().map(|&i| (truth[i] - approx[i]).abs()).sum::<f64>() / idx.len() as f64
+    idx.iter()
+        .map(|&i| (truth[i] - approx[i]).abs())
+        .sum::<f64>()
+        / idx.len() as f64
 }
 
 #[cfg(test)]

@@ -6,9 +6,15 @@
 //! serializes a [`BePi`] instance to a compact little-endian binary format
 //! and restores it bit-for-bit.
 //!
-//! Format: magic `BEPI`, a format version, the config scalars, then each
-//! matrix as `(nrows, ncols, nnz, indptr, indices, values)`. No external
-//! serialization crates — the arrays are written directly.
+//! Format (v2): magic `BEPI`, a format version, the config scalars, then
+//! each matrix as `(nrows, ncols, indptr, indices, values)`, and finally a
+//! CRC-32 (IEEE, hand-rolled — no external crates) of every payload byte
+//! between the version field and the trailer. Version 1 files (no
+//! checksum trailer) are still readable.
+//!
+//! Array lengths in the stream are untrusted: readers never preallocate
+//! more than a fixed bound, so a corrupt length field fails with a clean
+//! parse error instead of aborting on an absurd allocation.
 
 use crate::bepi::{BePi, BePiConfig};
 use bepi_sparse::{Csr, Permutation, Result, SparseError};
@@ -16,19 +22,136 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"BEPI";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest format version `load` still understands.
+const MIN_VERSION: u32 = 1;
 
-/// Writes a preprocessed instance to a stream.
+/// Upper bound on speculative preallocation for length-prefixed arrays.
+/// Legitimate arrays larger than this still load — the vector grows as
+/// elements are actually read — but a bogus length field from a corrupt
+/// file can no longer trigger a multi-terabyte `with_capacity`.
+const MAX_PREALLOC_BYTES: usize = 1 << 24;
+
+// --- CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) ---
+
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC-32 state.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    pub(crate) fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            self.state = CRC32_TABLE[idx] ^ (self.state >> 8);
+        }
+    }
+
+    pub(crate) fn finalize(self) -> u32 {
+        !self.state
+    }
+}
+
+/// Computes the CRC-32 of a byte slice in one call.
+#[cfg(test)]
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finalize()
+}
+
+/// A writer adapter that checksums everything flowing through it.
+struct CrcWriter<W: Write> {
+    inner: W,
+    crc: Crc32,
+}
+
+impl<W: Write> CrcWriter<W> {
+    fn new(inner: W) -> Self {
+        Self {
+            inner,
+            crc: Crc32::new(),
+        }
+    }
+}
+
+impl<W: Write> Write for CrcWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader adapter that checksums everything flowing through it.
+struct CrcReader<R: Read> {
+    inner: R,
+    crc: Crc32,
+}
+
+impl<R: Read> CrcReader<R> {
+    fn new(inner: R) -> Self {
+        Self {
+            inner,
+            crc: Crc32::new(),
+        }
+    }
+}
+
+impl<R: Read> Read for CrcReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+/// Writes a preprocessed instance to a stream (format v2: payload followed
+/// by a CRC-32 trailer).
 pub fn save<W: Write>(bepi: &BePi, writer: W) -> Result<()> {
     let mut w = BufWriter::new(writer);
     w.write_all(MAGIC)?;
     write_u32(&mut w, VERSION)?;
-    bepi.write_parts(&mut w)?;
+    let mut cw = CrcWriter::new(w);
+    bepi.write_parts(&mut cw)?;
+    let checksum = cw.crc.finalize();
+    let mut w = cw.inner;
+    write_u32(&mut w, checksum)?;
     w.flush()?;
     Ok(())
 }
 
-/// Reads a preprocessed instance from a stream.
+/// Reads a preprocessed instance from a stream. Accepts format v2
+/// (checksum verified) and legacy v1 (no trailer, nothing to verify).
 pub fn load<R: Read>(reader: R) -> Result<BePi> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 4];
@@ -39,12 +162,26 @@ pub fn load<R: Read>(reader: R) -> Result<BePi> {
         )));
     }
     let version = read_u32(&mut r)?;
-    if version != VERSION {
-        return Err(SparseError::Parse(format!(
-            "unsupported BePI format version {version} (expected {VERSION})"
-        )));
+    match version {
+        1 => BePi::read_parts(&mut r),
+        2 => {
+            let mut cr = CrcReader::new(r);
+            let bepi = BePi::read_parts(&mut cr)?;
+            let computed = cr.crc.finalize();
+            let mut r = cr.inner;
+            let stored = read_u32(&mut r)?;
+            if stored != computed {
+                return Err(SparseError::Parse(format!(
+                    "checksum mismatch: stored {stored:#010x}, computed {computed:#010x} \
+                     (file is corrupt)"
+                )));
+            }
+            Ok(bepi)
+        }
+        v => Err(SparseError::Parse(format!(
+            "unsupported BePI format version {v} (expected {MIN_VERSION}..={VERSION})"
+        ))),
     }
-    BePi::read_parts(&mut r)
 }
 
 /// Convenience: saves to a file path.
@@ -100,9 +237,16 @@ pub(crate) fn write_usize_slice<W: Write>(w: &mut W, s: &[usize]) -> Result<()> 
     Ok(())
 }
 
+/// Caps speculative preallocation: trust `len` only up to
+/// [`MAX_PREALLOC_BYTES`]; beyond that the vector grows as elements are
+/// actually read, so a truncated stream errors before memory does.
+fn bounded_capacity(len: usize, elem_size: usize) -> usize {
+    len.min(MAX_PREALLOC_BYTES / elem_size.max(1))
+}
+
 pub(crate) fn read_usize_vec<R: Read>(r: &mut R) -> Result<Vec<usize>> {
     let len = read_u64(r)? as usize;
-    let mut out = Vec::with_capacity(len);
+    let mut out = Vec::with_capacity(bounded_capacity(len, size_of::<usize>()));
     for _ in 0..len {
         out.push(read_u64(r)? as usize);
     }
@@ -119,7 +263,7 @@ pub(crate) fn write_u32_slice<W: Write>(w: &mut W, s: &[u32]) -> Result<()> {
 
 pub(crate) fn read_u32_vec<R: Read>(r: &mut R) -> Result<Vec<u32>> {
     let len = read_u64(r)? as usize;
-    let mut out = Vec::with_capacity(len);
+    let mut out = Vec::with_capacity(bounded_capacity(len, size_of::<u32>()));
     for _ in 0..len {
         out.push(read_u32(r)?);
     }
@@ -136,7 +280,7 @@ pub(crate) fn write_f64_slice<W: Write>(w: &mut W, s: &[f64]) -> Result<()> {
 
 pub(crate) fn read_f64_vec<R: Read>(r: &mut R) -> Result<Vec<f64>> {
     let len = read_u64(r)? as usize;
-    let mut out = Vec::with_capacity(len);
+    let mut out = Vec::with_capacity(bounded_capacity(len, size_of::<f64>()));
     for _ in 0..len {
         out.push(read_f64(r)?);
     }
@@ -155,8 +299,31 @@ pub(crate) fn read_csr<R: Read>(r: &mut R) -> Result<Csr> {
     let nrows = read_u64(r)? as usize;
     let ncols = read_u64(r)? as usize;
     let indptr = read_usize_vec(r)?;
+    // Validate array lengths against the header before reading further:
+    // a CSR always has nrows + 1 row pointers, and the last pointer is
+    // the nnz both remaining arrays must match.
+    if indptr.len() != nrows + 1 {
+        return Err(SparseError::Parse(format!(
+            "corrupt CSR header: {nrows} rows but {} row pointers (expected {})",
+            indptr.len(),
+            nrows + 1
+        )));
+    }
+    let nnz = *indptr.last().unwrap_or(&0);
     let indices = read_u32_vec(r)?;
+    if indices.len() != nnz {
+        return Err(SparseError::Parse(format!(
+            "corrupt CSR: indptr declares {nnz} nonzeros but {} column indices follow",
+            indices.len()
+        )));
+    }
     let values = read_f64_vec(r)?;
+    if values.len() != nnz {
+        return Err(SparseError::Parse(format!(
+            "corrupt CSR: indptr declares {nnz} nonzeros but {} values follow",
+            values.len()
+        )));
+    }
     Csr::from_parts(nrows, ncols, indptr, indices, values)
 }
 
@@ -311,5 +478,82 @@ mod tests {
         save(&original, &mut buf).unwrap();
         buf.truncate(buf.len() / 2);
         assert!(load(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Incremental updates must agree with the one-shot form.
+        let mut c = Crc32::new();
+        c.update(b"1234");
+        c.update(b"56789");
+        assert_eq!(c.finalize(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn detects_single_byte_corruption() {
+        let g = generators::cycle(10);
+        let original = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let mut buf = Vec::new();
+        save(&original, &mut buf).unwrap();
+        // Flip one bit in several payload positions. Every corruption must
+        // be rejected — by a parse error or, where the mangled bytes still
+        // parse, by the checksum trailer.
+        let payload = 8..buf.len() - 4;
+        for pos in [
+            payload.start,
+            payload.start + payload.len() / 3,
+            payload.start + payload.len() / 2,
+            payload.end - 1,
+        ] {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x40;
+            assert!(load(&bad[..]).is_err(), "corruption at byte {pos} accepted");
+        }
+    }
+
+    #[test]
+    fn still_reads_v1_files_without_trailer() {
+        let g = generators::cycle(10);
+        let original = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        // Hand-assemble a legacy v1 file: magic, version 1, bare payload.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        original.write_parts(&mut buf).unwrap();
+        let restored = load(&buf[..]).unwrap();
+        assert_eq!(
+            original.query(3).unwrap().scores,
+            restored.query(3).unwrap().scores
+        );
+    }
+
+    #[test]
+    fn bogus_length_prefix_fails_cleanly() {
+        // A length field claiming 2^60 elements must produce an error, not
+        // an allocation abort.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(1u64 << 60).to_le_bytes());
+        assert!(read_f64_vec(&mut &buf[..]).is_err());
+        assert!(read_u32_vec(&mut &buf[..]).is_err());
+        assert!(read_usize_vec(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn csr_header_mismatch_is_rejected() {
+        let g = generators::cycle(10);
+        let original = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let mut buf = Vec::new();
+        original.write_parts(&mut buf).unwrap();
+        // Corrupt the very first CSR length field we can find by writing a
+        // stream that declares 5 rows but carries 3 row pointers.
+        let mut csr = Vec::new();
+        write_u64(&mut csr, 5).unwrap(); // nrows
+        write_u64(&mut csr, 5).unwrap(); // ncols
+        write_usize_slice(&mut csr, &[0, 1, 2]).unwrap(); // wrong: needs 6
+        let err = read_csr(&mut &csr[..]).unwrap_err();
+        assert!(err.to_string().contains("row pointers"), "{err}");
     }
 }

@@ -313,7 +313,10 @@ mod tests {
 
     #[test]
     fn sizes_are_monotonically_increasing() {
-        let ms: Vec<usize> = Dataset::all().iter().map(|d| d.spec().nominal_m()).collect();
+        let ms: Vec<usize> = Dataset::all()
+            .iter()
+            .map(|d| d.spec().nominal_m())
+            .collect();
         for w in ms.windows(2) {
             assert!(w[0] < w[1], "suite sizes must increase: {ms:?}");
         }

@@ -17,7 +17,11 @@ use bepi_sparse::Csr;
 /// Note this requires blocks to be *contiguous* in the current ordering —
 /// exactly what SlashBurn produces for `H11`.
 pub fn diagonal_blocks(a: &Csr) -> Vec<usize> {
-    assert_eq!(a.nrows(), a.ncols(), "diagonal_blocks needs a square matrix");
+    assert_eq!(
+        a.nrows(),
+        a.ncols(),
+        "diagonal_blocks needs a square matrix"
+    );
     let n = a.nrows();
     if n == 0 {
         return Vec::new();

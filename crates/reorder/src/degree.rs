@@ -24,14 +24,12 @@ pub fn degree_order(g: &Graph, order: DegreeOrder) -> Permutation {
     let mut nodes: Vec<u32> = (0..g.n() as u32).collect();
     match order {
         DegreeOrder::Ascending => {
-            nodes.sort_unstable_by(|&a, &b| {
-                degs[a as usize].cmp(&degs[b as usize]).then(a.cmp(&b))
-            });
+            nodes
+                .sort_unstable_by(|&a, &b| degs[a as usize].cmp(&degs[b as usize]).then(a.cmp(&b)));
         }
         DegreeOrder::Descending => {
-            nodes.sort_unstable_by(|&a, &b| {
-                degs[b as usize].cmp(&degs[a as usize]).then(a.cmp(&b))
-            });
+            nodes
+                .sort_unstable_by(|&a, &b| degs[b as usize].cmp(&degs[a as usize]).then(a.cmp(&b)));
         }
     }
     // nodes[new] = old
@@ -48,7 +46,7 @@ mod tests {
         let g = generators::star(5); // node 0 has degree 8, leaves 2
         let p = degree_order(&g, DegreeOrder::Ascending);
         assert_eq!(p.apply(0), 4); // hub last
-        // Leaves keep id order.
+                                   // Leaves keep id order.
         assert_eq!(p.apply(1), 0);
         assert_eq!(p.apply(2), 1);
     }

@@ -63,10 +63,7 @@ pub fn rcm_order_structure(adj: &Csr) -> Permutation {
 /// Structural bandwidth of a square matrix: `max |i − j|` over stored
 /// entries (0 for diagonal/empty matrices). The quantity RCM minimizes.
 pub fn bandwidth(a: &Csr) -> usize {
-    a.iter()
-        .map(|(r, c, _)| r.abs_diff(c))
-        .max()
-        .unwrap_or(0)
+    a.iter().map(|(r, c, _)| r.abs_diff(c)).max().unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -92,14 +89,16 @@ mod tests {
         // RCM recovers a near-path ordering with bandwidth ~1.
         let n = 60;
         let shuffled: Vec<usize> = (0..n).map(|i| (i * 37) % n).collect();
-        let edges: Vec<(usize, usize)> = (0..n - 1)
-            .map(|i| (shuffled[i], shuffled[i + 1]))
-            .collect();
+        let edges: Vec<(usize, usize)> =
+            (0..n - 1).map(|i| (shuffled[i], shuffled[i + 1])).collect();
         let g = Graph::from_undirected_edges(n, &edges).unwrap();
         let before = bandwidth(&g.undirected_structure());
         let p = rcm_order(&g);
         let after = bandwidth(&p.permute_symmetric(&g.undirected_structure()).unwrap());
-        assert!(after <= 2, "RCM bandwidth on a path should be ≤ 2, got {after}");
+        assert!(
+            after <= 2,
+            "RCM bandwidth on a path should be ≤ 2, got {after}"
+        );
         assert!(before > after);
     }
 

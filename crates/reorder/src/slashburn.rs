@@ -118,16 +118,10 @@ pub fn slashburn(adj: &Csr, cfg: &SlashBurnConfig) -> SlashBurnResult {
         let mut order = active_nodes.clone();
         let h = hubs_per_iter.min(order.len());
         order.select_nth_unstable_by(h - 1, |&a, &b| {
-            degree[b as usize]
-                .cmp(&degree[a as usize])
-                .then(a.cmp(&b))
+            degree[b as usize].cmp(&degree[a as usize]).then(a.cmp(&b))
         });
         let mut hubs: Vec<u32> = order[..h].to_vec();
-        hubs.sort_unstable_by(|&a, &b| {
-            degree[b as usize]
-                .cmp(&degree[a as usize])
-                .then(a.cmp(&b))
-        });
+        hubs.sort_unstable_by(|&a, &b| degree[b as usize].cmp(&degree[a as usize]).then(a.cmp(&b)));
         for &hub in &hubs {
             active[hub as usize] = false;
             for (v, _) in adj.row_iter(hub as usize) {
@@ -258,7 +252,7 @@ mod tests {
     fn star_hub_is_detected() {
         let g = generators::star(11);
         let r = run(&g, 0.1); // 2 hubs/iter on 11 nodes
-        // Node 0 (the hub) must be among the hubs.
+                              // Node 0 (the hub) must be among the hubs.
         assert!(r.perm.apply(0) >= r.n_spokes);
         assert_eq!(r.n_spokes + r.n_hubs, 11);
         assert_block_diagonal(&g.undirected_structure(), &r);
@@ -336,7 +330,7 @@ mod tests {
     fn hubs_get_highest_labels_in_removal_order() {
         let g = generators::star(9);
         let r = run(&g, 0.12); // ⌈0.12*9⌉ = 2 hubs in iteration 1
-        // The star hub has the highest degree → removed first → label n-1.
+                               // The star hub has the highest degree → removed first → label n-1.
         assert_eq!(r.perm.apply(0), 8);
     }
 

@@ -1,0 +1,318 @@
+//! Minimal HTTP/1.1 request parsing and response writing.
+//!
+//! The daemon speaks just enough HTTP for its three `GET` endpoints:
+//! request line + headers are read (bounded), the body is ignored, and
+//! every response closes the connection (`Connection: close`). This keeps
+//! the server std-only — no protocol crates — while remaining compatible
+//! with `curl`, browsers, and Prometheus scrapers.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+/// Upper bound on the request head (request line + headers) in bytes.
+/// Anything larger is rejected with `431`.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed HTTP request head. The body (if any) is never read: all
+/// served endpoints are `GET`.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the request target, before any `?`.
+    pub path: String,
+    /// Decoded query parameters, last occurrence wins.
+    pub params: HashMap<String, String>,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Client closed or timed out before a full head arrived.
+    Io(std::io::Error),
+    /// The head exceeded [`MAX_HEAD_BYTES`].
+    TooLarge,
+    /// The request line / headers were not valid HTTP.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o while reading request: {e}"),
+            ParseError::TooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
+            ParseError::Malformed(m) => write!(f, "malformed request: {m}"),
+        }
+    }
+}
+
+/// Reads one request head from `reader` (a buffered stream).
+///
+/// Header lines after the request line are read and discarded — none of
+/// the served endpoints are header-sensitive — but the head must still
+/// terminate with an empty line within [`MAX_HEAD_BYTES`].
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
+    let mut line = String::new();
+    let mut total = 0usize;
+    read_line_bounded(reader, &mut line, &mut total)?;
+    let request = parse_request_line(line.trim_end())?;
+    // Drain headers until the blank line.
+    loop {
+        line.clear();
+        read_line_bounded(reader, &mut line, &mut total)?;
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if !trimmed.contains(':') {
+            return Err(ParseError::Malformed(format!(
+                "header line without ':': {trimmed:?}"
+            )));
+        }
+    }
+    Ok(request)
+}
+
+fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    line: &mut String,
+    total: &mut usize,
+) -> Result<(), ParseError> {
+    // read_line is safe against non-UTF8 garbage: it errors instead of
+    // panicking, which we surface as a malformed request.
+    match reader.read_line(line) {
+        Ok(0) => Err(ParseError::Malformed("empty request".into())),
+        Ok(n) => {
+            *total += n;
+            if *total > MAX_HEAD_BYTES {
+                Err(ParseError::TooLarge)
+            } else {
+                Ok(())
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            Err(ParseError::Malformed("request is not valid UTF-8".into()))
+        }
+        Err(e) => Err(ParseError::Io(e)),
+    }
+}
+
+fn parse_request_line(line: &str) -> Result<Request, ParseError> {
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => return Err(ParseError::Malformed(format!("bad request line: {line:?}"))),
+    };
+    if parts.next().is_some() {
+        return Err(ParseError::Malformed(format!("bad request line: {line:?}")));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed(format!(
+            "unsupported protocol: {version}"
+        )));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Ok(Request {
+        method: method.to_string(),
+        path: percent_decode(path),
+        params: parse_query(query),
+    })
+}
+
+fn parse_query(query: &str) -> HashMap<String, String> {
+    let mut params = HashMap::new();
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        params.insert(percent_decode(k), percent_decode(v));
+    }
+    params
+}
+
+/// Decodes `%XX` escapes and `+` (as space). Invalid escapes pass through
+/// verbatim — the numeric parsers downstream reject them anyway.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                if i + 2 < bytes.len() {
+                    if let Some(hex) = s.get(i + 1..i + 3) {
+                        if let Ok(v) = u8::from_str_radix(hex, 16) {
+                            out.push(v);
+                            i += 3;
+                            continue;
+                        }
+                    }
+                }
+                out.push(b'%');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Human-readable reason phrases for the statuses the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete HTTP/1.1 response and flushes. Every response
+/// carries `Connection: close`; the caller drops the stream afterwards.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Convenience for JSON error bodies: `{"error":"..."}` with escaping.
+pub fn json_error_body(message: &str) -> String {
+    format!("{{\"error\":{}}}", json_string(message))
+}
+
+/// Escapes a string into a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_query_request() {
+        let r = parse("GET /query?seed=5&top=3 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/query");
+        assert_eq!(r.params.get("seed").unwrap(), "5");
+        assert_eq!(r.params.get("top").unwrap(), "3");
+    }
+
+    #[test]
+    fn parses_bare_path_and_empty_query() {
+        let r = parse("GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(r.path, "/healthz");
+        assert!(r.params.is_empty());
+        let r = parse("GET /metrics? HTTP/1.1\r\n\r\n").unwrap();
+        assert!(r.params.is_empty());
+    }
+
+    #[test]
+    fn percent_decoding() {
+        let r = parse("GET /query?seed=%35&x=a+b HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.params.get("seed").unwrap(), "5");
+        assert_eq!(r.params.get("x").unwrap(), "a b");
+        // Invalid escape passes through.
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("%4"), "%4");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            parse("NOT HTTP\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(parse(""), Err(ParseError::Malformed(_))));
+        assert!(matches!(
+            parse("GET /x SPDY/9\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        let bad_utf8 = [0x47u8, 0x45, 0x54, 0x20, 0xff, 0xfe, 0x0d, 0x0a];
+        let r = read_request(&mut BufReader::new(&bad_utf8[..]));
+        assert!(matches!(r, Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_oversized_head() {
+        let raw = format!(
+            "GET /query HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(parse(&raw), Err(ParseError::TooLarge)));
+    }
+
+    #[test]
+    fn response_format() {
+        let mut buf = Vec::new();
+        write_response(&mut buf, 200, "application/json", &[("X-A", "1")], "{}").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("X-A: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_error_body("x"), "{\"error\":\"x\"}");
+    }
+}

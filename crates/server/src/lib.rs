@@ -1,0 +1,259 @@
+//! # bepi-server
+//!
+//! A long-running RWR query daemon over a preprocessed BePI index.
+//!
+//! The paper's economics argument (Section 2.3) — preprocess once, answer
+//! many queries — only pays off when one preprocessed instance stays
+//! resident and is shared across queries. This crate is that serving
+//! layer: a std-only HTTP/1.1 server (`std::net::TcpListener`, no
+//! protocol crates) with
+//!
+//! * a fixed worker pool sharing one read-only [`Arc<BePi>`],
+//! * a bounded admission queue that sheds load with `503 Retry-After`
+//!   when full,
+//! * a per-request deadline stamped at admission (queue wait counts),
+//! * a sharded LRU cache over rendered responses keyed `(seed, top_k)`,
+//!   so hot seeds skip the GMRES solve entirely,
+//! * `GET /query?seed=S&top=K`, `GET /healthz`, `GET /metrics`
+//!   (Prometheus text format), and
+//! * graceful shutdown that drains queued and in-flight queries.
+//!
+//! ```no_run
+//! use bepi_core::prelude::*;
+//! use bepi_server::{Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let g = bepi_graph::generators::example_graph();
+//! let bepi = Arc::new(BePi::preprocess(&g, &BePiConfig::default()).unwrap());
+//! let handle = Server::start(bepi, &ServerConfig::default()).unwrap();
+//! println!("listening on http://{}", handle.local_addr());
+//! handle.join(); // blocks until a ShutdownTrigger fires
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod shutdown;
+pub mod worker;
+
+pub use cache::{QueryKey, ResponseCache};
+pub use metrics::{parse_metric, Metrics};
+
+use crate::queue::{bounded, PushError};
+use crate::shutdown::Shutdown;
+use crate::worker::{Job, WorkerContext};
+use bepi_core::BePi;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7462`. Port `0` binds ephemeral
+    /// (the bound address is reported by [`ServerHandle::local_addr`]).
+    pub listen: String,
+    /// Worker threads answering queries. `0` means "available
+    /// parallelism" as reported by the OS.
+    pub threads: usize,
+    /// Total entries in the sharded response LRU. `0` disables caching.
+    pub cache_entries: usize,
+    /// Bounded admission-queue depth; connections beyond it get `503`.
+    pub queue_depth: usize,
+    /// Per-request deadline, stamped at admission.
+    pub timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:0".to_string(),
+            threads: 0,
+            cache_entries: 4096,
+            queue_depth: 128,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    }
+}
+
+/// The daemon. Constructed via [`Server::start`]; all state lives in the
+/// returned [`ServerHandle`].
+pub struct Server;
+
+impl Server {
+    /// Binds `config.listen`, spawns the acceptor and the worker pool,
+    /// and returns immediately.
+    pub fn start(bepi: Arc<BePi>, config: &ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.listen)?;
+        Self::start_on(bepi, listener, config)
+    }
+
+    /// Like [`Server::start`] but over an already-bound listener (used by
+    /// tests that need to know the port before starting).
+    pub fn start_on(
+        bepi: Arc<BePi>,
+        listener: TcpListener,
+        config: &ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let addr = listener.local_addr()?;
+        let threads = config.effective_threads();
+        let metrics = Arc::new(Metrics::default());
+        let cache = Arc::new(ResponseCache::new(
+            config.cache_entries,
+            threads.next_power_of_two().min(16),
+        ));
+        let shutdown = Shutdown::new(addr);
+        let (tx, rx) = bounded::<Job>(config.queue_depth);
+
+        let ctx = Arc::new(WorkerContext {
+            bepi,
+            cache: Arc::clone(&cache),
+            metrics: Arc::clone(&metrics),
+        });
+        let workers: Vec<JoinHandle<()>> = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                let ctx = Arc::clone(&ctx);
+                std::thread::Builder::new()
+                    .name(format!("bepi-worker-{i}"))
+                    .spawn(move || worker::worker_loop(rx, ctx))
+            })
+            .collect::<std::io::Result<_>>()?;
+        drop(rx);
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let metrics = Arc::clone(&metrics);
+            let timeout = config.timeout;
+            std::thread::Builder::new()
+                .name("bepi-acceptor".to_string())
+                .spawn(move || {
+                    accept_loop(listener, tx, shutdown, metrics, timeout);
+                })?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            acceptor,
+            workers,
+            metrics,
+        })
+    }
+}
+
+/// Admission: accept, stamp the deadline, try to enqueue; shed with `503`
+/// when the queue is full. Exits (dropping the queue sender, which lets
+/// the workers drain and stop) once shutdown is requested.
+fn accept_loop(
+    listener: TcpListener,
+    tx: queue::Producer<Job>,
+    shutdown: Arc<Shutdown>,
+    metrics: Arc<Metrics>,
+    timeout: Duration,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shutdown.is_requested() {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shutdown.is_requested() {
+            // The wake connection (or a straggler racing it) is dropped
+            // unanswered; admission is closed.
+            break;
+        }
+        Metrics::inc(&metrics.connections_total);
+        let job = Job {
+            stream,
+            deadline: Instant::now() + timeout,
+        };
+        match tx.try_push(job) {
+            Ok(()) => {}
+            Err(PushError::Full(job)) => worker::shed_connection(job.stream, &metrics),
+            Err(PushError::Closed(_)) => break,
+        }
+    }
+    // Dropping `tx` closes the queue: workers finish everything already
+    // admitted, then exit — the graceful drain.
+}
+
+/// A handle on a running server: its bound address, metrics, and the
+/// means to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<Shutdown>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Arc<Metrics>,
+}
+
+/// A cloneable trigger that requests graceful shutdown from any thread
+/// (the daemon's SIGTERM-equivalent).
+#[derive(Clone)]
+pub struct ShutdownTrigger {
+    shutdown: Arc<Shutdown>,
+}
+
+impl ShutdownTrigger {
+    /// Requests shutdown: admission stops, queued and in-flight requests
+    /// drain, workers exit.
+    pub fn fire(&self) {
+        self.shutdown.request();
+    }
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live metrics, shared with the workers.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A trigger other threads can use to stop the server.
+    pub fn trigger(&self) -> ShutdownTrigger {
+        ShutdownTrigger {
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Blocks until the server has fully stopped (someone fired a
+    /// [`ShutdownTrigger`]) and every queued request has been answered.
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Graceful shutdown: stop admission, drain queued and in-flight
+    /// requests, join all threads.
+    pub fn shutdown(self) {
+        self.shutdown.request();
+        self.join();
+    }
+}

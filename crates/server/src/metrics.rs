@@ -1,0 +1,228 @@
+//! Request counters and a fixed-bucket latency histogram, rendered in
+//! Prometheus text exposition format.
+//!
+//! Everything is lock-free `AtomicU64`s with relaxed ordering: metrics
+//! tolerate slightly stale cross-thread reads, and the query hot path
+//! must not serialize on a metrics lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds, in seconds. Chosen to straddle the
+/// observed per-query range: sub-millisecond cache hits up to multi-second
+/// cold GMRES solves on large indices.
+pub const LATENCY_BUCKETS_SECS: [f64; 12] = [
+    0.000_25, 0.000_5, 0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+];
+
+/// A fixed-bucket latency histogram (cumulative counts, Prometheus-style).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    // One non-cumulative count per bucket, plus the overflow (+Inf) bucket.
+    counts: [AtomicU64; LATENCY_BUCKETS_SECS.len() + 1],
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn observe(&self, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        let idx = LATENCY_BUCKETS_SECS
+            .iter()
+            .position(|&b| secs <= b)
+            .unwrap_or(LATENCY_BUCKETS_SECS.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render_into(&self, out: &mut String, name: &str) {
+        let mut cumulative = 0u64;
+        for (i, &bound) in LATENCY_BUCKETS_SECS.iter().enumerate() {
+            cumulative += self.counts[i].load(Ordering::Relaxed);
+            out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        }
+        cumulative += self.counts[LATENCY_BUCKETS_SECS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        let sum = self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        out.push_str(&format!("{name}_sum {sum}\n"));
+        out.push_str(&format!("{name}_count {}\n", self.count()));
+    }
+}
+
+/// All counters exported on `/metrics`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections accepted (including ones later shed with 503).
+    pub connections_total: AtomicU64,
+    /// Requests whose head parsed successfully.
+    pub requests_total: AtomicU64,
+    /// `/query` requests answered with 200.
+    pub queries_total: AtomicU64,
+    /// `/query` responses served from the LRU cache.
+    pub cache_hits_total: AtomicU64,
+    /// `/query` responses that ran the solver.
+    pub cache_misses_total: AtomicU64,
+    /// Connections shed with 503 because the admission queue was full.
+    pub rejected_total: AtomicU64,
+    /// Requests shed with 504 because their deadline expired in queue.
+    pub timeouts_total: AtomicU64,
+    /// 4xx responses (malformed requests, unknown paths, bad seeds...).
+    pub client_errors_total: AtomicU64,
+    /// 5xx responses other than queue rejections (solver failures...).
+    pub server_errors_total: AtomicU64,
+    /// Requests currently being processed by workers.
+    pub in_flight: AtomicU64,
+    /// End-to-end `/query` service time (dequeue to response written).
+    pub query_latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Convenience relaxed increment.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Convenience relaxed read.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus text exposition format (`text/plain;
+    /// version=0.0.4`).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let counters: [(&str, &str, &AtomicU64); 10] = [
+            (
+                "bepi_connections_total",
+                "Connections accepted by the listener.",
+                &self.connections_total,
+            ),
+            (
+                "bepi_requests_total",
+                "HTTP requests successfully parsed.",
+                &self.requests_total,
+            ),
+            (
+                "bepi_queries_total",
+                "Successful /query responses (HTTP 200).",
+                &self.queries_total,
+            ),
+            (
+                "bepi_cache_hits_total",
+                "/query responses served from the result cache.",
+                &self.cache_hits_total,
+            ),
+            (
+                "bepi_cache_misses_total",
+                "/query responses that ran the RWR solver.",
+                &self.cache_misses_total,
+            ),
+            (
+                "bepi_rejected_total",
+                "Connections shed with 503 (admission queue full).",
+                &self.rejected_total,
+            ),
+            (
+                "bepi_timeouts_total",
+                "Requests shed with 504 (deadline expired before service).",
+                &self.timeouts_total,
+            ),
+            (
+                "bepi_client_errors_total",
+                "4xx responses.",
+                &self.client_errors_total,
+            ),
+            (
+                "bepi_server_errors_total",
+                "5xx responses other than queue rejections.",
+                &self.server_errors_total,
+            ),
+            (
+                "bepi_in_flight",
+                "Requests currently being processed.",
+                &self.in_flight,
+            ),
+        ];
+        for (name, help, counter) in counters {
+            let kind = if name == "bepi_in_flight" {
+                "gauge"
+            } else {
+                "counter"
+            };
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+            out.push_str(&format!("{name} {}\n", Self::get(counter)));
+        }
+        out.push_str(
+            "# HELP bepi_query_latency_seconds End-to-end /query service time.\n\
+             # TYPE bepi_query_latency_seconds histogram\n",
+        );
+        self.query_latency
+            .render_into(&mut out, "bepi_query_latency_seconds");
+        out
+    }
+}
+
+/// Parses one counter value back out of rendered metrics text — shared by
+/// the integration tests and the CLI's shutdown summary.
+pub fn parse_metric(rendered: &str, name: &str) -> Option<f64> {
+    rendered.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = LatencyHistogram::default();
+        h.observe(Duration::from_micros(100)); // <= 0.25ms bucket
+        h.observe(Duration::from_millis(3)); // <= 5ms bucket
+        h.observe(Duration::from_secs(5)); // +Inf bucket
+        let mut out = String::new();
+        h.render_into(&mut out, "x");
+        assert!(out.contains("x_bucket{le=\"0.00025\"} 1"));
+        assert!(out.contains("x_bucket{le=\"0.005\"} 2"));
+        assert!(out.contains("x_bucket{le=\"1\"} 2"));
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 3"));
+        assert!(out.contains("x_count 3"));
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn render_and_parse_roundtrip() {
+        let m = Metrics::default();
+        Metrics::inc(&m.cache_hits_total);
+        Metrics::inc(&m.cache_hits_total);
+        Metrics::inc(&m.queries_total);
+        let text = m.render();
+        assert_eq!(parse_metric(&text, "bepi_cache_hits_total"), Some(2.0));
+        assert_eq!(parse_metric(&text, "bepi_queries_total"), Some(1.0));
+        assert_eq!(parse_metric(&text, "bepi_rejected_total"), Some(0.0));
+        assert_eq!(parse_metric(&text, "bepi_nonexistent"), None);
+        // Every metric family carries HELP and TYPE lines.
+        assert_eq!(
+            text.matches("# HELP").count(),
+            text.matches("# TYPE").count()
+        );
+    }
+
+    #[test]
+    fn parse_does_not_confuse_prefixes() {
+        let text = "bepi_cache_hits_total 7\nbepi_cache 9\n";
+        // "bepi_cache" must not match the "bepi_cache_hits_total" line.
+        assert_eq!(parse_metric(text, "bepi_cache"), Some(9.0));
+        assert_eq!(parse_metric(text, "bepi_cache_hits_total"), Some(7.0));
+    }
+}

@@ -1,0 +1,210 @@
+//! Bounded MPMC admission queue (std-only: `Mutex` + `Condvar`).
+//!
+//! The daemon's load-shedding contract lives here: `try_push` never
+//! blocks — when the queue is at capacity the connection is rejected
+//! immediately (the acceptor answers `503`), keeping tail latency bounded
+//! instead of letting a backlog grow without limit. Workers block on
+//! `pop`, which returns `None` only once the queue is *closed and
+//! drained* — exactly the graceful-shutdown semantics.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+/// Why `try_push` refused an item.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; shed the item.
+    Full(T),
+    /// The queue was closed; no more items are admitted.
+    Closed(T),
+}
+
+/// Producer handle. Dropping (or calling [`Producer::close`]) closes the
+/// queue; consumers drain what remains and then see `None`.
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Consumer handle; cloneable so each worker owns one.
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Consumer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Creates a queue admitting at most `capacity` queued items.
+pub fn bounded<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            items: VecDeque::with_capacity(capacity),
+            closed: false,
+        }),
+        available: Condvar::new(),
+        capacity: capacity.max(1),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+        },
+        Consumer { inner },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Non-blocking admission: enqueues or reports `Full`/`Closed`.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.inner.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.inner.available.notify_one();
+        Ok(())
+    }
+
+    /// Closes the queue: consumers drain the backlog, then observe end
+    /// of stream.
+    pub fn close(&self) {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        drop(state);
+        self.inner.available.notify_all();
+    }
+
+    /// Queued item count (diagnostics only; immediately stale).
+    pub fn len(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    /// Whether the queue is currently empty (diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Blocks for the next item. `None` means closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .inner
+                .available
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_full_rejection() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        assert_eq!(tx.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(rx.pop(), Some(1));
+        tx.try_push(4).unwrap();
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(4));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let (tx, rx) = bounded::<u32>(8);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        tx.close();
+        assert_eq!(tx.try_push(3), Err(PushError::Closed(3)));
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), None);
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn dropping_producer_closes() {
+        let (tx, rx) = bounded::<u32>(4);
+        tx.try_push(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop(), Some(9));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let (tx, rx) = bounded::<u32>(4);
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = 0usize;
+                    while rx.pop().is_some() {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        for i in 0..20 {
+            // Retry when full: consumers are draining concurrently.
+            let mut item = i;
+            loop {
+                match tx.try_push(item) {
+                    Ok(()) => break,
+                    Err(PushError::Full(v)) => {
+                        item = v;
+                        std::thread::yield_now();
+                    }
+                    Err(PushError::Closed(_)) => unreachable!(),
+                }
+            }
+        }
+        tx.close();
+        let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(total, 20);
+    }
+}

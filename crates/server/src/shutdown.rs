@@ -1,0 +1,71 @@
+//! Cooperative shutdown signalling.
+//!
+//! std's blocking `TcpListener::accept` has no cancellation, so graceful
+//! shutdown uses the classic self-connect trick: set a flag, then open a
+//! throwaway connection to the listener's own address to wake the
+//! acceptor, which observes the flag and stops accepting. In-flight and
+//! queued requests keep draining — only admission stops. This is the
+//! SIGTERM-equivalent for an offline, std-only build (no signal crates).
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared shutdown flag plus the listener address used to wake `accept`.
+#[derive(Debug)]
+pub struct Shutdown {
+    requested: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shutdown {
+    /// Creates a signal for a listener bound at `addr`.
+    pub fn new(addr: SocketAddr) -> Arc<Self> {
+        Arc::new(Self {
+            requested: AtomicBool::new(false),
+            addr,
+        })
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_requested(&self) -> bool {
+        self.requested.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and wakes the (possibly blocked) acceptor.
+    /// Idempotent: repeated calls are harmless.
+    pub fn request(&self) {
+        self.requested.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of accept(). The connection is dropped
+        // immediately; the acceptor sees the flag and exits before
+        // enqueueing it. Failure is fine — it means the listener is
+        // already gone.
+        if let Ok(stream) = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1)) {
+            drop(stream);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_is_idempotent_and_wakes_accept() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Shutdown::new(addr);
+        assert!(!shutdown.is_requested());
+        let s2 = Arc::clone(&shutdown);
+        let acceptor = std::thread::spawn(move || {
+            // Blocks until the wake connection arrives.
+            let _ = listener.accept();
+            s2.is_requested()
+        });
+        shutdown.request();
+        shutdown.request();
+        assert!(acceptor.join().unwrap(), "flag visible after wake");
+    }
+}

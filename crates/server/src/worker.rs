@@ -1,0 +1,400 @@
+//! Worker pool: request handling on top of the admission queue.
+//!
+//! Each worker owns nothing mutable — the preprocessed [`BePi`] index,
+//! the response cache, and the metrics are all shared read-only /
+//! atomically, so the pool scales like `bepi_core::batch` does: the
+//! query phase is embarrassingly parallel over a read-only index.
+
+use crate::cache::{QueryKey, ResponseCache};
+use crate::http::{self, ParseError, Request};
+use crate::metrics::Metrics;
+use bepi_core::rwr::RwrSolver;
+use bepi_core::BePi;
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default `top` when the query string omits it.
+pub const DEFAULT_TOP_K: usize = 10;
+
+/// One accepted connection waiting for service. The deadline is stamped
+/// at *admission*, so time spent waiting in the queue counts against it.
+pub struct Job {
+    /// The accepted client connection.
+    pub stream: TcpStream,
+    /// Absolute deadline for finishing this request.
+    pub deadline: Instant,
+}
+
+/// Everything a worker needs, shared across the pool.
+pub struct WorkerContext {
+    /// The preprocessed, read-only index.
+    pub bepi: Arc<BePi>,
+    /// Rendered-response LRU.
+    pub cache: Arc<ResponseCache>,
+    /// Exported counters.
+    pub metrics: Arc<Metrics>,
+}
+
+/// Worker main loop: drains the admission queue until it is closed *and*
+/// empty, which is exactly the graceful-shutdown drain semantics.
+pub fn worker_loop(rx: crate::queue::Consumer<Job>, ctx: Arc<WorkerContext>) {
+    while let Some(job) = rx.pop() {
+        ctx.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        // A panic while serving one connection must not kill the worker:
+        // the stream is dropped (client sees a reset), the panic is
+        // counted, and the loop continues.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            handle_connection(job, &ctx);
+        }));
+        if result.is_err() {
+            Metrics::inc(&ctx.metrics.server_errors_total);
+        }
+        ctx.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn remaining(deadline: Instant) -> Option<Duration> {
+    let now = Instant::now();
+    if now >= deadline {
+        None
+    } else {
+        Some(deadline - now)
+    }
+}
+
+fn handle_connection(job: Job, ctx: &WorkerContext) {
+    let Job { stream, deadline } = job;
+    let started = Instant::now();
+
+    // Deadline may already have expired while the job sat in the queue.
+    let Some(budget) = remaining(deadline) else {
+        Metrics::inc(&ctx.metrics.timeouts_total);
+        respond(
+            &stream,
+            504,
+            "application/json",
+            &[],
+            &http::json_error_body("deadline expired while queued"),
+        );
+        return;
+    };
+    // The socket timeouts enforce the remaining budget on slow clients.
+    let _ = stream.set_read_timeout(Some(budget));
+    let _ = stream.set_write_timeout(Some(budget.max(Duration::from_secs(1))));
+
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let request = match http::read_request(&mut reader) {
+        Ok(r) => r,
+        Err(ParseError::TooLarge) => {
+            Metrics::inc(&ctx.metrics.client_errors_total);
+            respond(
+                &stream,
+                431,
+                "application/json",
+                &[],
+                &http::json_error_body("request head too large"),
+            );
+            return;
+        }
+        Err(ParseError::Malformed(m)) => {
+            Metrics::inc(&ctx.metrics.client_errors_total);
+            respond(
+                &stream,
+                400,
+                "application/json",
+                &[],
+                &http::json_error_body(&m),
+            );
+            return;
+        }
+        Err(ParseError::Io(_)) => {
+            // Client vanished or stalled past its budget; nothing to say.
+            Metrics::inc(&ctx.metrics.timeouts_total);
+            return;
+        }
+    };
+    Metrics::inc(&ctx.metrics.requests_total);
+
+    if request.method != "GET" {
+        Metrics::inc(&ctx.metrics.client_errors_total);
+        respond(
+            &stream,
+            405,
+            "application/json",
+            &[("Allow", "GET")],
+            &http::json_error_body("only GET is supported"),
+        );
+        return;
+    }
+
+    match request.path.as_str() {
+        "/healthz" => {
+            respond(&stream, 200, "text/plain", &[], "ok\n");
+        }
+        "/metrics" => {
+            let body = ctx.metrics.render();
+            respond(&stream, 200, "text/plain; version=0.0.4", &[], &body);
+        }
+        "/query" => handle_query(&stream, &request, ctx, deadline, started),
+        _ => {
+            Metrics::inc(&ctx.metrics.client_errors_total);
+            respond(
+                &stream,
+                404,
+                "application/json",
+                &[],
+                &http::json_error_body("unknown path (try /query, /healthz, /metrics)"),
+            );
+        }
+    }
+}
+
+fn handle_query(
+    stream: &TcpStream,
+    request: &Request,
+    ctx: &WorkerContext,
+    deadline: Instant,
+    started: Instant,
+) {
+    let key = match parse_query_params(request, ctx.bepi.node_count()) {
+        Ok(k) => k,
+        Err(msg) => {
+            Metrics::inc(&ctx.metrics.client_errors_total);
+            respond(
+                stream,
+                400,
+                "application/json",
+                &[],
+                &http::json_error_body(&msg),
+            );
+            return;
+        }
+    };
+
+    // Cache hit: byte-identical rendered body, no solve.
+    if let Some(body) = ctx.cache.get(&key) {
+        Metrics::inc(&ctx.metrics.cache_hits_total);
+        Metrics::inc(&ctx.metrics.queries_total);
+        respond(
+            stream,
+            200,
+            "application/json",
+            &[("X-Cache", "hit")],
+            &body,
+        );
+        ctx.metrics.query_latency.observe(started.elapsed());
+        return;
+    }
+
+    // The solve is not interruptible; shed the request if its budget is
+    // already gone rather than burning a worker on a dead client.
+    if remaining(deadline).is_none() {
+        Metrics::inc(&ctx.metrics.timeouts_total);
+        respond(
+            stream,
+            504,
+            "application/json",
+            &[],
+            &http::json_error_body("deadline expired before solve"),
+        );
+        return;
+    }
+
+    let scores = match ctx.bepi.query(key.seed) {
+        Ok(s) => s,
+        Err(e) => {
+            Metrics::inc(&ctx.metrics.server_errors_total);
+            respond(
+                stream,
+                500,
+                "application/json",
+                &[],
+                &http::json_error_body(&format!("solver failed: {e}")),
+            );
+            return;
+        }
+    };
+    let body: Arc<str> = Arc::from(render_query_body(key, &scores));
+    ctx.cache.insert(key, Arc::clone(&body));
+    Metrics::inc(&ctx.metrics.cache_misses_total);
+    Metrics::inc(&ctx.metrics.queries_total);
+    respond(
+        stream,
+        200,
+        "application/json",
+        &[("X-Cache", "miss")],
+        &body,
+    );
+    ctx.metrics.query_latency.observe(started.elapsed());
+}
+
+fn parse_query_params(request: &Request, node_count: usize) -> Result<QueryKey, String> {
+    let seed_s = request
+        .params
+        .get("seed")
+        .ok_or("missing required parameter: seed")?;
+    let seed: usize = seed_s
+        .parse()
+        .map_err(|_| format!("bad seed: {seed_s:?}"))?;
+    if seed >= node_count {
+        return Err(format!(
+            "seed {seed} out of range (index has {node_count} nodes)"
+        ));
+    }
+    let top_k = match request.params.get("top") {
+        None => DEFAULT_TOP_K,
+        Some(t) => t.parse().map_err(|_| format!("bad top: {t:?}"))?,
+    };
+    Ok(QueryKey {
+        seed,
+        top_k: top_k.min(node_count),
+    })
+}
+
+/// Renders the `/query` response body. Scores use Rust's shortest
+/// round-trip float formatting, so parsing them back yields bit-identical
+/// `f64`s to what [`BePi::query`] produced.
+pub fn render_query_body(key: QueryKey, scores: &bepi_core::RwrScores) -> String {
+    let ranked = scores.top_k(key.top_k);
+    let mut body = format!(
+        "{{\"seed\":{},\"top\":{},\"iterations\":{},\"results\":[",
+        key.seed, key.top_k, scores.iterations
+    );
+    for (i, &node) in ranked.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"node\":{},\"score\":{}}}",
+            node,
+            fmt_f64(scores.scores[node])
+        ));
+    }
+    body.push_str("]}");
+    body
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` is shortest round-trip and always includes a decimal
+        // point or exponent, which keeps the token a JSON number.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Best-effort response write; a failed write means the client is gone,
+/// which is not an error worth tracking separately.
+fn respond(
+    mut stream: &TcpStream,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &str,
+) {
+    let _ = http::write_response(&mut stream, status, content_type, extra, body);
+    let _ = stream.flush();
+}
+
+/// Sheds one connection with `503 Service Unavailable` + `Retry-After`.
+/// Called by the *acceptor* when the admission queue is full, so the
+/// worker pool never sees the connection. Reads (best-effort, bounded)
+/// before writing so well-behaved clients get the response instead of a
+/// reset.
+pub fn shed_connection(stream: TcpStream, metrics: &Metrics) {
+    Metrics::inc(&metrics.rejected_total);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut sink = [0u8; 1024];
+    let mut s = &stream;
+    let _ = s.read(&mut sink);
+    respond(
+        &stream,
+        503,
+        "application/json",
+        &[("Retry-After", "1")],
+        &http::json_error_body("admission queue full, retry shortly"),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bepi_core::prelude::*;
+    use bepi_graph::generators;
+
+    #[test]
+    fn query_body_rendering_is_valid_json_and_ranked() {
+        let g = generators::erdos_renyi(50, 200, 11).unwrap();
+        let bepi = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let scores = bepi.query(7).unwrap();
+        let key = QueryKey { seed: 7, top_k: 5 };
+        let body = render_query_body(key, &scores);
+        assert!(body.starts_with("{\"seed\":7,\"top\":5,"));
+        assert_eq!(body.matches("\"node\":").count(), 5);
+        // The seed dominates its own ranking.
+        assert!(body.contains(&format!(
+            "\"node\":7,\"score\":{}",
+            fmt_f64(scores.scores[7])
+        )));
+        // Scores round-trip bit-exactly through the rendered text.
+        for &node in &scores.top_k(5) {
+            let fragment = format!("\"node\":{node},\"score\":");
+            let idx = body.find(&fragment).unwrap() + fragment.len();
+            let rest = &body[idx..];
+            let end = rest.find(['}', ',']).unwrap();
+            let parsed: f64 = rest[..end].parse().unwrap();
+            assert_eq!(parsed.to_bits(), scores.scores[node].to_bits());
+        }
+    }
+
+    #[test]
+    fn param_parsing_validates_seed_and_top() {
+        let req = |q: &str| Request {
+            method: "GET".into(),
+            path: "/query".into(),
+            params: q
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|p| {
+                    let (k, v) = p.split_once('=').unwrap();
+                    (k.to_string(), v.to_string())
+                })
+                .collect(),
+        };
+        assert_eq!(
+            parse_query_params(&req("seed=3&top=4"), 10).unwrap(),
+            QueryKey { seed: 3, top_k: 4 }
+        );
+        // Defaults and clamping.
+        assert_eq!(parse_query_params(&req("seed=3"), 10).unwrap().top_k, 10);
+        assert_eq!(
+            parse_query_params(&req("seed=3&top=99"), 10).unwrap().top_k,
+            10
+        );
+        assert!(parse_query_params(&req(""), 10).is_err());
+        assert!(parse_query_params(&req("seed=x"), 10).is_err());
+        assert!(parse_query_params(&req("seed=10"), 10).is_err());
+        assert!(parse_query_params(&req("seed=-1"), 10).is_err());
+        assert!(parse_query_params(&req("seed=3&top=x"), 10).is_err());
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        for v in [0.05, 1e-9, 6.938893903907228e-18, 1.0, 0.0] {
+            let s = fmt_f64(v);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{s}");
+        }
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+}

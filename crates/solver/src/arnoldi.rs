@@ -154,7 +154,11 @@ mod tests {
         let n = 30;
         let mut coo = Coo::new(n, n).unwrap();
         for i in 0..n {
-            let v = if i == 7 { 10.0 } else { 1.0 + (i % 4) as f64 * 0.5 };
+            let v = if i == 7 {
+                10.0
+            } else {
+                1.0 + (i % 4) as f64 * 0.5
+            };
             coo.push(i, i, v).unwrap();
         }
         let a = coo.to_csr();

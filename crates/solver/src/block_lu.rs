@@ -184,7 +184,10 @@ impl BlockLu {
                     Ok(out)
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
         })
         .map_err(|_| SparseError::Numerical("block LU worker thread panicked".into()))?;
 
@@ -209,11 +212,7 @@ impl BlockLu {
 
     /// Reassembles a `BlockLu` from previously computed inverse factors
     /// (persistence support). Validates shapes and triangularity.
-    pub fn from_inverse_factors(
-        l_inv: Csr,
-        u_inv: Csr,
-        block_sizes: Vec<usize>,
-    ) -> Result<Self> {
+    pub fn from_inverse_factors(l_inv: Csr, u_inv: Csr, block_sizes: Vec<usize>) -> Result<Self> {
         let n = l_inv.nrows();
         if l_inv.ncols() != n || u_inv.nrows() != n || u_inv.ncols() != n {
             return Err(SparseError::ShapeMismatch {
@@ -229,14 +228,10 @@ impl BlockLu {
             });
         }
         if l_inv.iter().any(|(r, c, _)| r < c) {
-            return Err(SparseError::Parse(
-                "L^{-1} must be lower triangular".into(),
-            ));
+            return Err(SparseError::Parse("L^{-1} must be lower triangular".into()));
         }
         if u_inv.iter().any(|(r, c, _)| r > c) {
-            return Err(SparseError::Parse(
-                "U^{-1} must be upper triangular".into(),
-            ));
+            return Err(SparseError::Parse("U^{-1} must be upper triangular".into()));
         }
         Ok(Self {
             l_inv,
@@ -375,14 +370,16 @@ mod tests {
         assert_eq!(got, vec![2.0, 1.0, 1.0]);
     }
 
-
     #[test]
     fn parallel_factor_is_bit_identical_to_serial() {
         // Many independent blocks of mixed sizes.
         let mut coo = Coo::new(60, 60).unwrap();
         let mut sizes = Vec::new();
         let mut at = 0usize;
-        for (i, size) in [1usize, 3, 2, 5, 1, 4, 6, 2, 3, 5, 7, 1, 4, 6, 10].iter().enumerate() {
+        for (i, size) in [1usize, 3, 2, 5, 1, 4, 6, 2, 3, 5, 7, 1, 4, 6, 10]
+            .iter()
+            .enumerate()
+        {
             let size = *size;
             for r in 0..size {
                 let mut off = 0.0;

@@ -229,12 +229,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Dense {
-        Dense::from_rows(&[
-            &[4.0, 1.0, 0.0],
-            &[1.0, 3.0, -1.0],
-            &[0.0, -1.0, 5.0],
-        ])
-        .unwrap()
+        Dense::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, -1.0], &[0.0, -1.0, 5.0]]).unwrap()
     }
 
     #[test]
@@ -309,11 +304,29 @@ mod tests {
         let (l, u) = lu_nopivot(&a).unwrap();
         let li = invert_unit_lower(&l);
         let ui = invert_upper(&u).unwrap();
-        assert!(l.mul(&li).unwrap().max_abs_diff(&Dense::identity(3)).unwrap() < 1e-12);
-        assert!(u.mul(&ui).unwrap().max_abs_diff(&Dense::identity(3)).unwrap() < 1e-12);
+        assert!(
+            l.mul(&li)
+                .unwrap()
+                .max_abs_diff(&Dense::identity(3))
+                .unwrap()
+                < 1e-12
+        );
+        assert!(
+            u.mul(&ui)
+                .unwrap()
+                .max_abs_diff(&Dense::identity(3))
+                .unwrap()
+                < 1e-12
+        );
         // A^{-1} = U^{-1} L^{-1}
         let inv = ui.mul(&li).unwrap();
-        assert!(a.mul(&inv).unwrap().max_abs_diff(&Dense::identity(3)).unwrap() < 1e-12);
+        assert!(
+            a.mul(&inv)
+                .unwrap()
+                .max_abs_diff(&Dense::identity(3))
+                .unwrap()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -113,8 +113,8 @@ pub fn hessenberg_eigenvalues(h: &Dense) -> Vec<Complex> {
             // Find l: smallest index with negligible subdiagonal below it.
             let mut l = nn;
             while l >= 1 {
-                let s = a[(l as usize - 1, l as usize - 1)].abs()
-                    + a[(l as usize, l as usize)].abs();
+                let s =
+                    a[(l as usize - 1, l as usize - 1)].abs() + a[(l as usize, l as usize)].abs();
                 let s = if s == 0.0 { anorm } else { s };
                 if a[(l as usize, l as usize - 1)].abs() <= f64::EPSILON * s {
                     a[(l as usize, l as usize - 1)] = 0.0;
@@ -197,8 +197,7 @@ pub fn hessenberg_eigenvalues(h: &Dense) -> Vec<Complex> {
                     break;
                 }
                 let u = a[(mu, mu - 1)].abs() * (q.abs() + r.abs());
-                let v = p.abs()
-                    * (a[(mu - 1, mu - 1)].abs() + z.abs() + a[(mu + 1, mu + 1)].abs());
+                let v = p.abs() * (a[(mu - 1, mu - 1)].abs() + z.abs() + a[(mu + 1, mu + 1)].abs());
                 if u <= f64::EPSILON * v {
                     break;
                 }
@@ -319,8 +318,7 @@ mod tests {
 
     #[test]
     fn diagonal_matrix() {
-        let a = Dense::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, -1.0, 0.0], &[0.0, 0.0, 0.5]])
-            .unwrap();
+        let a = Dense::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, -1.0, 0.0], &[0.0, 0.0, 0.5]]).unwrap();
         assert_close_sets(
             dense_eigenvalues(&a),
             vec![(3.0, 0.0), (-1.0, 0.0), (0.5, 0.0)],
@@ -345,12 +343,8 @@ mod tests {
     #[test]
     fn companion_matrix_roots() {
         // x³ − 6x² + 11x − 6 = (x−1)(x−2)(x−3); companion matrix.
-        let a = Dense::from_rows(&[
-            &[6.0, -11.0, 6.0],
-            &[1.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-        ])
-        .unwrap();
+        let a =
+            Dense::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]).unwrap();
         assert_close_sets(
             dense_eigenvalues(&a),
             vec![(1.0, 0.0), (2.0, 0.0), (3.0, 0.0)],
@@ -361,8 +355,7 @@ mod tests {
     #[test]
     fn complex_roots_of_cubic() {
         // x³ − 1 = 0 → 1, e^{±2πi/3}
-        let a = Dense::from_rows(&[&[0.0, 0.0, 1.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]])
-            .unwrap();
+        let a = Dense::from_rows(&[&[0.0, 0.0, 1.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]).unwrap();
         let half = 0.5;
         let s3 = 3f64.sqrt() / 2.0;
         assert_close_sets(

@@ -405,6 +405,13 @@ mod tests {
     fn dimension_mismatch_rejected() {
         let a = dd_matrix(5);
         assert!(gmres(&a, &[1.0; 4], None, None, &GmresConfig::default()).is_err());
-        assert!(gmres(&a, &[1.0; 5], Some(&[0.0; 3]), None, &GmresConfig::default()).is_err());
+        assert!(gmres(
+            &a,
+            &[1.0; 5],
+            Some(&[0.0; 3]),
+            None,
+            &GmresConfig::default()
+        )
+        .is_err());
     }
 }

@@ -209,7 +209,12 @@ mod tests {
         ilu.solve_into(&b, &mut z);
         // ‖A z − b‖ should be far smaller than ‖b‖ for a decent ILU.
         let az = a.mul_vec(&z).unwrap();
-        let res: f64 = az.iter().zip(&b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt();
+        let res: f64 = az
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y).powi(2))
+            .sum::<f64>()
+            .sqrt();
         let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!(res < 0.5 * nb, "residual {res} vs ‖b‖ {nb}");
     }

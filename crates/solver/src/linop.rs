@@ -28,7 +28,8 @@ impl LinOp for Csr {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        self.mul_vec_into(x, y).expect("dimension checked by caller");
+        self.mul_vec_into(x, y)
+            .expect("dimension checked by caller");
     }
 }
 
@@ -113,9 +114,7 @@ impl LinOp for GramOp<'_> {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         let mut t = self.scratch.borrow_mut();
         self.a.mul_vec_into(x, &mut t).expect("shape ok");
-        self.a
-            .mul_vec_transposed_into(&t, y)
-            .expect("shape ok");
+        self.a.mul_vec_transposed_into(&t, y).expect("shape ok");
     }
 }
 

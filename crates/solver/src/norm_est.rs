@@ -187,7 +187,6 @@ mod tests {
     use crate::dense_lu::DenseLu;
     use bepi_sparse::{Coo, Dense};
 
-
     #[test]
     fn condest_of_identity_is_one() {
         let a = bepi_sparse::Csr::identity(6);
@@ -232,7 +231,10 @@ mod tests {
             .fold(0.0f64, f64::max);
         let true_kappa = bepi_sparse::norms::norm1(&a) * inv_norm1;
         assert!(est <= true_kappa * (1.0 + 1e-9), "{est} > {true_kappa}");
-        assert!(est >= true_kappa / 10.0, "estimate too loose: {est} vs {true_kappa}");
+        assert!(
+            est >= true_kappa / 10.0,
+            "estimate too loose: {est} vs {true_kappa}"
+        );
     }
 
     #[test]

@@ -368,7 +368,11 @@ mod tests {
         }
         let a = Csc::from_coo(&coo);
         let lu = SparseLu::factor(&a).unwrap();
-        assert!(lu.u.nnz() > n + (n - 1), "expected fill-in, got {}", lu.u.nnz());
+        assert!(
+            lu.u.nnz() > n + (n - 1),
+            "expected fill-in, got {}",
+            lu.u.nnz()
+        );
     }
 
     #[test]

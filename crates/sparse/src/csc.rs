@@ -226,7 +226,10 @@ mod tests {
         let i = Csc::identity(4);
         assert_eq!(i.nnz(), 4);
         assert_eq!(i.get(3, 3), 1.0);
-        assert_eq!(i.mul_vec(&[1.0, 2.0, 3.0, 4.0]).unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            i.mul_vec(&[1.0, 2.0, 3.0, 4.0]).unwrap(),
+            vec![1.0, 2.0, 3.0, 4.0]
+        );
     }
 
     #[test]

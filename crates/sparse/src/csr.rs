@@ -80,9 +80,7 @@ impl Csr {
         for row in 0..nrows {
             let (start, end) = (indptr[row], indptr[row + 1]);
             if start > end {
-                return Err(SparseError::Parse(format!(
-                    "indptr decreases at row {row}"
-                )));
+                return Err(SparseError::Parse(format!("indptr decreases at row {row}")));
             }
             if end > indices.len() {
                 return Err(SparseError::Parse(format!(
@@ -576,7 +574,6 @@ mod tests {
         let r = Csr::from_parts(2, 2, vec![1, 1, 1], vec![0], vec![1.0]);
         assert!(r.is_err());
     }
-
 
     #[test]
     fn from_parts_rejects_overflowing_middle_indptr() {

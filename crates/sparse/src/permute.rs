@@ -278,7 +278,13 @@ mod tests {
     fn symmetric_permutation_preserves_spmv() {
         // (P A P^T)(P x) = P (A x)
         let mut coo = Coo::new(4, 4).unwrap();
-        for &(r, c, v) in &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 0, 4.0), (1, 1, -1.0)] {
+        for &(r, c, v) in &[
+            (0, 1, 1.0),
+            (1, 2, 2.0),
+            (2, 3, 3.0),
+            (3, 0, 4.0),
+            (1, 1, -1.0),
+        ] {
             coo.push(r, c, v).unwrap();
         }
         let a = coo.to_csr();

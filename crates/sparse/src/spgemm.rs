@@ -127,11 +127,24 @@ mod tests {
     #[test]
     fn matches_dense_reference_on_random_like_pattern() {
         let a = m(
-            &[(0, 0, 1.5), (0, 3, -2.0), (1, 1, 0.5), (2, 0, 1.0), (2, 2, 2.0), (3, 3, -1.0)],
+            &[
+                (0, 0, 1.5),
+                (0, 3, -2.0),
+                (1, 1, 0.5),
+                (2, 0, 1.0),
+                (2, 2, 2.0),
+                (3, 3, -1.0),
+            ],
             (4, 4),
         );
         let b = m(
-            &[(0, 1, 2.0), (1, 1, -1.0), (2, 3, 4.0), (3, 0, 0.5), (3, 2, 3.0)],
+            &[
+                (0, 1, 2.0),
+                (1, 1, -1.0),
+                (2, 3, 4.0),
+                (3, 0, 0.5),
+                (3, 2, 3.0),
+            ],
             (4, 4),
         );
         let c = spgemm(&a, &b).unwrap();

@@ -7,17 +7,14 @@ use proptest::prelude::*;
 /// Strategy: a random sparse matrix as (nrows, ncols, triplets).
 fn coo_strategy(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Coo> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(move |(nr, nc)| {
-        proptest::collection::vec(
-            (0..nr as u32, 0..nc as u32, -10.0f64..10.0),
-            0..=max_nnz,
-        )
-        .prop_map(move |trip| {
-            let mut coo = Coo::new(nr, nc).unwrap();
-            for (r, c, v) in trip {
-                coo.push(r as usize, c as usize, v).unwrap();
-            }
-            coo
-        })
+        proptest::collection::vec((0..nr as u32, 0..nc as u32, -10.0f64..10.0), 0..=max_nnz)
+            .prop_map(move |trip| {
+                let mut coo = Coo::new(nr, nc).unwrap();
+                for (r, c, v) in trip {
+                    coo.push(r as usize, c as usize, v).unwrap();
+                }
+                coo
+            })
     })
 }
 

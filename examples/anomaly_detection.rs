@@ -65,8 +65,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nmost anomalous community-0 nodes (lowest in-community mass):");
     for (u, conc) in scored.iter().take(8) {
-        let planted = if anomalies.contains(u) { "  <-- planted" } else { "" };
-        println!("node {u:>4}: {:.3} of RWR mass in own community{planted}", conc);
+        let planted = if anomalies.contains(u) {
+            "  <-- planted"
+        } else {
+            ""
+        };
+        println!(
+            "node {u:>4}: {:.3} of RWR mass in own community{planted}",
+            conc
+        );
     }
 
     // All five planted anomalies should appear in the bottom 8.

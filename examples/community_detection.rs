@@ -46,11 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let scores = solver.query(seed)?;
         let cut = sweep_cut(&graph, &scores, Some(2 * size))?;
         let truth: Vec<usize> = (community * size..(community + 1) * size).collect();
-        let hits = cut
-            .nodes
-            .iter()
-            .filter(|&&u| u / size == community)
-            .count();
+        let hits = cut.nodes.iter().filter(|&&u| u / size == community).count();
         let precision = hits as f64 / cut.nodes.len() as f64;
         let recall = hits as f64 / size as f64;
         println!(
@@ -66,6 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("\nrecovered {correct}/{k} planted communities with precision & recall > 0.9");
-    assert!(correct >= 3, "local clustering should recover most communities");
+    assert!(
+        correct >= 3,
+        "local clustering should recover most communities"
+    );
     Ok(())
 }

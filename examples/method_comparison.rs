@@ -35,8 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let report = |name: &str,
-                      pre_time: f64,
-                      solver: &dyn RwrSolver|
+                  pre_time: f64,
+                  solver: &dyn RwrSolver|
      -> Result<(), Box<dyn std::error::Error>> {
         let t = Instant::now();
         let mut max_err = 0.0f64;

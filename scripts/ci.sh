@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# The one CI entry point, runnable locally: formatting, lints, release
+# build, full test suite. CI (.github/workflows/ci.yml) calls exactly
+# this script so the two can't drift.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The workspace vendors its dependencies in-tree (shims/), so every cargo
+# invocation works offline; --offline makes that a hard guarantee.
+CARGO_FLAGS=(--offline --workspace)
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy"
+cargo clippy "${CARGO_FLAGS[@]}" --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build "${CARGO_FLAGS[@]}" --release
+
+echo "==> cargo test"
+cargo test "${CARGO_FLAGS[@]}" -q
+
+echo "==> ci OK"

@@ -1,0 +1,90 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! The workspace uses exactly one crossbeam feature — `thread::scope` for
+//! fork-join fan-out over borrowed data. Since Rust 1.63 the standard
+//! library ships scoped threads, so this shim adapts `std::thread::scope`
+//! to crossbeam's `scope(...) -> Result<R>` signature (crossbeam reports
+//! child panics as an `Err`; std re-raises them as a panic, which this
+//! shim catches and converts).
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (the `crossbeam::thread` module subset in use).
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle: spawn borrows-allowed threads that all join before
+    /// `scope` returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope again (crossbeam's signature) for nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope; every spawned thread is joined before this
+    /// returns. A panic in any child surfaces as `Err`, exactly like
+    /// crossbeam's `scope`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1usize, 2, 3, 4];
+            let sum = AtomicUsize::new(0);
+            let result = super::scope(|s| {
+                for chunk in data.chunks(2) {
+                    s.spawn(|_| {
+                        sum.fetch_add(chunk.iter().sum::<usize>(), Ordering::SeqCst);
+                    });
+                }
+                7usize
+            })
+            .unwrap();
+            assert_eq!(result, 7);
+            assert_eq!(sum.load(Ordering::SeqCst), 10);
+        }
+
+        #[test]
+        fn child_panic_becomes_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let hits = AtomicUsize::new(0);
+            super::scope(|s| {
+                s.spawn(|s2| {
+                    s2.spawn(|_| {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            })
+            .unwrap();
+            assert_eq!(hits.load(Ordering::SeqCst), 1);
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the slice of proptest's API this workspace's property tests
+//! use — the `proptest!` macro, range/tuple/`Just`/`collection::vec`
+//! strategies, and the `prop_map` / `prop_flat_map` / `prop_perturb`
+//! combinators — over a deterministic per-test RNG.
+//!
+//! Differences from upstream, deliberate for an offline shim:
+//!
+//! * **No shrinking.** A failing case reports the case number and seed;
+//!   inputs are reproducible (the RNG is seeded from the test name), just
+//!   not minimized.
+//! * **No persistence files**, no fork, no timeout machinery.
+//!
+//! The generated values are honest random samples — every property still
+//! runs `cases` times against fresh inputs, so the tests retain their
+//! bug-finding power minus minimization convenience.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! The deterministic RNG handed to strategies and `prop_perturb`.
+
+    /// xoshiro256++ generator, seeded per test from the test's name so
+    //  each property gets an independent, reproducible stream.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary byte string (the test name).
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name, then SplitMix64 expansion.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Self::from_seed(h)
+        }
+
+        /// Seeds from a 64-bit value.
+        pub fn from_seed(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            if s == [0, 0, 0, 0] {
+                s[0] = 1;
+            }
+            Self { s }
+        }
+
+        /// Next raw word.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Unbiased sample in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "cannot sample below 0");
+            let zone = u64::MAX - (u64::MAX % bound);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % bound;
+                }
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// `rand`-style generic draw; `prop_perturb` closures call
+        /// `rng.random::<u64>()`.
+        pub fn random<T: FromRng>(&mut self) -> T {
+            T::from_rng(self)
+        }
+
+        /// Derives an independent child stream (used to hand an owned
+        /// RNG to `prop_perturb` without aliasing the parent stream).
+        pub fn split(&mut self) -> TestRng {
+            TestRng::from_seed(self.next_u64() ^ 0x9E37_79B9_7F4A_7C15)
+        }
+    }
+
+    /// Types [`TestRng::random`] can produce.
+    pub trait FromRng {
+        /// Draws one value.
+        fn from_rng(rng: &mut TestRng) -> Self;
+    }
+
+    impl FromRng for u64 {
+        fn from_rng(rng: &mut TestRng) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl FromRng for u32 {
+        fn from_rng(rng: &mut TestRng) -> Self {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl FromRng for usize {
+        fn from_rng(rng: &mut TestRng) -> Self {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl FromRng for bool {
+        fn from_rng(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl FromRng for f64 {
+        fn from_rng(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the numerical properties
+        // (each solves linear systems) fast while still sweeping inputs.
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of random values (upstream's `Strategy`, minus shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then samples from the strategy `f` builds
+    /// from it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Maps generated values through `f` with an owned RNG (upstream's
+    /// escape hatch for imperative generation like shuffles).
+    fn prop_perturb<U, F>(self, f: F) -> Perturb<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value, TestRng) -> U,
+    {
+        Perturb { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_perturb`].
+pub struct Perturb<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value, TestRng) -> U> Strategy for Perturb<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        let v = self.inner.sample(rng);
+        (self.f)(v, rng.split())
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uint_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i64, i32, i16, i8, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Inclusive length bounds for [`vec`], converted from `usize` ranges
+    /// (mirrors upstream's `SizeRange`, which is what makes bare integer
+    /// range literals like `0..150` infer as `usize`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec length range");
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `counts` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, counts: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            counts: counts.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        counts: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.counts.hi - self.counts.lo + 1;
+            let n = self.counts.lo + rng.below(span as u64) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::TestRng;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Defines property tests: each `fn` becomes a `#[test]` that samples its
+/// arguments `cases` times and runs the body on every sample.
+///
+/// ```ignore
+/// use proptest::prelude::*;
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn addition_commutes(a in 0usize..100, b in 0usize..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $($(#[$meta:meta])+ fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..config.cases {
+                    // Bind strategies once per case; runtime-constructed
+                    // strategies (capturing earlier args) re-evaluate.
+                    $(let $arg = {
+                        let __s = $strat;
+                        $crate::Strategy::sample(&__s, &mut rng)
+                    };)+
+                    let __run = || -> () { $body };
+                    __run();
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a property (no shrinking in the shim, so this is a
+/// plain assertion with case context from the panic location).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// `assert_eq!` under a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// `assert_ne!` under a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the rest of this case when the assumption fails. (The shim
+/// cannot resample; it simply returns from the case closure.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_sample_within_bounds() {
+        let mut rng = TestRng::deterministic("strategies_sample_within_bounds");
+        for _ in 0..200 {
+            let v = Strategy::sample(&(3usize..10), &mut rng);
+            assert!((3..10).contains(&v));
+            let f = Strategy::sample(&(-1.0f64..1.0), &mut rng);
+            assert!((-1.0..1.0).contains(&f));
+            let (a, b) = Strategy::sample(&(0u32..4, 10usize..=12), &mut rng);
+            assert!(a < 4 && (10..=12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_count_range() {
+        let mut rng = TestRng::deterministic("vec_strategy");
+        for _ in 0..100 {
+            let v = Strategy::sample(&collection::vec(0usize..5, 2..7), &mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::deterministic("combinators");
+        let s = (1usize..5)
+            .prop_flat_map(|n| collection::vec(0usize..n, n..=n).prop_map(move |v| (n, v)));
+        for _ in 0..100 {
+            let (n, v) = Strategy::sample(&s, &mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x < n));
+        }
+        let p =
+            Just(5usize).prop_perturb(|five, mut rng| five + (rng.random::<u64>() % 2) as usize);
+        let x = Strategy::sample(&p, &mut rng);
+        assert!(x == 5 || x == 6);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::deterministic("same-name");
+        let mut b = TestRng::deterministic("same-name");
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    // The macro itself, exercised end-to-end.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_cases(a in 0usize..50, v in collection::vec(0u32..9, 0..20)) {
+            prop_assert!(a < 50);
+            prop_assert!(v.iter().all(|&x| x < 9));
+            prop_assert_eq!(v.len(), v.len());
+        }
+
+        #[test]
+        fn macro_without_trailing_comma(x in -4i64..4) {
+            prop_assert!((-4..4).contains(&x));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(x in 0.0f64..1.0) {
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -29,7 +29,11 @@ fn all_deadends_graph() {
     let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
     let r = solver.query(3).unwrap();
     assert!((r.scores[3] - 0.05).abs() < 1e-12);
-    assert!(r.scores.iter().enumerate().all(|(i, &v)| i == 3 || v == 0.0));
+    assert!(r
+        .scores
+        .iter()
+        .enumerate()
+        .all(|(i, &v)| i == 3 || v == 0.0));
 }
 
 #[test]
@@ -48,7 +52,14 @@ fn invalid_restart_probabilities_rejected_everywhere() {
     let g = generators::cycle(5);
     for c in [0.0, 1.0, -1.0, 2.0, f64::NAN] {
         assert!(
-            BePi::preprocess(&g, &BePiConfig { c, ..BePiConfig::default() }).is_err(),
+            BePi::preprocess(
+                &g,
+                &BePiConfig {
+                    c,
+                    ..BePiConfig::default()
+                }
+            )
+            .is_err(),
             "c = {c} must be rejected"
         );
         assert!(PowerSolver::new(&g, c, 1e-9).is_err());

@@ -95,11 +95,7 @@ fn scores_behave_like_probabilities() {
             fx.name
         );
         let sum: f64 = r.scores.iter().sum();
-        assert!(
-            sum <= 1.0 + 1e-9,
-            "{}: scores sum {sum} exceeds 1",
-            fx.name
-        );
+        assert!(sum <= 1.0 + 1e-9, "{}: scores sum {sum} exceeds 1", fx.name);
         if g.deadend_count() == 0 {
             assert!(
                 (sum - 1.0).abs() < 1e-6,

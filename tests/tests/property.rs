@@ -11,8 +11,7 @@ use proptest::prelude::*;
 fn graph_strategy() -> impl Strategy<Value = Graph> {
     (5usize..60).prop_flat_map(|n| {
         proptest::collection::vec((0..n, 0..n), 1..(n * 4)).prop_map(move |pairs| {
-            let edges: Vec<(usize, usize)> =
-                pairs.into_iter().filter(|(u, v)| u != v).collect();
+            let edges: Vec<(usize, usize)> = pairs.into_iter().filter(|(u, v)| u != v).collect();
             Graph::from_edges(n, &edges).unwrap()
         })
     })

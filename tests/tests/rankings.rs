@@ -55,7 +55,10 @@ fn reverse_queries_via_transpose() {
 
     let reverse = BePi::preprocess(&g.transpose(), &BePiConfig::default()).unwrap();
     let r = reverse.query(2).unwrap().scores;
-    assert!(r[0] > 0.0 && r[1] > 0.0, "reverse walk finds ancestors: {r:?}");
+    assert!(
+        r[0] > 0.0 && r[1] > 0.0,
+        "reverse walk finds ancestors: {r:?}"
+    );
     assert!(r[1] > r[0], "closer ancestor scores higher");
 
     // Forward from 2 (a deadend) scores nothing but itself.
