@@ -22,6 +22,7 @@ struct Options {
     max_size: Option<usize>,
     variant: BePiVariant,
     labels: bool,
+    embed_graph: bool,
 }
 
 impl Default for Options {
@@ -34,6 +35,7 @@ impl Default for Options {
             max_size: None,
             variant: BePiVariant::Full,
             labels: false,
+            embed_graph: false,
         }
     }
 }
@@ -58,10 +60,12 @@ const USAGE: &str = "usage:
   bepi community  <edges.txt> <seed> [--max-size N] [common flags]
   bepi stats      <edges.txt> [common flags]
   bepi select-k   <edges.txt> [--c C]
-  bepi preprocess <edges.txt> <out.bepi> [common flags]
+  bepi preprocess <edges.txt> <out.bepi> [--embed-graph] [common flags]
   bepi serve      <index.bepi> <seed> [--top K]          (one-shot query)
   bepi serve      <index.bepi> --listen ADDR [--threads N] [--cache-entries M]
-                  [--queue-depth Q] [--timeout-ms T]     (HTTP daemon)
+                  [--queue-depth Q] [--timeout-ms T] [--wal PATH]
+                  [--auto-flush N] [--graph edges.txt] [--checkpoint PATH]
+                  (HTTP daemon)
   bepi help
 
 common flags:
@@ -75,6 +79,8 @@ common flags:
                    integers. Only for commands that read an edge list;
                    preprocess and serve require integer ids because the
                    label mapping is not stored in the .bepi index.
+  --embed-graph    preprocess: also store the adjacency inside the index
+                   (format v3), making it live-update capable when served
 
 serve daemon flags (with --listen):
   --listen ADDR    bind address, e.g. 127.0.0.1:7462 (port 0 picks an
@@ -86,8 +92,22 @@ serve daemon flags (with --listen):
                    with 503 + Retry-After (default 128)
   --timeout-ms T   per-request deadline in milliseconds, including queue
                    wait (default 10000)
+  --wal PATH       durable write-ahead log of live edge updates: every
+                   accepted POST /edges batch is fsynced here and replayed
+                   on restart (torn tails from a crash are tolerated)
+  --auto-flush N   rebuild the index in the background once N updates are
+                   buffered (default 0 = only POST /rebuild flushes)
+  --graph PATH     edge list matching the index, for live updates when the
+                   index was saved without --embed-graph
+  --checkpoint P   where to write the post-rebuild index (default: the
+                   index path itself when --wal is set); applied WAL
+                   segments are truncated once the checkpoint is durable
 
 daemon endpoints: GET /query?seed=S&top=K   GET /healthz   GET /metrics
+                  GET /version   POST /edges   POST /rebuild
+live updates: POST /edges takes JSON lines {\"op\":\"insert\",\"u\":0,\"v\":5};
+queries keep serving the last completed rebuild (check X-Graph-Version)
+until a rebuild flushes the buffer.
 the daemon shuts down gracefully (draining in-flight queries) on stdin EOF.";
 
 fn run() -> Result<(), String> {
@@ -163,6 +183,11 @@ fn parse_opts(mut rest: &[String]) -> Result<Options, String> {
     while let Some((flag, tail)) = rest.split_first() {
         if flag == "--labels" {
             o.labels = true;
+            rest = tail;
+            continue;
+        }
+        if flag == "--embed-graph" {
+            o.embed_graph = true;
             rest = tail;
             continue;
         }
@@ -376,25 +401,41 @@ fn cmd_preprocess(path: &str, out: &str, o: &Options) -> Result<(), String> {
     }
     let loaded = load(path, o)?;
     let solver = preprocess(&loaded.graph, o)?;
-    bepi_core::persist::save_file(&solver, out).map_err(|e| e.to_string())?;
+    if o.embed_graph {
+        bepi_core::persist::save_file_with_graph(&solver, &loaded.graph, out)
+            .map_err(|e| e.to_string())?;
+    } else {
+        bepi_core::persist::save_file(&solver, out).map_err(|e| e.to_string())?;
+    }
     println!(
-        "preprocessed {} nodes / {} edges into {out} ({})",
+        "preprocessed {} nodes / {} edges into {out} ({}{})",
         loaded.graph.n(),
         loaded.graph.m(),
         format_bytes(
             std::fs::metadata(out)
                 .map(|m| m.len() as usize)
                 .unwrap_or(0)
-        )
+        ),
+        if o.embed_graph {
+            ", graph embedded: live-update capable"
+        } else {
+            ""
+        }
     );
     Ok(())
 }
 
 fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
+    use bepi_live::{LiveConfig, LiveEngine};
     use bepi_server::{Server, ServerConfig};
+    use std::path::PathBuf;
 
     let mut cfg = ServerConfig::default();
     let mut listen: Option<String> = None;
+    let mut wal: Option<String> = None;
+    let mut graph_path: Option<String> = None;
+    let mut checkpoint: Option<String> = None;
+    let mut auto_flush: usize = 0;
     let mut rest = flags;
     while let Some((flag, tail)) = rest.split_first() {
         let (value, tail) = tail
@@ -402,6 +443,14 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
             .ok_or_else(|| format!("flag {flag} needs a value"))?;
         match flag.as_str() {
             "--listen" => listen = Some(value.clone()),
+            "--wal" => wal = Some(value.clone()),
+            "--graph" => graph_path = Some(value.clone()),
+            "--checkpoint" => checkpoint = Some(value.clone()),
+            "--auto-flush" => {
+                auto_flush = value
+                    .parse()
+                    .map_err(|_| format!("bad --auto-flush: {value}"))?
+            }
             "--threads" => {
                 cfg.threads = value
                     .parse()
@@ -435,19 +484,75 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
     }
     cfg.listen = listen.ok_or("daemon mode needs --listen ADDR")?;
 
-    let solver = bepi_core::persist::load_file(index).map_err(|e| e.to_string())?;
+    let (solver, embedded) =
+        bepi_core::persist::load_file_with_graph(index).map_err(|e| e.to_string())?;
     let nodes = solver.node_count();
-    let handle = Server::start(std::sync::Arc::new(solver), &cfg).map_err(|e| e.to_string())?;
+    let solver_config = *solver.config();
+
+    // The rebuild pipeline needs the original adjacency: either embedded
+    // in a v3 index (`preprocess --embed-graph`) or given via --graph.
+    let graph = match &graph_path {
+        Some(p) => {
+            let coo = read_edge_list_file(p, Some(nodes)).map_err(|e| e.to_string())?;
+            Some(Graph::from_adjacency(coo.to_csr()).map_err(|e| e.to_string())?)
+        }
+        None => embedded,
+    };
+
+    let live = graph.is_some();
+    let engine = match graph {
+        Some(g) => {
+            // With a WAL, the durable state is checkpoint + log: default
+            // the checkpoint to the index path so a restart on the same
+            // flags resumes exactly where the daemon left off.
+            let checkpoint_path = checkpoint
+                .clone()
+                .or_else(|| wal.as_ref().map(|_| index.to_string()))
+                .map(PathBuf::from);
+            LiveEngine::start(
+                std::sync::Arc::new(solver),
+                g,
+                solver_config,
+                LiveConfig {
+                    auto_flush_threshold: auto_flush,
+                    wal_path: wal.as_ref().map(PathBuf::from),
+                    checkpoint_path,
+                },
+            )
+            .map_err(|e| e.to_string())?
+        }
+        None => {
+            if wal.is_some() || auto_flush > 0 || checkpoint.is_some() {
+                return Err(
+                    "live-update flags (--wal/--auto-flush/--checkpoint) need the \
+                            graph: re-preprocess with --embed-graph or pass --graph edges.txt"
+                        .into(),
+                );
+            }
+            LiveEngine::frozen(std::sync::Arc::new(solver))
+        }
+    };
+    let version = engine.version();
+    let handle = Server::start_live(engine, &cfg).map_err(|e| e.to_string())?;
     println!(
         "bepi-server listening on http://{} ({} nodes; cache {} entries, \
-         queue depth {}, timeout {:?})",
+         queue depth {}, timeout {:?}; {}, graph version {})",
         handle.local_addr(),
         nodes,
         cfg.cache_entries,
         cfg.queue_depth,
         cfg.timeout,
+        if live {
+            "live updates enabled"
+        } else {
+            "static snapshot"
+        },
+        version,
     );
-    println!("endpoints: /query?seed=S&top=K  /healthz  /metrics");
+    println!(
+        "endpoints: /query?seed=S&top=K  /healthz  /metrics  /version  \
+         POST /edges  POST /rebuild"
+    );
     println!("EOF on stdin (e.g. ctrl-D) shuts down gracefully");
 
     // stdin EOF is the daemon's SIGTERM-equivalent: installing a real

@@ -74,6 +74,34 @@ impl DynamicBePi {
         Ok(false)
     }
 
+    /// Buffers a whole batch of updates at once, rebuilding **at most
+    /// once** (callers that loop over [`DynamicBePi::apply`] can trigger
+    /// an expensive rebuild mid-batch every time the buffer crosses the
+    /// threshold). The batch is validated up front — an out-of-range
+    /// update rejects the whole batch without buffering anything — and
+    /// the buffer is deduplicated: an insert later cancelled by a remove
+    /// of the same `(u, v)` never reaches the rebuild. Returns `true`
+    /// when a rebuild happened.
+    pub fn apply_batch(&mut self, updates: &[EdgeUpdate]) -> Result<bool> {
+        let n = self.graph.n();
+        for update in updates {
+            let (EdgeUpdate::Insert(u, v) | EdgeUpdate::Remove(u, v)) = *update;
+            if u >= n || v >= n {
+                return Err(bepi_sparse::SparseError::IndexOutOfBounds {
+                    index: (u, v),
+                    shape: (n, n),
+                });
+            }
+        }
+        self.pending.extend_from_slice(updates);
+        self.pending = dedup_opposing(&self.pending);
+        if self.pending.len() >= self.auto_flush_threshold {
+            self.flush()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
     /// Buffers an edge insertion (`u → v`).
     pub fn insert_edge(&mut self, u: usize, v: usize) -> Result<bool> {
         self.apply(EdgeUpdate::Insert(u, v))
@@ -129,10 +157,64 @@ impl DynamicBePi {
     }
 }
 
+/// Drops updates that can never affect the outcome: an `Insert(u, v)`
+/// followed (anywhere later in the batch) by a `Remove(u, v)` is
+/// cancelled by it, and of several removes on the same edge with no
+/// insert in between only the last survives. Order of the surviving
+/// updates is preserved, so per edge the result is at most one `Remove`
+/// followed only by `Insert`s. One forward pass, O(batch).
+pub fn dedup_opposing(updates: &[EdgeUpdate]) -> Vec<EdgeUpdate> {
+    use std::collections::HashMap;
+    struct PerEdge {
+        live_inserts: Vec<usize>,
+        last_remove: Option<usize>,
+    }
+    let mut alive = vec![true; updates.len()];
+    let mut per_edge: HashMap<(usize, usize), PerEdge> = HashMap::new();
+    for (i, update) in updates.iter().enumerate() {
+        match *update {
+            EdgeUpdate::Insert(u, v) => {
+                per_edge
+                    .entry((u, v))
+                    .or_insert_with(|| PerEdge {
+                        live_inserts: Vec::new(),
+                        last_remove: None,
+                    })
+                    .live_inserts
+                    .push(i);
+            }
+            EdgeUpdate::Remove(u, v) => {
+                let e = per_edge.entry((u, v)).or_insert_with(|| PerEdge {
+                    live_inserts: Vec::new(),
+                    last_remove: None,
+                });
+                for &j in &e.live_inserts {
+                    alive[j] = false;
+                }
+                e.live_inserts.clear();
+                // An earlier remove with no insert since is redundant.
+                if let Some(r) = e.last_remove.replace(i) {
+                    alive[r] = false;
+                }
+            }
+        }
+    }
+    updates
+        .iter()
+        .zip(&alive)
+        .filter_map(|(u, &a)| a.then_some(*u))
+        .collect()
+}
+
 /// Applies a batch of updates to a graph, merging duplicate inserts and
-/// honoring removals.
-fn apply_updates(g: &Graph, updates: &[EdgeUpdate]) -> Result<Graph> {
+/// honoring removals. Within the batch, updates apply in order *per
+/// edge*: an insert that follows a removal of the same edge re-adds it,
+/// an insert followed by a removal is cancelled (see [`dedup_opposing`]).
+pub fn apply_updates(g: &Graph, updates: &[EdgeUpdate]) -> Result<Graph> {
     use std::collections::HashSet;
+    let updates = dedup_opposing(updates);
+    // After dedup, every surviving insert comes after any remove of the
+    // same edge, so removals strip only pre-existing edges.
     let removals: HashSet<(u32, u32)> = updates
         .iter()
         .filter_map(|u| match u {
@@ -148,16 +230,9 @@ fn apply_updates(g: &Graph, updates: &[EdgeUpdate]) -> Result<Graph> {
             coo.push(r, c, w)?;
         }
     }
-    // Inserts apply after removals within the same batch *per edge*: an
-    // insert that follows a removal of the same edge re-adds it.
-    for (i, u) in updates.iter().enumerate() {
+    for u in &updates {
         if let EdgeUpdate::Insert(a, b) = u {
-            let later_removal = updates[i + 1..]
-                .iter()
-                .any(|x| matches!(x, EdgeUpdate::Remove(ra, rb) if ra == a && rb == b));
-            if !later_removal {
-                coo.push(*a, *b, 1.0)?;
-            }
+            coo.push(*a, *b, 1.0)?;
         }
     }
     Graph::from_adjacency(coo.to_csr())
@@ -281,6 +356,128 @@ mod tests {
         let mut dyn_solver = DynamicBePi::new(g, BePiConfig::default()).unwrap();
         assert!(dyn_solver.insert_edge(0, 4).is_err());
         assert!(dyn_solver.remove_edge(9, 0).is_err());
+    }
+
+    #[test]
+    fn apply_batch_rebuilds_at_most_once() {
+        let g = generators::erdos_renyi(40, 150, 3).unwrap();
+        let mut dyn_solver = DynamicBePi::new(g, BePiConfig::default()).unwrap();
+        dyn_solver.auto_flush_threshold = 2;
+        // Looping apply() over this batch would rebuild 3 times.
+        let batch = [
+            EdgeUpdate::Insert(0, 5),
+            EdgeUpdate::Insert(1, 6),
+            EdgeUpdate::Insert(2, 7),
+            EdgeUpdate::Insert(3, 8),
+            EdgeUpdate::Insert(4, 9),
+            EdgeUpdate::Insert(5, 10),
+        ];
+        assert!(dyn_solver.apply_batch(&batch).unwrap());
+        assert_eq!(dyn_solver.rebuilds(), 1);
+        assert_eq!(dyn_solver.pending_updates(), 0);
+        for (u, v) in [(0, 5), (5, 10)] {
+            assert_eq!(dyn_solver.snapshot().adjacency().get(u, v), 1.0);
+        }
+    }
+
+    #[test]
+    fn apply_batch_dedups_opposing_pairs() {
+        let g = generators::cycle(12);
+        let mut dyn_solver = DynamicBePi::new(g, BePiConfig::default()).unwrap();
+        dyn_solver
+            .apply_batch(&[
+                EdgeUpdate::Insert(0, 5),
+                EdgeUpdate::Remove(0, 5), // cancels the insert
+                EdgeUpdate::Insert(0, 7),
+            ])
+            .unwrap();
+        // The opposing pair collapsed to just the remove; with the insert
+        // of (0,7) that leaves 2 buffered updates.
+        assert_eq!(dyn_solver.pending_updates(), 2);
+        dyn_solver.flush().unwrap();
+        assert_eq!(dyn_solver.snapshot().adjacency().get(0, 5), 0.0);
+        assert_eq!(dyn_solver.snapshot().adjacency().get(0, 7), 1.0);
+    }
+
+    #[test]
+    fn apply_batch_rejects_out_of_range_without_buffering() {
+        let g = generators::cycle(4);
+        let mut dyn_solver = DynamicBePi::new(g, BePiConfig::default()).unwrap();
+        let batch = [EdgeUpdate::Insert(0, 2), EdgeUpdate::Insert(0, 99)];
+        assert!(dyn_solver.apply_batch(&batch).is_err());
+        assert_eq!(dyn_solver.pending_updates(), 0, "partial buffering");
+    }
+
+    #[test]
+    fn dedup_opposing_keeps_per_edge_order() {
+        let ups = [
+            EdgeUpdate::Remove(1, 2),
+            EdgeUpdate::Insert(1, 2), // survives: re-adds after removal
+            EdgeUpdate::Insert(3, 4),
+            EdgeUpdate::Remove(3, 4), // cancels the insert above
+            EdgeUpdate::Remove(5, 6),
+            EdgeUpdate::Remove(5, 6), // redundant duplicate remove
+        ];
+        let kept = dedup_opposing(&ups);
+        assert_eq!(
+            kept,
+            vec![
+                EdgeUpdate::Remove(1, 2),
+                EdgeUpdate::Insert(1, 2),
+                EdgeUpdate::Remove(3, 4),
+                EdgeUpdate::Remove(5, 6),
+            ]
+        );
+    }
+
+    #[test]
+    fn removing_nonexistent_edge_is_noop() {
+        let g = generators::cycle(8);
+        let mut dyn_solver = DynamicBePi::new(g.clone(), BePiConfig::default()).unwrap();
+        let before = dyn_solver.query(0).unwrap();
+        dyn_solver.remove_edge(3, 7).unwrap(); // no such edge
+        dyn_solver.flush().unwrap();
+        assert_eq!(dyn_solver.snapshot().adjacency(), g.adjacency());
+        let after = dyn_solver.query(0).unwrap();
+        assert_eq!(before.scores, after.scores);
+    }
+
+    #[test]
+    fn insert_turning_deadend_into_non_deadend_roundtrips() {
+        // Node 4 is a deadend: path 0→1→2→3→4 with no out-edge from 4.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(g.deadend_count(), 1);
+        let mut dyn_solver = DynamicBePi::new(g, BePiConfig::default()).unwrap();
+        dyn_solver.insert_edge(4, 0).unwrap();
+        dyn_solver.flush().unwrap();
+        assert_eq!(dyn_solver.snapshot().deadend_count(), 0);
+        let got = dyn_solver.query(0).unwrap();
+        let want = reference(dyn_solver.snapshot(), 0);
+        for (a, b) in got.scores.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn flush_is_bit_identical_to_from_scratch_preprocess() {
+        let g = generators::erdos_renyi(60, 240, 17).unwrap();
+        let mut dyn_solver = DynamicBePi::new(g, BePiConfig::default()).unwrap();
+        dyn_solver
+            .apply_batch(&[
+                EdgeUpdate::Insert(10, 20),
+                EdgeUpdate::Remove(0, 1),
+                EdgeUpdate::Insert(30, 40),
+            ])
+            .unwrap();
+        dyn_solver.flush().unwrap();
+        let scratch = BePi::preprocess(dyn_solver.snapshot(), &BePiConfig::default()).unwrap();
+        for seed in [0usize, 10, 59] {
+            assert_eq!(
+                dyn_solver.query(seed).unwrap().scores,
+                scratch.query(seed).unwrap().scores,
+                "seed {seed} must match a from-scratch preprocess bit-for-bit"
+            );
+        }
     }
 
     #[test]

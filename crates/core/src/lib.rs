@@ -61,7 +61,7 @@ pub mod schur;
 
 pub use bear::Bear;
 pub use bepi::{BePi, BePiConfig, BePiVariant, InnerSolver, PrecondKind};
-pub use dynamic::DynamicBePi;
+pub use dynamic::{DynamicBePi, EdgeUpdate};
 pub use exact::DenseExact;
 pub use hmatrix::HPartition;
 pub use iterative::{GmresSolver, PowerSolver};

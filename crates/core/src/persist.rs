@@ -12,17 +12,28 @@
 //! between the version field and the trailer. Version 1 files (no
 //! checksum trailer) are still readable.
 //!
+//! Format v3 ([`save_with_graph`]) appends the original adjacency matrix
+//! after the preprocessed parts, inside the same CRC envelope. A v3 index
+//! is *live-capable*: a daemon can re-preprocess after edge updates
+//! because the graph itself survived the round trip. [`load`] reads all
+//! three versions (discarding the graph); [`load_with_graph`] reports
+//! whether one was embedded.
+//!
 //! Array lengths in the stream are untrusted: readers never preallocate
 //! more than a fixed bound, so a corrupt length field fails with a clean
 //! parse error instead of aborting on an absurd allocation.
 
 use crate::bepi::{BePi, BePiConfig};
+use crate::rwr::RwrSolver;
+use bepi_graph::Graph;
 use bepi_sparse::{Csr, Permutation, Result, SparseError};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"BEPI";
 const VERSION: u32 = 2;
+/// Format version for indexes with the adjacency matrix embedded.
+const VERSION_WITH_GRAPH: u32 = 3;
 /// Oldest format version `load` still understands.
 const MIN_VERSION: u32 = 1;
 
@@ -54,26 +65,37 @@ const CRC32_TABLE: [u32; 256] = {
     table
 };
 
-/// Incremental CRC-32 state.
+/// Incremental CRC-32 state. Public so sibling crates (the `bepi-live`
+/// write-ahead log) can frame their files with the same checksum
+/// convention without duplicating the table.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct Crc32 {
+pub struct Crc32 {
     state: u32,
 }
 
 impl Crc32 {
-    pub(crate) fn new() -> Self {
+    /// Fresh checksum state.
+    pub fn new() -> Self {
         Self { state: 0xFFFF_FFFF }
     }
 
-    pub(crate) fn update(&mut self, bytes: &[u8]) {
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             let idx = ((self.state ^ b as u32) & 0xFF) as usize;
             self.state = CRC32_TABLE[idx] ^ (self.state >> 8);
         }
     }
 
-    pub(crate) fn finalize(self) -> u32 {
+    /// Final checksum value.
+    pub fn finalize(self) -> u32 {
         !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -150,9 +172,42 @@ pub fn save<W: Write>(bepi: &BePi, writer: W) -> Result<()> {
     Ok(())
 }
 
-/// Reads a preprocessed instance from a stream. Accepts format v2
-/// (checksum verified) and legacy v1 (no trailer, nothing to verify).
+/// Writes a *live-capable* instance (format v3): the preprocessed parts
+/// followed by the original adjacency matrix, all inside the CRC-32
+/// envelope. An index saved this way can be re-preprocessed after edge
+/// updates (see `bepi-live`) because the graph itself is durable.
+pub fn save_with_graph<W: Write>(bepi: &BePi, graph: &Graph, writer: W) -> Result<()> {
+    if graph.n() != bepi.node_count() {
+        return Err(SparseError::ShapeMismatch {
+            left: (graph.n(), graph.n()),
+            right: (bepi.node_count(), bepi.node_count()),
+            op: "persist::save_with_graph (graph vs index node count)",
+        });
+    }
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION_WITH_GRAPH)?;
+    let mut cw = CrcWriter::new(w);
+    bepi.write_parts(&mut cw)?;
+    write_csr(&mut cw, graph.adjacency())?;
+    let checksum = cw.crc.finalize();
+    let mut w = cw.inner;
+    write_u32(&mut w, checksum)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a preprocessed instance from a stream. Accepts format v3
+/// (embedded graph, discarded here — use [`load_with_graph`] to keep
+/// it), v2 (checksum verified), and legacy v1 (no trailer, nothing to
+/// verify).
 pub fn load<R: Read>(reader: R) -> Result<BePi> {
+    load_with_graph(reader).map(|(bepi, _)| bepi)
+}
+
+/// Like [`load`], but also returns the embedded adjacency graph when the
+/// file is format v3 (`None` for v1/v2 files).
+pub fn load_with_graph<R: Read>(reader: R) -> Result<(BePi, Option<Graph>)> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -163,10 +218,15 @@ pub fn load<R: Read>(reader: R) -> Result<BePi> {
     }
     let version = read_u32(&mut r)?;
     match version {
-        1 => BePi::read_parts(&mut r),
-        2 => {
+        1 => Ok((BePi::read_parts(&mut r)?, None)),
+        2 | 3 => {
             let mut cr = CrcReader::new(r);
             let bepi = BePi::read_parts(&mut cr)?;
+            let graph = if version == VERSION_WITH_GRAPH {
+                Some(Graph::from_adjacency(read_csr(&mut cr)?)?)
+            } else {
+                None
+            };
             let computed = cr.crc.finalize();
             let mut r = cr.inner;
             let stored = read_u32(&mut r)?;
@@ -176,10 +236,10 @@ pub fn load<R: Read>(reader: R) -> Result<BePi> {
                      (file is corrupt)"
                 )));
             }
-            Ok(bepi)
+            Ok((bepi, graph))
         }
         v => Err(SparseError::Parse(format!(
-            "unsupported BePI format version {v} (expected {MIN_VERSION}..={VERSION})"
+            "unsupported BePI format version {v} (expected {MIN_VERSION}..={VERSION_WITH_GRAPH})"
         ))),
     }
 }
@@ -192,6 +252,16 @@ pub fn save_file<P: AsRef<Path>>(bepi: &BePi, path: P) -> Result<()> {
 /// Convenience: loads from a file path.
 pub fn load_file<P: AsRef<Path>>(path: P) -> Result<BePi> {
     load(std::fs::File::open(path)?)
+}
+
+/// Convenience: saves a live-capable (v3) index to a file path.
+pub fn save_file_with_graph<P: AsRef<Path>>(bepi: &BePi, graph: &Graph, path: P) -> Result<()> {
+    save_with_graph(bepi, graph, std::fs::File::create(path)?)
+}
+
+/// Convenience: loads index + optional embedded graph from a file path.
+pub fn load_file_with_graph<P: AsRef<Path>>(path: P) -> Result<(BePi, Option<Graph>)> {
+    load_with_graph(std::fs::File::open(path)?)
 }
 
 // --- primitive readers/writers (little endian) ---
@@ -512,6 +582,51 @@ mod tests {
             bad[pos] ^= 0x40;
             assert!(load(&bad[..]).is_err(), "corruption at byte {pos} accepted");
         }
+    }
+
+    #[test]
+    fn v3_roundtrips_graph_and_queries() {
+        let g = generators::erdos_renyi(80, 320, 23).unwrap();
+        let original = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let mut buf = Vec::new();
+        save_with_graph(&original, &g, &mut buf).unwrap();
+        let (restored, graph) = load_with_graph(&buf[..]).unwrap();
+        assert_eq!(graph.as_ref().unwrap().adjacency(), g.adjacency());
+        assert_eq!(
+            original.query(5).unwrap().scores,
+            restored.query(5).unwrap().scores
+        );
+        // Plain load must also accept v3 (ignoring the graph).
+        let plain = load(&buf[..]).unwrap();
+        assert_eq!(
+            original.query(5).unwrap().scores,
+            plain.query(5).unwrap().scores
+        );
+        // A v2 file reports no embedded graph.
+        let mut v2 = Vec::new();
+        save(&original, &mut v2).unwrap();
+        assert!(load_with_graph(&v2[..]).unwrap().1.is_none());
+    }
+
+    #[test]
+    fn v3_detects_corruption_in_graph_section() {
+        let g = generators::cycle(12);
+        let original = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let mut buf = Vec::new();
+        save_with_graph(&original, &g, &mut buf).unwrap();
+        // Flip a bit near the end of the payload (inside the graph CSR).
+        let pos = buf.len() - 12;
+        buf[pos] ^= 0x01;
+        assert!(load_with_graph(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn save_with_graph_rejects_node_count_mismatch() {
+        let g = generators::cycle(10);
+        let original = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let other = generators::cycle(11);
+        let mut buf = Vec::new();
+        assert!(save_with_graph(&original, &other, &mut buf).is_err());
     }
 
     #[test]

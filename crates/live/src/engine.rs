@@ -1,0 +1,670 @@
+//! The live engine: buffered updates, a background rebuild worker, and
+//! an epoch-counted atomic snapshot swap.
+//!
+//! The serving path only ever touches [`LiveEngine::current`], which
+//! hands out an `Arc` to an immutable [`VersionedIndex`] — in-flight
+//! queries finish on the snapshot they started with, the swap is a
+//! pointer exchange under a mutex held for nanoseconds, and there are no
+//! torn reads by construction. Everything expensive (applying updates,
+//! SlashBurn → Schur → ILU re-preprocessing, checkpointing) happens on
+//! the rebuild worker thread, off the serving path — exactly the paper's
+//! Section 5 batch-update strategy run as a subsystem instead of a cron
+//! job.
+
+use crate::wal::Wal;
+use bepi_core::dynamic::{apply_updates, dedup_opposing, EdgeUpdate};
+use bepi_core::rwr::RwrSolver;
+use bepi_core::{persist, BePi, BePiConfig};
+use bepi_graph::Graph;
+use bepi_sparse::{Result, SparseError};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One immutable served snapshot: the preprocessed index plus the epoch
+/// counter that names it. Responses echo `version` so a client can tell
+/// exactly which graph state produced its scores.
+#[derive(Debug)]
+pub struct VersionedIndex {
+    /// Monotonically increasing snapshot epoch, starting at 1.
+    pub version: u64,
+    /// The preprocessed, read-only index for this epoch.
+    pub bepi: Arc<BePi>,
+}
+
+/// Tuning for [`LiveEngine::start`].
+#[derive(Debug, Clone, Default)]
+pub struct LiveConfig {
+    /// Buffered updates that trigger an automatic background rebuild.
+    /// `0` disables auto-rebuild (only `POST /rebuild` flushes).
+    pub auto_flush_threshold: usize,
+    /// Durable write-ahead log path. `None` keeps updates in memory only
+    /// (they die with the process).
+    pub wal_path: Option<PathBuf>,
+    /// Where to checkpoint the index (persist v3, graph embedded) after
+    /// each successful rebuild; applied WAL segments are truncated once
+    /// the checkpoint is durable. `None` disables checkpointing — the
+    /// WAL then grows until restart and is never compacted.
+    pub checkpoint_path: Option<PathBuf>,
+}
+
+/// What [`LiveEngine::submit`] did with a batch.
+#[derive(Debug, Clone, Copy)]
+pub struct SubmitOutcome {
+    /// Updates accepted (all of them — validation is all-or-nothing).
+    pub accepted: usize,
+    /// Buffered updates not yet visible to queries, after this batch.
+    pub pending: usize,
+    /// Version currently being served (the batch is *not* in it yet).
+    pub version: u64,
+    /// Whether this batch pushed the buffer over the auto-flush
+    /// threshold and scheduled a background rebuild.
+    pub rebuild_triggered: bool,
+}
+
+/// A point-in-time summary for `GET /version`.
+#[derive(Debug, Clone)]
+pub struct VersionInfo {
+    /// Served snapshot epoch.
+    pub version: u64,
+    /// Nodes in the served index.
+    pub nodes: usize,
+    /// Buffered, not-yet-visible updates.
+    pub pending: usize,
+    /// Background rebuilds completed since startup.
+    pub rebuilds: u64,
+    /// Whether this engine accepts updates at all.
+    pub live: bool,
+    /// The last rebuild failure, if any (cleared by the next success).
+    pub last_error: Option<String>,
+}
+
+struct MutState {
+    /// The graph matching the *served* snapshot. `None` for frozen
+    /// engines (index loaded without an embedded graph).
+    graph: Option<Graph>,
+    pending: Vec<EdgeUpdate>,
+    wal: Option<Wal>,
+    /// Rebuild request/completion generations: the worker owes a pass
+    /// whenever `request_gen > done_gen`.
+    request_gen: u64,
+    done_gen: u64,
+    /// Set when the worker thread is gone (shutdown or panic) so waiters
+    /// never block forever.
+    worker_gone: bool,
+    last_error: Option<String>,
+}
+
+/// Shared, thread-safe live-update engine. Cheap to clone via `Arc`.
+pub struct LiveEngine {
+    current: Mutex<Arc<VersionedIndex>>,
+    state: Mutex<MutState>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    solver_config: BePiConfig,
+    auto_flush_threshold: usize,
+    checkpoint_path: Option<PathBuf>,
+    rebuilds_total: AtomicU64,
+    updates_total: AtomicU64,
+    last_rebuild_micros: AtomicU64,
+}
+
+impl LiveEngine {
+    /// Wraps an index with no graph: queries work, updates are rejected.
+    /// This is the daemon's classic static-snapshot mode.
+    pub fn frozen(bepi: Arc<BePi>) -> Arc<Self> {
+        Arc::new(Self {
+            current: Mutex::new(Arc::new(VersionedIndex { version: 1, bepi })),
+            state: Mutex::new(MutState {
+                graph: None,
+                pending: Vec::new(),
+                wal: None,
+                request_gen: 0,
+                done_gen: 0,
+                worker_gone: true,
+                last_error: None,
+            }),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            worker: Mutex::new(None),
+            solver_config: BePiConfig::default(),
+            auto_flush_threshold: 0,
+            checkpoint_path: None,
+            rebuilds_total: AtomicU64::new(0),
+            updates_total: AtomicU64::new(0),
+            last_rebuild_micros: AtomicU64::new(0),
+        })
+    }
+
+    /// Starts a live engine: opens and replays the WAL (if configured),
+    /// folds any replayed updates into the served index *before* the
+    /// first query, checkpoints that recovered state, and spawns the
+    /// background rebuild worker.
+    pub fn start(
+        bepi: Arc<BePi>,
+        graph: Graph,
+        solver_config: BePiConfig,
+        config: LiveConfig,
+    ) -> Result<Arc<Self>> {
+        if graph.n() != bepi.node_count() {
+            return Err(SparseError::ShapeMismatch {
+                left: (graph.n(), graph.n()),
+                right: (bepi.node_count(), bepi.node_count()),
+                op: "LiveEngine::start (graph vs index node count)",
+            });
+        }
+        let mut graph = graph;
+        let mut bepi = bepi;
+        let mut wal = None;
+        let mut replayed_through = 0u64;
+        if let Some(path) = &config.wal_path {
+            let (w, records, report) = Wal::open(path)?;
+            if !records.is_empty() {
+                // Recovered updates become visible immediately: the WAL
+                // acknowledged them before the crash.
+                graph = apply_updates(&graph, &records)?;
+                bepi = Arc::new(BePi::preprocess(&graph, &solver_config)?);
+                replayed_through = report.segments;
+            }
+            wal = Some(w);
+        }
+
+        let engine = Arc::new(Self {
+            current: Mutex::new(Arc::new(VersionedIndex { version: 1, bepi })),
+            state: Mutex::new(MutState {
+                graph: Some(graph),
+                pending: Vec::new(),
+                wal,
+                request_gen: 0,
+                done_gen: 0,
+                worker_gone: false,
+                last_error: None,
+            }),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            worker: Mutex::new(None),
+            solver_config,
+            auto_flush_threshold: config.auto_flush_threshold,
+            checkpoint_path: config.checkpoint_path,
+            rebuilds_total: AtomicU64::new(0),
+            updates_total: AtomicU64::new(0),
+            last_rebuild_micros: AtomicU64::new(0),
+        });
+
+        if replayed_through > 0 {
+            // The recovered state is the new baseline: checkpoint it and
+            // drop the replayed WAL prefix so a crash loop cannot grow
+            // the log without bound.
+            let mut st = engine.state.lock().unwrap_or_else(|e| e.into_inner());
+            engine.checkpoint_and_compact(&mut st, replayed_through)?;
+        }
+
+        let worker = {
+            let engine = Arc::clone(&engine);
+            std::thread::Builder::new()
+                .name("bepi-rebuild".to_string())
+                .spawn(move || worker_loop(&engine))?
+        };
+        *engine.worker.lock().unwrap_or_else(|e| e.into_inner()) = Some(worker);
+        Ok(engine)
+    }
+
+    /// The snapshot to answer queries from. Callers hold the `Arc` for
+    /// the whole request so seed validation, the solve, and the rendered
+    /// version header all agree even across a concurrent hot-swap.
+    pub fn current(&self) -> Arc<VersionedIndex> {
+        Arc::clone(&self.current.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Served snapshot epoch.
+    pub fn version(&self) -> u64 {
+        self.current().version
+    }
+
+    /// Whether this engine accepts edge updates.
+    pub fn is_live(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .graph
+            .is_some()
+    }
+
+    /// Buffered updates not yet visible to queries.
+    pub fn pending_len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pending
+            .len()
+    }
+
+    /// Background rebuilds completed since startup.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds_total.load(Ordering::Relaxed)
+    }
+
+    /// Edge updates accepted since startup.
+    pub fn updates_accepted(&self) -> u64 {
+        self.updates_total.load(Ordering::Relaxed)
+    }
+
+    /// Duration of the most recent completed rebuild, in microseconds.
+    pub fn last_rebuild_micros(&self) -> u64 {
+        self.last_rebuild_micros.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time status summary.
+    pub fn info(&self) -> VersionInfo {
+        let current = self.current();
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        VersionInfo {
+            version: current.version,
+            nodes: current.bepi.node_count(),
+            pending: st.pending.len(),
+            rebuilds: self.rebuilds(),
+            live: st.graph.is_some(),
+            last_error: st.last_error.clone(),
+        }
+    }
+
+    /// Validates, logs (WAL append + fsync), and buffers a batch of
+    /// updates. All-or-nothing: an out-of-range update rejects the whole
+    /// batch before anything is logged. Queries keep seeing the old
+    /// snapshot until a rebuild completes.
+    pub fn submit(&self, updates: &[EdgeUpdate]) -> Result<SubmitOutcome> {
+        if updates.is_empty() {
+            return Ok(SubmitOutcome {
+                accepted: 0,
+                pending: self.pending_len(),
+                version: self.version(),
+                rebuild_triggered: false,
+            });
+        }
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(graph) = &st.graph else {
+            return Err(SparseError::Parse(
+                "live updates disabled: the index was loaded without its graph \
+                 (re-preprocess with --embed-graph or pass --graph)"
+                    .to_string(),
+            ));
+        };
+        let n = graph.n();
+        for update in updates {
+            let (EdgeUpdate::Insert(u, v) | EdgeUpdate::Remove(u, v)) = *update;
+            if u >= n || v >= n {
+                return Err(SparseError::IndexOutOfBounds {
+                    index: (u, v),
+                    shape: (n, n),
+                });
+            }
+        }
+        // Durability first: only after the fsync succeeds does the batch
+        // enter the in-memory buffer (and get acknowledged).
+        if let Some(wal) = &mut st.wal {
+            wal.append(updates)?;
+        }
+        st.pending.extend_from_slice(updates);
+        st.pending = dedup_opposing(&st.pending);
+        self.updates_total
+            .fetch_add(updates.len() as u64, Ordering::Relaxed);
+
+        let pending = st.pending.len();
+        let trigger = self.auto_flush_threshold > 0 && pending >= self.auto_flush_threshold;
+        if trigger && st.request_gen == st.done_gen {
+            st.request_gen += 1;
+            self.cv.notify_all();
+        }
+        drop(st);
+        Ok(SubmitOutcome {
+            accepted: updates.len(),
+            pending,
+            version: self.version(),
+            rebuild_triggered: trigger,
+        })
+    }
+
+    /// Forces a rebuild of everything buffered and blocks until the
+    /// hot-swap completes (or reports the rebuild error). No-op returning
+    /// the current version when nothing is buffered.
+    pub fn rebuild_and_wait(&self) -> Result<u64> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.graph.is_none() {
+            return Err(SparseError::Parse(
+                "live updates disabled: the index was loaded without its graph".to_string(),
+            ));
+        }
+        st.request_gen += 1;
+        let target = st.request_gen;
+        self.cv.notify_all();
+        while st.done_gen < target {
+            if st.worker_gone || self.shutdown.load(Ordering::SeqCst) {
+                return Err(SparseError::Parse(
+                    "rebuild worker is shutting down".to_string(),
+                ));
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if let Some(err) = st.last_error.clone() {
+            return Err(SparseError::Parse(format!("rebuild failed: {err}")));
+        }
+        drop(st);
+        Ok(self.version())
+    }
+
+    /// Stops the rebuild worker: a rebuild already in progress finishes
+    /// (including its hot-swap and checkpoint), buffered-but-unflushed
+    /// updates stay in the WAL for the next start. Idempotent.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+        let handle = self.worker.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+
+    /// Checkpoints the *current* snapshot (+ graph) to the configured
+    /// path via a temp-file + atomic-rename, then truncates WAL segments
+    /// `<= upto`. Compaction is skipped unless the checkpoint landed:
+    /// checkpoint + remaining WAL must always reconstruct current state.
+    fn checkpoint_and_compact(&self, st: &mut MutState, upto: u64) -> Result<()> {
+        let Some(path) = &self.checkpoint_path else {
+            return Ok(());
+        };
+        let Some(graph) = &st.graph else {
+            return Ok(());
+        };
+        let current = self.current();
+        let tmp = path.with_extension("bepi.tmp");
+        persist::save_file_with_graph(&current.bepi, graph, &tmp)?;
+        std::fs::rename(&tmp, path)?;
+        if let Some(wal) = &mut st.wal {
+            wal.compact_through(upto)?;
+        }
+        Ok(())
+    }
+}
+
+/// Ensures waiters are released even if the worker thread panics.
+struct WorkerGoneGuard<'a>(&'a LiveEngine);
+
+impl Drop for WorkerGoneGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.worker_gone = true;
+        self.0.cv.notify_all();
+    }
+}
+
+fn worker_loop(engine: &LiveEngine) {
+    let _guard = WorkerGoneGuard(engine);
+    loop {
+        // Phase 1 (cheap, under the state lock): claim the buffered
+        // updates and the rebuild generation.
+        let (updates, graph, upto, target) = {
+            let mut st = engine.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if engine.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if st.request_gen > st.done_gen {
+                    break;
+                }
+                st = engine.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            let target = st.request_gen;
+            let updates = std::mem::take(&mut st.pending);
+            let upto = st.wal.as_ref().map(|w| w.seq()).unwrap_or(0);
+            let Some(graph) = st.graph.clone() else {
+                return; // unreachable: live engines always carry a graph
+            };
+            (updates, graph, upto, target)
+        };
+
+        if updates.is_empty() {
+            let mut st = engine.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.done_gen = target;
+            engine.cv.notify_all();
+            continue;
+        }
+
+        // Phase 2 (expensive, NO locks held): apply the batch and re-run
+        // the full preprocessing pipeline while queries keep being served
+        // from the old snapshot.
+        let started = Instant::now();
+        let rebuilt = apply_updates(&graph, &updates).and_then(|new_graph| {
+            let bepi = BePi::preprocess(&new_graph, &engine.solver_config)?;
+            Ok((new_graph, bepi))
+        });
+
+        match rebuilt {
+            Ok((new_graph, bepi)) => {
+                engine
+                    .last_rebuild_micros
+                    .store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+                // Phase 3: the hot-swap. One pointer exchange; queries
+                // already holding the old Arc finish on the old snapshot.
+                {
+                    let mut current = engine.current.lock().unwrap_or_else(|e| e.into_inner());
+                    *current = Arc::new(VersionedIndex {
+                        version: current.version + 1,
+                        bepi: Arc::new(bepi),
+                    });
+                }
+                engine.rebuilds_total.fetch_add(1, Ordering::Relaxed);
+                let mut st = engine.state.lock().unwrap_or_else(|e| e.into_inner());
+                st.graph = Some(new_graph);
+                st.last_error = None;
+                if let Err(e) = engine.checkpoint_and_compact(&mut st, upto) {
+                    // The swap already happened; a failed checkpoint only
+                    // costs replay time on the next restart.
+                    st.last_error = Some(format!("checkpoint failed: {e}"));
+                }
+                st.done_gen = target;
+                engine.cv.notify_all();
+            }
+            Err(e) => {
+                let mut st = engine.state.lock().unwrap_or_else(|e| e.into_inner());
+                // Put the batch back (ahead of anything newly buffered)
+                // so acknowledged updates are never silently dropped.
+                let mut merged = updates;
+                merged.append(&mut st.pending);
+                st.pending = merged;
+                st.last_error = Some(e.to_string());
+                st.done_gen = target;
+                engine.cv.notify_all();
+            }
+        }
+    }
+}
+
+impl Drop for LiveEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bepi_graph::generators;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("bepi_engine_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}", std::process::id()))
+    }
+
+    fn engine_over_cycle(n: usize, config: LiveConfig) -> Arc<LiveEngine> {
+        let g = generators::cycle(n);
+        let cfg = BePiConfig::default();
+        let bepi = Arc::new(BePi::preprocess(&g, &cfg).unwrap());
+        LiveEngine::start(bepi, g, cfg, config).unwrap()
+    }
+
+    #[test]
+    fn frozen_engine_serves_but_rejects_updates() {
+        let g = generators::cycle(10);
+        let bepi = Arc::new(BePi::preprocess(&g, &BePiConfig::default()).unwrap());
+        let engine = LiveEngine::frozen(bepi);
+        assert!(!engine.is_live());
+        assert_eq!(engine.version(), 1);
+        assert!(engine.current().bepi.query(0).is_ok());
+        assert!(engine.submit(&[EdgeUpdate::Insert(0, 5)]).is_err());
+        assert!(engine.rebuild_and_wait().is_err());
+        engine.shutdown(); // no-op, must not hang
+    }
+
+    #[test]
+    fn submit_then_forced_rebuild_hot_swaps() {
+        let engine = engine_over_cycle(10, LiveConfig::default());
+        let before = engine.current();
+        let score_before = before.bepi.query(0).unwrap().scores[5];
+
+        let out = engine.submit(&[EdgeUpdate::Insert(0, 5)]).unwrap();
+        assert_eq!(out.accepted, 1);
+        assert_eq!(out.pending, 1);
+        assert!(!out.rebuild_triggered, "no auto-flush configured");
+        // Staleness contract: not visible until a rebuild completes.
+        assert_eq!(
+            engine.current().bepi.query(0).unwrap().scores[5],
+            score_before
+        );
+
+        let v = engine.rebuild_and_wait().unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(engine.pending_len(), 0);
+        assert_eq!(engine.rebuilds(), 1);
+        let after = engine.current();
+        assert_eq!(after.version, 2);
+        assert!(after.bepi.query(0).unwrap().scores[5] > score_before);
+        // The old snapshot is still queryable by holders of the old Arc.
+        assert_eq!(before.bepi.query(0).unwrap().scores[5], score_before);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn auto_flush_threshold_triggers_background_rebuild() {
+        let engine = engine_over_cycle(
+            16,
+            LiveConfig {
+                auto_flush_threshold: 3,
+                ..LiveConfig::default()
+            },
+        );
+        engine.submit(&[EdgeUpdate::Insert(0, 2)]).unwrap();
+        let out = engine
+            .submit(&[EdgeUpdate::Insert(0, 3), EdgeUpdate::Insert(0, 4)])
+            .unwrap();
+        assert!(out.rebuild_triggered);
+        // The rebuild is asynchronous; wait for it to land.
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        while engine.version() < 2 {
+            assert!(Instant::now() < deadline, "rebuild never completed");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(engine.pending_len(), 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn rebuild_with_empty_buffer_is_noop() {
+        let engine = engine_over_cycle(8, LiveConfig::default());
+        let v = engine.rebuild_and_wait().unwrap();
+        assert_eq!(v, 1, "no updates: no new version");
+        assert_eq!(engine.rebuilds(), 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn out_of_range_batch_rejected_atomically() {
+        let engine = engine_over_cycle(6, LiveConfig::default());
+        let batch = [EdgeUpdate::Insert(0, 3), EdgeUpdate::Insert(0, 6)];
+        assert!(engine.submit(&batch).is_err());
+        assert_eq!(engine.pending_len(), 0, "nothing buffered");
+        assert_eq!(engine.updates_accepted(), 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn wal_replay_restores_submitted_updates() {
+        let wal = tmp("replay.wal");
+        let cp = tmp("replay.bepi");
+        std::fs::remove_file(&wal).ok();
+        std::fs::remove_file(&cp).ok();
+
+        let g = generators::cycle(12);
+        let cfg = BePiConfig::default();
+        let bepi = Arc::new(BePi::preprocess(&g, &cfg).unwrap());
+        let config = LiveConfig {
+            wal_path: Some(wal.clone()),
+            ..LiveConfig::default()
+        };
+        let engine = LiveEngine::start(Arc::clone(&bepi), g.clone(), cfg, config.clone()).unwrap();
+        engine.submit(&[EdgeUpdate::Insert(0, 6)]).unwrap();
+        engine.submit(&[EdgeUpdate::Remove(3, 4)]).unwrap();
+        // Simulate a crash: drop without rebuild — updates only in WAL.
+        engine.shutdown();
+        drop(engine);
+
+        let engine2 = LiveEngine::start(bepi, g.clone(), cfg, config).unwrap();
+        // Replayed updates are visible immediately (folded in at start).
+        let scores = engine2.current().bepi.query(0).unwrap().scores.clone();
+        let expected_graph =
+            apply_updates(&g, &[EdgeUpdate::Insert(0, 6), EdgeUpdate::Remove(3, 4)]).unwrap();
+        let expected = BePi::preprocess(&expected_graph, &cfg).unwrap();
+        assert_eq!(scores, expected.query(0).unwrap().scores);
+        engine2.shutdown();
+        std::fs::remove_file(&wal).ok();
+    }
+
+    #[test]
+    fn checkpoint_compacts_wal_and_restart_is_fast_path() {
+        let wal = tmp("compact.wal");
+        let cp = tmp("compact.bepi");
+        std::fs::remove_file(&wal).ok();
+        std::fs::remove_file(&cp).ok();
+
+        let g = generators::cycle(12);
+        let cfg = BePiConfig::default();
+        let bepi = Arc::new(BePi::preprocess(&g, &cfg).unwrap());
+        let config = LiveConfig {
+            wal_path: Some(wal.clone()),
+            checkpoint_path: Some(cp.clone()),
+            ..LiveConfig::default()
+        };
+        let engine = LiveEngine::start(bepi, g, cfg, config).unwrap();
+        engine.submit(&[EdgeUpdate::Insert(0, 6)]).unwrap();
+        engine.rebuild_and_wait().unwrap();
+        engine.shutdown();
+
+        // The checkpoint exists, is live-capable, and the WAL is empty.
+        let (cp_bepi, cp_graph) = persist::load_file_with_graph(&cp).unwrap();
+        assert!(cp_graph.is_some(), "checkpoint must embed the graph");
+        assert_eq!(cp_graph.unwrap().adjacency().get(0, 6), 1.0);
+        let (_, replayed, _) = Wal::open(&wal).unwrap();
+        assert!(replayed.is_empty(), "applied segments must be truncated");
+        // And it serves the post-update scores.
+        assert!(cp_bepi.query(0).unwrap().scores[6] > 0.0);
+        std::fs::remove_file(&wal).ok();
+        std::fs::remove_file(&cp).ok();
+    }
+
+    #[test]
+    fn info_reports_state() {
+        let engine = engine_over_cycle(8, LiveConfig::default());
+        engine.submit(&[EdgeUpdate::Insert(1, 3)]).unwrap();
+        let info = engine.info();
+        assert_eq!(info.version, 1);
+        assert_eq!(info.nodes, 8);
+        assert_eq!(info.pending, 1);
+        assert_eq!(info.rebuilds, 0);
+        assert!(info.live);
+        assert!(info.last_error.is_none());
+        engine.shutdown();
+    }
+}

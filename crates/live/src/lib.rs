@@ -1,0 +1,27 @@
+//! # bepi-live
+//!
+//! Live-update subsystem for the BePI query daemon: a durable
+//! write-ahead log of edge updates, a background worker that re-runs the
+//! full BePI preprocessing pipeline off the serving path, and an atomic
+//! hot-swap of the served index.
+//!
+//! The design follows the paper's observation (Section 5) that BePI's
+//! preprocessing is cheap enough to re-run for *batches* of graph
+//! changes: rather than incrementally patching the Schur complement, the
+//! daemon buffers updates, rebuilds the whole index in the background,
+//! and swaps it in atomically once ready. Queries always see exactly one
+//! consistent snapshot — the last *completed* rebuild, never the WAL tip.
+//!
+//! - [`wal`] — the on-disk log: length-validated, CRC-32-trailed
+//!   segments, replay-on-restart with truncated-tail tolerance.
+//! - [`engine`] — [`LiveEngine`]: buffering + dedup, rebuild scheduling,
+//!   epoch-counted snapshot swap, checkpoint + WAL compaction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod wal;
+
+pub use engine::{LiveConfig, LiveEngine, SubmitOutcome, VersionInfo, VersionedIndex};
+pub use wal::{ReplayReport, Wal};

@@ -1,0 +1,426 @@
+//! Durable write-ahead log of [`EdgeUpdate`] records.
+//!
+//! Every [`Wal::append`] call writes one *segment* and fsyncs before
+//! returning, so an update acknowledged to a client survives a crash.
+//! The on-disk format follows the persist-v2 conventions: a magic +
+//! version header, then length-validated frames each carrying its own
+//! CRC-32 trailer:
+//!
+//! ```text
+//! header:  "BPWL" | u32 version
+//! segment: u32 len | len bytes of records | u32 crc32(records)
+//! record:  u8 op (0 = insert, 1 = remove) | u64 u | u64 v
+//! ```
+//!
+//! Replay on restart tolerates a *truncated tail* — a segment cut short
+//! by a crash mid-append is discarded (and the file truncated back to the
+//! last complete segment) because its bytes simply end early. A segment
+//! that is fully present but fails its CRC or length validation is
+//! genuine corruption and replay fails with a clean parse error, never an
+//! abort.
+
+use bepi_core::dynamic::EdgeUpdate;
+use bepi_core::persist::Crc32;
+use bepi_sparse::{Result, SparseError};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"BPWL";
+const VERSION: u32 = 1;
+const HEADER_BYTES: u64 = 8;
+/// Bytes per serialized record: op tag + two node ids.
+const RECORD_BYTES: usize = 17;
+/// Upper bound on one segment's payload — a corrupt length field must
+/// fail validation instead of driving a huge read.
+pub const MAX_SEGMENT_BYTES: usize = RECORD_BYTES * (1 << 20);
+
+/// What [`Wal::open`] found while replaying an existing log.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReplayReport {
+    /// Complete segments replayed.
+    pub segments: u64,
+    /// Edge updates recovered, in append order.
+    pub records: usize,
+    /// Bytes of torn tail discarded (0 for a cleanly closed log).
+    pub truncated_bytes: usize,
+}
+
+/// An append-only, fsync-on-append edge-update log.
+///
+/// Segments are numbered from 1 in append order across the whole life of
+/// the log *within this process*; [`Wal::compact_through`] drops a prefix
+/// once a rebuild has made it redundant.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Segments physically present in the file.
+    segments_in_file: u64,
+    /// Segments dropped by compaction (global seq of the file's first
+    /// segment is `base + 1`).
+    base: u64,
+}
+
+fn encode_records(updates: &[EdgeUpdate]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(updates.len() * RECORD_BYTES);
+    for update in updates {
+        let (op, u, v) = match *update {
+            EdgeUpdate::Insert(u, v) => (0u8, u, v),
+            EdgeUpdate::Remove(u, v) => (1u8, u, v),
+        };
+        payload.push(op);
+        payload.extend_from_slice(&(u as u64).to_le_bytes());
+        payload.extend_from_slice(&(v as u64).to_le_bytes());
+    }
+    payload
+}
+
+fn decode_records(payload: &[u8]) -> Result<Vec<EdgeUpdate>> {
+    let mut out = Vec::with_capacity(payload.len() / RECORD_BYTES);
+    for rec in payload.chunks(RECORD_BYTES) {
+        let u = u64::from_le_bytes(rec[1..9].try_into().unwrap()) as usize;
+        let v = u64::from_le_bytes(rec[9..17].try_into().unwrap()) as usize;
+        out.push(match rec[0] {
+            0 => EdgeUpdate::Insert(u, v),
+            1 => EdgeUpdate::Remove(u, v),
+            op => {
+                return Err(SparseError::Parse(format!(
+                    "corrupt WAL record: unknown op tag {op}"
+                )))
+            }
+        });
+    }
+    Ok(out)
+}
+
+/// One segment found by [`scan_segments`]: the byte range of its payload
+/// within the scanned buffer.
+struct Segment {
+    payload_start: usize,
+    payload_len: usize,
+}
+
+/// Walks the segment stream in `bytes` (everything after the header).
+/// Returns the complete segments, the offset just past the last complete
+/// one, and whether a torn tail follows it. Fails on CRC mismatches and
+/// invalid length fields — those are corruption, not torn writes.
+fn scan_segments(bytes: &[u8]) -> Result<(Vec<Segment>, usize)> {
+    let mut segments = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        // A torn append simply runs out of bytes: tolerate and stop.
+        let Some(len_bytes) = bytes.get(pos..pos + 4) else {
+            break;
+        };
+        let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+        if len == 0 || len > MAX_SEGMENT_BYTES || len % RECORD_BYTES != 0 {
+            return Err(SparseError::Parse(format!(
+                "corrupt WAL: segment at byte {} declares invalid length {len}",
+                HEADER_BYTES as usize + pos
+            )));
+        }
+        let Some(payload) = bytes.get(pos + 4..pos + 4 + len) else {
+            break; // torn payload
+        };
+        let Some(crc_bytes) = bytes.get(pos + 4 + len..pos + 8 + len) else {
+            break; // torn trailer
+        };
+        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        let mut crc = Crc32::new();
+        crc.update(payload);
+        let computed = crc.finalize();
+        if stored != computed {
+            return Err(SparseError::Parse(format!(
+                "corrupt WAL: segment at byte {} checksum mismatch \
+                 (stored {stored:#010x}, computed {computed:#010x})",
+                HEADER_BYTES as usize + pos
+            )));
+        }
+        segments.push(Segment {
+            payload_start: pos + 4,
+            payload_len: len,
+        });
+        pos += 8 + len;
+    }
+    Ok((segments, pos))
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`, replaying every
+    /// complete segment. A torn tail from a crash mid-append is truncated
+    /// away; corruption of a complete segment is a clean error.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<(Self, Vec<EdgeUpdate>, ReplayReport)> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        if bytes.is_empty() {
+            file.write_all(MAGIC)?;
+            file.write_all(&VERSION.to_le_bytes())?;
+            file.sync_data()?;
+            return Ok((
+                Self {
+                    file,
+                    path,
+                    segments_in_file: 0,
+                    base: 0,
+                },
+                Vec::new(),
+                ReplayReport::default(),
+            ));
+        }
+        if bytes.len() < HEADER_BYTES as usize || &bytes[..4] != MAGIC {
+            return Err(SparseError::Parse(format!(
+                "{} is not a BePI WAL (bad magic)",
+                path.display()
+            )));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(SparseError::Parse(format!(
+                "unsupported WAL version {version} (expected {VERSION})"
+            )));
+        }
+
+        let body = &bytes[HEADER_BYTES as usize..];
+        let (segments, valid_len) = scan_segments(body)?;
+        let mut records = Vec::new();
+        for seg in &segments {
+            records.extend(decode_records(
+                &body[seg.payload_start..seg.payload_start + seg.payload_len],
+            )?);
+        }
+        let report = ReplayReport {
+            segments: segments.len() as u64,
+            records: records.len(),
+            truncated_bytes: body.len() - valid_len,
+        };
+        if report.truncated_bytes > 0 {
+            // Drop the torn tail so the next append starts on a segment
+            // boundary.
+            file.set_len(HEADER_BYTES + valid_len as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            Self {
+                file,
+                path,
+                segments_in_file: report.segments,
+                base: 0,
+            },
+            records,
+            report,
+        ))
+    }
+
+    /// Global sequence number of the newest segment (0 when empty).
+    pub fn seq(&self) -> u64 {
+        self.base + self.segments_in_file
+    }
+
+    /// Appends one segment holding `updates` and fsyncs. Returns the new
+    /// segment's global sequence number.
+    pub fn append(&mut self, updates: &[EdgeUpdate]) -> Result<u64> {
+        if updates.is_empty() {
+            return Ok(self.seq());
+        }
+        if updates.len() * RECORD_BYTES > MAX_SEGMENT_BYTES {
+            return Err(SparseError::Parse(format!(
+                "WAL segment too large: {} updates (max {})",
+                updates.len(),
+                MAX_SEGMENT_BYTES / RECORD_BYTES
+            )));
+        }
+        let payload = encode_records(updates);
+        let mut crc = Crc32::new();
+        crc.update(&payload);
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&crc.finalize().to_le_bytes());
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.segments_in_file += 1;
+        Ok(self.seq())
+    }
+
+    /// Drops every segment with sequence number `<= upto` — they are
+    /// covered by a durable checkpoint. Rewrites the remaining tail into
+    /// a temporary file and atomically renames it over the log, so a
+    /// crash mid-compaction leaves either the old or the new log, never a
+    /// mix.
+    pub fn compact_through(&mut self, upto: u64) -> Result<()> {
+        if upto <= self.base {
+            return Ok(());
+        }
+        let drop_local = (upto - self.base).min(self.segments_in_file);
+
+        self.file.seek(SeekFrom::Start(HEADER_BYTES))?;
+        let mut body = Vec::new();
+        self.file.read_to_end(&mut body)?;
+        let (segments, _) = scan_segments(&body)?;
+
+        let keep_from = segments
+            .get(drop_local as usize)
+            .map(|s| s.payload_start - 4)
+            .unwrap_or(body.len());
+
+        let tmp_path = self.path.with_extension("wal.tmp");
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(MAGIC)?;
+        tmp.write_all(&VERSION.to_le_bytes())?;
+        tmp.write_all(&body[keep_from..])?;
+        tmp.sync_data()?;
+        std::fs::rename(&tmp_path, &self.path)?;
+
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.segments_in_file -= drop_local;
+        self.base += drop_local;
+        Ok(())
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("bepi_wal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}.wal", std::process::id()))
+    }
+
+    fn ups(n: usize) -> Vec<EdgeUpdate> {
+        (0..n).map(|i| EdgeUpdate::Insert(i, i + 1)).collect()
+    }
+
+    #[test]
+    fn roundtrip_across_reopen() {
+        let path = tmp("roundtrip");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, replayed, _) = Wal::open(&path).unwrap();
+        assert!(replayed.is_empty());
+        assert_eq!(wal.append(&ups(3)).unwrap(), 1);
+        assert_eq!(wal.append(&[EdgeUpdate::Remove(7, 8)]).unwrap(), 2);
+        drop(wal);
+        let (wal, replayed, report) = Wal::open(&path).unwrap();
+        assert_eq!(report.segments, 2);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(replayed.len(), 4);
+        assert_eq!(replayed[3], EdgeUpdate::Remove(7, 8));
+        assert_eq!(wal.seq(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = tmp("torn");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _, _) = Wal::open(&path).unwrap();
+        wal.append(&ups(2)).unwrap();
+        drop(wal);
+        // Simulate a crash mid-append: a partial frame at the tail.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&(34u32.to_le_bytes())).unwrap(); // claims 2 records
+        f.write_all(&[0u8; 10]).unwrap(); // ...but only 10 payload bytes
+        drop(f);
+        let before = std::fs::metadata(&path).unwrap().len();
+        let (mut wal, replayed, report) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 2, "complete segment survives");
+        assert_eq!(report.truncated_bytes, 14);
+        assert!(std::fs::metadata(&path).unwrap().len() < before);
+        // The log keeps working after truncation.
+        wal.append(&ups(1)).unwrap();
+        drop(wal);
+        let (_, replayed, report) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(report.truncated_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_trailer_fails_cleanly() {
+        let path = tmp("corrupt");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _, _) = Wal::open(&path).unwrap();
+        wal.append(&ups(3)).unwrap();
+        drop(wal);
+        // Flip a bit in the final CRC trailer: the segment is complete,
+        // so this is corruption, not a torn write.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Wal::open(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_length_field_fails_cleanly() {
+        let path = tmp("badlen");
+        std::fs::remove_file(&path).ok();
+        let (wal, _, _) = Wal::open(&path).unwrap();
+        drop(wal);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        // Complete 8-byte "frame" with a length not divisible by 17.
+        f.write_all(&5u32.to_le_bytes()).unwrap();
+        f.write_all(&[1, 2, 3, 4, 5]).unwrap();
+        f.write_all(&0u32.to_le_bytes()).unwrap();
+        drop(f);
+        let err = Wal::open(&path).unwrap_err();
+        assert!(err.to_string().contains("invalid length"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_drops_prefix_keeps_tail() {
+        let path = tmp("compact");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _, _) = Wal::open(&path).unwrap();
+        wal.append(&ups(5)).unwrap(); // seq 1
+        wal.append(&[EdgeUpdate::Remove(1, 2)]).unwrap(); // seq 2
+        let upto = wal.seq();
+        wal.append(&[EdgeUpdate::Insert(9, 9)]).unwrap(); // seq 3
+        wal.compact_through(upto).unwrap();
+        assert_eq!(wal.seq(), 3, "global numbering survives compaction");
+        // Appends after compaction land after the kept tail.
+        wal.append(&[EdgeUpdate::Remove(9, 9)]).unwrap(); // seq 4
+        drop(wal);
+        let (_, replayed, report) = Wal::open(&path).unwrap();
+        assert_eq!(report.segments, 2);
+        assert_eq!(
+            replayed,
+            vec![EdgeUpdate::Insert(9, 9), EdgeUpdate::Remove(9, 9)]
+        );
+        // Compacting everything empties the log.
+        let (mut wal, _, _) = Wal::open(&path).unwrap();
+        wal.compact_through(wal.seq()).unwrap();
+        drop(wal);
+        let (_, replayed, _) = Wal::open(&path).unwrap();
+        assert!(replayed.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_foreign_files() {
+        let path = tmp("foreign");
+        std::fs::write(&path, b"definitely not a wal file").unwrap();
+        assert!(Wal::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

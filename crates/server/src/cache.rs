@@ -16,14 +16,18 @@ use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 
 /// Cache key: the query endpoint's full identity. Two requests with the
-/// same key produce byte-identical responses (the index is immutable for
-/// the life of the process).
+/// same key produce byte-identical responses — each served snapshot is
+/// immutable, and `version` names the snapshot, so entries rendered from
+/// a pre-hot-swap index can never answer a post-swap request. Stale
+/// versions age out through normal LRU eviction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QueryKey {
     /// Seed node id.
     pub seed: usize,
     /// Number of ranked results requested.
     pub top_k: usize,
+    /// Graph snapshot version the response was rendered from.
+    pub version: u64,
 }
 
 const NIL: usize = usize::MAX;
@@ -199,7 +203,11 @@ mod tests {
     use super::*;
 
     fn k(seed: usize) -> QueryKey {
-        QueryKey { seed, top_k: 10 }
+        QueryKey {
+            seed,
+            top_k: 10,
+            version: 1,
+        }
     }
 
     fn v(s: &str) -> Arc<str> {
@@ -232,18 +240,23 @@ mod tests {
     }
 
     #[test]
-    fn key_includes_top_k() {
+    fn key_includes_top_k_and_version() {
         let c = ResponseCache::new(8, 2);
-        c.insert(QueryKey { seed: 1, top_k: 5 }, v("five"));
-        c.insert(QueryKey { seed: 1, top_k: 9 }, v("nine"));
-        assert_eq!(
-            c.get(&QueryKey { seed: 1, top_k: 5 }).as_deref(),
-            Some("five")
-        );
-        assert_eq!(
-            c.get(&QueryKey { seed: 1, top_k: 9 }).as_deref(),
-            Some("nine")
-        );
+        let key = |top_k, version| QueryKey {
+            seed: 1,
+            top_k,
+            version,
+        };
+        c.insert(key(5, 1), v("five"));
+        c.insert(key(9, 1), v("nine"));
+        assert_eq!(c.get(&key(5, 1)).as_deref(), Some("five"));
+        assert_eq!(c.get(&key(9, 1)).as_deref(), Some("nine"));
+        // A hot-swap bumps the version: entries from the old snapshot
+        // must never satisfy a query against the new one.
+        assert_eq!(c.get(&key(5, 2)), None);
+        c.insert(key(5, 2), v("five-v2"));
+        assert_eq!(c.get(&key(5, 2)).as_deref(), Some("five-v2"));
+        assert_eq!(c.get(&key(5, 1)).as_deref(), Some("five"));
     }
 
     #[test]

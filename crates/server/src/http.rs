@@ -1,10 +1,11 @@
 //! Minimal HTTP/1.1 request parsing and response writing.
 //!
-//! The daemon speaks just enough HTTP for its three `GET` endpoints:
-//! request line + headers are read (bounded), the body is ignored, and
-//! every response closes the connection (`Connection: close`). This keeps
-//! the server std-only — no protocol crates — while remaining compatible
-//! with `curl`, browsers, and Prometheus scrapers.
+//! The daemon speaks just enough HTTP for its endpoints: request line +
+//! headers are read (bounded), a `Content-Length`-delimited body is read
+//! (bounded — the live-update `POST`s need one), and every response
+//! closes the connection (`Connection: close`). This keeps the server
+//! std-only — no protocol crates — while remaining compatible with
+//! `curl`, browsers, and Prometheus scrapers.
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
@@ -13,8 +14,11 @@ use std::io::{BufRead, Write};
 /// Anything larger is rejected with `431`.
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 
-/// A parsed HTTP request head. The body (if any) is never read: all
-/// served endpoints are `GET`.
+/// Upper bound on the request body in bytes. Anything larger is rejected
+/// with `413` — batch more than this through multiple `POST /edges`.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed HTTP request.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// Request method, upper-case as received (`GET`, `POST`, ...).
@@ -23,16 +27,20 @@ pub struct Request {
     pub path: String,
     /// Decoded query parameters, last occurrence wins.
     pub params: HashMap<String, String>,
+    /// Request body (empty unless the client sent `Content-Length`).
+    pub body: String,
 }
 
 /// Why a request could not be parsed.
 #[derive(Debug)]
 pub enum ParseError {
-    /// Client closed or timed out before a full head arrived.
+    /// Client closed or timed out before a full request arrived.
     Io(std::io::Error),
     /// The head exceeded [`MAX_HEAD_BYTES`].
     TooLarge,
-    /// The request line / headers were not valid HTTP.
+    /// The declared body length exceeded [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+    /// The request line / headers / body were not valid HTTP.
     Malformed(String),
 }
 
@@ -41,22 +49,28 @@ impl std::fmt::Display for ParseError {
         match self {
             ParseError::Io(e) => write!(f, "i/o while reading request: {e}"),
             ParseError::TooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
+            ParseError::BodyTooLarge => {
+                write!(f, "request body exceeds {MAX_BODY_BYTES} bytes")
+            }
             ParseError::Malformed(m) => write!(f, "malformed request: {m}"),
         }
     }
 }
 
-/// Reads one request head from `reader` (a buffered stream).
+/// Reads one request from `reader` (a buffered stream).
 ///
-/// Header lines after the request line are read and discarded — none of
-/// the served endpoints are header-sensitive — but the head must still
-/// terminate with an empty line within [`MAX_HEAD_BYTES`].
+/// Headers are scanned only for `Content-Length`; everything else is
+/// discarded, but the head must still terminate with an empty line within
+/// [`MAX_HEAD_BYTES`]. When a length is declared the body is read in full
+/// (bounded by [`MAX_BODY_BYTES`]) and must be valid UTF-8 — every body
+/// the daemon accepts is JSON text.
 pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
     let mut line = String::new();
     let mut total = 0usize;
     read_line_bounded(reader, &mut line, &mut total)?;
-    let request = parse_request_line(line.trim_end())?;
-    // Drain headers until the blank line.
+    let mut request = parse_request_line(line.trim_end())?;
+    // Drain headers until the blank line, keeping only Content-Length.
+    let mut content_length = 0usize;
     loop {
         line.clear();
         read_line_bounded(reader, &mut line, &mut total)?;
@@ -64,11 +78,25 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
         if trimmed.is_empty() {
             break;
         }
-        if !trimmed.contains(':') {
+        let Some((name, value)) = trimmed.split_once(':') else {
             return Err(ParseError::Malformed(format!(
                 "header line without ':': {trimmed:?}"
             )));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().map_err(|_| {
+                ParseError::Malformed(format!("bad Content-Length: {:?}", value.trim()))
+            })?;
         }
+    }
+    if content_length > 0 {
+        if content_length > MAX_BODY_BYTES {
+            return Err(ParseError::BodyTooLarge);
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).map_err(ParseError::Io)?;
+        request.body = String::from_utf8(body)
+            .map_err(|_| ParseError::Malformed("request body is not valid UTF-8".into()))?;
     }
     Ok(request)
 }
@@ -119,6 +147,7 @@ fn parse_request_line(line: &str) -> Result<Request, ParseError> {
         method: method.to_string(),
         path: percent_decode(path),
         params: parse_query(query),
+        body: String::new(),
     })
 }
 
@@ -172,6 +201,8 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -248,6 +279,41 @@ mod tests {
         assert_eq!(r.path, "/query");
         assert_eq!(r.params.get("seed").unwrap(), "5");
         assert_eq!(r.params.get("top").unwrap(), "3");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn reads_content_length_body() {
+        let r = parse(
+            "POST /edges HTTP/1.1\r\nHost: x\r\ncontent-LENGTH: 5\r\n\r\nhello trailing garbage",
+        )
+        .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, "hello", "reads exactly Content-Length bytes");
+    }
+
+    #[test]
+    fn body_limits_and_validation() {
+        let oversized = format!(
+            "POST /edges HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&oversized), Err(ParseError::BodyTooLarge)));
+        assert!(matches!(
+            parse("POST /edges HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        // Declared length longer than the stream: client hung up early.
+        assert!(matches!(
+            parse("POST /edges HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"),
+            Err(ParseError::Io(_))
+        ));
+        let mut raw = b"POST /e HTTP/1.1\r\nContent-Length: 2\r\n\r\n".to_vec();
+        raw.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(
+            read_request(&mut BufReader::new(&raw[..])),
+            Err(ParseError::Malformed(_))
+        ));
     }
 
     #[test]

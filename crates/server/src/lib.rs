@@ -12,11 +12,17 @@
 //! * a bounded admission queue that sheds load with `503 Retry-After`
 //!   when full,
 //! * a per-request deadline stamped at admission (queue wait counts),
-//! * a sharded LRU cache over rendered responses keyed `(seed, top_k)`,
-//!   so hot seeds skip the GMRES solve entirely,
+//! * a sharded LRU cache over rendered responses keyed
+//!   `(seed, top_k, graph_version)`, so hot seeds skip the GMRES solve
+//!   entirely and hot-swaps can never serve stale bodies,
 //! * `GET /query?seed=S&top=K`, `GET /healthz`, `GET /metrics`
-//!   (Prometheus text format), and
-//! * graceful shutdown that drains queued and in-flight queries.
+//!   (Prometheus text format),
+//! * live updates via `bepi_live::LiveEngine` ([`Server::start_live`]):
+//!   `POST /edges` (JSON-lines batch), `POST /rebuild` (force flush),
+//!   `GET /version`, with every `/query` response stamped
+//!   `X-Graph-Version`, and
+//! * graceful shutdown that drains queued and in-flight queries, then
+//!   the background rebuild worker.
 //!
 //! ```no_run
 //! use bepi_core::prelude::*;
@@ -41,12 +47,13 @@ pub mod shutdown;
 pub mod worker;
 
 pub use cache::{QueryKey, ResponseCache};
-pub use metrics::{parse_metric, Metrics};
+pub use metrics::{parse_metric, render_live_metrics, Metrics};
 
 use crate::queue::{bounded, PushError};
 use crate::shutdown::Shutdown;
 use crate::worker::{Job, WorkerContext};
 use bepi_core::BePi;
+use bepi_live::LiveEngine;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -98,16 +105,37 @@ pub struct Server;
 
 impl Server {
     /// Binds `config.listen`, spawns the acceptor and the worker pool,
-    /// and returns immediately.
+    /// and returns immediately. The index is served as a frozen snapshot:
+    /// `/query` works, the live-update endpoints reject with an
+    /// explanatory error.
     pub fn start(bepi: Arc<BePi>, config: &ServerConfig) -> std::io::Result<ServerHandle> {
-        let listener = TcpListener::bind(&config.listen)?;
-        Self::start_on(bepi, listener, config)
+        Self::start_live(LiveEngine::frozen(bepi), config)
     }
 
     /// Like [`Server::start`] but over an already-bound listener (used by
     /// tests that need to know the port before starting).
     pub fn start_on(
         bepi: Arc<BePi>,
+        listener: TcpListener,
+        config: &ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
+        Self::start_live_on(LiveEngine::frozen(bepi), listener, config)
+    }
+
+    /// Binds `config.listen` and serves the given live engine: `/query`
+    /// answers from its current snapshot, `POST /edges` / `POST /rebuild`
+    /// feed its WAL and background rebuild worker.
+    pub fn start_live(
+        engine: Arc<LiveEngine>,
+        config: &ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.listen)?;
+        Self::start_live_on(engine, listener, config)
+    }
+
+    /// Like [`Server::start_live`] but over an already-bound listener.
+    pub fn start_live_on(
+        engine: Arc<LiveEngine>,
         listener: TcpListener,
         config: &ServerConfig,
     ) -> std::io::Result<ServerHandle> {
@@ -122,7 +150,7 @@ impl Server {
         let (tx, rx) = bounded::<Job>(config.queue_depth);
 
         let ctx = Arc::new(WorkerContext {
-            bepi,
+            engine: Arc::clone(&engine),
             cache: Arc::clone(&cache),
             metrics: Arc::clone(&metrics),
         });
@@ -154,6 +182,7 @@ impl Server {
             acceptor,
             workers,
             metrics,
+            engine,
         })
     }
 }
@@ -206,6 +235,7 @@ pub struct ServerHandle {
     acceptor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
     metrics: Arc<Metrics>,
+    engine: Arc<LiveEngine>,
 }
 
 /// A cloneable trigger that requests graceful shutdown from any thread
@@ -241,13 +271,21 @@ impl ServerHandle {
         }
     }
 
+    /// The live engine behind the daemon (frozen for static indexes).
+    pub fn engine(&self) -> Arc<LiveEngine> {
+        Arc::clone(&self.engine)
+    }
+
     /// Blocks until the server has fully stopped (someone fired a
     /// [`ShutdownTrigger`]) and every queued request has been answered.
+    /// The rebuild worker is drained last — a rebuild already in flight
+    /// finishes (including its checkpoint) before this returns.
     pub fn join(self) {
         let _ = self.acceptor.join();
         for w in self.workers {
             let _ = w.join();
         }
+        self.engine.shutdown();
     }
 
     /// Graceful shutdown: stop admission, drain queued and in-flight

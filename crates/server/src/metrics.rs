@@ -170,6 +170,36 @@ impl Metrics {
     }
 }
 
+/// Renders the live-update metric block appended to `/metrics` by the
+/// daemon. Unlike [`Metrics`], these values live in the
+/// `bepi_live::LiveEngine` (version counters, pending buffer), so they
+/// are sampled at render time rather than accumulated here.
+pub fn render_live_metrics(
+    version: u64,
+    pending: usize,
+    rebuilds: u64,
+    updates: u64,
+    last_rebuild_seconds: f64,
+) -> String {
+    format!(
+        "# HELP bepi_graph_version Snapshot version currently served (bumped by each hot-swap).\n\
+         # TYPE bepi_graph_version gauge\n\
+         bepi_graph_version {version}\n\
+         # HELP bepi_pending_updates Edge updates buffered but not yet visible to queries.\n\
+         # TYPE bepi_pending_updates gauge\n\
+         bepi_pending_updates {pending}\n\
+         # HELP bepi_rebuilds_total Background index rebuilds completed.\n\
+         # TYPE bepi_rebuilds_total counter\n\
+         bepi_rebuilds_total {rebuilds}\n\
+         # HELP bepi_updates_total Edge updates accepted via POST /edges.\n\
+         # TYPE bepi_updates_total counter\n\
+         bepi_updates_total {updates}\n\
+         # HELP bepi_last_rebuild_seconds Duration of the most recent rebuild.\n\
+         # TYPE bepi_last_rebuild_seconds gauge\n\
+         bepi_last_rebuild_seconds {last_rebuild_seconds}\n"
+    )
+}
+
 /// Parses one counter value back out of rendered metrics text — shared by
 /// the integration tests and the CLI's shutdown summary.
 pub fn parse_metric(rendered: &str, name: &str) -> Option<f64> {
@@ -212,6 +242,26 @@ mod tests {
         assert_eq!(parse_metric(&text, "bepi_rejected_total"), Some(0.0));
         assert_eq!(parse_metric(&text, "bepi_nonexistent"), None);
         // Every metric family carries HELP and TYPE lines.
+        assert_eq!(
+            text.matches("# HELP").count(),
+            text.matches("# TYPE").count()
+        );
+    }
+
+    #[test]
+    fn live_block_renders_and_parses() {
+        let text = render_live_metrics(3, 17, 2, 40, 0.125);
+        assert_eq!(parse_metric(&text, "bepi_graph_version"), Some(3.0));
+        assert_eq!(parse_metric(&text, "bepi_pending_updates"), Some(17.0));
+        assert_eq!(parse_metric(&text, "bepi_rebuilds_total"), Some(2.0));
+        assert_eq!(parse_metric(&text, "bepi_updates_total"), Some(40.0));
+        assert_eq!(
+            parse_metric(&text, "bepi_last_rebuild_seconds"),
+            Some(0.125)
+        );
+        assert!(text.contains("# TYPE bepi_graph_version gauge"));
+        assert!(text.contains("# TYPE bepi_pending_updates gauge"));
+        assert!(text.contains("# TYPE bepi_rebuilds_total counter"));
         assert_eq!(
             text.matches("# HELP").count(),
             text.matches("# TYPE").count()

@@ -1,15 +1,23 @@
 //! Worker pool: request handling on top of the admission queue.
 //!
-//! Each worker owns nothing mutable — the preprocessed [`BePi`] index,
-//! the response cache, and the metrics are all shared read-only /
+//! Each worker owns nothing mutable — the served index snapshot, the
+//! response cache, and the metrics are all shared read-only /
 //! atomically, so the pool scales like `bepi_core::batch` does: the
 //! query phase is embarrassingly parallel over a read-only index.
+//!
+//! Queries resolve the [`bepi_live::LiveEngine`]'s current snapshot
+//! *once* per request and hold that `Arc` for the request's whole
+//! lifetime: seed validation, the solve, the cache key, and the
+//! `X-Graph-Version` response header all come from the same epoch even
+//! if a rebuild hot-swaps the index mid-request.
 
 use crate::cache::{QueryKey, ResponseCache};
 use crate::http::{self, ParseError, Request};
-use crate::metrics::Metrics;
+use crate::metrics::{render_live_metrics, Metrics};
 use bepi_core::rwr::RwrSolver;
-use bepi_core::BePi;
+use bepi_core::EdgeUpdate;
+use bepi_live::LiveEngine;
+use bepi_sparse::SparseError;
 use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
 use std::panic::AssertUnwindSafe;
@@ -31,8 +39,9 @@ pub struct Job {
 
 /// Everything a worker needs, shared across the pool.
 pub struct WorkerContext {
-    /// The preprocessed, read-only index.
-    pub bepi: Arc<BePi>,
+    /// The live engine holding the served snapshot (and, in live mode,
+    /// the WAL + rebuild worker behind the admin endpoints).
+    pub engine: Arc<LiveEngine>,
     /// Rendered-response LRU.
     pub cache: Arc<ResponseCache>,
     /// Exported counters.
@@ -103,6 +112,17 @@ fn handle_connection(job: Job, ctx: &WorkerContext) {
             );
             return;
         }
+        Err(ParseError::BodyTooLarge) => {
+            Metrics::inc(&ctx.metrics.client_errors_total);
+            respond(
+                &stream,
+                413,
+                "application/json",
+                &[],
+                &http::json_error_body("request body too large"),
+            );
+            return;
+        }
         Err(ParseError::Malformed(m)) => {
             Metrics::inc(&ctx.metrics.client_errors_total);
             respond(
@@ -122,27 +142,32 @@ fn handle_connection(job: Job, ctx: &WorkerContext) {
     };
     Metrics::inc(&ctx.metrics.requests_total);
 
-    if request.method != "GET" {
-        Metrics::inc(&ctx.metrics.client_errors_total);
-        respond(
-            &stream,
-            405,
-            "application/json",
-            &[("Allow", "GET")],
-            &http::json_error_body("only GET is supported"),
-        );
-        return;
-    }
-
-    match request.path.as_str() {
-        "/healthz" => {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
             respond(&stream, 200, "text/plain", &[], "ok\n");
         }
-        "/metrics" => {
-            let body = ctx.metrics.render();
+        ("GET", "/metrics") => {
+            let engine = &ctx.engine;
+            let mut body = ctx.metrics.render();
+            body.push_str(&render_live_metrics(
+                engine.version(),
+                engine.pending_len(),
+                engine.rebuilds(),
+                engine.updates_accepted(),
+                engine.last_rebuild_micros() as f64 / 1e6,
+            ));
             respond(&stream, 200, "text/plain; version=0.0.4", &[], &body);
         }
-        "/query" => handle_query(&stream, &request, ctx, deadline, started),
+        ("GET", "/query") => handle_query(&stream, &request, ctx, deadline, started),
+        ("GET", "/version") => handle_version(&stream, ctx),
+        ("POST", "/edges") => handle_edges(&stream, &request, ctx),
+        ("POST", "/rebuild") => handle_rebuild(&stream, ctx),
+        (_, "/healthz" | "/metrics" | "/query" | "/version") => {
+            method_not_allowed(&stream, ctx, "GET");
+        }
+        (_, "/edges" | "/rebuild") => {
+            method_not_allowed(&stream, ctx, "POST");
+        }
         _ => {
             Metrics::inc(&ctx.metrics.client_errors_total);
             respond(
@@ -150,10 +175,23 @@ fn handle_connection(job: Job, ctx: &WorkerContext) {
                 404,
                 "application/json",
                 &[],
-                &http::json_error_body("unknown path (try /query, /healthz, /metrics)"),
+                &http::json_error_body(
+                    "unknown path (try /query, /healthz, /metrics, /version, /edges, /rebuild)",
+                ),
             );
         }
     }
+}
+
+fn method_not_allowed(stream: &TcpStream, ctx: &WorkerContext, allow: &str) {
+    Metrics::inc(&ctx.metrics.client_errors_total);
+    respond(
+        stream,
+        405,
+        "application/json",
+        &[("Allow", allow)],
+        &http::json_error_body(&format!("only {allow} is supported on this path")),
+    );
 }
 
 fn handle_query(
@@ -163,7 +201,11 @@ fn handle_query(
     deadline: Instant,
     started: Instant,
 ) {
-    let key = match parse_query_params(request, ctx.bepi.node_count()) {
+    // One snapshot for the whole request: validation, cache key, solve,
+    // and the version header all agree even across a concurrent swap.
+    let snapshot = ctx.engine.current();
+    let version_header = snapshot.version.to_string();
+    let key = match parse_query_params(request, snapshot.bepi.node_count(), snapshot.version) {
         Ok(k) => k,
         Err(msg) => {
             Metrics::inc(&ctx.metrics.client_errors_total);
@@ -178,7 +220,8 @@ fn handle_query(
         }
     };
 
-    // Cache hit: byte-identical rendered body, no solve.
+    // Cache hit: byte-identical rendered body, no solve. The key carries
+    // the snapshot version, so a hit can only come from this same epoch.
     if let Some(body) = ctx.cache.get(&key) {
         Metrics::inc(&ctx.metrics.cache_hits_total);
         Metrics::inc(&ctx.metrics.queries_total);
@@ -186,7 +229,7 @@ fn handle_query(
             stream,
             200,
             "application/json",
-            &[("X-Cache", "hit")],
+            &[("X-Cache", "hit"), ("X-Graph-Version", &version_header)],
             &body,
         );
         ctx.metrics.query_latency.observe(started.elapsed());
@@ -207,7 +250,7 @@ fn handle_query(
         return;
     }
 
-    let scores = match ctx.bepi.query(key.seed) {
+    let scores = match snapshot.bepi.query(key.seed) {
         Ok(s) => s,
         Err(e) => {
             Metrics::inc(&ctx.metrics.server_errors_total);
@@ -229,13 +272,200 @@ fn handle_query(
         stream,
         200,
         "application/json",
-        &[("X-Cache", "miss")],
+        &[("X-Cache", "miss"), ("X-Graph-Version", &version_header)],
         &body,
     );
     ctx.metrics.query_latency.observe(started.elapsed());
 }
 
-fn parse_query_params(request: &Request, node_count: usize) -> Result<QueryKey, String> {
+/// `GET /version`: the serving state in one JSON object.
+fn handle_version(stream: &TcpStream, ctx: &WorkerContext) {
+    let info = ctx.engine.info();
+    let last_error = match &info.last_error {
+        Some(e) => http::json_string(e),
+        None => "null".to_string(),
+    };
+    let body = format!(
+        "{{\"version\":{},\"nodes\":{},\"pending\":{},\"rebuilds\":{},\"live\":{},\"last_error\":{}}}",
+        info.version, info.nodes, info.pending, info.rebuilds, info.live, last_error
+    );
+    respond(
+        stream,
+        200,
+        "application/json",
+        &[("X-Graph-Version", &info.version.to_string())],
+        &body,
+    );
+}
+
+/// `POST /edges`: a batch of JSON-lines edge updates, e.g.
+///
+/// ```text
+/// {"op":"insert","u":0,"v":5}
+/// {"op":"remove","u":3,"v":4}
+/// ```
+///
+/// The whole batch is validated, WAL-logged, and buffered atomically;
+/// queries keep seeing the current snapshot until a rebuild completes.
+fn handle_edges(stream: &TcpStream, request: &Request, ctx: &WorkerContext) {
+    let updates = match parse_edge_lines(&request.body) {
+        Ok(u) => u,
+        Err(msg) => {
+            Metrics::inc(&ctx.metrics.client_errors_total);
+            respond(
+                stream,
+                400,
+                "application/json",
+                &[],
+                &http::json_error_body(&msg),
+            );
+            return;
+        }
+    };
+    match ctx.engine.submit(&updates) {
+        Ok(out) => {
+            let body = format!(
+                "{{\"accepted\":{},\"pending\":{},\"version\":{},\"rebuild_triggered\":{}}}",
+                out.accepted, out.pending, out.version, out.rebuild_triggered
+            );
+            respond(
+                stream,
+                200,
+                "application/json",
+                &[("X-Graph-Version", &out.version.to_string())],
+                &body,
+            );
+        }
+        Err(SparseError::IndexOutOfBounds { index, shape }) => {
+            Metrics::inc(&ctx.metrics.client_errors_total);
+            respond(
+                stream,
+                422,
+                "application/json",
+                &[],
+                &http::json_error_body(&format!(
+                    "edge ({}, {}) out of range (graph has {} nodes)",
+                    index.0, index.1, shape.0
+                )),
+            );
+        }
+        Err(e) => {
+            Metrics::inc(&ctx.metrics.server_errors_total);
+            respond(
+                stream,
+                503,
+                "application/json",
+                &[],
+                &http::json_error_body(&e.to_string()),
+            );
+        }
+    }
+}
+
+/// `POST /rebuild`: force a flush of everything buffered and block until
+/// the hot-swap completes. An admin operation — the query deadline does
+/// not apply, so the socket budget is re-armed generously before the
+/// (potentially long) preprocessing run.
+fn handle_rebuild(stream: &TcpStream, ctx: &WorkerContext) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    match ctx.engine.rebuild_and_wait() {
+        Ok(version) => {
+            let body = format!(
+                "{{\"version\":{},\"pending\":{}}}",
+                version,
+                ctx.engine.pending_len()
+            );
+            respond(
+                stream,
+                200,
+                "application/json",
+                &[("X-Graph-Version", &version.to_string())],
+                &body,
+            );
+        }
+        Err(e) => {
+            Metrics::inc(&ctx.metrics.server_errors_total);
+            respond(
+                stream,
+                503,
+                "application/json",
+                &[],
+                &http::json_error_body(&e.to_string()),
+            );
+        }
+    }
+}
+
+/// Parses a JSON-lines edge-update body. Each non-empty line is one flat
+/// object with fields `op` (`"insert"` / `"remove"`), `u`, and `v`. The
+/// parser is hand-rolled (std-only daemon) but tolerant of whitespace and
+/// field order.
+fn parse_edge_lines(body: &str) -> Result<Vec<EdgeUpdate>, String> {
+    let mut updates = Vec::new();
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        updates.push(parse_edge_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    if updates.is_empty() {
+        return Err(
+            "empty batch: expected JSON lines like {\"op\":\"insert\",\"u\":0,\"v\":5}".to_string(),
+        );
+    }
+    Ok(updates)
+}
+
+fn parse_edge_line(line: &str) -> Result<EdgeUpdate, String> {
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("expected a JSON object, got {line:?}"))?;
+    let (mut op, mut u, mut v) = (None, None, None);
+    for field in inner.split(',') {
+        let (key, value) = field
+            .split_once(':')
+            .ok_or_else(|| format!("expected \"key\":value, got {field:?}"))?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "op" => {
+                op = Some(
+                    value
+                        .strip_prefix('"')
+                        .and_then(|s| s.strip_suffix('"'))
+                        .ok_or_else(|| format!("op must be a string, got {value}"))?,
+                );
+            }
+            "u" => u = Some(parse_node(value, "u")?),
+            "v" => v = Some(parse_node(value, "v")?),
+            other => return Err(format!("unknown field {other:?}")),
+        }
+    }
+    let op = op.ok_or("missing field: op")?;
+    let u = u.ok_or("missing field: u")?;
+    let v = v.ok_or("missing field: v")?;
+    match op {
+        "insert" => Ok(EdgeUpdate::Insert(u, v)),
+        "remove" => Ok(EdgeUpdate::Remove(u, v)),
+        other => Err(format!(
+            "op must be \"insert\" or \"remove\", got {other:?}"
+        )),
+    }
+}
+
+fn parse_node(value: &str, name: &str) -> Result<usize, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{name} must be a non-negative integer, got {value}"))
+}
+
+fn parse_query_params(
+    request: &Request,
+    node_count: usize,
+    version: u64,
+) -> Result<QueryKey, String> {
     let seed_s = request
         .params
         .get("seed")
@@ -255,6 +485,7 @@ fn parse_query_params(request: &Request, node_count: usize) -> Result<QueryKey, 
     Ok(QueryKey {
         seed,
         top_k: top_k.min(node_count),
+        version,
     })
 }
 
@@ -336,7 +567,11 @@ mod tests {
         let g = generators::erdos_renyi(50, 200, 11).unwrap();
         let bepi = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
         let scores = bepi.query(7).unwrap();
-        let key = QueryKey { seed: 7, top_k: 5 };
+        let key = QueryKey {
+            seed: 7,
+            top_k: 5,
+            version: 1,
+        };
         let body = render_query_body(key, &scores);
         assert!(body.starts_with("{\"seed\":7,\"top\":5,"));
         assert_eq!(body.matches("\"node\":").count(), 5);
@@ -369,22 +604,61 @@ mod tests {
                     (k.to_string(), v.to_string())
                 })
                 .collect(),
+            body: String::new(),
         };
         assert_eq!(
-            parse_query_params(&req("seed=3&top=4"), 10).unwrap(),
-            QueryKey { seed: 3, top_k: 4 }
+            parse_query_params(&req("seed=3&top=4"), 10, 2).unwrap(),
+            QueryKey {
+                seed: 3,
+                top_k: 4,
+                version: 2
+            }
         );
         // Defaults and clamping.
-        assert_eq!(parse_query_params(&req("seed=3"), 10).unwrap().top_k, 10);
+        assert_eq!(parse_query_params(&req("seed=3"), 10, 1).unwrap().top_k, 10);
         assert_eq!(
-            parse_query_params(&req("seed=3&top=99"), 10).unwrap().top_k,
+            parse_query_params(&req("seed=3&top=99"), 10, 1)
+                .unwrap()
+                .top_k,
             10
         );
-        assert!(parse_query_params(&req(""), 10).is_err());
-        assert!(parse_query_params(&req("seed=x"), 10).is_err());
-        assert!(parse_query_params(&req("seed=10"), 10).is_err());
-        assert!(parse_query_params(&req("seed=-1"), 10).is_err());
-        assert!(parse_query_params(&req("seed=3&top=x"), 10).is_err());
+        assert!(parse_query_params(&req(""), 10, 1).is_err());
+        assert!(parse_query_params(&req("seed=x"), 10, 1).is_err());
+        assert!(parse_query_params(&req("seed=10"), 10, 1).is_err());
+        assert!(parse_query_params(&req("seed=-1"), 10, 1).is_err());
+        assert!(parse_query_params(&req("seed=3&top=x"), 10, 1).is_err());
+    }
+
+    #[test]
+    fn edge_line_parsing() {
+        assert_eq!(
+            parse_edge_lines(
+                "{\"op\":\"insert\",\"u\":0,\"v\":5}\n{\"op\":\"remove\",\"u\":3,\"v\":4}\n"
+            )
+            .unwrap(),
+            vec![EdgeUpdate::Insert(0, 5), EdgeUpdate::Remove(3, 4)]
+        );
+        // Field order and whitespace are flexible; blank lines skipped.
+        assert_eq!(
+            parse_edge_lines("\n  { \"v\" : 2 , \"u\" : 1 , \"op\" : \"insert\" }  \n\n").unwrap(),
+            vec![EdgeUpdate::Insert(1, 2)]
+        );
+        for bad in [
+            "",
+            "not json",
+            "{\"op\":\"insert\",\"u\":0}",                 // missing v
+            "{\"op\":\"upsert\",\"u\":0,\"v\":1}",         // unknown op
+            "{\"op\":insert,\"u\":0,\"v\":1}",             // unquoted op
+            "{\"op\":\"insert\",\"u\":-1,\"v\":1}",        // negative id
+            "{\"op\":\"insert\",\"u\":0,\"v\":1,\"w\":2}", // unknown field
+        ] {
+            assert!(parse_edge_lines(bad).is_err(), "{bad:?}");
+        }
+        // Errors carry the 1-based line number.
+        let err =
+            parse_edge_lines("{\"op\":\"insert\",\"u\":0,\"v\":1}\n{\"op\":\"x\",\"u\":0,\"v\":1}")
+                .unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
     }
 
     #[test]

@@ -21,4 +21,12 @@ cargo build "${CARGO_FLAGS[@]}" --release
 echo "==> cargo test"
 cargo test "${CARGO_FLAGS[@]}" -q
 
+# The WAL crash-recovery contract is load-bearing for the live-update
+# subsystem, so CI exercises it explicitly (SIGKILL mid-stream + restart
+# on the same --wal, and the corrupted-trailer fixture) even though it is
+# part of the suite above — a name filter keeps a failure here loud and
+# attributable.
+echo "==> crash-recovery tests (bepi serve --wal)"
+cargo test --offline -p bepi-cli --test live_recovery -q
+
 echo "==> ci OK"

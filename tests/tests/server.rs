@@ -88,7 +88,14 @@ fn parse_response(text: &str) -> Response {
 /// direct `BePi::query` call through the same renderer.
 fn expected_body(seed: usize, top_k: usize) -> String {
     let scores = solver().query(seed).unwrap();
-    render_query_body(QueryKey { seed, top_k }, &scores)
+    render_query_body(
+        QueryKey {
+            seed,
+            top_k,
+            version: 1,
+        },
+        &scores,
+    )
 }
 
 #[test]
