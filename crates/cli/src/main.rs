@@ -491,12 +491,24 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
 
     // The rebuild pipeline needs the original adjacency: either embedded
     // in a v3 index (`preprocess --embed-graph`) or given via --graph.
-    let graph = match &graph_path {
-        Some(p) => {
+    // The embedded copy wins when both are present: checkpoints embed the
+    // graph *with* all applied WAL updates, so restarting on the same
+    // flags after a rebuild must not resurrect a stale edge list (the
+    // compacted WAL can no longer replay those updates).
+    let graph = match (embedded, &graph_path) {
+        (Some(g), Some(p)) => {
+            eprintln!(
+                "warning: ignoring --graph {p}: the index embeds its own graph, \
+                 which reflects every checkpointed update"
+            );
+            Some(g)
+        }
+        (Some(g), None) => Some(g),
+        (None, Some(p)) => {
             let coo = read_edge_list_file(p, Some(nodes)).map_err(|e| e.to_string())?;
             Some(Graph::from_adjacency(coo.to_csr()).map_err(|e| e.to_string())?)
         }
-        None => embedded,
+        (None, None) => None,
     };
 
     let live = graph.is_some();

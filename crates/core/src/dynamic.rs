@@ -17,7 +17,9 @@ use bepi_sparse::{Coo, Csr, Result};
 /// A buffered graph mutation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EdgeUpdate {
-    /// Insert (or re-weight by +1) the edge `u → v`.
+    /// Insert the edge `u → v` with weight 1 (no-op if already present —
+    /// inserts are idempotent, so replaying a logged batch over a state
+    /// that already contains it changes nothing).
     Insert(usize, usize),
     /// Remove the edge `u → v` entirely (no-op if absent).
     Remove(usize, usize),
@@ -206,10 +208,14 @@ pub fn dedup_opposing(updates: &[EdgeUpdate]) -> Vec<EdgeUpdate> {
         .collect()
 }
 
-/// Applies a batch of updates to a graph, merging duplicate inserts and
-/// honoring removals. Within the batch, updates apply in order *per
-/// edge*: an insert that follows a removal of the same edge re-adds it,
-/// an insert followed by a removal is cancelled (see [`dedup_opposing`]).
+/// Applies a batch of updates to a graph. Inserts are **idempotent**:
+/// an edge already present (or inserted twice in one batch) keeps its
+/// existing weight rather than being summed — `apply_updates(apply_updates(g,
+/// b), b)` equals `apply_updates(g, b)`, which is what lets a WAL batch
+/// be replayed over a checkpoint that may already contain it. Within the
+/// batch, updates apply in order *per edge*: an insert that follows a
+/// removal of the same edge re-adds it at weight 1, an insert followed
+/// by a removal is cancelled (see [`dedup_opposing`]).
 pub fn apply_updates(g: &Graph, updates: &[EdgeUpdate]) -> Result<Graph> {
     use std::collections::HashSet;
     let updates = dedup_opposing(updates);
@@ -225,14 +231,21 @@ pub fn apply_updates(g: &Graph, updates: &[EdgeUpdate]) -> Result<Graph> {
     let n = g.n();
     let adj: &Csr = g.adjacency();
     let mut coo = Coo::with_capacity(n, n, adj.nnz() + updates.len())?;
+    // `present` guards idempotency: `Csr::from_coo` *sums* duplicate
+    // entries, so re-inserting a kept edge must never push a second
+    // coordinate (the weight would silently inflate to w + 1).
+    let mut present: HashSet<(u32, u32)> = HashSet::with_capacity(adj.nnz());
     for (r, c, w) in adj.iter() {
         if !removals.contains(&(r as u32, c as u32)) {
             coo.push(r, c, w)?;
+            present.insert((r as u32, c as u32));
         }
     }
     for u in &updates {
         if let EdgeUpdate::Insert(a, b) = u {
-            coo.push(*a, *b, 1.0)?;
+            if present.insert((*a as u32, *b as u32)) {
+                coo.push(*a, *b, 1.0)?;
+            }
         }
     }
     Graph::from_adjacency(coo.to_csr())
@@ -478,6 +491,36 @@ mod tests {
                 "seed {seed} must match a from-scratch preprocess bit-for-bit"
             );
         }
+    }
+
+    #[test]
+    fn inserting_existing_edge_is_idempotent() {
+        // Re-inserting a present edge must keep weight 1.0, not sum to
+        // 2.0 — otherwise row-normalized transition probabilities shift.
+        let g = generators::cycle(6); // (0,1) already exists
+        let mut dyn_solver = DynamicBePi::new(g.clone(), BePiConfig::default()).unwrap();
+        let before = dyn_solver.query(0).unwrap();
+        dyn_solver.insert_edge(0, 1).unwrap();
+        dyn_solver.insert_edge(0, 1).unwrap(); // twice, same batch
+        dyn_solver.flush().unwrap();
+        assert_eq!(dyn_solver.snapshot().adjacency(), g.adjacency());
+        assert_eq!(dyn_solver.query(0).unwrap().scores, before.scores);
+    }
+
+    #[test]
+    fn replaying_applied_batch_is_idempotent() {
+        // The WAL-recovery invariant: a crash between checkpoint rename
+        // and compaction replays the batch over a state that already
+        // contains it, which must be a no-op.
+        let g = generators::erdos_renyi(50, 200, 11).unwrap();
+        let batch = [
+            EdgeUpdate::Insert(0, 7),
+            EdgeUpdate::Remove(1, 2),
+            EdgeUpdate::Insert(3, 9),
+        ];
+        let once = apply_updates(&g, &batch).unwrap();
+        let twice = apply_updates(&once, &batch).unwrap();
+        assert_eq!(once.adjacency(), twice.adjacency());
     }
 
     #[test]

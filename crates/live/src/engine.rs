@@ -77,7 +77,8 @@ pub struct VersionInfo {
     pub rebuilds: u64,
     /// Whether this engine accepts updates at all.
     pub live: bool,
-    /// The last rebuild failure, if any (cleared by the next success).
+    /// The last rebuild *or checkpoint* failure, if any (cleared by the
+    /// next fully clean rebuild pass).
     pub last_error: Option<String>,
 }
 
@@ -94,7 +95,15 @@ struct MutState {
     /// Set when the worker thread is gone (shutdown or panic) so waiters
     /// never block forever.
     worker_gone: bool,
+    /// Most recent failure of any kind (rebuild or checkpoint), for
+    /// `GET /version` / metrics. Cleared by the next fully clean pass.
     last_error: Option<String>,
+    /// The generation whose *rebuild* (apply + preprocess + swap) failed,
+    /// with the error. Checkpoint failures do not set this: the swap
+    /// landed, so callers of [`LiveEngine::rebuild_and_wait`] still get
+    /// their new version. Cleared once a later pass applies the
+    /// re-buffered batch.
+    failed: Option<(u64, String)>,
 }
 
 /// Shared, thread-safe live-update engine. Cheap to clone via `Arc`.
@@ -126,6 +135,7 @@ impl LiveEngine {
                 done_gen: 0,
                 worker_gone: true,
                 last_error: None,
+                failed: None,
             }),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -182,6 +192,7 @@ impl LiveEngine {
                 done_gen: 0,
                 worker_gone: false,
                 last_error: None,
+                failed: None,
             }),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -314,7 +325,14 @@ impl LiveEngine {
 
         let pending = st.pending.len();
         let trigger = self.auto_flush_threshold > 0 && pending >= self.auto_flush_threshold;
-        if trigger && st.request_gen == st.done_gen {
+        if trigger {
+            // Unconditionally bump the request generation — even while a
+            // rebuild is in flight. The in-flight pass has already taken
+            // its batch and will complete at an older generation, so this
+            // increment makes the worker immediately run another pass
+            // over the updates buffered here; gating on
+            // `request_gen == done_gen` would leave a threshold-crossing
+            // batch invisible forever if no later submit arrived.
             st.request_gen += 1;
             self.cv.notify_all();
         }
@@ -348,8 +366,14 @@ impl LiveEngine {
             }
             st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
-        if let Some(err) = st.last_error.clone() {
-            return Err(SparseError::Parse(format!("rebuild failed: {err}")));
+        // Only surface a failure from the pass that covered *this*
+        // request (gen >= target): a stale error from an earlier
+        // generation — or a checkpoint hiccup after a successful swap —
+        // must not make a clean rebuild report failure.
+        if let Some((gen, err)) = &st.failed {
+            if *gen >= target {
+                return Err(SparseError::Parse(format!("rebuild failed: {err}")));
+            }
         }
         drop(st);
         Ok(self.version())
@@ -459,9 +483,12 @@ fn worker_loop(engine: &LiveEngine) {
                 let mut st = engine.state.lock().unwrap_or_else(|e| e.into_inner());
                 st.graph = Some(new_graph);
                 st.last_error = None;
+                st.failed = None;
                 if let Err(e) = engine.checkpoint_and_compact(&mut st, upto) {
                     // The swap already happened; a failed checkpoint only
-                    // costs replay time on the next restart.
+                    // costs replay time on the next restart. Recorded for
+                    // /version but *not* as a failed generation — the
+                    // caller's rebuild did succeed.
                     st.last_error = Some(format!("checkpoint failed: {e}"));
                 }
                 st.done_gen = target;
@@ -475,6 +502,7 @@ fn worker_loop(engine: &LiveEngine) {
                 merged.append(&mut st.pending);
                 st.pending = merged;
                 st.last_error = Some(e.to_string());
+                st.failed = Some((target, e.to_string()));
                 st.done_gen = target;
                 engine.cv.notify_all();
             }
@@ -652,6 +680,78 @@ mod tests {
         assert!(cp_bepi.query(0).unwrap().scores[6] > 0.0);
         std::fs::remove_file(&wal).ok();
         std::fs::remove_file(&cp).ok();
+    }
+
+    #[test]
+    fn threshold_crossing_submit_during_rebuild_still_flushes() {
+        let engine = engine_over_cycle(
+            16,
+            LiveConfig {
+                auto_flush_threshold: 2,
+                ..LiveConfig::default()
+            },
+        );
+        let baseline = engine.current().bepi.query(0).unwrap().scores[9];
+        // First batch crosses the threshold and kicks off a rebuild.
+        let out = engine
+            .submit(&[EdgeUpdate::Insert(0, 2), EdgeUpdate::Insert(0, 3)])
+            .unwrap();
+        assert!(out.rebuild_triggered);
+        // Give the worker a moment to claim the batch so the next submit
+        // lands while the rebuild is in flight (either interleaving must
+        // work; this makes the in-flight one likely).
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let out = engine
+            .submit(&[EdgeUpdate::Insert(0, 5), EdgeUpdate::Insert(0, 9)])
+            .unwrap();
+        assert!(out.rebuild_triggered);
+        // Without another submit ever arriving, the second batch must
+        // still become visible — the worker owes it a follow-up pass.
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let visible = engine.pending_len() == 0
+                && engine.current().bepi.query(0).unwrap().scores[9] > baseline;
+            if visible {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "threshold-crossing batch submitted during a rebuild was never flushed"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn checkpoint_failure_does_not_fail_rebuild() {
+        // Checkpoint into a directory that does not exist: the swap
+        // succeeds, so rebuild_and_wait must report the new version, with
+        // the checkpoint error surfaced via info() only.
+        let g = generators::cycle(10);
+        let cfg = BePiConfig::default();
+        let bepi = Arc::new(BePi::preprocess(&g, &cfg).unwrap());
+        let engine = LiveEngine::start(
+            bepi,
+            g,
+            cfg,
+            LiveConfig {
+                checkpoint_path: Some(PathBuf::from("/nonexistent-bepi-dir/checkpoint.bepi")),
+                ..LiveConfig::default()
+            },
+        )
+        .unwrap();
+        engine.submit(&[EdgeUpdate::Insert(0, 5)]).unwrap();
+        let v = engine.rebuild_and_wait().expect(
+            "a successful hot-swap must not be reported as a rebuild failure \
+             just because the checkpoint could not be written",
+        );
+        assert_eq!(v, 2);
+        let err = engine.info().last_error.expect("checkpoint error recorded");
+        assert!(err.contains("checkpoint failed"), "{err}");
+        // A later no-op rebuild must not resurface the stale error.
+        assert_eq!(engine.rebuild_and_wait().unwrap(), 2);
+        engine.shutdown();
     }
 
     #[test]
