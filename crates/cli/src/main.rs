@@ -63,12 +63,15 @@ const USAGE: &str = "usage:
   bepi preprocess <edges.txt> <out.bepi> [--embed-graph] [common flags]
   bepi serve      <index.bepi> <seed> [--top K]          (one-shot query)
   bepi serve      <index.bepi> --listen ADDR [--threads N] [--cache-entries M]
-                  [--queue-depth Q] [--timeout-ms T] [--wal PATH]
-                  [--auto-flush N] [--graph edges.txt] [--checkpoint PATH]
+                  [--queue-depth Q] [--timeout-ms T] [--slow-query-ms S]
+                  [--wal PATH] [--auto-flush N] [--graph edges.txt]
+                  [--checkpoint PATH]
                   (HTTP daemon)
   bepi help
 
 common flags:
+  --log-level L    stderr log verbosity: error|warn|info|debug|trace
+                   (default warn; BEPI_LOG env var sets the same thing)
   --c C            restart probability (default 0.05)
   --tol EPS        solver tolerance (default 1e-9)
   --k RATIO        SlashBurn hub ratio (default: chosen automatically)
@@ -92,6 +95,9 @@ serve daemon flags (with --listen):
                    with 503 + Retry-After (default 128)
   --timeout-ms T   per-request deadline in milliseconds, including queue
                    wait (default 10000)
+  --slow-query-ms S  queries at or above S milliseconds end-to-end are kept
+                   in the slow-query ring served by GET /debug/slow
+                   (default 100; 0 records every query)
   --wal PATH       durable write-ahead log of live edge updates: every
                    accepted POST /edges batch is fsynced here and replayed
                    on restart (torn tails from a crash are tolerated)
@@ -103,15 +109,33 @@ serve daemon flags (with --listen):
                    index path itself when --wal is set); applied WAL
                    segments are truncated once the checkpoint is durable
 
-daemon endpoints: GET /query?seed=S&top=K   GET /healthz   GET /metrics
-                  GET /version   POST /edges   POST /rebuild
+daemon endpoints: GET /query?seed=S&top=K[&trace=1]   GET /healthz
+                  GET /metrics   GET /version   GET /debug/slow
+                  POST /edges   POST /rebuild
+observability: /query?trace=1 embeds a per-stage timing breakdown (queue
+wait, solve, top-k, serialize) in the response; /metrics exposes GMRES
+iteration histograms, per-phase preprocessing timings, WAL fsync latency,
+and queue-depth/in-flight gauges; /debug/slow returns the latest slow
+queries as JSON.
 live updates: POST /edges takes JSON lines {\"op\":\"insert\",\"u\":0,\"v\":5};
 queries keep serving the last completed rebuild (check X-Graph-Version)
 until a rebuild flushes the buffer.
 the daemon shuts down gracefully (draining in-flight queries) on stdin EOF.";
 
 fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // BEPI_LOG seeds the level; a --log-level flag anywhere overrides it.
+    bepi_obs::init_from_env();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    while let Some(i) = args.iter().position(|a| a == "--log-level") {
+        if i + 1 >= args.len() {
+            return Err("flag --log-level needs a value".into());
+        }
+        let value = args.remove(i + 1);
+        args.remove(i);
+        let level = bepi_obs::Level::parse(&value)
+            .ok_or_else(|| format!("bad --log-level: {value} (try error|warn|info|debug|trace)"))?;
+        bepi_obs::set_level(level);
+    }
     let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
     match cmd.as_str() {
         "query" => {
@@ -377,7 +401,28 @@ fn cmd_stats(path: &str, o: &Options) -> Result<(), String> {
         "preprocessed     {}",
         format_bytes(solver.preprocessed_bytes())
     );
+    print_phase_table(&s.phases);
     Ok(())
+}
+
+/// Per-phase preprocessing wall times (the breakdown behind the paper's
+/// Table 3 preprocessing-time comparison).
+fn print_phase_table(phases: &[PhaseTiming]) {
+    if phases.is_empty() {
+        return;
+    }
+    let total: f64 = phases.iter().map(|p| p.seconds).sum();
+    println!("--- preprocessing phases ---");
+    println!("{:<24} {:>12} {:>7}", "phase", "seconds", "share");
+    for p in phases {
+        let share = if total > 0.0 {
+            100.0 * p.seconds / total
+        } else {
+            0.0
+        };
+        println!("{:<24} {:>12.6} {:>6.1}%", p.name, p.seconds, share);
+    }
+    println!("{:<24} {total:>12.6}", "total (phased)");
 }
 
 fn cmd_select_k(path: &str, o: &Options) -> Result<(), String> {
@@ -422,6 +467,7 @@ fn cmd_preprocess(path: &str, out: &str, o: &Options) -> Result<(), String> {
             ""
         }
     );
+    print_phase_table(&solver.stats().phases);
     Ok(())
 }
 
@@ -477,6 +523,12 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
                     return Err("--timeout-ms must be at least 1".into());
                 }
                 cfg.timeout = std::time::Duration::from_millis(ms);
+            }
+            "--slow-query-ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad --slow-query-ms: {value}"))?;
+                cfg.slow_query = std::time::Duration::from_millis(ms);
             }
             f => return Err(format!("unknown serve flag: {f}")),
         }
@@ -562,8 +614,8 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
         version,
     );
     println!(
-        "endpoints: /query?seed=S&top=K  /healthz  /metrics  /version  \
-         POST /edges  POST /rebuild"
+        "endpoints: /query?seed=S&top=K[&trace=1]  /healthz  /metrics  \
+         /version  /debug/slow  POST /edges  POST /rebuild"
     );
     println!("EOF on stdin (e.g. ctrl-D) shuts down gracefully");
 

@@ -82,6 +82,7 @@ pub fn monte_carlo(
     Ok(RwrScores {
         scores,
         iterations: walks,
+        residual: 0.0,
     })
 }
 
@@ -152,6 +153,7 @@ pub fn forward_push(g: &Graph, c: f64, seed: usize, epsilon: f64) -> Result<Push
         scores: RwrScores {
             scores: p,
             iterations: pushes,
+            residual: 0.0,
         },
         pushes,
         touched,

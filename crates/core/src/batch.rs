@@ -125,6 +125,30 @@ mod tests {
     }
 
     #[test]
+    fn parallel_batch_aggregates_into_shared_telemetry() {
+        let g = generators::erdos_renyi(120, 600, 9).unwrap();
+        let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let seeds: Vec<usize> = (0..16).map(|i| (i * 7) % g.n()).collect();
+        let before = bepi_obs::telemetry::gmres_iterations().count();
+        let results = solver.query_batch_parallel(&seeds, 4).unwrap();
+        let after = bepi_obs::telemetry::gmres_iterations().count();
+        // Every batch query lands in the process-global registry the serve
+        // path reads; other tests in this binary may also record, so the
+        // delta is a lower bound.
+        assert!(
+            after >= before + seeds.len() as u64,
+            "expected ≥ {} new solves, got {} → {}",
+            seeds.len(),
+            before,
+            after
+        );
+        for r in &results {
+            assert!(r.iterations > 0);
+            assert!(r.residual.is_finite());
+        }
+    }
+
+    #[test]
     fn parallel_with_one_thread_or_one_seed_degenerates() {
         let g = generators::cycle(20);
         let solver = BePi::preprocess(&g, &BePiConfig::default()).unwrap();

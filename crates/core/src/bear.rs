@@ -164,6 +164,7 @@ impl RwrSolver for Bear {
         Ok(RwrScores {
             scores: self.perm.unpermute_vec(&r)?,
             iterations: 0,
+            residual: 0.0,
         })
     }
 

@@ -129,6 +129,16 @@ impl BePiConfig {
     }
 }
 
+/// Wall time of one named preprocessing phase (Table 3's time breakdown).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    /// Phase name (`deadend`, `slashburn`, `assemble`, `block_lu`,
+    /// `schur`, `precond`).
+    pub name: String,
+    /// Wall time of the phase in seconds.
+    pub seconds: f64,
+}
+
 /// Statistics recorded during preprocessing (Algorithm 1 / 3).
 #[derive(Debug, Clone)]
 pub struct PreprocessStats {
@@ -148,6 +158,9 @@ pub struct PreprocessStats {
     pub s_nnz: usize,
     /// Non-zeros of the inverted block factors `|L1^{-1}| + |U1^{-1}|`.
     pub h11_inv_nnz: usize,
+    /// Per-phase wall-time breakdown, in pipeline order (empty when the
+    /// instance was loaded from a pre-v4 index file).
+    pub phases: Vec<PhaseTiming>,
 }
 
 /// A preprocessed BePI instance, ready to answer RWR queries
@@ -210,18 +223,47 @@ impl BePi {
         let start = Instant::now();
         let k = config.effective_hub_ratio();
         let part = HPartition::build(g, config.c, k)?;
-        let h11_lu = BlockLu::factor(&part.h11, &part.block_sizes)?;
-        let s = schur_complement(&part, &h11_lu)?;
-        let precond = match config.variant {
-            BePiVariant::Full => match config.precond {
-                PrecondKind::Ilu0 => BuiltPrecond::Ilu(Ilu0::factor(&s)?),
-                PrecondKind::Jacobi => BuiltPrecond::Jacobi(JacobiPrecond::new(&s)?),
-                PrecondKind::Neumann(order) => {
-                    BuiltPrecond::Neumann(NeumannPrecond::new(&s, order)?)
-                }
-            },
-            _ => BuiltPrecond::None,
+        let t_lu = Instant::now();
+        let h11_lu = {
+            let _span = bepi_obs::Span::enter("preprocess.block_lu");
+            BlockLu::factor(&part.h11, &part.block_sizes)?
         };
+        let block_lu_time = t_lu.elapsed();
+        let t_schur = Instant::now();
+        let s = {
+            let _span = bepi_obs::Span::enter("preprocess.schur");
+            schur_complement(&part, &h11_lu)?
+        };
+        let schur_time = t_schur.elapsed();
+        let t_precond = Instant::now();
+        let precond = {
+            let _span = bepi_obs::Span::enter("preprocess.precond");
+            match config.variant {
+                BePiVariant::Full => match config.precond {
+                    PrecondKind::Ilu0 => BuiltPrecond::Ilu(Ilu0::factor(&s)?),
+                    PrecondKind::Jacobi => BuiltPrecond::Jacobi(JacobiPrecond::new(&s)?),
+                    PrecondKind::Neumann(order) => {
+                        BuiltPrecond::Neumann(NeumannPrecond::new(&s, order)?)
+                    }
+                },
+                _ => BuiltPrecond::None,
+            }
+        };
+        let precond_time = t_precond.elapsed();
+        let phases = [
+            ("deadend", part.deadend_time),
+            ("slashburn", part.slashburn_time),
+            ("assemble", part.assemble_time),
+            ("block_lu", block_lu_time),
+            ("schur", schur_time),
+            ("precond", precond_time),
+        ]
+        .iter()
+        .map(|(name, d)| PhaseTiming {
+            name: (*name).to_string(),
+            seconds: d.as_secs_f64(),
+        })
+        .collect();
         let stats = PreprocessStats {
             elapsed: start.elapsed(),
             n1: part.n1,
@@ -231,6 +273,7 @@ impl BePi {
             num_blocks: part.block_sizes.len(),
             s_nnz: s.nnz(),
             h11_inv_nnz: h11_lu.l_inv.nnz() + h11_lu.u_inv.nnz(),
+            phases,
         };
         let HPartition {
             perm,
@@ -314,7 +357,11 @@ impl BePi {
 
     /// Serializes everything needed to reconstruct the instance
     /// (persistence support; see [`crate::persist`]).
-    pub(crate) fn write_parts<W: std::io::Write>(&self, w: &mut W) -> Result<()> {
+    pub(crate) fn write_parts<W: std::io::Write>(
+        &self,
+        w: &mut W,
+        with_phases: bool,
+    ) -> Result<()> {
         use crate::persist as p;
         p::write_config(w, &self.config)?;
         p::write_permutation(w, &self.perm)?;
@@ -331,12 +378,23 @@ impl BePi {
         p::write_csr(w, &self.h32)?;
         // Stats worth persisting (elapsed is a fresh-run property).
         p::write_u64(w, self.stats.slashburn_iterations as u64)?;
+        if with_phases {
+            // Format v4+: the per-phase preprocessing time breakdown.
+            p::write_f64(w, self.stats.elapsed.as_secs_f64())?;
+            p::write_u64(w, self.stats.phases.len() as u64)?;
+            for phase in &self.stats.phases {
+                let name = phase.name.as_bytes();
+                p::write_u64(w, name.len() as u64)?;
+                w.write_all(name).map_err(bepi_sparse::SparseError::from)?;
+                p::write_f64(w, phase.seconds)?;
+            }
+        }
         Ok(())
     }
 
     /// Reconstructs an instance from [`BePi::write_parts`] output. The
     /// preconditioner is recomputed from `S` (deterministic, cheap).
-    pub(crate) fn read_parts<R: std::io::Read>(r: &mut R) -> Result<Self> {
+    pub(crate) fn read_parts<R: std::io::Read>(r: &mut R, with_phases: bool) -> Result<Self> {
         use crate::persist as p;
         let config = p::read_config(r)?;
         let perm = p::read_permutation(r)?;
@@ -353,6 +411,30 @@ impl BePi {
         let h31 = p::read_csr(r)?;
         let h32 = p::read_csr(r)?;
         let slashburn_iterations = p::read_u64(r)? as usize;
+        let (elapsed, phases) = if with_phases {
+            let elapsed = Duration::from_secs_f64(p::read_f64(r)?.max(0.0));
+            let count = p::read_u64(r)? as usize;
+            let mut phases = Vec::with_capacity(count.min(64));
+            for _ in 0..count {
+                let len = p::read_u64(r)? as usize;
+                if len > 256 {
+                    return Err(bepi_sparse::SparseError::Numerical(format!(
+                        "phase name length {len} exceeds limit"
+                    )));
+                }
+                let mut name = vec![0u8; len];
+                r.read_exact(&mut name)
+                    .map_err(bepi_sparse::SparseError::from)?;
+                let name = String::from_utf8(name).map_err(|_| {
+                    bepi_sparse::SparseError::Numerical("phase name is not UTF-8".into())
+                })?;
+                let seconds = p::read_f64(r)?;
+                phases.push(PhaseTiming { name, seconds });
+            }
+            (elapsed, phases)
+        } else {
+            (Duration::ZERO, Vec::new())
+        };
         let precond = match config.variant {
             BePiVariant::Full => match config.precond {
                 PrecondKind::Ilu0 => BuiltPrecond::Ilu(Ilu0::factor(&s)?),
@@ -364,7 +446,7 @@ impl BePi {
             _ => BuiltPrecond::None,
         };
         let stats = PreprocessStats {
-            elapsed: Duration::ZERO,
+            elapsed,
             n1,
             n2,
             n3,
@@ -372,6 +454,7 @@ impl BePi {
             num_blocks: h11_lu.block_sizes.len(),
             s_nnz: s.nnz(),
             h11_inv_nnz: h11_lu.l_inv.nnz() + h11_lu.u_inv.nnz(),
+            phases,
         };
         Ok(Self {
             config,
@@ -427,7 +510,7 @@ impl BePi {
         let q2_hat: Vec<f64> = q2.iter().zip(&h21t).map(|(qv, hv)| c * qv - hv).collect();
 
         // Line 4: solve S r2 = q̂2 (preconditioned for the full variant).
-        let (r2, inner_iterations) = match self.config.inner {
+        let (r2, inner_iterations, inner_residual) = match self.config.inner {
             InnerSolver::Gmres => {
                 let cfg = GmresConfig {
                     tol: self.config.tol,
@@ -435,7 +518,7 @@ impl BePi {
                     max_iters: self.config.max_iters,
                 };
                 let gm = gmres(&self.s, &q2_hat, None, self.precond.as_dyn(), &cfg)?;
-                (gm.x, gm.iterations)
+                (gm.x, gm.iterations, gm.residual)
             }
             InnerSolver::BiCgStab => {
                 let cfg = BiCgStabConfig {
@@ -443,9 +526,12 @@ impl BePi {
                     max_iters: self.config.max_iters,
                 };
                 let bi = bicgstab(&self.s, &q2_hat, self.precond.as_dyn(), &cfg)?;
-                (bi.x, bi.iterations)
+                (bi.x, bi.iterations, bi.residual)
             }
         };
+        // Per-query solver telemetry: every solve is accounted here, so the
+        // serve path, batch queries, and the CLI share one registry.
+        bepi_obs::telemetry::record_solve(inner_iterations, inner_residual);
 
         // Line 5: r1 = U1^{-1}(L1^{-1}(c q1 − H12 r2)).
         let h12r2 = self.h12.mul_vec(&r2)?;
@@ -470,6 +556,7 @@ impl BePi {
         Ok(RwrScores {
             scores,
             iterations: inner_iterations,
+            residual: inner_residual,
         })
     }
 }

@@ -214,11 +214,13 @@ mod tests {
         let bad = RwrScores {
             scores: vec![0.0; 3],
             iterations: 0,
+            residual: 0.0,
         };
         assert!(sweep_cut(&g, &bad, None).is_err());
         let zeros = RwrScores {
             scores: vec![0.0; 5],
             iterations: 0,
+            residual: 0.0,
         };
         assert!(sweep_cut(&g, &zeros, None).is_err());
     }

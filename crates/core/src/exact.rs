@@ -57,6 +57,7 @@ impl RwrSolver for DenseExact {
         Ok(RwrScores {
             scores,
             iterations: 0,
+            residual: 0.0,
         })
     }
 

@@ -17,6 +17,7 @@ use crate::rwr::check_restart_prob;
 use bepi_graph::Graph;
 use bepi_reorder::{reorder_deadends, slashburn, SlashBurnConfig};
 use bepi_sparse::{ops, Csr, MemBytes, Permutation, Result};
+use std::time::{Duration, Instant};
 
 /// The reordered, partitioned `H` matrix.
 #[derive(Debug, Clone)]
@@ -47,6 +48,12 @@ pub struct HPartition {
     pub slashburn_iterations: usize,
     /// Restart probability used to build `H`.
     pub c: f64,
+    /// Wall time of the deadend reordering step.
+    pub deadend_time: Duration,
+    /// Wall time of the SlashBurn reordering step.
+    pub slashburn_time: Duration,
+    /// Wall time spent assembling and partitioning `H` after reordering.
+    pub assemble_time: Duration,
 }
 
 impl HPartition {
@@ -58,17 +65,24 @@ impl HPartition {
         let n = g.n();
 
         // 1. Deadend reordering (Figure 3(b)).
+        let t0 = Instant::now();
         let dr = reorder_deadends(g);
         let l = dr.n_non_deadend;
         let n3 = dr.n_deadend;
         let a1 = dr.perm.permute_symmetric(g.adjacency())?;
+        let deadend_time = t0.elapsed();
+        bepi_obs::record_duration("preprocess.deadend", deadend_time);
 
         // 2. Hub-and-spoke reordering of Ann (Figure 3(c)); SlashBurn
         //    works on the symmetrized structure of the non-deadend block.
+        let t1 = Instant::now();
         let ann = a1.slice_block(0..l, 0..l)?;
         let sym = symmetrize(&ann);
         let sb = slashburn(&sym, &SlashBurnConfig::with_ratio(k));
         let (n1, n2) = (sb.n_spokes, sb.n_hubs);
+        let slashburn_time = t1.elapsed();
+        bepi_obs::record_duration("preprocess.slashburn", slashburn_time);
+        let t2 = Instant::now();
 
         // Extend the SlashBurn permutation to all n nodes (deadends fixed).
         let mut ext = vec![0u32; n];
@@ -102,6 +116,9 @@ impl HPartition {
             "H11 must be block diagonal with SlashBurn's blocks"
         );
 
+        let assemble_time = t2.elapsed();
+        bepi_obs::record_duration("preprocess.assemble", assemble_time);
+
         Ok(Self {
             perm,
             n1,
@@ -116,6 +133,9 @@ impl HPartition {
             h32,
             slashburn_iterations: sb.iterations,
             c,
+            deadend_time,
+            slashburn_time,
+            assemble_time,
         })
     }
 

@@ -55,6 +55,7 @@ impl RwrSolver for PowerSolver {
         Ok(RwrScores {
             scores: res.r,
             iterations: res.iterations,
+            residual: res.delta,
         })
     }
 
@@ -108,6 +109,7 @@ impl RwrSolver for GmresSolver {
         Ok(RwrScores {
             scores: res.x,
             iterations: res.iterations,
+            residual: res.residual,
         })
     }
 

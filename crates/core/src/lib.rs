@@ -60,7 +60,7 @@ pub mod rwr;
 pub mod schur;
 
 pub use bear::Bear;
-pub use bepi::{BePi, BePiConfig, BePiVariant, InnerSolver, PrecondKind};
+pub use bepi::{BePi, BePiConfig, BePiVariant, InnerSolver, PhaseTiming, PrecondKind};
 pub use dynamic::{DynamicBePi, EdgeUpdate};
 pub use exact::DenseExact;
 pub use hmatrix::HPartition;
@@ -71,7 +71,7 @@ pub use rwr::{RwrScores, RwrSolver};
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::bear::Bear;
-    pub use crate::bepi::{BePi, BePiConfig, BePiVariant, InnerSolver, PrecondKind};
+    pub use crate::bepi::{BePi, BePiConfig, BePiVariant, InnerSolver, PhaseTiming, PrecondKind};
     pub use crate::exact::DenseExact;
     pub use crate::iterative::{GmresSolver, PowerSolver};
     pub use crate::lu_method::LuDecomp;

@@ -159,6 +159,7 @@ impl RwrSolver for LuDecomp {
         Ok(RwrScores {
             scores: self.perm.unpermute_vec(&r)?,
             iterations: 0,
+            residual: 0.0,
         })
     }
 

@@ -31,11 +31,13 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"BEPI";
-const VERSION: u32 = 2;
+const VERSION: u32 = 4;
 /// Format version for indexes with the adjacency matrix embedded.
-const VERSION_WITH_GRAPH: u32 = 3;
+const VERSION_WITH_GRAPH: u32 = 5;
 /// Oldest format version `load` still understands.
 const MIN_VERSION: u32 = 1;
+/// Newest format version `load` understands.
+const MAX_VERSION: u32 = 5;
 
 /// Upper bound on speculative preallocation for length-prefixed arrays.
 /// Legitimate arrays larger than this still load — the vector grows as
@@ -157,14 +159,15 @@ impl<R: Read> Read for CrcReader<R> {
     }
 }
 
-/// Writes a preprocessed instance to a stream (format v2: payload followed
-/// by a CRC-32 trailer).
+/// Writes a preprocessed instance to a stream (format v4: payload —
+/// including the per-phase preprocessing time breakdown — followed by a
+/// CRC-32 trailer).
 pub fn save<W: Write>(bepi: &BePi, writer: W) -> Result<()> {
     let mut w = BufWriter::new(writer);
     w.write_all(MAGIC)?;
     write_u32(&mut w, VERSION)?;
     let mut cw = CrcWriter::new(w);
-    bepi.write_parts(&mut cw)?;
+    bepi.write_parts(&mut cw, true)?;
     let checksum = cw.crc.finalize();
     let mut w = cw.inner;
     write_u32(&mut w, checksum)?;
@@ -172,7 +175,7 @@ pub fn save<W: Write>(bepi: &BePi, writer: W) -> Result<()> {
     Ok(())
 }
 
-/// Writes a *live-capable* instance (format v3): the preprocessed parts
+/// Writes a *live-capable* instance (format v5): the preprocessed parts
 /// followed by the original adjacency matrix, all inside the CRC-32
 /// envelope. An index saved this way can be re-preprocessed after edge
 /// updates (see `bepi-live`) because the graph itself is durable.
@@ -188,7 +191,7 @@ pub fn save_with_graph<W: Write>(bepi: &BePi, graph: &Graph, writer: W) -> Resul
     w.write_all(MAGIC)?;
     write_u32(&mut w, VERSION_WITH_GRAPH)?;
     let mut cw = CrcWriter::new(w);
-    bepi.write_parts(&mut cw)?;
+    bepi.write_parts(&mut cw, true)?;
     write_csr(&mut cw, graph.adjacency())?;
     let checksum = cw.crc.finalize();
     let mut w = cw.inner;
@@ -197,16 +200,16 @@ pub fn save_with_graph<W: Write>(bepi: &BePi, graph: &Graph, writer: W) -> Resul
     Ok(())
 }
 
-/// Reads a preprocessed instance from a stream. Accepts format v3
-/// (embedded graph, discarded here — use [`load_with_graph`] to keep
-/// it), v2 (checksum verified), and legacy v1 (no trailer, nothing to
-/// verify).
+/// Reads a preprocessed instance from a stream. Accepts every format
+/// version back to v1: v4/v5 carry phase timings (v5 also embeds the
+/// graph, discarded here — use [`load_with_graph`] to keep it), v2/v3 are
+/// checksum-verified without timings, and legacy v1 has no trailer.
 pub fn load<R: Read>(reader: R) -> Result<BePi> {
     load_with_graph(reader).map(|(bepi, _)| bepi)
 }
 
 /// Like [`load`], but also returns the embedded adjacency graph when the
-/// file is format v3 (`None` for v1/v2 files).
+/// file embeds one (v3/v5; `None` otherwise).
 pub fn load_with_graph<R: Read>(reader: R) -> Result<(BePi, Option<Graph>)> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 4];
@@ -218,11 +221,13 @@ pub fn load_with_graph<R: Read>(reader: R) -> Result<(BePi, Option<Graph>)> {
     }
     let version = read_u32(&mut r)?;
     match version {
-        1 => Ok((BePi::read_parts(&mut r)?, None)),
-        2 | 3 => {
+        1 => Ok((BePi::read_parts(&mut r, false)?, None)),
+        2..=5 => {
+            let with_phases = version >= 4;
+            let with_graph = version == 3 || version == 5;
             let mut cr = CrcReader::new(r);
-            let bepi = BePi::read_parts(&mut cr)?;
-            let graph = if version == VERSION_WITH_GRAPH {
+            let bepi = BePi::read_parts(&mut cr, with_phases)?;
+            let graph = if with_graph {
                 Some(Graph::from_adjacency(read_csr(&mut cr)?)?)
             } else {
                 None
@@ -239,7 +244,7 @@ pub fn load_with_graph<R: Read>(reader: R) -> Result<(BePi, Option<Graph>)> {
             Ok((bepi, graph))
         }
         v => Err(SparseError::Parse(format!(
-            "unsupported BePI format version {v} (expected {MIN_VERSION}..={VERSION_WITH_GRAPH})"
+            "unsupported BePI format version {v} (expected {MIN_VERSION}..={MAX_VERSION})"
         ))),
     }
 }
@@ -637,11 +642,63 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(MAGIC);
         buf.extend_from_slice(&1u32.to_le_bytes());
-        original.write_parts(&mut buf).unwrap();
+        original.write_parts(&mut buf, false).unwrap();
         let restored = load(&buf[..]).unwrap();
         assert_eq!(
             original.query(3).unwrap().scores,
             restored.query(3).unwrap().scores
+        );
+    }
+
+    #[test]
+    fn still_reads_v2_files_without_phase_timings() {
+        let g = generators::cycle(10);
+        let original = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        // Hand-assemble a v2 file: magic, version 2, CRC envelope, no
+        // phase-timing section.
+        let mut payload = Vec::new();
+        original.write_parts(&mut payload, false).unwrap();
+        let mut crc = Crc32::new();
+        crc.update(&payload);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&payload);
+        buf.extend_from_slice(&crc.finalize().to_le_bytes());
+        let restored = load(&buf[..]).unwrap();
+        assert_eq!(
+            original.query(3).unwrap().scores,
+            restored.query(3).unwrap().scores
+        );
+        assert!(restored.stats().phases.is_empty());
+    }
+
+    #[test]
+    fn phase_timings_survive_save_load_round_trip() {
+        let g = generators::cycle(10);
+        let original = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        assert_eq!(original.stats().phases.len(), 6);
+        let mut buf = Vec::new();
+        save(&original, &mut buf).unwrap();
+        let restored = load(&buf[..]).unwrap();
+        assert_eq!(restored.stats().phases, original.stats().phases);
+        assert_eq!(restored.stats().elapsed, original.stats().elapsed);
+        let names: Vec<&str> = restored
+            .stats()
+            .phases
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "deadend",
+                "slashburn",
+                "assemble",
+                "block_lu",
+                "schur",
+                "precond"
+            ]
         );
     }
 
@@ -661,7 +718,7 @@ mod tests {
         let g = generators::cycle(10);
         let original = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
         let mut buf = Vec::new();
-        original.write_parts(&mut buf).unwrap();
+        original.write_parts(&mut buf, false).unwrap();
         // Corrupt the very first CSR length field we can find by writing a
         // stream that declares 5 rows but carries 3 row pointers.
         let mut csr = Vec::new();

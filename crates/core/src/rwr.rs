@@ -11,6 +11,9 @@ pub struct RwrScores {
     /// Inner iterations spent by the method's iterative component
     /// (0 for fully direct methods).
     pub iterations: usize,
+    /// Final relative residual reported by the iterative component
+    /// (0.0 for fully direct methods).
+    pub residual: f64,
 }
 
 impl RwrScores {
@@ -125,6 +128,7 @@ mod tests {
         let s = RwrScores {
             scores: vec![0.1, 0.4, 0.2],
             iterations: 0,
+            residual: 0.0,
         };
         assert_eq!(s.top_k(2), vec![1, 2]);
     }

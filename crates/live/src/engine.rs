@@ -171,7 +171,9 @@ impl LiveEngine {
         let mut wal = None;
         let mut replayed_through = 0u64;
         if let Some(path) = &config.wal_path {
+            let replay_span = bepi_obs::Span::enter("wal.replay");
             let (w, records, report) = Wal::open(path)?;
+            let replayed = records.len();
             if !records.is_empty() {
                 // Recovered updates become visible immediately: the WAL
                 // acknowledged them before the crash.
@@ -179,6 +181,15 @@ impl LiveEngine {
                 bepi = Arc::new(BePi::preprocess(&graph, &solver_config)?);
                 replayed_through = report.segments;
             }
+            let replay_time = replay_span.exit();
+            bepi_obs::info!(
+                "live",
+                "WAL replay complete",
+                records = replayed,
+                segments = report.segments,
+                truncated_bytes = report.truncated_bytes,
+                elapsed_ms = replay_time.as_millis()
+            );
             wal = Some(w);
         }
 
@@ -403,12 +414,20 @@ impl LiveEngine {
             return Ok(());
         };
         let current = self.current();
+        let span = bepi_obs::Span::enter("live.checkpoint");
         let tmp = path.with_extension("bepi.tmp");
         persist::save_file_with_graph(&current.bepi, graph, &tmp)?;
         std::fs::rename(&tmp, path)?;
+        let checkpoint_time = span.exit();
         if let Some(wal) = &mut st.wal {
             wal.compact_through(upto)?;
         }
+        bepi_obs::debug!(
+            "live",
+            "checkpoint written",
+            version = current.version,
+            elapsed_ms = checkpoint_time.as_millis()
+        );
         Ok(())
     }
 }
@@ -460,10 +479,12 @@ fn worker_loop(engine: &LiveEngine) {
         // the full preprocessing pipeline while queries keep being served
         // from the old snapshot.
         let started = Instant::now();
+        let rebuild_span = bepi_obs::Span::enter("live.rebuild");
         let rebuilt = apply_updates(&graph, &updates).and_then(|new_graph| {
             let bepi = BePi::preprocess(&new_graph, &engine.solver_config)?;
             Ok((new_graph, bepi))
         });
+        let rebuild_time = rebuild_span.exit();
 
         match rebuilt {
             Ok((new_graph, bepi)) => {
@@ -472,14 +493,24 @@ fn worker_loop(engine: &LiveEngine) {
                     .store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
                 // Phase 3: the hot-swap. One pointer exchange; queries
                 // already holding the old Arc finish on the old snapshot.
-                {
+                let new_version = {
+                    let _span = bepi_obs::Span::enter("live.swap");
                     let mut current = engine.current.lock().unwrap_or_else(|e| e.into_inner());
+                    let v = current.version + 1;
                     *current = Arc::new(VersionedIndex {
-                        version: current.version + 1,
+                        version: v,
                         bepi: Arc::new(bepi),
                     });
-                }
+                    v
+                };
                 engine.rebuilds_total.fetch_add(1, Ordering::Relaxed);
+                bepi_obs::info!(
+                    "live",
+                    "rebuild hot-swapped",
+                    version = new_version,
+                    updates = updates.len(),
+                    elapsed_ms = rebuild_time.as_millis()
+                );
                 let mut st = engine.state.lock().unwrap_or_else(|e| e.into_inner());
                 st.graph = Some(new_graph);
                 st.last_error = None;
@@ -495,6 +526,12 @@ fn worker_loop(engine: &LiveEngine) {
                 engine.cv.notify_all();
             }
             Err(e) => {
+                bepi_obs::warn!(
+                    "live",
+                    "rebuild failed; batch re-buffered",
+                    generation = target,
+                    error = e
+                );
                 let mut st = engine.state.lock().unwrap_or_else(|e| e.into_inner());
                 // Put the batch back (ahead of anything newly buffered)
                 // so acknowledged updates are never silently dropped.

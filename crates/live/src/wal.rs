@@ -246,8 +246,11 @@ impl Wal {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&payload);
         frame.extend_from_slice(&crc.finalize().to_le_bytes());
+        let _span = bepi_obs::Span::enter("wal.append");
         self.file.write_all(&frame)?;
+        let fsync_start = std::time::Instant::now();
         self.file.sync_data()?;
+        bepi_obs::telemetry::wal_fsync_seconds().observe(fsync_start.elapsed().as_secs_f64());
         self.segments_in_file += 1;
         Ok(self.seq())
     }

@@ -1,0 +1,227 @@
+//! Wall-time span instrumentation over a process-global phase registry.
+//!
+//! [`Span::enter("phase")`](Span::enter) starts a timer; when the span is
+//! dropped (or [`Span::exit`] is called) the elapsed time is folded into the
+//! named phase accumulator: invocation count, total nanoseconds, and maximum
+//! nanoseconds, all plain atomics. The registry is a fixed pool of static
+//! slots whose names are set once — looking up an already-registered phase is
+//! a linear scan of atomic loads and string compares, so the hot path takes
+//! no locks. Registration of a brand-new phase name (a handful of times per
+//! process) goes through `OnceLock::set`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Maximum number of distinct phase names the registry can hold. Spans with
+/// names beyond this capacity are silently not recorded.
+pub const MAX_PHASES: usize = 64;
+
+/// One named accumulator in the global registry.
+#[derive(Debug)]
+pub struct PhaseSlot {
+    name: OnceLock<String>,
+    count: AtomicU64,
+    total_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl PhaseSlot {
+    const fn new() -> PhaseSlot {
+        PhaseSlot {
+            name: OnceLock::new(),
+            count: AtomicU64::new(0),
+            total_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+}
+
+fn registry() -> &'static [PhaseSlot; MAX_PHASES] {
+    static REGISTRY: OnceLock<[PhaseSlot; MAX_PHASES]> = OnceLock::new();
+    REGISTRY.get_or_init(|| std::array::from_fn(|_| PhaseSlot::new()))
+}
+
+/// Finds the slot for `name`, registering it in the first free slot when new.
+/// Returns `None` when the registry is full.
+fn phase(name: &str) -> Option<&'static PhaseSlot> {
+    for slot in registry() {
+        match slot.name.get() {
+            Some(n) if n == name => return Some(slot),
+            Some(_) => continue,
+            None => {
+                // Free slot: try to claim it. A racing thread may claim it
+                // first (possibly with the same name), so re-check.
+                let _ = slot.name.set(name.to_string());
+                match slot.name.get() {
+                    Some(n) if n == name => return Some(slot),
+                    _ => continue,
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Records a duration against a named phase without going through a guard.
+pub fn record_duration(name: &str, elapsed: Duration) {
+    if let Some(slot) = phase(name) {
+        slot.record(elapsed);
+    }
+}
+
+/// An RAII wall-time span. Created by [`Span::enter`]; records into the
+/// process-global phase registry when dropped.
+#[derive(Debug)]
+pub struct Span {
+    slot: Option<&'static PhaseSlot>,
+    start: Instant,
+    done: bool,
+}
+
+impl Span {
+    /// Starts timing the named phase.
+    pub fn enter(name: &str) -> Span {
+        Span {
+            slot: phase(name),
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Ends the span and returns the elapsed wall time.
+    pub fn exit(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        if let Some(slot) = self.slot {
+            slot.record(elapsed);
+        }
+        self.done = true;
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.done {
+            if let Some(slot) = self.slot {
+                slot.record(self.start.elapsed());
+            }
+        }
+    }
+}
+
+/// Point-in-time view of one phase accumulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSnapshot {
+    /// Phase name as passed to [`Span::enter`].
+    pub name: String,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Sum of span durations.
+    pub total: Duration,
+    /// Longest single span.
+    pub max: Duration,
+}
+
+/// Snapshots every registered phase, sorted by name for stable rendering.
+/// Duplicate slots for the same name (possible under a registration race)
+/// are merged.
+pub fn snapshot() -> Vec<PhaseSnapshot> {
+    let mut out: Vec<PhaseSnapshot> = Vec::new();
+    for slot in registry() {
+        let Some(name) = slot.name.get() else {
+            continue;
+        };
+        let count = slot.count.load(Ordering::Relaxed);
+        let total = Duration::from_nanos(slot.total_nanos.load(Ordering::Relaxed));
+        let max = Duration::from_nanos(slot.max_nanos.load(Ordering::Relaxed));
+        if let Some(existing) = out.iter_mut().find(|s| &s.name == name) {
+            existing.count += count;
+            existing.total += total;
+            existing.max = existing.max.max(max);
+        } else {
+            out.push(PhaseSnapshot {
+                name: name.clone(),
+                count,
+                total,
+                max,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find(name: &str) -> Option<PhaseSnapshot> {
+        snapshot().into_iter().find(|s| s.name == name)
+    }
+
+    #[test]
+    fn span_accumulates_count_total_max() {
+        let before = find("test.span_a").map(|s| s.count).unwrap_or(0);
+        {
+            let _s = Span::enter("test.span_a");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        record_duration("test.span_a", Duration::from_millis(50));
+        let snap = find("test.span_a").expect("phase registered");
+        assert_eq!(snap.count, before + 2);
+        assert!(
+            snap.total >= Duration::from_millis(52),
+            "total={:?}",
+            snap.total
+        );
+        assert!(snap.max >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn exit_returns_elapsed_and_records_once() {
+        let span = Span::enter("test.span_exit");
+        let elapsed = span.exit();
+        let snap = find("test.span_exit").expect("phase registered");
+        assert_eq!(snap.count, 1);
+        assert!(snap.total >= elapsed || snap.total.as_nanos() > 0 || elapsed.as_nanos() == 0);
+    }
+
+    #[test]
+    fn concurrent_spans_from_many_threads() {
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..100 {
+                        record_duration("test.concurrent", Duration::from_nanos(10));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = find("test.concurrent").expect("phase registered");
+        assert_eq!(snap.count, 800);
+        assert_eq!(snap.total, Duration::from_nanos(8000));
+        assert_eq!(snap.max, Duration::from_nanos(10));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        record_duration("test.zzz", Duration::from_nanos(1));
+        record_duration("test.aaa", Duration::from_nanos(1));
+        let snap = snapshot();
+        let names: Vec<_> = snap.iter().map(|s| s.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+}

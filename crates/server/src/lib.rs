@@ -44,10 +44,12 @@ pub mod http;
 pub mod metrics;
 pub mod queue;
 pub mod shutdown;
+pub mod slowlog;
 pub mod worker;
 
 pub use cache::{QueryKey, ResponseCache};
-pub use metrics::{parse_metric, render_live_metrics, Metrics};
+pub use metrics::{parse_metric, render_live_metrics, render_obs_metrics, Metrics};
+pub use slowlog::{SlowQuery, SlowQueryLog};
 
 use crate::queue::{bounded, PushError};
 use crate::shutdown::Shutdown;
@@ -74,6 +76,12 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Per-request deadline, stamped at admission.
     pub timeout: Duration,
+    /// Queries whose end-to-end latency meets this threshold land in the
+    /// slow-query log (`GET /debug/slow`). `Duration::ZERO` records every
+    /// query.
+    pub slow_query: Duration,
+    /// Entries retained by the slow-query log ring.
+    pub slow_log_entries: usize,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +92,8 @@ impl Default for ServerConfig {
             cache_entries: 4096,
             queue_depth: 128,
             timeout: Duration::from_secs(10),
+            slow_query: Duration::from_millis(100),
+            slow_log_entries: 64,
         }
     }
 }
@@ -149,10 +159,15 @@ impl Server {
         let shutdown = Shutdown::new(addr);
         let (tx, rx) = bounded::<Job>(config.queue_depth);
 
+        let slow_log = Arc::new(SlowQueryLog::new(
+            config.slow_log_entries,
+            config.slow_query,
+        ));
         let ctx = Arc::new(WorkerContext {
             engine: Arc::clone(&engine),
             cache: Arc::clone(&cache),
             metrics: Arc::clone(&metrics),
+            slow_log,
         });
         let workers: Vec<JoinHandle<()>> = (0..threads)
             .map(|i| {
@@ -213,14 +228,31 @@ fn accept_loop(
             break;
         }
         Metrics::inc(&metrics.connections_total);
+        let now = Instant::now();
         let job = Job {
             stream,
-            deadline: Instant::now() + timeout,
+            deadline: now + timeout,
+            accepted_at: now,
         };
+        // Incremented before the push so a worker's decrement can never
+        // observe the gauge at zero and wrap; shed paths undo it.
+        metrics
+            .queue_depth
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         match tx.try_push(job) {
             Ok(()) => {}
-            Err(PushError::Full(job)) => worker::shed_connection(job.stream, &metrics),
-            Err(PushError::Closed(_)) => break,
+            Err(PushError::Full(job)) => {
+                metrics
+                    .queue_depth
+                    .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+                worker::shed_connection(job.stream, &metrics);
+            }
+            Err(PushError::Closed(_)) => {
+                metrics
+                    .queue_depth
+                    .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+                break;
+            }
         }
     }
     // Dropping `tx` closes the queue: workers finish everything already

@@ -5,6 +5,7 @@
 //! tolerate slightly stale cross-thread reads, and the query hot path
 //! must not serialize on a metrics lock.
 
+use bepi_obs::telemetry::{format_le, render_f64};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -47,12 +48,17 @@ impl LatencyHistogram {
         let mut cumulative = 0u64;
         for (i, &bound) in LATENCY_BUCKETS_SECS.iter().enumerate() {
             cumulative += self.counts[i].load(Ordering::Relaxed);
-            out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+            // `le` labels must be plain decimal floats: Prometheus
+            // scrapers reject exponent notation like 2.5e-4.
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                format_le(bound)
+            ));
         }
         cumulative += self.counts[LATENCY_BUCKETS_SECS.len()].load(Ordering::Relaxed);
         out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
         let sum = self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
-        out.push_str(&format!("{name}_sum {sum}\n"));
+        out.push_str(&format!("{name}_sum {}\n", render_f64(sum)));
         out.push_str(&format!("{name}_count {}\n", self.count()));
     }
 }
@@ -80,6 +86,9 @@ pub struct Metrics {
     pub server_errors_total: AtomicU64,
     /// Requests currently being processed by workers.
     pub in_flight: AtomicU64,
+    /// Connections admitted to the queue and not yet picked up by a
+    /// worker.
+    pub queue_depth: AtomicU64,
     /// End-to-end `/query` service time (dequeue to response written).
     pub query_latency: LatencyHistogram,
 }
@@ -99,7 +108,7 @@ impl Metrics {
     /// version=0.0.4`).
     pub fn render(&self) -> String {
         let mut out = String::with_capacity(2048);
-        let counters: [(&str, &str, &AtomicU64); 10] = [
+        let counters: [(&str, &str, &AtomicU64); 11] = [
             (
                 "bepi_connections_total",
                 "Connections accepted by the listener.",
@@ -146,13 +155,18 @@ impl Metrics {
                 &self.server_errors_total,
             ),
             (
-                "bepi_in_flight",
+                "bepi_inflight_requests",
                 "Requests currently being processed.",
                 &self.in_flight,
             ),
+            (
+                "bepi_queue_depth",
+                "Connections waiting in the admission queue.",
+                &self.queue_depth,
+            ),
         ];
         for (name, help, counter) in counters {
-            let kind = if name == "bepi_in_flight" {
+            let kind = if matches!(name, "bepi_inflight_requests" | "bepi_queue_depth") {
                 "gauge"
             } else {
                 "counter"
@@ -200,6 +214,71 @@ pub fn render_live_metrics(
     )
 }
 
+/// Renders the process-global observability block: the GMRES iteration
+/// histogram and residual gauge fed by `bepi_core`'s query path, the WAL
+/// fsync latency histogram fed by `bepi_live`, and one
+/// `bepi_phase_seconds_total{phase=...}` family per registered span phase
+/// (preprocessing stages, WAL replay, rebuild, checkpoint, hot-swap).
+///
+/// These instruments live in `bepi-obs` statics rather than in
+/// [`Metrics`], so every component of the process — batch queries
+/// included — is accounted in one registry.
+pub fn render_obs_metrics() -> String {
+    let mut out = String::with_capacity(2048);
+    bepi_obs::telemetry::gmres_iterations().render_into(
+        &mut out,
+        "bepi_gmres_iterations",
+        "Inner-solver iterations per cache-missing query.",
+    );
+    out.push_str(&format!(
+        "# HELP bepi_gmres_residual Final relative residual of the most recent solve.\n\
+         # TYPE bepi_gmres_residual gauge\n\
+         bepi_gmres_residual {}\n",
+        render_f64(bepi_obs::telemetry::gmres_residual().get())
+    ));
+    bepi_obs::telemetry::wal_fsync_seconds().render_into(
+        &mut out,
+        "bepi_wal_fsync_seconds",
+        "WAL append fsync latency.",
+    );
+    let phases = bepi_obs::snapshot();
+    if !phases.is_empty() {
+        out.push_str(
+            "# HELP bepi_phase_seconds_total Cumulative wall time per instrumented phase.\n\
+             # TYPE bepi_phase_seconds_total counter\n",
+        );
+        for p in &phases {
+            out.push_str(&format!(
+                "bepi_phase_seconds_total{{phase=\"{}\"}} {}\n",
+                p.name,
+                render_f64(p.total.as_secs_f64())
+            ));
+        }
+        out.push_str(
+            "# HELP bepi_phase_invocations_total Completed spans per instrumented phase.\n\
+             # TYPE bepi_phase_invocations_total counter\n",
+        );
+        for p in &phases {
+            out.push_str(&format!(
+                "bepi_phase_invocations_total{{phase=\"{}\"}} {}\n",
+                p.name, p.count
+            ));
+        }
+        out.push_str(
+            "# HELP bepi_phase_max_seconds Longest single span per instrumented phase.\n\
+             # TYPE bepi_phase_max_seconds gauge\n",
+        );
+        for p in &phases {
+            out.push_str(&format!(
+                "bepi_phase_max_seconds{{phase=\"{}\"}} {}\n",
+                p.name,
+                render_f64(p.max.as_secs_f64())
+            ));
+        }
+    }
+    out
+}
+
 /// Parses one counter value back out of rendered metrics text — shared by
 /// the integration tests and the CLI's shutdown summary.
 pub fn parse_metric(rendered: &str, name: &str) -> Option<f64> {
@@ -228,6 +307,88 @@ mod tests {
         assert!(out.contains("x_bucket{le=\"+Inf\"} 3"));
         assert!(out.contains("x_count 3"));
         assert_eq!(h.count(), 3);
+    }
+
+    /// Satellite: every rendered line must parse, and every `le` label
+    /// must be a plain decimal float — never scientific notation, which
+    /// Prometheus scrapers reject.
+    #[test]
+    fn every_rendered_line_parses_and_le_is_decimal() {
+        let m = Metrics::default();
+        m.query_latency.observe(Duration::from_micros(80));
+        m.query_latency.observe(Duration::from_millis(40));
+        bepi_obs::telemetry::record_solve(17, 3.2e-10);
+        bepi_obs::telemetry::wal_fsync_seconds().observe(0.00007);
+        bepi_obs::record_duration("test.metrics_render", Duration::from_millis(5));
+        let mut text = m.render();
+        text.push_str(&render_live_metrics(1, 0, 0, 0, 0.0));
+        text.push_str(&render_obs_metrics());
+        let mut le_labels = 0;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!series.is_empty());
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+            if let Some(idx) = series.find("le=\"") {
+                let rest = &series[idx + 4..];
+                let le = &rest[..rest.find('"').expect("closing quote")];
+                le_labels += 1;
+                if le != "+Inf" {
+                    assert!(
+                        !le.contains(['e', 'E']),
+                        "scientific notation in le label: {line:?}"
+                    );
+                    le.parse::<f64>().expect("le parses as f64");
+                }
+            }
+        }
+        // All three histograms rendered their bucket lines.
+        assert!(le_labels >= 3 * 13, "saw only {le_labels} le labels");
+        assert!(
+            text.contains("bepi_query_latency_seconds_bucket{le=\"0.00025\"}"),
+            "sub-millisecond bounds render as plain decimals"
+        );
+        assert!(text.contains("bepi_wal_fsync_seconds_bucket{le=\"0.00005\"}"));
+    }
+
+    #[test]
+    fn obs_block_exposes_solver_and_phase_series() {
+        bepi_obs::telemetry::record_solve(9, 1.5e-10);
+        bepi_obs::record_duration("test.obs_block", Duration::from_millis(3));
+        let text = render_obs_metrics();
+        assert!(text.contains("# TYPE bepi_gmres_iterations histogram"));
+        assert!(text.contains("# TYPE bepi_gmres_residual gauge"));
+        assert!(text.contains("# TYPE bepi_wal_fsync_seconds histogram"));
+        assert!(text.contains("bepi_phase_seconds_total{phase=\"test.obs_block\"}"));
+        assert!(text.contains("bepi_phase_invocations_total{phase=\"test.obs_block\"}"));
+        assert!(text.contains("bepi_phase_max_seconds{phase=\"test.obs_block\"}"));
+        assert!(parse_metric(&text, "bepi_gmres_iterations_count").unwrap() >= 1.0);
+        // Histogram buckets are monotone cumulative.
+        let mut last = 0.0;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("bepi_gmres_iterations_bucket"))
+        {
+            let v: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "{line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn inflight_and_queue_depth_gauges_render() {
+        let m = Metrics::default();
+        m.in_flight.fetch_add(3, Ordering::Relaxed);
+        m.queue_depth.fetch_add(5, Ordering::Relaxed);
+        let text = m.render();
+        assert_eq!(parse_metric(&text, "bepi_inflight_requests"), Some(3.0));
+        assert_eq!(parse_metric(&text, "bepi_queue_depth"), Some(5.0));
+        assert!(text.contains("# TYPE bepi_inflight_requests gauge"));
+        assert!(text.contains("# TYPE bepi_queue_depth gauge"));
     }
 
     #[test]

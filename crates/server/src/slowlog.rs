@@ -1,0 +1,185 @@
+//! The slow-query log behind `GET /debug/slow`.
+//!
+//! A fixed-capacity [`SeqRing`] of the most recent `/query` requests whose
+//! end-to-end latency met the configured threshold. Recording happens on
+//! the query hot path, so the whole structure is atomics only — no locks,
+//! no allocation per record; rendering walks the seqlock ring and skips
+//! torn slots.
+
+use bepi_obs::ring::{SeqRing, RECORD_FIELDS};
+use std::time::Duration;
+
+/// One retained slow query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowQuery {
+    /// Seed node of the query.
+    pub seed: u64,
+    /// End-to-end latency (admission to response render) in microseconds.
+    pub latency_us: u64,
+    /// Inner-solver iterations (0 for cache hits).
+    pub iterations: u64,
+    /// Final solver residual (0.0 for cache hits).
+    pub residual: f64,
+    /// Whether the response came from the cache.
+    pub cache_hit: bool,
+    /// Graph snapshot version that answered the query.
+    pub version: u64,
+    /// `top` parameter of the query.
+    pub top_k: u64,
+}
+
+/// Ring of the last N queries that exceeded the slow threshold.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    ring: SeqRing,
+    threshold: Duration,
+}
+
+impl SlowQueryLog {
+    /// Creates a log retaining `entries` queries at or above `threshold`.
+    /// A zero threshold records every query (useful for tests and
+    /// debugging sessions).
+    pub fn new(entries: usize, threshold: Duration) -> SlowQueryLog {
+        SlowQueryLog {
+            ring: SeqRing::new(entries.max(1)),
+            threshold,
+        }
+    }
+
+    /// The configured latency threshold.
+    pub fn threshold(&self) -> Duration {
+        self.threshold
+    }
+
+    /// Records a query if it met the threshold. Lock-free.
+    pub fn record(&self, q: &SlowQuery) {
+        if Duration::from_micros(q.latency_us) < self.threshold {
+            return;
+        }
+        let mut fields = [0u64; RECORD_FIELDS];
+        fields[0] = q.seed;
+        fields[1] = q.latency_us;
+        fields[2] = q.iterations;
+        fields[3] = q.residual.to_bits();
+        fields[4] = u64::from(q.cache_hit);
+        fields[5] = q.version;
+        fields[6] = q.top_k;
+        self.ring.push(fields);
+    }
+
+    /// The retained slow queries, newest first.
+    pub fn entries(&self) -> Vec<SlowQuery> {
+        self.ring
+            .snapshot()
+            .into_iter()
+            .map(|f| SlowQuery {
+                seed: f[0],
+                latency_us: f[1],
+                iterations: f[2],
+                residual: f64::from_bits(f[3]),
+                cache_hit: f[4] != 0,
+                version: f[5],
+                top_k: f[6],
+            })
+            .collect()
+    }
+
+    /// Renders the `GET /debug/slow` JSON body, newest entry first.
+    pub fn render_json(&self) -> String {
+        let entries = self.entries();
+        let mut body = format!(
+            "{{\"threshold_us\":{},\"capacity\":{},\"entries\":[",
+            self.threshold.as_micros(),
+            self.ring.capacity()
+        );
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!(
+                "{{\"seed\":{},\"latency_us\":{},\"iterations\":{},\"residual\":{},\
+                 \"cache_hit\":{},\"version\":{},\"top\":{}}}",
+                e.seed,
+                e.latency_us,
+                e.iterations,
+                fmt_residual(e.residual),
+                e.cache_hit,
+                e.version,
+                e.top_k
+            ));
+        }
+        body.push_str("]}");
+        body
+    }
+}
+
+fn fmt_residual(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(seed: u64, latency_us: u64) -> SlowQuery {
+        SlowQuery {
+            seed,
+            latency_us,
+            iterations: seed + 1,
+            residual: 1e-10,
+            cache_hit: seed % 2 == 0,
+            version: 1,
+            top_k: 10,
+        }
+    }
+
+    #[test]
+    fn threshold_filters_fast_queries() {
+        let log = SlowQueryLog::new(8, Duration::from_millis(10));
+        log.record(&q(1, 500)); // fast: dropped
+        log.record(&q(2, 10_000)); // exactly at threshold: kept
+        log.record(&q(3, 50_000)); // slow: kept
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].seed, 3, "newest first");
+        assert_eq!(entries[1].seed, 2);
+    }
+
+    #[test]
+    fn zero_threshold_records_everything_and_evicts_oldest() {
+        let log = SlowQueryLog::new(3, Duration::ZERO);
+        for seed in 0..7 {
+            log.record(&q(seed, 100));
+        }
+        let seeds: Vec<u64> = log.entries().iter().map(|e| e.seed).collect();
+        assert_eq!(seeds, vec![6, 5, 4], "oldest evicted in order");
+    }
+
+    #[test]
+    fn json_round_trips_fields() {
+        let log = SlowQueryLog::new(4, Duration::ZERO);
+        log.record(&SlowQuery {
+            seed: 42,
+            latency_us: 1234,
+            iterations: 9,
+            residual: 3.5e-10,
+            cache_hit: false,
+            version: 7,
+            top_k: 5,
+        });
+        let json = log.render_json();
+        assert!(json.starts_with("{\"threshold_us\":0,\"capacity\":4,\"entries\":["));
+        assert!(json.contains("\"seed\":42"));
+        assert!(json.contains("\"latency_us\":1234"));
+        assert!(json.contains("\"iterations\":9"));
+        assert!(json.contains("\"residual\":3.5e-10"));
+        assert!(json.contains("\"cache_hit\":false"));
+        assert!(json.contains("\"version\":7"));
+        assert!(json.contains("\"top\":5"));
+        assert!(json.ends_with("]}"));
+    }
+}

@@ -13,7 +13,8 @@
 
 use crate::cache::{QueryKey, ResponseCache};
 use crate::http::{self, ParseError, Request};
-use crate::metrics::{render_live_metrics, Metrics};
+use crate::metrics::{render_live_metrics, render_obs_metrics, Metrics};
+use crate::slowlog::{SlowQuery, SlowQueryLog};
 use bepi_core::rwr::RwrSolver;
 use bepi_core::EdgeUpdate;
 use bepi_live::LiveEngine;
@@ -35,6 +36,10 @@ pub struct Job {
     pub stream: TcpStream,
     /// Absolute deadline for finishing this request.
     pub deadline: Instant,
+    /// When the connection was admitted — queue wait and the end-to-end
+    /// latency reported by `?trace=1` and the slow-query log both start
+    /// here.
+    pub accepted_at: Instant,
 }
 
 /// Everything a worker needs, shared across the pool.
@@ -46,12 +51,15 @@ pub struct WorkerContext {
     pub cache: Arc<ResponseCache>,
     /// Exported counters.
     pub metrics: Arc<Metrics>,
+    /// Ring buffer behind `GET /debug/slow`.
+    pub slow_log: Arc<SlowQueryLog>,
 }
 
 /// Worker main loop: drains the admission queue until it is closed *and*
 /// empty, which is exactly the graceful-shutdown drain semantics.
 pub fn worker_loop(rx: crate::queue::Consumer<Job>, ctx: Arc<WorkerContext>) {
     while let Some(job) = rx.pop() {
+        ctx.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
         ctx.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
         // A panic while serving one connection must not kill the worker:
         // the stream is dropped (client sees a reset), the panic is
@@ -76,7 +84,11 @@ fn remaining(deadline: Instant) -> Option<Duration> {
 }
 
 fn handle_connection(job: Job, ctx: &WorkerContext) {
-    let Job { stream, deadline } = job;
+    let Job {
+        stream,
+        deadline,
+        accepted_at,
+    } = job;
     let started = Instant::now();
 
     // Deadline may already have expired while the job sat in the queue.
@@ -156,13 +168,23 @@ fn handle_connection(job: Job, ctx: &WorkerContext) {
                 engine.updates_accepted(),
                 engine.last_rebuild_micros() as f64 / 1e6,
             ));
+            body.push_str(&render_obs_metrics());
             respond(&stream, 200, "text/plain; version=0.0.4", &[], &body);
         }
-        ("GET", "/query") => handle_query(&stream, &request, ctx, deadline, started),
+        ("GET", "/query") => handle_query(&stream, &request, ctx, deadline, accepted_at, started),
         ("GET", "/version") => handle_version(&stream, ctx),
+        ("GET", "/debug/slow") => {
+            respond(
+                &stream,
+                200,
+                "application/json",
+                &[],
+                &ctx.slow_log.render_json(),
+            );
+        }
         ("POST", "/edges") => handle_edges(&stream, &request, ctx),
         ("POST", "/rebuild") => handle_rebuild(&stream, ctx),
-        (_, "/healthz" | "/metrics" | "/query" | "/version") => {
+        (_, "/healthz" | "/metrics" | "/query" | "/version" | "/debug/slow") => {
             method_not_allowed(&stream, ctx, "GET");
         }
         (_, "/edges" | "/rebuild") => {
@@ -176,7 +198,8 @@ fn handle_connection(job: Job, ctx: &WorkerContext) {
                 "application/json",
                 &[],
                 &http::json_error_body(
-                    "unknown path (try /query, /healthz, /metrics, /version, /edges, /rebuild)",
+                    "unknown path (try /query, /healthz, /metrics, /version, /debug/slow, \
+                     /edges, /rebuild)",
                 ),
             );
         }
@@ -199,8 +222,12 @@ fn handle_query(
     request: &Request,
     ctx: &WorkerContext,
     deadline: Instant,
+    accepted_at: Instant,
     started: Instant,
 ) {
+    // Queue wait: admission to worker pickup.
+    let queue_wait = started.saturating_duration_since(accepted_at);
+    let trace = request.params.get("trace").map(String::as_str) == Some("1");
     // One snapshot for the whole request: validation, cache key, solve,
     // and the version header all agree even across a concurrent swap.
     let snapshot = ctx.engine.current();
@@ -225,14 +252,31 @@ fn handle_query(
     if let Some(body) = ctx.cache.get(&key) {
         Metrics::inc(&ctx.metrics.cache_hits_total);
         Metrics::inc(&ctx.metrics.queries_total);
-        respond(
-            stream,
-            200,
-            "application/json",
-            &[("X-Cache", "hit"), ("X-Graph-Version", &version_header)],
-            &body,
-        );
+        let total = accepted_at.elapsed();
+        let headers = [("X-Cache", "hit"), ("X-Graph-Version", &*version_header)];
+        if trace {
+            let traced = with_trace(
+                &body,
+                queue_wait,
+                Duration::ZERO,
+                Duration::ZERO,
+                Duration::ZERO,
+                total,
+            );
+            respond(stream, 200, "application/json", &headers, &traced);
+        } else {
+            respond(stream, 200, "application/json", &headers, &body);
+        }
         ctx.metrics.query_latency.observe(started.elapsed());
+        ctx.slow_log.record(&SlowQuery {
+            seed: key.seed as u64,
+            latency_us: total.as_micros() as u64,
+            iterations: 0,
+            residual: 0.0,
+            cache_hit: true,
+            version: key.version,
+            top_k: key.top_k as u64,
+        });
         return;
     }
 
@@ -250,6 +294,7 @@ fn handle_query(
         return;
     }
 
+    let solve_start = Instant::now();
     let scores = match snapshot.bepi.query(key.seed) {
         Ok(s) => s,
         Err(e) => {
@@ -264,18 +309,64 @@ fn handle_query(
             return;
         }
     };
-    let body: Arc<str> = Arc::from(render_query_body(key, &scores));
+    let solve_time = solve_start.elapsed();
+    let (rendered, topk_time, serialize_time) = render_query_body_timed(key, &scores);
+    let body: Arc<str> = Arc::from(rendered);
     ctx.cache.insert(key, Arc::clone(&body));
     Metrics::inc(&ctx.metrics.cache_misses_total);
     Metrics::inc(&ctx.metrics.queries_total);
-    respond(
-        stream,
-        200,
-        "application/json",
-        &[("X-Cache", "miss"), ("X-Graph-Version", &version_header)],
-        &body,
-    );
+    let total = accepted_at.elapsed();
+    let headers = [("X-Cache", "miss"), ("X-Graph-Version", &*version_header)];
+    if trace {
+        // The cache stores the base body; the trace block is per-request
+        // and spliced in only for the response that asked for it.
+        let traced = with_trace(
+            &body,
+            queue_wait,
+            solve_time,
+            topk_time,
+            serialize_time,
+            total,
+        );
+        respond(stream, 200, "application/json", &headers, &traced);
+    } else {
+        respond(stream, 200, "application/json", &headers, &body);
+    }
     ctx.metrics.query_latency.observe(started.elapsed());
+    ctx.slow_log.record(&SlowQuery {
+        seed: key.seed as u64,
+        latency_us: total.as_micros() as u64,
+        iterations: scores.iterations as u64,
+        residual: scores.residual,
+        cache_hit: false,
+        version: key.version,
+        top_k: key.top_k as u64,
+    });
+}
+
+/// Splices the `?trace=1` stage-timing breakdown into a rendered `/query`
+/// body (which always ends in `}`). Stages are reported in microseconds;
+/// their sum is ≤ `total_us` — the remainder is parse and dispatch
+/// overhead not attributed to a named stage.
+fn with_trace(
+    body: &str,
+    queue: Duration,
+    solve: Duration,
+    topk: Duration,
+    serialize: Duration,
+    total: Duration,
+) -> String {
+    debug_assert!(body.ends_with('}'));
+    format!(
+        "{},\"trace\":{{\"queue_us\":{},\"solve_us\":{},\"topk_us\":{},\
+         \"serialize_us\":{},\"total_us\":{}}}}}",
+        &body[..body.len() - 1],
+        queue.as_micros(),
+        solve.as_micros(),
+        topk.as_micros(),
+        serialize.as_micros(),
+        total.as_micros()
+    )
 }
 
 /// `GET /version`: the serving state in one JSON object.
@@ -493,10 +584,25 @@ fn parse_query_params(
 /// round-trip float formatting, so parsing them back yields bit-identical
 /// `f64`s to what [`BePi::query`] produced.
 pub fn render_query_body(key: QueryKey, scores: &bepi_core::RwrScores) -> String {
+    render_query_body_timed(key, scores).0
+}
+
+/// [`render_query_body`] plus the two stage timings `?trace=1` reports:
+/// top-k selection and serialization.
+fn render_query_body_timed(
+    key: QueryKey,
+    scores: &bepi_core::RwrScores,
+) -> (String, Duration, Duration) {
+    let topk_start = Instant::now();
     let ranked = scores.top_k(key.top_k);
+    let topk_time = topk_start.elapsed();
+    let serialize_start = Instant::now();
     let mut body = format!(
-        "{{\"seed\":{},\"top\":{},\"iterations\":{},\"results\":[",
-        key.seed, key.top_k, scores.iterations
+        "{{\"seed\":{},\"top\":{},\"iterations\":{},\"residual\":{},\"results\":[",
+        key.seed,
+        key.top_k,
+        scores.iterations,
+        fmt_f64(scores.residual)
     );
     for (i, &node) in ranked.iter().enumerate() {
         if i > 0 {
@@ -509,7 +615,7 @@ pub fn render_query_body(key: QueryKey, scores: &bepi_core::RwrScores) -> String
         ));
     }
     body.push_str("]}");
-    body
+    (body, topk_time, serialize_start.elapsed())
 }
 
 fn fmt_f64(v: f64) -> String {

@@ -29,4 +29,50 @@ cargo test "${CARGO_FLAGS[@]}" -q
 echo "==> crash-recovery tests (bepi serve --wal)"
 cargo test --offline -p bepi-cli --test live_recovery -q
 
+# Observability end-to-end gate: start a real daemon, drive traced
+# queries through it, and validate the /metrics exposition with the
+# in-tree checker (the wire format an external Prometheus scraper sees).
+echo "==> /metrics exposition check (bepi serve + metrics_check)"
+OBS_TMP=$(mktemp -d)
+OBS_FIFO="$OBS_TMP/stdin"
+OBS_LOG="$OBS_TMP/serve.log"
+cleanup_obs() {
+  exec 9>&- 2>/dev/null || true
+  [ -n "${OBS_PID:-}" ] && kill "$OBS_PID" 2>/dev/null || true
+  rm -rf "$OBS_TMP"
+}
+trap cleanup_obs EXIT
+python3 - "$OBS_TMP/edges.txt" <<'EOF'
+import sys
+with open(sys.argv[1], "w") as f:
+    n = 64
+    for i in range(n):
+        f.write(f"{i} {(i + 1) % n}\n")
+        f.write(f"{i} {(i * 7 + 3) % n}\n")
+EOF
+./target/release/bepi preprocess "$OBS_TMP/edges.txt" "$OBS_TMP/index.bepi"
+mkfifo "$OBS_FIFO"
+# Hold a write end open on fd 9: the daemon treats stdin EOF as its
+# shutdown signal, so closing fd 9 later is the graceful stop. Opened
+# read-write because a write-only open of a fifo blocks until a reader
+# (the daemon, which starts next) shows up.
+exec 9<> "$OBS_FIFO"
+# 9>&- keeps the daemon from inheriting the fifo's write end — otherwise
+# it would hold its own stdin open and never see EOF.
+./target/release/bepi serve "$OBS_TMP/index.bepi" --listen 127.0.0.1:0 \
+  --slow-query-ms 0 --log-level info < "$OBS_FIFO" > "$OBS_LOG" 2>&1 9>&- &
+OBS_PID=$!
+OBS_ADDR=""
+for _ in $(seq 1 100); do
+  OBS_ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\).*#\1#p' "$OBS_LOG" | head -n1)
+  [ -n "$OBS_ADDR" ] && break
+  kill -0 "$OBS_PID" 2>/dev/null || { cat "$OBS_LOG"; exit 1; }
+  sleep 0.1
+done
+[ -n "$OBS_ADDR" ] || { echo "daemon never reported its address"; cat "$OBS_LOG"; exit 1; }
+./target/release/metrics_check "$OBS_ADDR" --warm-queries 8
+exec 9>&-   # stdin EOF → graceful shutdown
+wait "$OBS_PID"
+OBS_PID=""
+
 echo "==> ci OK"
