@@ -1,0 +1,38 @@
+//! Schema validator for `bepi bench` artifacts.
+//!
+//! Usage: `bench_check BENCH_PR4.json [...]` — exits non-zero with a
+//! diagnostic if any file is not a valid `bepi-bench/v1` document. CI
+//! runs this on the smoke artifact so the schema cannot silently drift.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: bench_check <BENCH_*.json>...");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match bepi_bench::perf::validate_json(&text) {
+            Ok(()) => println!("{path}: ok ({})", bepi_bench::perf::SCHEMA),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -24,6 +24,7 @@
 pub mod experiments;
 pub mod fit;
 pub mod harness;
+pub mod perf;
 pub mod table;
 
 pub use harness::{query_seeds, suite, Status};

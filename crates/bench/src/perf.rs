@@ -1,0 +1,720 @@
+//! The `bepi bench` driver: thread-scaling measurements with a
+//! machine-readable `BENCH_*.json` artifact.
+//!
+//! For each anchor graph and each thread count this runs three workloads:
+//!
+//! 1. **preprocess** — `BePi::preprocess` (SlashBurn + block LU + Schur),
+//!    where the parallel SpGEMM and per-block LU apply;
+//! 2. **single-seed query** — one preconditioned-GMRES solve per seed
+//!    with kernel-level parallelism (row-partitioned SpMV, chunked
+//!    reductions);
+//! 3. **batch query** — all seeds through [`bepi_core::BePi`]'s batch
+//!    path with *seed-level* parallelism and serial kernels, the same
+//!    composition the daemon uses.
+//!
+//! Results are printed as a table and serialized to JSON
+//! (`schema: "bepi-bench/v1"`). The JSON is hand-rolled and validated by
+//! [`validate_json`] — also used by the `bench_check` binary that CI runs
+//! on the smoke artifact — so the schema cannot silently drift.
+
+use crate::harness::query_seeds;
+use bepi_core::prelude::*;
+use bepi_graph::Dataset;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Schema tag stamped into (and required from) every bench artifact.
+pub const SCHEMA: &str = "bepi-bench/v1";
+
+/// Configuration for a [`run`].
+#[derive(Debug, Clone)]
+pub struct PerfConfig {
+    /// Anchor graphs to measure.
+    pub datasets: Vec<Dataset>,
+    /// Thread counts to sweep (should include 1 for the speedup base).
+    pub thread_counts: Vec<usize>,
+    /// Query seeds per dataset.
+    pub seeds: usize,
+    /// Marks the artifact as a reduced smoke run.
+    pub quick: bool,
+}
+
+impl PerfConfig {
+    /// The CI smoke configuration: smallest anchor graph, 1 and 2
+    /// threads, few seeds.
+    pub fn quick() -> Self {
+        Self {
+            datasets: vec![Dataset::Slashdot],
+            thread_counts: vec![1, 2],
+            seeds: 5,
+            quick: true,
+        }
+    }
+
+    /// The full configuration: the Bear-feasible anchor graphs across
+    /// 1/2/4/8 threads (the EXPERIMENTS.md scaling table).
+    pub fn full() -> Self {
+        Self {
+            datasets: Dataset::small().to_vec(),
+            thread_counts: vec![1, 2, 4, 8],
+            seeds: 10,
+            quick: false,
+        }
+    }
+}
+
+/// Measurements for one thread count on one dataset.
+#[derive(Debug, Clone)]
+pub struct ThreadRun {
+    /// Kernel threads used.
+    pub threads: usize,
+    /// Preprocessing wall time, seconds.
+    pub preprocess_s: f64,
+    /// Mean single-seed query wall time, seconds.
+    pub query_s: f64,
+    /// Wall time for the whole seed batch, seconds.
+    pub batch_s: f64,
+    /// Mean GMRES inner iterations per query (thread-count invariant —
+    /// the kernels are bit-identical, so this catches determinism bugs).
+    pub gmres_iters: f64,
+    /// Process peak RSS (`VmHWM`) after this run, bytes; 0 where
+    /// unavailable. Monotonic over the process lifetime.
+    pub peak_rss_bytes: u64,
+}
+
+/// All thread runs for one dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetReport {
+    /// Dataset name (the `*-like` anchor-graph label).
+    pub dataset: String,
+    /// Nodes in the generated graph.
+    pub n: usize,
+    /// Edges in the generated graph.
+    pub m: usize,
+    /// One entry per configured thread count, in order.
+    pub runs: Vec<ThreadRun>,
+}
+
+impl DatasetReport {
+    /// Single-seed query speedup of `run` relative to the 1-thread run.
+    pub fn query_speedup(&self, run: &ThreadRun) -> f64 {
+        match self.runs.iter().find(|r| r.threads == 1) {
+            Some(base) if run.query_s > 0.0 => base.query_s / run.query_s,
+            _ => 1.0,
+        }
+    }
+
+    /// Batch-workload speedup of `run` relative to the 1-thread run.
+    pub fn batch_speedup(&self, run: &ThreadRun) -> f64 {
+        match self.runs.iter().find(|r| r.threads == 1) {
+            Some(base) if run.batch_s > 0.0 => base.batch_s / run.batch_s,
+            _ => 1.0,
+        }
+    }
+}
+
+/// A complete bench run.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Whether this was the reduced smoke configuration.
+    pub quick: bool,
+    /// Cores visible to the process when the run started.
+    pub available_parallelism: usize,
+    /// Query seeds per dataset.
+    pub seeds: usize,
+    /// Per-dataset measurements.
+    pub datasets: Vec<DatasetReport>,
+}
+
+/// Process peak RSS from `/proc/self/status` (`VmHWM`, kB → bytes);
+/// 0 on platforms without procfs.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Runs the configured workloads. Sets the global kernel-thread knob per
+/// run and restores it to "auto" before returning.
+pub fn run(cfg: &PerfConfig) -> bepi_sparse::Result<PerfReport> {
+    let mut datasets = Vec::with_capacity(cfg.datasets.len());
+    for &ds in &cfg.datasets {
+        let spec = ds.spec();
+        let g = spec.generate();
+        let seeds = query_seeds(&g, cfg.seeds, 0xBE9C4);
+        let bepi_cfg = BePiConfig {
+            hub_ratio: Some(spec.hub_ratio),
+            ..BePiConfig::default()
+        };
+        let mut runs = Vec::with_capacity(cfg.thread_counts.len());
+        for &t in &cfg.thread_counts {
+            bepi_par::set_threads(t);
+
+            let t0 = Instant::now();
+            let bepi = BePi::preprocess(&g, &bepi_cfg)?;
+            let preprocess_s = t0.elapsed().as_secs_f64();
+
+            // Single-seed queries: kernel threads = t.
+            let t1 = Instant::now();
+            let mut iter_sum = 0usize;
+            for &s in &seeds {
+                iter_sum += bepi.query_with_stats(s)?.iterations;
+            }
+            let query_s = t1.elapsed().as_secs_f64() / seeds.len().max(1) as f64;
+            let gmres_iters = iter_sum as f64 / seeds.len().max(1) as f64;
+
+            // Batch: seed-level parallelism with serial kernels — the
+            // daemon's composition (t workers × 1 kernel thread).
+            bepi_par::set_threads(1);
+            let t2 = Instant::now();
+            let batch = bepi.query_batch_parallel(&seeds, t)?;
+            let batch_s = t2.elapsed().as_secs_f64();
+            debug_assert_eq!(batch.len(), seeds.len());
+
+            runs.push(ThreadRun {
+                threads: t,
+                preprocess_s,
+                query_s,
+                batch_s,
+                gmres_iters,
+                peak_rss_bytes: peak_rss_bytes(),
+            });
+        }
+        datasets.push(DatasetReport {
+            dataset: spec.name.to_string(),
+            n: g.n(),
+            m: g.m(),
+            runs,
+        });
+    }
+    bepi_par::set_threads(0);
+    Ok(PerfReport {
+        quick: cfg.quick,
+        available_parallelism: bepi_par::available(),
+        seeds: cfg.seeds,
+        datasets,
+    })
+}
+
+/// Renders the human-readable scaling table.
+pub fn render_table(report: &PerfReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bepi bench ({} cores visible, {} seeds{})",
+        report.available_parallelism,
+        report.seeds,
+        if report.quick { ", quick" } else { "" }
+    );
+    for ds in &report.datasets {
+        let _ = writeln!(out, "\n{} (n = {}, m = {})", ds.dataset, ds.n, ds.m);
+        let mut table = crate::table::Table::new(vec![
+            "threads",
+            "preprocess",
+            "query",
+            "speedup",
+            "batch",
+            "speedup",
+            "iters",
+            "peak RSS",
+        ]);
+        for run in &ds.runs {
+            table.row(vec![
+                run.threads.to_string(),
+                crate::table::fmt_secs(run.preprocess_s),
+                crate::table::fmt_secs(run.query_s),
+                format!("{:.2}x", ds.query_speedup(run)),
+                crate::table::fmt_secs(run.batch_s),
+                format!("{:.2}x", ds.batch_speedup(run)),
+                format!("{:.1}", run.gmres_iters),
+                bepi_sparse::mem::format_bytes(run.peak_rss_bytes as usize),
+            ]);
+        }
+        out.push_str(&table.render());
+    }
+    out
+}
+
+/// Serializes a report to the `bepi-bench/v1` JSON document.
+pub fn to_json(report: &PerfReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"quick\": {},", report.quick);
+    let _ = writeln!(
+        out,
+        "  \"available_parallelism\": {},",
+        report.available_parallelism
+    );
+    let _ = writeln!(out, "  \"seeds\": {},", report.seeds);
+    out.push_str("  \"datasets\": [\n");
+    for (i, ds) in report.datasets.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"dataset\": \"{}\",", ds.dataset);
+        let _ = writeln!(out, "      \"n\": {},", ds.n);
+        let _ = writeln!(out, "      \"m\": {},", ds.m);
+        out.push_str("      \"runs\": [\n");
+        for (j, run) in ds.runs.iter().enumerate() {
+            out.push_str("        {");
+            let _ = write!(
+                out,
+                "\"threads\": {}, \"preprocess_s\": {:.6}, \"query_s\": {:.9}, \
+                 \"batch_s\": {:.6}, \"gmres_iters\": {:.2}, \"peak_rss_bytes\": {}, \
+                 \"query_speedup_vs_1\": {:.4}, \"batch_speedup_vs_1\": {:.4}",
+                run.threads,
+                run.preprocess_s,
+                run.query_s,
+                run.batch_s,
+                run.gmres_iters,
+                run.peak_rss_bytes,
+                ds.query_speedup(run),
+                ds.batch_speedup(run)
+            );
+            out.push_str(if j + 1 < ds.runs.len() { "},\n" } else { "}\n" });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 < report.datasets.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Validates a `bepi-bench/v1` document: well-formed JSON, correct
+/// schema tag, non-empty datasets, every run carrying the required
+/// numeric fields, and a 1-thread base run per dataset.
+pub fn validate_json(text: &str) -> std::result::Result<(), String> {
+    let value = json::parse(text)?;
+    let obj = value.as_object().ok_or("top level must be an object")?;
+    match json::get(obj, "schema").and_then(|v| v.as_str()) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(format!("unknown schema {s:?}, expected {SCHEMA:?}")),
+        None => return Err("missing \"schema\" tag".into()),
+    }
+    for key in ["available_parallelism", "seeds"] {
+        json::get(obj, key)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("missing numeric \"{key}\""))?;
+    }
+    json::get(obj, "quick")
+        .and_then(|v| v.as_bool())
+        .ok_or("missing boolean \"quick\"")?;
+    let datasets = json::get(obj, "datasets")
+        .and_then(|v| v.as_array())
+        .ok_or("missing \"datasets\" array")?;
+    if datasets.is_empty() {
+        return Err("\"datasets\" must be non-empty".into());
+    }
+    for (i, ds) in datasets.iter().enumerate() {
+        let ds = ds
+            .as_object()
+            .ok_or_else(|| format!("dataset {i} must be an object"))?;
+        json::get(ds, "dataset")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("dataset {i}: missing \"dataset\" name"))?;
+        for key in ["n", "m"] {
+            json::get(ds, key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("dataset {i}: missing numeric \"{key}\""))?;
+        }
+        let runs = json::get(ds, "runs")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| format!("dataset {i}: missing \"runs\" array"))?;
+        if runs.is_empty() {
+            return Err(format!("dataset {i}: \"runs\" must be non-empty"));
+        }
+        let mut has_base = false;
+        for (j, run) in runs.iter().enumerate() {
+            let run = run
+                .as_object()
+                .ok_or_else(|| format!("dataset {i} run {j} must be an object"))?;
+            let threads = json::get(run, "threads")
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("dataset {i} run {j}: missing \"threads\""))?;
+            if threads < 1.0 {
+                return Err(format!("dataset {i} run {j}: threads must be >= 1"));
+            }
+            has_base |= threads == 1.0;
+            for key in [
+                "preprocess_s",
+                "query_s",
+                "batch_s",
+                "gmres_iters",
+                "peak_rss_bytes",
+                "query_speedup_vs_1",
+                "batch_speedup_vs_1",
+            ] {
+                let v = json::get(run, key)
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("dataset {i} run {j}: missing numeric \"{key}\""))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!(
+                        "dataset {i} run {j}: \"{key}\" must be finite and non-negative"
+                    ));
+                }
+            }
+        }
+        if !has_base {
+            return Err(format!(
+                "dataset {i}: no 1-thread base run (speedups need a base)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// A minimal recursive-descent JSON parser — just enough to validate
+/// bench artifacts offline (no serde in the dependency budget).
+pub mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number (kept as f64).
+        Number(f64),
+        /// A string (escapes decoded).
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object as ordered key/value pairs (duplicate keys kept;
+        /// [`get`] returns the first).
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The object entries, if this is an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// The string contents, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric value, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The boolean, if this is a boolean.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+    }
+
+    /// First value under `key` in an object's entries.
+    pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+        if *pos < bytes.len() && bytes[*pos] == b {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, *pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+            Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
+            Some(_) => parse_number(bytes, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", *pos))
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("invalid \\u escape")?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("invalid escape at byte {}", *pos)),
+                    }
+                    *pos += 1;
+                }
+                Some(&b) => {
+                    // Multi-byte UTF-8 passes through unchanged.
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = bytes
+                        .get(*pos..*pos + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or("invalid UTF-8 in string")?;
+                    out.push_str(chunk);
+                    *pos += len;
+                }
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut entries = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            skip_ws(bytes, pos);
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            entries.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> PerfReport {
+        PerfReport {
+            quick: true,
+            available_parallelism: 1,
+            seeds: 2,
+            datasets: vec![DatasetReport {
+                dataset: "slashdot-like".into(),
+                n: 100,
+                m: 500,
+                runs: vec![
+                    ThreadRun {
+                        threads: 1,
+                        preprocess_s: 0.5,
+                        query_s: 0.002,
+                        batch_s: 0.004,
+                        gmres_iters: 9.0,
+                        peak_rss_bytes: 1 << 20,
+                    },
+                    ThreadRun {
+                        threads: 2,
+                        preprocess_s: 0.4,
+                        query_s: 0.001,
+                        batch_s: 0.002,
+                        gmres_iters: 9.0,
+                        peak_rss_bytes: 1 << 20,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_validates() {
+        let text = to_json(&tiny_report());
+        validate_json(&text).unwrap();
+    }
+
+    #[test]
+    fn speedups_computed_against_one_thread() {
+        let report = tiny_report();
+        let ds = &report.datasets[0];
+        assert!((ds.query_speedup(&ds.runs[1]) - 2.0).abs() < 1e-12);
+        assert!((ds.batch_speedup(&ds.runs[1]) - 2.0).abs() < 1e-12);
+        assert!((ds.query_speedup(&ds.runs[0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validator_rejects_missing_fields() {
+        assert!(validate_json("{}").is_err());
+        assert!(validate_json("not json").is_err());
+        let wrong_schema = to_json(&tiny_report()).replace(SCHEMA, "bepi-bench/v999");
+        assert!(validate_json(&wrong_schema).is_err());
+        let no_base = to_json(&tiny_report()).replace("\"threads\": 1,", "\"threads\": 3,");
+        assert!(validate_json(&no_base).is_err());
+        let dropped = to_json(&tiny_report()).replace("\"gmres_iters\": 9.00, ", "");
+        assert!(validate_json(&dropped).is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_basics() {
+        let v = json::parse(r#"{"a": [1, 2.5, -3e2], "b": "x\ny", "c": null, "d": true}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        let arr = json::get(obj, "a").unwrap().as_array().unwrap();
+        assert_eq!(arr[2].as_f64(), Some(-300.0));
+        assert_eq!(json::get(obj, "b").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(json::get(obj, "d").unwrap().as_bool(), Some(true));
+        assert!(json::parse("[1,]").is_err());
+        assert!(json::parse("{} garbage").is_err());
+    }
+
+    #[test]
+    fn table_renders_speedup_columns() {
+        let s = render_table(&tiny_report());
+        assert!(s.contains("slashdot-like"));
+        assert!(s.contains("2.00x"));
+        assert!(s.contains("threads"));
+    }
+
+    #[test]
+    fn quick_run_end_to_end() {
+        // A real (tiny) measurement pass over the smallest anchor graph.
+        let cfg = PerfConfig {
+            datasets: vec![Dataset::Slashdot],
+            thread_counts: vec![1, 2],
+            seeds: 2,
+            quick: true,
+        };
+        let report = run(&cfg).unwrap();
+        assert_eq!(report.datasets.len(), 1);
+        assert_eq!(report.datasets[0].runs.len(), 2);
+        // Iterations must not depend on the thread count (determinism).
+        let iters: Vec<f64> = report.datasets[0]
+            .runs
+            .iter()
+            .map(|r| r.gmres_iters)
+            .collect();
+        assert_eq!(iters[0], iters[1]);
+        validate_json(&to_json(&report)).unwrap();
+    }
+}

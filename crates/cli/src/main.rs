@@ -23,6 +23,7 @@ struct Options {
     variant: BePiVariant,
     labels: bool,
     embed_graph: bool,
+    threads: Option<usize>,
 }
 
 impl Default for Options {
@@ -36,6 +37,7 @@ impl Default for Options {
             variant: BePiVariant::Full,
             labels: false,
             embed_graph: false,
+            threads: None,
         }
     }
 }
@@ -67,11 +69,16 @@ const USAGE: &str = "usage:
                   [--wal PATH] [--auto-flush N] [--graph edges.txt]
                   [--checkpoint PATH]
                   (HTTP daemon)
-  bepi help
+  bepi bench      [--quick] [--datasets N] [--seeds N] [--threads-list 1,2,4,8]
+                  [--out PATH]             (thread-scaling benchmark)
+  bepi help       (aliases: --help, -h)
 
 common flags:
   --log-level L    stderr log verbosity: error|warn|info|debug|trace
                    (default warn; BEPI_LOG env var sets the same thing)
+  --threads N      kernel threads for the parallel SpMV/SpGEMM/block-LU
+                   kernels (default: available parallelism; the
+                   BEPI_THREADS env var sets the same thing)
   --c C            restart probability (default 0.05)
   --tol EPS        solver tolerance (default 1e-9)
   --k RATIO        SlashBurn hub ratio (default: chosen automatically)
@@ -85,10 +92,22 @@ common flags:
   --embed-graph    preprocess: also store the adjacency inside the index
                    (format v3), making it live-update capable when served
 
+bench flags:
+  --quick          smoke preset: smallest anchor graph, threads 1 and 2,
+                   5 seeds (what CI runs)
+  --datasets N     measure the first N anchor graphs (default 3)
+  --seeds N        query seeds per graph (default 10)
+  --threads-list L comma-separated kernel-thread counts to sweep; must
+                   include 1, the speedup base (default 1,2,4,8)
+  --out PATH       where to write the JSON artifact (schema bepi-bench/v1,
+                   default BENCH_PR4.json)
+
 serve daemon flags (with --listen):
   --listen ADDR    bind address, e.g. 127.0.0.1:7462 (port 0 picks an
                    ephemeral port; the bound address is printed on startup)
-  --threads N      worker threads (default: available parallelism)
+  --threads N      worker threads (default: available parallelism). Each
+                   worker's solver kernels then default to their share of
+                   the remaining cores (override with BEPI_THREADS)
   --cache-entries M  response-cache capacity in entries (default 4096;
                    0 disables caching)
   --queue-depth Q  admission-queue depth; connections beyond it are shed
@@ -191,6 +210,7 @@ fn run() -> Result<(), String> {
                 cmd_serve(index, seed_s, &opts)
             }
         }
+        "bench" => cmd_bench(rest),
         "help" | "--help" | "-h" => {
             // Tolerate a closed pipe (`bepi help | head`): ignore the
             // write error instead of panicking like `println!` would.
@@ -238,9 +258,23 @@ fn parse_opts(mut rest: &[String]) -> Result<Options, String> {
                     v => return Err(format!("bad --variant: {v}")),
                 }
             }
+            "--threads" => {
+                let t: usize = value
+                    .parse()
+                    .map_err(|_| format!("bad --threads: {value}"))?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                o.threads = Some(t);
+            }
             f => return Err(format!("unknown flag: {f}")),
         }
         rest = tail;
+    }
+    // The kernel-thread knob is process-global (SpMV/SpGEMM/block-LU all
+    // read it); install it as soon as it is parsed.
+    if let Some(t) = o.threads {
+        bepi_par::set_threads(t);
     }
     Ok(o)
 }
@@ -468,6 +502,68 @@ fn cmd_preprocess(path: &str, out: &str, o: &Options) -> Result<(), String> {
         }
     );
     print_phase_table(&solver.stats().phases);
+    Ok(())
+}
+
+fn cmd_bench(flags: &[String]) -> Result<(), String> {
+    use bepi_bench::perf;
+
+    // --quick is a preset, applied before the other flags so they can
+    // override parts of it regardless of argument order.
+    let mut cfg = if flags.iter().any(|f| f == "--quick") {
+        perf::PerfConfig::quick()
+    } else {
+        perf::PerfConfig::full()
+    };
+    let mut out_path = String::from("BENCH_PR4.json");
+    let mut rest = flags;
+    while let Some((flag, tail)) = rest.split_first() {
+        if flag == "--quick" {
+            rest = tail;
+            continue;
+        }
+        let (value, tail) = tail
+            .split_first()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--out" => out_path = value.clone(),
+            "--seeds" => {
+                cfg.seeds = value.parse().map_err(|_| format!("bad --seeds: {value}"))?;
+                if cfg.seeds == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+            }
+            "--datasets" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("bad --datasets: {value}"))?;
+                if n == 0 {
+                    return Err("--datasets must be at least 1".into());
+                }
+                cfg.datasets = bepi_graph::Dataset::all().into_iter().take(n).collect();
+            }
+            "--threads-list" => {
+                cfg.thread_counts = value
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|_| format!("bad --threads-list: {value}"))?;
+                if cfg.thread_counts.is_empty() || cfg.thread_counts.contains(&0) {
+                    return Err("--threads-list needs positive thread counts".into());
+                }
+                if !cfg.thread_counts.contains(&1) {
+                    return Err("--threads-list must include 1 (the speedup base)".into());
+                }
+            }
+            f => return Err(format!("unknown bench flag: {f}")),
+        }
+        rest = tail;
+    }
+    let report = perf::run(&cfg).map_err(|e| e.to_string())?;
+    print!("{}", perf::render_table(&report));
+    std::fs::write(&out_path, perf::to_json(&report))
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("\nwrote {out_path}");
     Ok(())
 }
 

@@ -226,7 +226,9 @@ impl BePi {
         let t_lu = Instant::now();
         let h11_lu = {
             let _span = bepi_obs::Span::enter("preprocess.block_lu");
-            BlockLu::factor(&part.h11, &part.block_sizes)?
+            // The diagonal blocks are independent; factor them across the
+            // kernel threads (bit-identical to the serial path).
+            BlockLu::factor_parallel(&part.h11, &part.block_sizes, bepi_par::get_threads())?
         };
         let block_lu_time = t_lu.elapsed();
         let t_schur = Instant::now();

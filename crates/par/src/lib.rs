@@ -1,0 +1,382 @@
+//! # bepi-par
+//!
+//! A tiny std-only fork/join layer for the BePI kernels, built on the
+//! vendored crossbeam shim (which itself is `std::thread::scope`).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Parallel kernels must be *byte-identical* to the
+//!    serial code at any thread count. Everything here is therefore
+//!    *partition-and-concatenate*: work is split into ordered ranges,
+//!    each range is computed exactly as the serial loop would compute
+//!    it, and results are written to (or collected into) positions
+//!    fixed by the range order — never by completion order. Floating
+//!    point reductions go through fixed-size chunk partials
+//!    ([`DETERMINISTIC_CHUNK`]) summed in index order, so the grouping
+//!    of additions does not depend on how many threads ran.
+//! 2. **Graceful degradation.** At one thread (the default on a
+//!    single-core box) every helper runs inline on the caller with no
+//!    spawns, no allocation beyond the serial path, and no atomics in
+//!    the hot loop.
+//! 3. **No pool state.** Threads are scoped and joined before each call
+//!    returns; there is no persistent pool to configure, leak, or poison.
+//!    The only global state is the thread-count knob.
+//!
+//! The effective thread count is resolved as: explicit
+//! [`set_threads`] override → `BEPI_THREADS` environment variable →
+//! process-wide soft default ([`set_default_threads`], used by the
+//! daemon to split cores between its worker pool and the kernels) →
+//! available parallelism.
+//!
+//! ```
+//! // Ordered fork/join: results come back in task order, not
+//! // completion order.
+//! let squares = bepi_par::par_join((0..4).map(|i| move || i * i).collect::<Vec<_>>());
+//! assert_eq!(squares, vec![0, 1, 4, 9]);
+//!
+//! // Disjoint mutable chunks: each range of `y` is handed to exactly
+//! // one task together with its starting offset.
+//! let mut y = vec![0usize; 6];
+//! let ranges = bepi_par::even_ranges(y.len(), 3);
+//! bepi_par::par_chunks_mut(&mut y, &ranges, |_, start, chunk| {
+//!     for (k, slot) in chunk.iter_mut().enumerate() {
+//!         *slot = start + k;
+//!     }
+//! });
+//! assert_eq!(y, vec![0, 1, 2, 3, 4, 5]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Fixed chunk length for deterministic floating-point reductions.
+///
+/// A reduction (dot product, norm) over `n > DETERMINISTIC_CHUNK`
+/// elements is computed as per-chunk partial sums — chunk `i` covers
+/// `[i * DETERMINISTIC_CHUNK, (i + 1) * DETERMINISTIC_CHUNK)` — summed in
+/// chunk order. The grouping depends only on `n`, never on the thread
+/// count, so serial and parallel runs produce bit-identical floats.
+pub const DETERMINISTIC_CHUNK: usize = 8192;
+
+/// Explicit override installed by [`set_threads`]; `0` = unset.
+static EXPLICIT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Soft default installed by [`set_default_threads`]; `0` = unset.
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// `BEPI_THREADS` parsed once; `0` = absent or unparseable.
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("BEPI_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// Available parallelism as reported by the OS (at least 1).
+pub fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Installs an explicit process-wide kernel thread count (the CLI's
+/// `--threads N`). `0` clears the override, falling back to
+/// `BEPI_THREADS` / the soft default / available parallelism.
+pub fn set_threads(n: usize) {
+    EXPLICIT_THREADS.store(n, Ordering::SeqCst);
+}
+
+/// Installs a *soft* default used only when neither [`set_threads`] nor
+/// `BEPI_THREADS` is set. The daemon uses this to hand each of its `w`
+/// workers `available() / w` kernel threads so worker × kernel
+/// parallelism never oversubscribes the machine. `0` clears it.
+pub fn set_default_threads(n: usize) {
+    DEFAULT_THREADS.store(n, Ordering::SeqCst);
+}
+
+/// The effective kernel thread count (always ≥ 1): explicit override →
+/// `BEPI_THREADS` → soft default → available parallelism.
+pub fn get_threads() -> usize {
+    let explicit = EXPLICIT_THREADS.load(Ordering::SeqCst);
+    if explicit > 0 {
+        return explicit;
+    }
+    let env = env_threads();
+    if env > 0 {
+        return env;
+    }
+    let default = DEFAULT_THREADS.load(Ordering::SeqCst);
+    if default > 0 {
+        return default;
+    }
+    available()
+}
+
+/// Splits `0..len` into at most `parts` contiguous ranges of
+/// near-equal *length*. Returns fewer ranges when `len < parts`; returns
+/// a single empty range for `len == 0`.
+// single_range_in_vec_init guards against `vec![0..n]` meaning
+// `(0..n).collect()`; here a one-element Vec<Range> is exactly the intent
+// (the degenerate single-partition case).
+#[allow(clippy::single_range_in_vec_init)]
+pub fn even_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if parts <= 1 || len <= 1 {
+        return vec![0..len];
+    }
+    let parts = parts.min(len);
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 1..=parts {
+        let end = len * p / parts;
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Splits `0..prefix.len()-1` items into at most `parts` contiguous
+/// ranges of near-equal *weight*, where `prefix` is a non-decreasing
+/// prefix-sum of per-item weights (`prefix[i+1] - prefix[i]` = weight of
+/// item `i`). A CSR `indptr` array is exactly such a prefix sum over row
+/// nnz, which is what makes SpMV row partitions nnz-balanced rather than
+/// row-count-balanced.
+///
+/// Every range is non-empty and the ranges cover all items in order.
+#[allow(clippy::single_range_in_vec_init)] // one-element Vec<Range> intended
+pub fn balanced_ranges(prefix: &[usize], parts: usize) -> Vec<Range<usize>> {
+    let n = prefix.len().saturating_sub(1);
+    let total = prefix.last().copied().unwrap_or(0);
+    if parts <= 1 || n <= 1 || total == 0 {
+        return vec![0..n];
+    }
+    let parts = parts.min(n);
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 1..=parts {
+        // Leave at least one item for each of the remaining parts.
+        let remaining = parts - p;
+        let end = if remaining == 0 {
+            n
+        } else {
+            let target = (total as u128 * p as u128 / parts as u128) as usize;
+            prefix
+                .partition_point(|&v| v < target)
+                .max(start + 1)
+                .min(n - remaining)
+        };
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Runs the tasks concurrently on scoped threads and returns their
+/// results **in task order**. Task 0 runs on the calling thread; with a
+/// single task nothing is spawned at all. Panics in a task propagate to
+/// the caller after all tasks have been joined.
+pub fn par_join<R, F>(tasks: Vec<F>) -> Vec<R>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    if tasks.len() <= 1 {
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+    let mut iter = tasks.into_iter();
+    let first = iter.next().expect("len checked above");
+    let result = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = iter.map(|f| scope.spawn(move |_| f())).collect();
+        let head = first();
+        let mut out = Vec::with_capacity(handles.len() + 1);
+        out.push(head);
+        for h in handles {
+            match h.join() {
+                Ok(r) => out.push(r),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    });
+    match result {
+        Ok(out) => out,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Hands each `ranges[i]` window of `data` to one task as
+/// `f(i, range.start, &mut data[range])`, running the tasks on scoped
+/// threads. Ranges must be sorted, non-overlapping, and in-bounds
+/// (gaps are allowed; those elements are simply not visited). With one
+/// range the closure runs inline on the caller.
+///
+/// This is the write side of partition-and-concatenate: because each
+/// output window has a fixed position, the result is independent of
+/// scheduling.
+///
+/// # Panics
+///
+/// Panics if the ranges overlap, are unsorted, or exceed `data.len()`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], ranges: &[Range<usize>], f: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    if ranges.len() <= 1 {
+        if let Some(r) = ranges.first() {
+            assert!(
+                r.start <= r.end && r.end <= data.len(),
+                "range out of bounds"
+            );
+            f(0, r.start, &mut data[r.clone()]);
+        }
+        return;
+    }
+    let result = crossbeam::thread::scope(|scope| {
+        let mut rest = data;
+        let mut consumed = 0usize;
+        let f = &f;
+        for (i, r) in ranges.iter().enumerate() {
+            assert!(
+                r.start >= consumed && r.start <= r.end,
+                "ranges must be sorted and non-overlapping"
+            );
+            let skip = r.start - consumed;
+            let len = r.end - r.start;
+            assert!(skip + len <= rest.len(), "range out of bounds");
+            let (_, tail) = rest.split_at_mut(skip);
+            let (chunk, tail) = tail.split_at_mut(len);
+            rest = tail;
+            consumed = r.end;
+            let start = r.start;
+            scope.spawn(move |_| f(i, start, chunk));
+        }
+    });
+    if let Err(payload) = result {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_ranges_cover_and_balance() {
+        assert_eq!(even_ranges(0, 4), vec![0..0]);
+        assert_eq!(even_ranges(10, 1), vec![0..10]);
+        let r = even_ranges(10, 3);
+        assert_eq!(r, vec![0..3, 3..6, 6..10]);
+        let r = even_ranges(2, 8);
+        assert_eq!(r, vec![0..1, 1..2]);
+    }
+
+    #[test]
+    fn balanced_ranges_follow_weight_not_count() {
+        // One heavy item (row) dominating: it gets its own range.
+        let prefix = [0usize, 100, 101, 102, 103];
+        let r = balanced_ranges(&prefix, 2);
+        assert_eq!(r, vec![0..1, 1..4]);
+        // Uniform weights degenerate to near-even splits.
+        let prefix: Vec<usize> = (0..=8).map(|i| i * 3).collect();
+        let r = balanced_ranges(&prefix, 4);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.first().unwrap().start, 0);
+        assert_eq!(r.last().unwrap().end, 8);
+        for w in r.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+            assert!(!w[0].is_empty() && !w[1].is_empty());
+        }
+    }
+
+    #[test]
+    fn balanced_ranges_handle_empty_and_zero_weight() {
+        assert_eq!(balanced_ranges(&[0], 4), vec![0..0]);
+        assert_eq!(balanced_ranges(&[0, 0, 0], 4), vec![0..2]);
+        // All weight in the last item still yields non-empty ranges.
+        let prefix = [0usize, 0, 0, 0, 50];
+        let r = balanced_ranges(&prefix, 3);
+        assert_eq!(r.iter().map(|x| x.len()).sum::<usize>(), 4);
+        assert!(r.iter().all(|x| !x.is_empty()));
+    }
+
+    #[test]
+    fn par_join_preserves_task_order() {
+        let tasks: Vec<_> = (0..16)
+            .map(|i| {
+                move || {
+                    if i % 3 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    i * 10
+                }
+            })
+            .collect();
+        let out = par_join(tasks);
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_windows() {
+        let mut data = vec![0usize; 100];
+        let ranges = even_ranges(100, 7);
+        par_chunks_mut(&mut data, &ranges, |_, start, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = start + k;
+            }
+        });
+        assert_eq!(data, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_allows_gaps() {
+        let mut data = vec![9usize; 10];
+        par_chunks_mut(&mut data, &[1..3, 5..6, 8..10], |i, _, chunk| {
+            for slot in chunk.iter_mut() {
+                *slot = i;
+            }
+        });
+        assert_eq!(data, vec![9, 0, 0, 9, 9, 1, 9, 9, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and non-overlapping")]
+    fn par_chunks_mut_rejects_overlap() {
+        let mut data = vec![0usize; 10];
+        par_chunks_mut(&mut data, &[0..5, 4..10], |_, _, _| {});
+    }
+
+    #[test]
+    fn par_join_propagates_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            par_join(vec![
+                Box::new(|| 1usize) as Box<dyn FnOnce() -> usize + Send>,
+                Box::new(|| panic!("child boom")),
+            ]);
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn thread_knob_resolution_order() {
+        // Not parallel-safe with other knob tests, so exercise both
+        // transitions in one test.
+        set_threads(3);
+        assert_eq!(get_threads(), 3);
+        set_threads(0);
+        set_default_threads(2);
+        // BEPI_THREADS is unset in the test environment, so the soft
+        // default wins over available parallelism.
+        if env_threads() == 0 {
+            assert_eq!(get_threads(), 2);
+        }
+        set_default_threads(0);
+        assert!(get_threads() >= 1);
+    }
+}

@@ -19,6 +19,29 @@ use bepi_sparse::{Coo, Csr, MemBytes, Result, SparseError};
 const DENSE_BLOCK_THRESHOLD: usize = 128;
 
 /// Inverted LU factors of a block-diagonal matrix.
+///
+/// Applying the factors ([`BlockLu::solve_vec`]) is two SpMVs whose row
+/// partitions respect the block structure, so the forward/backward solves
+/// parallelize per block through the row-partitioned SpMV kernel.
+///
+/// ```
+/// use bepi_solver::BlockLu;
+/// use bepi_sparse::Coo;
+///
+/// // Two diagonal blocks: [2.0] and [[4, 0], [1, 2]].
+/// let mut coo = Coo::new(3, 3).unwrap();
+/// coo.push(0, 0, 2.0).unwrap();
+/// coo.push(1, 1, 4.0).unwrap();
+/// coo.push(2, 1, 1.0).unwrap();
+/// coo.push(2, 2, 2.0).unwrap();
+/// let a = coo.to_csr();
+///
+/// let lu = BlockLu::factor(&a, &[1, 2]).unwrap();
+/// let x = lu.solve_vec(&[2.0, 4.0, 3.0]).unwrap(); // solves A x = b
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// assert!((x[2] - 1.0).abs() < 1e-12);
+/// ```
 #[derive(Debug, Clone)]
 pub struct BlockLu {
     /// Global `L1^{-1}` (unit-lower-triangular, block diagonal), CSR.
@@ -153,43 +176,44 @@ impl BlockLu {
                 actual: block_sizes.iter().sum(),
             });
         }
-        // Block start offsets.
+        // Block start offsets, plus a cumulative cost proxy (size³, the
+        // per-block factor cost of Theorems 1–3) for load balancing.
         let mut starts = Vec::with_capacity(block_sizes.len());
+        let mut cost_prefix = Vec::with_capacity(block_sizes.len() + 1);
+        cost_prefix.push(0usize);
         let mut acc = 0usize;
+        let mut cost = 0usize;
         for &s in block_sizes {
             starts.push(acc);
             acc += s;
+            cost = cost.saturating_add(s.saturating_mul(s).saturating_mul(s));
+            cost_prefix.push(cost);
         }
-        // Chunk blocks across threads; each returns per-block factor
-        // matrices in order.
-        let threads = threads.min(block_sizes.len());
-        let chunk = block_sizes.len().div_ceil(threads);
+        // Hand each thread a contiguous, cost-balanced run of blocks; each
+        // returns per-block factor matrices in block order.
+        let ranges = bepi_par::balanced_ranges(&cost_prefix, threads.min(block_sizes.len()));
         type BlockOut = Result<Vec<(usize, Csr, Csr)>>;
-        let results: Vec<BlockOut> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(block_sizes.len());
-                let starts = &starts;
-                handles.push(scope.spawn(move |_| -> BlockOut {
-                    let mut out = Vec::with_capacity(hi - lo);
-                    for bi in lo..hi {
-                        let start = starts[bi];
-                        let size = block_sizes[bi];
-                        let range = start..start + size;
-                        let block = a.slice_block(range.clone(), range)?;
-                        let single = Self::factor(&block, &[size])?;
-                        out.push((start, single.l_inv, single.u_inv));
+        let results: Vec<BlockOut> = bepi_par::par_join(
+            ranges
+                .iter()
+                .map(|r| {
+                    let r = r.clone();
+                    let starts = &starts;
+                    move || -> BlockOut {
+                        let mut out = Vec::with_capacity(r.len());
+                        for bi in r {
+                            let start = starts[bi];
+                            let size = block_sizes[bi];
+                            let range = start..start + size;
+                            let block = a.slice_block(range.clone(), range)?;
+                            let single = Self::factor(&block, &[size])?;
+                            out.push((start, single.l_inv, single.u_inv));
+                        }
+                        Ok(out)
                     }
-                    Ok(out)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("no panic"))
-                .collect()
-        })
-        .map_err(|_| SparseError::Numerical("block LU worker thread panicked".into()))?;
+                })
+                .collect(),
+        );
 
         let mut l_coo = bepi_sparse::Coo::with_capacity(n, n, a.nnz() + n)?;
         let mut u_coo = bepi_sparse::Coo::with_capacity(n, n, a.nnz() + n)?;

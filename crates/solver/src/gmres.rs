@@ -17,6 +17,25 @@ use bepi_sparse::vecops::{axpy, dot, norm2};
 use bepi_sparse::{Result, SparseError};
 
 /// GMRES configuration.
+///
+/// ```
+/// use bepi_solver::{gmres, GmresConfig};
+/// use bepi_sparse::Coo;
+///
+/// // Strictly diagonally dominant 2×2 system: [[4, 1], [1, 3]] x = [1, 2].
+/// let mut coo = Coo::new(2, 2).unwrap();
+/// coo.push(0, 0, 4.0).unwrap();
+/// coo.push(0, 1, 1.0).unwrap();
+/// coo.push(1, 0, 1.0).unwrap();
+/// coo.push(1, 1, 3.0).unwrap();
+/// let a = coo.to_csr();
+///
+/// let cfg = GmresConfig { tol: 1e-12, ..GmresConfig::default() };
+/// let sol = gmres(&a, &[1.0, 2.0], None, None, &cfg).unwrap();
+/// assert!(sol.converged);
+/// assert!((sol.x[0] - 1.0 / 11.0).abs() < 1e-9);
+/// assert!((sol.x[1] - 7.0 / 11.0).abs() < 1e-9);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GmresConfig {
     /// Relative residual tolerance ε (the paper uses `10^{-9}`).

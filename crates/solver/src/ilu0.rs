@@ -10,6 +10,25 @@ use crate::linop::Preconditioner;
 use bepi_sparse::{Csr, MemBytes, Result, SparseError};
 
 /// An ILU(0) factorization stored in the pattern of the input matrix.
+///
+/// ```
+/// use bepi_solver::{Ilu0, Preconditioner};
+/// use bepi_sparse::Coo;
+///
+/// // A triangular matrix has an *exact* ILU(0) factorization, so
+/// // applying the preconditioner solves the system outright.
+/// let mut coo = Coo::new(2, 2).unwrap();
+/// coo.push(0, 0, 2.0).unwrap();
+/// coo.push(1, 0, 1.0).unwrap();
+/// coo.push(1, 1, 4.0).unwrap();
+/// let a = coo.to_csr();
+///
+/// let ilu = Ilu0::factor(&a).unwrap();
+/// let mut x = vec![0.0; 2];
+/// ilu.apply(&[2.0, 5.0], &mut x); // solves L U x = b = A x
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Ilu0 {
     /// Combined factors in CSR: entries left of the diagonal form the

@@ -40,7 +40,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Index-based loops over multiple parallel arrays are the clearest (and
 // often fastest) idiom in the numerical kernels here; the iterator
 // rewrites clippy suggests obscure the subscript structure of the math.

@@ -4,15 +4,39 @@
 //! Algorithms 1 and 3 is a chain of sparse products; this row-wise kernel
 //! with a dense accumulator ("sparse accumulator" / SPA) is the standard
 //! way to compute them in `O(Σ flops)`.
+//!
+//! The parallel variant partitions output rows by the left operand's nnz
+//! prefix sums, runs the identical per-row Gustavson body on each range
+//! with a thread-private accumulator, and concatenates the per-range
+//! results in row order — so it is bit-identical to the serial kernel at
+//! any thread count.
 
 use crate::error::SparseError;
 use crate::{Csr, Result};
+
+/// Minimum `nnz(A)` before [`spgemm`] fans out to threads.
+const PAR_SPGEMM_MIN_NNZ: usize = 8_192;
 
 /// Computes `C = A * B` for CSR operands.
 ///
 /// Entries that cancel to exactly zero are kept out of the output, so
 /// `nnz(C)` reflects genuine structural fill.
+///
+/// Runs on [`bepi_par::get_threads`] threads when `A` is large enough to
+/// amortize the spawns; see [`spgemm_threads`] to pin the count.
 pub fn spgemm(a: &Csr, b: &Csr) -> Result<Csr> {
+    let threads = if a.nnz() < PAR_SPGEMM_MIN_NNZ {
+        1
+    } else {
+        bepi_par::get_threads()
+    };
+    spgemm_threads(a, b, threads)
+}
+
+/// [`spgemm`] with an explicit thread count, bypassing both the global
+/// knob and the size threshold (tests and benchmarks pin thread counts
+/// through this; `threads <= 1` is the serial kernel).
+pub fn spgemm_threads(a: &Csr, b: &Csr, threads: usize) -> Result<Csr> {
     if a.ncols() != b.nrows() {
         return Err(SparseError::ShapeMismatch {
             left: a.shape(),
@@ -22,8 +46,51 @@ pub fn spgemm(a: &Csr, b: &Csr) -> Result<Csr> {
     }
     let nrows = a.nrows();
     let ncols = b.ncols();
+    if threads <= 1 || nrows <= 1 {
+        let (row_ends, indices, values) = spgemm_rows(a, b, 0..nrows);
+        let mut indptr = Vec::with_capacity(nrows + 1);
+        indptr.push(0usize);
+        indptr.extend(row_ends);
+        return Ok(Csr::from_parts_unchecked(
+            nrows, ncols, indptr, indices, values,
+        ));
+    }
+    // Balance output rows by nnz(A) per row — a proxy for the flops each
+    // row of the product costs.
+    let ranges = bepi_par::balanced_ranges(a.indptr(), threads);
+    let parts = bepi_par::par_join(
+        ranges
+            .iter()
+            .map(|r| {
+                let r = r.clone();
+                move || spgemm_rows(a, b, r)
+            })
+            .collect::<Vec<_>>(),
+    );
+    // Concatenate in range order: offsets depend only on the partition,
+    // never on completion order.
     let mut indptr = Vec::with_capacity(nrows + 1);
     indptr.push(0usize);
+    let total: usize = parts.iter().map(|(_, idx, _)| idx.len()).sum();
+    let mut indices: Vec<u32> = Vec::with_capacity(total);
+    let mut values: Vec<f64> = Vec::with_capacity(total);
+    for (row_ends, part_indices, part_values) in parts {
+        let base = indices.len();
+        indptr.extend(row_ends.iter().map(|e| base + e));
+        indices.extend_from_slice(&part_indices);
+        values.extend_from_slice(&part_values);
+    }
+    Ok(Csr::from_parts_unchecked(
+        nrows, ncols, indptr, indices, values,
+    ))
+}
+
+/// The Gustavson row body over `rows`, with a private sparse accumulator.
+/// Returns per-row cumulative nnz (relative to the range start) plus the
+/// concatenated column indices and values for those rows.
+fn spgemm_rows(a: &Csr, b: &Csr, rows: std::ops::Range<usize>) -> (Vec<usize>, Vec<u32>, Vec<f64>) {
+    let ncols = b.ncols();
+    let mut row_ends = Vec::with_capacity(rows.len());
     let mut indices: Vec<u32> = Vec::new();
     let mut values: Vec<f64> = Vec::new();
 
@@ -32,7 +99,7 @@ pub fn spgemm(a: &Csr, b: &Csr) -> Result<Csr> {
     let mut mark = vec![false; ncols];
     let mut touched: Vec<u32> = Vec::new();
 
-    for i in 0..nrows {
+    for i in rows {
         touched.clear();
         for (k, aik) in a.row_iter(i) {
             if aik == 0.0 {
@@ -59,9 +126,9 @@ pub fn spgemm(a: &Csr, b: &Csr) -> Result<Csr> {
                 values.push(v);
             }
         }
-        indptr.push(indices.len());
+        row_ends.push(indices.len());
     }
-    Csr::from_parts(nrows, ncols, indptr, indices, values)
+    (row_ends, indices, values)
 }
 
 /// Computes the triple product `A * B * C` left to right, returning the
@@ -180,5 +247,38 @@ mod tests {
         let a = Csr::zeros(3, 3);
         let b = Csr::identity(3);
         assert_eq!(spgemm(&a, &b).unwrap().nnz(), 0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let a = m(
+            &[
+                (0, 0, 1.5),
+                (0, 3, -2.0),
+                (1, 1, 0.5),
+                (2, 0, 1.0),
+                (2, 2, 2.0),
+                (3, 3, -1.0),
+                (4, 0, 0.25),
+                (4, 4, 1.0),
+            ],
+            (5, 5),
+        );
+        let b = m(
+            &[
+                (0, 1, 2.0),
+                (1, 1, -1.0),
+                (2, 3, 4.0),
+                (3, 0, 0.5),
+                (3, 2, 3.0),
+                (4, 4, -2.5),
+            ],
+            (5, 5),
+        );
+        let serial = spgemm_threads(&a, &b, 1).unwrap();
+        for t in [2, 3, 8] {
+            assert_eq!(spgemm_threads(&a, &b, t).unwrap(), serial);
+        }
+        serial.check_invariants().unwrap();
     }
 }

@@ -196,4 +196,88 @@ proptest! {
         }
         prop_assert_eq!(idx.len(), k.min(scores.len()));
     }
+
+    // The parallel kernels partition rows and run the same serial body per
+    // partition, so they must agree with the serial path bit-for-bit — not
+    // merely within tolerance — at every thread count.
+    #[test]
+    fn parallel_spmv_is_bit_identical(coo in coo_strategy(40, 400), seed in 0u64..1000) {
+        let csr = coo.to_csr();
+        let x: Vec<f64> = (0..csr.ncols())
+            .map(|i| ((seed as f64) * 0.61 + i as f64 * 0.93).sin())
+            .collect();
+        let mut serial = vec![0.0f64; csr.nrows()];
+        csr.mul_vec_into_threads(&x, &mut serial, 1).unwrap();
+        for threads in [2usize, 3, 8] {
+            let mut par = vec![0.0f64; csr.nrows()];
+            csr.mul_vec_into_threads(&x, &mut par, threads).unwrap();
+            for (r, (a, b)) in serial.iter().zip(&par).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "spmv row {} differs at {} threads", r, threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_spgemm_is_bit_identical(pair in pair_strategy(24, 160)) {
+        let (a, b) = pair;
+        let serial = spgemm::spgemm_threads(&a, &b, 1).unwrap();
+        for threads in [2usize, 3, 8] {
+            let par = spgemm::spgemm_threads(&a, &b, threads).unwrap();
+            par.check_invariants().unwrap();
+            prop_assert_eq!(&par, &serial, "spgemm differs at {} threads", threads);
+        }
+    }
+}
+
+/// Directed skew cases the random strategies rarely hit: rows with no
+/// entries at all, and one row holding almost every nonzero (the balanced
+/// partitioner then assigns most threads a single row or an empty range).
+#[test]
+fn parallel_kernels_bit_identical_on_skewed_shapes() {
+    let n = 64usize;
+
+    // Shape 1: every row empty except the last.
+    let mut tail = Coo::new(n, n).unwrap();
+    for c in 0..n {
+        tail.push(n - 1, c, (c as f64 * 0.17).sin() + 0.01).unwrap();
+    }
+
+    // Shape 2: one row dominates (n·4 entries), the rest hold one each,
+    // with a band of fully empty rows in the middle.
+    let mut skew = Coo::new(n, n).unwrap();
+    for k in 0..4 * n {
+        skew.push(7, k % n, (k as f64 * 0.31).cos()).unwrap();
+    }
+    for r in 0..n {
+        if !(20..40).contains(&r) && r != 7 {
+            skew.push(r, (r * 3) % n, 1.0 + r as f64 * 0.05).unwrap();
+        }
+    }
+
+    for coo in [tail, skew] {
+        let m = coo.to_csr();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.77).cos()).collect();
+        let mut serial = vec![0.0f64; n];
+        m.mul_vec_into_threads(&x, &mut serial, 1).unwrap();
+        let gram_serial = spgemm::spgemm_threads(&m, &m, 1).unwrap();
+        for threads in [2usize, 3, 8, 64] {
+            let mut par = vec![0.0f64; n];
+            m.mul_vec_into_threads(&x, &mut par, threads).unwrap();
+            assert!(
+                serial
+                    .iter()
+                    .zip(&par)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "skewed spmv differs at {threads} threads"
+            );
+            let gram_par = spgemm::spgemm_threads(&m, &m, threads).unwrap();
+            assert_eq!(
+                gram_par, gram_serial,
+                "skewed spgemm differs at {threads} threads"
+            );
+        }
+    }
 }

@@ -21,6 +21,14 @@ cargo build "${CARGO_FLAGS[@]}" --release
 echo "==> cargo test"
 cargo test "${CARGO_FLAGS[@]}" -q
 
+# Documentation gates: the numeric substrate (bepi-sparse, bepi-solver)
+# denies missing docs at compile time; this step additionally fails on
+# rustdoc warnings (broken intra-doc links etc.) and runs every doctest,
+# so the examples on Csr/Gmres/Ilu0/BlockLu can't rot.
+echo "==> cargo doc (warnings denied) + doctests"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -p bepi-sparse -p bepi-solver
+cargo test --offline --workspace --doc -q
+
 # The WAL crash-recovery contract is load-bearing for the live-update
 # subsystem, so CI exercises it explicitly (SIGKILL mid-stream + restart
 # on the same --wal, and the corrupted-trailer fixture) even though it is
@@ -74,5 +82,14 @@ done
 exec 9>&-   # stdin EOF → graceful shutdown
 wait "$OBS_PID"
 OBS_PID=""
+
+# Bench-harness smoke: the quick preset must run end to end and emit a
+# schema-valid bepi-bench/v1 artifact (validated by the in-tree checker),
+# so `bepi bench` and BENCH_*.json consumers cannot drift apart.
+echo "==> bench smoke (bepi bench --quick + bench_check)"
+BENCH_TMP=$(mktemp -d)
+./target/release/bepi bench --quick --out "$BENCH_TMP/BENCH_PR4.json"
+./target/release/bench_check "$BENCH_TMP/BENCH_PR4.json"
+rm -rf "$BENCH_TMP"
 
 echo "==> ci OK"
