@@ -79,7 +79,43 @@ pub struct ThreadRun {
     pub gmres_iters: f64,
     /// Process peak RSS (`VmHWM`) after this run, bytes; 0 where
     /// unavailable. Monotonic over the process lifetime.
+    ///
+    /// Caveat: under `--mmap` serving this **over-reports** the index's
+    /// real memory cost. `VmHWM` is the high-water mark of resident
+    /// pages and counts file-backed mapped pages the same as heap pages,
+    /// even though the kernel can drop mapped pages at any time and
+    /// share them across processes. For mapped indexes prefer the RSS
+    /// *delta* across the load (`bepi stats <index> --mmap`) or the
+    /// `bepi_index_mapped_bytes` vs `bepi_index_heap_bytes` gauges.
     pub peak_rss_bytes: u64,
+}
+
+/// Open→first-query latency of one index-loading mode (heap or mapped).
+#[derive(Debug, Clone)]
+pub struct ColdStartMode {
+    /// Opening + decoding the index file, seconds. For the mapped path
+    /// this is `mmap` + section-table validation — O(#sections), not
+    /// O(index bytes) — so it stays flat as the index grows.
+    pub open_s: f64,
+    /// The first query on the freshly opened index, seconds. The mapped
+    /// path pays its page faults here.
+    pub first_query_s: f64,
+}
+
+/// Cold-start comparison for one dataset: the same v6 index opened on
+/// the heap vs memory-mapped (paper §Memory Efficiency — serving without
+/// materializing the index). Measured in-process right after writing the
+/// file, so the page cache is warm: this isolates decode/validation cost
+/// from disk I/O.
+#[derive(Debug, Clone)]
+pub struct ColdStart {
+    /// Size of the measured v6 index file, bytes.
+    pub index_bytes: u64,
+    /// Full heap load (every payload CRC verified, arrays copied out).
+    pub heap: ColdStartMode,
+    /// Zero-copy mapped open (table + META validated eagerly, payload
+    /// pages faulted in on first use).
+    pub mmap: ColdStartMode,
 }
 
 /// All thread runs for one dataset.
@@ -93,6 +129,9 @@ pub struct DatasetReport {
     pub m: usize,
     /// One entry per configured thread count, in order.
     pub runs: Vec<ThreadRun>,
+    /// Cold-start (open→first-query) comparison over a persisted v6
+    /// index, heap vs mapped. `None` in artifacts from older drivers.
+    pub cold_start: Option<ColdStart>,
 }
 
 impl DatasetReport {
@@ -159,6 +198,7 @@ pub fn run(cfg: &PerfConfig) -> bepi_sparse::Result<PerfReport> {
             ..BePiConfig::default()
         };
         let mut runs = Vec::with_capacity(cfg.thread_counts.len());
+        let mut last_bepi = None;
         for &t in &cfg.thread_counts {
             bepi_par::set_threads(t);
 
@@ -191,12 +231,24 @@ pub fn run(cfg: &PerfConfig) -> bepi_sparse::Result<PerfReport> {
                 gmres_iters,
                 peak_rss_bytes: peak_rss_bytes(),
             });
+            last_bepi = Some(bepi);
         }
+        // Preprocessing is thread-count-deterministic, so any run's
+        // index stands in for all of them in the cold-start comparison.
+        bepi_par::set_threads(1);
+        let cold_start = match &last_bepi {
+            Some(bepi) => Some(measure_cold_start(
+                bepi,
+                seeds.first().copied().unwrap_or(0),
+            )?),
+            None => None,
+        };
         datasets.push(DatasetReport {
             dataset: spec.name.to_string(),
             n: g.n(),
             m: g.m(),
             runs,
+            cold_start,
         });
     }
     bepi_par::set_threads(0);
@@ -206,6 +258,54 @@ pub fn run(cfg: &PerfConfig) -> bepi_sparse::Result<PerfReport> {
         seeds: cfg.seeds,
         datasets,
     })
+}
+
+/// Writes `bepi` to a temporary v6 index and times open→first-query for
+/// the heap loader and the mapped loader, verifying along the way that
+/// the two paths return bit-identical scores (the `--mmap` acceptance
+/// bar). The temp file is removed before returning.
+fn measure_cold_start(bepi: &BePi, seed: usize) -> bepi_sparse::Result<ColdStart> {
+    use bepi_core::persist;
+    let tmp =
+        std::env::temp_dir().join(format!("bepi-bench-coldstart-{}.bepi", std::process::id()));
+    let result = (|| {
+        persist::save_file_v6(bepi, None, &tmp)?;
+        let index_bytes = std::fs::metadata(&tmp)?.len();
+
+        let t0 = Instant::now();
+        let (heap_bepi, _) = persist::load_file_with_graph(&tmp)?;
+        let heap_open_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let heap_scores = heap_bepi.query(seed)?.scores;
+        let heap_query_s = t1.elapsed().as_secs_f64();
+        drop(heap_bepi);
+
+        let t2 = Instant::now();
+        let (mapped_bepi, _) = persist::load_mapped_file(&tmp)?;
+        let mmap_open_s = t2.elapsed().as_secs_f64();
+        let t3 = Instant::now();
+        let mmap_scores = mapped_bepi.query(seed)?.scores;
+        let mmap_query_s = t3.elapsed().as_secs_f64();
+
+        if heap_scores != mmap_scores {
+            return Err(bepi_sparse::SparseError::Parse(
+                "cold-start check: mapped index scores diverge from heap load".to_string(),
+            ));
+        }
+        Ok(ColdStart {
+            index_bytes,
+            heap: ColdStartMode {
+                open_s: heap_open_s,
+                first_query_s: heap_query_s,
+            },
+            mmap: ColdStartMode {
+                open_s: mmap_open_s,
+                first_query_s: mmap_query_s,
+            },
+        })
+    })();
+    std::fs::remove_file(&tmp).ok();
+    result
 }
 
 /// Renders the human-readable scaling table.
@@ -243,6 +343,18 @@ pub fn render_table(report: &PerfReport) -> String {
             ]);
         }
         out.push_str(&table.render());
+        if let Some(cs) = &ds.cold_start {
+            let _ = writeln!(
+                out,
+                "cold start (v6 index, {}): heap open {} + query {}; \
+                 mmap open {} + query {}",
+                bepi_sparse::mem::format_bytes(cs.index_bytes as usize),
+                crate::table::fmt_secs(cs.heap.open_s),
+                crate::table::fmt_secs(cs.heap.first_query_s),
+                crate::table::fmt_secs(cs.mmap.open_s),
+                crate::table::fmt_secs(cs.mmap.first_query_s),
+            );
+        }
     }
     out
 }
@@ -284,7 +396,24 @@ pub fn to_json(report: &PerfReport) -> String {
             );
             out.push_str(if j + 1 < ds.runs.len() { "},\n" } else { "}\n" });
         }
-        out.push_str("      ]\n");
+        out.push_str("      ]");
+        if let Some(cs) = &ds.cold_start {
+            out.push_str(",\n      \"cold_start\": {");
+            let _ = write!(
+                out,
+                "\"index_bytes\": {}, \
+                 \"heap_open_s\": {:.9}, \"heap_first_query_s\": {:.9}, \
+                 \"mmap_open_s\": {:.9}, \"mmap_first_query_s\": {:.9}",
+                cs.index_bytes,
+                cs.heap.open_s,
+                cs.heap.first_query_s,
+                cs.mmap.open_s,
+                cs.mmap.first_query_s
+            );
+            out.push_str("}\n");
+        } else {
+            out.push('\n');
+        }
         out.push_str(if i + 1 < report.datasets.len() {
             "    },\n"
         } else {
@@ -373,6 +502,29 @@ pub fn validate_json(text: &str) -> std::result::Result<(), String> {
             return Err(format!(
                 "dataset {i}: no 1-thread base run (speedups need a base)"
             ));
+        }
+        // cold_start is optional (absent in artifacts from drivers that
+        // predate the v6 format) but must be complete when present.
+        if let Some(cs) = json::get(ds, "cold_start") {
+            let cs = cs
+                .as_object()
+                .ok_or_else(|| format!("dataset {i}: \"cold_start\" must be an object"))?;
+            for key in [
+                "index_bytes",
+                "heap_open_s",
+                "heap_first_query_s",
+                "mmap_open_s",
+                "mmap_first_query_s",
+            ] {
+                let v = json::get(cs, key)
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("dataset {i}: cold_start missing numeric \"{key}\""))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!(
+                        "dataset {i}: cold_start \"{key}\" must be finite and non-negative"
+                    ));
+                }
+            }
         }
     }
     Ok(())
@@ -645,6 +797,17 @@ mod tests {
                         peak_rss_bytes: 1 << 20,
                     },
                 ],
+                cold_start: Some(ColdStart {
+                    index_bytes: 4096,
+                    heap: ColdStartMode {
+                        open_s: 0.010,
+                        first_query_s: 0.002,
+                    },
+                    mmap: ColdStartMode {
+                        open_s: 0.0001,
+                        first_query_s: 0.003,
+                    },
+                }),
             }],
         }
     }
@@ -674,6 +837,12 @@ mod tests {
         assert!(validate_json(&no_base).is_err());
         let dropped = to_json(&tiny_report()).replace("\"gmres_iters\": 9.00, ", "");
         assert!(validate_json(&dropped).is_err());
+        // cold_start is optional as a whole but all-or-nothing inside.
+        let mut no_cold = tiny_report();
+        no_cold.datasets[0].cold_start = None;
+        validate_json(&to_json(&no_cold)).unwrap();
+        let partial = to_json(&tiny_report()).replace("\"mmap_open_s\": 0.000100000, ", "");
+        assert!(validate_json(&partial).is_err());
     }
 
     #[test]
@@ -708,6 +877,12 @@ mod tests {
         let report = run(&cfg).unwrap();
         assert_eq!(report.datasets.len(), 1);
         assert_eq!(report.datasets[0].runs.len(), 2);
+        let cs = report.datasets[0]
+            .cold_start
+            .as_ref()
+            .expect("cold-start measured");
+        assert!(cs.index_bytes > 0);
+        assert!(cs.heap.open_s > 0.0 && cs.mmap.open_s > 0.0);
         // Iterations must not depend on the thread count (determinism).
         let iters: Vec<f64> = report.datasets[0]
             .runs

@@ -24,6 +24,8 @@ struct Options {
     labels: bool,
     embed_graph: bool,
     threads: Option<usize>,
+    format: Option<u32>,
+    mmap: bool,
 }
 
 impl Default for Options {
@@ -38,7 +40,18 @@ impl Default for Options {
             labels: false,
             embed_graph: false,
             threads: None,
+            format: None,
+            mmap: false,
         }
+    }
+}
+
+fn parse_format(value: &str) -> Result<u32, String> {
+    match value.trim_start_matches('v') {
+        "4" => Ok(4),
+        "5" => Ok(5),
+        "6" => Ok(6),
+        _ => Err(format!("bad --format: {value} (expected v4, v5 or v6)")),
     }
 }
 
@@ -60,11 +73,14 @@ const USAGE: &str = "usage:
   bepi query      <edges.txt> <seed> [--top K] [common flags]
   bepi ppr        <edges.txt> <seed:weight> [<seed:weight> ...] [--top K] [common flags]
   bepi community  <edges.txt> <seed> [--max-size N] [common flags]
-  bepi stats      <edges.txt> [common flags]
+  bepi stats      <edges.txt|index.bepi> [--mmap] [common flags]
   bepi select-k   <edges.txt> [--c C]
-  bepi preprocess <edges.txt> <out.bepi> [--embed-graph] [common flags]
-  bepi serve      <index.bepi> <seed> [--top K]          (one-shot query)
-  bepi serve      <index.bepi> --listen ADDR [--threads N] [--cache-entries M]
+  bepi preprocess <edges.txt> <out.bepi> [--embed-graph] [--format V] [common flags]
+  bepi convert    <in.bepi> <out.bepi> [--format V]      (re-encode an index;
+                  default target v6, written atomically via temp + rename)
+  bepi serve      <index.bepi> <seed> [--top K] [--mmap] (one-shot query)
+  bepi serve      <index.bepi> --listen ADDR [--mmap] [--threads N]
+                  [--cache-entries M]
                   [--queue-depth Q] [--timeout-ms T] [--slow-query-ms S]
                   [--wal PATH] [--auto-flush N] [--graph edges.txt]
                   [--checkpoint PATH]
@@ -89,8 +105,17 @@ common flags:
                    integers. Only for commands that read an edge list;
                    preprocess and serve require integer ids because the
                    label mapping is not stored in the .bepi index.
-  --embed-graph    preprocess: also store the adjacency inside the index
-                   (format v3), making it live-update capable when served
+  --embed-graph    preprocess: also store the adjacency inside the index,
+                   making it live-update capable when served
+  --format V       preprocess/convert: index format version — v4 (streamed),
+                   v5 (streamed + embedded graph), v6 (memory-mappable
+                   section container; persists the ILU factors, supports
+                   --mmap serving). Default: v4, or v5 with --embed-graph;
+                   convert defaults to v6
+  --mmap           serve/stats: open a v6 index as a shared read-only memory
+                   map and serve zero-copy from the page cache (instant
+                   startup, index pages shared across processes). Pre-v6
+                   indexes fall back to a heap load with a warning
 
 bench flags:
   --quick          smoke preset: smallest anchor graph, threads 1 and 2,
@@ -100,7 +125,7 @@ bench flags:
   --threads-list L comma-separated kernel-thread counts to sweep; must
                    include 1, the speedup base (default 1,2,4,8)
   --out PATH       where to write the JSON artifact (schema bepi-bench/v1,
-                   default BENCH_PR4.json)
+                   default BENCH_PR5.json)
 
 serve daemon flags (with --listen):
   --listen ADDR    bind address, e.g. 127.0.0.1:7462 (port 0 picks an
@@ -198,6 +223,12 @@ fn run() -> Result<(), String> {
             let opts = parse_opts(rest)?;
             cmd_preprocess(path, out, &opts)
         }
+        "convert" => {
+            let (input, rest) = rest.split_first().ok_or("missing input index path")?;
+            let (out, rest) = rest.split_first().ok_or("missing output index path")?;
+            let opts = parse_opts(rest)?;
+            cmd_convert(input, out, &opts)
+        }
         "serve" => {
             let (index, rest) = rest.split_first().ok_or("missing index path")?;
             if rest.first().is_some_and(|a| a.starts_with("--")) {
@@ -235,6 +266,11 @@ fn parse_opts(mut rest: &[String]) -> Result<Options, String> {
             rest = tail;
             continue;
         }
+        if flag == "--mmap" {
+            o.mmap = true;
+            rest = tail;
+            continue;
+        }
         let (value, tail) = tail
             .split_first()
             .ok_or_else(|| format!("flag {flag} needs a value"))?;
@@ -250,6 +286,7 @@ fn parse_opts(mut rest: &[String]) -> Result<Options, String> {
                         .map_err(|_| format!("bad --max-size: {value}"))?,
                 )
             }
+            "--format" => o.format = Some(parse_format(value)?),
             "--variant" => {
                 o.variant = match value.as_str() {
                     "full" => BePiVariant::Full,
@@ -411,7 +448,107 @@ fn cmd_community(path: &str, seed_s: &str, o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// True when `path` starts with the 4-byte `.bepi` index magic, so
+/// `bepi stats` can accept either an edge list or a saved index.
+fn is_index_file(path: &str) -> bool {
+    use std::io::Read as _;
+    let mut magic = [0u8; 4];
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_exact(&mut magic))
+        .map(|()| &magic == b"BEPI")
+        .unwrap_or(false)
+}
+
+/// Best-effort resident-set size of this process. Prefers
+/// `/proc/self/smaps_rollup` (kernel-summed Rss) and falls back to
+/// `VmRSS` in `/proc/self/status`; `None` off Linux.
+fn resident_bytes() -> Option<usize> {
+    fn scan(text: &str, key: &str) -> Option<usize> {
+        text.lines().find_map(|l| {
+            let rest = l.strip_prefix(key)?;
+            let kb: usize = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            Some(kb * 1024)
+        })
+    }
+    if let Ok(text) = std::fs::read_to_string("/proc/self/smaps_rollup") {
+        if let Some(b) = scan(&text, "Rss:") {
+            return Some(b);
+        }
+    }
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|t| scan(&t, "VmRSS:"))
+}
+
+/// Per-section physical memory of a loaded index: heap bytes vs bytes
+/// served zero-copy from the mapped file (the paper's Table 5 "memory
+/// usage" axis, split by backing).
+fn print_memory_report(solver: &BePi) {
+    println!("--- index memory by section ---");
+    println!("{:<10} {:>12} {:>12}", "section", "heap", "mapped");
+    let (mut heap, mut mapped) = (0usize, 0usize);
+    for s in solver.memory_report() {
+        heap += s.heap_bytes;
+        mapped += s.mapped_bytes;
+        println!(
+            "{:<10} {:>12} {:>12}",
+            s.name,
+            format_bytes(s.heap_bytes),
+            format_bytes(s.mapped_bytes)
+        );
+    }
+    println!(
+        "{:<10} {:>12} {:>12}",
+        "total",
+        format_bytes(heap),
+        format_bytes(mapped)
+    );
+}
+
+/// `bepi stats` on a saved index: format, backing, and the memory
+/// report. The resident estimate is the RSS delta across the load, so
+/// a mapped index shows only the pages actually touched — unlike
+/// `VmHWM`-style peak counters, which charge every mapped page that was
+/// ever resident.
+fn cmd_index_stats(path: &str, o: &Options) -> Result<(), String> {
+    let version = bepi_core::persist::file_format_version(path).map_err(|e| e.to_string())?;
+    let rss_before = resident_bytes();
+    let (solver, graph, mapped) = load_index(path, o.mmap)?;
+    let rss_after = resident_bytes();
+    let s = solver.stats();
+    println!("index            {path}");
+    println!("format           v{version}");
+    println!(
+        "backing          {}",
+        if mapped { "memory-mapped" } else { "heap" }
+    );
+    println!("nodes            {}", solver.node_count());
+    println!("n1 / n2 / n3     {} / {} / {}", s.n1, s.n2, s.n3);
+    println!("H11 blocks       {}", s.num_blocks);
+    println!("|S|              {}", s.s_nnz);
+    println!(
+        "embedded graph   {}",
+        match &graph {
+            Some(g) => format!("yes ({} edges)", g.m()),
+            None => "no".into(),
+        }
+    );
+    print_memory_report(&solver);
+    if let (Some(before), Some(after)) = (rss_before, rss_after) {
+        println!(
+            "resident (load delta)  {}",
+            format_bytes(after.saturating_sub(before))
+        );
+    }
+    Ok(())
+}
+
 fn cmd_stats(path: &str, o: &Options) -> Result<(), String> {
+    // `stats` takes either an edge list or a saved `.bepi` index,
+    // told apart by the index magic.
+    if is_index_file(path) {
+        return cmd_index_stats(path, o);
+    }
     let loaded = load(path, o)?;
     let g = &loaded.graph;
     let stats = bepi_graph::stats::graph_stats(g);
@@ -472,6 +609,34 @@ fn cmd_select_k(path: &str, o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Persists `solver` to `out` in the requested format version.
+fn save_index(
+    solver: &BePi,
+    graph: Option<&Graph>,
+    out: &str,
+    format: u32,
+    embed_graph: bool,
+) -> Result<(), String> {
+    use bepi_core::persist;
+    match (format, embed_graph) {
+        (4, false) => persist::save_file(solver, out).map_err(|e| e.to_string()),
+        (4, true) => Err("--format v4 cannot embed the graph (use v5 or v6)".into()),
+        (5, _) => {
+            let g = graph.ok_or("--format v5 always embeds the graph, but none is available")?;
+            persist::save_file_with_graph(solver, g, out).map_err(|e| e.to_string())
+        }
+        (6, embed) => {
+            let g = if embed {
+                Some(graph.ok_or("--embed-graph requested but no graph is available")?)
+            } else {
+                None
+            };
+            persist::save_file_v6(solver, g, out).map_err(|e| e.to_string())
+        }
+        (v, _) => Err(format!("unsupported --format v{v}")),
+    }
+}
+
 fn cmd_preprocess(path: &str, out: &str, o: &Options) -> Result<(), String> {
     if o.labels {
         return Err("preprocess/serve work with integer node ids (the label \
@@ -480,14 +645,19 @@ fn cmd_preprocess(path: &str, out: &str, o: &Options) -> Result<(), String> {
     }
     let loaded = load(path, o)?;
     let solver = preprocess(&loaded.graph, o)?;
-    if o.embed_graph {
-        bepi_core::persist::save_file_with_graph(&solver, &loaded.graph, out)
-            .map_err(|e| e.to_string())?;
-    } else {
-        bepi_core::persist::save_file(&solver, out).map_err(|e| e.to_string())?;
-    }
+    // Default format: v4, or v5 when the graph rides along.
+    let format = o.format.unwrap_or(if o.embed_graph { 5 } else { 4 });
+    // v5 always embeds; for v6 the graph is optional and follows the flag.
+    let embed = o.embed_graph || format == 5;
+    save_index(
+        &solver,
+        Some(&loaded.graph),
+        out,
+        format,
+        embed && format != 5,
+    )?;
     println!(
-        "preprocessed {} nodes / {} edges into {out} ({}{})",
+        "preprocessed {} nodes / {} edges into {out} (format v{format}, {}{})",
         loaded.graph.n(),
         loaded.graph.m(),
         format_bytes(
@@ -495,7 +665,7 @@ fn cmd_preprocess(path: &str, out: &str, o: &Options) -> Result<(), String> {
                 .map(|m| m.len() as usize)
                 .unwrap_or(0)
         ),
-        if o.embed_graph {
+        if embed {
             ", graph embedded: live-update capable"
         } else {
             ""
@@ -503,6 +673,68 @@ fn cmd_preprocess(path: &str, out: &str, o: &Options) -> Result<(), String> {
     );
     print_phase_table(&solver.stats().phases);
     Ok(())
+}
+
+/// Re-encodes an existing index in another format version (default v6).
+/// The output is written to a temporary file in the destination
+/// directory and atomically renamed into place, so a crash mid-convert
+/// leaves the source untouched and never a half-written destination.
+fn cmd_convert(input: &str, out: &str, o: &Options) -> Result<(), String> {
+    let source_version =
+        bepi_core::persist::file_format_version(input).map_err(|e| e.to_string())?;
+    let (solver, graph) =
+        bepi_core::persist::load_file_with_graph(input).map_err(|e| e.to_string())?;
+    let format = o.format.unwrap_or(6);
+    let tmp = format!("{out}.tmp.{}", std::process::id());
+    let embed = graph.is_some();
+    save_index(&solver, graph.as_ref(), &tmp, format, embed).map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        e
+    })?;
+    std::fs::rename(&tmp, out).map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        format!("renaming {tmp} into place: {e}")
+    })?;
+    println!(
+        "converted {input} (v{source_version}) -> {out} (v{format}, {}{})",
+        format_bytes(
+            std::fs::metadata(out)
+                .map(|m| m.len() as usize)
+                .unwrap_or(0)
+        ),
+        if embed {
+            ", graph embedded"
+        } else {
+            "no embedded graph"
+        }
+    );
+    Ok(())
+}
+
+/// Loads an index for serving, honoring `--mmap`: v6 files are opened as
+/// a shared read-only mapping; older formats fall back to a heap load
+/// with a logged warning. Returns whether the mapped path was taken.
+fn load_index(index: &str, mmap: bool) -> Result<(BePi, Option<Graph>, bool), String> {
+    use bepi_core::persist;
+    if mmap {
+        let version = persist::file_format_version(index).map_err(|e| e.to_string())?;
+        if version >= 6 {
+            let (solver, graph) = persist::load_mapped_file(index).map_err(|e| e.to_string())?;
+            return Ok((solver, graph, true));
+        }
+        bepi_obs::warn!(
+            "index",
+            "non-mappable index format, falling back to heap load",
+            path = index,
+            version = version
+        );
+        eprintln!(
+            "warning: {index} is format v{version}, not mappable; loading on the heap \
+             (convert to v6 for --mmap serving)"
+        );
+    }
+    let (solver, graph) = persist::load_file_with_graph(index).map_err(|e| e.to_string())?;
+    Ok((solver, graph, false))
 }
 
 fn cmd_bench(flags: &[String]) -> Result<(), String> {
@@ -515,7 +747,7 @@ fn cmd_bench(flags: &[String]) -> Result<(), String> {
     } else {
         perf::PerfConfig::full()
     };
-    let mut out_path = String::from("BENCH_PR4.json");
+    let mut out_path = String::from("BENCH_PR5.json");
     let mut rest = flags;
     while let Some((flag, tail)) = rest.split_first() {
         if flag == "--quick" {
@@ -578,8 +810,14 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
     let mut graph_path: Option<String> = None;
     let mut checkpoint: Option<String> = None;
     let mut auto_flush: usize = 0;
+    let mut mmap = false;
     let mut rest = flags;
     while let Some((flag, tail)) = rest.split_first() {
+        if flag == "--mmap" {
+            mmap = true;
+            rest = tail;
+            continue;
+        }
         let (value, tail) = tail
             .split_first()
             .ok_or_else(|| format!("flag {flag} needs a value"))?;
@@ -632,8 +870,7 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
     }
     cfg.listen = listen.ok_or("daemon mode needs --listen ADDR")?;
 
-    let (solver, embedded) =
-        bepi_core::persist::load_file_with_graph(index).map_err(|e| e.to_string())?;
+    let (solver, embedded, mapped) = load_index(index, mmap)?;
     let nodes = solver.node_count();
     let solver_config = *solver.config();
 
@@ -677,6 +914,9 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
                     auto_flush_threshold: auto_flush,
                     wal_path: wal.as_ref().map(PathBuf::from),
                     checkpoint_path,
+                    // --mmap also upgrades checkpoints to the mappable
+                    // v6 format and re-maps them after each rebuild.
+                    mmap_checkpoints: mmap,
                 },
             )
             .map_err(|e| e.to_string())?
@@ -695,10 +935,11 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
     let version = engine.version();
     let handle = Server::start_live(engine, &cfg).map_err(|e| e.to_string())?;
     println!(
-        "bepi-server listening on http://{} ({} nodes; cache {} entries, \
+        "bepi-server listening on http://{} ({} nodes, {} index; cache {} entries, \
          queue depth {}, timeout {:?}; {}, graph version {})",
         handle.local_addr(),
         nodes,
+        if mapped { "memory-mapped" } else { "heap" },
         cfg.cache_entries,
         cfg.queue_depth,
         cfg.timeout,
@@ -728,7 +969,13 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(index: &str, seed_s: &str, o: &Options) -> Result<(), String> {
-    let solver = bepi_core::persist::load_file(index).map_err(|e| e.to_string())?;
+    let (solver, _graph, mapped) = load_index(index, o.mmap)?;
+    if mapped {
+        // One-shot queries have no startup-latency story, so run the
+        // payload CRC pass the zero-copy open skips: a corrupt section
+        // becomes a typed error here instead of a solver panic below.
+        bepi_core::persist::verify_mapped_file(index).map_err(|e| e.to_string())?;
+    }
     let seed: usize = seed_s
         .parse()
         .map_err(|_| format!("bad node id: {seed_s}"))?;
@@ -738,8 +985,9 @@ fn cmd_serve(index: &str, seed_s: &str, o: &Options) -> Result<(), String> {
         indexer: None,
     };
     println!(
-        "# loaded index of {} nodes, seed {}, {} inner iterations",
+        "# loaded index of {} nodes ({}), seed {}, {} inner iterations",
         solver.node_count(),
+        if mapped { "memory-mapped" } else { "heap" },
         seed_s,
         r.iterations
     );

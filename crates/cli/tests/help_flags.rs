@@ -80,6 +80,7 @@ fn help_lists_every_subcommand_dispatched() {
         "stats",
         "select-k",
         "preprocess",
+        "convert",
         "serve",
         "bench",
         "help",

@@ -185,6 +185,25 @@ impl BuiltPrecond {
     }
 }
 
+impl BuiltPrecond {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            BuiltPrecond::None => 0,
+            BuiltPrecond::Ilu(m) => m.heap_bytes(),
+            // Jacobi / Neumann are always recomputed on load, never mapped.
+            BuiltPrecond::Jacobi(m) => m.mem_bytes(),
+            BuiltPrecond::Neumann(m) => m.mem_bytes(),
+        }
+    }
+
+    fn mapped_bytes(&self) -> usize {
+        match self {
+            BuiltPrecond::Ilu(m) => m.mapped_bytes(),
+            _ => 0,
+        }
+    }
+}
+
 impl MemBytes for BuiltPrecond {
     fn mem_bytes(&self) -> usize {
         match self {
@@ -194,6 +213,43 @@ impl MemBytes for BuiltPrecond {
             BuiltPrecond::Neumann(m) => m.mem_bytes(),
         }
     }
+}
+
+/// One component of an index's physical memory split
+/// (see [`BePi::memory_report`]).
+#[derive(Debug, Clone)]
+pub struct MemorySection {
+    /// Component name (`perm`, `l1_inv`, `schur`, …).
+    pub name: &'static str,
+    /// Bytes held on the process heap.
+    pub heap_bytes: usize,
+    /// Bytes served zero-copy from a memory-mapped index file (counted
+    /// against the shared page cache, not private anonymous memory).
+    pub mapped_bytes: usize,
+}
+
+/// Everything needed to assemble a [`BePi`] from persisted components —
+/// the hand-off type between [`crate::persist`] decoders and the private
+/// fields here.
+pub(crate) struct RawParts {
+    pub config: BePiConfig,
+    pub perm: Permutation,
+    pub n1: usize,
+    pub n2: usize,
+    pub n3: usize,
+    pub h11_lu: BlockLu,
+    pub s: Csr,
+    /// Pre-built ILU(0) factors, when the index persisted them (format
+    /// v6). `None` means: rebuild whatever preconditioner the config
+    /// calls for from `S`.
+    pub ilu: Option<Ilu0>,
+    pub h12: Csr,
+    pub h21: Csr,
+    pub h31: Csr,
+    pub h32: Csr,
+    pub slashburn_iterations: usize,
+    pub elapsed: Duration,
+    pub phases: Vec<PhaseTiming>,
 }
 
 /// A preprocessed BePI instance, ready to answer RWR queries
@@ -414,34 +470,57 @@ impl BePi {
         let h32 = p::read_csr(r)?;
         let slashburn_iterations = p::read_u64(r)? as usize;
         let (elapsed, phases) = if with_phases {
-            let elapsed = Duration::from_secs_f64(p::read_f64(r)?.max(0.0));
-            let count = p::read_u64(r)? as usize;
-            let mut phases = Vec::with_capacity(count.min(64));
-            for _ in 0..count {
-                let len = p::read_u64(r)? as usize;
-                if len > 256 {
-                    return Err(bepi_sparse::SparseError::Numerical(format!(
-                        "phase name length {len} exceeds limit"
-                    )));
-                }
-                let mut name = vec![0u8; len];
-                r.read_exact(&mut name)
-                    .map_err(bepi_sparse::SparseError::from)?;
-                let name = String::from_utf8(name).map_err(|_| {
-                    bepi_sparse::SparseError::Numerical("phase name is not UTF-8".into())
-                })?;
-                let seconds = p::read_f64(r)?;
-                phases.push(PhaseTiming { name, seconds });
-            }
-            (elapsed, phases)
+            p::read_phases(r)?
         } else {
             (Duration::ZERO, Vec::new())
         };
+        Self::from_raw_parts(RawParts {
+            config,
+            perm,
+            n1,
+            n2,
+            n3,
+            h11_lu,
+            s,
+            ilu: None,
+            h12,
+            h21,
+            h31,
+            h32,
+            slashburn_iterations,
+            elapsed,
+            phases,
+        })
+    }
+
+    /// Assembles an instance from persisted components. The
+    /// preconditioner comes from `parts.ilu` when the index carried the
+    /// factors (format v6); otherwise it is recomputed from `S`
+    /// (deterministic, so both paths yield bit-identical queries).
+    pub(crate) fn from_raw_parts(parts: RawParts) -> Result<Self> {
+        let RawParts {
+            config,
+            perm,
+            n1,
+            n2,
+            n3,
+            h11_lu,
+            s,
+            ilu,
+            h12,
+            h21,
+            h31,
+            h32,
+            slashburn_iterations,
+            elapsed,
+            phases,
+        } = parts;
         let precond = match config.variant {
-            BePiVariant::Full => match config.precond {
-                PrecondKind::Ilu0 => BuiltPrecond::Ilu(Ilu0::factor(&s)?),
-                PrecondKind::Jacobi => BuiltPrecond::Jacobi(JacobiPrecond::new(&s)?),
-                PrecondKind::Neumann(order) => {
+            BePiVariant::Full => match (config.precond, ilu) {
+                (PrecondKind::Ilu0, Some(ilu)) => BuiltPrecond::Ilu(ilu),
+                (PrecondKind::Ilu0, None) => BuiltPrecond::Ilu(Ilu0::factor(&s)?),
+                (PrecondKind::Jacobi, _) => BuiltPrecond::Jacobi(JacobiPrecond::new(&s)?),
+                (PrecondKind::Neumann(order), _) => {
                     BuiltPrecond::Neumann(NeumannPrecond::new(&s, order)?)
                 }
             },
@@ -473,6 +552,64 @@ impl BePi {
             h32,
             stats,
         })
+    }
+
+    /// The persisted ILU(0) factors and diagonal offsets, when the full
+    /// variant built an ILU preconditioner (persistence support: format
+    /// v6 stores the factors so loads never re-run the elimination).
+    pub(crate) fn ilu_parts(&self) -> Option<&Ilu0> {
+        match &self.precond {
+            BuiltPrecond::Ilu(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True when any component is served zero-copy from a mapped index.
+    pub fn is_mapped(&self) -> bool {
+        self.mapped_bytes() > 0
+    }
+
+    /// Total bytes of index data held on the process heap.
+    pub fn heap_bytes(&self) -> usize {
+        self.memory_report().iter().map(|c| c.heap_bytes).sum()
+    }
+
+    /// Total bytes of index data served zero-copy from a mapped file.
+    pub fn mapped_bytes(&self) -> usize {
+        self.memory_report().iter().map(|c| c.mapped_bytes).sum()
+    }
+
+    /// Physical memory split of every index component: how many bytes
+    /// live on the heap versus borrowed from a memory-mapped v6 file.
+    /// Mapped bytes are backed by the kernel page cache and shared
+    /// across every process serving the same index file, which is the
+    /// point of `--mmap` serving (paper §Memory Efficiency: the
+    /// preprocessed data is the dominant cost at scale).
+    pub fn memory_report(&self) -> Vec<MemorySection> {
+        let csr = |name, m: &Csr| MemorySection {
+            name,
+            heap_bytes: m.heap_bytes(),
+            mapped_bytes: m.mapped_bytes(),
+        };
+        vec![
+            MemorySection {
+                name: "perm",
+                heap_bytes: self.perm.heap_bytes(),
+                mapped_bytes: self.perm.mapped_bytes(),
+            },
+            csr("l1_inv", &self.h11_lu.l_inv),
+            csr("u1_inv", &self.h11_lu.u_inv),
+            csr("schur", &self.s),
+            MemorySection {
+                name: "precond",
+                heap_bytes: self.precond.heap_bytes(),
+                mapped_bytes: self.precond.mapped_bytes(),
+            },
+            csr("h12", &self.h12),
+            csr("h21", &self.h21),
+            csr("h31", &self.h31),
+            csr("h32", &self.h32),
+        ]
     }
 
     /// The query phase (Algorithm 2 / 4) with full statistics.

@@ -60,7 +60,9 @@ pub mod rwr;
 pub mod schur;
 
 pub use bear::Bear;
-pub use bepi::{BePi, BePiConfig, BePiVariant, InnerSolver, PhaseTiming, PrecondKind};
+pub use bepi::{
+    BePi, BePiConfig, BePiVariant, InnerSolver, MemorySection, PhaseTiming, PrecondKind,
+};
 pub use dynamic::{DynamicBePi, EdgeUpdate};
 pub use exact::DenseExact;
 pub use hmatrix::HPartition;

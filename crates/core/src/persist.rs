@@ -19,25 +19,39 @@
 //! three versions (discarding the graph); [`load_with_graph`] reports
 //! whether one was embedded.
 //!
+//! Format v6 ([`save_v6`]) is the *memory-mappable* container from
+//! `bepi-map`: a section table with per-section CRC-32s and 64-byte
+//! aligned little-endian payloads, so a daemon can [`load_mapped_file`]
+//! the index and serve queries zero-copy straight out of the kernel page
+//! cache — open time is independent of index size. The same file also
+//! loads on the heap ([`load`] / [`load_with_graph`]), with every
+//! section checksum verified, and both paths produce bit-identical
+//! query results.
+//!
 //! Array lengths in the stream are untrusted: readers never preallocate
 //! more than a fixed bound, so a corrupt length field fails with a clean
 //! parse error instead of aborting on an absurd allocation.
 
-use crate::bepi::{BePi, BePiConfig};
+use crate::bepi::{BePi, BePiConfig, PhaseTiming, RawParts};
 use crate::rwr::RwrSolver;
 use bepi_graph::Graph;
-use bepi_sparse::{Csr, Permutation, Result, SparseError};
+use bepi_map::{sections as sec, ContainerWriter, MapError, MappedIndex, SectionEntry};
+use bepi_solver::Ilu0;
+use bepi_sparse::{Csr, Permutation, Result, SparseError, Storage};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::time::Duration;
 
 const MAGIC: &[u8; 4] = b"BEPI";
 const VERSION: u32 = 4;
 /// Format version for indexes with the adjacency matrix embedded.
 const VERSION_WITH_GRAPH: u32 = 5;
+/// Format version for memory-mappable section-table indexes.
+pub const VERSION_MAPPED: u32 = bepi_map::VERSION;
 /// Oldest format version `load` still understands.
 const MIN_VERSION: u32 = 1;
 /// Newest format version `load` understands.
-const MAX_VERSION: u32 = 5;
+const MAX_VERSION: u32 = 6;
 
 /// Upper bound on speculative preallocation for length-prefixed arrays.
 /// Legitimate arrays larger than this still load — the vector grows as
@@ -45,69 +59,15 @@ const MAX_VERSION: u32 = 5;
 /// file can no longer trigger a multi-terabyte `with_capacity`.
 const MAX_PREALLOC_BYTES: usize = 1 << 24;
 
-// --- CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) ---
-
-const CRC32_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-};
-
-/// Incremental CRC-32 state. Public so sibling crates (the `bepi-live`
-/// write-ahead log) can frame their files with the same checksum
-/// convention without duplicating the table.
-#[derive(Debug, Clone, Copy)]
-pub struct Crc32 {
-    state: u32,
-}
-
-impl Crc32 {
-    /// Fresh checksum state.
-    pub fn new() -> Self {
-        Self { state: 0xFFFF_FFFF }
-    }
-
-    /// Feeds `bytes` into the checksum.
-    pub fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
-            self.state = CRC32_TABLE[idx] ^ (self.state >> 8);
-        }
-    }
-
-    /// Final checksum value.
-    pub fn finalize(self) -> u32 {
-        !self.state
-    }
-}
-
-impl Default for Crc32 {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+/// Incremental CRC-32 state (IEEE 802.3). Re-exported from `bepi-map`,
+/// which owns the canonical implementation; sibling crates (the
+/// `bepi-live` write-ahead log) keep framing their files with the same
+/// checksum convention through this path.
+pub use bepi_map::Crc32;
 
 /// Computes the CRC-32 of a byte slice in one call.
 #[cfg(test)]
-pub(crate) fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = Crc32::new();
-    c.update(bytes);
-    c.finalize()
-}
+pub(crate) use bepi_map::crc32;
 
 /// A writer adapter that checksums everything flowing through it.
 struct CrcWriter<W: Write> {
@@ -200,6 +160,525 @@ pub fn save_with_graph<W: Write>(bepi: &BePi, graph: &Graph, writer: W) -> Resul
     Ok(())
 }
 
+// --- format v6: memory-mappable section container ---
+
+/// Converts a `bepi-map` container error into this crate's error type,
+/// preserving the section-naming message.
+fn from_map_err(e: MapError) -> SparseError {
+    match e {
+        MapError::Io(msg) => SparseError::Io(msg),
+        other => SparseError::Parse(format!("v6 index: {other}")),
+    }
+}
+
+fn write_u32s_section<W: Write>(cw: &mut ContainerWriter<W>, id: u32, s: &[u32]) -> Result<()> {
+    cw.begin_section(id)?;
+    for &v in s {
+        cw.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn write_u64s_section<W: Write>(cw: &mut ContainerWriter<W>, id: u32, s: &[usize]) -> Result<()> {
+    cw.begin_section(id)?;
+    for &v in s {
+        cw.write_all(&(v as u64).to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn write_f64s_section<W: Write>(cw: &mut ContainerWriter<W>, id: u32, s: &[f64]) -> Result<()> {
+    cw.begin_section(id)?;
+    for &v in s {
+        cw.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Writes a CSR's three arrays as three sections. Dimensions are not
+/// stored: every persisted matrix's shape is derivable from the META
+/// partition sizes `(n1, n2, n3)`.
+fn write_csr_sections<W: Write>(
+    cw: &mut ContainerWriter<W>,
+    ids: (u32, u32, u32),
+    m: &Csr,
+) -> Result<()> {
+    write_u64s_section(cw, ids.0, m.indptr())?;
+    write_u32s_section(cw, ids.1, m.indices())?;
+    write_f64s_section(cw, ids.2, m.values())
+}
+
+/// Writes a *memory-mappable* index (format v6): the `bepi-map` section
+/// container with 64-byte-aligned little-endian payloads and per-section
+/// CRC-32s. Unlike v4/v5 this format:
+///
+/// * can be served zero-copy via [`load_mapped_file`] (open time does
+///   not depend on index size, pages are shared across processes);
+/// * persists the ILU(0) factors, so loads never re-run the
+///   factorization;
+/// * embeds the adjacency graph only when `graph` is `Some` (the
+///   live-update daemon needs it; query-only serving does not).
+///
+/// Streams through any `W: Write` in one pass (the section table lands
+/// at the end of the file, so no `Seek` is needed).
+pub fn save_v6<W: Write>(bepi: &BePi, graph: Option<&Graph>, writer: W) -> Result<()> {
+    if let Some(g) = graph {
+        if g.n() != bepi.node_count() {
+            return Err(SparseError::ShapeMismatch {
+                left: (g.n(), g.n()),
+                right: (bepi.node_count(), bepi.node_count()),
+                op: "persist::save_v6 (graph vs index node count)",
+            });
+        }
+    }
+    let mut cw = ContainerWriter::new(BufWriter::new(writer))?;
+    let stats = bepi.stats();
+
+    // META: config + partition sizes + run statistics, in the v4 stream
+    // encoding. Small, so the mapped loader verifies its CRC eagerly.
+    cw.begin_section(sec::META)?;
+    write_config(&mut cw, bepi.config())?;
+    write_u64(&mut cw, stats.n1 as u64)?;
+    write_u64(&mut cw, stats.n2 as u64)?;
+    write_u64(&mut cw, stats.n3 as u64)?;
+    write_u64(&mut cw, stats.slashburn_iterations as u64)?;
+    write_f64(&mut cw, stats.elapsed.as_secs_f64())?;
+    write_u64(&mut cw, stats.phases.len() as u64)?;
+    for phase in &stats.phases {
+        let name = phase.name.as_bytes();
+        write_u64(&mut cw, name.len() as u64)?;
+        cw.write_all(name)?;
+        write_f64(&mut cw, phase.seconds)?;
+    }
+
+    // Both permutation directions, so the mapped load stays O(1) instead
+    // of re-deriving the inverse.
+    write_u32s_section(
+        &mut cw,
+        sec::PERM_NEW_OF_OLD,
+        bepi.permutation().new_of_old(),
+    )?;
+    write_u32s_section(
+        &mut cw,
+        sec::PERM_OLD_OF_NEW,
+        bepi.permutation().old_of_new(),
+    )?;
+
+    let lu = bepi.h11_factors();
+    write_u64s_section(&mut cw, sec::BLOCK_SIZES, &lu.block_sizes)?;
+    write_csr_sections(
+        &mut cw,
+        (sec::L_INV_INDPTR, sec::L_INV_INDICES, sec::L_INV_VALUES),
+        &lu.l_inv,
+    )?;
+    write_csr_sections(
+        &mut cw,
+        (sec::U_INV_INDPTR, sec::U_INV_INDICES, sec::U_INV_VALUES),
+        &lu.u_inv,
+    )?;
+    write_csr_sections(
+        &mut cw,
+        (sec::S_INDPTR, sec::S_INDICES, sec::S_VALUES),
+        bepi.schur(),
+    )?;
+    let (h12, h21, h31, h32) = bepi.coupling_blocks();
+    write_csr_sections(
+        &mut cw,
+        (sec::H12_INDPTR, sec::H12_INDICES, sec::H12_VALUES),
+        h12,
+    )?;
+    write_csr_sections(
+        &mut cw,
+        (sec::H21_INDPTR, sec::H21_INDICES, sec::H21_VALUES),
+        h21,
+    )?;
+    write_csr_sections(
+        &mut cw,
+        (sec::H31_INDPTR, sec::H31_INDICES, sec::H31_VALUES),
+        h31,
+    )?;
+    write_csr_sections(
+        &mut cw,
+        (sec::H32_INDPTR, sec::H32_INDICES, sec::H32_VALUES),
+        h32,
+    )?;
+
+    // ILU factors, when the instance built them: persisting the factors
+    // (≈ |S| extra bytes) is what makes v6 open time independent of
+    // index size — a v4/v5 load re-runs the whole elimination.
+    if let Some(ilu) = bepi.ilu_parts() {
+        write_csr_sections(
+            &mut cw,
+            (sec::ILU_INDPTR, sec::ILU_INDICES, sec::ILU_VALUES),
+            ilu.factors(),
+        )?;
+        write_u64s_section(&mut cw, sec::ILU_DIAG, ilu.diag_pos())?;
+    }
+
+    if let Some(g) = graph {
+        write_csr_sections(
+            &mut cw,
+            (sec::GRAPH_INDPTR, sec::GRAPH_INDICES, sec::GRAPH_VALUES),
+            g.adjacency(),
+        )?;
+    }
+    cw.finish()?;
+    Ok(())
+}
+
+/// Convenience: saves a v6 index to a file path.
+pub fn save_file_v6<P: AsRef<Path>>(bepi: &BePi, graph: Option<&Graph>, path: P) -> Result<()> {
+    save_v6(bepi, graph, std::fs::File::create(path)?)
+}
+
+/// Where a v6 section's payload comes from: heap copies decoded from an
+/// in-memory buffer, or zero-copy [`Storage::Mapped`] views of a live
+/// mapping. One decoder ([`decode_v6`]) serves both, which is how the
+/// two paths stay bit-identical by construction.
+trait SectionSource {
+    fn has(&self, id: u32) -> bool;
+    /// Raw payload bytes, copied (used only for the small META section).
+    fn meta_bytes(&self, id: u32) -> Result<Vec<u8>>;
+    fn u32s(&self, id: u32) -> Result<Storage<u32>>;
+    fn usizes(&self, id: u32) -> Result<Storage<usize>>;
+    fn f64s(&self, id: u32) -> Result<Storage<f64>>;
+}
+
+/// Heap-decoding source over a fully read file image. Payload CRCs are
+/// verified for every section up front (callers already own the bytes,
+/// so the scan is cheap relative to the read), then each array is
+/// decoded element-wise — which also makes this path portable to
+/// non-little-endian or 32-bit hosts.
+struct HeapSource<'a> {
+    buf: &'a [u8],
+    table: Vec<SectionEntry>,
+}
+
+impl<'a> HeapSource<'a> {
+    fn new(buf: &'a [u8]) -> Result<Self> {
+        let table = bepi_map::parse_layout(buf).map_err(from_map_err)?;
+        for e in &table {
+            let payload = &buf[e.offset as usize..(e.offset + e.len) as usize];
+            let computed = bepi_map::crc32(payload);
+            if computed != e.crc {
+                return Err(from_map_err(MapError::SectionCrc {
+                    id: e.id,
+                    section: sec::name(e.id),
+                    stored: e.crc,
+                    computed,
+                }));
+            }
+        }
+        Ok(Self { buf, table })
+    }
+
+    fn payload(&self, id: u32) -> Result<&'a [u8]> {
+        let e = self.table.iter().find(|e| e.id == id).ok_or_else(|| {
+            from_map_err(MapError::MissingSection {
+                id,
+                section: sec::name(id),
+            })
+        })?;
+        Ok(&self.buf[e.offset as usize..(e.offset + e.len) as usize])
+    }
+
+    fn elems<T>(&self, id: u32, elem: usize, f: impl Fn(&[u8]) -> T) -> Result<Vec<T>> {
+        let p = self.payload(id)?;
+        if p.len() % elem != 0 {
+            return Err(from_map_err(MapError::BadElementSize {
+                id,
+                section: sec::name(id),
+                len: p.len() as u64,
+                elem,
+            }));
+        }
+        Ok(p.chunks_exact(elem).map(f).collect())
+    }
+}
+
+impl SectionSource for HeapSource<'_> {
+    fn has(&self, id: u32) -> bool {
+        self.table.iter().any(|e| e.id == id)
+    }
+
+    fn meta_bytes(&self, id: u32) -> Result<Vec<u8>> {
+        Ok(self.payload(id)?.to_vec())
+    }
+
+    fn u32s(&self, id: u32) -> Result<Storage<u32>> {
+        Ok(self
+            .elems(id, 4, |b| u32::from_le_bytes(b.try_into().unwrap()))?
+            .into())
+    }
+
+    fn usizes(&self, id: u32) -> Result<Storage<usize>> {
+        let vals = self.elems(id, 8, |b| u64::from_le_bytes(b.try_into().unwrap()))?;
+        let mut out = Vec::with_capacity(vals.len());
+        for v in vals {
+            out.push(usize::try_from(v).map_err(|_| {
+                SparseError::Parse(format!(
+                    "v6 index: section {} holds value {v} exceeding this host's usize",
+                    sec::name(id)
+                ))
+            })?);
+        }
+        Ok(out.into())
+    }
+
+    fn f64s(&self, id: u32) -> Result<Storage<f64>> {
+        Ok(self
+            .elems(id, 8, |b| f64::from_le_bytes(b.try_into().unwrap()))?
+            .into())
+    }
+}
+
+/// Zero-copy source over a live [`MappedIndex`]: typed sections borrow
+/// the mapping directly. Payload CRCs are *not* verified here (only the
+/// eagerly checked section table and META) — that is the contract that
+/// keeps open time independent of index size; corruption is still
+/// detectable on demand via [`MappedIndex::verify_all`].
+struct MappedSource<'a> {
+    idx: &'a MappedIndex,
+}
+
+impl SectionSource for MappedSource<'_> {
+    fn has(&self, id: u32) -> bool {
+        self.idx.has(id)
+    }
+
+    fn meta_bytes(&self, id: u32) -> Result<Vec<u8>> {
+        Ok(self.idx.bytes(id).map_err(from_map_err)?.to_vec())
+    }
+
+    fn u32s(&self, id: u32) -> Result<Storage<u32>> {
+        Ok(self.idx.section::<u32>(id).map_err(from_map_err)?.into())
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    fn usizes(&self, id: u32) -> Result<Storage<usize>> {
+        Ok(self.idx.section::<usize>(id).map_err(from_map_err)?.into())
+    }
+
+    #[cfg(not(target_pointer_width = "64"))]
+    fn usizes(&self, id: u32) -> Result<Storage<usize>> {
+        // 32-bit hosts cannot view the on-disk u64 arrays in place.
+        Err(from_map_err(MapError::Unsupported(
+            "mapped indexes require a 64-bit host (use the heap loader)",
+        )))
+    }
+
+    fn f64s(&self, id: u32) -> Result<Storage<f64>> {
+        Ok(self.idx.section::<f64>(id).map_err(from_map_err)?.into())
+    }
+}
+
+/// Parses the phase-timing block shared by v4+ streams and v6 META.
+pub(crate) fn read_phases<R: Read>(r: &mut R) -> Result<(Duration, Vec<PhaseTiming>)> {
+    let elapsed = Duration::from_secs_f64(read_f64(r)?.max(0.0));
+    let count = read_u64(r)? as usize;
+    let mut phases = Vec::with_capacity(count.min(64));
+    for _ in 0..count {
+        let len = read_u64(r)? as usize;
+        if len > 256 {
+            return Err(SparseError::Parse(format!(
+                "phase name length {len} exceeds limit"
+            )));
+        }
+        let mut name = vec![0u8; len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| SparseError::Parse("phase name is not UTF-8".into()))?;
+        let seconds = read_f64(r)?;
+        phases.push(PhaseTiming { name, seconds });
+    }
+    Ok((elapsed, phases))
+}
+
+fn read_csr_sections<S: SectionSource>(
+    src: &S,
+    ids: (u32, u32, u32),
+    nrows: usize,
+    ncols: usize,
+) -> Result<Csr> {
+    // O(1) structural checks only: the entries were validated when the
+    // index was written and are covered by section CRCs (verified
+    // eagerly on the heap path, on demand on the mapped path).
+    Csr::from_parts_storage_trusted(
+        nrows,
+        ncols,
+        src.usizes(ids.0)?,
+        src.u32s(ids.1)?,
+        src.f64s(ids.2)?,
+    )
+}
+
+/// Decodes a v6 container from either backing into an instance plus the
+/// embedded graph, if any.
+fn decode_v6<S: SectionSource>(src: &S) -> Result<(BePi, Option<Graph>)> {
+    let meta = src.meta_bytes(sec::META)?;
+    let mut r: &[u8] = &meta;
+    let config = read_config(&mut r)?;
+    let n1 = read_u64(&mut r)? as usize;
+    let n2 = read_u64(&mut r)? as usize;
+    let n3 = read_u64(&mut r)? as usize;
+    let slashburn_iterations = read_u64(&mut r)? as usize;
+    let (elapsed, phases) = read_phases(&mut r)?;
+    let n = n1 + n2 + n3;
+
+    let perm = Permutation::from_maps_trusted(
+        src.u32s(sec::PERM_NEW_OF_OLD)?,
+        src.u32s(sec::PERM_OLD_OF_NEW)?,
+    )?;
+    if perm.len() != n {
+        return Err(SparseError::Parse(format!(
+            "v6 index: permutation covers {} nodes but META declares {n}",
+            perm.len()
+        )));
+    }
+    let block_sizes = src.usizes(sec::BLOCK_SIZES)?.to_vec();
+    let l_inv = read_csr_sections(
+        src,
+        (sec::L_INV_INDPTR, sec::L_INV_INDICES, sec::L_INV_VALUES),
+        n1,
+        n1,
+    )?;
+    let u_inv = read_csr_sections(
+        src,
+        (sec::U_INV_INDPTR, sec::U_INV_INDICES, sec::U_INV_VALUES),
+        n1,
+        n1,
+    )?;
+    let h11_lu = bepi_solver::BlockLu::from_inverse_factors_trusted(l_inv, u_inv, block_sizes)?;
+    let s = read_csr_sections(src, (sec::S_INDPTR, sec::S_INDICES, sec::S_VALUES), n2, n2)?;
+    let h12 = read_csr_sections(
+        src,
+        (sec::H12_INDPTR, sec::H12_INDICES, sec::H12_VALUES),
+        n1,
+        n2,
+    )?;
+    let h21 = read_csr_sections(
+        src,
+        (sec::H21_INDPTR, sec::H21_INDICES, sec::H21_VALUES),
+        n2,
+        n1,
+    )?;
+    let h31 = read_csr_sections(
+        src,
+        (sec::H31_INDPTR, sec::H31_INDICES, sec::H31_VALUES),
+        n3,
+        n1,
+    )?;
+    let h32 = read_csr_sections(
+        src,
+        (sec::H32_INDPTR, sec::H32_INDICES, sec::H32_VALUES),
+        n3,
+        n2,
+    )?;
+
+    let ilu = if src.has(sec::ILU_INDPTR) {
+        let factors = read_csr_sections(
+            src,
+            (sec::ILU_INDPTR, sec::ILU_INDICES, sec::ILU_VALUES),
+            n2,
+            n2,
+        )?;
+        Some(Ilu0::from_parts(factors, src.usizes(sec::ILU_DIAG)?)?)
+    } else {
+        None
+    };
+    let graph = if src.has(sec::GRAPH_INDPTR) {
+        let adj = read_csr_sections(
+            src,
+            (sec::GRAPH_INDPTR, sec::GRAPH_INDICES, sec::GRAPH_VALUES),
+            n,
+            n,
+        )?;
+        Some(Graph::from_adjacency(adj)?)
+    } else {
+        None
+    };
+
+    let bepi = BePi::from_raw_parts(RawParts {
+        config,
+        perm,
+        n1,
+        n2,
+        n3,
+        h11_lu,
+        s,
+        ilu,
+        h12,
+        h21,
+        h31,
+        h32,
+        slashburn_iterations,
+        elapsed,
+        phases,
+    })?;
+    Ok((bepi, graph))
+}
+
+/// Opens a v6 index file as a shared read-only memory mapping and builds
+/// an instance whose arrays borrow the mapping zero-copy.
+///
+/// Open cost is `O(#sections)`: magic/version/footer and the section
+/// table (plus the small META section) are CRC-verified eagerly, while
+/// array payloads are faulted in lazily by the page cache as queries
+/// touch them. `MADV_WILLNEED` is issued for the hot sections (the
+/// `H11` inverse factors and ILU factors, which every query walks) so
+/// the kernel starts readahead immediately. Requires format v6 — older
+/// files fail with a version error; use [`file_format_version`] to
+/// decide between this and the heap loader.
+pub fn load_mapped_file<P: AsRef<Path>>(path: P) -> Result<(BePi, Option<Graph>)> {
+    let idx = MappedIndex::open(path).map_err(from_map_err)?;
+    idx.verify(sec::META).map_err(from_map_err)?;
+    for id in [
+        sec::L_INV_INDPTR,
+        sec::L_INV_INDICES,
+        sec::L_INV_VALUES,
+        sec::U_INV_INDPTR,
+        sec::U_INV_INDICES,
+        sec::U_INV_VALUES,
+        sec::ILU_INDPTR,
+        sec::ILU_INDICES,
+        sec::ILU_VALUES,
+        sec::ILU_DIAG,
+    ] {
+        idx.advise_willneed(id);
+    }
+    decode_v6(&MappedSource { idx: &idx })
+}
+
+/// Verifies every section CRC of a mappable v6 file — the payload
+/// checks that [`load_mapped_file`] deliberately skips to keep open
+/// time independent of index size. Costs one read pass over the whole
+/// file; returns the typed per-section error on the first mismatch.
+///
+/// Use this where a full integrity check is worth a full read: one-shot
+/// CLI queries, post-transfer validation, scrubbing. A long-running
+/// daemon instead relies on the per-connection panic guard — a query
+/// that trips over a corrupt payload fails alone, it cannot take the
+/// process down.
+pub fn verify_mapped_file<P: AsRef<Path>>(path: P) -> Result<()> {
+    let idx = MappedIndex::open(path).map_err(from_map_err)?;
+    idx.verify_all().map_err(from_map_err)
+}
+
+/// Reads the format version of an index file from its 8-byte prefix
+/// (shared by every version since v1), without loading anything.
+pub fn file_format_version<P: AsRef<Path>>(path: P) -> Result<u32> {
+    let mut f = std::fs::File::open(path)?;
+    let mut prefix = [0u8; 8];
+    f.read_exact(&mut prefix)?;
+    if &prefix[..4] != MAGIC {
+        return Err(SparseError::Parse(format!(
+            "not a BePI file (magic {:?})",
+            &prefix[..4]
+        )));
+    }
+    Ok(u32::from_le_bytes(prefix[4..8].try_into().unwrap()))
+}
+
 /// Reads a preprocessed instance from a stream. Accepts every format
 /// version back to v1: v4/v5 carry phase timings (v5 also embeds the
 /// graph, discarded here — use [`load_with_graph`] to keep it), v2/v3 are
@@ -222,6 +701,16 @@ pub fn load_with_graph<R: Read>(reader: R) -> Result<(BePi, Option<Graph>)> {
     let version = read_u32(&mut r)?;
     match version {
         1 => Ok((BePi::read_parts(&mut r, false)?, None)),
+        VERSION_MAPPED => {
+            // Heap load of a mappable container: slurp the file image,
+            // re-prefix the already consumed magic + version, and decode
+            // with every section checksum verified.
+            let mut buf = Vec::with_capacity(64);
+            buf.extend_from_slice(MAGIC);
+            buf.extend_from_slice(&version.to_le_bytes());
+            r.read_to_end(&mut buf)?;
+            decode_v6(&HeapSource::new(&buf)?)
+        }
         2..=5 => {
             let with_phases = version >= 4;
             let with_graph = version == 3 || version == 5;
@@ -711,6 +1200,166 @@ mod tests {
         assert!(read_f64_vec(&mut &buf[..]).is_err());
         assert!(read_u32_vec(&mut &buf[..]).is_err());
         assert!(read_usize_vec(&mut &buf[..]).is_err());
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("bepi_persist_v6_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn v6_heap_roundtrip_is_bit_identical() {
+        let g = generators::rmat(7, 500, generators::RmatParams::default(), 61).unwrap();
+        let original = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let mut buf = Vec::new();
+        save_v6(&original, Some(&g), &mut buf).unwrap();
+        let (restored, graph) = load_with_graph(&buf[..]).unwrap();
+        assert_eq!(graph.unwrap().adjacency(), g.adjacency());
+        assert_eq!(restored.schur(), original.schur());
+        assert_eq!(restored.stats().phases, original.stats().phases);
+        assert_eq!(restored.preprocessed_bytes(), original.preprocessed_bytes());
+        for seed in [0usize, 31, 100] {
+            let a = original.query(seed).unwrap();
+            let b = restored.query(seed).unwrap();
+            assert_eq!(a.scores, b.scores, "v6 heap load must be bit-identical");
+            assert_eq!(a.iterations, b.iterations);
+        }
+        assert!(!restored.is_mapped());
+        assert_eq!(restored.mapped_bytes(), 0);
+    }
+
+    #[test]
+    fn v6_mapped_load_matches_heap_load() {
+        let g = generators::rmat(7, 600, generators::RmatParams::default(), 17).unwrap();
+        let original = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let path = temp_path("mapped");
+        save_file_v6(&original, Some(&g), &path).unwrap();
+        let heap = load_file(&path).unwrap();
+        let (mapped, graph) = load_mapped_file(&path).unwrap();
+        assert_eq!(graph.unwrap().adjacency(), g.adjacency());
+        assert!(mapped.is_mapped());
+        assert!(mapped.mapped_bytes() > 0);
+        // The big arrays are all served from the file; only recomputed
+        // preconditioners or small owned bits may sit on the heap.
+        assert!(mapped.mapped_bytes() > mapped.heap_bytes());
+        for seed in [0usize, 5, 99] {
+            let a = original.query(seed).unwrap();
+            let b = heap.query(seed).unwrap();
+            let c = mapped.query(seed).unwrap();
+            assert_eq!(a.scores, b.scores);
+            assert_eq!(b.scores, c.scores, "mapped serving must be bit-identical");
+            assert_eq!(b.iterations, c.iterations);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v6_without_graph_and_without_ilu() {
+        let g = generators::erdos_renyi(120, 500, 9).unwrap();
+        // BePI-S builds no preconditioner → no ILU sections.
+        let original = BePi::preprocess(&g, &BePiConfig::for_variant(BePiVariant::Sparse)).unwrap();
+        let mut buf = Vec::new();
+        save_v6(&original, None, &mut buf).unwrap();
+        let table = bepi_map::parse_layout(&buf).unwrap();
+        use bepi_map::sections as s;
+        assert!(!table.iter().any(|e| e.id == s::ILU_INDPTR));
+        assert!(!table.iter().any(|e| e.id == s::GRAPH_INDPTR));
+        let (restored, graph) = load_with_graph(&buf[..]).unwrap();
+        assert!(graph.is_none());
+        assert_eq!(
+            original.query(7).unwrap().scores,
+            restored.query(7).unwrap().scores
+        );
+    }
+
+    #[test]
+    fn v6_persists_ilu_factors() {
+        let g = generators::rmat(7, 500, generators::RmatParams::default(), 41).unwrap();
+        let original = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let mut buf = Vec::new();
+        save_v6(&original, None, &mut buf).unwrap();
+        let table = bepi_map::parse_layout(&buf).unwrap();
+        use bepi_map::sections as s;
+        for id in [s::ILU_INDPTR, s::ILU_INDICES, s::ILU_VALUES, s::ILU_DIAG] {
+            assert!(table.iter().any(|e| e.id == id), "missing {}", s::name(id));
+        }
+        let restored = load(&buf[..]).unwrap();
+        assert_eq!(
+            restored.preconditioner().unwrap().factors(),
+            original.preconditioner().unwrap().factors()
+        );
+    }
+
+    #[test]
+    fn v6_heap_load_detects_payload_corruption() {
+        let g = generators::cycle(20);
+        let original = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let mut buf = Vec::new();
+        save_v6(&original, None, &mut buf).unwrap();
+        let table = bepi_map::parse_layout(&buf).unwrap();
+        // Flip one byte inside every section payload: the heap loader
+        // must reject each corruption with an error naming the section.
+        for e in &table {
+            if e.len == 0 {
+                continue;
+            }
+            let mut bad = buf.clone();
+            bad[(e.offset + e.len / 2) as usize] ^= 0x20;
+            let err = load(&bad[..]).unwrap_err().to_string();
+            assert!(
+                err.contains("checksum") || err.contains(bepi_map::sections::name(e.id)),
+                "corruption in {} produced unrelated error: {err}",
+                bepi_map::sections::name(e.id)
+            );
+        }
+    }
+
+    #[test]
+    fn v6_mapped_open_rejects_old_formats_and_corrupt_tables() {
+        let g = generators::cycle(15);
+        let original = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        // A v4 file is not mappable.
+        let v4 = temp_path("v4");
+        save_file(&original, &v4).unwrap();
+        assert!(load_mapped_file(&v4).is_err());
+        assert_eq!(file_format_version(&v4).unwrap(), 4);
+        // A truncated v6 file loses its footer.
+        let v6 = temp_path("trunc");
+        save_file_v6(&original, None, &v6).unwrap();
+        assert_eq!(file_format_version(&v6).unwrap(), VERSION_MAPPED);
+        let bytes = std::fs::read(&v6).unwrap();
+        std::fs::write(&v6, &bytes[..bytes.len() - 10]).unwrap();
+        assert!(load_mapped_file(&v6).is_err());
+        std::fs::remove_file(&v4).ok();
+        std::fs::remove_file(&v6).ok();
+    }
+
+    #[test]
+    fn v6_memory_report_accounts_every_component() {
+        let g = generators::rmat(7, 400, generators::RmatParams::default(), 3).unwrap();
+        let original = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let path = temp_path("report");
+        save_file_v6(&original, None, &path).unwrap();
+        let (mapped, _) = load_mapped_file(&path).unwrap();
+        let report = mapped.memory_report();
+        let names: Vec<&str> = report.iter().map(|c| c.name).collect();
+        assert_eq!(
+            names,
+            ["perm", "l1_inv", "u1_inv", "schur", "precond", "h12", "h21", "h31", "h32"]
+        );
+        for c in &report {
+            assert_eq!(
+                c.heap_bytes, 0,
+                "{} should be fully mapped (zero heap)",
+                c.name
+            );
+        }
+        assert_eq!(
+            report.iter().map(|c| c.mapped_bytes).sum::<usize>(),
+            mapped.mapped_bytes()
+        );
+        // Logical accounting is backing-independent.
+        assert_eq!(mapped.preprocessed_bytes(), original.preprocessed_bytes());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

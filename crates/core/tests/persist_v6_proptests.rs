@@ -1,0 +1,127 @@
+//! Property tests for the v6 mappable index format: save → map → query
+//! must be bit-identical to the v5 streamed heap path on arbitrary
+//! graphs, and on the structural corner cases the section decoder has
+//! to get right (empty H11 blocks, deadend-only graphs, a single hub).
+
+use bepi_core::{persist, BePi, BePiConfig, RwrSolver};
+use bepi_graph::{generators, Graph};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A unique temp path per test case (proptest runs cases sequentially
+/// within one test, so the case label keeps shrink iterations apart).
+fn tmp(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bepi-v6-prop-{}-{label}.bepi", std::process::id()))
+}
+
+/// Round-trips `bepi` through both persistence paths and asserts the
+/// mapped index answers every seed bit-identically to the v5 heap load.
+fn assert_v6_matches_v5(bepi: &BePi, graph: &Graph, label: &str) {
+    let v5_path = tmp(&format!("{label}-v5"));
+    let v6_path = tmp(&format!("{label}-v6"));
+    persist::save_file_with_graph(bepi, graph, &v5_path).unwrap();
+    persist::save_file_v6(bepi, Some(graph), &v6_path).unwrap();
+
+    let (heap, heap_graph) = persist::load_file_with_graph(&v5_path).unwrap();
+    let (mapped, mapped_graph) = persist::load_mapped_file(&v6_path).unwrap();
+    assert!(mapped.is_mapped(), "v6 load must borrow from the file");
+    assert!(!heap.is_mapped());
+    assert_eq!(
+        heap_graph.unwrap().adjacency().to_dense(),
+        mapped_graph.unwrap().adjacency().to_dense()
+    );
+
+    for seed in 0..graph.n() {
+        let h = heap.query(seed).unwrap().scores;
+        let m = mapped.query(seed).unwrap().scores;
+        // Bitwise equality, not approximate: both paths must run the
+        // same kernels over the same numbers.
+        assert_eq!(h, m, "seed {seed} diverged");
+    }
+
+    std::fs::remove_file(&v5_path).ok();
+    std::fs::remove_file(&v6_path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn v6_mapped_queries_match_v5_heap_queries(
+        n in 4usize..40,
+        pairs in proptest::collection::vec((0usize..40, 0usize..40), 1..120),
+        hub_frac in 0.1f64..0.5,
+    ) {
+        let edges: Vec<(usize, usize)> = pairs.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let graph = Graph::from_edges(n, &edges).unwrap();
+        let cfg = BePiConfig { hub_ratio: Some(hub_frac), ..BePiConfig::default() };
+        let bepi = BePi::preprocess(&graph, &cfg).unwrap();
+        assert_v6_matches_v5(&bepi, &graph, "rand");
+    }
+}
+
+#[test]
+fn v6_roundtrip_deadend_only_graph() {
+    // Every node is a deadend: n1 = n2 = 0, all CSR sections empty.
+    let graph = Graph::from_edges(5, &[]).unwrap();
+    let bepi = BePi::preprocess(&graph, &BePiConfig::default()).unwrap();
+    assert_v6_matches_v5(&bepi, &graph, "deadend");
+}
+
+#[test]
+fn v6_roundtrip_single_hub_star() {
+    // A star: removing the center disconnects everything, so SlashBurn
+    // selects a single hub and the spokes become 1-node blocks.
+    let n = 12;
+    let mut edges = Vec::new();
+    for v in 1..n {
+        edges.push((0, v));
+        edges.push((v, 0));
+    }
+    let graph = Graph::from_edges(n, &edges).unwrap();
+    let cfg = BePiConfig {
+        hub_ratio: Some(0.1),
+        ..BePiConfig::default()
+    };
+    let bepi = BePi::preprocess(&graph, &cfg).unwrap();
+    assert_v6_matches_v5(&bepi, &graph, "star");
+}
+
+#[test]
+fn v6_roundtrip_empty_block_structure() {
+    // Two disjoint cycles plus isolated deadends: multiple small H11
+    // blocks, a nonempty deadend tail, and (with a high hub ratio) a
+    // hub part — exercises every section kind at once.
+    let mut edges = Vec::new();
+    for v in 0..4 {
+        edges.push((v, (v + 1) % 4));
+    }
+    for v in 0..5 {
+        edges.push((4 + v, 4 + (v + 1) % 5));
+    }
+    // Nodes 9..12 are isolated (deadends).
+    let graph = Graph::from_edges(12, &edges).unwrap();
+    let cfg = BePiConfig {
+        hub_ratio: Some(0.3),
+        ..BePiConfig::default()
+    };
+    let bepi = BePi::preprocess(&graph, &cfg).unwrap();
+    assert_v6_matches_v5(&bepi, &graph, "blocks");
+}
+
+#[test]
+fn v6_roundtrip_example_graph_without_embedded_graph() {
+    // The paper's Figure 2 graph, saved without the adjacency: the
+    // GRAPH sections are absent and the loader must report None.
+    let graph = generators::example_graph();
+    let bepi = BePi::preprocess(&graph, &BePiConfig::default()).unwrap();
+    let path = tmp("nograph");
+    persist::save_file_v6(&bepi, None, &path).unwrap();
+    let (mapped, none) = persist::load_mapped_file(&path).unwrap();
+    assert!(none.is_none());
+    assert_eq!(
+        mapped.query(0).unwrap().scores,
+        bepi.query(0).unwrap().scores
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -43,11 +43,18 @@ pub struct LiveConfig {
     /// Durable write-ahead log path. `None` keeps updates in memory only
     /// (they die with the process).
     pub wal_path: Option<PathBuf>,
-    /// Where to checkpoint the index (persist v3, graph embedded) after
-    /// each successful rebuild; applied WAL segments are truncated once
+    /// Where to checkpoint the index (graph embedded) after each
+    /// successful rebuild; applied WAL segments are truncated once
     /// the checkpoint is durable. `None` disables checkpointing — the
     /// WAL then grows until restart and is never compacted.
     pub checkpoint_path: Option<PathBuf>,
+    /// Write checkpoints in the memory-mappable v6 format and, once a
+    /// checkpoint is durable, re-open it as a shared read-only mapping
+    /// and hot-swap the mapped copy in place of the heap-built snapshot
+    /// (the new file is mapped *before* the old snapshot is dropped, so
+    /// serving never gaps). `false` keeps the streamed v5 checkpoint
+    /// format and heap serving.
+    pub mmap_checkpoints: bool,
 }
 
 /// What [`LiveEngine::submit`] did with a batch.
@@ -116,6 +123,7 @@ pub struct LiveEngine {
     solver_config: BePiConfig,
     auto_flush_threshold: usize,
     checkpoint_path: Option<PathBuf>,
+    mmap_checkpoints: bool,
     rebuilds_total: AtomicU64,
     updates_total: AtomicU64,
     last_rebuild_micros: AtomicU64,
@@ -143,6 +151,7 @@ impl LiveEngine {
             solver_config: BePiConfig::default(),
             auto_flush_threshold: 0,
             checkpoint_path: None,
+            mmap_checkpoints: false,
             rebuilds_total: AtomicU64::new(0),
             updates_total: AtomicU64::new(0),
             last_rebuild_micros: AtomicU64::new(0),
@@ -211,6 +220,7 @@ impl LiveEngine {
             solver_config,
             auto_flush_threshold: config.auto_flush_threshold,
             checkpoint_path: config.checkpoint_path,
+            mmap_checkpoints: config.mmap_checkpoints,
             rebuilds_total: AtomicU64::new(0),
             updates_total: AtomicU64::new(0),
             last_rebuild_micros: AtomicU64::new(0),
@@ -416,7 +426,11 @@ impl LiveEngine {
         let current = self.current();
         let span = bepi_obs::Span::enter("live.checkpoint");
         let tmp = path.with_extension("bepi.tmp");
-        persist::save_file_with_graph(&current.bepi, graph, &tmp)?;
+        if self.mmap_checkpoints {
+            persist::save_file_v6(&current.bepi, Some(graph), &tmp)?;
+        } else {
+            persist::save_file_with_graph(&current.bepi, graph, &tmp)?;
+        }
         std::fs::rename(&tmp, path)?;
         let checkpoint_time = span.exit();
         if let Some(wal) = &mut st.wal {
@@ -428,7 +442,46 @@ impl LiveEngine {
             version = current.version,
             elapsed_ms = checkpoint_time.as_millis()
         );
+        if self.mmap_checkpoints {
+            self.remap_from_checkpoint(path, &current);
+        }
         Ok(())
+    }
+
+    /// Re-opens the just-written v6 checkpoint as a shared mapping and
+    /// swaps the mapped copy in for the heap-built snapshot of the same
+    /// epoch: the daemon then serves zero-copy from the page cache and
+    /// the rebuild's heap allocations are freed once in-flight queries
+    /// drain. The new file is mapped *before* the old snapshot's `Arc`
+    /// is released, and the swap is skipped if another hot-swap bumped
+    /// the version in the meantime (the mapped bytes would be stale).
+    /// Failures are logged and leave the heap snapshot serving — the
+    /// checkpoint itself already landed.
+    fn remap_from_checkpoint(&self, path: &std::path::Path, expected: &VersionedIndex) {
+        let mapped = match persist::load_mapped_file(path) {
+            Ok((bepi, _graph)) => Arc::new(bepi),
+            Err(e) => {
+                bepi_obs::warn!(
+                    "live",
+                    "could not re-map checkpoint; keeping heap snapshot",
+                    error = e
+                );
+                return;
+            }
+        };
+        let mut current = self.current.lock().unwrap_or_else(|e| e.into_inner());
+        if current.version != expected.version {
+            return;
+        }
+        *current = Arc::new(VersionedIndex {
+            version: expected.version,
+            bepi: mapped,
+        });
+        bepi_obs::debug!(
+            "live",
+            "serving mapped checkpoint",
+            version = expected.version
+        );
     }
 }
 
@@ -715,6 +768,57 @@ mod tests {
         assert!(replayed.is_empty(), "applied segments must be truncated");
         // And it serves the post-update scores.
         assert!(cp_bepi.query(0).unwrap().scores[6] > 0.0);
+        std::fs::remove_file(&wal).ok();
+        std::fs::remove_file(&cp).ok();
+    }
+
+    #[test]
+    fn mmap_checkpoints_write_v6_and_hot_swap_the_mapped_copy() {
+        let wal = tmp("mmapcp.wal");
+        let cp = tmp("mmapcp.bepi");
+        std::fs::remove_file(&wal).ok();
+        std::fs::remove_file(&cp).ok();
+
+        let g = generators::cycle(12);
+        let cfg = BePiConfig::default();
+        let bepi = Arc::new(BePi::preprocess(&g, &cfg).unwrap());
+        let config = LiveConfig {
+            wal_path: Some(wal.clone()),
+            checkpoint_path: Some(cp.clone()),
+            mmap_checkpoints: true,
+            ..LiveConfig::default()
+        };
+        let engine = LiveEngine::start(bepi, g.clone(), cfg, config).unwrap();
+        assert!(
+            !engine.current().bepi.is_mapped(),
+            "nothing checkpointed yet: still the heap index"
+        );
+        engine.submit(&[EdgeUpdate::Insert(0, 6)]).unwrap();
+        let v = engine.rebuild_and_wait().unwrap();
+        assert_eq!(v, 2);
+
+        // The checkpoint landed in the mappable format and the served
+        // snapshot was re-pointed at it, same epoch, zero-copy.
+        assert_eq!(persist::file_format_version(&cp).unwrap(), 6);
+        let served = engine.current();
+        assert_eq!(served.version, 2);
+        assert!(served.bepi.is_mapped(), "post-rebuild snapshot is mapped");
+
+        // Bit-identical to a from-scratch heap preprocess of the updated
+        // graph (the --mmap byte-identity acceptance bar).
+        let expected_graph = apply_updates(&g, &[EdgeUpdate::Insert(0, 6)]).unwrap();
+        let expected = BePi::preprocess(&expected_graph, &cfg).unwrap();
+        assert_eq!(
+            served.bepi.query(0).unwrap().scores,
+            expected.query(0).unwrap().scores
+        );
+
+        // A second update cycle keeps working over the mapped snapshot:
+        // the rebuild preprocesses on the heap, checkpoints, and re-maps.
+        engine.submit(&[EdgeUpdate::Remove(3, 4)]).unwrap();
+        assert_eq!(engine.rebuild_and_wait().unwrap(), 3);
+        assert!(engine.current().bepi.is_mapped());
+        engine.shutdown();
         std::fs::remove_file(&wal).ok();
         std::fs::remove_file(&cp).ok();
     }

@@ -194,11 +194,19 @@ pub fn render_live_metrics(
     rebuilds: u64,
     updates: u64,
     last_rebuild_seconds: f64,
+    index_heap_bytes: usize,
+    index_mapped_bytes: usize,
 ) -> String {
     format!(
         "# HELP bepi_graph_version Snapshot version currently served (bumped by each hot-swap).\n\
          # TYPE bepi_graph_version gauge\n\
          bepi_graph_version {version}\n\
+         # HELP bepi_index_heap_bytes Served index bytes held on the process heap.\n\
+         # TYPE bepi_index_heap_bytes gauge\n\
+         bepi_index_heap_bytes {index_heap_bytes}\n\
+         # HELP bepi_index_mapped_bytes Served index bytes backed by a shared file mapping (page cache).\n\
+         # TYPE bepi_index_mapped_bytes gauge\n\
+         bepi_index_mapped_bytes {index_mapped_bytes}\n\
          # HELP bepi_pending_updates Edge updates buffered but not yet visible to queries.\n\
          # TYPE bepi_pending_updates gauge\n\
          bepi_pending_updates {pending}\n\
@@ -321,7 +329,7 @@ mod tests {
         bepi_obs::telemetry::wal_fsync_seconds().observe(0.00007);
         bepi_obs::record_duration("test.metrics_render", Duration::from_millis(5));
         let mut text = m.render();
-        text.push_str(&render_live_metrics(1, 0, 0, 0, 0.0));
+        text.push_str(&render_live_metrics(1, 0, 0, 0, 0.0, 0, 0));
         text.push_str(&render_obs_metrics());
         let mut le_labels = 0;
         for line in text.lines() {
@@ -411,8 +419,12 @@ mod tests {
 
     #[test]
     fn live_block_renders_and_parses() {
-        let text = render_live_metrics(3, 17, 2, 40, 0.125);
+        let text = render_live_metrics(3, 17, 2, 40, 0.125, 1024, 4096);
         assert_eq!(parse_metric(&text, "bepi_graph_version"), Some(3.0));
+        assert_eq!(parse_metric(&text, "bepi_index_heap_bytes"), Some(1024.0));
+        assert_eq!(parse_metric(&text, "bepi_index_mapped_bytes"), Some(4096.0));
+        assert!(text.contains("# TYPE bepi_index_heap_bytes gauge"));
+        assert!(text.contains("# TYPE bepi_index_mapped_bytes gauge"));
         assert_eq!(parse_metric(&text, "bepi_pending_updates"), Some(17.0));
         assert_eq!(parse_metric(&text, "bepi_rebuilds_total"), Some(2.0));
         assert_eq!(parse_metric(&text, "bepi_updates_total"), Some(40.0));

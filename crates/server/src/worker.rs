@@ -161,12 +161,15 @@ fn handle_connection(job: Job, ctx: &WorkerContext) {
         ("GET", "/metrics") => {
             let engine = &ctx.engine;
             let mut body = ctx.metrics.render();
+            let snapshot = engine.current();
             body.push_str(&render_live_metrics(
-                engine.version(),
+                snapshot.version,
                 engine.pending_len(),
                 engine.rebuilds(),
                 engine.updates_accepted(),
                 engine.last_rebuild_micros() as f64 / 1e6,
+                snapshot.bepi.heap_bytes(),
+                snapshot.bepi.mapped_bytes(),
             ));
             body.push_str(&render_obs_metrics());
             respond(&stream, 200, "text/plain; version=0.0.4", &[], &body);

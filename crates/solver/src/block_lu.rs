@@ -263,6 +263,58 @@ impl BlockLu {
             block_sizes,
         })
     }
+
+    /// Like [`BlockLu::from_inverse_factors`] but skips the `O(nnz)`
+    /// triangularity scans — the load path for memory-mapped indexes,
+    /// where scanning every entry would fault the whole file in and make
+    /// open time proportional to index size. The factors are trusted
+    /// because persisted sections are covered by CRCs; debug builds still
+    /// run the full scans.
+    pub fn from_inverse_factors_trusted(
+        l_inv: Csr,
+        u_inv: Csr,
+        block_sizes: Vec<usize>,
+    ) -> Result<Self> {
+        let n = l_inv.nrows();
+        if l_inv.ncols() != n || u_inv.nrows() != n || u_inv.ncols() != n {
+            return Err(SparseError::ShapeMismatch {
+                left: l_inv.shape(),
+                right: u_inv.shape(),
+                op: "BlockLu::from_inverse_factors_trusted",
+            });
+        }
+        if block_sizes.iter().sum::<usize>() != n {
+            return Err(SparseError::VectorLength {
+                expected: n,
+                actual: block_sizes.iter().sum(),
+            });
+        }
+        debug_assert!(
+            l_inv.iter().all(|(r, c, _)| r >= c),
+            "L^-1 must be lower triangular"
+        );
+        debug_assert!(
+            u_inv.iter().all(|(r, c, _)| r <= c),
+            "U^-1 must be upper triangular"
+        );
+        Ok(Self {
+            l_inv,
+            u_inv,
+            block_sizes,
+        })
+    }
+
+    /// Bytes of heap memory held by the factors.
+    pub fn heap_bytes(&self) -> usize {
+        self.l_inv.heap_bytes()
+            + self.u_inv.heap_bytes()
+            + std::mem::size_of_val(self.block_sizes.as_slice())
+    }
+
+    /// Bytes served zero-copy from a mapped index file.
+    pub fn mapped_bytes(&self) -> usize {
+        self.l_inv.mapped_bytes() + self.u_inv.mapped_bytes()
+    }
 }
 
 impl MemBytes for BlockLu {

@@ -7,7 +7,7 @@
 //! (Appendix B), with the same complexity as an SpMV.
 
 use crate::linop::Preconditioner;
-use bepi_sparse::{Csr, MemBytes, Result, SparseError};
+use bepi_sparse::{Csr, MemBytes, Result, SparseError, Storage};
 
 /// An ILU(0) factorization stored in the pattern of the input matrix.
 ///
@@ -36,7 +36,7 @@ pub struct Ilu0 {
     /// and right of it form `Û`.
     factors: Csr,
     /// Position of the diagonal entry within each row's value slice.
-    diag_pos: Vec<usize>,
+    diag_pos: Storage<usize>,
 }
 
 impl Ilu0 {
@@ -109,6 +109,43 @@ impl Ilu0 {
                 return Err(SparseError::ZeroDiagonal { row: i });
             }
         }
+        Ok(Self {
+            factors,
+            diag_pos: diag_pos.into(),
+        })
+    }
+
+    /// Reassembles a factorization from previously computed parts — the
+    /// load path for persisted indexes, which store the factors so the
+    /// `O(nnz)` elimination of [`Ilu0::factor`] is never re-run at open
+    /// time. Only `O(n)` shape checks are performed; the entries are
+    /// trusted because persisted sections are covered by CRCs. Debug
+    /// builds re-verify every diagonal position.
+    ///
+    /// # Errors
+    /// [`SparseError::ShapeMismatch`] if `factors` is not square or
+    /// `diag_pos` does not have one entry per row.
+    pub fn from_parts(factors: Csr, diag_pos: Storage<usize>) -> Result<Self> {
+        if factors.ncols() != factors.nrows() {
+            return Err(SparseError::ShapeMismatch {
+                left: factors.shape(),
+                right: factors.shape(),
+                op: "Ilu0::from_parts (matrix must be square)",
+            });
+        }
+        if diag_pos.len() != factors.nrows() {
+            return Err(SparseError::VectorLength {
+                expected: factors.nrows(),
+                actual: diag_pos.len(),
+            });
+        }
+        debug_assert!(
+            (0..factors.nrows()).all(|i| {
+                let (cols, _) = factors.row(i);
+                diag_pos[i] < cols.len() && cols[diag_pos[i]] == i as u32
+            }),
+            "diag_pos does not point at the diagonal entries"
+        );
         Ok(Self { factors, diag_pos })
     }
 
@@ -120,6 +157,21 @@ impl Ilu0 {
     /// The combined-factor matrix (pattern identical to the input).
     pub fn factors(&self) -> &Csr {
         &self.factors
+    }
+
+    /// Diagonal offsets within each row of [`Ilu0::factors`].
+    pub fn diag_pos(&self) -> &[usize] {
+        &self.diag_pos
+    }
+
+    /// Bytes of heap memory held by the factorization.
+    pub fn heap_bytes(&self) -> usize {
+        self.factors.heap_bytes() + self.diag_pos.heap_bytes()
+    }
+
+    /// Bytes served zero-copy from a mapped index file.
+    pub fn mapped_bytes(&self) -> usize {
+        self.factors.mapped_bytes() + self.diag_pos.mapped_bytes()
     }
 
     /// Solves `L̂ Û z = r` by forward then backward substitution into `z`.

@@ -12,6 +12,7 @@
 use crate::coo::check_dims;
 use crate::error::SparseError;
 use crate::mem::MemBytes;
+use crate::storage::Storage;
 use crate::{Coo, Dense, Result};
 
 /// Minimum nnz before [`Csr::mul_vec_into`] fans out to threads: below
@@ -39,9 +40,9 @@ const PAR_SPMV_MIN_NNZ: usize = 16_384;
 pub struct Csr {
     nrows: usize,
     ncols: usize,
-    indptr: Vec<usize>,
-    indices: Vec<u32>,
-    values: Vec<f64>,
+    indptr: Storage<usize>,
+    indices: Storage<u32>,
+    values: Storage<f64>,
 }
 
 impl Csr {
@@ -51,9 +52,9 @@ impl Csr {
         Self {
             nrows,
             ncols,
-            indptr: vec![0; nrows + 1],
-            indices: Vec::new(),
-            values: Vec::new(),
+            indptr: vec![0; nrows + 1].into(),
+            indices: Vec::new().into(),
+            values: Vec::new().into(),
         }
     }
 
@@ -63,9 +64,9 @@ impl Csr {
         Self {
             nrows: n,
             ncols: n,
-            indptr: (0..=n).collect(),
-            indices: (0..n as u32).collect(),
-            values: vec![1.0; n],
+            indptr: (0..=n).collect::<Vec<_>>().into(),
+            indices: (0..n as u32).collect::<Vec<_>>().into(),
+            values: vec![1.0; n].into(),
         }
     }
 
@@ -129,10 +130,76 @@ impl Csr {
         Ok(Self {
             nrows,
             ncols,
+            indptr: indptr.into(),
+            indices: indices.into(),
+            values: values.into(),
+        })
+    }
+
+    /// Builds a CSR matrix from [`Storage`]-backed parts — the zero-copy
+    /// constructor for matrices served straight out of a memory-mapped
+    /// v6 index — with `O(1)` structural checks only (lengths, first and
+    /// last row pointer).
+    ///
+    /// The full `O(nnz)` invariant scan of [`Csr::from_parts`] is
+    /// deliberately skipped: integrity of mapped sections is established
+    /// by the container's per-section CRC-32, and re-walking every entry
+    /// at open time would make daemon startup linear in index size
+    /// again. Interior corruption that slips past the caller's CRC
+    /// policy surfaces as a clean panic or wrong scores on use — never
+    /// undefined behavior (this crate forbids `unsafe`). Debug builds
+    /// still verify everything.
+    pub fn from_parts_storage_trusted(
+        nrows: usize,
+        ncols: usize,
+        indptr: Storage<usize>,
+        indices: Storage<u32>,
+        values: Storage<f64>,
+    ) -> Result<Self> {
+        check_dims(nrows, ncols)?;
+        if indptr.len() != nrows + 1 {
+            return Err(SparseError::VectorLength {
+                expected: nrows + 1,
+                actual: indptr.len(),
+            });
+        }
+        if indices.len() != values.len() {
+            return Err(SparseError::VectorLength {
+                expected: indices.len(),
+                actual: values.len(),
+            });
+        }
+        if indptr[0] != 0 || indptr[nrows] != indices.len() {
+            return Err(SparseError::Parse(format!(
+                "indptr must start at 0 and end at nnz={}",
+                indices.len()
+            )));
+        }
+        let m = Self {
+            nrows,
+            ncols,
             indptr,
             indices,
             values,
-        })
+        };
+        debug_assert!(m.check_invariants().is_ok(), "CSR invariants violated");
+        Ok(m)
+    }
+
+    /// True when any of the backing arrays is served from a mapped index
+    /// file rather than the heap.
+    pub fn is_mapped(&self) -> bool {
+        self.indptr.is_mapped() || self.indices.is_mapped() || self.values.is_mapped()
+    }
+
+    /// Bytes of heap memory held by the three arrays.
+    pub fn heap_bytes(&self) -> usize {
+        self.indptr.heap_bytes() + self.indices.heap_bytes() + self.values.heap_bytes()
+    }
+
+    /// Bytes served zero-copy from a mapped index file.
+    pub fn mapped_bytes(&self) -> usize {
+        self.indptr.mapped_bytes() + self.indices.mapped_bytes() + self.values.mapped_bytes()
     }
 
     /// Builds a CSR matrix from raw parts without validation.
@@ -149,9 +216,9 @@ impl Csr {
         let m = Self {
             nrows,
             ncols,
-            indptr,
-            indices,
-            values,
+            indptr: indptr.into(),
+            indices: indices.into(),
+            values: values.into(),
         };
         debug_assert!(m.check_invariants().is_ok(), "CSR invariants violated");
         m
@@ -162,9 +229,9 @@ impl Csr {
         let clone = Self::from_parts(
             self.nrows,
             self.ncols,
-            self.indptr.clone(),
-            self.indices.clone(),
-            self.values.clone(),
+            self.indptr.to_vec(),
+            self.indices.to_vec(),
+            self.values.to_vec(),
         )?;
         debug_assert_eq!(&clone, self);
         Ok(())
@@ -267,10 +334,12 @@ impl Csr {
         &self.values
     }
 
-    /// Mutable access to the values (structure stays fixed).
+    /// Mutable access to the values (structure stays fixed). For a
+    /// mapped matrix this copies the value array to the heap first
+    /// (copy-on-write); the read-only serving paths never call it.
     #[inline]
     pub fn values_mut(&mut self) -> &mut [f64] {
-        &mut self.values
+        self.values.to_mut()
     }
 
     /// The column indices and values of row `i`.
@@ -410,7 +479,7 @@ impl Csr {
     /// this matrix as CSC and re-compresses by the other dimension).
     pub fn transpose(&self) -> Csr {
         let mut counts = vec![0usize; self.ncols + 1];
-        for &c in &self.indices {
+        for &c in self.indices.iter() {
             counts[c as usize + 1] += 1;
         }
         for i in 0..self.ncols {
@@ -441,11 +510,12 @@ impl Csr {
     /// Returns the number of rows that could not be normalized.
     pub fn row_normalize(&mut self) -> usize {
         let mut skipped = 0;
+        let values = self.values.to_mut();
         for row in 0..self.nrows {
             let (s, e) = (self.indptr[row], self.indptr[row + 1]);
-            let sum: f64 = self.values[s..e].iter().sum();
+            let sum: f64 = values[s..e].iter().sum();
             if sum != 0.0 {
-                for v in &mut self.values[s..e] {
+                for v in &mut values[s..e] {
                     *v /= sum;
                 }
             } else if e > s {
@@ -457,7 +527,7 @@ impl Csr {
 
     /// Multiplies every stored value by `alpha`.
     pub fn scale(&mut self, alpha: f64) {
-        for v in &mut self.values {
+        for v in self.values.to_mut() {
             *v *= alpha;
         }
     }
@@ -526,7 +596,7 @@ impl Csr {
             rows.extend(std::iter::repeat(row as u32).take(e - s));
             cols.extend_from_slice(&self.indices[s..e]);
         }
-        Coo::from_triplets(self.nrows, self.ncols, rows, cols, self.values.clone())
+        Coo::from_triplets(self.nrows, self.ncols, rows, cols, self.values.to_vec())
             .expect("CSR is always a valid COO source")
     }
 

@@ -57,6 +57,7 @@ pub mod norms;
 pub mod ops;
 pub mod permute;
 pub mod spgemm;
+pub mod storage;
 pub mod vecops;
 
 pub use coo::Coo;
@@ -67,6 +68,7 @@ pub use error::SparseError;
 pub use mem::MemBytes;
 pub use permute::Permutation;
 pub use spgemm::spgemm;
+pub use storage::Storage;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SparseError>;

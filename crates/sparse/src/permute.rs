@@ -7,15 +7,16 @@
 
 use crate::error::SparseError;
 use crate::mem::MemBytes;
+use crate::storage::Storage;
 use crate::{Csr, Result};
 
 /// A bijection on `0..n`, stored in both directions for O(1) lookups.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Permutation {
     /// `new_of_old[old] = new`
-    new_of_old: Vec<u32>,
+    new_of_old: Storage<u32>,
     /// `old_of_new[new] = old`
-    old_of_new: Vec<u32>,
+    old_of_new: Storage<u32>,
 }
 
 impl Permutation {
@@ -23,9 +24,56 @@ impl Permutation {
     pub fn identity(n: usize) -> Self {
         let v: Vec<u32> = (0..n as u32).collect();
         Self {
-            new_of_old: v.clone(),
-            old_of_new: v,
+            new_of_old: v.clone().into(),
+            old_of_new: v.into(),
         }
+    }
+
+    /// Builds a permutation from both direction maps — the zero-copy
+    /// constructor for mapped v6 indexes — with `O(1)` checks only
+    /// (equal, in-range lengths). The bijection scan of
+    /// [`Permutation::from_new_of_old`] is skipped: the maps were
+    /// validated when the index was written and are covered by the
+    /// container's section CRCs; a corrupt map surfaces as a panic on
+    /// lookup, never undefined behavior. Debug builds still verify that
+    /// the two maps are mutual inverses.
+    pub fn from_maps_trusted(new_of_old: Storage<u32>, old_of_new: Storage<u32>) -> Result<Self> {
+        if new_of_old.len() != old_of_new.len() {
+            return Err(SparseError::InvalidPermutation(format!(
+                "direction maps disagree on size: {} vs {}",
+                new_of_old.len(),
+                old_of_new.len()
+            )));
+        }
+        if new_of_old.len() > u32::MAX as usize {
+            return Err(SparseError::DimensionTooLarge {
+                dim: new_of_old.len(),
+            });
+        }
+        let p = Self {
+            new_of_old,
+            old_of_new,
+        };
+        debug_assert!(
+            (0..p.len()).all(|old| p.apply_inverse(p.apply(old)) == old),
+            "permutation maps are not mutual inverses"
+        );
+        Ok(p)
+    }
+
+    /// True when either direction map is served from a mapped index.
+    pub fn is_mapped(&self) -> bool {
+        self.new_of_old.is_mapped() || self.old_of_new.is_mapped()
+    }
+
+    /// Bytes of heap memory held by the two maps.
+    pub fn heap_bytes(&self) -> usize {
+        self.new_of_old.heap_bytes() + self.old_of_new.heap_bytes()
+    }
+
+    /// Bytes served zero-copy from a mapped index file.
+    pub fn mapped_bytes(&self) -> usize {
+        self.new_of_old.mapped_bytes() + self.old_of_new.mapped_bytes()
     }
 
     /// Builds a permutation from the forward map `new_of_old[old] = new`,
@@ -49,8 +97,8 @@ impl Permutation {
             old_of_new[new_us] = old as u32;
         }
         Ok(Self {
-            new_of_old,
-            old_of_new,
+            new_of_old: new_of_old.into(),
+            old_of_new: old_of_new.into(),
         })
     }
 

@@ -83,13 +83,76 @@ exec 9>&-   # stdin EOF → graceful shutdown
 wait "$OBS_PID"
 OBS_PID=""
 
+# Memory-mapped serving gate: preprocess to the streamed v5 format,
+# convert to the mappable v6 container, boot one daemon on the heap and
+# one on the mapping, and require byte-identical top-k responses. This
+# is the --mmap acceptance bar run against real HTTP, not just the unit
+# suite.
+echo "==> mmap serving check (convert v5 -> v6 + heap/mmap daemon diff)"
+MMAP_TMP=$(mktemp -d)
+cleanup_mmap() {
+  exec 8>&- 2>/dev/null || true
+  exec 7>&- 2>/dev/null || true
+  [ -n "${HEAP_PID:-}" ] && kill "$HEAP_PID" 2>/dev/null || true
+  [ -n "${MMAP_PID:-}" ] && kill "$MMAP_PID" 2>/dev/null || true
+  rm -rf "$MMAP_TMP"
+}
+trap 'cleanup_obs; cleanup_mmap' EXIT
+python3 - "$MMAP_TMP/edges.txt" <<'EOF'
+import sys
+with open(sys.argv[1], "w") as f:
+    n = 96
+    for i in range(n):
+        f.write(f"{i} {(i + 1) % n}\n")
+        f.write(f"{i} {(i * 5 + 2) % n}\n")
+EOF
+./target/release/bepi preprocess "$MMAP_TMP/edges.txt" "$MMAP_TMP/v5.bepi" --format v5
+./target/release/bepi convert "$MMAP_TMP/v5.bepi" "$MMAP_TMP/v6.bepi"
+# Runs in the *current* shell (no command substitution) so the fifo fd
+# and the daemon pid survive; results land in DAEMON_ADDR / DAEMON_PID.
+start_daemon() { # fifo_fd index log flags...
+  local fd=$1 index=$2 log=$3; shift 3
+  mkfifo "$MMAP_TMP/fifo$fd"
+  eval "exec $fd<> '$MMAP_TMP/fifo$fd'"
+  # 7>&- 8>&- 9>&-: a daemon must not inherit any fifo write end, its
+  # own included, or stdin EOF (the shutdown signal) can never arrive.
+  ./target/release/bepi serve "$index" --listen 127.0.0.1:0 "$@" \
+    < "$MMAP_TMP/fifo$fd" > "$log" 2>&1 7>&- 8>&- 9>&- &
+  DAEMON_PID=$!
+  DAEMON_ADDR=""
+  for _ in $(seq 1 100); do
+    DAEMON_ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\).*#\1#p' "$log" | head -n1)
+    [ -n "$DAEMON_ADDR" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$log" >&2; return 1; }
+    sleep 0.1
+  done
+  [ -n "$DAEMON_ADDR" ] || { echo "daemon never reported its address" >&2; cat "$log" >&2; return 1; }
+}
+start_daemon 7 "$MMAP_TMP/v5.bepi" "$MMAP_TMP/heap.log"
+HEAP_ADDR=$DAEMON_ADDR HEAP_PID=$DAEMON_PID
+start_daemon 8 "$MMAP_TMP/v6.bepi" "$MMAP_TMP/mmap.log" --mmap
+MMAP_ADDR=$DAEMON_ADDR MMAP_PID=$DAEMON_PID
+grep -q "memory-mapped index" "$MMAP_TMP/mmap.log" \
+  || { echo "--mmap daemon did not report a mapped index"; cat "$MMAP_TMP/mmap.log"; exit 1; }
+for seed in 0 17 42 95; do
+  curl -sf "http://$HEAP_ADDR/query?seed=$seed&top=10" > "$MMAP_TMP/heap.json"
+  curl -sf "http://$MMAP_ADDR/query?seed=$seed&top=10" > "$MMAP_TMP/mmap.json"
+  cmp "$MMAP_TMP/heap.json" "$MMAP_TMP/mmap.json" \
+    || { echo "seed $seed: mmap daemon response differs from heap daemon"; exit 1; }
+done
+exec 7>&-
+exec 8>&-
+wait "$HEAP_PID" "$MMAP_PID"
+HEAP_PID=""; MMAP_PID=""
+echo "mmap responses byte-identical to heap responses"
+
 # Bench-harness smoke: the quick preset must run end to end and emit a
 # schema-valid bepi-bench/v1 artifact (validated by the in-tree checker),
 # so `bepi bench` and BENCH_*.json consumers cannot drift apart.
 echo "==> bench smoke (bepi bench --quick + bench_check)"
 BENCH_TMP=$(mktemp -d)
-./target/release/bepi bench --quick --out "$BENCH_TMP/BENCH_PR4.json"
-./target/release/bench_check "$BENCH_TMP/BENCH_PR4.json"
+./target/release/bepi bench --quick --out "$BENCH_TMP/BENCH_PR5.json"
+./target/release/bench_check "$BENCH_TMP/BENCH_PR5.json"
 rm -rf "$BENCH_TMP"
 
 echo "==> ci OK"
