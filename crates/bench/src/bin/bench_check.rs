@@ -1,15 +1,34 @@
 //! Schema validator for `bepi bench` artifacts.
 //!
-//! Usage: `bench_check BENCH_PR4.json [...]` — exits non-zero with a
-//! diagnostic if any file is not a valid `bepi-bench/v1` document. CI
-//! runs this on the smoke artifact so the schema cannot silently drift.
+//! Usage: `bench_check [--min-precision X] BENCH_PR6.json [...]` — exits
+//! non-zero with a diagnostic if any file is not a valid `bepi-bench/v1`
+//! document, or (with `--min-precision`) if any dataset's approximate
+//! lane scores below `X` precision@k. CI runs this on the smoke artifact
+//! so neither the schema nor the approximate engines can silently drift.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut min_precision: Option<f64> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--min-precision" {
+            let Some(v) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                eprintln!("--min-precision needs a numeric value");
+                return ExitCode::from(2);
+            };
+            if !(0.0..=1.0).contains(&v) {
+                eprintln!("--min-precision must be in [0, 1], got {v}");
+                return ExitCode::from(2);
+            }
+            min_precision = Some(v);
+        } else {
+            paths.push(arg);
+        }
+    }
     if paths.is_empty() {
-        eprintln!("usage: bench_check <BENCH_*.json>...");
+        eprintln!("usage: bench_check [--min-precision X] <BENCH_*.json>...");
         return ExitCode::from(2);
     }
     let mut failed = false;
@@ -22,8 +41,18 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        match bepi_bench::perf::validate_json(&text) {
-            Ok(()) => println!("{path}: ok ({})", bepi_bench::perf::SCHEMA),
+        let result = match min_precision {
+            Some(min) => bepi_bench::perf::check_min_precision(&text, min),
+            None => bepi_bench::perf::validate_json(&text),
+        };
+        match result {
+            Ok(()) => match min_precision {
+                Some(min) => println!(
+                    "{path}: ok ({}, precision@k >= {min})",
+                    bepi_bench::perf::SCHEMA
+                ),
+                None => println!("{path}: ok ({})", bepi_bench::perf::SCHEMA),
+            },
             Err(e) => {
                 eprintln!("{path}: INVALID: {e}");
                 failed = true;

@@ -12,6 +12,13 @@
 //!    path with *seed-level* parallelism and serial kernels, the same
 //!    composition the daemon uses.
 //!
+//! Each dataset additionally gets a **precision@k** pass over the
+//! approximate serving lane ([`bepi_walk::ApproxEngine`], TPA and walk
+//! engines at epoch 0): top-20 overlap against the exact solver plus
+//! median approximate latency vs the exact-lane p50. Both engines are
+//! deterministic for fixed `(seed, epoch)`, so the reported precision is
+//! reproducible and CI can gate on it (`bench_check --min-precision`).
+//!
 //! Results are printed as a table and serialized to JSON
 //! (`schema: "bepi-bench/v1"`). The JSON is hand-rolled and validated by
 //! [`validate_json`] — also used by the `bench_check` binary that CI runs
@@ -20,11 +27,16 @@
 use crate::harness::query_seeds;
 use bepi_core::prelude::*;
 use bepi_graph::Dataset;
+use bepi_walk::{ApproxConfig, ApproxEngine, ApproxMethod};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Schema tag stamped into (and required from) every bench artifact.
 pub const SCHEMA: &str = "bepi-bench/v1";
+
+/// `k` for the approximate-lane precision@k measurement.
+pub const PRECISION_K: usize = 20;
 
 /// Configuration for a [`run`].
 #[derive(Debug, Clone)]
@@ -118,6 +130,35 @@ pub struct ColdStart {
     pub mmap: ColdStartMode,
 }
 
+/// Precision@k and latency of one approximate engine on one dataset.
+#[derive(Debug, Clone)]
+pub struct ApproxLane {
+    /// Mean fraction of the exact top-k recovered, over all seeds.
+    pub precision_at_k: f64,
+    /// Median per-query wall time, seconds (one warmup query excluded,
+    /// matching how `exact_p50_s` is measured on a warm index).
+    pub latency_p50_s: f64,
+}
+
+/// The approximate-serving measurement for one dataset: both engines at
+/// epoch 0, scored against the exact solver's top-k.
+#[derive(Debug, Clone)]
+pub struct ApproxReport {
+    /// Ranking depth compared (`min(PRECISION_K, n)`).
+    pub k: usize,
+    /// TPA series terms used (the engine's `max_terms`).
+    pub max_terms: usize,
+    /// Walks per query used by the walk engine.
+    pub walks: usize,
+    /// Truncated cumulative power iteration lane.
+    pub tpa: ApproxLane,
+    /// Step-interleaved batch walk lane.
+    pub walk: ApproxLane,
+    /// Median exact single-seed query wall time, seconds — the latency
+    /// bar the approximate lanes must beat to be worth degrading to.
+    pub exact_p50_s: f64,
+}
+
 /// All thread runs for one dataset.
 #[derive(Debug, Clone)]
 pub struct DatasetReport {
@@ -132,6 +173,9 @@ pub struct DatasetReport {
     /// Cold-start (open→first-query) comparison over a persisted v6
     /// index, heap vs mapped. `None` in artifacts from older drivers.
     pub cold_start: Option<ColdStart>,
+    /// Approximate-lane precision@k vs exact. `None` in artifacts from
+    /// drivers that predate the serving lane.
+    pub approx: Option<ApproxReport>,
 }
 
 impl DatasetReport {
@@ -243,12 +287,17 @@ pub fn run(cfg: &PerfConfig) -> bepi_sparse::Result<PerfReport> {
             )?),
             None => None,
         };
+        let approx = match &last_bepi {
+            Some(bepi) => Some(measure_approx(bepi, &g, bepi_cfg.c, &seeds)?),
+            None => None,
+        };
         datasets.push(DatasetReport {
             dataset: spec.name.to_string(),
             n: g.n(),
             m: g.m(),
             runs,
             cold_start,
+            approx,
         });
     }
     bepi_par::set_threads(0);
@@ -308,6 +357,95 @@ fn measure_cold_start(bepi: &BePi, seed: usize) -> bepi_sparse::Result<ColdStart
     result
 }
 
+/// Top-`k` nodes of a score vector, ranked by score descending with
+/// node index as the tie-break — the daemon's response ranking.
+fn top_k_nodes(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Measures both approximate engines against the exact solver: mean
+/// precision@k of the top-k sets over `seeds` (epoch 0) plus mean
+/// approximate latency and the exact-lane p50. Runs with whatever
+/// kernel-thread setting is in effect — both engines are thread-count
+/// deterministic, so precision cannot flake.
+fn measure_approx(
+    bepi: &BePi,
+    g: &bepi_graph::Graph,
+    c: f64,
+    seeds: &[usize],
+) -> bepi_sparse::Result<ApproxReport> {
+    let k = PRECISION_K.min(g.n());
+    let cfg = ApproxConfig::default();
+    let shared = Arc::new(g.clone());
+    let tpa_engine = ApproxEngine::new(
+        Arc::clone(&shared),
+        c,
+        ApproxConfig {
+            method: ApproxMethod::Tpa,
+            ..cfg
+        },
+    )?;
+    let walk_engine = ApproxEngine::new(
+        shared,
+        c,
+        ApproxConfig {
+            method: ApproxMethod::Walk,
+            ..cfg
+        },
+    )?;
+
+    let mut exact_tops = Vec::with_capacity(seeds.len());
+    let mut exact_lat = Vec::with_capacity(seeds.len());
+    for &s in seeds {
+        let t = Instant::now();
+        let scores = bepi.query(s)?.scores;
+        exact_lat.push(t.elapsed().as_secs_f64());
+        exact_tops.push(top_k_nodes(&scores, k));
+    }
+    exact_lat.sort_by(f64::total_cmp);
+    let exact_p50_s = exact_lat.get(exact_lat.len() / 2).copied().unwrap_or(0.0);
+
+    let measure_lane = |engine: &ApproxEngine| -> bepi_sparse::Result<ApproxLane> {
+        let mut hits = 0usize;
+        let mut lat = Vec::with_capacity(seeds.len());
+        // Warm the engine's operator (the exact side is warm too: the
+        // thread sweep already queried these seeds).
+        if let Some(&s) = seeds.first() {
+            engine.query(s, 0)?;
+        }
+        for (i, &s) in seeds.iter().enumerate() {
+            let t = Instant::now();
+            let est = engine.query(s, 0)?;
+            lat.push(t.elapsed().as_secs_f64());
+            let top = top_k_nodes(&est.scores, k);
+            hits += top.iter().filter(|n| exact_tops[i].contains(n)).count();
+        }
+        lat.sort_by(f64::total_cmp);
+        let denom = (k * seeds.len()).max(1) as f64;
+        Ok(ApproxLane {
+            precision_at_k: hits as f64 / denom,
+            latency_p50_s: lat.get(lat.len() / 2).copied().unwrap_or(0.0),
+        })
+    };
+
+    Ok(ApproxReport {
+        k,
+        max_terms: cfg.max_terms,
+        walks: cfg.walks,
+        tpa: measure_lane(&tpa_engine)?,
+        walk: measure_lane(&walk_engine)?,
+        exact_p50_s,
+    })
+}
+
 /// Renders the human-readable scaling table.
 pub fn render_table(report: &PerfReport) -> String {
     let mut out = String::new();
@@ -353,6 +491,19 @@ pub fn render_table(report: &PerfReport) -> String {
                 crate::table::fmt_secs(cs.heap.first_query_s),
                 crate::table::fmt_secs(cs.mmap.open_s),
                 crate::table::fmt_secs(cs.mmap.first_query_s),
+            );
+        }
+        if let Some(ap) = &ds.approx {
+            let _ = writeln!(
+                out,
+                "approx (k = {}): tpa precision {:.3} @ {}; \
+                 walk precision {:.3} @ {}; exact p50 {}",
+                ap.k,
+                ap.tpa.precision_at_k,
+                crate::table::fmt_secs(ap.tpa.latency_p50_s),
+                ap.walk.precision_at_k,
+                crate::table::fmt_secs(ap.walk.latency_p50_s),
+                crate::table::fmt_secs(ap.exact_p50_s),
             );
         }
     }
@@ -410,10 +561,28 @@ pub fn to_json(report: &PerfReport) -> String {
                 cs.mmap.open_s,
                 cs.mmap.first_query_s
             );
-            out.push_str("}\n");
-        } else {
-            out.push('\n');
+            out.push('}');
         }
+        if let Some(ap) = &ds.approx {
+            out.push_str(",\n      \"approx\": {");
+            let _ = write!(
+                out,
+                "\"k\": {}, \"max_terms\": {}, \"walks\": {}, \"epoch\": 0, \
+                 \"tpa_precision_at_k\": {:.6}, \"tpa_p50_s\": {:.9}, \
+                 \"walk_precision_at_k\": {:.6}, \"walk_p50_s\": {:.9}, \
+                 \"exact_p50_s\": {:.9}",
+                ap.k,
+                ap.max_terms,
+                ap.walks,
+                ap.tpa.precision_at_k,
+                ap.tpa.latency_p50_s,
+                ap.walk.precision_at_k,
+                ap.walk.latency_p50_s,
+                ap.exact_p50_s
+            );
+            out.push('}');
+        }
+        out.push('\n');
         out.push_str(if i + 1 < report.datasets.len() {
             "    },\n"
         } else {
@@ -524,6 +693,75 @@ pub fn validate_json(text: &str) -> std::result::Result<(), String> {
                         "dataset {i}: cold_start \"{key}\" must be finite and non-negative"
                     ));
                 }
+            }
+        }
+        // approx is optional (absent in artifacts that predate the
+        // serving lane) but must be complete and sane when present.
+        if let Some(ap) = json::get(ds, "approx") {
+            let ap = ap
+                .as_object()
+                .ok_or_else(|| format!("dataset {i}: \"approx\" must be an object"))?;
+            for key in [
+                "k",
+                "max_terms",
+                "walks",
+                "epoch",
+                "tpa_precision_at_k",
+                "tpa_p50_s",
+                "walk_precision_at_k",
+                "walk_p50_s",
+                "exact_p50_s",
+            ] {
+                let v = json::get(ap, key)
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("dataset {i}: approx missing numeric \"{key}\""))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!(
+                        "dataset {i}: approx \"{key}\" must be finite and non-negative"
+                    ));
+                }
+            }
+            for key in ["k", "max_terms", "walks"] {
+                if json::get(ap, key).and_then(|v| v.as_f64()) < Some(1.0) {
+                    return Err(format!("dataset {i}: approx \"{key}\" must be >= 1"));
+                }
+            }
+            for key in ["tpa_precision_at_k", "walk_precision_at_k"] {
+                let v = json::get(ap, key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+                if v > 1.0 {
+                    return Err(format!("dataset {i}: approx \"{key}\" must be <= 1"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The CI precision gate: requires every dataset in a valid
+/// `bepi-bench/v1` document to carry an `approx` block whose TPA *and*
+/// walk precision@k are at least `min`. Used by
+/// `bench_check --min-precision` so a regression in either approximate
+/// engine fails the build. Both engines are deterministic for fixed
+/// `(seed, epoch)`, so this gate cannot flake.
+pub fn check_min_precision(text: &str, min: f64) -> std::result::Result<(), String> {
+    validate_json(text)?;
+    let value = json::parse(text)?;
+    let obj = value.as_object().ok_or("top level must be an object")?;
+    let datasets = json::get(obj, "datasets")
+        .and_then(|v| v.as_array())
+        .ok_or("missing \"datasets\" array")?;
+    for ds in datasets {
+        let ds = ds.as_object().ok_or("dataset must be an object")?;
+        let name = json::get(ds, "dataset")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?");
+        let ap = json::get(ds, "approx")
+            .and_then(|v| v.as_object())
+            .ok_or_else(|| format!("{name}: no \"approx\" block — cannot gate precision"))?;
+        for key in ["tpa_precision_at_k", "walk_precision_at_k"] {
+            let v = json::get(ap, key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+            if v < min {
+                return Err(format!("{name}: {key} = {v:.4} is below the {min} gate"));
             }
         }
     }
@@ -808,6 +1046,20 @@ mod tests {
                         first_query_s: 0.003,
                     },
                 }),
+                approx: Some(ApproxReport {
+                    k: 20,
+                    max_terms: 64,
+                    walks: 20_000,
+                    tpa: ApproxLane {
+                        precision_at_k: 0.97,
+                        latency_p50_s: 0.0005,
+                    },
+                    walk: ApproxLane {
+                        precision_at_k: 0.95,
+                        latency_p50_s: 0.0004,
+                    },
+                    exact_p50_s: 0.002,
+                }),
             }],
         }
     }
@@ -843,6 +1095,32 @@ mod tests {
         validate_json(&to_json(&no_cold)).unwrap();
         let partial = to_json(&tiny_report()).replace("\"mmap_open_s\": 0.000100000, ", "");
         assert!(validate_json(&partial).is_err());
+        // Same for approx: optional as a whole, all-or-nothing inside,
+        // precisions bounded to [0, 1].
+        let mut no_approx = tiny_report();
+        no_approx.datasets[0].approx = None;
+        validate_json(&to_json(&no_approx)).unwrap();
+        let partial = to_json(&tiny_report()).replace("\"walk_precision_at_k\": 0.950000, ", "");
+        assert!(validate_json(&partial).is_err());
+        let over_one = to_json(&tiny_report()).replace(
+            "\"tpa_precision_at_k\": 0.970000",
+            "\"tpa_precision_at_k\": 1.5",
+        );
+        assert!(validate_json(&over_one).is_err());
+    }
+
+    #[test]
+    fn precision_gate_checks_both_engines_on_every_dataset() {
+        let text = to_json(&tiny_report());
+        check_min_precision(&text, 0.9).unwrap();
+        // The walk lane (0.95) fails a 0.96 gate even though TPA passes.
+        let err = check_min_precision(&text, 0.96).unwrap_err();
+        assert!(err.contains("walk_precision_at_k"), "{err}");
+        // A dataset without an approx block cannot be gated at all.
+        let mut no_approx = tiny_report();
+        no_approx.datasets[0].approx = None;
+        let err = check_min_precision(&to_json(&no_approx), 0.5).unwrap_err();
+        assert!(err.contains("no \"approx\" block"), "{err}");
     }
 
     #[test]
@@ -883,6 +1161,11 @@ mod tests {
             .expect("cold-start measured");
         assert!(cs.index_bytes > 0);
         assert!(cs.heap.open_s > 0.0 && cs.mmap.open_s > 0.0);
+        let ap = report.datasets[0].approx.as_ref().expect("approx measured");
+        assert_eq!(ap.k, PRECISION_K);
+        assert!((0.0..=1.0).contains(&ap.tpa.precision_at_k));
+        assert!((0.0..=1.0).contains(&ap.walk.precision_at_k));
+        assert!(ap.exact_p50_s > 0.0);
         // Iterations must not depend on the thread count (determinism).
         let iters: Vec<f64> = report.datasets[0]
             .runs

@@ -14,6 +14,21 @@ use bepi_sparse::io::read_edge_list_file;
 use bepi_sparse::mem::format_bytes;
 use std::process::ExitCode;
 
+/// How `bepi query` computes its scores: the exact BePI solve or one of
+/// the approximate engines the daemon's degraded lane uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueryMethod {
+    /// Exact: full BePI preprocessing + Schur/GMRES solve (default).
+    Bepi,
+    /// Forward push (`bepi_core::approx::forward_push`), the classic
+    /// local-push estimator.
+    Push,
+    /// Step-interleaved batch random walks (`bepi_walk::walk_scores`).
+    Walk,
+    /// Truncated cumulative power iteration (`bepi_walk::tpa_scores`).
+    Tpa,
+}
+
 struct Options {
     c: f64,
     tol: f64,
@@ -26,10 +41,16 @@ struct Options {
     threads: Option<usize>,
     format: Option<u32>,
     mmap: bool,
+    method: QueryMethod,
+    walks: usize,
+    terms: usize,
+    epsilon: f64,
+    epoch: u64,
 }
 
 impl Default for Options {
     fn default() -> Self {
+        let approx = bepi_walk::ApproxConfig::default();
         Self {
             c: bepi_core::DEFAULT_RESTART_PROB,
             tol: bepi_core::DEFAULT_TOLERANCE,
@@ -42,6 +63,11 @@ impl Default for Options {
             threads: None,
             format: None,
             mmap: false,
+            method: QueryMethod::Bepi,
+            walks: approx.walks,
+            terms: approx.max_terms,
+            epsilon: 1e-6,
+            epoch: 0,
         }
     }
 }
@@ -70,7 +96,7 @@ fn main() -> ExitCode {
 /// The one usage text: printed by `bepi help` / `--help` and after every
 /// argument error, so flag documentation cannot drift between the two.
 const USAGE: &str = "usage:
-  bepi query      <edges.txt> <seed> [--top K] [common flags]
+  bepi query      <edges.txt> <seed> [--top K] [--method M] [common flags]
   bepi ppr        <edges.txt> <seed:weight> [<seed:weight> ...] [--top K] [common flags]
   bepi community  <edges.txt> <seed> [--max-size N] [common flags]
   bepi stats      <edges.txt|index.bepi> [--mmap] [common flags]
@@ -82,6 +108,7 @@ const USAGE: &str = "usage:
   bepi serve      <index.bepi> --listen ADDR [--mmap] [--threads N]
                   [--cache-entries M]
                   [--queue-depth Q] [--timeout-ms T] [--slow-query-ms S]
+                  [--pressure F] [--approx-engine E]
                   [--wal PATH] [--auto-flush N] [--graph edges.txt]
                   [--checkpoint PATH]
                   (HTTP daemon)
@@ -100,6 +127,17 @@ common flags:
   --k RATIO        SlashBurn hub ratio (default: chosen automatically)
   --variant V      full | sparse | basic (default full)
   --top K          ranking rows to print (default 10)
+  --method M       query: scoring engine — bepi (exact, default), push
+                   (forward push), walk (step-interleaved batch random
+                   walks), tpa (truncated cumulative power iteration).
+                   walk and tpa are the deterministic approximate engines
+                   the daemon's degraded lane serves
+  --walks N        query --method walk: walks to run (default 20000)
+  --terms N        query --method tpa: max series terms (default 64)
+  --epsilon E      query --method push: push tolerance (default 1e-6)
+  --epoch N        query --method walk: RNG epoch selecting the random
+                   replicate; same (seed, epoch) is bit-identical at any
+                   thread count (default 0)
   --max-size N     community: cap the sweep-cut size
   --labels         treat node ids as arbitrary strings instead of 0-indexed
                    integers. Only for commands that read an edge list;
@@ -125,7 +163,7 @@ bench flags:
   --threads-list L comma-separated kernel-thread counts to sweep; must
                    include 1, the speedup base (default 1,2,4,8)
   --out PATH       where to write the JSON artifact (schema bepi-bench/v1,
-                   default BENCH_PR5.json)
+                   default BENCH_PR6.json)
 
 serve daemon flags (with --listen):
   --listen ADDR    bind address, e.g. 127.0.0.1:7462 (port 0 picks an
@@ -142,6 +180,14 @@ serve daemon flags (with --listen):
   --slow-query-ms S  queries at or above S milliseconds end-to-end are kept
                    in the slow-query ring served by GET /debug/slow
                    (default 100; 0 records every query)
+  --pressure F     fraction of the admission queue at which mode=auto
+                   queries start getting approximate answers instead of
+                   queueing for the exact solver (default 0.75; 0 serves
+                   every auto query approximately, useful for drills)
+  --approx-engine E  engine behind approximate answers: tpa (truncated
+                   cumulative power iteration, default) or walk
+                   (batch random walks). Needs a graph (embedded or
+                   --graph); without one, approx/auto degrade paths 400/shed
   --wal PATH       durable write-ahead log of live edge updates: every
                    accepted POST /edges batch is fsynced here and replayed
                    on restart (torn tails from a crash are tolerated)
@@ -153,14 +199,21 @@ serve daemon flags (with --listen):
                    index path itself when --wal is set); applied WAL
                    segments are truncated once the checkpoint is durable
 
-daemon endpoints: GET /query?seed=S&top=K[&trace=1]   GET /healthz
-                  GET /metrics   GET /version   GET /debug/slow
-                  POST /edges   POST /rebuild
+daemon endpoints: GET /query?seed=S&top=K[&mode=M][&epoch=N][&trace=1]
+                  GET /healthz   GET /metrics   GET /version
+                  GET /debug/slow   POST /edges   POST /rebuild
+approximate serving: ?mode= is exact, approx, or auto (default auto):
+auto answers exactly until the admission queue crosses the --pressure
+threshold, then serves deterministic approximate scores (tagged
+X-Approx: 1) instead of shedding 503 — including on the overflow lane
+once the queue is full; mode=exact keeps strict answers and sheds under
+overload; approximate responses are cached per (seed, top, version,
+mode, epoch) and byte-identical across repeats.
 observability: /query?trace=1 embeds a per-stage timing breakdown (queue
 wait, solve, top-k, serialize) in the response; /metrics exposes GMRES
 iteration histograms, per-phase preprocessing timings, WAL fsync latency,
-and queue-depth/in-flight gauges; /debug/slow returns the latest slow
-queries as JSON.
+approx/degraded counters, and queue-depth/in-flight gauges; /debug/slow
+returns the latest slow queries as JSON (approx-flagged).
 live updates: POST /edges takes JSON lines {\"op\":\"insert\",\"u\":0,\"v\":5};
 queries keep serving the last completed rebuild (check X-Graph-Version)
 until a rebuild flushes the buffer.
@@ -287,6 +340,36 @@ fn parse_opts(mut rest: &[String]) -> Result<Options, String> {
                 )
             }
             "--format" => o.format = Some(parse_format(value)?),
+            "--method" => {
+                o.method = match value.as_str() {
+                    "bepi" => QueryMethod::Bepi,
+                    "push" => QueryMethod::Push,
+                    "walk" => QueryMethod::Walk,
+                    "tpa" => QueryMethod::Tpa,
+                    m => return Err(format!("bad --method: {m} (try bepi|push|walk|tpa)")),
+                }
+            }
+            "--walks" => {
+                o.walks = value.parse().map_err(|_| format!("bad --walks: {value}"))?;
+                if o.walks == 0 {
+                    return Err("--walks must be at least 1".into());
+                }
+            }
+            "--terms" => {
+                o.terms = value.parse().map_err(|_| format!("bad --terms: {value}"))?;
+                if o.terms == 0 {
+                    return Err("--terms must be at least 1".into());
+                }
+            }
+            "--epsilon" => {
+                o.epsilon = value
+                    .parse()
+                    .map_err(|_| format!("bad --epsilon: {value}"))?;
+                if o.epsilon <= 0.0 || o.epsilon.is_nan() {
+                    return Err("--epsilon must be positive".into());
+                }
+            }
+            "--epoch" => o.epoch = value.parse().map_err(|_| format!("bad --epoch: {value}"))?,
             "--variant" => {
                 o.variant = match value.as_str() {
                     "full" => BePiVariant::Full,
@@ -385,11 +468,53 @@ fn print_ranking(loaded: &Loaded, scores: &RwrScores, top: usize) {
 fn cmd_query(path: &str, seed_s: &str, o: &Options) -> Result<(), String> {
     let loaded = load(path, o)?;
     let seed = loaded.node_id(seed_s)?;
-    let solver = preprocess(&loaded.graph, o)?;
-    let r = solver.query(seed).map_err(|e| e.to_string())?;
+    let (label, r) = match o.method {
+        QueryMethod::Bepi => {
+            let solver = preprocess(&loaded.graph, o)?;
+            let r = solver.query(seed).map_err(|e| e.to_string())?;
+            (o.variant.name().to_string(), r)
+        }
+        QueryMethod::Push => {
+            let out = bepi_core::approx::forward_push(&loaded.graph, o.c, seed, o.epsilon)
+                .map_err(|e| e.to_string())?;
+            (
+                format!(
+                    "forward-push (epsilon {:e}, {} pushes, {} touched)",
+                    o.epsilon, out.pushes, out.touched
+                ),
+                out.scores,
+            )
+        }
+        QueryMethod::Walk | QueryMethod::Tpa => {
+            let method = if o.method == QueryMethod::Walk {
+                bepi_walk::ApproxMethod::Walk
+            } else {
+                bepi_walk::ApproxMethod::Tpa
+            };
+            let engine = bepi_walk::ApproxEngine::new(
+                std::sync::Arc::new(loaded.graph.clone()),
+                o.c,
+                bepi_walk::ApproxConfig {
+                    method,
+                    walks: o.walks,
+                    max_terms: o.terms,
+                    ..bepi_walk::ApproxConfig::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            let r = engine.query(seed, o.epoch).map_err(|e| e.to_string())?;
+            let label = match method {
+                bepi_walk::ApproxMethod::Walk => {
+                    format!("walk ({} walks, epoch {})", o.walks, o.epoch)
+                }
+                bepi_walk::ApproxMethod::Tpa => format!("tpa (max {} terms)", o.terms),
+            };
+            (label, r)
+        }
+    };
     println!(
         "# {} on {} nodes / {} edges, seed {}, {} inner iterations",
-        o.variant.name(),
+        label,
         loaded.graph.n(),
         loaded.graph.m(),
         seed_s,
@@ -747,7 +872,7 @@ fn cmd_bench(flags: &[String]) -> Result<(), String> {
     } else {
         perf::PerfConfig::full()
     };
-    let mut out_path = String::from("BENCH_PR5.json");
+    let mut out_path = String::from("BENCH_PR6.json");
     let mut rest = flags;
     while let Some((flag, tail)) = rest.split_first() {
         if flag == "--quick" {
@@ -811,6 +936,7 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
     let mut checkpoint: Option<String> = None;
     let mut auto_flush: usize = 0;
     let mut mmap = false;
+    let mut approx_cfg = bepi_walk::ApproxConfig::default();
     let mut rest = flags;
     while let Some((flag, tail)) = rest.split_first() {
         if flag == "--mmap" {
@@ -863,6 +989,19 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| format!("bad --slow-query-ms: {value}"))?;
                 cfg.slow_query = std::time::Duration::from_millis(ms);
+            }
+            "--pressure" => {
+                let p: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad --pressure: {value}"))?;
+                if p.is_nan() || p < 0.0 {
+                    return Err("--pressure must be a non-negative fraction".into());
+                }
+                cfg.pressure = p;
+            }
+            "--approx-engine" => {
+                approx_cfg.method = bepi_walk::ApproxMethod::parse(value)
+                    .ok_or_else(|| format!("bad --approx-engine: {value} (try tpa|walk)"))?;
             }
             f => return Err(format!("unknown serve flag: {f}")),
         }
@@ -917,6 +1056,7 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
                     // --mmap also upgrades checkpoints to the mappable
                     // v6 format and re-maps them after each rebuild.
                     mmap_checkpoints: mmap,
+                    approx: approx_cfg,
                 },
             )
             .map_err(|e| e.to_string())?
@@ -951,8 +1091,17 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
         version,
     );
     println!(
-        "endpoints: /query?seed=S&top=K[&trace=1]  /healthz  /metrics  \
-         /version  /debug/slow  POST /edges  POST /rebuild"
+        "endpoints: /query?seed=S&top=K[&mode=exact|approx|auto][&trace=1]  /healthz  \
+         /metrics  /version  /debug/slow  POST /edges  POST /rebuild"
+    );
+    println!(
+        "approximate lane: {} (mode=auto degrades at {:.0}% queue pressure)",
+        if live {
+            format!("{} engine", approx_cfg.method.name())
+        } else {
+            "unavailable (no graph)".to_string()
+        },
+        cfg.pressure * 100.0,
     );
     println!("EOF on stdin (e.g. ctrl-D) shuts down gracefully");
 

@@ -67,6 +67,31 @@ fn every_parsed_flag_is_documented_in_help() {
 }
 
 #[test]
+fn help_documents_every_query_method_and_serving_mode() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bepi"))
+        .arg("help")
+        .output()
+        .expect("run bepi help");
+    let help = String::from_utf8(out.stdout).expect("utf8 help text");
+    // `--method` must be documented with all four engines, and the
+    // daemon's mode parameter with all three values — these are the
+    // user-facing names of the approximate-serving surface.
+    assert!(help.contains("--method"), "missing --method");
+    for method in ["bepi", "push", "walk", "tpa"] {
+        assert!(
+            help.contains(method),
+            "query method `{method}` missing from help output"
+        );
+    }
+    assert!(
+        help.contains("mode=exact|approx|auto") || help.contains("mode=M"),
+        "daemon mode parameter missing from help output"
+    );
+    assert!(help.contains("--pressure"), "missing --pressure");
+    assert!(help.contains("--approx-engine"), "missing --approx-engine");
+}
+
+#[test]
 fn help_lists_every_subcommand_dispatched() {
     let out = Command::new(env!("CARGO_BIN_EXE_bepi"))
         .arg("help")

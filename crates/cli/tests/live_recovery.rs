@@ -9,7 +9,7 @@ use bepi_core::prelude::*;
 use bepi_core::EdgeUpdate;
 use bepi_graph::Graph;
 use bepi_server::worker::render_query_body;
-use bepi_server::QueryKey;
+use bepi_server::{QueryKey, ResponseMode};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
@@ -183,6 +183,7 @@ fn sigkill_and_restart_replays_acknowledged_updates() {
             seed: 0,
             top_k: 10,
             version: 1,
+            mode: ResponseMode::Exact,
         },
         &scores,
     );

@@ -16,6 +16,13 @@
 //! Both return scores in the same normalization as the exact solvers
 //! (`Σ r ≤ 1`, `= 1` on deadend-free graphs), so they are directly
 //! comparable against [`crate::BePi`] in the tests.
+//!
+//! For *serving*, the `bepi-walk` crate supersedes [`monte_carlo`]: its
+//! step-interleaved batch walk engine and truncated cumulative power
+//! iteration are deterministic per `(seed, epoch)` at any thread count,
+//! which the daemon's response cache requires. The implementations here
+//! remain the readable reference versions (and [`forward_push`] backs
+//! `bepi query --method push`, which has no `bepi-walk` counterpart).
 
 use crate::rwr::{check_restart_prob, check_seed, RwrScores};
 use bepi_graph::Graph;

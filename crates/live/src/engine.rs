@@ -17,6 +17,7 @@ use bepi_core::rwr::RwrSolver;
 use bepi_core::{persist, BePi, BePiConfig};
 use bepi_graph::Graph;
 use bepi_sparse::{Result, SparseError};
+use bepi_walk::{ApproxConfig, ApproxEngine};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -32,6 +33,11 @@ pub struct VersionedIndex {
     pub version: u64,
     /// The preprocessed, read-only index for this epoch.
     pub bepi: Arc<BePi>,
+    /// The approximate serving engine over this epoch's graph, rebuilt
+    /// at every hot-swap so exact and approximate lanes always answer
+    /// from the same graph state. `None` when the index was loaded
+    /// without its graph — the approximate lane is then unavailable.
+    pub approx: Option<Arc<ApproxEngine>>,
 }
 
 /// Tuning for [`LiveEngine::start`].
@@ -55,6 +61,9 @@ pub struct LiveConfig {
     /// serving never gaps). `false` keeps the streamed v5 checkpoint
     /// format and heap serving.
     pub mmap_checkpoints: bool,
+    /// Tuning for the approximate serving engine built alongside every
+    /// snapshot (estimator choice, walks per query, TPA term budget).
+    pub approx: ApproxConfig,
 }
 
 /// What [`LiveEngine::submit`] did with a batch.
@@ -121,6 +130,7 @@ pub struct LiveEngine {
     shutdown: AtomicBool,
     worker: Mutex<Option<JoinHandle<()>>>,
     solver_config: BePiConfig,
+    approx_config: ApproxConfig,
     auto_flush_threshold: usize,
     checkpoint_path: Option<PathBuf>,
     mmap_checkpoints: bool,
@@ -131,10 +141,37 @@ pub struct LiveEngine {
 
 impl LiveEngine {
     /// Wraps an index with no graph: queries work, updates are rejected.
-    /// This is the daemon's classic static-snapshot mode.
+    /// This is the daemon's classic static-snapshot mode. The
+    /// approximate lane needs the graph, so it is unavailable here —
+    /// use [`LiveEngine::frozen_with_graph`] when the graph is on hand.
     pub fn frozen(bepi: Arc<BePi>) -> Arc<Self> {
+        Self::frozen_inner(bepi, None, ApproxConfig::default())
+    }
+
+    /// Wraps an index *with* its graph, still frozen (updates are
+    /// rejected), but with the approximate serving lane enabled: the
+    /// snapshot carries an [`ApproxEngine`] built from the graph with
+    /// the index's own restart probability.
+    pub fn frozen_with_graph(
+        bepi: Arc<BePi>,
+        graph: Graph,
+        approx_config: ApproxConfig,
+    ) -> Arc<Self> {
+        let approx = build_approx(&bepi, &Arc::new(graph), approx_config);
+        Self::frozen_inner(bepi, approx, approx_config)
+    }
+
+    fn frozen_inner(
+        bepi: Arc<BePi>,
+        approx: Option<Arc<ApproxEngine>>,
+        approx_config: ApproxConfig,
+    ) -> Arc<Self> {
         Arc::new(Self {
-            current: Mutex::new(Arc::new(VersionedIndex { version: 1, bepi })),
+            current: Mutex::new(Arc::new(VersionedIndex {
+                version: 1,
+                bepi,
+                approx,
+            })),
             state: Mutex::new(MutState {
                 graph: None,
                 pending: Vec::new(),
@@ -149,6 +186,7 @@ impl LiveEngine {
             shutdown: AtomicBool::new(false),
             worker: Mutex::new(None),
             solver_config: BePiConfig::default(),
+            approx_config,
             auto_flush_threshold: 0,
             checkpoint_path: None,
             mmap_checkpoints: false,
@@ -202,8 +240,13 @@ impl LiveEngine {
             wal = Some(w);
         }
 
+        let approx = build_approx(&bepi, &Arc::new(graph.clone()), config.approx);
         let engine = Arc::new(Self {
-            current: Mutex::new(Arc::new(VersionedIndex { version: 1, bepi })),
+            current: Mutex::new(Arc::new(VersionedIndex {
+                version: 1,
+                bepi,
+                approx,
+            })),
             state: Mutex::new(MutState {
                 graph: Some(graph),
                 pending: Vec::new(),
@@ -218,6 +261,7 @@ impl LiveEngine {
             shutdown: AtomicBool::new(false),
             worker: Mutex::new(None),
             solver_config,
+            approx_config: config.approx,
             auto_flush_threshold: config.auto_flush_threshold,
             checkpoint_path: config.checkpoint_path,
             mmap_checkpoints: config.mmap_checkpoints,
@@ -458,8 +502,8 @@ impl LiveEngine {
     /// Failures are logged and leave the heap snapshot serving — the
     /// checkpoint itself already landed.
     fn remap_from_checkpoint(&self, path: &std::path::Path, expected: &VersionedIndex) {
-        let mapped = match persist::load_mapped_file(path) {
-            Ok((bepi, _graph)) => Arc::new(bepi),
+        let (mapped, mapped_graph) = match persist::load_mapped_file(path) {
+            Ok((bepi, graph)) => (Arc::new(bepi), graph),
             Err(e) => {
                 bepi_obs::warn!(
                     "live",
@@ -469,6 +513,14 @@ impl LiveEngine {
                 return;
             }
         };
+        // Same graph state, new backing: rebuild the approximate engine
+        // over the *mapped* adjacency when the checkpoint embeds it (its
+        // pages are then shared with the exact index), else keep the
+        // heap-built engine — the scores are bit-identical either way.
+        let approx = match mapped_graph {
+            Some(g) => build_approx(&mapped, &Arc::new(g), self.approx_config),
+            None => expected.approx.clone(),
+        };
         let mut current = self.current.lock().unwrap_or_else(|e| e.into_inner());
         if current.version != expected.version {
             return;
@@ -476,12 +528,40 @@ impl LiveEngine {
         *current = Arc::new(VersionedIndex {
             version: expected.version,
             bepi: mapped,
+            approx,
         });
         bepi_obs::debug!(
             "live",
             "serving mapped checkpoint",
             version = expected.version
         );
+    }
+}
+
+/// Builds the approximate engine for one snapshot. Approximate serving
+/// is an optional lane: any failure (or a graph that does not match the
+/// index) degrades to exact-only serving with a logged warning instead
+/// of failing the snapshot.
+fn build_approx(bepi: &BePi, graph: &Arc<Graph>, cfg: ApproxConfig) -> Option<Arc<ApproxEngine>> {
+    if graph.n() != bepi.node_count() {
+        bepi_obs::warn!(
+            "live",
+            "graph does not match index; approximate lane disabled",
+            graph_nodes = graph.n(),
+            index_nodes = bepi.node_count()
+        );
+        return None;
+    }
+    match ApproxEngine::new(Arc::clone(graph), bepi.config().c, cfg) {
+        Ok(engine) => Some(Arc::new(engine)),
+        Err(e) => {
+            bepi_obs::warn!(
+                "live",
+                "approximate engine build failed; lane disabled",
+                error = e
+            );
+            None
+        }
     }
 }
 
@@ -544,6 +624,14 @@ fn worker_loop(engine: &LiveEngine) {
                 engine
                     .last_rebuild_micros
                     .store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+                // The approximate lane swaps in lockstep with the exact
+                // one: both engines in a snapshot answer from the same
+                // graph state, so a mode=approx response can never mix
+                // epochs with a mode=exact one. Built before the swap
+                // lock, off the serving path.
+                let bepi = Arc::new(bepi);
+                let approx =
+                    build_approx(&bepi, &Arc::new(new_graph.clone()), engine.approx_config);
                 // Phase 3: the hot-swap. One pointer exchange; queries
                 // already holding the old Arc finish on the old snapshot.
                 let new_version = {
@@ -552,7 +640,8 @@ fn worker_loop(engine: &LiveEngine) {
                     let v = current.version + 1;
                     *current = Arc::new(VersionedIndex {
                         version: v,
-                        bepi: Arc::new(bepi),
+                        bepi,
+                        approx,
                     });
                     v
                 };

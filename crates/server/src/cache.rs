@@ -15,11 +15,37 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 
+/// Which lane rendered (or will render) a response. Part of [`QueryKey`]
+/// because exact and approximate answers for the same seed differ — a
+/// cached exact body must never satisfy an approximate request or vice
+/// versa. The key always holds the *resolved* mode: a `mode=auto` request
+/// that resolves to the exact lane shares cache entries with explicit
+/// `mode=exact` (they are byte-identical), and one that degrades to the
+/// approximate lane shares entries with explicit `mode=approx` at the
+/// same epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResponseMode {
+    /// The exact BePI solve (Schur complement + GMRES).
+    Exact,
+    /// The deterministic approximate engine (`bepi-walk`). `epoch`
+    /// selects the walk engine's random replicate and is part of the
+    /// response identity — different epochs are different bodies.
+    Approx {
+        /// RNG epoch the approximate answer was computed under.
+        epoch: u64,
+    },
+}
+
 /// Cache key: the query endpoint's full identity. Two requests with the
 /// same key produce byte-identical responses — each served snapshot is
-/// immutable, and `version` names the snapshot, so entries rendered from
-/// a pre-hot-swap index can never answer a post-swap request. Stale
-/// versions age out through normal LRU eviction.
+/// immutable, `version` names the snapshot, and `mode` names the lane
+/// (both engines are deterministic per key), so entries rendered from a
+/// pre-hot-swap index or from the other lane can never answer this
+/// request. Stale versions age out through normal LRU eviction.
+///
+/// Invariant: every query parameter that can change the response body
+/// must be a field here. The `stale_lane_entries_never_cross` test pins
+/// the mode half of that contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QueryKey {
     /// Seed node id.
@@ -28,6 +54,8 @@ pub struct QueryKey {
     pub top_k: usize,
     /// Graph snapshot version the response was rendered from.
     pub version: u64,
+    /// Resolved serving lane (exact vs approximate + epoch).
+    pub mode: ResponseMode,
 }
 
 const NIL: usize = usize::MAX;
@@ -207,6 +235,7 @@ mod tests {
             seed,
             top_k: 10,
             version: 1,
+            mode: ResponseMode::Exact,
         }
     }
 
@@ -246,6 +275,7 @@ mod tests {
             seed: 1,
             top_k,
             version,
+            mode: ResponseMode::Exact,
         };
         c.insert(key(5, 1), v("five"));
         c.insert(key(9, 1), v("nine"));
@@ -257,6 +287,37 @@ mod tests {
         c.insert(key(5, 2), v("five-v2"));
         assert_eq!(c.get(&key(5, 2)).as_deref(), Some("five-v2"));
         assert_eq!(c.get(&key(5, 1)).as_deref(), Some("five"));
+    }
+
+    #[test]
+    fn stale_lane_entries_never_cross() {
+        // Regression test for the cache-key contract: an entry rendered
+        // by one lane must never answer a request for the other, for any
+        // overlap of seed/top_k/version — and approximate entries are
+        // further isolated per epoch.
+        let c = ResponseCache::new(16, 2);
+        let key = |mode| QueryKey {
+            seed: 7,
+            top_k: 10,
+            version: 3,
+            mode,
+        };
+        c.insert(key(ResponseMode::Exact), v("exact-body"));
+        assert_eq!(c.get(&key(ResponseMode::Approx { epoch: 0 })), None);
+        assert_eq!(c.get(&key(ResponseMode::Approx { epoch: 1 })), None);
+
+        c.insert(key(ResponseMode::Approx { epoch: 0 }), v("approx-e0"));
+        // The approx insert must not clobber or shadow the exact entry.
+        assert_eq!(
+            c.get(&key(ResponseMode::Exact)).as_deref(),
+            Some("exact-body")
+        );
+        assert_eq!(
+            c.get(&key(ResponseMode::Approx { epoch: 0 })).as_deref(),
+            Some("approx-e0")
+        );
+        // A different epoch is a different replicate: still a miss.
+        assert_eq!(c.get(&key(ResponseMode::Approx { epoch: 1 })), None);
     }
 
     #[test]

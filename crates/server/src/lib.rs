@@ -9,14 +9,18 @@
 //! protocol crates) with
 //!
 //! * a fixed worker pool sharing one read-only [`Arc<BePi>`],
-//! * a bounded admission queue that sheds load with `503 Retry-After`
-//!   when full,
+//! * a bounded admission queue, plus a degraded overflow lane: when the
+//!   main queue is full, connections route to a dedicated worker that
+//!   answers `mode=auto` / `mode=approx` queries from the deterministic
+//!   approximate engine (`bepi-walk`, responses tagged `X-Approx: 1`)
+//!   and sheds everything else with `503 Retry-After`,
 //! * a per-request deadline stamped at admission (queue wait counts),
 //! * a sharded LRU cache over rendered responses keyed
-//!   `(seed, top_k, graph_version)`, so hot seeds skip the GMRES solve
-//!   entirely and hot-swaps can never serve stale bodies,
-//! * `GET /query?seed=S&top=K`, `GET /healthz`, `GET /metrics`
-//!   (Prometheus text format),
+//!   `(seed, top_k, graph_version, resolved mode)`, so hot seeds skip
+//!   the solve entirely, hot-swaps can never serve stale bodies, and
+//!   exact/approximate answers never cross lanes,
+//! * `GET /query?seed=S&top=K&mode=exact|approx|auto`, `GET /healthz`,
+//!   `GET /metrics` (Prometheus text format),
 //! * live updates via `bepi_live::LiveEngine` ([`Server::start_live`]):
 //!   `POST /edges` (JSON-lines batch), `POST /rebuild` (force flush),
 //!   `GET /version`, with every `/query` response stamped
@@ -47,7 +51,7 @@ pub mod shutdown;
 pub mod slowlog;
 pub mod worker;
 
-pub use cache::{QueryKey, ResponseCache};
+pub use cache::{QueryKey, ResponseCache, ResponseMode};
 pub use metrics::{parse_metric, render_live_metrics, render_obs_metrics, Metrics};
 pub use slowlog::{SlowQuery, SlowQueryLog};
 
@@ -82,6 +86,13 @@ pub struct ServerConfig {
     pub slow_query: Duration,
     /// Entries retained by the slow-query log ring.
     pub slow_log_entries: usize,
+    /// Fraction of `queue_depth` at which `mode=auto` queries start
+    /// routing to the approximate lane (graceful degradation kicks in
+    /// *before* the queue is full and connections start overflowing).
+    /// `0.0` serves every `auto` query approximately — a deterministic
+    /// hook for tests and drills; values ≥ 1.0 degrade only via the
+    /// overflow lane.
+    pub pressure: f64,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +105,7 @@ impl Default for ServerConfig {
             timeout: Duration::from_secs(10),
             slow_query: Duration::from_millis(100),
             slow_log_entries: 64,
+            pressure: 0.75,
         }
     }
 }
@@ -106,6 +118,22 @@ impl ServerConfig {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
+    }
+
+    /// Main-queue depth at which `mode=auto` routes approximate:
+    /// `ceil(pressure × queue_depth)`. Zero (or negative) means "always
+    /// pressured"; `+inf` saturates to "never" (the cast saturates at
+    /// `u64::MAX`, a depth the gauge cannot reach).
+    fn pressure_slots(&self) -> u64 {
+        let p = if self.pressure.is_nan() {
+            0.75
+        } else {
+            self.pressure
+        };
+        if p <= 0.0 {
+            return 0;
+        }
+        (p * self.queue_depth as f64).ceil() as u64
     }
 }
 
@@ -165,6 +193,10 @@ impl Server {
         ));
         let shutdown = Shutdown::new(addr);
         let (tx, rx) = bounded::<Job>(config.queue_depth);
+        // Overflow lane: connections the main queue cannot absorb are
+        // re-tagged degraded and parked here for the dedicated degraded
+        // worker, which answers only approximate-eligible `/query`s.
+        let (degraded_tx, degraded_rx) = bounded::<Job>(config.queue_depth.max(1));
 
         let slow_log = Arc::new(SlowQueryLog::new(
             config.slow_log_entries,
@@ -175,8 +207,9 @@ impl Server {
             cache: Arc::clone(&cache),
             metrics: Arc::clone(&metrics),
             slow_log,
+            pressure_slots: config.pressure_slots(),
         });
-        let workers: Vec<JoinHandle<()>> = (0..threads)
+        let mut workers: Vec<JoinHandle<()>> = (0..threads)
             .map(|i| {
                 let rx = rx.clone();
                 let ctx = Arc::clone(&ctx);
@@ -186,6 +219,16 @@ impl Server {
             })
             .collect::<std::io::Result<_>>()?;
         drop(rx);
+        // One worker is enough for the overflow lane: the approximate
+        // engines it runs are orders of magnitude cheaper than the exact
+        // solve, and a saturated daemon should spend its cores on the
+        // queries it already admitted.
+        workers.push({
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name("bepi-degraded".to_string())
+                .spawn(move || worker::worker_loop(degraded_rx, ctx))?
+        });
 
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
@@ -194,7 +237,7 @@ impl Server {
             std::thread::Builder::new()
                 .name("bepi-acceptor".to_string())
                 .spawn(move || {
-                    accept_loop(listener, tx, shutdown, metrics, timeout);
+                    accept_loop(listener, tx, degraded_tx, shutdown, metrics, timeout);
                 })?
         };
 
@@ -209,12 +252,16 @@ impl Server {
     }
 }
 
-/// Admission: accept, stamp the deadline, try to enqueue; shed with `503`
-/// when the queue is full. Exits (dropping the queue sender, which lets
-/// the workers drain and stop) once shutdown is requested.
+/// Admission: accept, stamp the deadline, try to enqueue. When the main
+/// queue is full the connection is re-tagged [`worker::Lane::Degraded`]
+/// and offered to the overflow lane (whose worker serves only
+/// approximate-eligible `/query`s); only when that lane is also full is
+/// the connection shed with `503`. Exits (dropping both queue senders,
+/// which lets the workers drain and stop) once shutdown is requested.
 fn accept_loop(
     listener: TcpListener,
     tx: queue::Producer<Job>,
+    degraded_tx: queue::Producer<Job>,
     shutdown: Arc<Shutdown>,
     metrics: Arc<Metrics>,
     timeout: Duration,
@@ -240,19 +287,28 @@ fn accept_loop(
             stream,
             deadline: now + timeout,
             accepted_at: now,
+            lane: worker::Lane::Normal,
         };
         // Incremented before the push so a worker's decrement can never
-        // observe the gauge at zero and wrap; shed paths undo it.
+        // observe the gauge at zero and wrap; shed paths undo it. The
+        // gauge tracks the *main* queue only — degraded admissions have
+        // their own counter.
         metrics
             .queue_depth
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         match tx.try_push(job) {
             Ok(()) => {}
-            Err(PushError::Full(job)) => {
+            Err(PushError::Full(mut job)) => {
                 metrics
                     .queue_depth
                     .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
-                worker::shed_connection(job.stream, &metrics);
+                job.lane = worker::Lane::Degraded;
+                match degraded_tx.try_push(job) {
+                    Ok(()) => Metrics::inc(&metrics.degraded_total),
+                    Err(PushError::Full(job) | PushError::Closed(job)) => {
+                        worker::shed_connection(job.stream, &metrics);
+                    }
+                }
             }
             Err(PushError::Closed(_)) => {
                 metrics
@@ -262,8 +318,8 @@ fn accept_loop(
             }
         }
     }
-    // Dropping `tx` closes the queue: workers finish everything already
-    // admitted, then exit — the graceful drain.
+    // Dropping `tx` and `degraded_tx` closes both queues: workers finish
+    // everything already admitted, then exit — the graceful drain.
 }
 
 /// A handle on a running server: its bound address, metrics, and the

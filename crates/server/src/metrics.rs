@@ -76,6 +76,12 @@ pub struct Metrics {
     pub cache_hits_total: AtomicU64,
     /// `/query` responses that ran the solver.
     pub cache_misses_total: AtomicU64,
+    /// `/query` responses answered by the approximate lane (any mode
+    /// that resolved to approximate, cache hits included).
+    pub approx_requests_total: AtomicU64,
+    /// Connections admitted through the degraded overflow lane because
+    /// the main admission queue was full.
+    pub degraded_total: AtomicU64,
     /// Connections shed with 503 because the admission queue was full.
     pub rejected_total: AtomicU64,
     /// Requests shed with 504 because their deadline expired in queue.
@@ -108,7 +114,7 @@ impl Metrics {
     /// version=0.0.4`).
     pub fn render(&self) -> String {
         let mut out = String::with_capacity(2048);
-        let counters: [(&str, &str, &AtomicU64); 11] = [
+        let counters: [(&str, &str, &AtomicU64); 13] = [
             (
                 "bepi_connections_total",
                 "Connections accepted by the listener.",
@@ -133,6 +139,16 @@ impl Metrics {
                 "bepi_cache_misses_total",
                 "/query responses that ran the RWR solver.",
                 &self.cache_misses_total,
+            ),
+            (
+                "bepi_approx_requests_total",
+                "/query responses answered by the approximate lane.",
+                &self.approx_requests_total,
+            ),
+            (
+                "bepi_degraded_total",
+                "Connections admitted through the degraded overflow lane.",
+                &self.degraded_total,
             ),
             (
                 "bepi_rejected_total",

@@ -26,6 +26,8 @@ pub struct SlowQuery {
     pub version: u64,
     /// `top` parameter of the query.
     pub top_k: u64,
+    /// Whether the approximate lane answered (mode resolved to approx).
+    pub approx: bool,
 }
 
 /// Ring of the last N queries that exceeded the slow threshold.
@@ -64,6 +66,7 @@ impl SlowQueryLog {
         fields[4] = u64::from(q.cache_hit);
         fields[5] = q.version;
         fields[6] = q.top_k;
+        fields[7] = u64::from(q.approx);
         self.ring.push(fields);
     }
 
@@ -80,6 +83,7 @@ impl SlowQueryLog {
                 cache_hit: f[4] != 0,
                 version: f[5],
                 top_k: f[6],
+                approx: f[7] != 0,
             })
             .collect()
     }
@@ -98,14 +102,15 @@ impl SlowQueryLog {
             }
             body.push_str(&format!(
                 "{{\"seed\":{},\"latency_us\":{},\"iterations\":{},\"residual\":{},\
-                 \"cache_hit\":{},\"version\":{},\"top\":{}}}",
+                 \"cache_hit\":{},\"version\":{},\"top\":{},\"approx\":{}}}",
                 e.seed,
                 e.latency_us,
                 e.iterations,
                 fmt_residual(e.residual),
                 e.cache_hit,
                 e.version,
-                e.top_k
+                e.top_k,
+                e.approx
             ));
         }
         body.push_str("]}");
@@ -134,6 +139,7 @@ mod tests {
             cache_hit: seed % 2 == 0,
             version: 1,
             top_k: 10,
+            approx: false,
         }
     }
 
@@ -170,6 +176,7 @@ mod tests {
             cache_hit: false,
             version: 7,
             top_k: 5,
+            approx: true,
         });
         let json = log.render_json();
         assert!(json.starts_with("{\"threshold_us\":0,\"capacity\":4,\"entries\":["));
@@ -180,6 +187,7 @@ mod tests {
         assert!(json.contains("\"cache_hit\":false"));
         assert!(json.contains("\"version\":7"));
         assert!(json.contains("\"top\":5"));
+        assert!(json.contains("\"approx\":true"));
         assert!(json.ends_with("]}"));
     }
 }

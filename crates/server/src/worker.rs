@@ -11,7 +11,7 @@
 //! `X-Graph-Version` response header all come from the same epoch even
 //! if a rebuild hot-swaps the index mid-request.
 
-use crate::cache::{QueryKey, ResponseCache};
+use crate::cache::{QueryKey, ResponseCache, ResponseMode};
 use crate::http::{self, ParseError, Request};
 use crate::metrics::{render_live_metrics, render_obs_metrics, Metrics};
 use crate::slowlog::{SlowQuery, SlowQueryLog};
@@ -29,6 +29,19 @@ use std::time::{Duration, Instant};
 /// Default `top` when the query string omits it.
 pub const DEFAULT_TOP_K: usize = 10;
 
+/// Which admission lane a connection came through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// The main bounded admission queue: full service.
+    Normal,
+    /// The degraded overflow lane: the main queue was full, so this
+    /// connection gets only what the approximate engine can answer
+    /// cheaply — `GET /query` with a mode that permits approximation.
+    /// Everything else is shed exactly as if the overflow lane did not
+    /// exist.
+    Degraded,
+}
+
 /// One accepted connection waiting for service. The deadline is stamped
 /// at *admission*, so time spent waiting in the queue counts against it.
 pub struct Job {
@@ -40,6 +53,8 @@ pub struct Job {
     /// latency reported by `?trace=1` and the slow-query log both start
     /// here.
     pub accepted_at: Instant,
+    /// Which admission lane accepted the connection.
+    pub lane: Lane,
 }
 
 /// Everything a worker needs, shared across the pool.
@@ -53,13 +68,23 @@ pub struct WorkerContext {
     pub metrics: Arc<Metrics>,
     /// Ring buffer behind `GET /debug/slow`.
     pub slow_log: Arc<SlowQueryLog>,
+    /// Main-queue depth at which `mode=auto` queries start routing to
+    /// the approximate lane (`ceil(pressure × queue_depth)`). Zero means
+    /// every `auto` query is served approximately when the engine
+    /// exists — the deterministic hook CI uses.
+    pub pressure_slots: u64,
 }
 
 /// Worker main loop: drains the admission queue until it is closed *and*
-/// empty, which is exactly the graceful-shutdown drain semantics.
+/// empty, which is exactly the graceful-shutdown drain semantics. Runs
+/// both the normal pool and the degraded overflow worker (the job's
+/// [`Lane`] carries the difference; the queue-depth gauge tracks the
+/// main queue only).
 pub fn worker_loop(rx: crate::queue::Consumer<Job>, ctx: Arc<WorkerContext>) {
     while let Some(job) = rx.pop() {
-        ctx.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        if job.lane == Lane::Normal {
+            ctx.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        }
         ctx.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
         // A panic while serving one connection must not kill the worker:
         // the stream is dropped (client sees a reset), the panic is
@@ -88,6 +113,7 @@ fn handle_connection(job: Job, ctx: &WorkerContext) {
         stream,
         deadline,
         accepted_at,
+        lane,
     } = job;
     let started = Instant::now();
 
@@ -154,6 +180,23 @@ fn handle_connection(job: Job, ctx: &WorkerContext) {
     };
     Metrics::inc(&ctx.metrics.requests_total);
 
+    // The degraded lane exists solely to keep `/query` answerable via the
+    // approximate engine while the main queue is saturated. Anything else
+    // is shed exactly as if the overflow lane were not there.
+    if lane == Lane::Degraded
+        && (request.method.as_str(), request.path.as_str()) != ("GET", "/query")
+    {
+        Metrics::inc(&ctx.metrics.rejected_total);
+        respond(
+            &stream,
+            503,
+            "application/json",
+            &[("Retry-After", "1")],
+            &http::json_error_body("overloaded: only GET /query is served on the degraded lane"),
+        );
+        return;
+    }
+
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             respond(&stream, 200, "text/plain", &[], "ok\n");
@@ -174,7 +217,9 @@ fn handle_connection(job: Job, ctx: &WorkerContext) {
             body.push_str(&render_obs_metrics());
             respond(&stream, 200, "text/plain; version=0.0.4", &[], &body);
         }
-        ("GET", "/query") => handle_query(&stream, &request, ctx, deadline, accepted_at, started),
+        ("GET", "/query") => {
+            handle_query(&stream, &request, ctx, deadline, accepted_at, started, lane)
+        }
         ("GET", "/version") => handle_version(&stream, ctx),
         ("GET", "/debug/slow") => {
             respond(
@@ -220,6 +265,7 @@ fn method_not_allowed(stream: &TcpStream, ctx: &WorkerContext, allow: &str) {
     );
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_query(
     stream: &TcpStream,
     request: &Request,
@@ -227,6 +273,7 @@ fn handle_query(
     deadline: Instant,
     accepted_at: Instant,
     started: Instant,
+    lane: Lane,
 ) {
     // Queue wait: admission to worker pickup.
     let queue_wait = started.saturating_duration_since(accepted_at);
@@ -235,8 +282,8 @@ fn handle_query(
     // and the version header all agree even across a concurrent swap.
     let snapshot = ctx.engine.current();
     let version_header = snapshot.version.to_string();
-    let key = match parse_query_params(request, snapshot.bepi.node_count(), snapshot.version) {
-        Ok(k) => k,
+    let parsed = match parse_query_params(request, snapshot.bepi.node_count()) {
+        Ok(p) => p,
         Err(msg) => {
             Metrics::inc(&ctx.metrics.client_errors_total);
             respond(
@@ -250,13 +297,96 @@ fn handle_query(
         }
     };
 
+    // Resolve the requested mode against the lane, the current pressure,
+    // and whether this snapshot has an approximate engine at all. The
+    // cache key always carries the *resolved* mode, so `auto` shares
+    // entries with whichever explicit lane it lands on.
+    let approx_engine = snapshot.approx.as_deref();
+    let mode = match parsed.mode {
+        RequestMode::Exact => {
+            if lane == Lane::Degraded {
+                // Exact work is exactly what the saturated main queue
+                // could not absorb; the overflow lane must not do it.
+                Metrics::inc(&ctx.metrics.rejected_total);
+                respond(
+                    stream,
+                    503,
+                    "application/json",
+                    &[("Retry-After", "1")],
+                    &http::json_error_body(
+                        "overloaded: exact queries shed (retry, or use mode=auto)",
+                    ),
+                );
+                return;
+            }
+            ResponseMode::Exact
+        }
+        RequestMode::Approx => match approx_engine {
+            Some(_) => ResponseMode::Approx {
+                epoch: parsed.epoch,
+            },
+            None => {
+                Metrics::inc(&ctx.metrics.client_errors_total);
+                respond(
+                    stream,
+                    400,
+                    "application/json",
+                    &[],
+                    &http::json_error_body(
+                        "mode=approx unavailable: this index was started without an \
+                         approximate engine (no graph embedded)",
+                    ),
+                );
+                return;
+            }
+        },
+        RequestMode::Auto => {
+            let pressured = lane == Lane::Degraded
+                || ctx.metrics.queue_depth.load(Ordering::Relaxed) >= ctx.pressure_slots;
+            match approx_engine {
+                Some(_) if pressured => ResponseMode::Approx {
+                    epoch: parsed.epoch,
+                },
+                None if lane == Lane::Degraded => {
+                    // Nothing to degrade to: shed like a full queue would.
+                    Metrics::inc(&ctx.metrics.rejected_total);
+                    respond(
+                        stream,
+                        503,
+                        "application/json",
+                        &[("Retry-After", "1")],
+                        &http::json_error_body("overloaded and no approximate engine available"),
+                    );
+                    return;
+                }
+                _ => ResponseMode::Exact,
+            }
+        }
+    };
+    let key = QueryKey {
+        seed: parsed.seed,
+        top_k: parsed.top_k,
+        version: snapshot.version,
+        mode,
+    };
+    let approx = matches!(mode, ResponseMode::Approx { .. });
+    let mut headers: Vec<(&str, &str)> = Vec::with_capacity(3);
+    headers.push(("X-Graph-Version", &version_header));
+    if approx {
+        headers.push(("X-Approx", "1"));
+    }
+
     // Cache hit: byte-identical rendered body, no solve. The key carries
-    // the snapshot version, so a hit can only come from this same epoch.
+    // the snapshot version and resolved mode, so a hit can only come from
+    // this same epoch and lane.
     if let Some(body) = ctx.cache.get(&key) {
         Metrics::inc(&ctx.metrics.cache_hits_total);
         Metrics::inc(&ctx.metrics.queries_total);
+        if approx {
+            Metrics::inc(&ctx.metrics.approx_requests_total);
+        }
         let total = accepted_at.elapsed();
-        let headers = [("X-Cache", "hit"), ("X-Graph-Version", &*version_header)];
+        headers.push(("X-Cache", "hit"));
         if trace {
             let traced = with_trace(
                 &body,
@@ -279,6 +409,7 @@ fn handle_query(
             cache_hit: true,
             version: key.version,
             top_k: key.top_k as u64,
+            approx,
         });
         return;
     }
@@ -298,7 +429,15 @@ fn handle_query(
     }
 
     let solve_start = Instant::now();
-    let scores = match snapshot.bepi.query(key.seed) {
+    let solved = match key.mode {
+        ResponseMode::Exact => snapshot.bepi.query(key.seed),
+        // `approx_engine` is always Some here: every path that resolves
+        // to Approx checked it above.
+        ResponseMode::Approx { epoch } => approx_engine
+            .expect("approx mode resolved without an engine")
+            .query(key.seed, epoch),
+    };
+    let scores = match solved {
         Ok(s) => s,
         Err(e) => {
             Metrics::inc(&ctx.metrics.server_errors_total);
@@ -318,8 +457,11 @@ fn handle_query(
     ctx.cache.insert(key, Arc::clone(&body));
     Metrics::inc(&ctx.metrics.cache_misses_total);
     Metrics::inc(&ctx.metrics.queries_total);
+    if approx {
+        Metrics::inc(&ctx.metrics.approx_requests_total);
+    }
     let total = accepted_at.elapsed();
-    let headers = [("X-Cache", "miss"), ("X-Graph-Version", &*version_header)];
+    headers.push(("X-Cache", "miss"));
     if trace {
         // The cache stores the base body; the trace block is per-request
         // and spliced in only for the response that asked for it.
@@ -344,6 +486,7 @@ fn handle_query(
         cache_hit: false,
         version: key.version,
         top_k: key.top_k as u64,
+        approx,
     });
 }
 
@@ -555,11 +698,31 @@ fn parse_node(value: &str, name: &str) -> Result<usize, String> {
         .map_err(|_| format!("{name} must be a non-negative integer, got {value}"))
 }
 
-fn parse_query_params(
-    request: &Request,
-    node_count: usize,
-    version: u64,
-) -> Result<QueryKey, String> {
+/// The serving mode a `/query` request asked for (`?mode=`), before it is
+/// resolved against pressure, lane, and engine availability into a
+/// [`ResponseMode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RequestMode {
+    /// Always the exact BePI solve; sheds under overload.
+    Exact,
+    /// Always the approximate engine; 400 when the index has none.
+    Approx,
+    /// Exact normally, approximate under admission pressure — the
+    /// graceful-degradation contract. The default: clients that never
+    /// heard of `mode=` get degraded answers instead of 503s.
+    Auto,
+}
+
+/// Validated `/query` parameters, pre-resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ParsedQuery {
+    seed: usize,
+    top_k: usize,
+    mode: RequestMode,
+    epoch: u64,
+}
+
+fn parse_query_params(request: &Request, node_count: usize) -> Result<ParsedQuery, String> {
     let seed_s = request
         .params
         .get("seed")
@@ -576,10 +739,21 @@ fn parse_query_params(
         None => DEFAULT_TOP_K,
         Some(t) => t.parse().map_err(|_| format!("bad top: {t:?}"))?,
     };
-    Ok(QueryKey {
+    let mode = match request.params.get("mode").map(String::as_str) {
+        None | Some("auto") => RequestMode::Auto,
+        Some("exact") => RequestMode::Exact,
+        Some("approx") => RequestMode::Approx,
+        Some(m) => return Err(format!("bad mode: {m:?} (expected exact, approx, or auto)")),
+    };
+    let epoch = match request.params.get("epoch") {
+        None => 0,
+        Some(e) => e.parse().map_err(|_| format!("bad epoch: {e:?}"))?,
+    };
+    Ok(ParsedQuery {
         seed,
         top_k: top_k.min(node_count),
-        version,
+        mode,
+        epoch,
     })
 }
 
@@ -600,10 +774,15 @@ fn render_query_body_timed(
     let ranked = scores.top_k(key.top_k);
     let topk_time = topk_start.elapsed();
     let serialize_start = Instant::now();
+    let mode_json = match key.mode {
+        ResponseMode::Exact => "\"mode\":\"exact\"".to_string(),
+        ResponseMode::Approx { epoch } => format!("\"mode\":\"approx\",\"epoch\":{epoch}"),
+    };
     let mut body = format!(
-        "{{\"seed\":{},\"top\":{},\"iterations\":{},\"residual\":{},\"results\":[",
+        "{{\"seed\":{},\"top\":{},{},\"iterations\":{},\"residual\":{},\"results\":[",
         key.seed,
         key.top_k,
+        mode_json,
         scores.iterations,
         fmt_f64(scores.residual)
     );
@@ -680,9 +859,10 @@ mod tests {
             seed: 7,
             top_k: 5,
             version: 1,
+            mode: ResponseMode::Exact,
         };
         let body = render_query_body(key, &scores);
-        assert!(body.starts_with("{\"seed\":7,\"top\":5,"));
+        assert!(body.starts_with("{\"seed\":7,\"top\":5,\"mode\":\"exact\","));
         assert_eq!(body.matches("\"node\":").count(), 5);
         // The seed dominates its own ranking.
         assert!(body.contains(&format!(
@@ -716,26 +896,74 @@ mod tests {
             body: String::new(),
         };
         assert_eq!(
-            parse_query_params(&req("seed=3&top=4"), 10, 2).unwrap(),
-            QueryKey {
+            parse_query_params(&req("seed=3&top=4"), 10).unwrap(),
+            ParsedQuery {
                 seed: 3,
                 top_k: 4,
-                version: 2
+                mode: RequestMode::Auto,
+                epoch: 0
             }
         );
         // Defaults and clamping.
-        assert_eq!(parse_query_params(&req("seed=3"), 10, 1).unwrap().top_k, 10);
+        assert_eq!(parse_query_params(&req("seed=3"), 10).unwrap().top_k, 10);
         assert_eq!(
-            parse_query_params(&req("seed=3&top=99"), 10, 1)
-                .unwrap()
-                .top_k,
+            parse_query_params(&req("seed=3&top=99"), 10).unwrap().top_k,
             10
         );
-        assert!(parse_query_params(&req(""), 10, 1).is_err());
-        assert!(parse_query_params(&req("seed=x"), 10, 1).is_err());
-        assert!(parse_query_params(&req("seed=10"), 10, 1).is_err());
-        assert!(parse_query_params(&req("seed=-1"), 10, 1).is_err());
-        assert!(parse_query_params(&req("seed=3&top=x"), 10, 1).is_err());
+        assert!(parse_query_params(&req(""), 10).is_err());
+        assert!(parse_query_params(&req("seed=x"), 10).is_err());
+        assert!(parse_query_params(&req("seed=10"), 10).is_err());
+        assert!(parse_query_params(&req("seed=-1"), 10).is_err());
+        assert!(parse_query_params(&req("seed=3&top=x"), 10).is_err());
+    }
+
+    #[test]
+    fn param_parsing_validates_mode_and_epoch() {
+        let req = |q: &str| Request {
+            method: "GET".into(),
+            path: "/query".into(),
+            params: q
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|p| {
+                    let (k, v) = p.split_once('=').unwrap();
+                    (k.to_string(), v.to_string())
+                })
+                .collect(),
+            body: String::new(),
+        };
+        let mode = |q: &str| parse_query_params(&req(q), 10).unwrap().mode;
+        assert_eq!(mode("seed=1"), RequestMode::Auto);
+        assert_eq!(mode("seed=1&mode=auto"), RequestMode::Auto);
+        assert_eq!(mode("seed=1&mode=exact"), RequestMode::Exact);
+        assert_eq!(mode("seed=1&mode=approx"), RequestMode::Approx);
+        assert!(parse_query_params(&req("seed=1&mode=fast"), 10).is_err());
+        assert_eq!(
+            parse_query_params(&req("seed=1&epoch=42"), 10)
+                .unwrap()
+                .epoch,
+            42
+        );
+        assert!(parse_query_params(&req("seed=1&epoch=x"), 10).is_err());
+        assert!(parse_query_params(&req("seed=1&epoch=-1"), 10).is_err());
+    }
+
+    #[test]
+    fn approx_body_carries_mode_and_epoch() {
+        let g = generators::erdos_renyi(20, 80, 5).unwrap();
+        let bepi = BePi::preprocess(&g, &BePiConfig::default()).unwrap();
+        let scores = bepi.query(2).unwrap();
+        let key = QueryKey {
+            seed: 2,
+            top_k: 3,
+            version: 9,
+            mode: ResponseMode::Approx { epoch: 7 },
+        };
+        let body = render_query_body(key, &scores);
+        assert!(
+            body.starts_with("{\"seed\":2,\"top\":3,\"mode\":\"approx\",\"epoch\":7,"),
+            "{body}"
+        );
     }
 
     #[test]

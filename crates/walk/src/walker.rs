@@ -1,0 +1,285 @@
+//! ThunderRW-style step-interleaved batch walk engine.
+//!
+//! A single random walk is a pointer chase: every step gathers one CSR
+//! row picked by the previous step, so the memory system sees a fully
+//! serial dependence chain and the walk runs at DRAM latency. ThunderRW
+//! (Sun et al., VLDB 2021 — see PAPERS.md) hides that latency by running
+//! a large *batch* of walks and interleaving their steps: while one
+//! walk's row gather is in flight the engine advances other walks whose
+//! rows are already cached.
+//!
+//! This engine keeps the batch in a flat array and, between rounds,
+//! re-groups the still-active walks by their current node id. Walks
+//! sitting in the same CSR region then step together, so one fetched
+//! block serves many walks (the gather-locality trick; with the hub-first
+//! SlashBurn numbering, hub rows — where skewed walks concentrate — stay
+//! resident across rounds). The grouping is pure scheduling: each walk's
+//! trajectory is a function of its private [`WalkRng`] stream only
+//! (see [`crate::rng`]), and terminal visits are tallied as integer
+//! counts, so the scores are **bit-identical** for a fixed
+//! `(seed, epoch)` at any thread count, any batch order, and over both
+//! owned and memory-mapped [`Csr`] storage.
+
+use crate::rng::WalkRng;
+use bepi_core::RwrScores;
+use bepi_sparse::{Csr, Result, SparseError};
+
+/// Steps each active walk advances between two re-grouping passes.
+/// Larger values amortize the sort; smaller values keep the batch packed
+/// tightly around the blocks it is currently visiting.
+const INTERLEAVE_STEPS: usize = 8;
+
+/// Hard cap on total steps per walk. With restart probability `c` the
+/// odds of a single walk surviving `max(4096, 256/c)` steps are below
+/// `(1-c)^(256/c) ≈ e^-256` — unreachable in practice; the cap exists so
+/// a corrupted input cannot loop forever. A capped walk is tallied at
+/// its current node (deterministic either way).
+fn step_cap(c: f64) -> usize {
+    (256.0 / c).max(4096.0) as usize
+}
+
+/// One in-flight walk: where it is and its private stream.
+#[derive(Clone, Copy)]
+struct WalkState {
+    node: u32,
+    rng: WalkRng,
+}
+
+/// Estimates RWR scores for `seed` by running `walks` random walks with
+/// restart probability `c` over the adjacency matrix `adj` (raw weights;
+/// neighbor choice is weight-proportional). A walk terminates where its
+/// restart fires and tallies that node; walks that reach a deadend
+/// terminate without contributing — the same leaked-mass semantics as
+/// the exact solvers, so `Σ scores ≤ 1` with equality on deadend-free
+/// graphs (in expectation).
+///
+/// Deterministic per `(seed, epoch)`: the returned scores are
+/// bit-identical at any `bepi_par` thread count and over owned or
+/// memory-mapped storage. `epoch` selects an independent replicate —
+/// bump it to re-draw every walk without touching the query seed.
+pub fn walk_scores(adj: &Csr, c: f64, seed: usize, walks: usize, epoch: u64) -> Result<RwrScores> {
+    if adj.nrows() != adj.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            left: adj.shape(),
+            right: adj.shape(),
+            op: "walk_scores (adjacency must be square)",
+        });
+    }
+    let n = adj.nrows();
+    if !(c > 0.0 && c < 1.0) {
+        return Err(SparseError::Numerical(format!(
+            "restart probability must be in (0, 1), got {c}"
+        )));
+    }
+    if seed >= n {
+        return Err(SparseError::IndexOutOfBounds {
+            index: (seed, 0),
+            shape: (n, n),
+        });
+    }
+    if walks == 0 {
+        return Err(SparseError::Numerical(
+            "walk_scores needs at least one walk".into(),
+        ));
+    }
+
+    let cap = step_cap(c);
+    let mut active: Vec<WalkState> = (0..walks)
+        .map(|w| WalkState {
+            node: seed as u32,
+            rng: WalkRng::for_walk(seed as u64, epoch, w as u64),
+        })
+        .collect();
+    let mut hits = vec![0u64; n];
+    let mut total_steps = 0u64;
+    let mut steps_taken = 0usize;
+
+    while !active.is_empty() {
+        let remaining_budget = cap - steps_taken;
+        let stride = INTERLEAVE_STEPS.min(remaining_budget);
+        let threads = bepi_par::get_threads().clamp(1, active.len());
+        let ranges = bepi_par::even_ranges(active.len(), threads);
+
+        // Hand each thread a disjoint window of the batch. Every walk is
+        // self-contained, so the partition affects scheduling only.
+        let mut tasks = Vec::with_capacity(ranges.len());
+        let mut rest: &mut [WalkState] = &mut active;
+        let mut consumed = 0usize;
+        for r in &ranges {
+            let (chunk, tail) = rest.split_at_mut(r.end - consumed);
+            consumed = r.end;
+            rest = tail;
+            tasks.push(move || step_chunk(adj, c, chunk, stride));
+        }
+        let outcomes = bepi_par::par_join(tasks);
+        // Tally in window order; u64 additions make any order equivalent.
+        for (terminated, steps) in outcomes {
+            for node in terminated {
+                hits[node as usize] += 1;
+            }
+            total_steps += steps;
+        }
+        steps_taken += stride;
+        if steps_taken >= cap {
+            // Unreachable for sane `c` (see `step_cap`); tally stragglers
+            // where they stand so the walk count stays exact.
+            for w in &active {
+                hits[w.node as usize] += 1;
+            }
+            break;
+        }
+        // Compact, then re-group by current node so next round's gathers
+        // cluster per CSR block. Both passes are order-deterministic.
+        active.retain(|w| w.node != u32::MAX);
+        active.sort_unstable_by_key(|w| w.node);
+    }
+
+    let inv = 1.0 / walks as f64;
+    let scores: Vec<f64> = hits.into_iter().map(|h| h as f64 * inv).collect();
+    Ok(RwrScores {
+        scores,
+        iterations: total_steps as usize,
+        // Monte-Carlo standard-error scale: per-score error is
+        // O(sqrt(r_u / walks)) ≤ this bound.
+        residual: (walks as f64).sqrt().recip(),
+    })
+}
+
+/// Advances every walk in `chunk` by up to `stride` steps. Terminated
+/// walks are marked with `node == u32::MAX`; restart terminations are
+/// returned (in chunk order) for the caller to tally, deadend
+/// terminations just die. Returns `(terminated_nodes, steps_executed)`.
+fn step_chunk(adj: &Csr, c: f64, chunk: &mut [WalkState], stride: usize) -> (Vec<u32>, u64) {
+    let mut terminated = Vec::new();
+    let mut steps = 0u64;
+    for w in chunk.iter_mut() {
+        for _ in 0..stride {
+            steps += 1;
+            if w.rng.next_f64() < c {
+                terminated.push(w.node);
+                w.node = u32::MAX;
+                break;
+            }
+            let (cols, weights) = adj.row(w.node as usize);
+            if cols.is_empty() {
+                // Deadend: the surfer's mass leaks (Equation 4 semantics).
+                w.node = u32::MAX;
+                break;
+            }
+            w.node = pick_neighbor(cols, weights, w.rng.next_f64());
+        }
+    }
+    (terminated, steps)
+}
+
+/// Weight-proportional neighbor choice (uniform when weights are equal).
+/// The linear scan over the row is the gather the batching optimizes for.
+#[inline]
+fn pick_neighbor(cols: &[u32], weights: &[f64], u: f64) -> u32 {
+    let total: f64 = weights.iter().sum();
+    let mut pick = u * total;
+    for (&col, &w) in cols.iter().zip(weights) {
+        if pick < w {
+            return col;
+        }
+        pick -= w;
+    }
+    cols[cols.len() - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bepi_graph::{generators, Graph};
+
+    fn scores_of(g: &Graph, seed: usize, walks: usize, epoch: u64) -> RwrScores {
+        walk_scores(g.adjacency(), 0.15, seed, walks, epoch).unwrap()
+    }
+
+    #[test]
+    fn mass_accounting_and_seed_dominance() {
+        let g = generators::erdos_renyi(60, 400, 7).unwrap();
+        let r = scores_of(&g, 3, 20_000, 0);
+        let total: f64 = r.scores.iter().sum();
+        assert!(total <= 1.0 + 1e-12, "total {total}");
+        assert!(total > 0.9, "walk mass vanished: {total}");
+        let max = r
+            .scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(max, 3, "the seed dominates its own ranking");
+    }
+
+    #[test]
+    fn deadend_only_graph_leaks_all_non_restart_mass() {
+        // No edges at all: every walk either restarts on its first draw
+        // (probability c, tallied at the seed) or dies at the deadend.
+        let g = Graph::from_edges(5, &[]).unwrap();
+        let r = walk_scores(g.adjacency(), 0.2, 2, 50_000, 0).unwrap();
+        for (u, &s) in r.scores.iter().enumerate() {
+            if u != 2 {
+                assert_eq!(s, 0.0);
+            }
+        }
+        let est = r.scores[2];
+        assert!((est - 0.2).abs() < 0.01, "restart mass at seed: {est}");
+    }
+
+    #[test]
+    fn matches_exact_solution_on_a_cycle() {
+        // 4-cycle: symmetric, exact scores are easy to sanity-check —
+        // the walk estimate must approach them as walks grow.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let r = walk_scores(g.adjacency(), 0.3, 0, 200_000, 1).unwrap();
+        // Exact: r_k = c (1-c)^k / (1 - (1-c)^4) for distance k.
+        let c = 0.3f64;
+        let z = 1.0 - (1.0f64 - c).powi(4);
+        for k in 0..4 {
+            let exact = c * (1.0 - c).powi(k as i32) / z;
+            let got = r.scores[k];
+            assert!(
+                (got - exact).abs() < 0.005,
+                "node {k}: got {got}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_changes_the_replicate() {
+        let g = generators::erdos_renyi(40, 160, 3).unwrap();
+        let a = scores_of(&g, 1, 2_000, 0);
+        let b = scores_of(&g, 1, 2_000, 1);
+        assert_ne!(a.scores, b.scores, "epochs must be independent draws");
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let g = generators::rmat(7, 600, Default::default(), 5).unwrap();
+        let baseline = {
+            bepi_par::set_threads(1);
+            scores_of(&g, 2, 5_000, 3)
+        };
+        for t in [2, 3, 8] {
+            bepi_par::set_threads(t);
+            let r = scores_of(&g, 2, 5_000, 3);
+            assert_eq!(
+                r.scores, baseline.scores,
+                "thread count {t} changed the walk scores"
+            );
+            assert_eq!(r.iterations, baseline.iterations);
+        }
+        bepi_par::set_threads(1);
+    }
+
+    #[test]
+    fn input_validation() {
+        let g = Graph::from_edges(4, &[(0, 1)]).unwrap();
+        assert!(walk_scores(g.adjacency(), 0.0, 0, 10, 0).is_err());
+        assert!(walk_scores(g.adjacency(), 1.0, 0, 10, 0).is_err());
+        assert!(walk_scores(g.adjacency(), 0.2, 4, 10, 0).is_err());
+        assert!(walk_scores(g.adjacency(), 0.2, 0, 0, 0).is_err());
+    }
+}

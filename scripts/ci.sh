@@ -146,13 +146,95 @@ wait "$HEAP_PID" "$MMAP_PID"
 HEAP_PID=""; MMAP_PID=""
 echo "mmap responses byte-identical to heap responses"
 
-# Bench-harness smoke: the quick preset must run end to end and emit a
-# schema-valid bepi-bench/v1 artifact (validated by the in-tree checker),
-# so `bepi bench` and BENCH_*.json consumers cannot drift apart.
-echo "==> bench smoke (bepi bench --quick + bench_check)"
+# Approximate-serving degradation gate: boot a daemon whose index embeds
+# its graph (so the approximate lane is live), saturate the admission
+# queue (one idle connection parks the lone worker, a second fills the
+# queue-depth-1 admission queue), and require that `mode=auto` degrades
+# to a 200 + `X-Approx: 1` approximate answer while `mode=exact` sheds
+# with 503 — the graceful-degradation contract, exercised over real TCP.
+echo "==> approx degradation check (bepi serve saturation: auto=200+X-Approx, exact=503)"
+SAT_TMP=$(mktemp -d)
+cleanup_sat() {
+  exec 6>&- 2>/dev/null || true
+  [ -n "${SAT_PID:-}" ] && kill "$SAT_PID" 2>/dev/null || true
+  rm -rf "$SAT_TMP"
+}
+trap 'cleanup_obs; cleanup_mmap; cleanup_sat' EXIT
+python3 - "$SAT_TMP/edges.txt" <<'EOF'
+import sys
+with open(sys.argv[1], "w") as f:
+    n = 64
+    for i in range(n):
+        f.write(f"{i} {(i + 1) % n}\n")
+        f.write(f"{i} {(i * 7 + 3) % n}\n")
+EOF
+./target/release/bepi preprocess "$SAT_TMP/edges.txt" "$SAT_TMP/index.bepi" --embed-graph
+mkfifo "$SAT_TMP/fifo"
+exec 6<> "$SAT_TMP/fifo"
+./target/release/bepi serve "$SAT_TMP/index.bepi" --listen 127.0.0.1:0 \
+  --threads 1 --queue-depth 1 --timeout-ms 5000 \
+  < "$SAT_TMP/fifo" > "$SAT_TMP/serve.log" 2>&1 6>&- &
+SAT_PID=$!
+SAT_ADDR=""
+for _ in $(seq 1 100); do
+  SAT_ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\).*#\1#p' "$SAT_TMP/serve.log" | head -n1)
+  [ -n "$SAT_ADDR" ] && break
+  kill -0 "$SAT_PID" 2>/dev/null || { cat "$SAT_TMP/serve.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$SAT_ADDR" ] || { echo "daemon never reported its address"; cat "$SAT_TMP/serve.log"; exit 1; }
+python3 - "$SAT_ADDR" <<'EOF'
+import socket, sys, time
+from http.client import HTTPConnection
+
+host, port = sys.argv[1].rsplit(":", 1)
+port = int(port)
+
+def req(mode):
+    c = HTTPConnection(host, port, timeout=30)
+    c.request("GET", f"/query?seed=3&top=5&mode={mode}")
+    r = c.getresponse()
+    r.read()
+    status, approx = r.status, r.getheader("X-Approx")
+    c.close()
+    return status, approx
+
+# One idle connection occupies the lone worker (blocked reading a request
+# that never comes), a second fills the depth-1 admission queue.
+holds = []
+for _ in range(2):
+    holds.append(socket.create_connection((host, port)))
+    time.sleep(0.3)
+
+status, approx = req("auto")
+assert status == 200, f"saturated mode=auto must degrade, not shed: got {status}"
+assert approx == "1", "degraded auto response must carry X-Approx: 1"
+status, approx = req("exact")
+assert status == 503, f"saturated mode=exact must shed with 503: got {status}"
+
+for s in holds:
+    s.close()
+time.sleep(0.5)
+status, approx = req("exact")
+assert (status, approx) == (200, None), f"exact lane must recover: {status} {approx}"
+print("saturation: auto degraded (200 + X-Approx: 1), exact shed (503), then recovered")
+EOF
+# grep reads the whole stream (no -q): with pipefail, an early-exit grep
+# would SIGPIPE curl and fail the pipeline even on a match.
+curl -sf "http://$SAT_ADDR/metrics" | grep -E '^bepi_degraded_total [1-9]' > /dev/null \
+  || { echo "bepi_degraded_total did not count the degraded admissions"; exit 1; }
+exec 6>&-
+wait "$SAT_PID"
+SAT_PID=""
+
+# Bench-harness smoke: the quick preset must run end to end, emit a
+# schema-valid bepi-bench/v1 artifact, and clear the approximate-lane
+# quality bar — both engines at precision@20 >= 0.9 on every dataset
+# (deterministic scores, so this gate cannot flake).
+echo "==> bench smoke (bepi bench --quick + bench_check --min-precision 0.9)"
 BENCH_TMP=$(mktemp -d)
-./target/release/bepi bench --quick --out "$BENCH_TMP/BENCH_PR5.json"
-./target/release/bench_check "$BENCH_TMP/BENCH_PR5.json"
+./target/release/bepi bench --quick --out "$BENCH_TMP/BENCH_PR6.json"
+./target/release/bench_check --min-precision 0.9 "$BENCH_TMP/BENCH_PR6.json"
 rm -rf "$BENCH_TMP"
 
 echo "==> ci OK"

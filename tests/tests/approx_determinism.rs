@@ -1,0 +1,162 @@
+//! Determinism guarantees of the approximate serving tier (`bepi-walk`):
+//! for a fixed `(query seed, rng epoch, graph version)` both estimators
+//! must return *bit-identical* scores at any kernel thread count and
+//! over both owned and memory-mapped CSR storage. The daemon's response
+//! cache and the `X-Approx` contract lean on exactly this — a cached
+//! approximate body must be byte-for-byte what a fresh solve would
+//! produce, no matter which worker or storage backing answered.
+
+use bepi_core::prelude::*;
+use bepi_graph::Graph;
+use bepi_walk::{ApproxConfig, ApproxEngine, ApproxMethod};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// `bepi_par::set_threads` is a process-wide override; serialize every
+/// test that flips it so concurrent test threads never observe a
+/// mid-flight value. (The determinism property itself makes the thread
+/// count invisible in the *scores* — the lock only keeps the tests'
+/// base-vs-variant bookkeeping coherent.)
+static THREADS: Mutex<()> = Mutex::new(());
+
+fn engine(g: &Arc<Graph>, method: ApproxMethod) -> ApproxEngine {
+    let cfg = ApproxConfig {
+        method,
+        // Small budgets keep proptest cases fast; determinism must hold
+        // at any budget.
+        walks: 2_000,
+        ..ApproxConfig::default()
+    };
+    ApproxEngine::new(Arc::clone(g), 0.05, cfg).expect("engine build")
+}
+
+/// Round-trips `g` through the v6 on-disk format and returns the graph
+/// as decoded from the shared read-only memory mapping, so its CSR
+/// arrays borrow mapped storage instead of owned `Vec`s.
+fn mmap_round_trip(g: &Graph) -> Graph {
+    static UNIQ: AtomicU64 = AtomicU64::new(0);
+    let bepi = BePi::preprocess(g, &BePiConfig::default()).expect("preprocess");
+    let path = std::env::temp_dir().join(format!(
+        "bepi_approx_det_{}_{}.v6",
+        std::process::id(),
+        UNIQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    bepi_core::persist::save_file_v6(&bepi, Some(g), &path).expect("save v6");
+    let (_, mapped) = bepi_core::persist::load_mapped_file(&path).expect("mmap open");
+    std::fs::remove_file(&path).ok();
+    mapped.expect("v6 file saved with graph must reload it")
+}
+
+/// The full determinism matrix for one graph: each method × thread
+/// count × storage backing must reproduce the thread-1 owned-storage
+/// scores bit-for-bit at a fixed `(seed, epoch)`.
+fn assert_bit_identical_everywhere(g: &Graph, seed: usize, epoch: u64) {
+    let _guard = THREADS.lock().unwrap();
+    let owned = Arc::new(g.clone());
+    let mapped = Arc::new(mmap_round_trip(g));
+    for method in [ApproxMethod::Tpa, ApproxMethod::Walk] {
+        bepi_par::set_threads(1);
+        let base = engine(&owned, method).query(seed, epoch).unwrap();
+        // Sanity on the base itself: a probability-mass vector.
+        let total: f64 = base.scores.iter().sum();
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&total),
+            "{method:?}: mass {total}"
+        );
+        assert!(base.scores[seed] > 0.0, "{method:?}: seed got no mass");
+        for threads in [1usize, 2, 4, 8] {
+            bepi_par::set_threads(threads);
+            let o = engine(&owned, method).query(seed, epoch).unwrap();
+            assert_eq!(
+                o.scores, base.scores,
+                "{method:?} owned storage drifted at {threads} threads"
+            );
+            let m = engine(&mapped, method).query(seed, epoch).unwrap();
+            assert_eq!(
+                m.scores, base.scores,
+                "{method:?} mapped storage drifted at {threads} threads"
+            );
+        }
+        bepi_par::set_threads(1);
+    }
+}
+
+/// Random directed graphs with deadends allowed (self-loop-free, like
+/// the pipeline proptests). Kept small: each case preprocesses an exact
+/// index to produce the v6 mapping.
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (5usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 1..(n * 3)).prop_map(move |pairs| {
+            let edges: Vec<(usize, usize)> = pairs.into_iter().filter(|(u, v)| u != v).collect();
+            Graph::from_edges(n, &edges).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn approx_scores_identical_across_threads_and_storage(
+        g in graph_strategy(),
+        seed_frac in 0.0f64..1.0,
+        epoch in 0u64..4,
+    ) {
+        let seed = ((g.n() - 1) as f64 * seed_frac) as usize;
+        assert_bit_identical_everywhere(&g, seed, epoch);
+    }
+}
+
+/// Every walk dies on its first step: the seed's only neighbors are
+/// deadends, so the walk engine's surviving-walk batches empty out
+/// immediately and TPA's iterate loses all mass after two products.
+/// The degenerate schedule must still be deterministic everywhere.
+#[test]
+fn deadend_only_neighborhood_is_deterministic() {
+    let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).unwrap();
+    assert_bit_identical_everywhere(&g, 0, 0);
+    // Starting *on* a deadend: all mass stays at the seed.
+    assert_bit_identical_everywhere(&g, 3, 1);
+}
+
+/// A single hub both emits and absorbs every edge: the walk engine's
+/// block re-grouping funnels every surviving walk into one CSR block,
+/// the worst case for its scheduling to leak into the tallies.
+#[test]
+fn single_hub_star_is_deterministic() {
+    let n = 32;
+    let mut edges = Vec::new();
+    for v in 1..n {
+        edges.push((0, v));
+        edges.push((v, 0));
+    }
+    let g = Graph::from_edges(n, &edges).unwrap();
+    assert_bit_identical_everywhere(&g, 0, 0);
+    assert_bit_identical_everywhere(&g, 7, 3);
+}
+
+/// Distinct epochs must *change* the walk engine's replicate (different
+/// RNG streams) while TPA — which has no sampling — ignores the epoch.
+/// Guards against the epoch being dropped somewhere in the plumbing,
+/// which would make `approx` cache entries collide across epochs.
+#[test]
+fn epoch_selects_the_walk_replicate() {
+    let g = Arc::new(
+        bepi_graph::generators::rmat(7, 500, bepi_graph::generators::RmatParams::default(), 61)
+            .unwrap(),
+    );
+    let walk = engine(&g, ApproxMethod::Walk);
+    let e0 = walk.query(5, 0).unwrap();
+    let e1 = walk.query(5, 1).unwrap();
+    assert_ne!(
+        e0.scores, e1.scores,
+        "different epochs must draw different walk replicates"
+    );
+    let tpa = engine(&g, ApproxMethod::Tpa);
+    assert_eq!(
+        tpa.query(5, 0).unwrap().scores,
+        tpa.query(5, 1).unwrap().scores,
+        "TPA has no sampling; the epoch must not perturb it"
+    );
+}

@@ -13,7 +13,7 @@ use bepi_core::prelude::*;
 use bepi_core::EdgeUpdate;
 use bepi_live::{LiveConfig, LiveEngine};
 use bepi_server::worker::render_query_body;
-use bepi_server::{parse_metric, QueryKey, Server, ServerConfig, ServerHandle};
+use bepi_server::{parse_metric, QueryKey, ResponseMode, Server, ServerConfig, ServerHandle};
 use std::collections::HashMap;
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
@@ -126,6 +126,7 @@ fn expected_bodies(graph: &bepi_graph::Graph, version: u64) -> HashMap<usize, St
                 seed,
                 top_k: TOP_K,
                 version,
+                mode: ResponseMode::Exact,
             };
             (seed, render_query_body(key, &scores))
         })

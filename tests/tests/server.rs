@@ -4,7 +4,7 @@
 
 use bepi_core::prelude::*;
 use bepi_server::worker::render_query_body;
-use bepi_server::{parse_metric, QueryKey, Server, ServerConfig, ServerHandle};
+use bepi_server::{parse_metric, QueryKey, ResponseMode, Server, ServerConfig, ServerHandle};
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, OnceLock};
@@ -93,6 +93,7 @@ fn expected_body(seed: usize, top_k: usize) -> String {
             seed,
             top_k,
             version: 1,
+            mode: ResponseMode::Exact,
         },
         &scores,
     )
