@@ -1,0 +1,717 @@
+//! The `bepi bench --route` driver: router-over-N-shards vs
+//! single-daemon throughput, with a machine-readable `BENCH_PR7.json`
+//! artifact.
+//!
+//! The workload isolates the honest win axis of `bepi route` on one
+//! machine: **cache partitioning**. Every process — the lone daemon and
+//! each shard — gets the same per-process response-cache budget of `C`
+//! entries, and the benchmark drives a working set of ~1.5·C distinct
+//! `(seed, top)` keys in cyclic order. Under LRU a cyclic scan that
+//! exceeds capacity yields ~0 % hits, so the single daemon re-solves
+//! every query; the router's rendezvous hash sends each seed to one
+//! shard, so each of the N shards sees only ~1.5·C/N keys — comfortably
+//! inside its own C-entry cache — and serves hits after the first pass.
+//! Same per-process memory, N× the effective cache: that is the
+//! scale-out argument, and the artifact records the measured hit/miss
+//! deltas of the timed phase so the mechanism is visible, not asserted.
+//!
+//! Both tiers are measured the same way: a closed-loop single client
+//! issuing `Connection: close` requests (one connection per request) over
+//! the identical key sequence, after one untimed warm-up pass. During
+//! the warm-up the router's bodies are compared byte-for-byte against
+//! the single daemon's — the merged/forwarded answers must be
+//! bit-identical to the single-daemon oracle (`bit_identical` in the
+//! artifact).
+//!
+//! The shard daemons are spawned by `bepi route` itself (the same
+//! supervision path production uses), all `--mmap` over one v6 index so
+//! the page cache is shared; the benchmark only talks HTTP.
+
+use bepi_graph::Dataset;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use crate::perf::json;
+
+/// Schema tag stamped into (and required from) every route artifact.
+pub const SCHEMA: &str = "bepi-route-bench/v1";
+
+/// Configuration for a [`run`].
+#[derive(Debug, Clone)]
+pub struct RouteBenchConfig {
+    /// Anchor graphs to measure.
+    pub datasets: Vec<Dataset>,
+    /// Shard daemons behind the router.
+    pub shards: usize,
+    /// Per-process response-cache capacity, entries (`--cache-entries`,
+    /// applied to the single daemon and to every shard alike).
+    pub cache_entries: usize,
+    /// Distinct `(seed, top)` keys in the cyclic working set. Sized
+    /// above `cache_entries` so one process thrashes while each shard's
+    /// partition fits.
+    pub working_set: usize,
+    /// Timed passes over the working set (after one untimed warm-up).
+    pub passes: usize,
+    /// `top` parameter of every query.
+    pub top_k: usize,
+    /// Marks the artifact as a reduced smoke run.
+    pub quick: bool,
+}
+
+impl RouteBenchConfig {
+    /// The CI smoke configuration: smallest anchor graph, tiny working
+    /// set, still large enough to show the partitioning effect.
+    pub fn quick() -> Self {
+        Self {
+            datasets: vec![Dataset::Slashdot],
+            shards: 2,
+            cache_entries: 16,
+            working_set: 24,
+            passes: 2,
+            top_k: 20,
+            quick: true,
+        }
+    }
+
+    /// The full configuration: the Bear-feasible anchor graphs, two
+    /// shards, a working set at 1.5× the per-process cache.
+    pub fn full() -> Self {
+        Self {
+            datasets: Dataset::small().to_vec(),
+            shards: 2,
+            cache_entries: 64,
+            working_set: 96,
+            passes: 3,
+            top_k: 20,
+            quick: false,
+        }
+    }
+}
+
+/// One tier's timed measurement (the single daemon or the router).
+#[derive(Debug, Clone)]
+pub struct TierRun {
+    /// Requests issued in the timed phase.
+    pub requests: usize,
+    /// Wall time of the timed phase, seconds.
+    pub wall_s: f64,
+    /// Response-cache hits across the tier's process(es) during the
+    /// timed phase (counter delta; summed over shards for the router).
+    pub cache_hits: u64,
+    /// Response-cache misses during the timed phase (counter delta).
+    pub cache_misses: u64,
+}
+
+impl TierRun {
+    /// Queries per second of the timed phase.
+    pub fn qps(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.requests as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Router-vs-single comparison on one dataset.
+#[derive(Debug, Clone)]
+pub struct RouteDatasetReport {
+    /// Dataset name (the `*-like` anchor-graph label).
+    pub dataset: String,
+    /// Nodes in the generated graph.
+    pub n: usize,
+    /// Edges in the generated graph.
+    pub m: usize,
+    /// Whether every router body matched the single-daemon oracle
+    /// byte-for-byte during the warm-up pass.
+    pub bit_identical: bool,
+    /// The lone `bepi serve --mmap` daemon.
+    pub single: TierRun,
+    /// `bepi route` over the shard fleet.
+    pub router: TierRun,
+}
+
+impl RouteDatasetReport {
+    /// Router throughput relative to the single daemon.
+    pub fn speedup(&self) -> f64 {
+        let (s, r) = (self.single.qps(), self.router.qps());
+        if s > 0.0 {
+            r / s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A complete route bench run.
+#[derive(Debug, Clone)]
+pub struct RouteReport {
+    /// Whether this was the reduced smoke configuration.
+    pub quick: bool,
+    /// Cores visible to the process when the run started.
+    pub available_parallelism: usize,
+    /// Shards behind the router.
+    pub shards: usize,
+    /// Per-process cache capacity, entries.
+    pub cache_entries: usize,
+    /// Distinct keys in the working set.
+    pub working_set: usize,
+    /// Timed passes over the working set.
+    pub passes: usize,
+    /// `top` parameter of every query.
+    pub top_k: usize,
+    /// Per-dataset measurements.
+    pub datasets: Vec<RouteDatasetReport>,
+}
+
+/// A spawned `bepi` process (daemon or router) with its announced
+/// address and, for the router, the shard addresses it printed.
+struct Proc {
+    child: Child,
+    addr: String,
+    shard_addrs: Vec<String>,
+}
+
+impl Proc {
+    fn spawn(bin: &Path, args: &[String], router: bool) -> Result<Proc, String> {
+        let mut child = Command::new(bin)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("spawning {}: {e}", bin.display()))?;
+        let stdout = child.stdout.take().ok_or("child stdout missing")?;
+        let mut lines = BufReader::new(stdout).lines();
+        let mut addr = None;
+        let mut shard_addrs = Vec::new();
+        for line in lines.by_ref() {
+            let line = line.map_err(|e| format!("reading child stdout: {e}"))?;
+            if addr.is_none() {
+                if let Some(rest) = line.split("http://").nth(1) {
+                    addr = Some(
+                        rest.split_whitespace()
+                            .next()
+                            .ok_or("bad listen line")?
+                            .to_string(),
+                    );
+                    // The daemon announces only itself; the router goes
+                    // on to print one line per shard, then `endpoints:`.
+                    if !router {
+                        break;
+                    }
+                    continue;
+                }
+            } else if let Some(rest) = line.split("http://").nth(1) {
+                shard_addrs.push(
+                    rest.split_whitespace()
+                        .next()
+                        .ok_or("bad shard line")?
+                        .to_string(),
+                );
+            }
+            if line.starts_with("endpoints:") {
+                break;
+            }
+        }
+        let addr = addr.ok_or("child exited before announcing its address")?;
+        Ok(Proc {
+            child,
+            addr,
+            shard_addrs,
+        })
+    }
+
+    /// Sums a counter across this process and (for the router) its
+    /// shards' `/metrics` pages.
+    fn metric_sum(&self, name: &str) -> Result<u64, String> {
+        let mut total = 0.0;
+        let targets = if self.shard_addrs.is_empty() {
+            std::slice::from_ref(&self.addr)
+        } else {
+            &self.shard_addrs[..]
+        };
+        for addr in targets {
+            let (status, body) = http_get(addr, "/metrics")?;
+            if status != 200 {
+                return Err(format!("GET {addr}/metrics -> {status}"));
+            }
+            total += parse_metric(&body, name).unwrap_or(0.0);
+        }
+        Ok(total as u64)
+    }
+}
+
+impl Drop for Proc {
+    fn drop(&mut self) {
+        // EOF on stdin asks for a graceful shutdown — essential for the
+        // router, which must reap its shard children. SIGKILL fallback.
+        drop(self.child.stdin.take());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+                Err(_) => break,
+            }
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One `Connection: close` HTTP GET; returns (status, body).
+fn http_get(addr: &str, target: &str) -> Result<(u16, String), String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    s.set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    s.write_all(
+        format!("GET {target} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .map_err(|e| format!("send {target}: {e}"))?;
+    let mut buf = String::new();
+    s.read_to_string(&mut buf)
+        .map_err(|e| format!("read {target}: {e}"))?;
+    let status = buf
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line for {target}"))?;
+    let body = buf
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("no header terminator for {target}"))?
+        .1
+        .to_string();
+    Ok((status, body))
+}
+
+/// Parses one metric value off a `/metrics` page by full-name prefix.
+fn parse_metric(body: &str, name: &str) -> Option<f64> {
+    body.lines().find_map(|l| {
+        l.strip_prefix(name)
+            .and_then(|r| r.strip_prefix(' '))
+            .and_then(|r| r.trim().parse().ok())
+    })
+}
+
+/// Drives every key once, in order; returns the bodies.
+fn one_pass(addr: &str, keys: &[(usize, usize)]) -> Result<Vec<String>, String> {
+    let mut bodies = Vec::with_capacity(keys.len());
+    for &(seed, top) in keys {
+        let target = format!("/query?seed={seed}&top={top}");
+        let (status, body) = http_get(addr, &target)?;
+        if status != 200 {
+            return Err(format!("GET {target} -> {status}: {body}"));
+        }
+        bodies.push(body);
+    }
+    Ok(bodies)
+}
+
+/// Warm-up pass + timed passes + cache-counter deltas for one tier.
+fn measure_tier(
+    proc_: &Proc,
+    keys: &[(usize, usize)],
+    passes: usize,
+) -> Result<(TierRun, Vec<String>), String> {
+    let oracle = one_pass(&proc_.addr, keys)?;
+    let hits0 = proc_.metric_sum("bepi_cache_hits_total")?;
+    let misses0 = proc_.metric_sum("bepi_cache_misses_total")?;
+    let start = Instant::now();
+    for _ in 0..passes {
+        one_pass(&proc_.addr, keys)?;
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    Ok((
+        TierRun {
+            requests: passes * keys.len(),
+            wall_s,
+            cache_hits: proc_.metric_sum("bepi_cache_hits_total")? - hits0,
+            cache_misses: proc_.metric_sum("bepi_cache_misses_total")? - misses0,
+        },
+        oracle,
+    ))
+}
+
+/// Runs the router-vs-single workload. `bin` is the `bepi` binary used
+/// to preprocess the index and to spawn the daemon/router (the caller
+/// passes `std::env::current_exe()`).
+pub fn run(cfg: &RouteBenchConfig, bin: &Path) -> Result<RouteReport, String> {
+    if cfg.shards < 2 {
+        return Err("--route needs at least 2 shards".into());
+    }
+    let tmp = std::env::temp_dir().join(format!("bepi_route_bench_{}", std::process::id()));
+    std::fs::remove_dir_all(&tmp).ok();
+    std::fs::create_dir_all(&tmp).map_err(|e| format!("mkdir {}: {e}", tmp.display()))?;
+    let result = run_in(cfg, bin, &tmp);
+    std::fs::remove_dir_all(&tmp).ok();
+    result
+}
+
+fn run_in(cfg: &RouteBenchConfig, bin: &Path, tmp: &Path) -> Result<RouteReport, String> {
+    let mut datasets = Vec::with_capacity(cfg.datasets.len());
+    for &ds in &cfg.datasets {
+        let spec = ds.spec();
+        let g = spec.generate();
+        let index = preprocess(bin, &g, tmp, spec.name)?;
+        // Distinct seeds in a fixed cyclic order: the worst case for one
+        // LRU of `cache_entries`, the easy case for N partitioned ones.
+        let stride = (g.n() / cfg.working_set.max(1)).max(1);
+        let keys: Vec<(usize, usize)> = (0..cfg.working_set)
+            .map(|i| ((i * stride) % g.n(), cfg.top_k))
+            .collect();
+
+        let cache = cfg.cache_entries.to_string();
+        let single = Proc::spawn(
+            bin,
+            &[
+                "serve".into(),
+                index.display().to_string(),
+                "--listen".into(),
+                "127.0.0.1:0".into(),
+                "--mmap".into(),
+                "--cache-entries".into(),
+                cache.clone(),
+            ],
+            false,
+        )?;
+        let (single_run, oracle) = measure_tier(&single, &keys, cfg.passes)?;
+        drop(single);
+
+        let router = Proc::spawn(
+            bin,
+            &[
+                "route".into(),
+                index.display().to_string(),
+                "--shards".into(),
+                cfg.shards.to_string(),
+                "--mmap".into(),
+                "--cache-entries".into(),
+                cache,
+            ],
+            true,
+        )?;
+        if router.shard_addrs.len() != cfg.shards {
+            return Err(format!(
+                "router announced {} shards, expected {}",
+                router.shard_addrs.len(),
+                cfg.shards
+            ));
+        }
+        let (router_run, router_bodies) = measure_tier(&router, &keys, cfg.passes)?;
+        let bit_identical = router_bodies == oracle;
+        drop(router);
+
+        datasets.push(RouteDatasetReport {
+            dataset: spec.name.to_string(),
+            n: g.n(),
+            m: g.m(),
+            bit_identical,
+            single: single_run,
+            router: router_run,
+        });
+    }
+    Ok(RouteReport {
+        quick: cfg.quick,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        shards: cfg.shards,
+        cache_entries: cfg.cache_entries,
+        working_set: cfg.working_set,
+        passes: cfg.passes,
+        top_k: cfg.top_k,
+        datasets,
+    })
+}
+
+/// Writes the graph as an edge list and runs `bepi preprocess` into a
+/// mappable v6 index with the graph embedded (what `--mmap` serving and
+/// shard spawning require).
+fn preprocess(
+    bin: &Path,
+    g: &bepi_graph::Graph,
+    tmp: &Path,
+    name: &str,
+) -> Result<PathBuf, String> {
+    let mut edges = String::with_capacity(g.m() * 12);
+    for u in 0..g.n() {
+        for v in g.out_neighbors(u) {
+            let _ = writeln!(edges, "{u} {v}");
+        }
+    }
+    let edges_path = tmp.join(format!("{name}.txt"));
+    std::fs::write(&edges_path, edges).map_err(|e| format!("writing edges: {e}"))?;
+    let index = tmp.join(format!("{name}.bepi"));
+    let out = Command::new(bin)
+        .args([
+            "preprocess",
+            &edges_path.display().to_string(),
+            &index.display().to_string(),
+            "--format",
+            "v6",
+            "--embed-graph",
+        ])
+        .output()
+        .map_err(|e| format!("running preprocess: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "preprocess {name} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    Ok(index)
+}
+
+/// Renders the human-readable comparison table.
+pub fn render_table(report: &RouteReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bepi bench --route ({} cores visible, {} shards, {}-entry cache/process, \
+         {} keys x {} passes, top {}{})",
+        report.available_parallelism,
+        report.shards,
+        report.cache_entries,
+        report.working_set,
+        report.passes,
+        report.top_k,
+        if report.quick { ", quick" } else { "" }
+    );
+    for ds in &report.datasets {
+        let _ = writeln!(
+            out,
+            "\n{} (n = {}, m = {}, bit-identical: {})",
+            ds.dataset, ds.n, ds.m, ds.bit_identical
+        );
+        let mut table = crate::table::Table::new(vec![
+            "tier", "requests", "wall", "qps", "hits", "misses", "speedup",
+        ]);
+        for (tier, run) in [("single", &ds.single), ("router", &ds.router)] {
+            table.row(vec![
+                tier.to_string(),
+                run.requests.to_string(),
+                crate::table::fmt_secs(run.wall_s),
+                format!("{:.0}/s", run.qps()),
+                run.cache_hits.to_string(),
+                run.cache_misses.to_string(),
+                if tier == "router" {
+                    format!("{:.2}x", ds.speedup())
+                } else {
+                    "1.00x".to_string()
+                },
+            ]);
+        }
+        out.push_str(&table.render());
+    }
+    out
+}
+
+/// Serializes a report to the `bepi-route-bench/v1` JSON document.
+pub fn to_json(report: &RouteReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"quick\": {},", report.quick);
+    let _ = writeln!(
+        out,
+        "  \"available_parallelism\": {},",
+        report.available_parallelism
+    );
+    let _ = writeln!(out, "  \"shards\": {},", report.shards);
+    let _ = writeln!(out, "  \"cache_entries\": {},", report.cache_entries);
+    let _ = writeln!(out, "  \"working_set\": {},", report.working_set);
+    let _ = writeln!(out, "  \"passes\": {},", report.passes);
+    let _ = writeln!(out, "  \"top_k\": {},", report.top_k);
+    out.push_str("  \"datasets\": [\n");
+    for (i, ds) in report.datasets.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"dataset\": \"{}\",", ds.dataset);
+        let _ = writeln!(out, "      \"n\": {},", ds.n);
+        let _ = writeln!(out, "      \"m\": {},", ds.m);
+        let _ = writeln!(out, "      \"bit_identical\": {},", ds.bit_identical);
+        for (tier, run) in [("single", &ds.single), ("router", &ds.router)] {
+            let _ = writeln!(
+                out,
+                "      \"{tier}\": {{\"requests\": {}, \"wall_s\": {:.6}, \
+                 \"qps\": {:.2}, \"cache_hits\": {}, \"cache_misses\": {}}},",
+                run.requests,
+                run.wall_s,
+                run.qps(),
+                run.cache_hits,
+                run.cache_misses
+            );
+        }
+        let _ = writeln!(
+            out,
+            "      \"router_speedup_vs_single\": {:.4}",
+            ds.speedup()
+        );
+        out.push_str(if i + 1 < report.datasets.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Validates a `bepi-route-bench/v1` document: well-formed JSON, correct
+/// schema tag, sane top-level parameters, non-empty datasets each with
+/// complete `single`/`router` tiers, and `bit_identical: true` — a
+/// router that serves different bytes than the single daemon is a
+/// correctness failure, not a measurement.
+pub fn validate_json(text: &str) -> std::result::Result<(), String> {
+    let value = json::parse(text)?;
+    let obj = value.as_object().ok_or("top level must be an object")?;
+    match json::get(obj, "schema").and_then(|v| v.as_str()) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(format!("unknown schema {s:?}, expected {SCHEMA:?}")),
+        None => return Err("missing \"schema\" tag".into()),
+    }
+    json::get(obj, "quick")
+        .and_then(|v| v.as_bool())
+        .ok_or("missing boolean \"quick\"")?;
+    for (key, min) in [
+        ("available_parallelism", 1.0),
+        ("shards", 2.0),
+        ("cache_entries", 1.0),
+        ("working_set", 1.0),
+        ("passes", 1.0),
+        ("top_k", 1.0),
+    ] {
+        let v = json::get(obj, key)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("missing numeric \"{key}\""))?;
+        if v < min {
+            return Err(format!("\"{key}\" must be >= {min}"));
+        }
+    }
+    let datasets = json::get(obj, "datasets")
+        .and_then(|v| v.as_array())
+        .ok_or("missing \"datasets\" array")?;
+    if datasets.is_empty() {
+        return Err("\"datasets\" must be non-empty".into());
+    }
+    for (i, ds) in datasets.iter().enumerate() {
+        let ds = ds
+            .as_object()
+            .ok_or_else(|| format!("dataset {i} must be an object"))?;
+        json::get(ds, "dataset")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("dataset {i}: missing \"dataset\" name"))?;
+        for key in ["n", "m"] {
+            json::get(ds, key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("dataset {i}: missing numeric \"{key}\""))?;
+        }
+        if json::get(ds, "bit_identical").and_then(|v| v.as_bool()) != Some(true) {
+            return Err(format!(
+                "dataset {i}: \"bit_identical\" must be true (router bodies \
+                 must match the single-daemon oracle)"
+            ));
+        }
+        for tier in ["single", "router"] {
+            let t = json::get(ds, tier)
+                .and_then(|v| v.as_object())
+                .ok_or_else(|| format!("dataset {i}: missing \"{tier}\" object"))?;
+            for key in ["requests", "wall_s", "qps", "cache_hits", "cache_misses"] {
+                let v = json::get(t, key)
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("dataset {i} {tier}: missing numeric \"{key}\""))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!(
+                        "dataset {i} {tier}: \"{key}\" must be finite and non-negative"
+                    ));
+                }
+            }
+        }
+        let v = json::get(ds, "router_speedup_vs_single")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("dataset {i}: missing \"router_speedup_vs_single\""))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!(
+                "dataset {i}: \"router_speedup_vs_single\" must be finite and positive"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> RouteReport {
+        RouteReport {
+            quick: true,
+            available_parallelism: 1,
+            shards: 2,
+            cache_entries: 16,
+            working_set: 24,
+            passes: 2,
+            top_k: 20,
+            datasets: vec![RouteDatasetReport {
+                dataset: "slashdot-like".into(),
+                n: 2048,
+                m: 7220,
+                bit_identical: true,
+                single: TierRun {
+                    requests: 48,
+                    wall_s: 0.4,
+                    cache_hits: 0,
+                    cache_misses: 48,
+                },
+                router: TierRun {
+                    requests: 48,
+                    wall_s: 0.1,
+                    cache_hits: 48,
+                    cache_misses: 0,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_validation() {
+        validate_json(&to_json(&tiny_report())).unwrap();
+    }
+
+    #[test]
+    fn speedup_is_the_qps_ratio() {
+        let ds = &tiny_report().datasets[0];
+        assert!((ds.speedup() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tampered_documents_fail_validation() {
+        assert!(validate_json("{}").is_err());
+        assert!(validate_json("not json").is_err());
+        let wrong_schema = to_json(&tiny_report()).replace(SCHEMA, "bepi-route-bench/v999");
+        assert!(validate_json(&wrong_schema).is_err());
+        let one_shard = to_json(&tiny_report()).replace("\"shards\": 2,", "\"shards\": 1,");
+        assert!(validate_json(&one_shard).is_err());
+        let not_identical =
+            to_json(&tiny_report()).replace("\"bit_identical\": true", "\"bit_identical\": false");
+        assert!(validate_json(&not_identical).is_err());
+        let dropped = to_json(&tiny_report()).replace("\"cache_hits\": 48, ", "");
+        assert!(validate_json(&dropped).is_err());
+        let no_speedup = to_json(&tiny_report()).replace(
+            "\"router_speedup_vs_single\": 4.0000",
+            "\"router_speedup_vs_single\": 0",
+        );
+        assert!(validate_json(&no_speedup).is_err());
+    }
+
+    #[test]
+    fn table_renders_both_tiers() {
+        let s = render_table(&tiny_report());
+        assert!(s.contains("single"), "{s}");
+        assert!(s.contains("router"), "{s}");
+        assert!(s.contains("4.00x"), "{s}");
+        assert!(s.contains("bit-identical: true"), "{s}");
+    }
+}

@@ -112,8 +112,21 @@ const USAGE: &str = "usage:
                   [--wal PATH] [--auto-flush N] [--graph edges.txt]
                   [--checkpoint PATH]
                   (HTTP daemon)
+  bepi route      <index.bepi> --shards N [--listen ADDR] [--mmap]
+                  [--hedge-ms H] [--retries R] [--backoff-ms B]
+                  [--health-interval-ms I] [--cache-entries M] [--threads N]
+                  [--timeout-ms T] [--pressure F]
+                  (scatter-gather front tier: spawns N `bepi serve` shard
+                  daemons over the same index and routes across them)
+  bepi route      --attach ADDR1,ADDR2,... [front-tier flags]
+                  (route over already-running daemons; no spawning)
   bepi bench      [--quick] [--datasets N] [--seeds N] [--threads-list 1,2,4,8]
                   [--out PATH]             (thread-scaling benchmark)
+  bepi bench      --route [--quick] [--shards N] [--cache-entries M]
+                  [--datasets N] [--out PATH]
+                  (router-vs-single-daemon throughput: same per-process
+                  response cache, working set sized to thrash one daemon
+                  while each shard's partition fits; writes BENCH_PR7.json)
   bepi help       (aliases: --help, -h)
 
 common flags:
@@ -198,6 +211,40 @@ serve daemon flags (with --listen):
   --checkpoint P   where to write the post-rebuild index (default: the
                    index path itself when --wal is set); applied WAL
                    segments are truncated once the checkpoint is durable
+  --shard-id N     stamp every response with an X-Shard: N header; set by
+                   `bepi route` on the shard daemons it spawns so the
+                   front tier can attribute responses to processes
+
+route (front tier) flags:
+  --shards N       shard daemons to spawn over the index; each serves the
+                   full index (--mmap shares its pages across processes)
+                   and owns a deterministic slice of the seed space for
+                   cache locality
+  --attach ADDRS   comma-separated addresses of already-running daemons
+                   to route over instead of spawning (no restarts then)
+  --listen ADDR    router bind address (default 127.0.0.1:0)
+  --hedge-ms H     hedge delay: an unanswered /query launches a duplicate
+                   at the next sibling after H ms; first answer wins
+                   (default 50; 0 disables hedging)
+  --retries R      extra shard attempts after the first, each on the next
+                   sibling in the seed's ring order (default 3)
+  --backoff-ms B   base backoff between sequential retries; attempt n
+                   waits n×B ms (default 10)
+  --health-interval-ms I  /version probe cadence per shard; failed probes
+                   take a shard out of rotation, passing ones re-admit it
+                   once it serves the fleet's expected epoch (default 200)
+  --mmap, --cache-entries, --threads, --timeout-ms, --pressure are
+  forwarded to the spawned shard daemons (--timeout-ms also bounds the
+  router's per-attempt shard I/O)
+
+router endpoints: GET /query (proxied with failover + hedging)
+                  GET /batch?seeds=a,b,c[&top=K][&mode=M][&merge=1]
+                  (scatter-gather; merge=1 folds per-seed top-k lists
+                  into one fleet-wide ranking)
+                  GET /route/health   GET /version (quorum-advertised
+                  fleet graph version)   GET /healthz   GET /metrics
+                  (bepi_shard_healthy, bepi_route_retries_total,
+                  bepi_hedged_requests_total, per-shard latencies)
 
 daemon endpoints: GET /query?seed=S&top=K[&mode=M][&epoch=N][&trace=1]
                   GET /healthz   GET /metrics   GET /version
@@ -293,6 +340,15 @@ fn run() -> Result<(), String> {
                 let opts = parse_opts(rest)?;
                 cmd_serve(index, seed_s, &opts)
             }
+        }
+        "route" => {
+            // The index is positional but optional: attach mode routes
+            // over already-running daemons and needs no index here.
+            let (index, flags) = match rest.split_first() {
+                Some((first, tail)) if !first.starts_with("--") => (Some(first.as_str()), tail),
+                _ => (None, rest),
+            };
+            cmd_route(index, flags)
         }
         "bench" => cmd_bench(rest),
         "help" | "--help" | "-h" => {
@@ -865,6 +921,9 @@ fn load_index(index: &str, mmap: bool) -> Result<(BePi, Option<Graph>, bool), St
 fn cmd_bench(flags: &[String]) -> Result<(), String> {
     use bepi_bench::perf;
 
+    if flags.iter().any(|f| f == "--route") {
+        return cmd_bench_route(flags);
+    }
     // --quick is a preset, applied before the other flags so they can
     // override parts of it regardless of argument order.
     let mut cfg = if flags.iter().any(|f| f == "--quick") {
@@ -920,6 +979,71 @@ fn cmd_bench(flags: &[String]) -> Result<(), String> {
     print!("{}", perf::render_table(&report));
     std::fs::write(&out_path, perf::to_json(&report))
         .map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("\nwrote {out_path}");
+    Ok(())
+}
+
+/// `bepi bench --route`: the router-vs-single-daemon throughput
+/// comparison (cache partitioning across shard processes). Spawns the
+/// daemon and router via this same binary, so it needs no extra tools.
+fn cmd_bench_route(flags: &[String]) -> Result<(), String> {
+    use bepi_bench::route;
+
+    let mut cfg = if flags.iter().any(|f| f == "--quick") {
+        route::RouteBenchConfig::quick()
+    } else {
+        route::RouteBenchConfig::full()
+    };
+    let mut out_path = String::from("BENCH_PR7.json");
+    let mut rest = flags;
+    while let Some((flag, tail)) = rest.split_first() {
+        if flag == "--route" || flag == "--quick" {
+            rest = tail;
+            continue;
+        }
+        let (value, tail) = tail
+            .split_first()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--out" => out_path = value.clone(),
+            "--shards" => {
+                cfg.shards = value
+                    .parse()
+                    .map_err(|_| format!("bad --shards: {value}"))?;
+                if cfg.shards < 2 {
+                    return Err("--shards must be at least 2 for the route bench".into());
+                }
+            }
+            "--cache-entries" => {
+                cfg.cache_entries = value
+                    .parse()
+                    .map_err(|_| format!("bad --cache-entries: {value}"))?;
+                if cfg.cache_entries == 0 {
+                    return Err("--cache-entries must be at least 1".into());
+                }
+                // Keep the working set at 1.5x the per-process cache so
+                // the partitioning contrast is preserved at any size.
+                cfg.working_set = cfg.cache_entries * 3 / 2;
+            }
+            "--datasets" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("bad --datasets: {value}"))?;
+                if n == 0 {
+                    return Err("--datasets must be at least 1".into());
+                }
+                cfg.datasets = bepi_graph::Dataset::all().into_iter().take(n).collect();
+            }
+            f => return Err(format!("unknown bench --route flag: {f}")),
+        }
+        rest = tail;
+    }
+    let bin = std::env::current_exe().map_err(|e| format!("locating own binary: {e}"))?;
+    let report = route::run(&cfg, &bin)?;
+    print!("{}", route::render_table(&report));
+    let json = route::to_json(&report);
+    route::validate_json(&json)?;
+    std::fs::write(&out_path, json).map_err(|e| format!("writing {out_path}: {e}"))?;
     println!("\nwrote {out_path}");
     Ok(())
 }
@@ -1002,6 +1126,13 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
             "--approx-engine" => {
                 approx_cfg.method = bepi_walk::ApproxMethod::parse(value)
                     .ok_or_else(|| format!("bad --approx-engine: {value} (try tpa|walk)"))?;
+            }
+            "--shard-id" => {
+                cfg.shard_id = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad --shard-id: {value}"))?,
+                )
             }
             f => return Err(format!("unknown serve flag: {f}")),
         }
@@ -1090,11 +1221,15 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
         },
         version,
     );
-    println!(
+    // Everything after the listening line is informational: a supervisor
+    // (like `bepi route`) may close our stdout as soon as it has parsed
+    // the address, and a daemon must not die on EPIPE because of it —
+    // hence fallible writes, not `println!`.
+    let _ = daemon_println(
         "endpoints: /query?seed=S&top=K[&mode=exact|approx|auto][&trace=1]  /healthz  \
-         /metrics  /version  /debug/slow  POST /edges  POST /rebuild"
+         /metrics  /version  /debug/slow  POST /edges  POST /rebuild",
     );
-    println!(
+    let _ = daemon_println(&format!(
         "approximate lane: {} (mode=auto degrades at {:.0}% queue pressure)",
         if live {
             format!("{} engine", approx_cfg.method.name())
@@ -1102,8 +1237,8 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
             "unavailable (no graph)".to_string()
         },
         cfg.pressure * 100.0,
-    );
-    println!("EOF on stdin (e.g. ctrl-D) shuts down gracefully");
+    ));
+    let _ = daemon_println("EOF on stdin (e.g. ctrl-D) shuts down gracefully");
 
     // stdin EOF is the daemon's SIGTERM-equivalent: installing a real
     // signal handler would need a non-std dependency, and a supervising
@@ -1113,6 +1248,160 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
     eprintln!("shutting down: draining queued and in-flight queries");
     trigger.fire();
     handle.join();
+    eprintln!("bye");
+    Ok(())
+}
+
+/// A `println!` that reports failure instead of panicking: daemons keep
+/// running when a supervising process closes their stdout early.
+fn daemon_println(line: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut out = std::io::stdout().lock();
+    writeln!(out, "{line}")?;
+    out.flush()
+}
+
+/// `bepi route`: the scatter-gather front tier over N shard daemons.
+fn cmd_route(index: Option<&str>, flags: &[String]) -> Result<(), String> {
+    use bepi_route::router::{Router, RouterConfig};
+    use bepi_route::shard::ShardState;
+    use bepi_route::supervisor::{SpawnSpec, Supervisor};
+
+    let mut cfg = RouterConfig::default();
+    let mut shards: usize = 0;
+    let mut attach: Option<String> = None;
+    // Flags forwarded verbatim to each spawned `bepi serve` shard.
+    let mut shard_flags: Vec<String> = Vec::new();
+    let mut rest = flags;
+    while let Some((flag, tail)) = rest.split_first() {
+        if flag == "--mmap" {
+            shard_flags.push("--mmap".to_string());
+            rest = tail;
+            continue;
+        }
+        let (value, tail) = tail
+            .split_first()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--listen" => cfg.listen = value.clone(),
+            "--shards" => {
+                shards = value
+                    .parse()
+                    .map_err(|_| format!("bad --shards: {value}"))?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--attach" => attach = Some(value.clone()),
+            "--hedge-ms" => {
+                cfg.hedge_ms = value
+                    .parse()
+                    .map_err(|_| format!("bad --hedge-ms: {value}"))?
+            }
+            "--retries" => {
+                cfg.retries = value
+                    .parse()
+                    .map_err(|_| format!("bad --retries: {value}"))?
+            }
+            "--backoff-ms" => {
+                cfg.backoff_ms = value
+                    .parse()
+                    .map_err(|_| format!("bad --backoff-ms: {value}"))?
+            }
+            "--health-interval-ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad --health-interval-ms: {value}"))?;
+                if ms == 0 {
+                    return Err("--health-interval-ms must be at least 1".into());
+                }
+                cfg.health_interval = std::time::Duration::from_millis(ms);
+            }
+            "--timeout-ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad --timeout-ms: {value}"))?;
+                if ms == 0 {
+                    return Err("--timeout-ms must be at least 1".into());
+                }
+                cfg.shard_timeout = std::time::Duration::from_millis(ms);
+                shard_flags.extend(["--timeout-ms".to_string(), value.clone()]);
+            }
+            "--cache-entries" | "--threads" | "--pressure" => {
+                shard_flags.extend([flag.clone(), value.clone()]);
+            }
+            f => return Err(format!("unknown route flag: {f}")),
+        }
+        rest = tail;
+    }
+
+    let supervisor = match attach {
+        Some(addrs) => {
+            if shards != 0 {
+                return Err("--attach and --shards are mutually exclusive".into());
+            }
+            let states: Vec<_> = addrs
+                .split(',')
+                .filter(|a| !a.trim().is_empty())
+                .enumerate()
+                .map(|(i, a)| std::sync::Arc::new(ShardState::new(i, a.trim(), cfg.shard_timeout)))
+                .collect();
+            if states.is_empty() {
+                return Err("--attach needs at least one address".into());
+            }
+            Supervisor::attach(states)
+        }
+        None => {
+            let index = index.ok_or("route needs an index path (or --attach ADDRS)")?;
+            if shards == 0 {
+                return Err("route needs --shards N (or --attach ADDRS)".into());
+            }
+            let program =
+                std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+            let spec = SpawnSpec {
+                program,
+                index: index.into(),
+                extra_args: shard_flags,
+            };
+            eprintln!("spawning {shards} shard daemon(s) over {index} ...");
+            Supervisor::spawn(spec, shards, cfg.shard_timeout).map_err(|e| e.to_string())?
+        }
+    };
+
+    let hedge_ms = cfg.hedge_ms;
+    let retries = cfg.retries;
+    let handle = Router::start(supervisor, cfg).map_err(|e| e.to_string())?;
+    // All stdout writes are fallible for the same reason as the serve
+    // daemon's: a supervisor may close our stdout once it has the
+    // address, and that must not kill the router.
+    let _ = daemon_println(&format!(
+        "bepi-route listening on http://{} ({} shards; hedge {} ms, retries {})",
+        handle.local_addr(),
+        handle.shards().len(),
+        hedge_ms,
+        retries,
+    ));
+    let pids = handle.supervisor().child_pids();
+    for shard in handle.shards() {
+        let _ = daemon_println(&format!(
+            "shard {}: http://{} healthy={}{}",
+            shard.id,
+            shard.addr(),
+            shard.is_healthy(),
+            pids.get(shard.id)
+                .map(|p| format!(" pid={p}"))
+                .unwrap_or_default(),
+        ));
+    }
+    let _ = daemon_println(
+        "endpoints: /query?seed=S&top=K[&mode=M]  /batch?seeds=a,b,c[&top=K][&merge=1]  \
+         /route/health  /version  /healthz  /metrics",
+    );
+    let _ = daemon_println("EOF on stdin (e.g. ctrl-D) shuts down gracefully");
+
+    std::io::copy(&mut std::io::stdin().lock(), &mut std::io::sink()).ok();
+    eprintln!("shutting down: stopping router, draining shard daemons");
+    handle.shutdown();
     eprintln!("bye");
     Ok(())
 }

@@ -1,0 +1,243 @@
+//! The shard-kill drill, end to end over real processes: boot
+//! `bepi route` over two spawned shard daemons, SIGKILL one mid-load,
+//! and require **zero** failed `mode=auto` requests — the router must
+//! absorb the crash with failover, then respawn the shard and re-admit
+//! it once it answers `/version` at the expected epoch.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_bepi");
+const N: usize = 60;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bepi_route_kill_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn preprocess(dir: &Path) -> PathBuf {
+    let edges: String = (0..N).map(|i| format!("{} {}\n", i, (i + 1) % N)).collect();
+    let edges_path = dir.join("edges.txt");
+    std::fs::write(&edges_path, edges).unwrap();
+    let index = dir.join("graph.bepi");
+    let out = Command::new(BIN)
+        .args([
+            "preprocess",
+            edges_path.to_str().unwrap(),
+            index.to_str().unwrap(),
+            "--format",
+            "v6",
+            "--embed-graph",
+        ])
+        .output()
+        .expect("run bepi preprocess");
+    assert!(
+        out.status.success(),
+        "preprocess failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    index
+}
+
+/// A running `bepi route` front tier plus the shard pids it announced.
+struct RouterProc {
+    child: Child,
+    addr: String,
+    shard_pids: Vec<u32>,
+}
+
+impl RouterProc {
+    fn spawn(index: &Path) -> Self {
+        let mut child = Command::new(BIN)
+            .args([
+                "route",
+                index.to_str().unwrap(),
+                "--shards",
+                "2",
+                "--mmap",
+                "--health-interval-ms",
+                "50",
+                "--hedge-ms",
+                "25",
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn bepi route");
+        let stdout = child.stdout.take().expect("router stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let mut addr = None;
+        let mut shard_pids = Vec::new();
+        // The router prints its own address first, then one line per
+        // shard (`shard N: http://ADDR healthy=true pid=P`).
+        for line in lines.by_ref() {
+            let line = line.expect("read router stdout");
+            if line.starts_with("bepi-route listening on http://") {
+                addr = Some(
+                    line.split("http://")
+                        .nth(1)
+                        .unwrap()
+                        .split_whitespace()
+                        .next()
+                        .unwrap()
+                        .to_string(),
+                );
+            } else if let Some(pid) = line.split(" pid=").nth(1) {
+                shard_pids.push(pid.trim().parse().expect("numeric shard pid"));
+            }
+            if line.starts_with("endpoints:") {
+                break;
+            }
+        }
+        RouterProc {
+            child,
+            addr: addr.expect("router must announce its address"),
+            shard_pids,
+        }
+    }
+
+    fn get(&self, target: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(&self.addr).expect("connect to router");
+        s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        s.write_all(
+            format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).expect("read response");
+        let status = buf
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        let body = buf
+            .split_once("\r\n\r\n")
+            .expect("header terminator")
+            .1
+            .to_string();
+        (status, body)
+    }
+
+    /// Parses a metric value off the router's `/metrics` page.
+    fn metric(&self, name: &str) -> Option<f64> {
+        let (status, body) = self.get("/metrics");
+        assert_eq!(status, 200);
+        body.lines().find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|r| r.strip_prefix(' '))
+                .and_then(|r| r.trim().parse().ok())
+        })
+    }
+}
+
+impl Drop for RouterProc {
+    fn drop(&mut self) {
+        // EOF on stdin asks for graceful shutdown (which also drains the
+        // shard children); fall back to SIGKILL if it does not exit.
+        drop(self.child.stdin.take());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            if self.child.try_wait().unwrap().is_some() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn sigkilled_shard_is_failed_over_then_respawned_and_readmitted() {
+    let dir = temp_dir("drill");
+    let index = preprocess(&dir);
+    let router = RouterProc::spawn(&index);
+    assert_eq!(router.shard_pids.len(), 2, "both shards must report pids");
+
+    // Warm-up: the fleet answers before the crash.
+    let (status, _) = router.get("/query?seed=0&top=5&mode=auto");
+    assert_eq!(status, 200);
+
+    // Load loop with a SIGKILL in the middle. Every single request must
+    // come back 200 — failover has to hide the crash completely.
+    let victim = router.shard_pids[0];
+    let mut failures = Vec::new();
+    for i in 0..120 {
+        if i == 30 {
+            let killed = Command::new("kill")
+                .args(["-9", &victim.to_string()])
+                .status()
+                .expect("run kill");
+            assert!(killed.success(), "SIGKILL must be delivered");
+        }
+        let seed = (i * 7) % N;
+        let (status, body) = router.get(&format!("/query?seed={seed}&top=5&mode=auto"));
+        if status != 200 {
+            failures.push((i, status, body));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "every mode=auto request must survive the shard kill: {failures:?}"
+    );
+
+    // The supervisor must detect the death, respawn the shard on a fresh
+    // port, and re-admit it once `/version` answers at the expected
+    // epoch: bepi_shard_healthy{shard="0"} returns to 1.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let healthy = loop {
+        if router.metric("bepi_shard_healthy{shard=\"0\"}") == Some(1.0) {
+            break true;
+        }
+        if Instant::now() >= deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    let (_, fleet) = router.get("/route/health");
+    assert!(
+        healthy,
+        "killed shard must be respawned and re-admitted: {fleet}"
+    );
+    assert!(
+        fleet.contains("\"generation\":1"),
+        "respawn must bump the shard generation: {fleet}"
+    );
+
+    // The crash was visible to the fleet (shard errors counted, requests
+    // failed over) but never to clients.
+    assert_eq!(router.metric("bepi_route_errors_total"), Some(0.0));
+    assert!(router.metric("bepi_route_failovers_total").unwrap_or(0.0) >= 1.0);
+
+    // And the respawned shard serves real traffic again: its request
+    // counter must move past the pre-kill baseline once it is healthy.
+    let baseline = router
+        .metric("bepi_route_shard_requests_total{shard=\"0\"}")
+        .expect("shard 0 request counter");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut served_by_restarted = false;
+    while Instant::now() < deadline {
+        for seed in 0..N {
+            let (status, _) = router.get(&format!("/query?seed={seed}&top=5&mode=auto"));
+            assert_eq!(status, 200);
+        }
+        let now = router
+            .metric("bepi_route_shard_requests_total{shard=\"0\"}")
+            .expect("shard 0 request counter");
+        if now > baseline {
+            served_by_restarted = true;
+            break;
+        }
+    }
+    assert!(
+        served_by_restarted,
+        "restarted shard must take traffic again"
+    );
+}

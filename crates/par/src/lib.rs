@@ -65,6 +65,14 @@ pub const DETERMINISTIC_CHUNK: usize = 8192;
 /// Explicit override installed by [`set_threads`]; `0` = unset.
 static EXPLICIT_THREADS: AtomicUsize = AtomicUsize::new(0);
 
+thread_local! {
+    /// Per-thread override installed by [`with_kernel_threads`]; `0` =
+    /// unset. Checked before every process-wide knob so a batch worker
+    /// can pin the kernels it calls to one thread without perturbing
+    /// concurrent requests on other threads.
+    static LOCAL_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
 /// Soft default installed by [`set_default_threads`]; `0` = unset.
 static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
 
@@ -101,9 +109,35 @@ pub fn set_default_threads(n: usize) {
     DEFAULT_THREADS.store(n, Ordering::SeqCst);
 }
 
-/// The effective kernel thread count (always ≥ 1): explicit override →
-/// `BEPI_THREADS` → soft default → available parallelism.
+/// Runs `f` with this thread's kernel thread count pinned to `n`
+/// (restored on exit, even on panic). The pin applies only to the
+/// calling thread — kernels invoked from *inside* `f` see
+/// `get_threads() == n` while every other thread resolves the knobs as
+/// usual. `bepi_core::batch` uses this to run each batch worker's
+/// kernels single-threaded, so batch × kernel parallelism never
+/// oversubscribes the machine (the nested-pool guard).
+///
+/// `n == 0` is treated as "unset" (the process-wide resolution applies
+/// inside `f` too).
+pub fn with_kernel_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(LOCAL_THREADS.with(|c| c.replace(n)));
+    f()
+}
+
+/// The effective kernel thread count (always ≥ 1): per-thread pin
+/// ([`with_kernel_threads`]) → explicit override → `BEPI_THREADS` →
+/// soft default → available parallelism.
 pub fn get_threads() -> usize {
+    let local = LOCAL_THREADS.with(|c| c.get());
+    if local > 0 {
+        return local;
+    }
     let explicit = EXPLICIT_THREADS.load(Ordering::SeqCst);
     if explicit > 0 {
         return explicit;
@@ -363,10 +397,12 @@ mod tests {
         assert!(caught.is_err());
     }
 
+    /// The knob tests mutate process-wide state; serialize them.
+    static KNOB_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn thread_knob_resolution_order() {
-        // Not parallel-safe with other knob tests, so exercise both
-        // transitions in one test.
+        let _guard = KNOB_LOCK.lock().unwrap();
         set_threads(3);
         assert_eq!(get_threads(), 3);
         set_threads(0);
@@ -378,5 +414,27 @@ mod tests {
         }
         set_default_threads(0);
         assert!(get_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_local_pin_beats_globals_and_restores() {
+        let _guard = KNOB_LOCK.lock().unwrap();
+        set_threads(4);
+        assert_eq!(get_threads(), 4);
+        let inside = with_kernel_threads(1, get_threads);
+        assert_eq!(inside, 1);
+        // Restored after the closure, including across a panic.
+        assert_eq!(get_threads(), 4);
+        let caught = std::panic::catch_unwind(|| {
+            with_kernel_threads(2, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(get_threads(), 4);
+        // The pin is per-thread: a sibling thread still sees the global.
+        let sibling = with_kernel_threads(1, || std::thread::spawn(get_threads).join().unwrap());
+        assert_eq!(sibling, 4);
+        // Zero means "unset", falling through to the globals.
+        assert_eq!(with_kernel_threads(0, get_threads), 4);
+        set_threads(0);
     }
 }

@@ -1,0 +1,62 @@
+//! # bepi-route
+//!
+//! Sharded multi-process serving for BePI: a scatter-gather front tier
+//! over N `bepi serve` shard daemons.
+//!
+//! BePI's preprocessing makes per-query work small, but one daemon
+//! process caps throughput at one worker pool and *one response cache*.
+//! The v6 mmap index format already lets N processes share a single
+//! index through the page cache for free, so horizontal scale-out on
+//! one box is just: run N shard daemons over the same file, put a thin
+//! router in front. This crate is that router:
+//!
+//! * [`ring`] — deterministic rendezvous hashing of the seed space onto
+//!   shards. Every shard holds the full index, so the ring is a cache
+//!   locality policy (N caches behave like one N×-sized cache) and a
+//!   deterministic failover order, never a correctness constraint.
+//! * [`client`] — a std-only pooled HTTP/1.1 client; the router is the
+//!   one client that opts into the daemons' keep-alive support, so
+//!   scatter requests multiplex over persistent connections.
+//! * [`supervisor`] — process lifecycle: spawn shard children, probe
+//!   health, detect a SIGKILLed shard, respawn it, and re-admit it only
+//!   once it answers `/version` at the fleet's expected epoch.
+//! * [`router`] — the front tier itself: `/query` with bounded retry,
+//!   deterministic failover and tail-latency hedging; `/batch` scatter-
+//!   gather with per-seed bodies proxied verbatim (bit-identical to a
+//!   single daemon) or merged into one fleet-wide top-k; `/version`
+//!   advertising the *quorum* graph version so fleet-level epoch
+//!   rollouts are zero-downtime; `/route/health` and `/metrics`
+//!   (`bepi_shard_healthy`, `bepi_route_retries_total`,
+//!   `bepi_hedged_requests_total`, per-shard latency histograms).
+//!
+//! ```no_run
+//! use bepi_route::router::{Router, RouterConfig};
+//! use bepi_route::supervisor::{SpawnSpec, Supervisor};
+//! use std::time::Duration;
+//!
+//! let spec = SpawnSpec {
+//!     program: "bepi".into(),
+//!     index: "graph.bepi".into(),
+//!     extra_args: vec!["--mmap".into()],
+//! };
+//! let supervisor = Supervisor::spawn(spec, 2, Duration::from_secs(10)).unwrap();
+//! let handle = Router::start(supervisor, RouterConfig::default()).unwrap();
+//! println!("routing on http://{}", handle.local_addr());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod ring;
+pub mod router;
+pub mod shard;
+pub mod supervisor;
+
+pub use client::{HttpResponse, ShardClient};
+pub use metrics::RouteMetrics;
+pub use ring::SeedRing;
+pub use router::{Router, RouterConfig, RouterHandle};
+pub use shard::{quorum_version, ShardState};
+pub use supervisor::{SpawnSpec, Supervisor};

@@ -1,0 +1,213 @@
+//! Router-level metrics in Prometheus exposition format.
+//!
+//! The fleet-facing series the ISSUE names — `bepi_shard_healthy`,
+//! `bepi_route_retries_total`, `bepi_hedged_requests_total` — plus the
+//! per-shard latency histograms, rendered with a `shard` label (the
+//! shared [`bepi_obs::telemetry::Histogram`] renderer is label-free, so
+//! the labeled exposition is assembled here from its raw buckets).
+
+use crate::shard::{quorum_version, ShardState};
+use bepi_obs::telemetry::{format_le, render_f64};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Router-wide counters.
+#[derive(Debug, Default)]
+pub struct RouteMetrics {
+    /// Requests accepted by the router (any endpoint).
+    pub requests_total: AtomicU64,
+    /// Retries after a failed shard attempt (`bepi_route_retries_total`).
+    pub retries_total: AtomicU64,
+    /// Hedge requests launched (`bepi_hedged_requests_total`).
+    pub hedged_total: AtomicU64,
+    /// Requests answered by a non-primary shard after its primary
+    /// failed or was unhealthy.
+    pub failovers_total: AtomicU64,
+    /// Requests the router could not answer from any shard.
+    pub errors_total: AtomicU64,
+}
+
+impl RouteMetrics {
+    /// Relaxed add-one; counters are monotonic and independent.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Renders the full router exposition: router counters, per-shard
+/// health gauges, versions, request/error counters, and latency
+/// histograms.
+pub fn render(metrics: &RouteMetrics, shards: &[Arc<ShardState>]) -> String {
+    let mut out = String::with_capacity(2048);
+    let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    };
+    counter(
+        &mut out,
+        "bepi_route_requests_total",
+        "Requests accepted by the router.",
+        metrics.requests_total.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "bepi_route_retries_total",
+        "Shard attempts retried on a sibling after a failure.",
+        metrics.retries_total.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "bepi_hedged_requests_total",
+        "Hedge requests launched against a sibling for tail latency.",
+        metrics.hedged_total.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "bepi_route_failovers_total",
+        "Requests answered by a non-primary shard.",
+        metrics.failovers_total.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "bepi_route_errors_total",
+        "Requests no shard could answer.",
+        metrics.errors_total.load(Ordering::Relaxed),
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP bepi_shard_healthy Shard serving state (1 healthy, 0 out of rotation)."
+    );
+    let _ = writeln!(out, "# TYPE bepi_shard_healthy gauge");
+    for s in shards {
+        let _ = writeln!(
+            out,
+            "bepi_shard_healthy{{shard=\"{}\"}} {}",
+            s.id,
+            u8::from(s.is_healthy())
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP bepi_shard_graph_version Highest graph version observed per shard."
+    );
+    let _ = writeln!(out, "# TYPE bepi_shard_graph_version gauge");
+    for s in shards {
+        let _ = writeln!(
+            out,
+            "bepi_shard_graph_version{{shard=\"{}\"}} {}",
+            s.id,
+            s.version()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP bepi_route_advertised_version Quorum-advertised fleet graph version."
+    );
+    let _ = writeln!(out, "# TYPE bepi_route_advertised_version gauge");
+    let _ = writeln!(
+        out,
+        "bepi_route_advertised_version {}",
+        quorum_version(shards)
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP bepi_route_shard_requests_total Requests answered per shard."
+    );
+    let _ = writeln!(out, "# TYPE bepi_route_shard_requests_total counter");
+    for s in shards {
+        let _ = writeln!(
+            out,
+            "bepi_route_shard_requests_total{{shard=\"{}\"}} {}",
+            s.id,
+            s.requests_total.load(Ordering::Relaxed)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP bepi_route_shard_errors_total Transport failures per shard."
+    );
+    let _ = writeln!(out, "# TYPE bepi_route_shard_errors_total counter");
+    for s in shards {
+        let _ = writeln!(
+            out,
+            "bepi_route_shard_errors_total{{shard=\"{}\"}} {}",
+            s.id,
+            s.errors_total.load(Ordering::Relaxed)
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bepi_route_shard_latency_seconds Successful request latency per shard."
+    );
+    let _ = writeln!(out, "# TYPE bepi_route_shard_latency_seconds histogram");
+    for s in shards {
+        let cumulative = s.latency.cumulative();
+        for (i, &bound) in s.latency.bounds().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "bepi_route_shard_latency_seconds_bucket{{shard=\"{}\",le=\"{}\"}} {}",
+                s.id,
+                format_le(bound),
+                cumulative[i]
+            );
+        }
+        let total = *cumulative.last().unwrap_or(&0);
+        let _ = writeln!(
+            out,
+            "bepi_route_shard_latency_seconds_bucket{{shard=\"{}\",le=\"+Inf\"}} {}",
+            s.id, total
+        );
+        let _ = writeln!(
+            out,
+            "bepi_route_shard_latency_seconds_sum{{shard=\"{}\"}} {}",
+            s.id,
+            render_f64(s.latency.sum())
+        );
+        let _ = writeln!(
+            out,
+            "bepi_route_shard_latency_seconds_count{{shard=\"{}\"}} {}",
+            s.id, total
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn exposition_carries_the_issue_series() {
+        let m = RouteMetrics::default();
+        RouteMetrics::inc(&m.retries_total);
+        RouteMetrics::inc(&m.hedged_total);
+        let shards: Vec<Arc<ShardState>> = (0..2)
+            .map(|i| Arc::new(ShardState::new(i, "127.0.0.1:1", Duration::from_millis(10))))
+            .collect();
+        shards[0].mark(true);
+        shards[0].latency.observe(0.002);
+        shards[0].observe_version(3);
+        shards[1].observe_version(3);
+        let text = render(&m, &shards);
+        assert!(text.contains("bepi_route_retries_total 1"), "{text}");
+        assert!(text.contains("bepi_hedged_requests_total 1"));
+        assert!(text.contains("bepi_shard_healthy{shard=\"0\"} 1"));
+        assert!(text.contains("bepi_shard_healthy{shard=\"1\"} 0"));
+        assert!(text.contains("bepi_route_advertised_version 3"));
+        assert!(
+            text.contains("bepi_route_shard_latency_seconds_bucket{shard=\"0\",le=\"0.0025\"} 1")
+        );
+        assert!(text.contains("bepi_route_shard_latency_seconds_count{shard=\"0\"} 1"));
+        // Every sample line parses via the server's metric scraper.
+        assert_eq!(
+            bepi_server::parse_metric(&text, "bepi_route_retries_total"),
+            Some(1.0)
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Deterministic seed-to-shard placement via rendezvous hashing.
+//!
+//! Every shard serves the *full* index (all processes mmap the same v6
+//! file), so any shard can answer any seed correctly — the ring exists
+//! for cache locality, not correctness. Pinning each seed to one
+//! preferred shard makes the N per-process response caches behave like
+//! one cache N times the size instead of N copies of the same hot set,
+//! and gives every seed a *deterministic failover order*: when its
+//! primary is down, the request goes to the same sibling every time, so
+//! the sibling's cache warms for exactly the seeds it inherited.
+//!
+//! Rendezvous (highest-random-weight) hashing is used instead of a
+//! modulo because it needs no stored state, is trivially deterministic
+//! across processes, and yields a stable total order of shards per
+//! seed — `order(seed)[0]` is the primary, `order(seed)[1]` the first
+//! failover sibling, and so on.
+
+/// Deterministic seed → shard placement over a fixed shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedRing {
+    shards: usize,
+}
+
+impl SeedRing {
+    /// A ring over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> SeedRing {
+        assert!(shards > 0, "a ring needs at least one shard");
+        SeedRing { shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn len(&self) -> usize {
+        self.shards
+    }
+
+    /// True when the ring has no failover siblings (single shard).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The preferred shard for `seed`.
+    pub fn primary(&self, seed: u64) -> usize {
+        self.order(seed)[0]
+    }
+
+    /// All shards ranked for `seed`: primary first, then failover
+    /// siblings in deterministic preference order. Ties in the
+    /// rendezvous weight are impossible for distinct shard ids because
+    /// the shard id is mixed into the weight.
+    pub fn order(&self, seed: u64) -> Vec<usize> {
+        let mut ranked: Vec<(u64, usize)> =
+            (0..self.shards).map(|s| (mix(seed, s as u64), s)).collect();
+        // Highest weight first; the weight already encodes the shard id,
+        // so the sort is total and the secondary key is never consulted
+        // for distinct shards.
+        ranked.sort_by(|a, b| b.cmp(a));
+        ranked.into_iter().map(|(_, s)| s).collect()
+    }
+}
+
+/// SplitMix64-style mix of (seed, shard) into a rendezvous weight.
+/// Chosen for determinism and diffusion, not cryptography.
+fn mix(seed: u64, shard: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(shard.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(0x94d0_49bb_1331_11eb);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_a_permutation_and_deterministic() {
+        let ring = SeedRing::new(5);
+        for seed in 0..200u64 {
+            let order = ring.order(seed);
+            assert_eq!(order.len(), 5);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+            assert_eq!(order, ring.order(seed), "must be deterministic");
+            assert_eq!(order[0], ring.primary(seed));
+        }
+    }
+
+    #[test]
+    fn placement_is_reasonably_balanced() {
+        let ring = SeedRing::new(4);
+        let mut counts = [0usize; 4];
+        for seed in 0..4000u64 {
+            counts[ring.primary(seed)] += 1;
+        }
+        for &c in &counts {
+            // Perfect balance is 1000; accept anything within 2× of even.
+            assert!((500..=2000).contains(&c), "skewed placement: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn failover_sibling_is_stable_under_primary_loss() {
+        // The rank-1 shard for a seed must not depend on anything but
+        // the seed: two routers (or one router before/after a restart)
+        // agree on where a seed fails over.
+        let ring = SeedRing::new(3);
+        for seed in 0..50u64 {
+            let a = ring.order(seed);
+            let b = ring.order(seed);
+            assert_eq!(a[1], b[1]);
+            assert_ne!(a[0], a[1]);
+        }
+    }
+
+    #[test]
+    fn single_shard_ring_routes_everything_to_zero() {
+        let ring = SeedRing::new(1);
+        for seed in 0..10u64 {
+            assert_eq!(ring.order(seed), vec![0]);
+        }
+    }
+}

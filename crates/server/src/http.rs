@@ -29,6 +29,13 @@ pub struct Request {
     pub params: HashMap<String, String>,
     /// Request body (empty unless the client sent `Content-Length`).
     pub body: String,
+    /// Whether the client *explicitly* asked to keep the connection open
+    /// (`Connection: keep-alive`). HTTP/1.1 defaults to persistent
+    /// connections, but this daemon historically answered every request
+    /// with `Connection: close`; persistence is therefore opt-in via the
+    /// explicit header, which ordinary clients (curl, browsers,
+    /// Prometheus) do not send — only the `bepi route` shard client does.
+    pub keep_alive: bool,
 }
 
 /// Why a request could not be parsed.
@@ -69,7 +76,8 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
     let mut total = 0usize;
     read_line_bounded(reader, &mut line, &mut total)?;
     let mut request = parse_request_line(line.trim_end())?;
-    // Drain headers until the blank line, keeping only Content-Length.
+    // Drain headers until the blank line, keeping only Content-Length
+    // and Connection.
     let mut content_length = 0usize;
     loop {
         line.clear();
@@ -87,6 +95,8 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
             content_length = value.trim().parse().map_err(|_| {
                 ParseError::Malformed(format!("bad Content-Length: {:?}", value.trim()))
             })?;
+        } else if name.trim().eq_ignore_ascii_case("connection") {
+            request.keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
         }
     }
     if content_length > 0 {
@@ -148,6 +158,7 @@ fn parse_request_line(line: &str) -> Result<Request, ParseError> {
         path: percent_decode(path),
         params: parse_query(query),
         body: String::new(),
+        keep_alive: false,
     })
 }
 
@@ -220,12 +231,27 @@ pub fn write_response<W: Write>(
     extra_headers: &[(&str, &str)],
     body: &str,
 ) -> std::io::Result<()> {
+    write_response_conn(w, status, content_type, extra_headers, body, false)
+}
+
+/// [`write_response`] with an explicit connection disposition:
+/// `keep_alive = true` emits `Connection: keep-alive` and leaves the
+/// stream open for the next request on the same connection.
+pub fn write_response_conn<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         reason(status),
         content_type,
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     );
     for (k, v) in extra_headers {
         head.push_str(k);
@@ -234,8 +260,12 @@ pub fn write_response<W: Write>(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
+    // One write for head + body: two small writes on a Nagle-enabled
+    // socket stall the second behind the peer's delayed ACK (~40 ms)
+    // once a keep-alive connection leaves TCP quickack mode — fatal for
+    // the router's pooled shard connections.
+    head.push_str(body);
     w.write_all(head.as_bytes())?;
-    w.write_all(body.as_bytes())?;
     w.flush()
 }
 
@@ -374,6 +404,30 @@ mod tests {
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("X-A: 1\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn keep_alive_is_explicit_opt_in() {
+        // No Connection header: HTTP/1.1 would default to persistent, but
+        // the daemon treats persistence as opt-in.
+        let r = parse("GET /query?seed=1 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = parse("GET /query?seed=1 HTTP/1.1\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive);
+        // Case-insensitive header name and value.
+        let r = parse("GET /q HTTP/1.1\r\nCONNECTION: Keep-Alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive);
+        let r = parse("GET /q HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn keep_alive_response_header() {
+        let mut buf = Vec::new();
+        write_response_conn(&mut buf, 200, "application/json", &[], "{}", true).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Connection: close\r\n"));
     }
 
     #[test]

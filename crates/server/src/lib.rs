@@ -93,6 +93,10 @@ pub struct ServerConfig {
     /// hook for tests and drills; values ≥ 1.0 degrade only via the
     /// overflow lane.
     pub pressure: f64,
+    /// Shard id stamped on every response as `X-Shard` when this daemon
+    /// runs as one shard of a `bepi route` fleet. `None` (the default)
+    /// omits the header entirely.
+    pub shard_id: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +110,7 @@ impl Default for ServerConfig {
             slow_query: Duration::from_millis(100),
             slow_log_entries: 64,
             pressure: 0.75,
+            shard_id: None,
         }
     }
 }
@@ -208,6 +213,15 @@ impl Server {
             metrics: Arc::clone(&metrics),
             slow_log,
             pressure_slots: config.pressure_slots(),
+            timeout: config.timeout,
+            shutdown: Arc::clone(&shutdown),
+            shard: config.shard_id.map(|s| s.to_string()),
+            keepalive_threads: std::sync::atomic::AtomicUsize::new(0),
+            // Enough headroom for a scatter-gather front tier (a router
+            // pools a handful of sockets per shard) without letting a
+            // misbehaving client turn persistent connections into an
+            // unbounded thread fleet.
+            keepalive_cap: (4 * threads).clamp(8, 64),
         });
         let mut workers: Vec<JoinHandle<()>> = (0..threads)
             .map(|i| {
@@ -276,6 +290,10 @@ fn accept_loop(
                 continue;
             }
         };
+        // Request/response over small messages: never trade latency for
+        // segment coalescing (Nagle + delayed ACK stalls keep-alive
+        // connections by tens of milliseconds).
+        stream.set_nodelay(true).ok();
         if shutdown.is_requested() {
             // The wake connection (or a straggler racing it) is dropped
             // unanswered; admission is closed.

@@ -22,7 +22,7 @@ use bepi_sparse::SparseError;
 use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -73,6 +73,32 @@ pub struct WorkerContext {
     /// every `auto` query is served approximately when the engine
     /// exists — the deterministic hook CI uses.
     pub pressure_slots: u64,
+    /// Per-request deadline budget; re-armed for every request served
+    /// over one keep-alive connection.
+    pub timeout: Duration,
+    /// Graceful-shutdown flag: keep-alive connections are closed after
+    /// the in-flight request once shutdown is requested, so persistent
+    /// router connections cannot stall the drain.
+    pub shutdown: Arc<crate::shutdown::Shutdown>,
+    /// This daemon's shard id rendered for the `X-Shard` response
+    /// header (`None` outside a sharded fleet). The `bepi route` front
+    /// tier uses it to attribute responses to shard processes.
+    pub shard: Option<String>,
+    /// Live count of dedicated keep-alive connection threads, bounded
+    /// by [`WorkerContext::keepalive_cap`].
+    pub keepalive_threads: AtomicUsize,
+    /// Maximum concurrent persistent connections. Beyond the cap a
+    /// kept-alive connection is closed after its response — dropping an
+    /// idle persistent socket is exactly what pooled clients recover
+    /// from (they retry on a fresh connection).
+    pub keepalive_cap: usize,
+}
+
+impl WorkerContext {
+    /// The `X-Shard` header pair, when this daemon has a shard id.
+    fn shard_header(&self) -> Option<(&'static str, &str)> {
+        self.shard.as_deref().map(|s| ("X-Shard", s))
+    }
 }
 
 /// Worker main loop: drains the admission queue until it is closed *and*
@@ -108,77 +134,197 @@ fn remaining(deadline: Instant) -> Option<Duration> {
     }
 }
 
-fn handle_connection(job: Job, ctx: &WorkerContext) {
+/// What [`serve_one`] decided about the connection after one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Served {
+    /// Drop the stream; the response (if any) said `Connection: close`.
+    Close,
+    /// The request opted into keep-alive and was answered with
+    /// `Connection: keep-alive`; read the next request off the same
+    /// stream with a fresh deadline.
+    KeepAlive,
+}
+
+fn handle_connection(job: Job, ctx: &Arc<WorkerContext>) {
     let Job {
         stream,
         deadline,
         accepted_at,
         lane,
     } = job;
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    match serve_one(
+        &stream,
+        &mut reader,
+        deadline,
+        accepted_at,
+        lane,
+        false,
+        ctx,
+    ) {
+        Served::Close => {}
+        // Hand the persistent connection to a dedicated thread and
+        // return this worker to the admission queue. A keep-alive
+        // connection parked on a pool worker would starve fresh
+        // connections outright: the pool is sized to CPU, persistent
+        // connections are sized to clients, and one idle router socket
+        // must never block admission (on a 1-core box the pool is a
+        // single worker).
+        Served::KeepAlive => persist_connection(stream, reader, lane, ctx),
+    }
+}
+
+/// Moves a kept-alive connection onto a `bepi-keepalive` thread, bounded
+/// by `ctx.keepalive_cap`. At the cap (or if the spawn fails) the stream
+/// is simply dropped — legal for a server at any idle point, and pooled
+/// clients retry on a fresh connection.
+fn persist_connection(
+    stream: TcpStream,
+    mut reader: BufReader<TcpStream>,
+    lane: Lane,
+    ctx: &Arc<WorkerContext>,
+) {
+    let mut current = ctx.keepalive_threads.load(Ordering::Relaxed);
+    loop {
+        if current >= ctx.keepalive_cap {
+            return;
+        }
+        match ctx.keepalive_threads.compare_exchange_weak(
+            current,
+            current + 1,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => break,
+            Err(now) => current = now,
+        }
+    }
+    let thread_ctx = Arc::clone(ctx);
+    let spawned = std::thread::Builder::new()
+        .name("bepi-keepalive".to_string())
+        .spawn(move || {
+            let ctx = thread_ctx;
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                loop {
+                    // Keep-alive connections must not stall the graceful
+                    // drain: once shutdown is requested the connection is
+                    // dropped after the in-flight request (a dropped idle
+                    // connection is exactly what pooled clients handle).
+                    if ctx.shutdown.is_requested() {
+                        return;
+                    }
+                    // Each request on the connection gets a fresh budget;
+                    // queue wait is zero because it never went through
+                    // admission again.
+                    let now = Instant::now();
+                    let deadline = now + ctx.timeout;
+                    match serve_one(&stream, &mut reader, deadline, now, lane, true, &ctx) {
+                        Served::Close => return,
+                        Served::KeepAlive => {}
+                    }
+                }
+            }));
+            if result.is_err() {
+                Metrics::inc(&ctx.metrics.server_errors_total);
+            }
+            ctx.keepalive_threads.fetch_sub(1, Ordering::AcqRel);
+        });
+    if spawned.is_err() {
+        // The closure never ran, so its decrement never will: undo the
+        // reservation here and let the stream drop (connection closes).
+        ctx.keepalive_threads.fetch_sub(1, Ordering::AcqRel);
+        bepi_obs::warn!(
+            "server",
+            "keep-alive thread spawn failed; closing connection"
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_one(
+    stream: &TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    deadline: Instant,
+    accepted_at: Instant,
+    lane: Lane,
+    subsequent: bool,
+    ctx: &WorkerContext,
+) -> Served {
     let started = Instant::now();
 
     // Deadline may already have expired while the job sat in the queue.
     let Some(budget) = remaining(deadline) else {
         Metrics::inc(&ctx.metrics.timeouts_total);
         respond(
-            &stream,
+            stream,
             504,
             "application/json",
             &[],
             &http::json_error_body("deadline expired while queued"),
         );
-        return;
+        return Served::Close;
     };
     // The socket timeouts enforce the remaining budget on slow clients.
     let _ = stream.set_read_timeout(Some(budget));
     let _ = stream.set_write_timeout(Some(budget.max(Duration::from_secs(1))));
 
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let request = match http::read_request(&mut reader) {
+    let request = match http::read_request(reader) {
         Ok(r) => r,
+        // On a kept-alive connection, EOF or an idle timeout before the
+        // next request is the *normal* end of the connection — not a
+        // client error, not a server timeout.
+        Err(ParseError::Io(_)) if subsequent => return Served::Close,
+        Err(ParseError::Malformed(m)) if subsequent && m == "empty request" => {
+            return Served::Close;
+        }
         Err(ParseError::TooLarge) => {
             Metrics::inc(&ctx.metrics.client_errors_total);
             respond(
-                &stream,
+                stream,
                 431,
                 "application/json",
                 &[],
                 &http::json_error_body("request head too large"),
             );
-            return;
+            return Served::Close;
         }
         Err(ParseError::BodyTooLarge) => {
             Metrics::inc(&ctx.metrics.client_errors_total);
             respond(
-                &stream,
+                stream,
                 413,
                 "application/json",
                 &[],
                 &http::json_error_body("request body too large"),
             );
-            return;
+            return Served::Close;
         }
         Err(ParseError::Malformed(m)) => {
             Metrics::inc(&ctx.metrics.client_errors_total);
             respond(
-                &stream,
+                stream,
                 400,
                 "application/json",
                 &[],
                 &http::json_error_body(&m),
             );
-            return;
+            return Served::Close;
         }
         Err(ParseError::Io(_)) => {
             // Client vanished or stalled past its budget; nothing to say.
             Metrics::inc(&ctx.metrics.timeouts_total);
-            return;
+            return Served::Close;
         }
     };
     Metrics::inc(&ctx.metrics.requests_total);
+
+    // Keep-alive is honored only on the normal lane: the single degraded
+    // worker must never be pinned to one persistent connection while the
+    // daemon is saturated.
+    let keep_alive = request.keep_alive && lane == Lane::Normal;
 
     // The degraded lane exists solely to keep `/query` answerable via the
     // approximate engine while the main queue is saturated. Anything else
@@ -188,18 +334,21 @@ fn handle_connection(job: Job, ctx: &WorkerContext) {
     {
         Metrics::inc(&ctx.metrics.rejected_total);
         respond(
-            &stream,
+            stream,
             503,
             "application/json",
             &[("Retry-After", "1")],
             &http::json_error_body("overloaded: only GET /query is served on the degraded lane"),
         );
-        return;
+        return Served::Close;
     }
 
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
-            respond(&stream, 200, "text/plain", &[], "ok\n");
+            let mut headers: Vec<(&str, &str)> = Vec::new();
+            headers.extend(ctx.shard_header());
+            respond_conn(stream, 200, "text/plain", &headers, "ok\n", keep_alive);
+            kept(keep_alive)
         }
         ("GET", "/metrics") => {
             let engine = &ctx.engine;
@@ -215,33 +364,60 @@ fn handle_connection(job: Job, ctx: &WorkerContext) {
                 snapshot.bepi.mapped_bytes(),
             ));
             body.push_str(&render_obs_metrics());
-            respond(&stream, 200, "text/plain; version=0.0.4", &[], &body);
+            let mut headers: Vec<(&str, &str)> = Vec::new();
+            headers.extend(ctx.shard_header());
+            respond_conn(
+                stream,
+                200,
+                "text/plain; version=0.0.4",
+                &headers,
+                &body,
+                keep_alive,
+            );
+            kept(keep_alive)
         }
-        ("GET", "/query") => {
-            handle_query(&stream, &request, ctx, deadline, accepted_at, started, lane)
-        }
-        ("GET", "/version") => handle_version(&stream, ctx),
+        ("GET", "/query") => handle_query(
+            stream,
+            &request,
+            ctx,
+            deadline,
+            accepted_at,
+            started,
+            lane,
+            keep_alive,
+        ),
+        ("GET", "/version") => handle_version(stream, ctx, keep_alive),
         ("GET", "/debug/slow") => {
-            respond(
-                &stream,
+            respond_conn(
+                stream,
                 200,
                 "application/json",
                 &[],
                 &ctx.slow_log.render_json(),
+                keep_alive,
             );
+            kept(keep_alive)
         }
-        ("POST", "/edges") => handle_edges(&stream, &request, ctx),
-        ("POST", "/rebuild") => handle_rebuild(&stream, ctx),
+        ("POST", "/edges") => {
+            handle_edges(stream, &request, ctx);
+            Served::Close
+        }
+        ("POST", "/rebuild") => {
+            handle_rebuild(stream, ctx);
+            Served::Close
+        }
         (_, "/healthz" | "/metrics" | "/query" | "/version" | "/debug/slow") => {
-            method_not_allowed(&stream, ctx, "GET");
+            method_not_allowed(stream, ctx, "GET");
+            Served::Close
         }
         (_, "/edges" | "/rebuild") => {
-            method_not_allowed(&stream, ctx, "POST");
+            method_not_allowed(stream, ctx, "POST");
+            Served::Close
         }
         _ => {
             Metrics::inc(&ctx.metrics.client_errors_total);
             respond(
-                &stream,
+                stream,
                 404,
                 "application/json",
                 &[],
@@ -250,7 +426,16 @@ fn handle_connection(job: Job, ctx: &WorkerContext) {
                      /edges, /rebuild)",
                 ),
             );
+            Served::Close
         }
+    }
+}
+
+fn kept(keep_alive: bool) -> Served {
+    if keep_alive {
+        Served::KeepAlive
+    } else {
+        Served::Close
     }
 }
 
@@ -274,7 +459,8 @@ fn handle_query(
     accepted_at: Instant,
     started: Instant,
     lane: Lane,
-) {
+    keep_alive: bool,
+) -> Served {
     // Queue wait: admission to worker pickup.
     let queue_wait = started.saturating_duration_since(accepted_at);
     let trace = request.params.get("trace").map(String::as_str) == Some("1");
@@ -293,7 +479,7 @@ fn handle_query(
                 &[],
                 &http::json_error_body(&msg),
             );
-            return;
+            return Served::Close;
         }
     };
 
@@ -317,7 +503,7 @@ fn handle_query(
                         "overloaded: exact queries shed (retry, or use mode=auto)",
                     ),
                 );
-                return;
+                return Served::Close;
             }
             ResponseMode::Exact
         }
@@ -337,7 +523,7 @@ fn handle_query(
                          approximate engine (no graph embedded)",
                     ),
                 );
-                return;
+                return Served::Close;
             }
         },
         RequestMode::Auto => {
@@ -357,7 +543,7 @@ fn handle_query(
                         &[("Retry-After", "1")],
                         &http::json_error_body("overloaded and no approximate engine available"),
                     );
-                    return;
+                    return Served::Close;
                 }
                 _ => ResponseMode::Exact,
             }
@@ -370,8 +556,9 @@ fn handle_query(
         mode,
     };
     let approx = matches!(mode, ResponseMode::Approx { .. });
-    let mut headers: Vec<(&str, &str)> = Vec::with_capacity(3);
+    let mut headers: Vec<(&str, &str)> = Vec::with_capacity(4);
     headers.push(("X-Graph-Version", &version_header));
+    headers.extend(ctx.shard_header());
     if approx {
         headers.push(("X-Approx", "1"));
     }
@@ -396,9 +583,16 @@ fn handle_query(
                 Duration::ZERO,
                 total,
             );
-            respond(stream, 200, "application/json", &headers, &traced);
+            respond_conn(
+                stream,
+                200,
+                "application/json",
+                &headers,
+                &traced,
+                keep_alive,
+            );
         } else {
-            respond(stream, 200, "application/json", &headers, &body);
+            respond_conn(stream, 200, "application/json", &headers, &body, keep_alive);
         }
         ctx.metrics.query_latency.observe(started.elapsed());
         ctx.slow_log.record(&SlowQuery {
@@ -411,7 +605,7 @@ fn handle_query(
             top_k: key.top_k as u64,
             approx,
         });
-        return;
+        return kept(keep_alive);
     }
 
     // The solve is not interruptible; shed the request if its budget is
@@ -425,7 +619,7 @@ fn handle_query(
             &[],
             &http::json_error_body("deadline expired before solve"),
         );
-        return;
+        return Served::Close;
     }
 
     let solve_start = Instant::now();
@@ -448,7 +642,7 @@ fn handle_query(
                 &[],
                 &http::json_error_body(&format!("solver failed: {e}")),
             );
-            return;
+            return Served::Close;
         }
     };
     let solve_time = solve_start.elapsed();
@@ -473,9 +667,16 @@ fn handle_query(
             serialize_time,
             total,
         );
-        respond(stream, 200, "application/json", &headers, &traced);
+        respond_conn(
+            stream,
+            200,
+            "application/json",
+            &headers,
+            &traced,
+            keep_alive,
+        );
     } else {
-        respond(stream, 200, "application/json", &headers, &body);
+        respond_conn(stream, 200, "application/json", &headers, &body, keep_alive);
     }
     ctx.metrics.query_latency.observe(started.elapsed());
     ctx.slow_log.record(&SlowQuery {
@@ -488,6 +689,7 @@ fn handle_query(
         top_k: key.top_k as u64,
         approx,
     });
+    kept(keep_alive)
 }
 
 /// Splices the `?trace=1` stage-timing breakdown into a rendered `/query`
@@ -516,7 +718,7 @@ fn with_trace(
 }
 
 /// `GET /version`: the serving state in one JSON object.
-fn handle_version(stream: &TcpStream, ctx: &WorkerContext) {
+fn handle_version(stream: &TcpStream, ctx: &WorkerContext, keep_alive: bool) -> Served {
     let info = ctx.engine.info();
     let last_error = match &info.last_error {
         Some(e) => http::json_string(e),
@@ -526,13 +728,11 @@ fn handle_version(stream: &TcpStream, ctx: &WorkerContext) {
         "{{\"version\":{},\"nodes\":{},\"pending\":{},\"rebuilds\":{},\"live\":{},\"last_error\":{}}}",
         info.version, info.nodes, info.pending, info.rebuilds, info.live, last_error
     );
-    respond(
-        stream,
-        200,
-        "application/json",
-        &[("X-Graph-Version", &info.version.to_string())],
-        &body,
-    );
+    let version_header = info.version.to_string();
+    let mut headers: Vec<(&str, &str)> = vec![("X-Graph-Version", &version_header)];
+    headers.extend(ctx.shard_header());
+    respond_conn(stream, 200, "application/json", &headers, &body, keep_alive);
+    kept(keep_alive)
 }
 
 /// `POST /edges`: a batch of JSON-lines edge updates, e.g.
@@ -588,11 +788,13 @@ fn handle_edges(stream: &TcpStream, request: &Request, ctx: &WorkerContext) {
         }
         Err(e) => {
             Metrics::inc(&ctx.metrics.server_errors_total);
+            // Parity with every other shed path: a 503 always tells the
+            // client when to come back.
             respond(
                 stream,
                 503,
                 "application/json",
-                &[],
+                &[("Retry-After", "1")],
                 &http::json_error_body(&e.to_string()),
             );
         }
@@ -626,7 +828,7 @@ fn handle_rebuild(stream: &TcpStream, ctx: &WorkerContext) {
                 stream,
                 503,
                 "application/json",
-                &[],
+                &[("Retry-After", "1")],
                 &http::json_error_body(&e.to_string()),
             );
         }
@@ -823,6 +1025,21 @@ fn respond(
     let _ = stream.flush();
 }
 
+/// [`respond`] with an explicit connection disposition: `keep_alive`
+/// answers `Connection: keep-alive` so the caller can serve the next
+/// request off the same stream.
+fn respond_conn(
+    mut stream: &TcpStream,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &str,
+    keep_alive: bool,
+) {
+    let _ = http::write_response_conn(&mut stream, status, content_type, extra, body, keep_alive);
+    let _ = stream.flush();
+}
+
 /// Sheds one connection with `503 Service Unavailable` + `Retry-After`.
 /// Called by the *acceptor* when the admission queue is full, so the
 /// worker pool never sees the connection. Reads (best-effort, bounded)
@@ -894,6 +1111,7 @@ mod tests {
                 })
                 .collect(),
             body: String::new(),
+            keep_alive: false,
         };
         assert_eq!(
             parse_query_params(&req("seed=3&top=4"), 10).unwrap(),
@@ -931,6 +1149,7 @@ mod tests {
                 })
                 .collect(),
             body: String::new(),
+            keep_alive: false,
         };
         let mode = |q: &str| parse_query_params(&req(q), 10).unwrap().mode;
         assert_eq!(mode("seed=1"), RequestMode::Auto);

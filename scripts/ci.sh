@@ -227,14 +227,101 @@ exec 6>&-
 wait "$SAT_PID"
 SAT_PID=""
 
-# Bench-harness smoke: the quick preset must run end to end, emit a
-# schema-valid bepi-bench/v1 artifact, and clear the approximate-lane
-# quality bar — both engines at precision@20 >= 0.9 on every dataset
-# (deterministic scores, so this gate cannot flake).
+# Sharded-serving drill: boot `bepi route` over two spawned shard
+# daemons, SIGKILL one under load, and require that not a single
+# `mode=auto` request fails — the router must hide the crash behind
+# failover, then respawn the shard and re-admit it once it answers
+# `/version` at the expected epoch (bepi_shard_healthy back to 1).
+echo "==> shard-kill drill (bepi route: SIGKILL one shard under load)"
+RT_TMP=$(mktemp -d)
+cleanup_rt() {
+  exec 5>&- 2>/dev/null || true
+  [ -n "${RT_PID:-}" ] && kill "$RT_PID" 2>/dev/null || true
+  rm -rf "$RT_TMP"
+}
+trap 'cleanup_obs; cleanup_mmap; cleanup_sat; cleanup_rt' EXIT
+python3 - "$RT_TMP/edges.txt" <<'EOF'
+import sys
+with open(sys.argv[1], "w") as f:
+    n = 64
+    for i in range(n):
+        f.write(f"{i} {(i + 1) % n}\n")
+        f.write(f"{i} {(i * 7 + 3) % n}\n")
+EOF
+# --mmap serving needs the mappable v6 container; --embed-graph keeps the
+# approximate lane live so mode=auto can degrade instead of shedding.
+./target/release/bepi preprocess "$RT_TMP/edges.txt" "$RT_TMP/index.bepi" \
+  --format v6 --embed-graph
+mkfifo "$RT_TMP/fifo"
+exec 5<> "$RT_TMP/fifo"
+./target/release/bepi route "$RT_TMP/index.bepi" --shards 2 --mmap \
+  --health-interval-ms 50 --hedge-ms 25 \
+  < "$RT_TMP/fifo" > "$RT_TMP/route.log" 2>&1 5>&- &
+RT_PID=$!
+RT_ADDR=""
+for _ in $(seq 1 100); do
+  RT_ADDR=$(sed -n 's#^bepi-route listening on http://\([0-9.:]*\).*#\1#p' "$RT_TMP/route.log" | head -n1)
+  [ -n "$RT_ADDR" ] && break
+  kill -0 "$RT_PID" 2>/dev/null || { cat "$RT_TMP/route.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$RT_ADDR" ] || { echo "router never reported its address"; cat "$RT_TMP/route.log"; exit 1; }
+VICTIM=$(sed -n 's/^shard 0: .* pid=\([0-9]*\).*/\1/p' "$RT_TMP/route.log" | head -n1)
+[ -n "$VICTIM" ] || { echo "router never reported shard pids"; cat "$RT_TMP/route.log"; exit 1; }
+python3 - "$RT_ADDR" "$VICTIM" <<'EOF'
+import os, signal, sys, time, urllib.request
+
+addr, victim = sys.argv[1], int(sys.argv[2])
+
+def get(target):
+    with urllib.request.urlopen(f"http://{addr}{target}", timeout=30) as r:
+        return r.status, r.read().decode()
+
+def metric(name):
+    _, body = get("/metrics")
+    for line in body.splitlines():
+        if line.startswith(name + " "):
+            return float(line.split()[-1])
+    return None
+
+# Warm-up, then a load loop with the SIGKILL in the middle: every single
+# mode=auto request must come back 200 (urlopen raises on non-2xx).
+get("/query?seed=0&top=5&mode=auto")
+for i in range(120):
+    if i == 30:
+        os.kill(victim, signal.SIGKILL)
+    get(f"/query?seed={(i * 7) % 64}&top=5&mode=auto")
+
+# Crash visible to the fleet, invisible to clients.
+assert metric("bepi_route_errors_total") == 0.0, "client-visible errors"
+assert metric("bepi_route_failovers_total") >= 1.0, "failover never happened"
+
+# The supervisor respawns the shard and re-admits it at the expected
+# epoch: bepi_shard_healthy{shard="0"} returns to 1.
+deadline = time.time() + 30
+while metric('bepi_shard_healthy{shard="0"}') != 1.0:
+    assert time.time() < deadline, "killed shard never re-admitted"
+    time.sleep(0.1)
+_, fleet = get("/route/health")
+assert '"generation":1' in fleet, f"respawn must bump the generation: {fleet}"
+print("shard kill: 0 failed requests, failover counted, shard respawned + re-admitted")
+EOF
+exec 5>&-
+wait "$RT_PID"
+RT_PID=""
+
+# Bench-harness smoke: the quick presets must run end to end and emit
+# schema-valid artifacts — bepi-bench/v1 clearing the approximate-lane
+# quality bar (both engines at precision@20 >= 0.9 on every dataset;
+# deterministic scores, so this gate cannot flake), and the route bench's
+# bepi-route-bench/v1, whose validation also requires the router bodies
+# to be bit-identical to the single-daemon oracle.
 echo "==> bench smoke (bepi bench --quick + bench_check --min-precision 0.9)"
 BENCH_TMP=$(mktemp -d)
 ./target/release/bepi bench --quick --out "$BENCH_TMP/BENCH_PR6.json"
 ./target/release/bench_check --min-precision 0.9 "$BENCH_TMP/BENCH_PR6.json"
+echo "==> route bench smoke (bepi bench --route --quick)"
+./target/release/bepi bench --route --quick --out "$BENCH_TMP/BENCH_PR7.json"
 rm -rf "$BENCH_TMP"
 
 echo "==> ci OK"
