@@ -1,12 +1,24 @@
 //! Schema validator for `bepi bench` artifacts.
 //!
 //! Usage: `bench_check [--min-precision X] BENCH_PR6.json [...]` — exits
-//! non-zero with a diagnostic if any file is not a valid `bepi-bench/v1`
-//! document, or (with `--min-precision`) if any dataset's approximate
-//! lane scores below `X` precision@k. CI runs this on the smoke artifact
-//! so neither the schema nor the approximate engines can silently drift.
+//! non-zero with a diagnostic if any file is not a valid bench document.
+//! The validator is picked by the artifact's own `schema` tag:
+//!
+//! * `bepi-bench/v1` — the thread-scaling benchmark (also the only
+//!   schema `--min-precision` applies to: with it, any dataset whose
+//!   approximate lane scores below `X` precision@k fails),
+//! * `bepi-route-bench/v1` — router-vs-single throughput (fails unless
+//!   the router's bodies were bit-identical to the single daemon's),
+//! * `bepi-trace-bench/v1` — tracing overhead (fails unless traced p50
+//!   stayed within the 5% gate and every traced body was id-consistent).
+//!
+//! CI runs this on the smoke artifacts so neither the schemas nor the
+//! gates they encode can silently drift.
 
 use std::process::ExitCode;
+
+use bepi_bench::perf::json;
+use bepi_bench::{perf, route, trace};
 
 fn main() -> ExitCode {
     let mut min_precision: Option<f64> = None;
@@ -41,17 +53,10 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let result = match min_precision {
-            Some(min) => bepi_bench::perf::check_min_precision(&text, min),
-            None => bepi_bench::perf::validate_json(&text),
-        };
-        match result {
-            Ok(()) => match min_precision {
-                Some(min) => println!(
-                    "{path}: ok ({}, precision@k >= {min})",
-                    bepi_bench::perf::SCHEMA
-                ),
-                None => println!("{path}: ok ({})", bepi_bench::perf::SCHEMA),
+        match check_one(&text, min_precision) {
+            Ok(schema) => match min_precision {
+                Some(min) => println!("{path}: ok ({schema}, precision@k >= {min})"),
+                None => println!("{path}: ok ({schema})"),
             },
             Err(e) => {
                 eprintln!("{path}: INVALID: {e}");
@@ -64,4 +69,43 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Validates one artifact with the validator its `schema` tag names;
+/// returns the schema on success.
+fn check_one(text: &str, min_precision: Option<f64>) -> Result<String, String> {
+    let schema = peek_schema(text)?;
+    if min_precision.is_some() && schema != perf::SCHEMA {
+        return Err(format!(
+            "--min-precision only applies to {} artifacts, this is {schema}",
+            perf::SCHEMA
+        ));
+    }
+    match schema.as_str() {
+        s if s == perf::SCHEMA => match min_precision {
+            Some(min) => perf::check_min_precision(text, min)?,
+            None => perf::validate_json(text)?,
+        },
+        s if s == route::SCHEMA => route::validate_json(text)?,
+        s if s == trace::SCHEMA => trace::validate_json(text)?,
+        s => {
+            return Err(format!(
+                "unknown schema {s:?} (known: {}, {}, {})",
+                perf::SCHEMA,
+                route::SCHEMA,
+                trace::SCHEMA
+            ))
+        }
+    }
+    Ok(schema)
+}
+
+/// Reads the top-level `schema` tag off an artifact.
+fn peek_schema(text: &str) -> Result<String, String> {
+    let value = json::parse(text)?;
+    let obj = value.as_object().ok_or("top level must be an object")?;
+    json::get(obj, "schema")
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| "missing \"schema\" tag".into())
 }

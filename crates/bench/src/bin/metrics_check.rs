@@ -1,8 +1,9 @@
-//! `metrics_check` — validates a running daemon's `/metrics` endpoint
-//! against the Prometheus text exposition format (version 0.0.4).
+//! `metrics_check` — validates a running daemon's (or router's)
+//! `/metrics` endpoint against the Prometheus text exposition format
+//! (version 0.0.4).
 //!
 //! Used by `scripts/ci.sh` as the end-to-end observability gate: it
-//! optionally warms the daemon with a few `/query` requests, scrapes
+//! optionally warms the target with a few `/query` requests, scrapes
 //! `/metrics`, and exits non-zero if the exposition is malformed in any
 //! way a real scraper would reject:
 //!
@@ -12,10 +13,15 @@
 //! * an `le` label that is not a plain decimal float or `+Inf`
 //!   (exponent forms like `1e-05` break some scrapers),
 //! * histogram bucket counts that are not cumulative (non-decreasing in
-//!   `le` order), or
-//! * a histogram whose `_count` disagrees with its `+Inf` bucket.
+//!   `le` order) — checked per label set, so the router's fleet-merged
+//!   exposition (every shard's histogram re-labeled `shard="N"`) is
+//!   validated as N independent series, or
+//! * a histogram series whose `_count` disagrees with its `+Inf` bucket.
 //!
-//! Usage: `metrics_check <host:port> [--warm-queries N]`
+//! Usage: `metrics_check <host:port> [--warm-queries N] [--expect-shards S]`
+//!
+//! `--expect-shards S` additionally requires samples labeled
+//! `shard="0"` through `shard="S-1"` — the router-aggregation check.
 //!
 //! The HTTP client is a raw `TcpStream` speaking HTTP/1.0 — this binary
 //! must not depend on `bepi-server` internals, since its whole point is
@@ -44,8 +50,9 @@ fn run() -> Result<String, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (addr, rest) = args
         .split_first()
-        .ok_or("usage: metrics_check <host:port> [--warm-queries N]")?;
+        .ok_or("usage: metrics_check <host:port> [--warm-queries N] [--expect-shards S]")?;
     let mut warm = 0usize;
+    let mut expect_shards = 0usize;
     let mut rest = rest;
     while let Some((flag, tail)) = rest.split_first() {
         let (value, tail) = tail
@@ -56,6 +63,11 @@ fn run() -> Result<String, String> {
                 warm = value
                     .parse()
                     .map_err(|_| format!("bad --warm-queries: {value}"))?;
+            }
+            "--expect-shards" => {
+                expect_shards = value
+                    .parse()
+                    .map_err(|_| format!("bad --expect-shards: {value}"))?;
             }
             f => return Err(format!("unknown flag: {f}")),
         }
@@ -76,15 +88,20 @@ fn run() -> Result<String, String> {
     }
 
     let body = http_get(addr, "/metrics")?;
-    let report = validate_exposition(&body)?;
+    let mut report = validate_exposition(&body)?;
+    if expect_shards > 0 {
+        check_shard_labels(&body, expect_shards)?;
+        report.push_str(&format!(", shard labels 0..{expect_shards} present"));
+    }
     Ok(format!("{addr}: {report}"))
 }
 
 /// Checks the whole exposition; returns a one-line summary on success.
 fn validate_exposition(body: &str) -> Result<String, String> {
     let mut typed: HashSet<String> = HashSet::new();
-    // family → (le-ordered bucket counts, _count value)
+    // series key (family + non-le labels) → le-ordered bucket counts
     let mut buckets: BTreeMap<String, Vec<(f64, u64)>> = BTreeMap::new();
+    // series key → _count value
     let mut counts: BTreeMap<String, u64> = BTreeMap::new();
     let mut samples = 0usize;
 
@@ -143,43 +160,43 @@ fn validate_exposition(body: &str) -> Result<String, String> {
                 return Err(format!("line {n}: bucket count is not a whole number"));
             }
             buckets
-                .entry(family.to_string())
+                .entry(series_key(family, Some(labels)))
                 .or_default()
                 .push((bound, value as u64));
-        } else if name.ends_with("_count") && labels.is_none() {
-            counts.insert(family.to_string(), value as u64);
+        } else if name.ends_with("_count") {
+            counts.insert(series_key(family, labels), value as u64);
         }
     }
 
     let mut histograms = 0usize;
-    for (family, series) in &buckets {
+    for (series, points) in &buckets {
         histograms += 1;
         let mut prev_bound = f64::NEG_INFINITY;
         let mut prev_count = 0u64;
-        for &(bound, count) in series {
+        for &(bound, count) in points {
             if bound <= prev_bound {
                 return Err(format!(
-                    "{family}: le bounds not strictly increasing ({prev_bound} then {bound})"
+                    "{series}: le bounds not strictly increasing ({prev_bound} then {bound})"
                 ));
             }
             if count < prev_count {
                 return Err(format!(
-                    "{family}: bucket counts not cumulative ({prev_count} then {count} at le={bound})"
+                    "{series}: bucket counts not cumulative ({prev_count} then {count} at le={bound})"
                 ));
             }
             prev_bound = bound;
             prev_count = count;
         }
-        let (last_bound, last_count) = *series.last().expect("non-empty by construction");
+        let (last_bound, last_count) = *points.last().expect("non-empty by construction");
         if last_bound != f64::INFINITY {
-            return Err(format!("{family}: final bucket is not le=\"+Inf\""));
+            return Err(format!("{series}: final bucket is not le=\"+Inf\""));
         }
-        match counts.get(family) {
+        match counts.get(series) {
             Some(&c) if c == last_count => {}
             Some(&c) => {
-                return Err(format!("{family}: _count {c} != +Inf bucket {last_count}"));
+                return Err(format!("{series}: _count {c} != +Inf bucket {last_count}"));
             }
-            None => return Err(format!("{family}: histogram without a _count sample")),
+            None => return Err(format!("{series}: histogram without a _count sample")),
         }
     }
 
@@ -187,9 +204,57 @@ fn validate_exposition(body: &str) -> Result<String, String> {
         return Err("exposition contained no samples".into());
     }
     Ok(format!(
-        "{samples} samples, {histograms} histograms, {} typed families",
+        "{samples} samples, {histograms} histogram series, {} typed families",
         typed.len()
     ))
+}
+
+/// Requires at least one sample labeled `shard="i"` for every shard id
+/// in `0..expected` — the router's fleet-aggregation contract.
+fn check_shard_labels(body: &str, expected: usize) -> Result<(), String> {
+    let mut seen: HashSet<String> = HashSet::new();
+    for line in body.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if let Some((_, rest)) = line.split_once('{') {
+            if let Some(labels) = rest.rsplit_once('}').map(|(l, _)| l) {
+                if let Some(id) = label_value(labels, "shard") {
+                    seen.insert(id);
+                }
+            }
+        }
+    }
+    for id in 0..expected {
+        if !seen.contains(&id.to_string()) {
+            return Err(format!(
+                "no sample labeled shard=\"{id}\" (saw shard labels: {:?})",
+                {
+                    let mut v: Vec<_> = seen.iter().cloned().collect();
+                    v.sort();
+                    v
+                }
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// One histogram series per label set: the key is the family name plus
+/// every label except `le`, sorted so label order cannot split a series.
+fn series_key(family: &str, labels: Option<&str>) -> String {
+    let mut pairs: Vec<&str> = labels
+        .unwrap_or("")
+        .split(',')
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("le="))
+        .collect();
+    pairs.sort_unstable();
+    if pairs.is_empty() {
+        family.to_string()
+    } else {
+        format!("{family}{{{}}}", pairs.join(","))
+    }
 }
 
 /// Maps a sample name to its metric family (`x_bucket`/`x_sum`/`x_count`
@@ -265,6 +330,44 @@ bepi_query_latency_seconds_count 4
 bepi_queries_total 4
 ";
         validate_exposition(body).unwrap();
+    }
+
+    #[test]
+    fn shard_labeled_histograms_are_independent_series() {
+        // A fleet-merged exposition: the same family carries one series
+        // per shard, each cumulative on its own but interleaved such
+        // that a label-blind checker would see counts go backwards.
+        let body = "\
+# TYPE h histogram
+h_bucket{shard=\"0\",le=\"0.1\"} 5
+h_bucket{shard=\"0\",le=\"+Inf\"} 9
+h_sum{shard=\"0\"} 0.5
+h_count{shard=\"0\"} 9
+h_bucket{shard=\"1\",le=\"0.1\"} 1
+h_bucket{shard=\"1\",le=\"+Inf\"} 2
+h_sum{shard=\"1\"} 0.1
+h_count{shard=\"1\"} 2
+";
+        let report = validate_exposition(body).unwrap();
+        assert!(report.contains("2 histogram series"), "{report}");
+        check_shard_labels(body, 2).unwrap();
+        assert!(check_shard_labels(body, 3)
+            .unwrap_err()
+            .contains("shard=\"2\""));
+    }
+
+    #[test]
+    fn per_series_count_mismatch_is_still_caught() {
+        let body = "\
+# TYPE h histogram
+h_bucket{shard=\"0\",le=\"+Inf\"} 9
+h_count{shard=\"0\"} 9
+h_bucket{shard=\"1\",le=\"+Inf\"} 2
+h_count{shard=\"1\"} 3
+";
+        let err = validate_exposition(body).unwrap_err();
+        assert!(err.contains("shard=\"1\""), "{err}");
+        assert!(err.contains("_count 3 != +Inf bucket 2"), "{err}");
     }
 
     #[test]

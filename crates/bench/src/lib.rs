@@ -27,6 +27,7 @@ pub mod harness;
 pub mod perf;
 pub mod route;
 pub mod table;
+pub mod trace;
 
 pub use harness::{query_seeds, suite, Status};
 pub use table::Table;

@@ -170,14 +170,15 @@ pub struct RouteReport {
 
 /// A spawned `bepi` process (daemon or router) with its announced
 /// address and, for the router, the shard addresses it printed.
-struct Proc {
+/// Shared with the `--trace` overhead bench, which spawns one daemon.
+pub(crate) struct Proc {
     child: Child,
-    addr: String,
+    pub(crate) addr: String,
     shard_addrs: Vec<String>,
 }
 
 impl Proc {
-    fn spawn(bin: &Path, args: &[String], router: bool) -> Result<Proc, String> {
+    pub(crate) fn spawn(bin: &Path, args: &[String], router: bool) -> Result<Proc, String> {
         let mut child = Command::new(bin)
             .args(args)
             .stdin(Stdio::piped())
@@ -430,7 +431,7 @@ fn run_in(cfg: &RouteBenchConfig, bin: &Path, tmp: &Path) -> Result<RouteReport,
 /// Writes the graph as an edge list and runs `bepi preprocess` into a
 /// mappable v6 index with the graph embedded (what `--mmap` serving and
 /// shard spawning require).
-fn preprocess(
+pub(crate) fn preprocess(
     bin: &Path,
     g: &bepi_graph::Graph,
     tmp: &Path,

@@ -1,0 +1,561 @@
+//! The `bepi bench --trace` driver: tracing-overhead measurement, with
+//! a machine-readable `BENCH_PR8.json` artifact.
+//!
+//! The question the artifact answers is the one that decides whether
+//! tracing can stay on in production: **what does `?trace=1` cost the
+//! serve path?** One daemon is booted with a cache large enough to hold
+//! the whole working set, the set is warmed (one plain pass and one
+//! traced pass), and then plain and traced requests are strictly
+//! interleaved over the same keys — A/B on the same connection pattern,
+//! same seeds, same cache state, so drift in the machine hits both arms
+//! equally. The gate is the traced arm's p50 staying within 5% of the
+//! untraced arm's.
+//!
+//! Cache-hit requests are the deliberate worst case: a hit's serve path
+//! is a lookup plus a write, so the traced arm's extra work (request-id
+//! mint, seqlock ring record, trace-block splice) is the largest
+//! *fraction* of total latency it can ever be. If the gate holds here
+//! it holds everywhere.
+//!
+//! While measuring, every traced body is also checked for the trace
+//! block and its request id, and the echoed `X-Request-Id` header must
+//! match the id inside the body — `traced_ok` in the artifact is a
+//! correctness gate, not a timing.
+
+use bepi_graph::Dataset;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use crate::perf::json;
+use crate::route::{preprocess, Proc};
+
+/// Schema tag stamped into (and required from) every trace artifact.
+pub const SCHEMA: &str = "bepi-trace-bench/v1";
+
+/// The p50 overhead (percent) above which validation fails.
+pub const MAX_OVERHEAD_PCT: f64 = 5.0;
+
+/// Configuration for a [`run`].
+#[derive(Debug, Clone)]
+pub struct TraceBenchConfig {
+    /// Anchor graphs to measure.
+    pub datasets: Vec<Dataset>,
+    /// Response-cache capacity; sized above the working set so the
+    /// timed phase is all cache hits (the worst case for relative
+    /// tracing overhead).
+    pub cache_entries: usize,
+    /// Distinct seeds in the working set.
+    pub working_set: usize,
+    /// Timed interleaved passes over the working set (after warm-up).
+    pub passes: usize,
+    /// `top` parameter of every query.
+    pub top_k: usize,
+    /// Marks the artifact as a reduced smoke run.
+    pub quick: bool,
+}
+
+impl TraceBenchConfig {
+    /// The CI smoke configuration: smallest anchor graph, enough
+    /// samples per arm for a stable p50.
+    pub fn quick() -> Self {
+        Self {
+            datasets: vec![Dataset::Slashdot],
+            cache_entries: 256,
+            working_set: 32,
+            passes: 6,
+            top_k: 20,
+            quick: true,
+        }
+    }
+
+    /// The full configuration: the Bear-feasible anchor graphs and
+    /// several hundred samples per arm.
+    pub fn full() -> Self {
+        Self {
+            datasets: Dataset::small().to_vec(),
+            cache_entries: 256,
+            working_set: 64,
+            passes: 8,
+            top_k: 20,
+            quick: false,
+        }
+    }
+}
+
+/// One arm's latency distribution (plain or `?trace=1`).
+#[derive(Debug, Clone)]
+pub struct ArmRun {
+    /// Requests in the timed phase.
+    pub requests: usize,
+    /// Median request latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_us: f64,
+    /// Mean request latency, microseconds.
+    pub mean_us: f64,
+}
+
+impl ArmRun {
+    fn from_samples(mut us: Vec<f64>) -> ArmRun {
+        us.sort_by(|a, b| a.total_cmp(b));
+        let pick = |q: f64| us[((us.len() - 1) as f64 * q).round() as usize];
+        ArmRun {
+            requests: us.len(),
+            p50_us: pick(0.5),
+            p95_us: pick(0.95),
+            mean_us: us.iter().sum::<f64>() / us.len() as f64,
+        }
+    }
+}
+
+/// Plain-vs-traced comparison on one dataset.
+#[derive(Debug, Clone)]
+pub struct TraceDatasetReport {
+    /// Dataset name (the `*-like` anchor-graph label).
+    pub dataset: String,
+    /// Nodes in the generated graph.
+    pub n: usize,
+    /// Edges in the generated graph.
+    pub m: usize,
+    /// Whether every traced body carried a trace block whose request id
+    /// matched the echoed `X-Request-Id` header.
+    pub traced_ok: bool,
+    /// The untraced arm.
+    pub plain: ArmRun,
+    /// The `?trace=1` arm.
+    pub traced: ArmRun,
+}
+
+impl TraceDatasetReport {
+    /// Traced p50 relative to plain p50, as a percentage (negative when
+    /// the traced arm happened to be faster).
+    pub fn overhead_pct(&self) -> f64 {
+        if self.plain.p50_us > 0.0 {
+            (self.traced.p50_us - self.plain.p50_us) / self.plain.p50_us * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A complete trace bench run.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Whether this was the reduced smoke configuration.
+    pub quick: bool,
+    /// Cores visible to the process when the run started.
+    pub available_parallelism: usize,
+    /// Response-cache capacity of the measured daemon.
+    pub cache_entries: usize,
+    /// Distinct seeds in the working set.
+    pub working_set: usize,
+    /// Timed interleaved passes.
+    pub passes: usize,
+    /// `top` parameter of every query.
+    pub top_k: usize,
+    /// Per-dataset measurements.
+    pub datasets: Vec<TraceDatasetReport>,
+}
+
+/// One `Connection: close` GET returning (status, header block, body).
+/// The route bench's helper discards headers; this arm check needs the
+/// echoed `X-Request-Id`.
+fn http_get_full(addr: &str, target: &str) -> Result<(u16, String, String), String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    s.set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    s.write_all(
+        format!("GET {target} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .map_err(|e| format!("send {target}: {e}"))?;
+    let mut buf = String::new();
+    s.read_to_string(&mut buf)
+        .map_err(|e| format!("read {target}: {e}"))?;
+    let status = buf
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line for {target}"))?;
+    let (head, body) = buf
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("no header terminator for {target}"))?;
+    Ok((status, head.to_string(), body.to_string()))
+}
+
+/// The hex request id echoed on a response's `X-Request-Id` header.
+fn header_request_id(head: &str) -> Option<&str> {
+    head.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.eq_ignore_ascii_case("x-request-id")
+            .then(|| value.trim())
+    })
+}
+
+/// A traced body's trace block must carry the same id the header echoes.
+fn traced_body_consistent(head: &str, body: &str) -> bool {
+    let Some(rid) = header_request_id(head) else {
+        return false;
+    };
+    rid.len() == 32 && body.contains(&format!("\"trace\":{{\"request_id\":\"{rid}\""))
+}
+
+/// Runs the tracing-overhead workload. `bin` is the `bepi` binary used
+/// to preprocess the index and spawn the daemon (the caller passes
+/// `std::env::current_exe()`).
+pub fn run(cfg: &TraceBenchConfig, bin: &Path) -> Result<TraceReport, String> {
+    let tmp = std::env::temp_dir().join(format!("bepi_trace_bench_{}", std::process::id()));
+    std::fs::remove_dir_all(&tmp).ok();
+    std::fs::create_dir_all(&tmp).map_err(|e| format!("mkdir {}: {e}", tmp.display()))?;
+    let result = run_in(cfg, bin, &tmp);
+    std::fs::remove_dir_all(&tmp).ok();
+    result
+}
+
+fn run_in(cfg: &TraceBenchConfig, bin: &Path, tmp: &Path) -> Result<TraceReport, String> {
+    let mut datasets = Vec::with_capacity(cfg.datasets.len());
+    for &ds in &cfg.datasets {
+        let spec = ds.spec();
+        let g = spec.generate();
+        let index = preprocess(bin, &g, tmp, spec.name)?;
+        let stride = (g.n() / cfg.working_set.max(1)).max(1);
+        let seeds: Vec<usize> = (0..cfg.working_set).map(|i| (i * stride) % g.n()).collect();
+
+        let daemon = Proc::spawn(
+            bin,
+            &[
+                "serve".into(),
+                index.display().to_string(),
+                "--listen".into(),
+                "127.0.0.1:0".into(),
+                "--mmap".into(),
+                "--cache-entries".into(),
+                cfg.cache_entries.to_string(),
+            ],
+            false,
+        )?;
+
+        // Warm-up: fill the cache (plain) and fault every code path the
+        // traced arm takes, untimed.
+        for &seed in &seeds {
+            for traced in [false, true] {
+                let target = query_target(seed, cfg.top_k, traced);
+                let (status, _, body) = http_get_full(&daemon.addr, &target)?;
+                if status != 200 {
+                    return Err(format!("warm-up GET {target} -> {status}: {body}"));
+                }
+            }
+        }
+
+        let mut plain_us = Vec::with_capacity(cfg.passes * seeds.len());
+        let mut traced_us = Vec::with_capacity(cfg.passes * seeds.len());
+        let mut traced_ok = true;
+        for _ in 0..cfg.passes {
+            for &seed in &seeds {
+                // Strict interleave: each traced sample is bracketed by
+                // plain samples of the same key, so slow drift cancels.
+                for traced in [false, true] {
+                    let target = query_target(seed, cfg.top_k, traced);
+                    let start = Instant::now();
+                    let (status, head, body) = http_get_full(&daemon.addr, &target)?;
+                    let us = start.elapsed().as_secs_f64() * 1e6;
+                    if status != 200 {
+                        return Err(format!("GET {target} -> {status}: {body}"));
+                    }
+                    if traced {
+                        traced_ok &= traced_body_consistent(&head, &body);
+                        traced_us.push(us);
+                    } else {
+                        plain_us.push(us);
+                    }
+                }
+            }
+        }
+        drop(daemon);
+
+        datasets.push(TraceDatasetReport {
+            dataset: spec.name.to_string(),
+            n: g.n(),
+            m: g.m(),
+            traced_ok,
+            plain: ArmRun::from_samples(plain_us),
+            traced: ArmRun::from_samples(traced_us),
+        });
+    }
+    Ok(TraceReport {
+        quick: cfg.quick,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        cache_entries: cfg.cache_entries,
+        working_set: cfg.working_set,
+        passes: cfg.passes,
+        top_k: cfg.top_k,
+        datasets,
+    })
+}
+
+fn query_target(seed: usize, top: usize, traced: bool) -> String {
+    if traced {
+        format!("/query?seed={seed}&top={top}&trace=1")
+    } else {
+        format!("/query?seed={seed}&top={top}")
+    }
+}
+
+/// Renders the human-readable comparison table.
+pub fn render_table(report: &TraceReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bepi bench --trace ({} cores visible, {}-entry cache, {} keys x {} passes, \
+         top {}{})",
+        report.available_parallelism,
+        report.cache_entries,
+        report.working_set,
+        report.passes,
+        report.top_k,
+        if report.quick { ", quick" } else { "" }
+    );
+    for ds in &report.datasets {
+        let _ = writeln!(
+            out,
+            "\n{} (n = {}, m = {}, traced-ok: {})",
+            ds.dataset, ds.n, ds.m, ds.traced_ok
+        );
+        let mut table =
+            crate::table::Table::new(vec!["arm", "requests", "p50", "p95", "mean", "overhead"]);
+        for (arm, run) in [("plain", &ds.plain), ("traced", &ds.traced)] {
+            table.row(vec![
+                arm.to_string(),
+                run.requests.to_string(),
+                format!("{:.1}us", run.p50_us),
+                format!("{:.1}us", run.p95_us),
+                format!("{:.1}us", run.mean_us),
+                if arm == "traced" {
+                    format!("{:+.2}%", ds.overhead_pct())
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
+        out.push_str(&table.render());
+    }
+    out
+}
+
+/// Serializes a report to the `bepi-trace-bench/v1` JSON document.
+pub fn to_json(report: &TraceReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"quick\": {},", report.quick);
+    let _ = writeln!(
+        out,
+        "  \"available_parallelism\": {},",
+        report.available_parallelism
+    );
+    let _ = writeln!(out, "  \"cache_entries\": {},", report.cache_entries);
+    let _ = writeln!(out, "  \"working_set\": {},", report.working_set);
+    let _ = writeln!(out, "  \"passes\": {},", report.passes);
+    let _ = writeln!(out, "  \"top_k\": {},", report.top_k);
+    out.push_str("  \"datasets\": [\n");
+    for (i, ds) in report.datasets.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"dataset\": \"{}\",", ds.dataset);
+        let _ = writeln!(out, "      \"n\": {},", ds.n);
+        let _ = writeln!(out, "      \"m\": {},", ds.m);
+        let _ = writeln!(out, "      \"traced_ok\": {},", ds.traced_ok);
+        for (arm, run) in [("plain", &ds.plain), ("traced", &ds.traced)] {
+            let _ = writeln!(
+                out,
+                "      \"{arm}\": {{\"requests\": {}, \"p50_us\": {:.2}, \
+                 \"p95_us\": {:.2}, \"mean_us\": {:.2}}},",
+                run.requests, run.p50_us, run.p95_us, run.mean_us
+            );
+        }
+        let _ = writeln!(out, "      \"overhead_pct\": {:.4}", ds.overhead_pct());
+        out.push_str(if i + 1 < report.datasets.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Validates a `bepi-trace-bench/v1` document: well-formed JSON, correct
+/// schema tag, sane parameters, non-empty datasets each with complete
+/// `plain`/`traced` arms, `traced_ok: true`, and the headline gate —
+/// `overhead_pct` below [`MAX_OVERHEAD_PCT`] on every dataset. Tracing
+/// that the serve path cannot afford is a regression, not a measurement.
+pub fn validate_json(text: &str) -> std::result::Result<(), String> {
+    let value = json::parse(text)?;
+    let obj = value.as_object().ok_or("top level must be an object")?;
+    match json::get(obj, "schema").and_then(|v| v.as_str()) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(format!("unknown schema {s:?}, expected {SCHEMA:?}")),
+        None => return Err("missing \"schema\" tag".into()),
+    }
+    json::get(obj, "quick")
+        .and_then(|v| v.as_bool())
+        .ok_or("missing boolean \"quick\"")?;
+    for (key, min) in [
+        ("available_parallelism", 1.0),
+        ("cache_entries", 1.0),
+        ("working_set", 1.0),
+        ("passes", 1.0),
+        ("top_k", 1.0),
+    ] {
+        let v = json::get(obj, key)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("missing numeric \"{key}\""))?;
+        if v < min {
+            return Err(format!("\"{key}\" must be >= {min}"));
+        }
+    }
+    let datasets = json::get(obj, "datasets")
+        .and_then(|v| v.as_array())
+        .ok_or("missing \"datasets\" array")?;
+    if datasets.is_empty() {
+        return Err("\"datasets\" must be non-empty".into());
+    }
+    for (i, ds) in datasets.iter().enumerate() {
+        let ds = ds
+            .as_object()
+            .ok_or_else(|| format!("dataset {i} must be an object"))?;
+        json::get(ds, "dataset")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("dataset {i}: missing \"dataset\" name"))?;
+        for key in ["n", "m"] {
+            json::get(ds, key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("dataset {i}: missing numeric \"{key}\""))?;
+        }
+        if json::get(ds, "traced_ok").and_then(|v| v.as_bool()) != Some(true) {
+            return Err(format!(
+                "dataset {i}: \"traced_ok\" must be true (every traced body \
+                 must carry the request id its X-Request-Id header echoes)"
+            ));
+        }
+        for arm in ["plain", "traced"] {
+            let a = json::get(ds, arm)
+                .and_then(|v| v.as_object())
+                .ok_or_else(|| format!("dataset {i}: missing \"{arm}\" object"))?;
+            for key in ["requests", "p50_us", "p95_us", "mean_us"] {
+                let v = json::get(a, key)
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("dataset {i} {arm}: missing numeric \"{key}\""))?;
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(format!(
+                        "dataset {i} {arm}: \"{key}\" must be finite and positive"
+                    ));
+                }
+            }
+        }
+        let v = json::get(ds, "overhead_pct")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("dataset {i}: missing \"overhead_pct\""))?;
+        if !v.is_finite() || v >= MAX_OVERHEAD_PCT {
+            return Err(format!(
+                "dataset {i}: \"overhead_pct\" is {v:.2}, the gate is \
+                 < {MAX_OVERHEAD_PCT}% traced-vs-untraced p50"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> TraceReport {
+        TraceReport {
+            quick: true,
+            available_parallelism: 1,
+            cache_entries: 256,
+            working_set: 32,
+            passes: 6,
+            top_k: 20,
+            datasets: vec![TraceDatasetReport {
+                dataset: "slashdot-like".into(),
+                n: 2048,
+                m: 7220,
+                traced_ok: true,
+                plain: ArmRun {
+                    requests: 192,
+                    p50_us: 100.0,
+                    p95_us: 180.0,
+                    mean_us: 110.0,
+                },
+                traced: ArmRun {
+                    requests: 192,
+                    p50_us: 102.0,
+                    p95_us: 185.0,
+                    mean_us: 113.0,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_validation() {
+        validate_json(&to_json(&tiny_report())).unwrap();
+    }
+
+    #[test]
+    fn overhead_is_the_p50_ratio() {
+        let ds = &tiny_report().datasets[0];
+        assert!((ds.overhead_pct() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_come_from_sorted_samples() {
+        let arm = ArmRun::from_samples(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(arm.requests, 5);
+        assert!((arm.p50_us - 3.0).abs() < 1e-9);
+        assert!((arm.p95_us - 5.0).abs() < 1e-9);
+        assert!((arm.mean_us - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tampered_documents_fail_validation() {
+        assert!(validate_json("{}").is_err());
+        assert!(validate_json("not json").is_err());
+        let wrong_schema = to_json(&tiny_report()).replace(SCHEMA, "bepi-trace-bench/v999");
+        assert!(validate_json(&wrong_schema).is_err());
+        let not_ok = to_json(&tiny_report()).replace("\"traced_ok\": true", "\"traced_ok\": false");
+        assert!(validate_json(&not_ok).is_err());
+        let dropped = to_json(&tiny_report()).replace("\"p95_us\": 180.00, ", "");
+        assert!(validate_json(&dropped).is_err());
+        let over_gate =
+            to_json(&tiny_report()).replace("\"overhead_pct\": 2.0000", "\"overhead_pct\": 7.5000");
+        assert!(validate_json(&over_gate).is_err());
+    }
+
+    #[test]
+    fn table_renders_both_arms() {
+        let s = render_table(&tiny_report());
+        assert!(s.contains("plain"), "{s}");
+        assert!(s.contains("traced"), "{s}");
+        assert!(s.contains("+2.00%"), "{s}");
+        assert!(s.contains("traced-ok: true"), "{s}");
+    }
+
+    #[test]
+    fn header_request_id_is_case_insensitive_and_trimmed() {
+        let head = "HTTP/1.1 200 OK\r\nx-request-id:  00ff00ff00ff00ff00ff00ff00ff00ff\r\n";
+        assert_eq!(
+            header_request_id(head),
+            Some("00ff00ff00ff00ff00ff00ff00ff00ff")
+        );
+        assert!(traced_body_consistent(
+            head,
+            "{\"trace\":{\"request_id\":\"00ff00ff00ff00ff00ff00ff00ff00ff\",\"queue_us\":1}}"
+        ));
+        assert!(!traced_body_consistent(head, "{\"seed\":1}"));
+        assert!(!traced_body_consistent("HTTP/1.1 200 OK\r\n", "{}"));
+    }
+}

@@ -108,14 +108,15 @@ const USAGE: &str = "usage:
   bepi serve      <index.bepi> --listen ADDR [--mmap] [--threads N]
                   [--cache-entries M]
                   [--queue-depth Q] [--timeout-ms T] [--slow-query-ms S]
-                  [--pressure F] [--approx-engine E]
+                  [--pressure F] [--approx-engine E] [--trace-export PATH]
                   [--wal PATH] [--auto-flush N] [--graph edges.txt]
                   [--checkpoint PATH]
                   (HTTP daemon)
   bepi route      <index.bepi> --shards N [--listen ADDR] [--mmap]
                   [--hedge-ms H] [--retries R] [--backoff-ms B]
                   [--health-interval-ms I] [--cache-entries M] [--threads N]
-                  [--timeout-ms T] [--pressure F]
+                  [--timeout-ms T] [--pressure F] [--slow-query-ms S]
+                  [--trace-export PATH]
                   (scatter-gather front tier: spawns N `bepi serve` shard
                   daemons over the same index and routes across them)
   bepi route      --attach ADDR1,ADDR2,... [front-tier flags]
@@ -127,6 +128,10 @@ const USAGE: &str = "usage:
                   (router-vs-single-daemon throughput: same per-process
                   response cache, working set sized to thrash one daemon
                   while each shard's partition fits; writes BENCH_PR7.json)
+  bepi bench      --trace [--quick] [--seeds N] [--datasets N] [--out PATH]
+                  (tracing-overhead benchmark: interleaves plain and
+                  ?trace=1 queries against one daemon; gate is traced p50
+                  within 5% of untraced; writes BENCH_PR8.json)
   bepi help       (aliases: --help, -h)
 
 common flags:
@@ -214,6 +219,10 @@ serve daemon flags (with --listen):
   --shard-id N     stamp every response with an X-Shard: N header; set by
                    `bepi route` on the shard daemons it spawns so the
                    front tier can attribute responses to processes
+  --trace-export PATH  append every traced (?trace=1) query as Chrome
+                   trace-event JSON to PATH (open it in Perfetto or
+                   chrome://tracing); preprocessing phase timings are
+                   exported once at startup
 
 route (front tier) flags:
   --shards N       shard daemons to spawn over the index; each serves the
@@ -233,22 +242,36 @@ route (front tier) flags:
   --health-interval-ms I  /version probe cadence per shard; failed probes
                    take a shard out of rotation, passing ones re-admit it
                    once it serves the fleet's expected epoch (default 200)
-  --mmap, --cache-entries, --threads, --timeout-ms, --pressure are
-  forwarded to the spawned shard daemons (--timeout-ms also bounds the
-  router's per-attempt shard I/O)
+  --slow-query-ms S  requests at or above S milliseconds end-to-end are
+                   kept (one record per shard attempt) in the router's
+                   slowlog served by GET /debug/slow (default 100;
+                   0 records every request)
+  --trace-export PATH  append every traced (?trace=1) request as Chrome
+                   trace-event JSON to PATH: a router span (pid 9999)
+                   plus one lane per shard attempt
+  --mmap, --cache-entries, --threads, --timeout-ms, --pressure,
+  --slow-query-ms are forwarded to the spawned shard daemons
+  (--timeout-ms also bounds the router's per-attempt shard I/O;
+  the shared --slow-query-ms keeps both tiers' slowlogs correlatable
+  by request id)
 
-router endpoints: GET /query (proxied with failover + hedging)
+router endpoints: GET /query (proxied with failover + hedging; trace=1
+                  wraps the shard's trace with per-attempt detail)
                   GET /batch?seeds=a,b,c[&top=K][&mode=M][&merge=1]
                   (scatter-gather; merge=1 folds per-seed top-k lists
                   into one fleet-wide ranking)
-                  GET /route/health   GET /version (quorum-advertised
-                  fleet graph version)   GET /healthz   GET /metrics
-                  (bepi_shard_healthy, bepi_route_retries_total,
-                  bepi_hedged_requests_total, per-shard latencies)
+                  GET /route/health (per-shard health, graph version
+                  generation, and last-probe age)
+                  GET /version (quorum-advertised fleet graph version)
+                  GET /healthz   GET /metrics (router series plus every
+                  healthy shard's exposition re-labeled shard=\"N\")
+                  GET /debug/slow   GET /debug/trace (per-attempt
+                  slowlog / traced-request ring)
 
 daemon endpoints: GET /query?seed=S&top=K[&mode=M][&epoch=N][&trace=1]
                   GET /healthz   GET /metrics   GET /version
-                  GET /debug/slow   POST /edges   POST /rebuild
+                  GET /debug/slow   GET /debug/trace
+                  POST /edges   POST /rebuild
 approximate serving: ?mode= is exact, approx, or auto (default auto):
 auto answers exactly until the admission queue crosses the --pressure
 threshold, then serves deterministic approximate scores (tagged
@@ -256,11 +279,20 @@ X-Approx: 1) instead of shedding 503 — including on the overflow lane
 once the queue is full; mode=exact keeps strict answers and sheds under
 overload; approximate responses are cached per (seed, top, version,
 mode, epoch) and byte-identical across repeats.
-observability: /query?trace=1 embeds a per-stage timing breakdown (queue
-wait, solve, top-k, serialize) in the response; /metrics exposes GMRES
-iteration histograms, per-phase preprocessing timings, WAL fsync latency,
-approx/degraded counters, and queue-depth/in-flight gauges; /debug/slow
-returns the latest slow queries as JSON (approx-flagged).
+observability: every request gets a 128-bit correlation id, minted at
+ingress (or adopted from a valid X-Request-Id header), echoed on the
+response, forwarded router->shard on every attempt, and stamped into
+structured logs, both tiers' slowlogs, and trace exports; /query?trace=1
+embeds a per-stage timing breakdown (queue wait, solve, top-k,
+serialize) in the response — through the router it is wrapped in a
+\"route\" block with per-attempt detail (shard, kind, connect/send/wait
+timings, outcome); traced requests are retained in /debug/trace rings
+on both tiers and, with --trace-export, appended as Chrome trace-event
+JSON; /metrics exposes GMRES iteration histograms, per-phase
+preprocessing timings, WAL fsync latency, approx/degraded counters, and
+queue-depth/in-flight gauges (the router merges every shard's
+exposition under shard=\"N\" labels); /debug/slow returns the latest
+slow queries as JSON (approx-flagged, request-id-correlated).
 live updates: POST /edges takes JSON lines {\"op\":\"insert\",\"u\":0,\"v\":5};
 queries keep serving the last completed rebuild (check X-Graph-Version)
 until a rebuild flushes the buffer.
@@ -924,6 +956,9 @@ fn cmd_bench(flags: &[String]) -> Result<(), String> {
     if flags.iter().any(|f| f == "--route") {
         return cmd_bench_route(flags);
     }
+    if flags.iter().any(|f| f == "--trace") {
+        return cmd_bench_trace(flags);
+    }
     // --quick is a preset, applied before the other flags so they can
     // override parts of it regardless of argument order.
     let mut cfg = if flags.iter().any(|f| f == "--quick") {
@@ -1048,6 +1083,59 @@ fn cmd_bench_route(flags: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `bepi bench --trace`: the tracing-overhead benchmark. Boots one
+/// daemon via this binary and interleaves plain and `?trace=1` queries
+/// over the same cache-hot working set; the gate is traced p50 within
+/// 5% of untraced.
+fn cmd_bench_trace(flags: &[String]) -> Result<(), String> {
+    use bepi_bench::trace;
+
+    let mut cfg = if flags.iter().any(|f| f == "--quick") {
+        trace::TraceBenchConfig::quick()
+    } else {
+        trace::TraceBenchConfig::full()
+    };
+    let mut out_path = String::from("BENCH_PR8.json");
+    let mut rest = flags;
+    while let Some((flag, tail)) = rest.split_first() {
+        if flag == "--trace" || flag == "--quick" {
+            rest = tail;
+            continue;
+        }
+        let (value, tail) = tail
+            .split_first()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--out" => out_path = value.clone(),
+            "--seeds" => {
+                cfg.working_set = value.parse().map_err(|_| format!("bad --seeds: {value}"))?;
+                if cfg.working_set == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+            }
+            "--datasets" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("bad --datasets: {value}"))?;
+                if n == 0 {
+                    return Err("--datasets must be at least 1".into());
+                }
+                cfg.datasets = bepi_graph::Dataset::all().into_iter().take(n).collect();
+            }
+            f => return Err(format!("unknown bench --trace flag: {f}")),
+        }
+        rest = tail;
+    }
+    let bin = std::env::current_exe().map_err(|e| format!("locating own binary: {e}"))?;
+    let report = trace::run(&cfg, &bin)?;
+    print!("{}", trace::render_table(&report));
+    let json = trace::to_json(&report);
+    trace::validate_json(&json)?;
+    std::fs::write(&out_path, json).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("\nwrote {out_path}");
+    Ok(())
+}
+
 fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
     use bepi_live::{LiveConfig, LiveEngine};
     use bepi_server::{Server, ServerConfig};
@@ -1134,6 +1222,7 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
                         .map_err(|_| format!("bad --shard-id: {value}"))?,
                 )
             }
+            "--trace-export" => cfg.trace_export = Some(PathBuf::from(value)),
             f => return Err(format!("unknown serve flag: {f}")),
         }
         rest = tail;
@@ -1227,7 +1316,7 @@ fn cmd_serve_daemon(index: &str, flags: &[String]) -> Result<(), String> {
     // hence fallible writes, not `println!`.
     let _ = daemon_println(
         "endpoints: /query?seed=S&top=K[&mode=exact|approx|auto][&trace=1]  /healthz  \
-         /metrics  /version  /debug/slow  POST /edges  POST /rebuild",
+         /metrics  /version  /debug/slow  /debug/trace  POST /edges  POST /rebuild",
     );
     let _ = daemon_println(&format!(
         "approximate lane: {} (mode=auto degrades at {:.0}% queue pressure)",
@@ -1327,6 +1416,19 @@ fn cmd_route(index: Option<&str>, flags: &[String]) -> Result<(), String> {
                 cfg.shard_timeout = std::time::Duration::from_millis(ms);
                 shard_flags.extend(["--timeout-ms".to_string(), value.clone()]);
             }
+            "--slow-query-ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad --slow-query-ms: {value}"))?;
+                cfg.slow_query = std::time::Duration::from_millis(ms);
+                // The same threshold applies on the shard daemons, so a
+                // request slow enough for the router's slowlog is also
+                // in the answering shard's (correlated by request id).
+                shard_flags.extend(["--slow-query-ms".to_string(), value.clone()]);
+            }
+            "--trace-export" => {
+                cfg.trace_export = Some(std::path::PathBuf::from(value));
+            }
             "--cache-entries" | "--threads" | "--pressure" => {
                 shard_flags.extend([flag.clone(), value.clone()]);
             }
@@ -1394,8 +1496,9 @@ fn cmd_route(index: Option<&str>, flags: &[String]) -> Result<(), String> {
         ));
     }
     let _ = daemon_println(
-        "endpoints: /query?seed=S&top=K[&mode=M]  /batch?seeds=a,b,c[&top=K][&merge=1]  \
-         /route/health  /version  /healthz  /metrics",
+        "endpoints: /query?seed=S&top=K[&mode=M][&trace=1]  \
+         /batch?seeds=a,b,c[&top=K][&merge=1]  \
+         /route/health  /version  /healthz  /metrics  /debug/slow  /debug/trace",
     );
     let _ = daemon_println("EOF on stdin (e.g. ctrl-D) shuts down gracefully");
 

@@ -17,7 +17,10 @@
 //! - [`telemetry`]: fixed-bucket [`Histogram`]s and float gauges, plus the
 //!   process-global solver/WAL instruments shared by the server and CLI.
 //! - [`ring`]: a seqlock ring buffer of fixed-width records used for the
-//!   slow-query log.
+//!   slow-query log and the trace rings.
+//! - [`trace`]: 128-bit request ids for fleet-wide correlation, the
+//!   process trace clock, and the Chrome trace-event exporter behind
+//!   `--trace-export`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,8 +29,10 @@ pub mod log;
 pub mod ring;
 pub mod span;
 pub mod telemetry;
+pub mod trace;
 
 pub use crate::log::{enabled, init_from_env, level, set_level, Level};
 pub use crate::ring::SeqRing;
 pub use crate::span::{record_duration, snapshot, PhaseSnapshot, Span};
 pub use crate::telemetry::{format_le, F64Gauge, Histogram};
+pub use crate::trace::{clock_us, RequestId, TraceEvent, TraceExporter};

@@ -16,7 +16,7 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Idle sockets kept per shard. The router's scatter width per shard is
 /// small (one thread per shard group), so a short free-list suffices.
@@ -49,6 +49,19 @@ impl HttpResponse {
     }
 }
 
+/// Phase timings of one shard attempt, for per-attempt trace records.
+/// All in microseconds; `connect_us` is zero when a pooled socket was
+/// reused (there was nothing to connect).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AttemptTiming {
+    /// TCP connect time (0 on a reused pooled socket).
+    pub connect_us: u64,
+    /// Writing the request onto the socket.
+    pub send_us: u64,
+    /// First byte of the status line through the end of the body.
+    pub wait_us: u64,
+}
+
 /// A pooled keep-alive client for one shard address.
 pub struct ShardClient {
     addr: String,
@@ -76,17 +89,30 @@ impl ShardClient {
     /// socket is returned to the idle pool when the shard answered
     /// `Connection: keep-alive`.
     pub fn get(&self, path_query: &str) -> std::io::Result<HttpResponse> {
+        self.get_with(path_query, &[]).map(|(resp, _)| resp)
+    }
+
+    /// Like [`ShardClient::get`] but with extra request headers (the
+    /// router propagates `X-Request-Id` this way) and per-phase timings
+    /// for the attempt record.
+    pub fn get_with(
+        &self,
+        path_query: &str,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<(HttpResponse, AttemptTiming)> {
         // First try a pooled socket; it may have been closed by the
         // shard since its last use, so one failure there is retried on
         // a fresh connection rather than reported.
         if let Some(stream) = self.checkout() {
-            match self.round_trip(stream, path_query) {
-                Ok(resp) => return Ok(resp),
+            match self.round_trip(stream, path_query, headers, 0) {
+                Ok(got) => return Ok(got),
                 Err(_) => { /* stale pooled socket: fall through */ }
             }
         }
+        let connect_started = Instant::now();
         let stream = TcpStream::connect(&self.addr)?;
-        self.round_trip(stream, path_query)
+        let connect_us = connect_started.elapsed().as_micros() as u64;
+        self.round_trip(stream, path_query, headers, connect_us)
     }
 
     /// Drops every pooled socket (used when the shard process is
@@ -106,19 +132,33 @@ impl ShardClient {
         }
     }
 
-    fn round_trip(&self, stream: TcpStream, path_query: &str) -> std::io::Result<HttpResponse> {
+    fn round_trip(
+        &self,
+        stream: TcpStream,
+        path_query: &str,
+        headers: &[(&str, &str)],
+        connect_us: u64,
+    ) -> std::io::Result<(HttpResponse, AttemptTiming)> {
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
         stream.set_nodelay(true).ok();
-        let mut w = &stream;
-        write!(
-            w,
-            "GET {path_query} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\r\n",
+        let mut head = format!(
+            "GET {path_query} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n",
             self.addr
-        )?;
+        );
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        let send_started = Instant::now();
+        let mut w = &stream;
+        w.write_all(head.as_bytes())?;
         w.flush()?;
+        let send_us = send_started.elapsed().as_micros() as u64;
+        let wait_started = Instant::now();
         let mut reader = BufReader::new(&stream);
         let resp = read_response(&mut reader)?;
+        let wait_us = wait_started.elapsed().as_micros() as u64;
         if resp
             .header("connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
@@ -126,7 +166,14 @@ impl ShardClient {
             drop(reader);
             self.checkin(stream);
         }
-        Ok(resp)
+        Ok((
+            resp,
+            AttemptTiming {
+                connect_us,
+                send_us,
+                wait_us,
+            },
+        ))
     }
 }
 
@@ -239,6 +286,36 @@ mod tests {
         assert_eq!(client.get("/a").unwrap().body, "hello 1");
         assert_eq!(client.get("/b").unwrap().body, "hello 2");
         assert_eq!(server.join().unwrap(), 2, "both requests on one accept");
+    }
+
+    #[test]
+    fn get_with_sends_extra_headers_and_times_phases() {
+        use std::io::Write as _;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut head = String::new();
+            let mut line = String::new();
+            while reader.read_line(&mut line).unwrap() > 2 {
+                head.push_str(&line);
+                line.clear();
+            }
+            let mut w = &stream;
+            write!(w, "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok").unwrap();
+            w.flush().unwrap();
+            head
+        });
+        let client = ShardClient::new(addr.to_string(), Duration::from_secs(5));
+        let (resp, timing) = client
+            .get_with("/query?seed=1", &[("X-Request-Id", "00ff")])
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        let head = server.join().unwrap();
+        assert!(head.contains("X-Request-Id: 00ff"), "{head}");
+        // A fresh (non-pooled) socket must report its connect phase.
+        assert!(timing.connect_us > 0);
     }
 
     #[test]

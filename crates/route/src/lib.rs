@@ -53,10 +53,12 @@ pub mod ring;
 pub mod router;
 pub mod shard;
 pub mod supervisor;
+pub mod trace;
 
-pub use client::{HttpResponse, ShardClient};
-pub use metrics::RouteMetrics;
+pub use client::{AttemptTiming, HttpResponse, ShardClient};
+pub use metrics::{merge_expositions, RouteMetrics};
 pub use ring::SeedRing;
 pub use router::{Router, RouterConfig, RouterHandle};
 pub use shard::{quorum_version, ShardState};
 pub use supervisor::{SpawnSpec, Supervisor};
+pub use trace::{AttemptEntry, AttemptKind, AttemptLog, AttemptOutcome};

@@ -24,14 +24,17 @@
 //! `X-Shard`) pass through untouched, which is what makes router
 //! answers bit-comparable to a single daemon's.
 
-use crate::client::HttpResponse;
-use crate::metrics::{render, RouteMetrics};
+use crate::client::{AttemptTiming, HttpResponse};
+use crate::metrics::{merge_expositions, render, RouteMetrics};
 use crate::ring::SeedRing;
 use crate::shard::{quorum_version, ShardState};
 use crate::supervisor::Supervisor;
+use crate::trace::{AttemptEntry, AttemptKind, AttemptLog, AttemptOutcome};
+use bepi_obs::trace::{clock_us, RequestId, TraceEvent, TraceExporter, ROUTER_PID};
 use bepi_server::http::{self, ParseError, Request};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -56,6 +59,18 @@ pub struct RouterConfig {
     pub health_interval: Duration,
     /// Per-attempt I/O timeout against a shard.
     pub shard_timeout: Duration,
+    /// Requests whose end-to-end latency meets this threshold land (one
+    /// record per shard attempt) in the router slowlog
+    /// (`GET /debug/slow`). `Duration::ZERO` records every request.
+    pub slow_query: Duration,
+    /// Entries retained by the router slowlog ring.
+    pub slow_log_entries: usize,
+    /// Entries retained by the traced-request ring (`GET /debug/trace`).
+    pub trace_entries: usize,
+    /// When set, every `?trace=1` request is appended to this file as
+    /// Chrome trace-event JSON (`pid` 9999 = the router; attempts get
+    /// one lane each).
+    pub trace_export: Option<PathBuf>,
 }
 
 impl Default for RouterConfig {
@@ -67,6 +82,10 @@ impl Default for RouterConfig {
             backoff_ms: 10,
             health_interval: Duration::from_millis(200),
             shard_timeout: Duration::from_secs(10),
+            slow_query: Duration::from_millis(100),
+            slow_log_entries: 64,
+            trace_entries: 64,
+            trace_export: None,
         }
     }
 }
@@ -84,6 +103,7 @@ pub struct RouterHandle {
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     health_thread: Option<JoinHandle<()>>,
+    exporter: Option<Arc<TraceExporter>>,
 }
 
 /// Everything one connection thread needs.
@@ -93,6 +113,9 @@ struct RouteContext {
     cfg: RouterConfig,
     metrics: Arc<RouteMetrics>,
     supervisor: Arc<Supervisor>,
+    slow_log: AttemptLog,
+    trace_log: AttemptLog,
+    exporter: Option<Arc<TraceExporter>>,
 }
 
 impl Router {
@@ -109,13 +132,23 @@ impl Router {
         assert!(!shards.is_empty(), "router needs at least one shard");
         let metrics = Arc::new(RouteMetrics::default());
         let stop = Arc::new(AtomicBool::new(false));
+        let exporter = match &cfg.trace_export {
+            Some(path) => Some(Arc::new(TraceExporter::create(
+                path,
+                &[(ROUTER_PID, "bepi-route")],
+            )?)),
+            None => None,
+        };
 
         let ctx = Arc::new(RouteContext {
             shards: shards.clone(),
             ring: SeedRing::new(shards.len()),
-            cfg: cfg.clone(),
             metrics: Arc::clone(&metrics),
             supervisor: Arc::clone(&supervisor),
+            slow_log: AttemptLog::new(cfg.slow_log_entries, cfg.slow_query),
+            trace_log: AttemptLog::new(cfg.trace_entries, Duration::ZERO),
+            exporter: exporter.clone(),
+            cfg: cfg.clone(),
         });
 
         let health_thread = {
@@ -158,6 +191,7 @@ impl Router {
             stop,
             accept_thread: Some(accept_thread),
             health_thread: Some(health_thread),
+            exporter,
         })
     }
 }
@@ -200,6 +234,11 @@ impl RouterHandle {
         if let Some(t) = self.health_thread.take() {
             let _ = t.join();
         }
+        // Connection threads may straggle past the acceptor; the
+        // exporter tolerates that by dropping events after close.
+        if let Some(exporter) = self.exporter.take() {
+            exporter.close();
+        }
     }
 }
 
@@ -239,8 +278,25 @@ fn handle_connection(stream: TcpStream, ctx: &RouteContext) {
         ("GET", "/healthz") => respond(&stream, 200, &[], "ok\n"),
         ("GET", "/version") => route_version(&stream, ctx),
         ("GET", "/route/health") => route_health(&stream, ctx),
+        ("GET", "/debug/slow") => respond(&stream, 200, &[], &ctx.slow_log.render_json()),
+        ("GET", "/debug/trace") => respond(&stream, 200, &[], &ctx.trace_log.render_json()),
         ("GET", "/metrics") => {
-            let body = render(&ctx.metrics, &ctx.shards);
+            // Fleet aggregation: one scrape of the router re-emits every
+            // healthy shard's exposition with a `shard` label alongside
+            // the router's own series.
+            let own = render(&ctx.metrics, &ctx.shards);
+            let mut shard_bodies: Vec<(u64, String)> = Vec::new();
+            for s in &ctx.shards {
+                if !s.is_healthy() {
+                    continue;
+                }
+                if let Ok(resp) = s.client().get("/metrics") {
+                    if resp.status == 200 {
+                        shard_bodies.push((s.id as u64, resp.body));
+                    }
+                }
+            }
+            let body = merge_expositions(&own, &shard_bodies);
             respond_typed(&stream, 200, "text/plain; version=0.0.4", &[], &body);
         }
         _ => {
@@ -250,7 +306,7 @@ fn handle_connection(stream: TcpStream, ctx: &RouteContext) {
                 &[],
                 &http::json_error_body(
                     "unknown path (try /query, /batch, /healthz, /metrics, /version, \
-                     /route/health)",
+                     /route/health, /debug/slow, /debug/trace)",
                 ),
             );
         }
@@ -281,12 +337,15 @@ fn route_health(stream: &TcpStream, ctx: &RouteContext) {
             body.push(',');
         }
         body.push_str(&format!(
-            "{{\"id\":{},\"addr\":{},\"healthy\":{},\"version\":{},\"generation\":{}}}",
+            "{{\"id\":{},\"addr\":{},\"healthy\":{},\"version\":{},\"generation\":{},\
+             \"last_probe_ms\":{}}}",
             s.id,
             http::json_string(&s.addr()),
             s.is_healthy(),
             s.version(),
-            s.generation()
+            s.generation(),
+            s.last_probe_age_ms()
+                .map_or("null".to_string(), |ms| ms.to_string())
         ));
     }
     body.push_str(&format!(
@@ -338,19 +397,24 @@ fn attempt_order(ctx: &RouteContext, seed: u64) -> Vec<usize> {
 /// One shard attempt, recorded into the shard's counters. A transport
 /// failure marks the shard unhealthy on the spot (the health loop
 /// re-admits it later); a 5xx does not — the shard is alive, just
-/// unable to serve this request.
-fn attempt(shard: &ShardState, path: &str) -> std::io::Result<HttpResponse> {
+/// unable to serve this request. The request id rides along as
+/// `X-Request-Id` so the shard's slowlog and trace correlate with ours.
+fn attempt(
+    shard: &ShardState,
+    path: &str,
+    rid_hex: &str,
+) -> std::io::Result<(HttpResponse, AttemptTiming)> {
     let started = Instant::now();
     shard.requests_total.fetch_add(1, Ordering::Relaxed);
-    match shard.client().get(path) {
-        Ok(resp) => {
+    match shard.client().get_with(path, &[("X-Request-Id", rid_hex)]) {
+        Ok((resp, timing)) => {
             if let Some(v) = resp.graph_version() {
                 shard.observe_version(v);
             }
             if resp.status < 500 {
                 shard.latency.observe(started.elapsed().as_secs_f64());
             }
-            Ok(resp)
+            Ok((resp, timing))
         }
         Err(e) => {
             shard.errors_total.fetch_add(1, Ordering::Relaxed);
@@ -360,39 +424,67 @@ fn attempt(shard: &ShardState, path: &str) -> std::io::Result<HttpResponse> {
     }
 }
 
+/// What the router learned from one shard attempt, in launch order.
+/// Attempts still in flight when the request resolves stay `Abandoned`.
+struct AttemptDetail {
+    shard: usize,
+    kind: AttemptKind,
+    timing: AttemptTiming,
+    outcome: AttemptOutcome,
+}
+
 /// Fetches `path` for `seed` with failover and (optionally) hedging.
 /// Returns the winning response plus the id of the shard that served
-/// it, or `None` when every allowed attempt failed.
+/// it (`None` when every allowed attempt failed), and the per-attempt
+/// record that feeds the router slowlog and trace splice.
 fn fetch_with_failover(
     ctx: &RouteContext,
     seed: u64,
     path: &str,
     hedge: bool,
-) -> Option<(usize, HttpResponse)> {
+    rid_hex: &str,
+) -> (Option<(usize, HttpResponse)>, Vec<AttemptDetail>) {
     let order = attempt_order(ctx, seed);
     let max_attempts = (1 + ctx.cfg.retries as usize).min(order.len().max(1));
     let hedge_delay = Duration::from_millis(ctx.cfg.hedge_ms);
     let use_hedge = hedge && ctx.cfg.hedge_ms > 0 && order.len() > 1;
+    let primary = ctx.ring.primary(seed);
 
-    let (tx, rx) = mpsc::channel::<(usize, std::io::Result<HttpResponse>)>();
-    let mut launched = 0usize;
+    let (tx, rx) = mpsc::channel::<(usize, std::io::Result<(HttpResponse, AttemptTiming)>)>();
+    let mut details: Vec<AttemptDetail> = Vec::new();
     let mut outstanding = 0usize;
     let mut hedged = false;
-    let launch = |i: usize, outstanding: &mut usize| {
-        let shard = Arc::clone(&ctx.shards[order[i]]);
-        let path = path.to_string();
-        let tx = tx.clone();
-        *outstanding += 1;
-        let _ = std::thread::Builder::new()
-            .name("bepi-route-attempt".to_string())
-            .spawn(move || {
-                let result = attempt(&shard, &path);
-                let _ = tx.send((shard.id, result));
+    let launch =
+        |i: usize, kind: AttemptKind, outstanding: &mut usize, details: &mut Vec<AttemptDetail>| {
+            let shard = Arc::clone(&ctx.shards[order[i]]);
+            details.push(AttemptDetail {
+                shard: order[i],
+                kind,
+                timing: AttemptTiming::default(),
+                outcome: AttemptOutcome::Abandoned,
             });
-    };
+            let path = path.to_string();
+            let rid_hex = rid_hex.to_string();
+            let tx = tx.clone();
+            *outstanding += 1;
+            let _ = std::thread::Builder::new()
+                .name("bepi-route-attempt".to_string())
+                .spawn(move || {
+                    let result = attempt(&shard, &path, &rid_hex);
+                    let _ = tx.send((i, result));
+                });
+        };
 
-    launch(launched, &mut outstanding);
-    launched += 1;
+    // The first launch is "primary" when the ring's first choice is
+    // actually the seed's primary shard; with the primary filtered out
+    // as unhealthy it is already a failover.
+    let first_kind = if order[0] == primary {
+        AttemptKind::Primary
+    } else {
+        AttemptKind::Failover
+    };
+    launch(0, first_kind, &mut outstanding, &mut details);
+    let mut launched = 1usize;
     let overall_deadline = Instant::now() + ctx.cfg.shard_timeout + hedge_delay;
     let mut last_5xx: Option<(usize, HttpResponse)> = None;
     loop {
@@ -404,10 +496,13 @@ fn fetch_with_failover(
             overall_deadline.saturating_duration_since(Instant::now())
         };
         match rx.recv_timeout(wait) {
-            Ok((shard_id, Ok(resp))) => {
+            Ok((i, Ok((resp, timing)))) => {
                 outstanding -= 1;
+                details[i].timing = timing;
+                details[i].outcome = AttemptOutcome::Status(resp.status);
+                let shard_id = details[i].shard;
                 if resp.status < 500 {
-                    return Some((shard_id, resp));
+                    return (Some((shard_id, resp)), details);
                 }
                 // 5xx: remember the best loser (a 503 with Retry-After
                 // is a real answer if every sibling also fails).
@@ -415,21 +510,22 @@ fn fetch_with_failover(
                 if launched < max_attempts {
                     RouteMetrics::inc(&ctx.metrics.retries_total);
                     std::thread::sleep(Duration::from_millis(ctx.cfg.backoff_ms * launched as u64));
-                    launch(launched, &mut outstanding);
+                    launch(launched, AttemptKind::Retry, &mut outstanding, &mut details);
                     launched += 1;
                 } else if outstanding == 0 {
-                    return last_5xx;
+                    return (last_5xx, details);
                 }
             }
-            Ok((_, Err(_))) => {
+            Ok((i, Err(_))) => {
                 outstanding -= 1;
+                details[i].outcome = AttemptOutcome::IoError;
                 if launched < max_attempts {
                     RouteMetrics::inc(&ctx.metrics.retries_total);
                     std::thread::sleep(Duration::from_millis(ctx.cfg.backoff_ms * launched as u64));
-                    launch(launched, &mut outstanding);
+                    launch(launched, AttemptKind::Retry, &mut outstanding, &mut details);
                     launched += 1;
                 } else if outstanding == 0 {
-                    return last_5xx;
+                    return (last_5xx, details);
                 }
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -438,53 +534,213 @@ fn fetch_with_failover(
                     // next sibling; first answer wins.
                     hedged = true;
                     RouteMetrics::inc(&ctx.metrics.hedged_total);
-                    launch(launched, &mut outstanding);
+                    launch(launched, AttemptKind::Hedge, &mut outstanding, &mut details);
                     launched += 1;
                 } else {
-                    return last_5xx;
+                    return (last_5xx, details);
                 }
             }
-            Err(mpsc::RecvTimeoutError::Disconnected) => return last_5xx,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return (last_5xx, details),
         }
     }
 }
 
+/// Adopts the caller's well-formed `X-Request-Id` or mints a fresh one:
+/// the router is the fleet's ingress, so this is where correlation ids
+/// are born. Malformed ids are replaced, never echoed.
+fn ingress_request_id(request: &Request) -> RequestId {
+    request
+        .request_id
+        .as_deref()
+        .and_then(RequestId::parse)
+        .unwrap_or_else(RequestId::mint)
+}
+
+/// True when the client asked for a spliced trace block.
+fn is_traced(request: &Request) -> bool {
+    request.params.get("trace").map(String::as_str) == Some("1")
+}
+
 /// `GET /query`: proxy with failover + hedging.
 fn route_query(stream: &TcpStream, request: &Request, ctx: &RouteContext) {
+    let started = Instant::now();
+    let rid = ingress_request_id(request);
+    let rid_hex = rid.to_hex();
+    let traced = is_traced(request);
     let (seed, path) = match shard_query_path(request) {
         Ok(p) => p,
         Err(msg) => {
-            respond(stream, 400, &[], &http::json_error_body(&msg));
+            respond(
+                stream,
+                400,
+                &[("X-Request-Id", &rid_hex)],
+                &http::json_error_body(&msg),
+            );
             return;
         }
     };
-    match fetch_with_failover(ctx, seed, &path, true) {
+    let (won, attempts) = fetch_with_failover(ctx, seed, &path, true, &rid_hex);
+    let total_us = started.elapsed().as_micros() as u64;
+    record_attempts(ctx, rid, &rid_hex, seed, total_us, &attempts, traced);
+    match won {
         Some((shard_id, resp)) => {
             if shard_id != ctx.ring.primary(seed) {
                 RouteMetrics::inc(&ctx.metrics.failovers_total);
             }
-            proxy(stream, &resp);
+            if traced && resp.status == 200 {
+                // Wrap the shard's own trace block with the router-side
+                // view: which shards were tried, why, and how long each
+                // hop phase took.
+                let body = splice_route_block(&resp.body, &rid_hex, shard_id, &attempts);
+                proxy_body(stream, &resp, &body, &rid_hex);
+            } else {
+                proxy_body(stream, &resp, &resp.body, &rid_hex);
+            }
         }
         None => {
             RouteMetrics::inc(&ctx.metrics.errors_total);
             respond(
                 stream,
                 502,
-                &[("Retry-After", "1")],
+                &[("Retry-After", "1"), ("X-Request-Id", &rid_hex)],
                 &http::json_error_body("no shard could answer (fleet unavailable)"),
             );
         }
     }
 }
 
+/// Books every attempt of one routed request into the slowlog (subject
+/// to its threshold) and — when traced — the trace ring, a structured
+/// log line, and the Chrome export (parent span on lane 0, one lane per
+/// attempt).
+fn record_attempts(
+    ctx: &RouteContext,
+    rid: RequestId,
+    rid_hex: &str,
+    seed: u64,
+    total_us: u64,
+    attempts: &[AttemptDetail],
+    traced: bool,
+) {
+    for (i, a) in attempts.iter().enumerate() {
+        let entry = AttemptEntry {
+            request_id: rid,
+            seed,
+            attempt: i as u64,
+            shard: a.shard as u64,
+            kind: a.kind,
+            connect_us: a.timing.connect_us,
+            send_us: a.timing.send_us,
+            wait_us: a.timing.wait_us,
+            outcome: a.outcome,
+            total_us,
+        };
+        ctx.slow_log.record(&entry);
+        if traced {
+            ctx.trace_log.record(&entry);
+        }
+    }
+    if !traced {
+        return;
+    }
+    bepi_obs::info!(
+        "route",
+        "traced request",
+        request_id = rid_hex,
+        seed = seed,
+        attempts = attempts.len(),
+        total_us = total_us
+    );
+    let Some(exporter) = &ctx.exporter else {
+        return;
+    };
+    let end = clock_us();
+    let start = end.saturating_sub(total_us);
+    let name = format!("route seed={seed}");
+    exporter.emit(&TraceEvent {
+        name: &name,
+        cat: "route",
+        ts_us: start,
+        dur_us: total_us,
+        pid: ROUTER_PID,
+        tid: 0,
+        args: &[("request_id", rid_hex)],
+    });
+    for (i, a) in attempts.iter().enumerate() {
+        let hop_us = a.timing.connect_us + a.timing.send_us + a.timing.wait_us;
+        let name = format!("attempt shard={} {}", a.shard, a.kind.name());
+        let outcome = a.outcome.name();
+        exporter.emit(&TraceEvent {
+            name: &name,
+            cat: "route",
+            ts_us: start,
+            // Abandoned attempts have no completed round trip; show
+            // them spanning the whole request.
+            dur_us: if hop_us > 0 { hop_us } else { total_us },
+            pid: ROUTER_PID,
+            tid: i as u64 + 1,
+            args: &[("request_id", rid_hex), ("outcome", &outcome)],
+        });
+    }
+}
+
+/// Splices the router's per-attempt view into a shard's already-traced
+/// `/query` body, just before the trailing `}` — the shard's own
+/// `trace` block stays untouched inside.
+fn splice_route_block(
+    body: &str,
+    rid_hex: &str,
+    shard_id: usize,
+    attempts: &[AttemptDetail],
+) -> String {
+    let mut block =
+        format!(",\"route\":{{\"request_id\":\"{rid_hex}\",\"shard\":{shard_id},\"attempts\":[");
+    for (i, a) in attempts.iter().enumerate() {
+        if i > 0 {
+            block.push(',');
+        }
+        block.push_str(&attempt_json(a, None));
+    }
+    block.push_str("]}");
+    match body.rfind('}') {
+        Some(pos) => {
+            let mut out = String::with_capacity(body.len() + block.len());
+            out.push_str(&body[..pos]);
+            out.push_str(&block);
+            out.push_str(&body[pos..]);
+            out
+        }
+        None => body.to_string(),
+    }
+}
+
+/// One attempt as a JSON object (with its seed when part of a batch).
+fn attempt_json(a: &AttemptDetail, seed: Option<u64>) -> String {
+    let seed_field = seed.map_or(String::new(), |s| format!("\"seed\":{s},"));
+    format!(
+        "{{{seed_field}\"shard\":{},\"kind\":\"{}\",\"connect_us\":{},\"send_us\":{},\
+         \"wait_us\":{},\"outcome\":\"{}\"}}",
+        a.shard,
+        a.kind.name(),
+        a.timing.connect_us,
+        a.timing.send_us,
+        a.timing.wait_us,
+        a.outcome.name()
+    )
+}
+
 /// `GET /batch?seeds=a,b,c[&top=K][&mode=M][&epoch=N][&merge=1]`:
 /// scatter per-seed queries across the fleet, gather in seed order.
 fn route_batch(stream: &TcpStream, request: &Request, ctx: &RouteContext) {
+    let started = Instant::now();
+    let rid = ingress_request_id(request);
+    let rid_hex = rid.to_hex();
+    let traced = is_traced(request);
     let Some(seeds_s) = request.params.get("seeds") else {
         respond(
             stream,
             400,
-            &[],
+            &[("X-Request-Id", &rid_hex)],
             &http::json_error_body("missing required parameter: seeds (comma-separated)"),
         );
         return;
@@ -498,13 +754,18 @@ fn route_batch(stream: &TcpStream, request: &Request, ctx: &RouteContext) {
         respond(
             stream,
             400,
-            &[],
+            &[("X-Request-Id", &rid_hex)],
             &http::json_error_body(&format!("bad seeds list: {seeds_s:?}")),
         );
         return;
     };
     if seeds.is_empty() {
-        respond(stream, 400, &[], &http::json_error_body("empty seeds list"));
+        respond(
+            stream,
+            400,
+            &[("X-Request-Id", &rid_hex)],
+            &http::json_error_body("empty seeds list"),
+        );
         return;
     }
     let merge = request.params.get("merge").map(String::as_str) == Some("1");
@@ -521,56 +782,70 @@ fn route_batch(stream: &TcpStream, request: &Request, ctx: &RouteContext) {
     for (pos, &seed) in seeds.iter().enumerate() {
         groups[attempt_order(ctx, seed)[0]].push(pos);
     }
-    let mut slots: Vec<Option<(usize, HttpResponse)>> = Vec::new();
-    slots.resize_with(seeds.len(), || None);
-    let slot_refs: Vec<std::sync::Mutex<&mut Option<(usize, HttpResponse)>>> =
+    type BatchSlot = (Option<(usize, HttpResponse)>, Vec<AttemptDetail>);
+    let mut slots: Vec<BatchSlot> = Vec::new();
+    slots.resize_with(seeds.len(), || (None, Vec::new()));
+    let slot_refs: Vec<std::sync::Mutex<&mut BatchSlot>> =
         slots.iter_mut().map(std::sync::Mutex::new).collect();
     std::thread::scope(|scope| {
         for positions in groups.iter().filter(|g| !g.is_empty()) {
             let slot_refs = &slot_refs;
             let seeds = &seeds;
+            let rid_hex = &rid_hex;
             scope.spawn(move || {
                 for &pos in positions {
                     let seed = seeds[pos];
                     let mut path = format!("/query?seed={seed}");
-                    for key in ["top", "mode", "epoch"] {
+                    for key in ["top", "mode", "epoch", "trace"] {
                         if let Some(v) = request.params.get(key) {
                             path.push_str(&format!("&{key}={v}"));
                         }
                     }
                     // Per-seed failover, no hedging: the batch already
                     // saturates the fleet; duplicating every straggler
-                    // would double the load exactly when it hurts.
-                    let got = fetch_with_failover(ctx, seed, &path, false);
+                    // would double the load exactly when it hurts. The
+                    // whole batch shares one request id.
+                    let got = fetch_with_failover(ctx, seed, &path, false, rid_hex);
                     **slot_refs[pos].lock().unwrap_or_else(|p| p.into_inner()) = got;
                 }
             });
         }
     });
 
+    let total_us = started.elapsed().as_micros() as u64;
     let mut answered: Vec<(usize, HttpResponse)> = Vec::with_capacity(seeds.len());
-    for (pos, slot) in slots.into_iter().enumerate() {
+    let mut batch_attempts: Vec<(u64, AttemptDetail)> = Vec::new();
+    let mut failed: Option<(usize, Option<HttpResponse>)> = None;
+    for (pos, (slot, attempts)) in slots.into_iter().enumerate() {
+        record_attempts(ctx, rid, &rid_hex, seeds[pos], total_us, &attempts, traced);
+        batch_attempts.extend(attempts.into_iter().map(|a| (seeds[pos], a)));
         match slot {
             Some((shard_id, resp)) if resp.status == 200 => answered.push((shard_id, resp)),
-            Some((_, resp)) => {
-                RouteMetrics::inc(&ctx.metrics.errors_total);
-                proxy(stream, &resp);
-                return;
-            }
-            None => {
-                RouteMetrics::inc(&ctx.metrics.errors_total);
-                respond(
-                    stream,
-                    502,
-                    &[("Retry-After", "1")],
-                    &http::json_error_body(&format!(
-                        "no shard could answer seed {} (fleet unavailable)",
-                        seeds[pos]
-                    )),
-                );
-                return;
+            other => {
+                failed.get_or_insert((pos, other.map(|(_, resp)| resp)));
             }
         }
+    }
+    match failed {
+        Some((_, Some(resp))) => {
+            RouteMetrics::inc(&ctx.metrics.errors_total);
+            proxy_body(stream, &resp, &resp.body, &rid_hex);
+            return;
+        }
+        Some((pos, None)) => {
+            RouteMetrics::inc(&ctx.metrics.errors_total);
+            respond(
+                stream,
+                502,
+                &[("Retry-After", "1"), ("X-Request-Id", &rid_hex)],
+                &http::json_error_body(&format!(
+                    "no shard could answer seed {} (fleet unavailable)",
+                    seeds[pos]
+                )),
+            );
+            return;
+        }
+        None => {}
     }
 
     let version = answered
@@ -579,7 +854,7 @@ fn route_batch(stream: &TcpStream, request: &Request, ctx: &RouteContext) {
         .max()
         .unwrap_or(0)
         .to_string();
-    let body = if merge {
+    let mut body = if merge {
         merge_topk(&seeds, &answered, top_k)
     } else {
         // Per-seed bodies verbatim, in seed order: byte-identical to
@@ -594,7 +869,28 @@ fn route_batch(stream: &TcpStream, request: &Request, ctx: &RouteContext) {
         body.push_str("]}");
         body
     };
-    respond(stream, 200, &[("X-Graph-Version", &version)], &body);
+    if traced {
+        // Aggregate scatter-gather view: every attempt of every seed,
+        // spliced after the gathered results (each per-seed body still
+        // carries its own shard's trace block when not merging).
+        let mut block = format!(",\"route\":{{\"request_id\":\"{rid_hex}\",\"attempts\":[");
+        for (i, (seed, a)) in batch_attempts.iter().enumerate() {
+            if i > 0 {
+                block.push(',');
+            }
+            block.push_str(&attempt_json(a, Some(*seed)));
+        }
+        block.push_str("]}");
+        if let Some(pos) = body.rfind('}') {
+            body.insert_str(pos, &block);
+        }
+    }
+    respond(
+        stream,
+        200,
+        &[("X-Graph-Version", &version), ("X-Request-Id", &rid_hex)],
+        &body,
+    );
 }
 
 /// One entry of a per-seed top-k list, with the score kept as the exact
@@ -671,25 +967,32 @@ fn parse_results(body: &str) -> Vec<(u64, &str)> {
     out
 }
 
-/// Proxies a shard response verbatim: status, body, and the lineage
-/// headers a client of a single daemon would have seen.
-fn proxy(stream: &TcpStream, resp: &HttpResponse) {
-    const FORWARDED: [&str; 6] = [
+/// Proxies a shard response: status, the given body (the shard's
+/// verbatim, or the trace-spliced variant), and the lineage headers a
+/// client of a single daemon would have seen. The request id is always
+/// echoed — from the shard's echo when present, from the router's own
+/// copy otherwise (e.g. a pre-trace-era shard mid-rollout).
+fn proxy_body(stream: &TcpStream, resp: &HttpResponse, body: &str, rid_hex: &str) {
+    const FORWARDED: [&str; 7] = [
         "x-graph-version",
         "x-approx",
         "x-cache",
         "x-shard",
+        "x-request-id",
         "retry-after",
         "allow",
     ];
-    let headers: Vec<(&str, &str)> = resp
+    let mut headers: Vec<(&str, &str)> = resp
         .headers
         .iter()
         .filter(|(n, _)| FORWARDED.contains(&n.as_str()))
         .map(|(n, v)| (canonical_header(n), v.as_str()))
         .collect();
+    if !headers.iter().any(|(n, _)| *n == "X-Request-Id") {
+        headers.push(("X-Request-Id", rid_hex));
+    }
     let content_type = resp.header("content-type").unwrap_or("application/json");
-    respond_typed(stream, resp.status, content_type, &headers, &resp.body);
+    respond_typed(stream, resp.status, content_type, &headers, body);
 }
 
 /// Maps a lower-cased forwarded header name back to its canonical
@@ -701,6 +1004,7 @@ fn canonical_header(lower: &str) -> &'static str {
         "x-approx" => "X-Approx",
         "x-cache" => "X-Cache",
         "x-shard" => "X-Shard",
+        "x-request-id" => "X-Request-Id",
         "retry-after" => "Retry-After",
         "allow" => "Allow",
         _ => "X-Forwarded-Header",

@@ -3,6 +3,7 @@
 
 use crate::client::ShardClient;
 use bepi_obs::telemetry::Histogram;
+use bepi_obs::trace::clock_us;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -34,6 +35,9 @@ pub struct ShardState {
     /// Process generation: bumped by every respawn, so request paths
     /// can tell "same process recovered" from "replacement process".
     generation: AtomicU64,
+    /// Trace-clock millisecond of the last completed health probe,
+    /// biased by one so `0` means "never probed".
+    last_probe: AtomicU64,
     /// Latency of successful requests to this shard.
     pub latency: Histogram,
     /// Requests answered by this shard (any status).
@@ -55,6 +59,7 @@ impl ShardState {
             healthy: AtomicBool::new(false),
             version: AtomicU64::new(0),
             generation: AtomicU64::new(0),
+            last_probe: AtomicU64::new(0),
             latency: Histogram::new(LATENCY_BOUNDS),
             requests_total: AtomicU64::new(0),
             errors_total: AtomicU64::new(0),
@@ -114,6 +119,19 @@ impl ShardState {
         self.generation.load(Ordering::SeqCst)
     }
 
+    /// Stamps "a health probe just completed against this shard".
+    pub fn record_probe(&self) {
+        self.last_probe
+            .store(clock_us() / 1000 + 1, Ordering::Relaxed);
+    }
+
+    /// Milliseconds since the last completed health probe, or `None` if
+    /// the shard has never been probed.
+    pub fn last_probe_age_ms(&self) -> Option<u64> {
+        let stamped = self.last_probe.load(Ordering::Relaxed).checked_sub(1)?;
+        Some((clock_us() / 1000).saturating_sub(stamped))
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, ShardRuntime> {
         self.runtime.lock().unwrap_or_else(|p| p.into_inner())
     }
@@ -152,6 +170,14 @@ mod tests {
         assert_eq!(s.generation(), 1);
         assert!(!s.is_healthy());
         assert_eq!(s.addr(), "127.0.0.1:2");
+    }
+
+    #[test]
+    fn probe_age_is_none_until_first_probe() {
+        let s = shard(0);
+        assert_eq!(s.last_probe_age_ms(), None);
+        s.record_probe();
+        assert!(s.last_probe_age_ms().unwrap() < 1000);
     }
 
     #[test]

@@ -142,6 +142,7 @@ impl Supervisor {
     fn probe(&self, shard: &ShardState) {
         match shard.client().get("/version") {
             Ok(resp) if resp.status == 200 => {
+                shard.record_probe();
                 if let Some(v) = resp.graph_version() {
                     shard.observe_version(v);
                 }

@@ -1,0 +1,315 @@
+//! Per-attempt observability for the front tier.
+//!
+//! The router's unit of failure is the *shard attempt* — a `/query` can
+//! fan into a primary attempt, retries, a hedge, and failovers, and the
+//! interesting story ("which shard was slow, which died, who answered")
+//! lives at that granularity. So the router's slowlog and trace ring
+//! both record one fixed-width seqlock record per attempt, correlated
+//! by the request id that is also propagated to the shards.
+
+use bepi_obs::ring::{SeqRing, RECORD_FIELDS};
+use bepi_obs::trace::RequestId;
+use std::time::Duration;
+
+/// Why an attempt was launched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptKind {
+    /// First launch, on the seed's ring-primary shard.
+    Primary,
+    /// First launch, but on a sibling because the primary was unhealthy.
+    Failover,
+    /// Relaunch after a failed earlier attempt.
+    Retry,
+    /// Tail-latency duplicate launched while the first was in flight.
+    Hedge,
+}
+
+impl AttemptKind {
+    /// Stable wire name (used in trace splices and `/debug/slow`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AttemptKind::Primary => "primary",
+            AttemptKind::Failover => "failover",
+            AttemptKind::Retry => "retry",
+            AttemptKind::Hedge => "hedge",
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            AttemptKind::Primary => 0,
+            AttemptKind::Failover => 1,
+            AttemptKind::Retry => 2,
+            AttemptKind::Hedge => 3,
+        }
+    }
+
+    fn from_code(code: u64) -> AttemptKind {
+        match code {
+            1 => AttemptKind::Failover,
+            2 => AttemptKind::Retry,
+            3 => AttemptKind::Hedge,
+            _ => AttemptKind::Primary,
+        }
+    }
+}
+
+/// How an attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// The shard answered with this HTTP status.
+    Status(u16),
+    /// Transport failure (connect, send, or read).
+    IoError,
+    /// A sibling won the race; this attempt's answer was discarded.
+    Abandoned,
+}
+
+impl AttemptOutcome {
+    /// Stable wire text: the status digits, `io-error`, or `abandoned`.
+    pub fn name(self) -> String {
+        match self {
+            AttemptOutcome::Status(s) => s.to_string(),
+            AttemptOutcome::IoError => "io-error".to_string(),
+            AttemptOutcome::Abandoned => "abandoned".to_string(),
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            // Statuses are ≥ 100, so the small codes cannot collide.
+            AttemptOutcome::Status(s) => u64::from(s),
+            AttemptOutcome::IoError => 1,
+            AttemptOutcome::Abandoned => 2,
+        }
+    }
+
+    fn from_code(code: u64) -> AttemptOutcome {
+        match code {
+            1 => AttemptOutcome::IoError,
+            2 => AttemptOutcome::Abandoned,
+            s => AttemptOutcome::Status(s as u16),
+        }
+    }
+}
+
+/// One retained shard attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptEntry {
+    /// Correlation id of the request this attempt served.
+    pub request_id: RequestId,
+    /// Seed of the `/query` (or the batch member) being fetched.
+    pub seed: u64,
+    /// Launch index within the request (0 = first attempt).
+    pub attempt: u64,
+    /// Shard the attempt was sent to.
+    pub shard: u64,
+    /// Why the attempt was launched.
+    pub kind: AttemptKind,
+    /// TCP connect time in microseconds (0 on a pooled socket).
+    pub connect_us: u64,
+    /// Request write time in microseconds.
+    pub send_us: u64,
+    /// Time waiting on the shard's response in microseconds.
+    pub wait_us: u64,
+    /// How the attempt ended.
+    pub outcome: AttemptOutcome,
+    /// End-to-end latency of the *request* (all attempts) in µs.
+    pub total_us: u64,
+}
+
+/// Seqlock ring of recent shard attempts; with a threshold it is the
+/// router's slowlog, with `Duration::ZERO` it retains everything (the
+/// shape the router's `/debug/trace` ring uses for traced requests).
+#[derive(Debug)]
+pub struct AttemptLog {
+    ring: SeqRing,
+    threshold: Duration,
+}
+
+impl AttemptLog {
+    /// A ring of `entries` attempts recording requests whose end-to-end
+    /// latency met `threshold` (zero records every request).
+    pub fn new(entries: usize, threshold: Duration) -> AttemptLog {
+        AttemptLog {
+            ring: SeqRing::new(entries.max(1)),
+            threshold,
+        }
+    }
+
+    /// The configured latency threshold.
+    pub fn threshold(&self) -> Duration {
+        self.threshold
+    }
+
+    /// Records one attempt if its request met the threshold. Lock-free.
+    pub fn record(&self, e: &AttemptEntry) {
+        if Duration::from_micros(e.total_us) < self.threshold {
+            return;
+        }
+        let mut fields = [0u64; RECORD_FIELDS];
+        fields[0] = e.request_id.hi;
+        fields[1] = e.request_id.lo;
+        fields[2] = e.seed;
+        fields[3] = e.attempt;
+        fields[4] = e.shard;
+        fields[5] = e.kind.code();
+        fields[6] = e.connect_us;
+        fields[7] = e.send_us;
+        fields[8] = e.wait_us;
+        fields[9] = e.outcome.code();
+        fields[10] = e.total_us;
+        self.ring.push(fields);
+    }
+
+    /// The retained attempts, newest first.
+    pub fn entries(&self) -> Vec<AttemptEntry> {
+        self.ring
+            .snapshot()
+            .into_iter()
+            .map(|f| AttemptEntry {
+                request_id: RequestId { hi: f[0], lo: f[1] },
+                seed: f[2],
+                attempt: f[3],
+                shard: f[4],
+                kind: AttemptKind::from_code(f[5]),
+                connect_us: f[6],
+                send_us: f[7],
+                wait_us: f[8],
+                outcome: AttemptOutcome::from_code(f[9]),
+                total_us: f[10],
+            })
+            .collect()
+    }
+
+    /// Renders the debug JSON body, newest attempt first.
+    pub fn render_json(&self) -> String {
+        let entries = self.entries();
+        let mut body = format!(
+            "{{\"threshold_us\":{},\"capacity\":{},\"entries\":[",
+            self.threshold.as_micros(),
+            self.ring.capacity()
+        );
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!(
+                "{{\"request_id\":\"{}\",\"seed\":{},\"attempt\":{},\"shard\":{},\
+                 \"kind\":\"{}\",\"connect_us\":{},\"send_us\":{},\"wait_us\":{},\
+                 \"outcome\":\"{}\",\"total_us\":{}}}",
+                e.request_id.to_hex(),
+                e.seed,
+                e.attempt,
+                e.shard,
+                e.kind.name(),
+                e.connect_us,
+                e.send_us,
+                e.wait_us,
+                e.outcome.name(),
+                e.total_us
+            ));
+        }
+        body.push_str("]}");
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seed: u64) -> AttemptEntry {
+        AttemptEntry {
+            request_id: RequestId {
+                hi: seed,
+                lo: seed.wrapping_mul(13),
+            },
+            seed,
+            attempt: seed % 4,
+            shard: seed % 3,
+            kind: AttemptKind::from_code(seed % 4),
+            connect_us: seed,
+            send_us: seed * 2,
+            wait_us: seed * 5,
+            outcome: if seed % 2 == 0 {
+                AttemptOutcome::Status(200)
+            } else {
+                AttemptOutcome::IoError
+            },
+            total_us: seed * 9,
+        }
+    }
+
+    #[test]
+    fn kind_and_outcome_codes_round_trip() {
+        for kind in [
+            AttemptKind::Primary,
+            AttemptKind::Failover,
+            AttemptKind::Retry,
+            AttemptKind::Hedge,
+        ] {
+            assert_eq!(AttemptKind::from_code(kind.code()), kind);
+        }
+        for outcome in [
+            AttemptOutcome::Status(200),
+            AttemptOutcome::Status(503),
+            AttemptOutcome::IoError,
+            AttemptOutcome::Abandoned,
+        ] {
+            assert_eq!(AttemptOutcome::from_code(outcome.code()), outcome);
+        }
+    }
+
+    #[test]
+    fn threshold_filters_and_json_renders_attempt_detail() {
+        let log = AttemptLog::new(8, Duration::from_micros(50));
+        log.record(&entry(2)); // total 18µs: dropped
+        log.record(&entry(7)); // total 63µs: kept
+        let entries = log.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0], entry(7));
+        let json = log.render_json();
+        assert!(json.starts_with("{\"threshold_us\":50,\"capacity\":8,"));
+        assert!(json.contains(&format!(
+            "\"request_id\":\"{}\"",
+            entry(7).request_id.to_hex()
+        )));
+        assert!(json.contains("\"kind\":\"hedge\""));
+        assert!(json.contains("\"outcome\":\"io-error\""));
+        assert!(json.contains("\"total_us\":63"));
+    }
+
+    #[test]
+    fn concurrent_writers_never_surface_a_torn_attempt() {
+        use std::sync::Arc;
+        let log = Arc::new(AttemptLog::new(16, Duration::ZERO));
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for i in 1..=500u64 {
+                        log.record(&entry(w * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    for e in log.entries() {
+                        // Every field derives from the seed; a mix of
+                        // two records breaks one of the equalities.
+                        assert_eq!(e, entry(e.seed), "torn attempt record surfaced");
+                    }
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        reader.join().unwrap();
+        assert!(!log.entries().is_empty());
+    }
+}

@@ -36,6 +36,11 @@ pub struct Request {
     /// explicit header, which ordinary clients (curl, browsers,
     /// Prometheus) do not send — only the `bepi route` shard client does.
     pub keep_alive: bool,
+    /// The `X-Request-Id` header, if the client sent one. The serving
+    /// tier adopts a well-formed id (the router mints one at ingress and
+    /// propagates it on every shard attempt) and mints its own
+    /// otherwise, so every response carries a correlation id.
+    pub request_id: Option<String>,
 }
 
 /// Why a request could not be parsed.
@@ -66,7 +71,8 @@ impl std::fmt::Display for ParseError {
 
 /// Reads one request from `reader` (a buffered stream).
 ///
-/// Headers are scanned only for `Content-Length`; everything else is
+/// Headers are scanned only for `Content-Length`, `Connection`, and
+/// `X-Request-Id`; everything else is
 /// discarded, but the head must still terminate with an empty line within
 /// [`MAX_HEAD_BYTES`]. When a length is declared the body is read in full
 /// (bounded by [`MAX_BODY_BYTES`]) and must be valid UTF-8 — every body
@@ -76,8 +82,8 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
     let mut total = 0usize;
     read_line_bounded(reader, &mut line, &mut total)?;
     let mut request = parse_request_line(line.trim_end())?;
-    // Drain headers until the blank line, keeping only Content-Length
-    // and Connection.
+    // Drain headers until the blank line, keeping only Content-Length,
+    // Connection, and X-Request-Id.
     let mut content_length = 0usize;
     loop {
         line.clear();
@@ -97,6 +103,8 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
             })?;
         } else if name.trim().eq_ignore_ascii_case("connection") {
             request.keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
+        } else if name.trim().eq_ignore_ascii_case("x-request-id") {
+            request.request_id = Some(value.trim().to_string());
         }
     }
     if content_length > 0 {
@@ -159,6 +167,7 @@ fn parse_request_line(line: &str) -> Result<Request, ParseError> {
         params: parse_query(query),
         body: String::new(),
         keep_alive: false,
+        request_id: None,
     })
 }
 
@@ -428,6 +437,14 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(!text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn request_id_header_is_captured() {
+        let r = parse("GET /query?seed=1 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.request_id, None);
+        let r = parse("GET /query?seed=1 HTTP/1.1\r\nX-REQUEST-ID: abc123 \r\n\r\n").unwrap();
+        assert_eq!(r.request_id.as_deref(), Some("abc123"));
     }
 
     #[test]

@@ -49,18 +49,22 @@ pub mod metrics;
 pub mod queue;
 pub mod shutdown;
 pub mod slowlog;
+pub mod trace;
 pub mod worker;
 
 pub use cache::{QueryKey, ResponseCache, ResponseMode};
 pub use metrics::{parse_metric, render_live_metrics, render_obs_metrics, Metrics};
 pub use slowlog::{SlowQuery, SlowQueryLog};
+pub use trace::{TraceLog, TracedQuery};
 
 use crate::queue::{bounded, PushError};
 use crate::shutdown::Shutdown;
 use crate::worker::{Job, WorkerContext};
 use bepi_core::BePi;
 use bepi_live::LiveEngine;
+use bepi_obs::trace::{TraceEvent, TraceExporter};
 use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -97,6 +101,13 @@ pub struct ServerConfig {
     /// runs as one shard of a `bepi route` fleet. `None` (the default)
     /// omits the header entirely.
     pub shard_id: Option<u64>,
+    /// Entries retained by the traced-request ring (`GET /debug/trace`).
+    pub trace_entries: usize,
+    /// When set, every `?trace=1` query is appended to this file as
+    /// Chrome trace-event JSON (load it in `chrome://tracing` or
+    /// Perfetto). `None` (the default) disables the export; untraced
+    /// queries never touch it either way.
+    pub trace_export: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -111,6 +122,8 @@ impl Default for ServerConfig {
             slow_log_entries: 64,
             pressure: 0.75,
             shard_id: None,
+            trace_entries: 64,
+            trace_export: None,
         }
     }
 }
@@ -207,11 +220,28 @@ impl Server {
             config.slow_log_entries,
             config.slow_query,
         ));
+        let trace_log = Arc::new(TraceLog::new(config.trace_entries));
+        let exporter = match &config.trace_export {
+            Some(path) => {
+                let pid = config.shard_id.unwrap_or(0);
+                let name = match config.shard_id {
+                    Some(s) => format!("bepi-shard-{s}"),
+                    None => "bepi-server".to_string(),
+                };
+                let exporter = TraceExporter::create(path, &[(pid, &name)])?;
+                export_preprocess_phases(&exporter, pid);
+                Some(Arc::new(exporter))
+            }
+            None => None,
+        };
         let ctx = Arc::new(WorkerContext {
             engine: Arc::clone(&engine),
             cache: Arc::clone(&cache),
             metrics: Arc::clone(&metrics),
             slow_log,
+            trace_log,
+            exporter: exporter.clone(),
+            shard_id: config.shard_id,
             pressure_slots: config.pressure_slots(),
             timeout: config.timeout,
             shutdown: Arc::clone(&shutdown),
@@ -262,7 +292,36 @@ impl Server {
             workers,
             metrics,
             engine,
+            exporter,
         })
+    }
+}
+
+/// Replays the phase accumulators recorded so far (index load, LU
+/// factorization, reordering, …) into the trace file as back-to-back
+/// spans on a dedicated lane, so a serve-path trace also shows what
+/// startup cost. Accumulators lose per-span timestamps, so the spans are
+/// laid out sequentially ending at "now".
+fn export_preprocess_phases(exporter: &TraceExporter, pid: u64) {
+    let phases = bepi_obs::snapshot();
+    let total_us: u64 = phases.iter().map(|p| p.total.as_micros() as u64).sum();
+    let mut cursor = bepi_obs::clock_us().saturating_sub(total_us);
+    for p in &phases {
+        let us = p.total.as_micros() as u64;
+        if us == 0 {
+            continue;
+        }
+        let count = p.count.to_string();
+        exporter.emit(&TraceEvent {
+            name: &p.name,
+            cat: "preprocess",
+            ts_us: cursor,
+            dur_us: us,
+            pid,
+            tid: 0,
+            args: &[("spans", &count)],
+        });
+        cursor += us;
     }
 }
 
@@ -349,6 +408,7 @@ pub struct ServerHandle {
     workers: Vec<JoinHandle<()>>,
     metrics: Arc<Metrics>,
     engine: Arc<LiveEngine>,
+    exporter: Option<Arc<TraceExporter>>,
 }
 
 /// A cloneable trigger that requests graceful shutdown from any thread
@@ -399,6 +459,11 @@ impl ServerHandle {
             let _ = w.join();
         }
         self.engine.shutdown();
+        // Terminate the trace-event array only after every worker has
+        // drained — no event can race the closing bracket.
+        if let Some(exporter) = &self.exporter {
+            exporter.close();
+        }
     }
 
     /// Graceful shutdown: stop admission, drain queued and in-flight

@@ -7,6 +7,7 @@
 //! torn slots.
 
 use bepi_obs::ring::{SeqRing, RECORD_FIELDS};
+use bepi_obs::trace::RequestId;
 use std::time::Duration;
 
 /// One retained slow query.
@@ -28,6 +29,12 @@ pub struct SlowQuery {
     pub top_k: u64,
     /// Whether the approximate lane answered (mode resolved to approx).
     pub approx: bool,
+    /// Correlation id of the request (minted at ingress, propagated via
+    /// `X-Request-Id`); lets one grep tie this entry to the router's
+    /// slowlog and the exported trace.
+    pub request_id: RequestId,
+    /// Shard id of the answering daemon (`None` for a standalone one).
+    pub shard: Option<u64>,
 }
 
 /// Ring of the last N queries that exceeded the slow threshold.
@@ -67,6 +74,10 @@ impl SlowQueryLog {
         fields[5] = q.version;
         fields[6] = q.top_k;
         fields[7] = u64::from(q.approx);
+        fields[8] = q.request_id.hi;
+        fields[9] = q.request_id.lo;
+        // Shard ids are biased by one so 0 can mean "standalone daemon".
+        fields[10] = q.shard.map_or(0, |s| s + 1);
         self.ring.push(fields);
     }
 
@@ -84,6 +95,8 @@ impl SlowQueryLog {
                 version: f[5],
                 top_k: f[6],
                 approx: f[7] != 0,
+                request_id: RequestId { hi: f[8], lo: f[9] },
+                shard: f[10].checked_sub(1),
             })
             .collect()
     }
@@ -101,8 +114,10 @@ impl SlowQueryLog {
                 body.push(',');
             }
             body.push_str(&format!(
-                "{{\"seed\":{},\"latency_us\":{},\"iterations\":{},\"residual\":{},\
-                 \"cache_hit\":{},\"version\":{},\"top\":{},\"approx\":{}}}",
+                "{{\"request_id\":\"{}\",\"seed\":{},\"latency_us\":{},\"iterations\":{},\
+                 \"residual\":{},\"cache_hit\":{},\"version\":{},\"top\":{},\"approx\":{},\
+                 \"shard\":{}}}",
+                e.request_id.to_hex(),
                 e.seed,
                 e.latency_us,
                 e.iterations,
@@ -110,7 +125,8 @@ impl SlowQueryLog {
                 e.cache_hit,
                 e.version,
                 e.top_k,
-                e.approx
+                e.approx,
+                fmt_shard(e.shard)
             ));
         }
         body.push_str("]}");
@@ -124,6 +140,10 @@ fn fmt_residual(v: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+fn fmt_shard(shard: Option<u64>) -> String {
+    shard.map_or("null".to_string(), |s| s.to_string())
 }
 
 #[cfg(test)]
@@ -140,6 +160,11 @@ mod tests {
             version: 1,
             top_k: 10,
             approx: false,
+            request_id: RequestId {
+                hi: seed,
+                lo: seed * 3,
+            },
+            shard: None,
         }
     }
 
@@ -168,6 +193,7 @@ mod tests {
     #[test]
     fn json_round_trips_fields() {
         let log = SlowQueryLog::new(4, Duration::ZERO);
+        let rid = RequestId::mint();
         log.record(&SlowQuery {
             seed: 42,
             latency_us: 1234,
@@ -177,9 +203,13 @@ mod tests {
             version: 7,
             top_k: 5,
             approx: true,
+            request_id: rid,
+            shard: Some(2),
         });
         let json = log.render_json();
         assert!(json.starts_with("{\"threshold_us\":0,\"capacity\":4,\"entries\":["));
+        assert!(json.contains(&format!("\"request_id\":\"{}\"", rid.to_hex())));
+        assert!(json.contains("\"shard\":2"));
         assert!(json.contains("\"seed\":42"));
         assert!(json.contains("\"latency_us\":1234"));
         assert!(json.contains("\"iterations\":9"));

@@ -15,9 +15,11 @@ use crate::cache::{QueryKey, ResponseCache, ResponseMode};
 use crate::http::{self, ParseError, Request};
 use crate::metrics::{render_live_metrics, render_obs_metrics, Metrics};
 use crate::slowlog::{SlowQuery, SlowQueryLog};
+use crate::trace::{TraceLog, TracedQuery};
 use bepi_core::rwr::RwrSolver;
 use bepi_core::EdgeUpdate;
 use bepi_live::LiveEngine;
+use bepi_obs::trace::{RequestId, TraceEvent, TraceExporter};
 use bepi_sparse::SparseError;
 use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
@@ -84,6 +86,16 @@ pub struct WorkerContext {
     /// header (`None` outside a sharded fleet). The `bepi route` front
     /// tier uses it to attribute responses to shard processes.
     pub shard: Option<String>,
+    /// Numeric form of the shard id, stamped into slowlog and trace-ring
+    /// records so fleet-wide correlation does not re-parse the header.
+    pub shard_id: Option<u64>,
+    /// Ring buffer behind `GET /debug/trace`: the most recent `?trace=1`
+    /// queries with their per-stage timings.
+    pub trace_log: Arc<TraceLog>,
+    /// Chrome trace-event exporter (`--trace-export`); `None` disables
+    /// export. Only traced (`?trace=1`) requests are exported, so the
+    /// untraced hot path never touches the file.
+    pub exporter: Option<Arc<TraceExporter>>,
     /// Live count of dedicated keep-alive connection threads, bounded
     /// by [`WorkerContext::keepalive_cap`].
     pub keepalive_threads: AtomicUsize,
@@ -398,6 +410,17 @@ fn serve_one(
             );
             kept(keep_alive)
         }
+        ("GET", "/debug/trace") => {
+            respond_conn(
+                stream,
+                200,
+                "application/json",
+                &[],
+                &ctx.trace_log.render_json(),
+                keep_alive,
+            );
+            kept(keep_alive)
+        }
         ("POST", "/edges") => {
             handle_edges(stream, &request, ctx);
             Served::Close
@@ -406,7 +429,7 @@ fn serve_one(
             handle_rebuild(stream, ctx);
             Served::Close
         }
-        (_, "/healthz" | "/metrics" | "/query" | "/version" | "/debug/slow") => {
+        (_, "/healthz" | "/metrics" | "/query" | "/version" | "/debug/slow" | "/debug/trace") => {
             method_not_allowed(stream, ctx, "GET");
             Served::Close
         }
@@ -423,7 +446,7 @@ fn serve_one(
                 &[],
                 &http::json_error_body(
                     "unknown path (try /query, /healthz, /metrics, /version, /debug/slow, \
-                     /edges, /rebuild)",
+                     /debug/trace, /edges, /rebuild)",
                 ),
             );
             Served::Close
@@ -464,6 +487,17 @@ fn handle_query(
     // Queue wait: admission to worker pickup.
     let queue_wait = started.saturating_duration_since(accepted_at);
     let trace = request.params.get("trace").map(String::as_str) == Some("1");
+    // Adopt the caller's correlation id (the router mints one at ingress
+    // and propagates it on every attempt) or mint one here — a
+    // standalone daemon IS the ingress. Echoed on the response, stamped
+    // into the slowlog, and — for traced requests — the trace ring and
+    // the Chrome export, so one grep follows the request everywhere.
+    let rid = request
+        .request_id
+        .as_deref()
+        .and_then(RequestId::parse)
+        .unwrap_or_else(RequestId::mint);
+    let rid_hex = rid.to_hex();
     // One snapshot for the whole request: validation, cache key, solve,
     // and the version header all agree even across a concurrent swap.
     let snapshot = ctx.engine.current();
@@ -556,8 +590,9 @@ fn handle_query(
         mode,
     };
     let approx = matches!(mode, ResponseMode::Approx { .. });
-    let mut headers: Vec<(&str, &str)> = Vec::with_capacity(4);
+    let mut headers: Vec<(&str, &str)> = Vec::with_capacity(5);
     headers.push(("X-Graph-Version", &version_header));
+    headers.push(("X-Request-Id", &rid_hex));
     headers.extend(ctx.shard_header());
     if approx {
         headers.push(("X-Approx", "1"));
@@ -577,6 +612,7 @@ fn handle_query(
         if trace {
             let traced = with_trace(
                 &body,
+                &rid_hex,
                 queue_wait,
                 Duration::ZERO,
                 Duration::ZERO,
@@ -604,7 +640,23 @@ fn handle_query(
             version: key.version,
             top_k: key.top_k as u64,
             approx,
+            request_id: rid,
+            shard: ctx.shard_id,
         });
+        if trace {
+            record_traced(
+                ctx,
+                rid,
+                &rid_hex,
+                key,
+                queue_wait,
+                Duration::ZERO,
+                Duration::ZERO,
+                Duration::ZERO,
+                total,
+                true,
+            );
+        }
         return kept(keep_alive);
     }
 
@@ -661,6 +713,7 @@ fn handle_query(
         // and spliced in only for the response that asked for it.
         let traced = with_trace(
             &body,
+            &rid_hex,
             queue_wait,
             solve_time,
             topk_time,
@@ -688,16 +741,135 @@ fn handle_query(
         version: key.version,
         top_k: key.top_k as u64,
         approx,
+        request_id: rid,
+        shard: ctx.shard_id,
     });
+    if trace {
+        record_traced(
+            ctx,
+            rid,
+            &rid_hex,
+            key,
+            queue_wait,
+            solve_time,
+            topk_time,
+            serialize_time,
+            total,
+            false,
+        );
+    }
     kept(keep_alive)
+}
+
+/// Books a traced request into the trace ring, the structured log, and
+/// (when `--trace-export` is active) the Chrome trace file. Off the
+/// untraced hot path entirely.
+#[allow(clippy::too_many_arguments)]
+fn record_traced(
+    ctx: &WorkerContext,
+    rid: RequestId,
+    rid_hex: &str,
+    key: QueryKey,
+    queue: Duration,
+    solve: Duration,
+    topk: Duration,
+    serialize: Duration,
+    total: Duration,
+    cache_hit: bool,
+) {
+    ctx.trace_log.record(&TracedQuery {
+        request_id: rid,
+        seed: key.seed as u64,
+        top_k: key.top_k as u64,
+        queue_us: queue.as_micros() as u64,
+        solve_us: solve.as_micros() as u64,
+        topk_us: topk.as_micros() as u64,
+        serialize_us: serialize.as_micros() as u64,
+        total_us: total.as_micros() as u64,
+        cache_hit,
+        version: key.version,
+        shard: ctx.shard_id,
+    });
+    bepi_obs::info!(
+        "server",
+        "traced query",
+        request_id = rid_hex,
+        seed = key.seed,
+        cache_hit = cache_hit,
+        total_us = total.as_micros()
+    );
+    let Some(exporter) = &ctx.exporter else {
+        return;
+    };
+    // Trace lanes: pid = shard id (0 for a standalone daemon), tid = the
+    // serving thread's ordinal — worker, degraded, or keep-alive thread.
+    let pid = ctx.shard_id.unwrap_or(0);
+    let tid = trace_tid();
+    let total_us = total.as_micros() as u64;
+    let end = bepi_obs::clock_us();
+    let start = end.saturating_sub(total_us);
+    let name = format!("query seed={}", key.seed);
+    exporter.emit(&TraceEvent {
+        name: &name,
+        cat: "serve",
+        ts_us: start,
+        dur_us: total_us,
+        pid,
+        tid,
+        args: &[
+            ("request_id", rid_hex),
+            ("cache", if cache_hit { "hit" } else { "miss" }),
+        ],
+    });
+    let mut cursor = start;
+    for (stage, d) in [
+        ("queue", queue),
+        ("solve", solve),
+        ("topk", topk),
+        ("serialize", serialize),
+    ] {
+        let us = d.as_micros() as u64;
+        if us > 0 {
+            exporter.emit(&TraceEvent {
+                name: stage,
+                cat: "serve",
+                ts_us: cursor,
+                dur_us: us,
+                pid,
+                tid,
+                args: &[("request_id", rid_hex)],
+            });
+        }
+        cursor += us;
+    }
+}
+
+/// A small stable ordinal for the current serving thread, used as the
+/// `tid` lane in exported traces (worker pool, degraded, and keep-alive
+/// threads each get their own lane in order of first export).
+fn trace_tid() -> u64 {
+    use std::cell::Cell;
+    static NEXT_TID: AtomicUsize = AtomicUsize::new(1);
+    thread_local! {
+        static TID: Cell<u64> = const { Cell::new(0) };
+    }
+    TID.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed) as u64);
+        }
+        t.get()
+    })
 }
 
 /// Splices the `?trace=1` stage-timing breakdown into a rendered `/query`
 /// body (which always ends in `}`). Stages are reported in microseconds;
 /// their sum is ≤ `total_us` — the remainder is parse and dispatch
-/// overhead not attributed to a named stage.
+/// overhead not attributed to a named stage. The request id makes the
+/// body self-correlating: the same hex id is on the `X-Request-Id`
+/// header, in `/debug/slow`, `/debug/trace`, and any trace export.
 fn with_trace(
     body: &str,
+    rid_hex: &str,
     queue: Duration,
     solve: Duration,
     topk: Duration,
@@ -706,9 +878,10 @@ fn with_trace(
 ) -> String {
     debug_assert!(body.ends_with('}'));
     format!(
-        "{},\"trace\":{{\"queue_us\":{},\"solve_us\":{},\"topk_us\":{},\
-         \"serialize_us\":{},\"total_us\":{}}}}}",
+        "{},\"trace\":{{\"request_id\":\"{}\",\"queue_us\":{},\"solve_us\":{},\
+         \"topk_us\":{},\"serialize_us\":{},\"total_us\":{}}}}}",
         &body[..body.len() - 1],
+        rid_hex,
         queue.as_micros(),
         solve.as_micros(),
         topk.as_micros(),
@@ -1112,6 +1285,7 @@ mod tests {
                 .collect(),
             body: String::new(),
             keep_alive: false,
+            request_id: None,
         };
         assert_eq!(
             parse_query_params(&req("seed=3&top=4"), 10).unwrap(),
@@ -1150,6 +1324,7 @@ mod tests {
                 .collect(),
             body: String::new(),
             keep_alive: false,
+            request_id: None,
         };
         let mode = |q: &str| parse_query_params(&req(q), 10).unwrap().mode;
         assert_eq!(mode("seed=1"), RequestMode::Auto);

@@ -310,6 +310,105 @@ exec 5>&-
 wait "$RT_PID"
 RT_PID=""
 
+# Trace-propagation drill: boot the router over two shards with tracing
+# fully open (slowlog threshold 0 on both tiers, Chrome trace export on),
+# force one traced request onto the failover path by SIGKILLing its
+# primary shard, and require the *same* request id to surface in the
+# router's slowlog, the answering shard's slowlog, and the exported
+# trace file — the cross-process correlation contract, end to end. The
+# router's /metrics must also pass the exposition checker with both
+# shards' series merged under shard= labels.
+echo "==> trace-propagation drill (request id across router, shard, slowlog, export)"
+TR_TMP=$(mktemp -d)
+cleanup_tr() {
+  exec 4>&- 2>/dev/null || true
+  [ -n "${TR_PID:-}" ] && kill "$TR_PID" 2>/dev/null || true
+  rm -rf "$TR_TMP"
+}
+trap 'cleanup_obs; cleanup_mmap; cleanup_sat; cleanup_rt; cleanup_tr' EXIT
+python3 - "$TR_TMP/edges.txt" <<'EOF'
+import sys
+with open(sys.argv[1], "w") as f:
+    n = 64
+    for i in range(n):
+        f.write(f"{i} {(i + 1) % n}\n")
+        f.write(f"{i} {(i * 7 + 3) % n}\n")
+EOF
+./target/release/bepi preprocess "$TR_TMP/edges.txt" "$TR_TMP/index.bepi" \
+  --format v6 --embed-graph
+mkfifo "$TR_TMP/fifo"
+exec 4<> "$TR_TMP/fifo"
+./target/release/bepi route "$TR_TMP/index.bepi" --shards 2 --mmap \
+  --health-interval-ms 50 --slow-query-ms 0 --trace-export "$TR_TMP/trace.json" \
+  < "$TR_TMP/fifo" > "$TR_TMP/route.log" 2>&1 4>&- &
+TR_PID=$!
+TR_ADDR=""
+for _ in $(seq 1 100); do
+  TR_ADDR=$(sed -n 's#^bepi-route listening on http://\([0-9.:]*\).*#\1#p' "$TR_TMP/route.log" | head -n1)
+  [ -n "$TR_ADDR" ] && break
+  kill -0 "$TR_PID" 2>/dev/null || { cat "$TR_TMP/route.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$TR_ADDR" ] || { echo "router never reported its address"; cat "$TR_TMP/route.log"; exit 1; }
+# Fleet-aggregated exposition: warmed through the router, validated with
+# the same checker a shard gets, plus the shard-label coverage check.
+./target/release/metrics_check "$TR_ADDR" --warm-queries 8 --expect-shards 2
+python3 - "$TR_ADDR" "$TR_TMP/route.log" "$TR_TMP/trace.json" <<'EOF'
+import json, os, re, signal, sys, time, urllib.request
+
+addr, log_path, export_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+shards = {}  # id -> (addr, pid)
+with open(log_path) as f:
+    for line in f:
+        m = re.match(r"shard (\d+): http://([0-9.:]+) healthy=\S+ pid=(\d+)", line)
+        if m:
+            shards[int(m.group(1))] = (m.group(2), int(m.group(3)))
+assert len(shards) == 2, f"expected 2 shard announce lines, got {shards}"
+
+def get(base, target):
+    with urllib.request.urlopen(f"http://{base}{target}", timeout=30) as r:
+        return r.status, dict(r.headers), r.read().decode()
+
+# A traced query through the healthy fleet identifies the seed's primary
+# shard, and its body already correlates header, route block, and the
+# shard's own trace block under one id.
+_, hdrs, body = get(addr, "/query?seed=5&top=4&trace=1")
+doc = json.loads(body)
+primary = int(doc["route"]["shard"])
+rid0 = hdrs["X-Request-Id"]
+assert doc["route"]["request_id"] == rid0 == doc["trace"]["request_id"], body
+assert doc["route"]["attempts"][0]["kind"] == "primary", body
+
+# SIGKILL the answering shard and re-issue immediately — before the
+# supervisor can respawn it and the 50ms probe re-admit it — so the
+# sibling must answer, with the failover visible in the per-attempt
+# trace. (The respawn path itself is the previous drill's assertion.)
+os.kill(shards[primary][1], signal.SIGKILL)
+status, hdrs, body = get(addr, "/query?seed=5&top=4&trace=1")
+assert status == 200, f"failover must be invisible: {status}"
+doc = json.loads(body)
+rid = hdrs["X-Request-Id"]
+assert doc["route"]["request_id"] == rid == doc["trace"]["request_id"], body
+survivor = int(doc["route"]["shard"])
+assert survivor != primary, f"dead shard {primary} cannot have answered: {body}"
+kinds = [a["kind"] for a in doc["route"]["attempts"]]
+assert any(k in ("failover", "retry", "hedge") for k in kinds), kinds
+
+# The one id correlates the router slowlog, the answering shard's
+# slowlog, and the Chrome trace export — three processes, one story.
+_, _, router_slow = get(addr, "/debug/slow")
+assert rid in router_slow, f"router slowlog missing {rid}: {router_slow}"
+_, _, shard_slow = get(shards[survivor][0], "/debug/slow")
+assert rid in shard_slow, f"shard {survivor} slowlog missing {rid}: {shard_slow}"
+with open(export_path) as f:
+    assert rid in f.read(), f"trace export missing {rid}"
+print(f"trace propagation: id {rid} in router slowlog, shard {survivor} slowlog, and export")
+EOF
+exec 4>&-
+wait "$TR_PID"
+TR_PID=""
+
 # Bench-harness smoke: the quick presets must run end to end and emit
 # schema-valid artifacts — bepi-bench/v1 clearing the approximate-lane
 # quality bar (both engines at precision@20 >= 0.9 on every dataset;
@@ -322,6 +421,12 @@ BENCH_TMP=$(mktemp -d)
 ./target/release/bench_check --min-precision 0.9 "$BENCH_TMP/BENCH_PR6.json"
 echo "==> route bench smoke (bepi bench --route --quick)"
 ./target/release/bepi bench --route --quick --out "$BENCH_TMP/BENCH_PR7.json"
+./target/release/bench_check "$BENCH_TMP/BENCH_PR7.json"
+# The trace bench's validation is the tracing-overhead gate itself:
+# traced p50 within 5% of untraced, every traced body id-consistent.
+echo "==> trace bench smoke (bepi bench --trace --quick)"
+./target/release/bepi bench --trace --quick --out "$BENCH_TMP/BENCH_PR8.json"
+./target/release/bench_check "$BENCH_TMP/BENCH_PR8.json"
 rm -rf "$BENCH_TMP"
 
 echo "==> ci OK"
