@@ -10,7 +10,10 @@
 //! * `bepi-route-bench/v1` — router-vs-single throughput (fails unless
 //!   the router's bodies were bit-identical to the single daemon's),
 //! * `bepi-trace-bench/v1` — tracing overhead (fails unless traced p50
-//!   stayed within the 5% gate and every traced body was id-consistent).
+//!   stayed within the 5% gate and every traced body was id-consistent),
+//! * `bepi-rebuild-bench/v1` — full-vs-incremental rebuild latency
+//!   (fails unless every batch took the numeric fast path, the arms'
+//!   scores agreed, and incremental p50 beat full p50 on every anchor).
 //!
 //! CI runs this on the smoke artifacts so neither the schemas nor the
 //! gates they encode can silently drift.
@@ -18,7 +21,7 @@
 use std::process::ExitCode;
 
 use bepi_bench::perf::json;
-use bepi_bench::{perf, route, trace};
+use bepi_bench::{perf, rebuild, route, trace};
 
 fn main() -> ExitCode {
     let mut min_precision: Option<f64> = None;
@@ -88,12 +91,14 @@ fn check_one(text: &str, min_precision: Option<f64>) -> Result<String, String> {
         },
         s if s == route::SCHEMA => route::validate_json(text)?,
         s if s == trace::SCHEMA => trace::validate_json(text)?,
+        s if s == rebuild::SCHEMA => rebuild::validate_json(text)?,
         s => {
             return Err(format!(
-                "unknown schema {s:?} (known: {}, {}, {})",
+                "unknown schema {s:?} (known: {}, {}, {}, {})",
                 perf::SCHEMA,
                 route::SCHEMA,
-                trace::SCHEMA
+                trace::SCHEMA,
+                rebuild::SCHEMA
             ))
         }
     }

@@ -25,6 +25,7 @@ pub mod experiments;
 pub mod fit;
 pub mod harness;
 pub mod perf;
+pub mod rebuild;
 pub mod route;
 pub mod table;
 pub mod trace;

@@ -1,0 +1,542 @@
+//! The `bepi bench --rebuild` driver: full-vs-incremental rebuild
+//! latency, with a machine-readable `BENCH_PR10.json` artifact.
+//!
+//! The question the artifact answers is whether the symbolic/numeric
+//! split pays for itself: **when a small edge batch arrives, how much
+//! cheaper is a plan-frozen numeric refactorization than a from-scratch
+//! preprocess?** Per anchor graph, one index is preprocessed, and then a
+//! sequence of small numeric-safe batches (alternately removing and
+//! re-inserting the same original edges, each source keeping out-degree
+//! ≥ 2 so no deadend flips) is pushed through both arms:
+//!
+//! * **full** — `BePi::preprocess` of the updated graph, the price a
+//!   rebuild pays without the split (deadend reorder + SlashBurn +
+//!   assembly + factorization, every batch);
+//! * **incremental** — `classify` + `BePi::refactor` under the frozen
+//!   [`bepi_core::SymbolicPlan`], the price the live daemon's fast path
+//!   pays.
+//!
+//! Both arms see the identical updated graph; the incremental arm's
+//! result is carried forward as the serving index (exactly what
+//! `bepi-live` does), so later batches measure refactor-on-refactor,
+//! not refactor-on-pristine. Correctness rides along: every batch must
+//! classify numeric-only (`numeric_ok`), and the two arms' scores must
+//! agree (`max_score_diff`) — a fast path that answers differently is a
+//! regression, not a speedup.
+//!
+//! The headline gate is [`MIN_SPEEDUP`]: incremental p50 must beat full
+//! p50 on **every** anchor graph.
+
+use bepi_core::dynamic::apply_updates;
+use bepi_core::rwr::RwrSolver;
+use bepi_core::{classify, BePi, BePiConfig, Classification, EdgeUpdate};
+use bepi_graph::{Dataset, Graph};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::perf::json;
+
+/// Schema tag stamped into (and required from) every rebuild artifact.
+pub const SCHEMA: &str = "bepi-rebuild-bench/v1";
+
+/// The gate: incremental p50 must be at least this many times faster
+/// than full p50 on every dataset (1.0 = strictly faster).
+pub const MIN_SPEEDUP: f64 = 1.0;
+
+/// Score agreement required between the two arms.
+pub const MAX_SCORE_DIFF: f64 = 1e-6;
+
+/// Configuration for a [`run`].
+#[derive(Debug, Clone)]
+pub struct RebuildBenchConfig {
+    /// Anchor graphs to measure.
+    pub datasets: Vec<Dataset>,
+    /// Edge batches pushed through both arms per dataset.
+    pub batches: usize,
+    /// Edges per batch.
+    pub batch_size: usize,
+    /// Seeds queried per batch for the score-agreement check.
+    pub query_seeds: usize,
+    /// Marks the artifact as a reduced smoke run.
+    pub quick: bool,
+}
+
+impl RebuildBenchConfig {
+    /// The CI smoke configuration: smallest anchor graph, few batches.
+    pub fn quick() -> Self {
+        Self {
+            datasets: vec![Dataset::Slashdot],
+            batches: 4,
+            batch_size: 8,
+            query_seeds: 2,
+            quick: true,
+        }
+    }
+
+    /// The full configuration: the Bear-feasible anchor graphs.
+    pub fn full() -> Self {
+        Self {
+            datasets: Dataset::small().to_vec(),
+            batches: 8,
+            batch_size: 8,
+            query_seeds: 3,
+            quick: false,
+        }
+    }
+}
+
+/// One arm's per-batch rebuild-latency distribution.
+#[derive(Debug, Clone)]
+pub struct ArmRun {
+    /// Batches in the timed phase.
+    pub batches: usize,
+    /// Median rebuild latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile rebuild latency, microseconds.
+    pub p95_us: f64,
+    /// Mean rebuild latency, microseconds.
+    pub mean_us: f64,
+}
+
+impl ArmRun {
+    fn from_samples(mut us: Vec<f64>) -> ArmRun {
+        us.sort_by(|a, b| a.total_cmp(b));
+        let pick = |q: f64| us[((us.len() - 1) as f64 * q).round() as usize];
+        ArmRun {
+            batches: us.len(),
+            p50_us: pick(0.5),
+            p95_us: pick(0.95),
+            mean_us: us.iter().sum::<f64>() / us.len() as f64,
+        }
+    }
+}
+
+/// Full-vs-incremental comparison on one dataset.
+#[derive(Debug, Clone)]
+pub struct RebuildDatasetReport {
+    /// Dataset name (the `*-like` anchor-graph label).
+    pub dataset: String,
+    /// Nodes in the generated graph.
+    pub n: usize,
+    /// Edges in the generated graph.
+    pub m: usize,
+    /// Whether every batch classified numeric-only (the fast path).
+    pub numeric_ok: bool,
+    /// Worst score disagreement between the arms over all batches/seeds.
+    pub max_score_diff: f64,
+    /// The from-scratch preprocess arm.
+    pub full: ArmRun,
+    /// The classify + refactor arm.
+    pub incremental: ArmRun,
+}
+
+impl RebuildDatasetReport {
+    /// Full p50 over incremental p50 (how many times faster the
+    /// incremental path is; > 1.0 means it wins).
+    pub fn speedup(&self) -> f64 {
+        if self.incremental.p50_us > 0.0 {
+            self.full.p50_us / self.incremental.p50_us
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A complete rebuild bench run.
+#[derive(Debug, Clone)]
+pub struct RebuildReport {
+    /// Whether this was the reduced smoke configuration.
+    pub quick: bool,
+    /// Cores visible to the process when the run started.
+    pub available_parallelism: usize,
+    /// Edge batches per dataset.
+    pub batches: usize,
+    /// Edges per batch.
+    pub batch_size: usize,
+    /// Seeds checked per batch.
+    pub query_seeds: usize,
+    /// Per-dataset measurements.
+    pub datasets: Vec<RebuildDatasetReport>,
+}
+
+/// Picks `batch_size` edges with distinct sources, every source keeping
+/// out-degree ≥ 2 after removal (out-degree ≥ 3 before), so removing
+/// and re-inserting them is always a numeric-only change.
+fn pick_safe_edges(g: &Graph, batch_size: usize) -> Result<Vec<(usize, usize)>, String> {
+    let mut edges = Vec::with_capacity(batch_size);
+    for u in 0..g.n() {
+        if g.out_degree(u) >= 3 {
+            let v = g.out_neighbors(u).next().expect("degree >= 3");
+            edges.push((u, v));
+            if edges.len() == batch_size {
+                return Ok(edges);
+            }
+        }
+    }
+    Err(format!(
+        "graph has only {} sources with out-degree >= 3, need {batch_size}",
+        edges.len()
+    ))
+}
+
+/// Runs the full-vs-incremental rebuild workload, entirely in-process.
+pub fn run(cfg: &RebuildBenchConfig) -> Result<RebuildReport, String> {
+    let mut datasets = Vec::with_capacity(cfg.datasets.len());
+    for &ds in &cfg.datasets {
+        let spec = ds.spec();
+        let g = spec.generate();
+        let bcfg = BePiConfig {
+            hub_ratio: Some(spec.hub_ratio),
+            ..BePiConfig::default()
+        };
+        let base = BePi::preprocess(&g, &bcfg).map_err(|e| format!("{}: {e}", spec.name))?;
+        let plan = base.symbolic_plan();
+        let edges = pick_safe_edges(&g, cfg.batch_size)?;
+        let stride = (g.n() / cfg.query_seeds.max(1)).max(1);
+        let seeds: Vec<usize> = (0..cfg.query_seeds).map(|i| (i * stride) % g.n()).collect();
+
+        let mut full_us = Vec::with_capacity(cfg.batches);
+        let mut incr_us = Vec::with_capacity(cfg.batches);
+        let mut max_score_diff: f64 = 0.0;
+        let mut cur_graph = g.clone();
+        let mut cur_solver = base;
+        for b in 0..cfg.batches {
+            // Even batches remove the safe edges, odd batches put them
+            // back — the graph oscillates one small step around the
+            // original, the way a live stream of corrections would.
+            let updates: Vec<EdgeUpdate> = edges
+                .iter()
+                .map(|&(u, v)| {
+                    if b % 2 == 0 {
+                        EdgeUpdate::Remove(u, v)
+                    } else {
+                        EdgeUpdate::Insert(u, v)
+                    }
+                })
+                .collect();
+            let sources: Vec<usize> = edges.iter().map(|&(u, _)| u).collect();
+            let new_graph = apply_updates(&cur_graph, &updates)
+                .map_err(|e| format!("{} batch {b}: {e}", spec.name))?;
+
+            let start = Instant::now();
+            let full = BePi::preprocess(&new_graph, &bcfg)
+                .map_err(|e| format!("{} batch {b} full: {e}", spec.name))?;
+            full_us.push(start.elapsed().as_secs_f64() * 1e6);
+
+            let start = Instant::now();
+            let incremental = match classify(&plan, &cur_graph, &new_graph, &sources) {
+                Classification::NumericOnly(dirty) => cur_solver
+                    .refactor(&new_graph, &dirty)
+                    .map_err(|e| format!("{} batch {b} refactor: {e}", spec.name))?,
+                Classification::Structural(why) => {
+                    return Err(format!(
+                        "{} batch {b}: expected numeric-only, classified structural: {why}",
+                        spec.name
+                    ));
+                }
+            };
+            incr_us.push(start.elapsed().as_secs_f64() * 1e6);
+
+            for &seed in &seeds {
+                let a = full
+                    .query(seed)
+                    .map_err(|e| format!("{} full query {seed}: {e}", spec.name))?;
+                let b = incremental
+                    .query(seed)
+                    .map_err(|e| format!("{} incremental query {seed}: {e}", spec.name))?;
+                let diff = a
+                    .scores
+                    .iter()
+                    .zip(&b.scores)
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0, f64::max);
+                max_score_diff = max_score_diff.max(diff);
+            }
+
+            cur_graph = new_graph;
+            cur_solver = incremental;
+        }
+
+        // A structural batch has already errored out above, so every
+        // surviving batch took the fast path.
+        datasets.push(RebuildDatasetReport {
+            dataset: spec.name.to_string(),
+            n: g.n(),
+            m: g.m(),
+            numeric_ok: true,
+            max_score_diff,
+            full: ArmRun::from_samples(full_us),
+            incremental: ArmRun::from_samples(incr_us),
+        });
+    }
+    Ok(RebuildReport {
+        quick: cfg.quick,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        batches: cfg.batches,
+        batch_size: cfg.batch_size,
+        query_seeds: cfg.query_seeds,
+        datasets,
+    })
+}
+
+/// Renders the human-readable comparison table.
+pub fn render_table(report: &RebuildReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bepi bench --rebuild ({} cores visible, {} batches x {} edges{})",
+        report.available_parallelism,
+        report.batches,
+        report.batch_size,
+        if report.quick { ", quick" } else { "" }
+    );
+    for ds in &report.datasets {
+        let _ = writeln!(
+            out,
+            "\n{} (n = {}, m = {}, numeric-ok: {}, max score diff: {:.2e})",
+            ds.dataset, ds.n, ds.m, ds.numeric_ok, ds.max_score_diff
+        );
+        let mut table =
+            crate::table::Table::new(vec!["arm", "batches", "p50", "p95", "mean", "speedup"]);
+        for (arm, run) in [("full", &ds.full), ("incremental", &ds.incremental)] {
+            table.row(vec![
+                arm.to_string(),
+                run.batches.to_string(),
+                format!("{:.1}us", run.p50_us),
+                format!("{:.1}us", run.p95_us),
+                format!("{:.1}us", run.mean_us),
+                if arm == "incremental" {
+                    format!("{:.2}x", ds.speedup())
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
+        out.push_str(&table.render());
+    }
+    out
+}
+
+/// Serializes a report to the `bepi-rebuild-bench/v1` JSON document.
+pub fn to_json(report: &RebuildReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"quick\": {},", report.quick);
+    let _ = writeln!(
+        out,
+        "  \"available_parallelism\": {},",
+        report.available_parallelism
+    );
+    let _ = writeln!(out, "  \"batches\": {},", report.batches);
+    let _ = writeln!(out, "  \"batch_size\": {},", report.batch_size);
+    let _ = writeln!(out, "  \"query_seeds\": {},", report.query_seeds);
+    out.push_str("  \"datasets\": [\n");
+    for (i, ds) in report.datasets.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"dataset\": \"{}\",", ds.dataset);
+        let _ = writeln!(out, "      \"n\": {},", ds.n);
+        let _ = writeln!(out, "      \"m\": {},", ds.m);
+        let _ = writeln!(out, "      \"numeric_ok\": {},", ds.numeric_ok);
+        let _ = writeln!(out, "      \"max_score_diff\": {:e},", ds.max_score_diff);
+        for (arm, run) in [("full", &ds.full), ("incremental", &ds.incremental)] {
+            let _ = writeln!(
+                out,
+                "      \"{arm}\": {{\"batches\": {}, \"p50_us\": {:.2}, \
+                 \"p95_us\": {:.2}, \"mean_us\": {:.2}}},",
+                run.batches, run.p50_us, run.p95_us, run.mean_us
+            );
+        }
+        let _ = writeln!(out, "      \"speedup\": {:.4}", ds.speedup());
+        out.push_str(if i + 1 < report.datasets.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Validates a `bepi-rebuild-bench/v1` document: well-formed JSON,
+/// correct schema tag, sane parameters, non-empty datasets each with
+/// complete `full`/`incremental` arms, `numeric_ok: true`, score
+/// agreement within [`MAX_SCORE_DIFF`], and the headline gate —
+/// `speedup` above [`MIN_SPEEDUP`] on every dataset. An incremental
+/// path that loses to a from-scratch preprocess is a regression, not a
+/// measurement.
+pub fn validate_json(text: &str) -> std::result::Result<(), String> {
+    let value = json::parse(text)?;
+    let obj = value.as_object().ok_or("top level must be an object")?;
+    match json::get(obj, "schema").and_then(|v| v.as_str()) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(format!("unknown schema {s:?}, expected {SCHEMA:?}")),
+        None => return Err("missing \"schema\" tag".into()),
+    }
+    json::get(obj, "quick")
+        .and_then(|v| v.as_bool())
+        .ok_or("missing boolean \"quick\"")?;
+    for (key, min) in [
+        ("available_parallelism", 1.0),
+        ("batches", 2.0),
+        ("batch_size", 1.0),
+        ("query_seeds", 1.0),
+    ] {
+        let v = json::get(obj, key)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("missing numeric \"{key}\""))?;
+        if v < min {
+            return Err(format!("\"{key}\" must be >= {min}"));
+        }
+    }
+    let datasets = json::get(obj, "datasets")
+        .and_then(|v| v.as_array())
+        .ok_or("missing \"datasets\" array")?;
+    if datasets.is_empty() {
+        return Err("\"datasets\" must be non-empty".into());
+    }
+    for (i, ds) in datasets.iter().enumerate() {
+        let ds = ds
+            .as_object()
+            .ok_or_else(|| format!("dataset {i} must be an object"))?;
+        json::get(ds, "dataset")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("dataset {i}: missing \"dataset\" name"))?;
+        for key in ["n", "m"] {
+            json::get(ds, key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("dataset {i}: missing numeric \"{key}\""))?;
+        }
+        if json::get(ds, "numeric_ok").and_then(|v| v.as_bool()) != Some(true) {
+            return Err(format!(
+                "dataset {i}: \"numeric_ok\" must be true (every batch must \
+                 take the numeric-only fast path)"
+            ));
+        }
+        let diff = json::get(ds, "max_score_diff")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("dataset {i}: missing \"max_score_diff\""))?;
+        if !diff.is_finite() || diff > MAX_SCORE_DIFF {
+            return Err(format!(
+                "dataset {i}: \"max_score_diff\" is {diff:e}, the arms must \
+                 agree within {MAX_SCORE_DIFF:e}"
+            ));
+        }
+        for arm in ["full", "incremental"] {
+            let a = json::get(ds, arm)
+                .and_then(|v| v.as_object())
+                .ok_or_else(|| format!("dataset {i}: missing \"{arm}\" object"))?;
+            for key in ["batches", "p50_us", "p95_us", "mean_us"] {
+                let v = json::get(a, key)
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("dataset {i} {arm}: missing numeric \"{key}\""))?;
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(format!(
+                        "dataset {i} {arm}: \"{key}\" must be finite and positive"
+                    ));
+                }
+            }
+        }
+        let v = json::get(ds, "speedup")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("dataset {i}: missing \"speedup\""))?;
+        if !v.is_finite() || v <= MIN_SPEEDUP {
+            return Err(format!(
+                "dataset {i}: \"speedup\" is {v:.2}, the gate is incremental \
+                 p50 beating full p50 (> {MIN_SPEEDUP}x) on every dataset"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> RebuildReport {
+        RebuildReport {
+            quick: true,
+            available_parallelism: 1,
+            batches: 4,
+            batch_size: 8,
+            query_seeds: 2,
+            datasets: vec![RebuildDatasetReport {
+                dataset: "slashdot-like".into(),
+                n: 2048,
+                m: 14000,
+                numeric_ok: true,
+                max_score_diff: 3.0e-12,
+                full: ArmRun {
+                    batches: 4,
+                    p50_us: 120000.0,
+                    p95_us: 150000.0,
+                    mean_us: 125000.0,
+                },
+                incremental: ArmRun {
+                    batches: 4,
+                    p50_us: 6000.0,
+                    p95_us: 9000.0,
+                    mean_us: 6500.0,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_validation() {
+        validate_json(&to_json(&tiny_report())).unwrap();
+    }
+
+    #[test]
+    fn speedup_is_the_p50_ratio() {
+        let ds = &tiny_report().datasets[0];
+        assert!((ds.speedup() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tampered_documents_fail_validation() {
+        assert!(validate_json("{}").is_err());
+        assert!(validate_json("not json").is_err());
+        let wrong_schema = to_json(&tiny_report()).replace(SCHEMA, "bepi-rebuild-bench/v999");
+        assert!(validate_json(&wrong_schema).is_err());
+        let not_numeric =
+            to_json(&tiny_report()).replace("\"numeric_ok\": true", "\"numeric_ok\": false");
+        assert!(validate_json(&not_numeric).is_err());
+        let disagreeing =
+            to_json(&tiny_report()).replace("\"max_score_diff\": 3e-12", "\"max_score_diff\": 0.5");
+        assert!(validate_json(&disagreeing).is_err());
+        let dropped = to_json(&tiny_report()).replace("\"p95_us\": 150000.00, ", "");
+        assert!(validate_json(&dropped).is_err());
+        let losing = to_json(&tiny_report()).replace("\"speedup\": 20.0000", "\"speedup\": 0.9000");
+        assert!(validate_json(&losing).is_err());
+    }
+
+    #[test]
+    fn table_renders_both_arms() {
+        let s = render_table(&tiny_report());
+        assert!(s.contains("full"), "{s}");
+        assert!(s.contains("incremental"), "{s}");
+        assert!(s.contains("20.00x"), "{s}");
+        assert!(s.contains("numeric-ok: true"), "{s}");
+    }
+
+    #[test]
+    fn quick_run_beats_full_preprocess_and_agrees() {
+        // The real workload end-to-end on the smallest anchor, two
+        // batches — gates the machinery, not the timings.
+        let cfg = RebuildBenchConfig {
+            batches: 2,
+            ..RebuildBenchConfig::quick()
+        };
+        let report = run(&cfg).unwrap();
+        assert_eq!(report.datasets.len(), 1);
+        let ds = &report.datasets[0];
+        assert!(ds.numeric_ok);
+        assert!(
+            ds.max_score_diff <= MAX_SCORE_DIFF,
+            "arms disagree: {:e}",
+            ds.max_score_diff
+        );
+    }
+}

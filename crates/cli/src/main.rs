@@ -132,6 +132,12 @@ const USAGE: &str = "usage:
                   (tracing-overhead benchmark: interleaves plain and
                   ?trace=1 queries against one daemon; gate is traced p50
                   within 5% of untraced; writes BENCH_PR8.json)
+  bepi bench      --rebuild [--quick] [--batches K] [--batch-size B]
+                  [--datasets N] [--out PATH]
+                  (full-vs-incremental rebuild latency: small edge batches
+                  through a from-scratch preprocess vs a plan-frozen
+                  refactorization; gate is incremental p50 beating full
+                  p50 on every anchor; writes BENCH_PR10.json)
   bepi help       (aliases: --help, -h)
 
 common flags:
@@ -959,6 +965,9 @@ fn cmd_bench(flags: &[String]) -> Result<(), String> {
     if flags.iter().any(|f| f == "--trace") {
         return cmd_bench_trace(flags);
     }
+    if flags.iter().any(|f| f == "--rebuild") {
+        return cmd_bench_rebuild(flags);
+    }
     // --quick is a preset, applied before the other flags so they can
     // override parts of it regardless of argument order.
     let mut cfg = if flags.iter().any(|f| f == "--quick") {
@@ -1131,6 +1140,68 @@ fn cmd_bench_trace(flags: &[String]) -> Result<(), String> {
     print!("{}", trace::render_table(&report));
     let json = trace::to_json(&report);
     trace::validate_json(&json)?;
+    std::fs::write(&out_path, json).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("\nwrote {out_path}");
+    Ok(())
+}
+
+/// `bepi bench --rebuild`: the full-vs-incremental rebuild benchmark.
+/// Pushes small numeric-safe edge batches through a from-scratch
+/// preprocess and a plan-frozen refactorization side by side; the gate
+/// is incremental p50 beating full p50 on every anchor graph.
+fn cmd_bench_rebuild(flags: &[String]) -> Result<(), String> {
+    use bepi_bench::rebuild;
+
+    let mut cfg = if flags.iter().any(|f| f == "--quick") {
+        rebuild::RebuildBenchConfig::quick()
+    } else {
+        rebuild::RebuildBenchConfig::full()
+    };
+    let mut out_path = String::from("BENCH_PR10.json");
+    let mut rest = flags;
+    while let Some((flag, tail)) = rest.split_first() {
+        if flag == "--rebuild" || flag == "--quick" {
+            rest = tail;
+            continue;
+        }
+        let (value, tail) = tail
+            .split_first()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--out" => out_path = value.clone(),
+            "--batches" => {
+                cfg.batches = value
+                    .parse()
+                    .map_err(|_| format!("bad --batches: {value}"))?;
+                if cfg.batches < 2 {
+                    return Err("--batches must be at least 2".into());
+                }
+            }
+            "--batch-size" => {
+                cfg.batch_size = value
+                    .parse()
+                    .map_err(|_| format!("bad --batch-size: {value}"))?;
+                if cfg.batch_size == 0 {
+                    return Err("--batch-size must be at least 1".into());
+                }
+            }
+            "--datasets" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("bad --datasets: {value}"))?;
+                if n == 0 {
+                    return Err("--datasets must be at least 1".into());
+                }
+                cfg.datasets = bepi_graph::Dataset::all().into_iter().take(n).collect();
+            }
+            f => return Err(format!("unknown bench --rebuild flag: {f}")),
+        }
+        rest = tail;
+    }
+    let report = rebuild::run(&cfg)?;
+    print!("{}", rebuild::render_table(&report));
+    let json = rebuild::to_json(&report);
+    rebuild::validate_json(&json)?;
     std::fs::write(&out_path, json).map_err(|e| format!("writing {out_path}: {e}"))?;
     println!("\nwrote {out_path}");
     Ok(())

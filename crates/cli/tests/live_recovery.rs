@@ -6,7 +6,7 @@
 
 use bepi_core::dynamic::apply_updates;
 use bepi_core::prelude::*;
-use bepi_core::EdgeUpdate;
+use bepi_core::{classify, Classification, EdgeUpdate};
 use bepi_graph::Graph;
 use bepi_server::worker::render_query_body;
 use bepi_server::{QueryKey, ResponseMode};
@@ -63,15 +63,21 @@ struct Daemon {
 
 impl Daemon {
     fn spawn(index: &Path, wal: &Path) -> Self {
+        Self::spawn_with(index, wal, &[])
+    }
+
+    fn spawn_with(index: &Path, wal: &Path, extra: &[&str]) -> Self {
+        let mut args = vec![
+            "serve",
+            index.to_str().unwrap(),
+            "--listen",
+            "127.0.0.1:0",
+            "--wal",
+            wal.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
         let mut child = Command::new(BIN)
-            .args([
-                "serve",
-                index.to_str().unwrap(),
-                "--listen",
-                "127.0.0.1:0",
-                "--wal",
-                wal.to_str().unwrap(),
-            ])
+            .args(args)
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::piped())
@@ -129,6 +135,12 @@ impl Daemon {
             body.len()
         ))
     }
+
+    fn post_rebuild(&self) -> (u16, String) {
+        self.request(
+            "POST /rebuild HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        )
+    }
 }
 
 impl Drop for Daemon {
@@ -173,10 +185,19 @@ fn sigkill_and_restart_replays_acknowledged_updates() {
     let (status, served) = daemon2.get("/query?seed=0&top=10");
     assert_eq!(status, 200, "{served}");
 
-    // Oracle: apply the acknowledged updates and preprocess from scratch
-    // (BePI preprocessing is deterministic, so equality is exact).
+    // Oracle: apply the acknowledged updates and rebuild through the same
+    // path the daemon's replay takes — a numeric-only batch is refactored
+    // under the checkpoint's frozen symbolic plan, a structural one pays a
+    // full preprocess. Preprocessing is deterministic, so either way the
+    // equality is exact.
     let expected_graph = apply_updates(&graph, &updates).unwrap();
-    let solver = BePi::preprocess(&expected_graph, &BePiConfig::default()).unwrap();
+    let base = BePi::preprocess(&graph, &BePiConfig::default()).unwrap();
+    let solver = match classify(&base.symbolic_plan(), &graph, &expected_graph, &[0, 7]) {
+        Classification::NumericOnly(dirty) => base.refactor(&expected_graph, &dirty).unwrap(),
+        Classification::Structural(_) => {
+            BePi::preprocess(&expected_graph, &BePiConfig::default()).unwrap()
+        }
+    };
     let scores = solver.query(0).unwrap();
     let expected = render_query_body(
         QueryKey {
@@ -188,6 +209,88 @@ fn sigkill_and_restart_replays_acknowledged_updates() {
         &scores,
     );
     assert_eq!(served, expected, "replayed state must match byte-for-byte");
+
+    drop(daemon2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A numeric-only rebuild's v6 checkpoint must round-trip the symbolic
+/// plan: the checkpointed index was refactored under the *original*
+/// preprocess's frozen plan, and a daemon restarted on that checkpoint
+/// (WAL already compacted) must serve it byte-for-byte — proving the
+/// plan survived the v6 sections and the restart paid no fresh
+/// reordering that would have produced different bytes.
+#[test]
+fn numeric_checkpoint_round_trips_symbolic_plan_through_v6() {
+    let dir = temp_dir("plan_roundtrip");
+    let (edges_path, graph) = write_cycle(&dir);
+    let index = dir.join("index.bepi");
+    let wal = dir.join("updates.wal");
+    preprocess(&edges_path, &index);
+
+    // The daemon's frozen plan is the one the on-disk index carries —
+    // identical to a deterministic in-process preprocess of the same
+    // graph.
+    let base = BePi::preprocess(&graph, &BePiConfig::default()).unwrap();
+    let plan = base.symbolic_plan();
+
+    let updates = [EdgeUpdate::Insert(0, 20), EdgeUpdate::Insert(7, 33)];
+    let expected_graph = apply_updates(&graph, &updates).unwrap();
+    // This test is about the *numeric* path; fail loudly if the batch
+    // ever starts classifying structural.
+    let dirty = match classify(&plan, &graph, &expected_graph, &[0, 7]) {
+        Classification::NumericOnly(dirty) => dirty,
+        Classification::Structural(why) => panic!("batch must stay numeric-only: {why}"),
+    };
+
+    // First daemon: v6 (mmap) checkpoints; rebuild takes the numeric
+    // path and checkpoints the refactored index over `index.bepi`.
+    {
+        let daemon = Daemon::spawn_with(&index, &wal, &["--mmap"]);
+        let (status, body) = daemon.post_edges(
+            "{\"op\":\"insert\",\"u\":0,\"v\":20}\n{\"op\":\"insert\",\"u\":7,\"v\":33}\n",
+        );
+        assert_eq!(status, 200, "{body}");
+        let (status, body) = daemon.post_rebuild();
+        assert_eq!(status, 200, "{body}");
+        let (status, version) = daemon.get("/version");
+        assert_eq!(status, 200, "{version}");
+        assert!(
+            version.contains("\"rebuild_kind\":\"numeric\""),
+            "{version}"
+        );
+        assert!(
+            version.contains("\"rebuild_trigger\":\"explicit\""),
+            "{version}"
+        );
+    }
+
+    // Restart on the checkpoint. The WAL was compacted when the
+    // checkpoint became durable, so there is nothing to replay: what is
+    // served IS the persisted refactored index.
+    let daemon2 = Daemon::spawn_with(&index, &wal, &["--mmap"]);
+    let (status, served) = daemon2.get("/query?seed=0&top=10");
+    assert_eq!(status, 200, "{served}");
+
+    // Oracle: the refactor is bit-identical to a plan-frozen numeric
+    // re-factorization, NOT to a fresh preprocess (whose SlashBurn would
+    // be free to reorder) — byte equality here is exactly the plan
+    // round-tripping through the v6 sections.
+    let refactored = base.refactor(&expected_graph, &dirty).unwrap();
+    let scores = refactored.query(0).unwrap();
+    let expected = render_query_body(
+        QueryKey {
+            seed: 0,
+            top_k: 10,
+            version: 1,
+            mode: ResponseMode::Exact,
+        },
+        &scores,
+    );
+    assert_eq!(
+        served, expected,
+        "restart must serve the plan-frozen refactored index byte-for-byte"
+    );
 
     drop(daemon2);
     std::fs::remove_dir_all(&dir).ok();

@@ -16,6 +16,7 @@ use crate::rwr::{check_restart_prob, check_seed, RwrScores, RwrSolver};
 use crate::schur::schur_complement;
 use crate::{DEFAULT_RESTART_PROB, DEFAULT_TOLERANCE};
 use bepi_graph::Graph;
+use bepi_incr::{DirtySet, SymbolicPlan};
 use bepi_solver::{
     bicgstab, gmres, BiCgStabConfig, BlockLu, GmresConfig, Ilu0, JacobiPrecond, NeumannPrecond,
     Preconditioner,
@@ -279,6 +280,130 @@ impl BePi {
         let start = Instant::now();
         let k = config.effective_hub_ratio();
         let part = HPartition::build(g, config.c, k)?;
+        Self::factor_partition(part, config, start)
+    }
+
+    /// Runs only the *numeric* half of preprocessing under a frozen
+    /// [`SymbolicPlan`]: assemble `H` in the plan's order, factor `H11`,
+    /// form `S`, build the preconditioner. Skips deadend reordering and
+    /// SlashBurn entirely, so the result is bit-identical to
+    /// [`BePi::preprocess`] whenever the plan came from a preprocess of a
+    /// graph with the same structure (and [`bepi_incr::assemble`] rejects
+    /// graphs that violate the plan). This is the reference against which
+    /// [`BePi::refactor`] is bit-exact.
+    pub fn preprocess_with_plan(
+        g: &Graph,
+        config: &BePiConfig,
+        plan: &SymbolicPlan,
+    ) -> Result<Self> {
+        check_restart_prob(config.c)?;
+        let start = Instant::now();
+        let part = HPartition::from_plan(g, config.c, plan)?;
+        Self::factor_partition(part, config, start)
+    }
+
+    /// The symbolic plan captured by this instance's preprocessing run —
+    /// everything the incremental refactor path needs to rebuild the
+    /// numeric factors without re-running the reordering pipeline. Every
+    /// field is persisted by format v4+, so a plan survives a save/load
+    /// round-trip (including mapped loads) for free.
+    pub fn symbolic_plan(&self) -> SymbolicPlan {
+        SymbolicPlan {
+            perm: self.perm.clone(),
+            n1: self.n1,
+            n2: self.n2,
+            n3: self.n3,
+            block_sizes: self.h11_lu.block_sizes.clone(),
+            slashburn_iterations: self.stats.slashburn_iterations,
+        }
+    }
+
+    /// KLU-style numeric refactorization: rebuilds this instance against
+    /// `g_new` under the frozen symbolic plan, re-factoring only the
+    /// `H11` diagonal blocks in `dirty` and recomputing only the Schur
+    /// rows whose inputs changed. The caller must have classified the
+    /// update as numeric-only (see [`bepi_incr::classify`]) with `dirty`
+    /// being that classification's dirty set; the result is then
+    /// bit-identical to [`BePi::preprocess_with_plan`] on `g_new`.
+    pub fn refactor(&self, g_new: &Graph, dirty: &DirtySet) -> Result<Self> {
+        let start = Instant::now();
+        let config = self.config;
+        let plan = self.symbolic_plan();
+        let blocks = {
+            let _span = bepi_obs::Span::enter("refactor.assemble");
+            bepi_incr::assemble(g_new, config.c, &plan)?
+        };
+        let t_lu = Instant::now();
+        let h11_lu = {
+            let _span = bepi_obs::Span::enter("refactor.block_lu");
+            self.h11_lu.refactor_blocks(&blocks.h11, &dirty.blocks)?
+        };
+        let block_lu_time = t_lu.elapsed();
+        let t_schur = Instant::now();
+        let s = {
+            let _span = bepi_obs::Span::enter("refactor.schur");
+            bepi_incr::refactor_schur(&self.s, &blocks, &self.h21, &h11_lu, &plan, dirty)?
+        };
+        let schur_time = t_schur.elapsed();
+        let t_precond = Instant::now();
+        // Refresh ILU(0) values on the old pattern when it still matches;
+        // fall back to a fresh factorization otherwise (both paths are
+        // bit-identical to `Ilu0::factor(&s)`). Jacobi/Neumann are cheap
+        // and deterministic, so `from_raw_parts` recomputes them.
+        let ilu = match (config.variant, config.precond) {
+            (BePiVariant::Full, PrecondKind::Ilu0) => {
+                let _span = bepi_obs::Span::enter("refactor.precond");
+                Some(match self.ilu_parts() {
+                    Some(old) => old.refresh_values(&s).or_else(|_| Ilu0::factor(&s))?,
+                    None => Ilu0::factor(&s)?,
+                })
+            }
+            _ => None,
+        };
+        let precond_time = t_precond.elapsed();
+        let phases = [
+            ("assemble", blocks.assemble_time),
+            ("block_lu", block_lu_time),
+            ("schur", schur_time),
+            ("precond", precond_time),
+        ]
+        .iter()
+        .map(|(name, d)| PhaseTiming {
+            name: (*name).to_string(),
+            seconds: d.as_secs_f64(),
+        })
+        .collect();
+        let bepi_incr::HBlocks {
+            h12, h21, h31, h32, ..
+        } = blocks;
+        let SymbolicPlan {
+            perm,
+            n1,
+            n2,
+            n3,
+            slashburn_iterations,
+            ..
+        } = plan;
+        Self::from_raw_parts(RawParts {
+            config,
+            perm,
+            n1,
+            n2,
+            n3,
+            h11_lu,
+            s,
+            ilu,
+            h12,
+            h21,
+            h31,
+            h32,
+            slashburn_iterations,
+            elapsed: start.elapsed(),
+            phases,
+        })
+    }
+
+    fn factor_partition(part: HPartition, config: &BePiConfig, start: Instant) -> Result<Self> {
         let t_lu = Instant::now();
         let h11_lu = {
             let _span = bepi_obs::Span::enter("preprocess.block_lu");
@@ -991,5 +1116,99 @@ mod tests {
         for (a, b) in got.scores.iter().zip(&want) {
             assert!((a - b).abs() < 1e-6);
         }
+    }
+
+    /// The graph with one adjacency entry removed (same node count).
+    fn without_edge(g: &Graph, u: usize, v: usize) -> Graph {
+        let mut coo = bepi_sparse::Coo::new(g.n(), g.n()).unwrap();
+        for (r, c, w) in g.adjacency().iter() {
+            if !(r == u && c == v) {
+                coo.push(r, c, w).unwrap();
+            }
+        }
+        Graph::from_adjacency(coo.to_csr()).unwrap()
+    }
+
+    /// An edge whose removal is numeric-only: the source keeps at least
+    /// one other out-edge, so no deadend flip and no block crossing.
+    fn removable_edge(g: &Graph) -> (usize, usize) {
+        let u = (0..g.n()).find(|&u| g.out_degree(u) >= 2).unwrap();
+        (u, g.out_neighbors(u).next().unwrap())
+    }
+
+    #[test]
+    fn preprocess_with_plan_is_bit_identical_to_preprocess() {
+        let g = generators::rmat(8, 900, generators::RmatParams::default(), 3).unwrap();
+        let g = generators::inject_deadends(&g, 0.2, 1).unwrap();
+        let cfg = BePiConfig::default();
+        let full = BePi::preprocess(&g, &cfg).unwrap();
+        let frozen = BePi::preprocess_with_plan(&g, &cfg, &full.symbolic_plan()).unwrap();
+        for seed in [0usize, 7, 100, 255] {
+            assert_eq!(
+                full.query(seed).unwrap().scores,
+                frozen.query(seed).unwrap().scores,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn refactor_is_bit_identical_to_plan_frozen_preprocess() {
+        let g = generators::rmat(8, 900, generators::RmatParams::default(), 3).unwrap();
+        let cfg = BePiConfig::default();
+        let solver = BePi::preprocess(&g, &cfg).unwrap();
+        let plan = solver.symbolic_plan();
+        let (u, v) = removable_edge(&g);
+        let g_new = without_edge(&g, u, v);
+        let dirty = match bepi_incr::classify(&plan, &g, &g_new, &[u]) {
+            bepi_incr::Classification::NumericOnly(d) => d,
+            bepi_incr::Classification::Structural(why) => panic!("expected numeric: {why}"),
+        };
+        // The refactor must be bit-exact at every kernel thread count,
+        // including against a differently-threaded from-scratch factor.
+        for threads in [1usize, 2, 8] {
+            let refac =
+                bepi_par::with_kernel_threads(threads, || solver.refactor(&g_new, &dirty).unwrap());
+            let frozen = BePi::preprocess_with_plan(&g_new, &cfg, &plan).unwrap();
+            for seed in [0usize, 50, 200] {
+                assert_eq!(
+                    refac.query(seed).unwrap().scores,
+                    frozen.query(seed).unwrap().scores,
+                    "threads {threads} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_over_mapped_storage_matches_owned() {
+        let g = generators::rmat(7, 400, generators::RmatParams::default(), 11).unwrap();
+        let cfg = BePiConfig::default();
+        let owned = BePi::preprocess(&g, &cfg).unwrap();
+        let dir = std::env::temp_dir().join(format!("bepi-refactor-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.bepi");
+        crate::persist::save_file_v6(&owned, Some(&g), &path).unwrap();
+        let (mapped, _) = crate::persist::load_mapped_file(&path).unwrap();
+        assert!(mapped.is_mapped());
+        let (u, v) = removable_edge(&g);
+        let g_new = without_edge(&g, u, v);
+        let plan = owned.symbolic_plan();
+        assert_eq!(mapped.symbolic_plan().n1, plan.n1);
+        let dirty = match bepi_incr::classify(&plan, &g, &g_new, &[u]) {
+            bepi_incr::Classification::NumericOnly(d) => d,
+            bepi_incr::Classification::Structural(why) => panic!("expected numeric: {why}"),
+        };
+        let from_owned = owned.refactor(&g_new, &dirty).unwrap();
+        let from_mapped = mapped.refactor(&g_new, &dirty).unwrap();
+        for seed in [0usize, 17, 99] {
+            assert_eq!(
+                from_owned.query(seed).unwrap().scores,
+                from_mapped.query(seed).unwrap().scores,
+                "seed {seed}"
+            );
+        }
+        drop(mapped);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

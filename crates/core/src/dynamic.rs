@@ -8,11 +8,44 @@
 //! time." This module implements exactly that strategy: edge updates are
 //! buffered and the BePI instance is rebuilt either on demand or
 //! automatically once the buffer exceeds a threshold.
+//!
+//! On top of the paper's batch strategy, the rebuild itself picks between
+//! two paths (the symbolic/numeric split of [`bepi_incr`]): a batch that
+//! provably preserves the frozen [`bepi_incr::SymbolicPlan`] takes a
+//! KLU-style numeric-only refactorization ([`BePi::refactor`] — only the
+//! touched `H11` blocks, Schur rows, and ILU values are recomputed),
+//! while a structural batch falls back to the full preprocessing
+//! pipeline. Both paths serve exactly the same answers; the numeric path
+//! is bit-identical to a plan-frozen full factor.
 
 use crate::bepi::{BePi, BePiConfig};
 use crate::rwr::{RwrScores, RwrSolver};
 use bepi_graph::Graph;
+use bepi_incr::{classify, Classification};
 use bepi_sparse::{Coo, Csr, Result};
+
+/// Which rebuild path produced the currently served index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildKind {
+    /// The initial preprocess at construction (or load) time.
+    Initial,
+    /// A full re-preprocess: structural batch, or a numeric attempt that
+    /// had to fall back.
+    Full,
+    /// A numeric-only refactorization under the frozen symbolic plan.
+    Numeric,
+}
+
+impl RebuildKind {
+    /// Stable lower-case name for logs, metrics, and the version JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            RebuildKind::Initial => "initial",
+            RebuildKind::Full => "full",
+            RebuildKind::Numeric => "numeric",
+        }
+    }
+}
 
 /// A buffered graph mutation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +72,9 @@ pub struct DynamicBePi {
     /// Buffer size at which updates trigger an automatic rebuild.
     pub auto_flush_threshold: usize,
     rebuilds: usize,
+    numeric_rebuilds: usize,
+    full_rebuilds: usize,
+    last_rebuild_kind: RebuildKind,
 }
 
 impl DynamicBePi {
@@ -52,7 +88,27 @@ impl DynamicBePi {
             pending: Vec::new(),
             auto_flush_threshold: 10_000,
             rebuilds: 0,
+            numeric_rebuilds: 0,
+            full_rebuilds: 0,
+            last_rebuild_kind: RebuildKind::Initial,
         })
+    }
+
+    /// Wraps an already-preprocessed solver (e.g. loaded from an index
+    /// file) without paying a fresh preprocess. The solver must have been
+    /// built from exactly `graph`.
+    pub fn from_parts(graph: Graph, solver: BePi, config: BePiConfig) -> Self {
+        Self {
+            graph,
+            solver,
+            config,
+            pending: Vec::new(),
+            auto_flush_threshold: 10_000,
+            rebuilds: 0,
+            numeric_rebuilds: 0,
+            full_rebuilds: 0,
+            last_rebuild_kind: RebuildKind::Initial,
+        }
     }
 
     /// Buffers an update; rebuilds if the buffer hit the threshold.
@@ -114,15 +170,48 @@ impl DynamicBePi {
         self.apply(EdgeUpdate::Remove(u, v))
     }
 
-    /// Applies all buffered updates to the graph and re-preprocesses.
+    /// Applies all buffered updates to the graph and rebuilds the index,
+    /// picking the cheapest legal path: a numeric-only refactorization
+    /// when [`bepi_incr::classify`] proves the batch preserves the frozen
+    /// symbolic plan, a full re-preprocess otherwise. A refactor error
+    /// never drops the batch — it falls back to the full pipeline.
     pub fn flush(&mut self) -> Result<()> {
         if self.pending.is_empty() {
             return Ok(());
         }
-        self.graph = apply_updates(&self.graph, &self.pending)?;
+        let new_graph = apply_updates(&self.graph, &self.pending)?;
+        let sources: Vec<usize> = self
+            .pending
+            .iter()
+            .map(|u| match *u {
+                EdgeUpdate::Insert(a, _) | EdgeUpdate::Remove(a, _) => a,
+            })
+            .collect();
+        let plan = self.solver.symbolic_plan();
+        let kind = match classify(&plan, &self.graph, &new_graph, &sources) {
+            Classification::NumericOnly(dirty) => match self.solver.refactor(&new_graph, &dirty) {
+                Ok(refactored) => {
+                    self.solver = refactored;
+                    RebuildKind::Numeric
+                }
+                Err(_) => {
+                    self.solver = BePi::preprocess(&new_graph, &self.config)?;
+                    RebuildKind::Full
+                }
+            },
+            Classification::Structural(_) => {
+                self.solver = BePi::preprocess(&new_graph, &self.config)?;
+                RebuildKind::Full
+            }
+        };
+        self.graph = new_graph;
         self.pending.clear();
-        self.solver = BePi::preprocess(&self.graph, &self.config)?;
         self.rebuilds += 1;
+        match kind {
+            RebuildKind::Numeric => self.numeric_rebuilds += 1,
+            _ => self.full_rebuilds += 1,
+        }
+        self.last_rebuild_kind = kind;
         Ok(())
     }
 
@@ -134,6 +223,21 @@ impl DynamicBePi {
     /// Number of re-preprocessing rounds performed so far.
     pub fn rebuilds(&self) -> usize {
         self.rebuilds
+    }
+
+    /// Rebuilds that took the numeric-only refactorization path.
+    pub fn numeric_rebuilds(&self) -> usize {
+        self.numeric_rebuilds
+    }
+
+    /// Rebuilds that ran the full preprocessing pipeline.
+    pub fn full_rebuilds(&self) -> usize {
+        self.full_rebuilds
+    }
+
+    /// Which path produced the currently served index.
+    pub fn last_rebuild_kind(&self) -> RebuildKind {
+        self.last_rebuild_kind
     }
 
     /// The current graph *including* buffered updates not yet flushed is
@@ -472,17 +576,22 @@ mod tests {
     }
 
     #[test]
-    fn flush_is_bit_identical_to_from_scratch_preprocess() {
+    fn structural_flush_is_bit_identical_to_from_scratch_preprocess() {
         let g = generators::erdos_renyi(60, 240, 17).unwrap();
+        // Removing every out-edge of some node flips it to a deadend — a
+        // structural batch, so flush must run the full pipeline, which is
+        // bit-identical to a from-scratch preprocess.
+        let u = (0..g.n()).find(|&u| g.out_degree(u) > 0).unwrap();
+        let mut batch: Vec<EdgeUpdate> = g
+            .out_neighbors(u)
+            .map(|v| EdgeUpdate::Remove(u, v))
+            .collect();
+        batch.push(EdgeUpdate::Insert(10, 20));
         let mut dyn_solver = DynamicBePi::new(g, BePiConfig::default()).unwrap();
-        dyn_solver
-            .apply_batch(&[
-                EdgeUpdate::Insert(10, 20),
-                EdgeUpdate::Remove(0, 1),
-                EdgeUpdate::Insert(30, 40),
-            ])
-            .unwrap();
+        dyn_solver.apply_batch(&batch).unwrap();
         dyn_solver.flush().unwrap();
+        assert_eq!(dyn_solver.last_rebuild_kind(), RebuildKind::Full);
+        assert_eq!(dyn_solver.full_rebuilds(), 1);
         let scratch = BePi::preprocess(dyn_solver.snapshot(), &BePiConfig::default()).unwrap();
         for seed in [0usize, 10, 59] {
             assert_eq!(
@@ -491,6 +600,188 @@ mod tests {
                 "seed {seed} must match a from-scratch preprocess bit-for-bit"
             );
         }
+    }
+
+    #[test]
+    fn numeric_flush_is_bit_identical_to_plan_frozen_preprocess() {
+        let g = generators::rmat(8, 900, generators::RmatParams::default(), 7).unwrap();
+        let mut dyn_solver = DynamicBePi::new(g.clone(), BePiConfig::default()).unwrap();
+        let plan = dyn_solver.solver().symbolic_plan();
+        // Removing one edge of a multi-out-edge source can never flip a
+        // deadend or cross H11 blocks: guaranteed numeric-only.
+        let u = (0..g.n()).find(|&u| g.out_degree(u) >= 2).unwrap();
+        let v = g.out_neighbors(u).next().unwrap();
+        dyn_solver.remove_edge(u, v).unwrap();
+        dyn_solver.flush().unwrap();
+        assert_eq!(dyn_solver.last_rebuild_kind(), RebuildKind::Numeric);
+        assert_eq!(dyn_solver.numeric_rebuilds(), 1);
+        assert_eq!(dyn_solver.full_rebuilds(), 0);
+        let frozen =
+            BePi::preprocess_with_plan(dyn_solver.snapshot(), &BePiConfig::default(), &plan)
+                .unwrap();
+        for seed in [0usize, 33, 200] {
+            assert_eq!(
+                dyn_solver.query(seed).unwrap().scores,
+                frozen.query(seed).unwrap().scores,
+                "seed {seed} must match a plan-frozen preprocess bit-for-bit"
+            );
+        }
+        // And agree with a genuine from-scratch preprocess numerically.
+        let scratch = BePi::preprocess(dyn_solver.snapshot(), &BePiConfig::default()).unwrap();
+        for seed in [0usize, 33, 200] {
+            let a = dyn_solver.query(seed).unwrap().scores;
+            let b = scratch.query(seed).unwrap().scores;
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-6, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_flush_meets_residual_bound_vs_scratch() {
+        // ISSUE acceptance bar: with a tight inner tolerance the numeric
+        // path's answers satisfy ‖H r − c q‖∞ ≤ 1e-10 on the *updated*
+        // graph — the same bound a from-scratch preprocess meets.
+        let cfg = BePiConfig {
+            tol: 1e-12,
+            ..BePiConfig::default()
+        };
+        let g = generators::rmat(8, 900, generators::RmatParams::default(), 7).unwrap();
+        let mut dyn_solver = DynamicBePi::new(g.clone(), cfg).unwrap();
+        let u = (0..g.n()).find(|&u| g.out_degree(u) >= 2).unwrap();
+        let v = g.out_neighbors(u).next().unwrap();
+        dyn_solver.remove_edge(u, v).unwrap();
+        dyn_solver.flush().unwrap();
+        assert_eq!(dyn_solver.last_rebuild_kind(), RebuildKind::Numeric);
+        let h = crate::rwr::build_h(dyn_solver.snapshot(), cfg.c).unwrap();
+        for seed in [0usize, 99] {
+            let r = dyn_solver.query(seed).unwrap().scores;
+            let hr = h.mul_vec(&r).unwrap();
+            let mut q = vec![0.0; r.len()];
+            q[seed] = cfg.c;
+            let resid = hr
+                .iter()
+                .zip(&q)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(resid <= 1e-10, "seed {seed}: residual {resid}");
+        }
+    }
+
+    #[test]
+    fn repeated_insert_remove_insert_across_generations() {
+        // Satellite: the same edge cycled through insert/remove/insert
+        // over several rebuild generations — weights must stay fresh and
+        // every generation must match the reference on the then-current
+        // graph, whichever rebuild path served it.
+        let g = generators::rmat(7, 400, generators::RmatParams::default(), 5).unwrap();
+        let u = (0..g.n()).find(|&u| g.out_degree(u) >= 2).unwrap();
+        let v = g.out_neighbors(u).next().unwrap();
+        let mut dyn_solver = DynamicBePi::new(g, BePiConfig::default()).unwrap();
+
+        // Gen 1: remove + re-insert in one batch → dedup leaves
+        // Remove, Insert; the edge survives at weight 1.0.
+        dyn_solver
+            .apply_batch(&[EdgeUpdate::Remove(u, v), EdgeUpdate::Insert(u, v)])
+            .unwrap();
+        dyn_solver.flush().unwrap();
+        assert_eq!(dyn_solver.snapshot().adjacency().get(u, v), 1.0);
+
+        // Gen 2: remove it for real (numeric: u keeps other out-edges).
+        dyn_solver.remove_edge(u, v).unwrap();
+        dyn_solver.flush().unwrap();
+        assert_eq!(dyn_solver.snapshot().adjacency().get(u, v), 0.0);
+        assert_eq!(dyn_solver.last_rebuild_kind(), RebuildKind::Numeric);
+
+        // Gen 3: re-insert it (re-adding an original edge is numeric-safe).
+        dyn_solver.insert_edge(u, v).unwrap();
+        dyn_solver.flush().unwrap();
+        assert_eq!(dyn_solver.snapshot().adjacency().get(u, v), 1.0);
+        assert_eq!(dyn_solver.rebuilds(), 3);
+
+        let want = reference(dyn_solver.snapshot(), u);
+        let got = dyn_solver.query(u).unwrap();
+        for (a, b) in got.scores.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn random_small_batches_stay_correct_over_generations() {
+        // Property test over a deterministic LCG stream of small batches:
+        // inserts (sometimes structural), removals of existing edges,
+        // opposing insert/remove pairs, and edges into deadend targets.
+        // Every generation must (a) be bit-identical to a plan-frozen
+        // preprocess when the numeric path fired and (b) match the power
+        // reference on the updated graph.
+        let g = generators::rmat(7, 400, generators::RmatParams::default(), 13).unwrap();
+        let g = generators::inject_deadends(&g, 0.2, 3).unwrap();
+        let n = g.n();
+        let mut dyn_solver = DynamicBePi::new(g, BePiConfig::default()).unwrap();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let deadend = (0..n)
+            .find(|&u| dyn_solver.snapshot().out_degree(u) == 0)
+            .unwrap();
+        let mut numeric_seen = false;
+        for generation in 0..6 {
+            let mut batch = Vec::new();
+            for _ in 0..3 {
+                match next() % 4 {
+                    0 => batch.push(EdgeUpdate::Insert(next() % n, next() % n)),
+                    1 => {
+                        // Remove an existing edge of a random source.
+                        let u = next() % n;
+                        if let Some(v) = dyn_solver.snapshot().out_neighbors(u).next() {
+                            batch.push(EdgeUpdate::Remove(u, v));
+                        }
+                    }
+                    2 => {
+                        // Opposing pair: cancels to nothing.
+                        let (u, v) = (next() % n, next() % n);
+                        batch.push(EdgeUpdate::Insert(u, v));
+                        batch.push(EdgeUpdate::Remove(u, v));
+                    }
+                    _ => {
+                        // Deadend-only target: the deadend gains no
+                        // out-edge, so its rows stay identity rows.
+                        batch.push(EdgeUpdate::Insert(next() % n, deadend));
+                    }
+                }
+            }
+            let plan = dyn_solver.solver().symbolic_plan();
+            dyn_solver.apply_batch(&batch).unwrap();
+            dyn_solver.flush().unwrap();
+            if dyn_solver.last_rebuild_kind() == RebuildKind::Numeric {
+                numeric_seen = true;
+                let frozen = BePi::preprocess_with_plan(
+                    dyn_solver.snapshot(),
+                    &BePiConfig::default(),
+                    &plan,
+                )
+                .unwrap();
+                assert_eq!(
+                    dyn_solver.query(generation).unwrap().scores,
+                    frozen.query(generation).unwrap().scores,
+                    "generation {generation}"
+                );
+            }
+            let seed = next() % n;
+            let want = reference(dyn_solver.snapshot(), seed);
+            let got = dyn_solver.query(seed).unwrap();
+            for (i, (a, b)) in got.scores.iter().zip(&want).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-6,
+                    "generation {generation} seed {seed} node {i}: {a} vs {b}"
+                );
+            }
+        }
+        assert!(numeric_seen, "the LCG stream should hit the numeric path");
     }
 
     #[test]

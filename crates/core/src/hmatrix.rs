@@ -15,9 +15,9 @@
 
 use crate::rwr::check_restart_prob;
 use bepi_graph::Graph;
-use bepi_reorder::{reorder_deadends, slashburn, SlashBurnConfig};
-use bepi_sparse::{ops, Csr, MemBytes, Permutation, Result};
-use std::time::{Duration, Instant};
+use bepi_incr::SymbolicPlan;
+use bepi_sparse::{Csr, MemBytes, Permutation, Result};
+use std::time::Duration;
 
 /// The reordered, partitioned `H` matrix.
 #[derive(Debug, Clone)]
@@ -62,80 +62,58 @@ impl HPartition {
     /// `k` is the SlashBurn hub selection ratio (Table 2 column `k`).
     pub fn build(g: &Graph, c: f64, k: f64) -> Result<Self> {
         check_restart_prob(c)?;
-        let n = g.n();
+        let analysis = bepi_incr::analyze(g, k)?;
+        Self::assemble_under(
+            g,
+            c,
+            analysis.plan,
+            analysis.deadend_time,
+            analysis.slashburn_time,
+        )
+    }
 
-        // 1. Deadend reordering (Figure 3(b)).
-        let t0 = Instant::now();
-        let dr = reorder_deadends(g);
-        let l = dr.n_non_deadend;
-        let n3 = dr.n_deadend;
-        let a1 = dr.perm.permute_symmetric(g.adjacency())?;
-        let deadend_time = t0.elapsed();
-        bepi_obs::record_duration("preprocess.deadend", deadend_time);
+    /// Partitions `H` under a frozen [`SymbolicPlan`] — the numeric half
+    /// of [`HPartition::build`]. The reordering phases report zero time
+    /// because they are skipped entirely; this is what makes incremental
+    /// refactorization cheap.
+    pub fn from_plan(g: &Graph, c: f64, plan: &SymbolicPlan) -> Result<Self> {
+        check_restart_prob(c)?;
+        Self::assemble_under(g, c, plan.clone(), Duration::ZERO, Duration::ZERO)
+    }
 
-        // 2. Hub-and-spoke reordering of Ann (Figure 3(c)); SlashBurn
-        //    works on the symmetrized structure of the non-deadend block.
-        let t1 = Instant::now();
-        let ann = a1.slice_block(0..l, 0..l)?;
-        let sym = symmetrize(&ann);
-        let sb = slashburn(&sym, &SlashBurnConfig::with_ratio(k));
-        let (n1, n2) = (sb.n_spokes, sb.n_hubs);
-        let slashburn_time = t1.elapsed();
-        bepi_obs::record_duration("preprocess.slashburn", slashburn_time);
-        let t2 = Instant::now();
-
-        // Extend the SlashBurn permutation to all n nodes (deadends fixed).
-        let mut ext = vec![0u32; n];
-        for old in 0..l {
-            ext[old] = sb.perm.apply(old) as u32;
-        }
-        for (old, e) in ext.iter_mut().enumerate().skip(l) {
-            *e = old as u32;
-        }
-        let perm2 = Permutation::from_new_of_old(ext)?;
-        let perm = dr.perm.then(&perm2)?;
-
-        // 3. H in the final order (Figure 3(d)).
-        let a = perm.permute_symmetric(g.adjacency())?;
-        let mut a_norm = a;
-        a_norm.row_normalize();
-        let at = a_norm.transpose();
-        let h = ops::identity_minus_scaled(1.0 - c, &at)?;
-
-        // 4. Partition.
-        let h11 = h.slice_block(0..n1, 0..n1)?;
-        let h12 = h.slice_block(0..n1, n1..l)?;
-        let h21 = h.slice_block(n1..l, 0..n1)?;
-        let h22 = h.slice_block(n1..l, n1..l)?;
-        let h31 = h.slice_block(l..n, 0..n1)?;
-        let h32 = h.slice_block(l..n, n1..l)?;
-
-        debug_assert_eq!(h.slice_block(0..l, l..n)?.nnz(), 0, "upper-right must be 0");
-        debug_assert!(
-            bepi_reorder::blocks::is_block_diagonal(&h11, &sb.block_sizes),
-            "H11 must be block diagonal with SlashBurn's blocks"
-        );
-
-        let assemble_time = t2.elapsed();
-        bepi_obs::record_duration("preprocess.assemble", assemble_time);
-
+    fn assemble_under(
+        g: &Graph,
+        c: f64,
+        plan: SymbolicPlan,
+        deadend_time: Duration,
+        slashburn_time: Duration,
+    ) -> Result<Self> {
+        let blocks = bepi_incr::assemble(g, c, &plan)?;
+        let SymbolicPlan {
+            perm,
+            n1,
+            n2,
+            n3,
+            block_sizes,
+            slashburn_iterations,
+        } = plan;
         Ok(Self {
             perm,
             n1,
             n2,
             n3,
-            block_sizes: sb.block_sizes,
-            h11,
-            h12,
-            h21,
-            h22,
-            h31,
-            h32,
-            slashburn_iterations: sb.iterations,
+            block_sizes,
+            h11: blocks.h11,
+            h12: blocks.h12,
+            h21: blocks.h21,
+            h22: blocks.h22,
+            h31: blocks.h31,
+            h32: blocks.h32,
+            slashburn_iterations,
             c,
             deadend_time,
             slashburn_time,
-            assemble_time,
+            assemble_time: blocks.assemble_time,
         })
     }
 
@@ -170,23 +148,6 @@ impl MemBytes for HPartition {
             + self.h31.mem_bytes()
             + self.h32.mem_bytes()
     }
-}
-
-/// Symmetrized 0/1 structure of a square sparse matrix.
-fn symmetrize(a: &Csr) -> Csr {
-    let mut b = a.clone();
-    for v in b.values_mut() {
-        *v = 1.0;
-    }
-    let mut t = a.transpose();
-    for v in t.values_mut() {
-        *v = 1.0;
-    }
-    let mut s = ops::add(&b, &t).expect("same shape");
-    for v in s.values_mut() {
-        *v = 1.0;
-    }
-    s
 }
 
 #[cfg(test)]
@@ -233,6 +194,28 @@ mod tests {
         let h_ref = crate::rwr::build_h(&g2, 0.05).unwrap().to_dense();
         let h_got = reassemble(&p);
         assert!(h_got.max_abs_diff(&h_ref).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn from_plan_matches_build_bit_identically() {
+        let g = generators::rmat(8, 900, generators::RmatParams::default(), 3).unwrap();
+        let full = HPartition::build(&g, 0.05, 0.2).unwrap();
+        let plan = SymbolicPlan {
+            perm: full.perm.clone(),
+            n1: full.n1,
+            n2: full.n2,
+            n3: full.n3,
+            block_sizes: full.block_sizes.clone(),
+            slashburn_iterations: full.slashburn_iterations,
+        };
+        let frozen = HPartition::from_plan(&g, 0.05, &plan).unwrap();
+        assert_eq!(frozen.h11, full.h11);
+        assert_eq!(frozen.h12, full.h12);
+        assert_eq!(frozen.h21, full.h21);
+        assert_eq!(frozen.h22, full.h22);
+        assert_eq!(frozen.h31, full.h31);
+        assert_eq!(frozen.h32, full.h32);
+        assert_eq!(frozen.deadend_time, Duration::ZERO);
     }
 
     #[test]

@@ -63,7 +63,8 @@ pub use bear::Bear;
 pub use bepi::{
     BePi, BePiConfig, BePiVariant, InnerSolver, MemorySection, PhaseTiming, PrecondKind,
 };
-pub use dynamic::{DynamicBePi, EdgeUpdate};
+pub use bepi_incr::{classify, Classification, DirtySet, SymbolicPlan};
+pub use dynamic::{DynamicBePi, EdgeUpdate, RebuildKind};
 pub use exact::DenseExact;
 pub use hmatrix::HPartition;
 pub use iterative::{GmresSolver, PowerSolver};

@@ -1,0 +1,662 @@
+//! # bepi-incr
+//!
+//! Symbolic/numeric split of BePI preprocessing, following the
+//! analyze/factor/refactor pattern of KLU-style sparse direct solvers.
+//!
+//! BePI's preprocessing pipeline (deadend reordering, SlashBurn
+//! hub-and-spoke reordering, per-block LU of `H11`, Schur complement,
+//! ILU(0) preconditioning) mixes two very different kinds of work:
+//!
+//! * **Symbolic analysis** — choosing the node ordering and the block
+//!   structure. This depends only on the *pattern* of the graph and is
+//!   the expensive, hard-to-parallelize part (SlashBurn is iterative
+//!   vertex removal).
+//! * **Numeric factorization** — assembling `H`, inverting the diagonal
+//!   blocks, forming `S = H22 − H21 H11^{-1} H12` and its ILU(0)
+//!   factors. This is pure floating-point work against a fixed
+//!   structure.
+//!
+//! This crate captures the symbolic phase in a reusable [`SymbolicPlan`]
+//! ([`analyze`]), re-runs the numeric phase against a frozen plan
+//! ([`assemble`]), classifies edge-update batches as numeric-only or
+//! structural ([`classify`]), and recomputes only the `H11` blocks and
+//! Schur rows whose inputs changed ([`refactor_schur`], together with
+//! `BlockLu::refactor_blocks` in `bepi-solver`). A numeric-only refactor
+//! is bit-identical to a full numeric factorization under the same plan:
+//! every recomputed row runs the identical kernel on identical inputs,
+//! and every untouched row is copied verbatim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Index-based loops over multiple parallel arrays are the clearest (and
+// often fastest) idiom in the numerical kernels here; the iterator
+// rewrites clippy suggests obscure the subscript structure of the math.
+#![allow(clippy::needless_range_loop)]
+
+use bepi_graph::Graph;
+use bepi_reorder::{reorder_deadends, slashburn, SlashBurnConfig};
+use bepi_solver::BlockLu;
+use bepi_sparse::{ops, spgemm, Coo, Csr, Permutation, Result, SparseError};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// The reusable output of the symbolic analysis phase: everything the
+/// numeric phase needs that depends only on graph *structure*.
+///
+/// A plan is fully determined by fields that every persisted index format
+/// already stores (`perm`, `n1`/`n2`/`n3`, `block_sizes`,
+/// `slashburn_iterations`), so a plan round-trips through index files for
+/// free — a restarted server can refactor against the checkpointed plan
+/// without re-running SlashBurn.
+#[derive(Debug, Clone)]
+pub struct SymbolicPlan {
+    /// Composite relabeling original → reordered (deadend ∘ SlashBurn).
+    pub perm: Permutation,
+    /// Number of spokes.
+    pub n1: usize,
+    /// Number of hubs.
+    pub n2: usize,
+    /// Number of deadends.
+    pub n3: usize,
+    /// Diagonal block sizes of `H11` (SlashBurn's spoke components).
+    pub block_sizes: Vec<usize>,
+    /// SlashBurn iterations performed (diagnostics only).
+    pub slashburn_iterations: usize,
+}
+
+impl SymbolicPlan {
+    /// Total node count the plan was built for.
+    pub fn n(&self) -> usize {
+        self.n1 + self.n2 + self.n3
+    }
+
+    /// Start offset of each `H11` diagonal block.
+    pub fn block_starts(&self) -> Vec<usize> {
+        let mut starts = Vec::with_capacity(self.block_sizes.len());
+        let mut acc = 0usize;
+        for &s in &self.block_sizes {
+            starts.push(acc);
+            acc += s;
+        }
+        starts
+    }
+
+    /// Block id of every spoke slot (length `n1`).
+    pub fn block_of_spoke(&self) -> Vec<u32> {
+        let mut block_of = vec![0u32; self.n1];
+        let mut start = 0usize;
+        for (bi, &size) in self.block_sizes.iter().enumerate() {
+            for slot in start..start + size {
+                block_of[slot] = bi as u32;
+            }
+            start += size;
+        }
+        block_of
+    }
+}
+
+/// Output of [`analyze`]: the plan plus the phase wall times the caller
+/// folds into its preprocessing statistics.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The symbolic plan.
+    pub plan: SymbolicPlan,
+    /// Wall time of the deadend reordering step.
+    pub deadend_time: Duration,
+    /// Wall time of the SlashBurn reordering step.
+    pub slashburn_time: Duration,
+}
+
+/// Runs the symbolic analysis phase: deadend reordering, SlashBurn
+/// hub-and-spoke reordering of the non-deadend block, and composition of
+/// the two permutations. `k` is the SlashBurn hub selection ratio.
+pub fn analyze(g: &Graph, k: f64) -> Result<Analysis> {
+    let n = g.n();
+
+    // 1. Deadend reordering (paper Figure 3(b)).
+    let t0 = Instant::now();
+    let dr = reorder_deadends(g);
+    let l = dr.n_non_deadend;
+    let n3 = dr.n_deadend;
+    let a1 = dr.perm.permute_symmetric(g.adjacency())?;
+    let deadend_time = t0.elapsed();
+    bepi_obs::record_duration("preprocess.deadend", deadend_time);
+
+    // 2. Hub-and-spoke reordering of Ann (Figure 3(c)); SlashBurn works
+    //    on the symmetrized structure of the non-deadend block.
+    let t1 = Instant::now();
+    let ann = a1.slice_block(0..l, 0..l)?;
+    let sym = symmetrize(&ann);
+    let sb = slashburn(&sym, &SlashBurnConfig::with_ratio(k));
+    let (n1, n2) = (sb.n_spokes, sb.n_hubs);
+    let slashburn_time = t1.elapsed();
+    bepi_obs::record_duration("preprocess.slashburn", slashburn_time);
+
+    // Extend the SlashBurn permutation to all n nodes (deadends fixed).
+    let mut ext = vec![0u32; n];
+    for old in 0..l {
+        ext[old] = sb.perm.apply(old) as u32;
+    }
+    for (old, e) in ext.iter_mut().enumerate().skip(l) {
+        *e = old as u32;
+    }
+    let perm2 = Permutation::from_new_of_old(ext)?;
+    let perm = dr.perm.then(&perm2)?;
+
+    Ok(Analysis {
+        plan: SymbolicPlan {
+            perm,
+            n1,
+            n2,
+            n3,
+            block_sizes: sb.block_sizes,
+            slashburn_iterations: sb.iterations,
+        },
+        deadend_time,
+        slashburn_time,
+    })
+}
+
+/// The six `H` blocks assembled under a frozen plan.
+#[derive(Debug, Clone)]
+pub struct HBlocks {
+    /// `(n1 × n1)` block-diagonal spoke block.
+    pub h11: Csr,
+    /// `(n1 × n2)` spoke→hub coupling.
+    pub h12: Csr,
+    /// `(n2 × n1)` hub→spoke coupling.
+    pub h21: Csr,
+    /// `(n2 × n2)` hub block.
+    pub h22: Csr,
+    /// `(n3 × n1)` deadend rows against spokes.
+    pub h31: Csr,
+    /// `(n3 × n2)` deadend rows against hubs.
+    pub h32: Csr,
+    /// Wall time of the assembly.
+    pub assemble_time: Duration,
+}
+
+/// A distinguishable "the frozen plan no longer fits this graph" error,
+/// for callers that fall back to a full preprocess.
+fn structural_error(reason: &str) -> SparseError {
+    SparseError::Numerical(format!("symbolic plan violated: {reason}"))
+}
+
+/// Assembles and partitions `H = I − (1−c)Ã^T` under a frozen plan —
+/// the numeric half of what `HPartition::build` does, against a
+/// previously captured ordering.
+///
+/// The structural invariants the plan promises (zero upper-right block,
+/// block-diagonal `H11`, identity deadend corner) are *validated at
+/// runtime* here, not just debug-asserted: this is the safety backstop
+/// behind the refactor fast path, so a misclassified batch surfaces as a
+/// typed error instead of silently wrong factors.
+pub fn assemble(g: &Graph, c: f64, plan: &SymbolicPlan) -> Result<HBlocks> {
+    if !(c > 0.0 && c < 1.0) {
+        return Err(SparseError::Numerical(format!(
+            "restart probability must be in (0, 1), got {c}"
+        )));
+    }
+    let n = g.n();
+    if n != plan.n() {
+        return Err(structural_error("node count changed"));
+    }
+    let (n1, n2) = (plan.n1, plan.n2);
+    let l = n1 + n2;
+
+    let t0 = Instant::now();
+    let a = plan.perm.permute_symmetric(g.adjacency())?;
+    let mut a_norm = a;
+    a_norm.row_normalize();
+    let at = a_norm.transpose();
+    let h = ops::identity_minus_scaled(1.0 - c, &at)?;
+
+    let h11 = h.slice_block(0..n1, 0..n1)?;
+    let h12 = h.slice_block(0..n1, n1..l)?;
+    let h21 = h.slice_block(n1..l, 0..n1)?;
+    let h22 = h.slice_block(n1..l, n1..l)?;
+    let h31 = h.slice_block(l..n, 0..n1)?;
+    let h32 = h.slice_block(l..n, n1..l)?;
+
+    if h.slice_block(0..l, l..n)?.nnz() != 0 {
+        return Err(structural_error("deadend gained out-edges"));
+    }
+    if h.slice_block(l..n, l..n)? != Csr::identity(n - l) {
+        return Err(structural_error("deadend corner is not the identity"));
+    }
+    if !bepi_reorder::blocks::is_block_diagonal(&h11, &plan.block_sizes) {
+        return Err(structural_error("H11 is no longer block diagonal"));
+    }
+
+    let assemble_time = t0.elapsed();
+    bepi_obs::record_duration("preprocess.assemble", assemble_time);
+
+    Ok(HBlocks {
+        h11,
+        h12,
+        h21,
+        h22,
+        h31,
+        h32,
+        assemble_time,
+    })
+}
+
+/// What a numeric-only batch invalidates: which `H11` diagonal blocks
+/// must be refactored, and whether any hub column of `H` changed (which
+/// dirties whole Schur *columns*, forcing a full Schur recompute — the
+/// block LU is still reused).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirtySet {
+    /// Sorted, deduplicated ids of `H11` diagonal blocks to refactor.
+    pub blocks: Vec<usize>,
+    /// True when a hub's out-edges changed: `H12`/`H22` columns moved, so
+    /// every Schur row can be affected and `S` is recomputed in full.
+    pub hub_columns: bool,
+}
+
+impl DirtySet {
+    /// True when nothing numeric changed (the batch was a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty() && !self.hub_columns
+    }
+}
+
+/// Verdict of [`classify`] for one update batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Classification {
+    /// Every change stays inside the frozen structure; refactor with the
+    /// given dirty set.
+    NumericOnly(DirtySet),
+    /// The plan no longer fits (reason attached); fall back to a full
+    /// preprocess.
+    Structural(String),
+}
+
+/// Classifies an applied update batch against a frozen plan.
+///
+/// `sources` are the source nodes of every update in the batch (targets
+/// need not be listed: an edge `u → v` only rewrites row `u` of the
+/// adjacency matrix, i.e. column `p(u)` of `H`). The classifier compares
+/// each candidate source's adjacency row in `g_old` vs `g_new` — columns
+/// *and* values, so a remove+insert that resets an edge weight is
+/// correctly seen as a change — and derives:
+///
+/// * **Structural** when the node count changed, a source flipped deadend
+///   status (the deadend ordering would move), or a spoke source gained a
+///   target in a *different* `H11` block (block-diagonality would break).
+/// * **NumericOnly** otherwise, with the dirty block set (spoke sources)
+///   and the hub-column flag (hub sources).
+pub fn classify(
+    plan: &SymbolicPlan,
+    g_old: &Graph,
+    g_new: &Graph,
+    sources: &[usize],
+) -> Classification {
+    let n = plan.n();
+    if g_old.n() != n || g_new.n() != n {
+        return Classification::Structural(format!(
+            "node count changed ({} -> {}, plan has {n})",
+            g_old.n(),
+            g_new.n()
+        ));
+    }
+    let l = plan.n1 + plan.n2;
+    let block_of = plan.block_of_spoke();
+    let mut dirty_blocks: BTreeSet<usize> = BTreeSet::new();
+    let mut hub_columns = false;
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+
+    for &u in sources {
+        if u >= n {
+            return Classification::Structural(format!("update source {u} out of range"));
+        }
+        if !seen.insert(u) {
+            continue;
+        }
+        let (oc, ov) = g_old.adjacency().row(u);
+        let (nc, nv) = g_new.adjacency().row(u);
+        if oc == nc && ov == nv {
+            continue; // the batch was a no-op for this source
+        }
+        if oc.is_empty() != nc.is_empty() {
+            return Classification::Structural(format!("node {u} flipped deadend status"));
+        }
+        let pu = plan.perm.apply(u);
+        if pu >= l {
+            // A deadend whose row changed without flipping status cannot
+            // happen (both rows would be empty); be defensive anyway.
+            return Classification::Structural(format!("deadend node {u} changed out-edges"));
+        }
+        if pu < plan.n1 {
+            let b = block_of[pu] as usize;
+            for &v in nc {
+                let pv = plan.perm.apply(v as usize);
+                if pv < plan.n1 && block_of[pv] as usize != b {
+                    return Classification::Structural(format!(
+                        "edge {u} -> {v} crosses H11 blocks"
+                    ));
+                }
+            }
+            dirty_blocks.insert(b);
+        } else {
+            hub_columns = true;
+        }
+    }
+    Classification::NumericOnly(DirtySet {
+        blocks: dirty_blocks.into_iter().collect(),
+        hub_columns,
+    })
+}
+
+/// Recomputes only the Schur rows whose inputs changed and splices them
+/// into the previous Schur complement.
+///
+/// `old_s` and `h21_old` come from the pre-update index; `blocks` and
+/// `lu_new` are the freshly assembled `H` blocks and (partially)
+/// refactored `H11` factors. Dirty rows are the hub rows whose `H21`
+/// entries (old or new) touch a dirty `H11` block; every other row of
+/// `S = H22 − H21 (U1^{-1}(L1^{-1} H12))` is unchanged term-for-term and
+/// is copied verbatim, so the result is bit-identical to a full Schur
+/// recompute under the same plan.
+pub fn refactor_schur(
+    old_s: &Csr,
+    blocks: &HBlocks,
+    h21_old: &Csr,
+    lu_new: &BlockLu,
+    plan: &SymbolicPlan,
+    dirty: &DirtySet,
+) -> Result<Csr> {
+    let n2 = plan.n2;
+    if dirty.hub_columns {
+        // Hub columns moved: whole Schur columns are dirty, so recompute
+        // S in full (the block LU above is still reused — that and the
+        // reordering are the dominant preprocessing costs).
+        let x = lu_new.solve_matrix(&blocks.h12)?;
+        let prod = spgemm(&blocks.h21, &x)?;
+        return ops::sub(&blocks.h22, &prod);
+    }
+    if dirty.blocks.is_empty() {
+        return Ok(old_s.clone());
+    }
+
+    // Spoke slots covered by dirty blocks.
+    let starts = plan.block_starts();
+    let mut spoke_dirty = vec![false; plan.n1];
+    for &b in &dirty.blocks {
+        if b >= plan.block_sizes.len() {
+            return Err(SparseError::IndexOutOfBounds {
+                index: (b, b),
+                shape: (plan.block_sizes.len(), plan.block_sizes.len()),
+            });
+        }
+        for slot in starts[b]..starts[b] + plan.block_sizes[b] {
+            spoke_dirty[slot] = true;
+        }
+    }
+
+    // Dirty Schur rows: any H21 row (old or new) with a non-zero in a
+    // dirty block's columns. Removed entries dirty a row too, hence the
+    // scan over both generations.
+    let row_touches_dirty = |m: &Csr, i: usize| -> bool {
+        let (cols, _) = m.row(i);
+        cols.iter().any(|&c| spoke_dirty[c as usize])
+    };
+    let dirty_rows: Vec<usize> = (0..n2)
+        .filter(|&i| row_touches_dirty(h21_old, i) || row_touches_dirty(&blocks.h21, i))
+        .collect();
+    if dirty_rows.is_empty() {
+        return Ok(old_s.clone());
+    }
+
+    // Blocks whose X rows the dirty H21 rows reference (a superset of the
+    // dirty blocks: a dirty row may also multiply clean-block columns).
+    let block_of = plan.block_of_spoke();
+    let mut needed: BTreeSet<usize> = BTreeSet::new();
+    for &i in &dirty_rows {
+        let (cols, _) = blocks.h21.row(i);
+        for &c in cols {
+            needed.insert(block_of[c as usize] as usize);
+        }
+    }
+
+    // X = U1^{-1}(L1^{-1} H12), computed per needed block. The factors
+    // are block diagonal, so each block's rows of X depend only on that
+    // block's factor rows and H12 rows — the per-row kernel is identical
+    // to the full product, making the rows bit-identical.
+    let mut x_coo = Coo::new(plan.n1, n2)?;
+    for &b in &needed {
+        let range = starts[b]..starts[b] + plan.block_sizes[b];
+        let lb = lu_new.l_inv.slice_block(range.clone(), range.clone())?;
+        let ub = lu_new.u_inv.slice_block(range.clone(), range.clone())?;
+        let h12b = blocks.h12.slice_block(range.clone(), 0..n2)?;
+        let t = spgemm(&lb, &h12b)?;
+        let xb = spgemm(&ub, &t)?;
+        for (r, c, v) in xb.iter() {
+            x_coo.push(starts[b] + r, c, v)?;
+        }
+    }
+    let x = x_coo.to_csr();
+
+    // Compact the dirty rows of H21 and H22, run the identical
+    // product/subtract kernels on them, then splice the recomputed rows
+    // back over the old S.
+    let mut h21_d = Coo::new(dirty_rows.len(), plan.n1)?;
+    let mut h22_d = Coo::new(dirty_rows.len(), n2)?;
+    for (di, &i) in dirty_rows.iter().enumerate() {
+        for (c, v) in blocks.h21.row_iter(i) {
+            h21_d.push(di, c, v)?;
+        }
+        for (c, v) in blocks.h22.row_iter(i) {
+            h22_d.push(di, c, v)?;
+        }
+    }
+    let prod_d = spgemm(&h21_d.to_csr(), &x)?;
+    let s_d = ops::sub(&h22_d.to_csr(), &prod_d)?;
+
+    let mut out = Coo::with_capacity(n2, n2, old_s.nnz() + s_d.nnz())?;
+    let mut next_dirty = 0usize;
+    for i in 0..n2 {
+        if next_dirty < dirty_rows.len() && dirty_rows[next_dirty] == i {
+            for (c, v) in s_d.row_iter(next_dirty) {
+                out.push(i, c, v)?;
+            }
+            next_dirty += 1;
+        } else {
+            for (c, v) in old_s.row_iter(i) {
+                out.push(i, c, v)?;
+            }
+        }
+    }
+    Ok(out.to_csr())
+}
+
+/// Symmetrized 0/1 structure of a square sparse matrix (SlashBurn input).
+fn symmetrize(a: &Csr) -> Csr {
+    let mut b = a.clone();
+    for v in b.values_mut() {
+        *v = 1.0;
+    }
+    let mut t = a.transpose();
+    for v in t.values_mut() {
+        *v = 1.0;
+    }
+    let mut s = ops::add(&b, &t).expect("same shape");
+    for v in s.values_mut() {
+        *v = 1.0;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bepi_graph::generators;
+
+    const C: f64 = 0.05;
+    const K: f64 = 0.2;
+
+    fn plan_and_blocks(g: &Graph) -> (SymbolicPlan, HBlocks) {
+        let analysis = analyze(g, K).unwrap();
+        let blocks = assemble(g, C, &analysis.plan).unwrap();
+        (analysis.plan, blocks)
+    }
+
+    fn full_schur(blocks: &HBlocks, lu: &BlockLu) -> Csr {
+        let x = lu.solve_matrix(&blocks.h12).unwrap();
+        let prod = spgemm(&blocks.h21, &x).unwrap();
+        ops::sub(&blocks.h22, &prod).unwrap()
+    }
+
+    /// A numeric-safe update: remove an existing edge whose source keeps
+    /// other out-edges (removals never cross blocks or flip deadends).
+    fn removable_edge(g: &Graph) -> (usize, usize) {
+        for u in 0..g.n() {
+            if g.out_degree(u) >= 2 {
+                let (cols, _) = g.adjacency().row(u);
+                return (u, cols[0] as usize);
+            }
+        }
+        panic!("no removable edge in test graph");
+    }
+
+    fn without_edge(g: &Graph, u: usize, v: usize) -> Graph {
+        let mut coo = Coo::new(g.n(), g.n()).unwrap();
+        for (r, c, w) in g.adjacency().iter() {
+            if !(r == u && c == v) {
+                coo.push(r, c, w).unwrap();
+            }
+        }
+        Graph::from_adjacency(coo.to_csr()).unwrap()
+    }
+
+    #[test]
+    fn analyze_partitions_every_node() {
+        let g = generators::rmat(8, 900, generators::RmatParams::default(), 3).unwrap();
+        let g = generators::inject_deadends(&g, 0.2, 1).unwrap();
+        let analysis = analyze(&g, K).unwrap();
+        let plan = &analysis.plan;
+        assert_eq!(plan.n(), g.n());
+        assert_eq!(plan.n3, g.deadend_count());
+        assert_eq!(plan.block_sizes.iter().sum::<usize>(), plan.n1);
+        assert_eq!(plan.block_of_spoke().len(), plan.n1);
+        assert_eq!(plan.block_starts().len(), plan.block_sizes.len());
+    }
+
+    #[test]
+    fn assemble_validates_structure() {
+        let g = generators::rmat(8, 700, generators::RmatParams::default(), 5).unwrap();
+        let (plan, blocks) = plan_and_blocks(&g);
+        assert!(bepi_reorder::blocks::is_block_diagonal(
+            &blocks.h11,
+            &plan.block_sizes
+        ));
+        // A different-sized graph is rejected as structural.
+        let bigger = generators::cycle(g.n() + 1);
+        assert!(assemble(&bigger, C, &plan).is_err());
+        assert!(assemble(&g, 1.5, &plan).is_err());
+    }
+
+    #[test]
+    fn classify_noop_batch_is_numeric_and_empty() {
+        let g = generators::rmat(7, 400, generators::RmatParams::default(), 13).unwrap();
+        let (plan, _) = plan_and_blocks(&g);
+        match classify(&plan, &g, &g, &[0, 1, 2]) {
+            Classification::NumericOnly(d) => assert!(d.is_empty()),
+            c => panic!("expected numeric, got {c:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_detects_node_count_change() {
+        let g = generators::cycle(10);
+        let (plan, _) = plan_and_blocks(&g);
+        let bigger = generators::cycle(11);
+        assert!(matches!(
+            classify(&plan, &g, &bigger, &[0]),
+            Classification::Structural(_)
+        ));
+    }
+
+    #[test]
+    fn classify_detects_deadend_flip() {
+        // Removing node u's only out-edge makes it a deadend.
+        let g = generators::cycle(12);
+        let (plan, _) = plan_and_blocks(&g);
+        let g_new = without_edge(&g, 3, 4);
+        assert!(matches!(
+            classify(&plan, &g, &g_new, &[3]),
+            Classification::Structural(_)
+        ));
+    }
+
+    #[test]
+    fn classify_removal_of_redundant_edge_is_numeric() {
+        let g = generators::rmat(8, 900, generators::RmatParams::default(), 7).unwrap();
+        let (plan, _) = plan_and_blocks(&g);
+        let (u, v) = removable_edge(&g);
+        let g_new = without_edge(&g, u, v);
+        match classify(&plan, &g, &g_new, &[u]) {
+            Classification::NumericOnly(d) => {
+                let pu = plan.perm.apply(u);
+                if pu < plan.n1 {
+                    assert_eq!(d.blocks.len(), 1);
+                    assert!(!d.hub_columns);
+                } else {
+                    assert!(d.hub_columns);
+                }
+            }
+            c => panic!("expected numeric, got {c:?}"),
+        }
+    }
+
+    #[test]
+    fn refactor_schur_is_bit_identical_to_full_recompute() {
+        let g = generators::rmat(8, 900, generators::RmatParams::default(), 17).unwrap();
+        let (plan, blocks) = plan_and_blocks(&g);
+        let lu = BlockLu::factor(&blocks.h11, &plan.block_sizes).unwrap();
+        let old_s = full_schur(&blocks, &lu);
+
+        let (u, v) = removable_edge(&g);
+        let g_new = without_edge(&g, u, v);
+        let dirty = match classify(&plan, &g, &g_new, &[u]) {
+            Classification::NumericOnly(d) => d,
+            c => panic!("expected numeric, got {c:?}"),
+        };
+        let new_blocks = assemble(&g_new, C, &plan).unwrap();
+        let lu_new = lu.refactor_blocks(&new_blocks.h11, &dirty.blocks).unwrap();
+        // Reference: full factor + full Schur on the updated graph.
+        let lu_ref = BlockLu::factor(&new_blocks.h11, &plan.block_sizes).unwrap();
+        assert_eq!(lu_new.l_inv, lu_ref.l_inv);
+        assert_eq!(lu_new.u_inv, lu_ref.u_inv);
+        let s_ref = full_schur(&new_blocks, &lu_ref);
+        let s_got =
+            refactor_schur(&old_s, &new_blocks, &blocks.h21, &lu_new, &plan, &dirty).unwrap();
+        assert_eq!(s_got, s_ref);
+    }
+
+    #[test]
+    fn refactor_schur_empty_dirty_set_copies_s() {
+        let g = generators::rmat(7, 500, generators::RmatParams::default(), 23).unwrap();
+        let (plan, blocks) = plan_and_blocks(&g);
+        let lu = BlockLu::factor(&blocks.h11, &plan.block_sizes).unwrap();
+        let s = full_schur(&blocks, &lu);
+        let got =
+            refactor_schur(&s, &blocks, &blocks.h21, &lu, &plan, &DirtySet::default()).unwrap();
+        assert_eq!(got, s);
+    }
+
+    #[test]
+    fn refactor_schur_hub_columns_recomputes_in_full() {
+        let g = generators::rmat(8, 900, generators::RmatParams::default(), 29).unwrap();
+        let (plan, blocks) = plan_and_blocks(&g);
+        let lu = BlockLu::factor(&blocks.h11, &plan.block_sizes).unwrap();
+        let s = full_schur(&blocks, &lu);
+        let dirty = DirtySet {
+            blocks: Vec::new(),
+            hub_columns: true,
+        };
+        let got = refactor_schur(&s, &blocks, &blocks.h21, &lu, &plan, &dirty).unwrap();
+        assert_eq!(got, s);
+    }
+}

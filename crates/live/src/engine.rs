@@ -12,9 +12,9 @@
 //! job.
 
 use crate::wal::Wal;
-use bepi_core::dynamic::{apply_updates, dedup_opposing, EdgeUpdate};
+use bepi_core::dynamic::{apply_updates, dedup_opposing, EdgeUpdate, RebuildKind};
 use bepi_core::rwr::RwrSolver;
-use bepi_core::{persist, BePi, BePiConfig};
+use bepi_core::{classify, persist, BePi, BePiConfig, Classification};
 use bepi_graph::Graph;
 use bepi_sparse::{Result, SparseError};
 use bepi_walk::{ApproxConfig, ApproxEngine};
@@ -80,6 +80,28 @@ pub struct SubmitOutcome {
     pub rebuild_triggered: bool,
 }
 
+/// What caused the most recent rebuild pass to be scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildTrigger {
+    /// No rebuild has run yet (the served index is the initial one).
+    None,
+    /// A submit pushed the buffer over the auto-flush threshold.
+    Threshold,
+    /// An explicit `POST /rebuild` / [`LiveEngine::rebuild_and_wait`].
+    Explicit,
+}
+
+impl RebuildTrigger {
+    /// Stable lower-case name for logs and the version JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            RebuildTrigger::None => "none",
+            RebuildTrigger::Threshold => "threshold",
+            RebuildTrigger::Explicit => "explicit",
+        }
+    }
+}
+
 /// A point-in-time summary for `GET /version`.
 #[derive(Debug, Clone)]
 pub struct VersionInfo {
@@ -96,6 +118,13 @@ pub struct VersionInfo {
     /// The last rebuild *or checkpoint* failure, if any (cleared by the
     /// next fully clean rebuild pass).
     pub last_error: Option<String>,
+    /// Which path produced the served index: `initial` (no rebuild yet),
+    /// `full` (complete preprocessing pipeline), or `numeric` (plan-frozen
+    /// KLU-style refactorization).
+    pub rebuild_kind: &'static str,
+    /// What scheduled the most recent rebuild: `none`, `threshold`, or
+    /// `explicit`.
+    pub rebuild_trigger: &'static str,
 }
 
 struct MutState {
@@ -120,6 +149,9 @@ struct MutState {
     /// their new version. Cleared once a later pass applies the
     /// re-buffered batch.
     failed: Option<(u64, String)>,
+    /// What scheduled the pass the worker will run next — recorded at
+    /// the `request_gen` bump sites, snapshotted by the worker.
+    trigger: RebuildTrigger,
 }
 
 /// Shared, thread-safe live-update engine. Cheap to clone via `Arc`.
@@ -137,6 +169,48 @@ pub struct LiveEngine {
     rebuilds_total: AtomicU64,
     updates_total: AtomicU64,
     last_rebuild_micros: AtomicU64,
+    numeric_rebuilds_total: AtomicU64,
+    structural_rebuilds_total: AtomicU64,
+    /// Cumulative wall time spent in numeric-path rebuilds, in micros.
+    numeric_rebuild_micros: AtomicU64,
+    /// Cumulative wall time spent in full-path rebuilds, in micros.
+    full_rebuild_micros: AtomicU64,
+    /// Encoded [`RebuildKind`] of the served index (0/1/2).
+    last_rebuild_kind: AtomicU64,
+    /// Encoded [`RebuildTrigger`] of the latest pass (0/1/2).
+    last_rebuild_trigger: AtomicU64,
+}
+
+fn encode_kind(kind: RebuildKind) -> u64 {
+    match kind {
+        RebuildKind::Initial => 0,
+        RebuildKind::Full => 1,
+        RebuildKind::Numeric => 2,
+    }
+}
+
+fn decode_kind(v: u64) -> RebuildKind {
+    match v {
+        2 => RebuildKind::Numeric,
+        1 => RebuildKind::Full,
+        _ => RebuildKind::Initial,
+    }
+}
+
+fn encode_trigger(t: RebuildTrigger) -> u64 {
+    match t {
+        RebuildTrigger::None => 0,
+        RebuildTrigger::Threshold => 1,
+        RebuildTrigger::Explicit => 2,
+    }
+}
+
+fn decode_trigger(v: u64) -> RebuildTrigger {
+    match v {
+        2 => RebuildTrigger::Explicit,
+        1 => RebuildTrigger::Threshold,
+        _ => RebuildTrigger::None,
+    }
 }
 
 impl LiveEngine {
@@ -181,6 +255,7 @@ impl LiveEngine {
                 worker_gone: true,
                 last_error: None,
                 failed: None,
+                trigger: RebuildTrigger::None,
             }),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -193,6 +268,12 @@ impl LiveEngine {
             rebuilds_total: AtomicU64::new(0),
             updates_total: AtomicU64::new(0),
             last_rebuild_micros: AtomicU64::new(0),
+            numeric_rebuilds_total: AtomicU64::new(0),
+            structural_rebuilds_total: AtomicU64::new(0),
+            numeric_rebuild_micros: AtomicU64::new(0),
+            full_rebuild_micros: AtomicU64::new(0),
+            last_rebuild_kind: AtomicU64::new(0),
+            last_rebuild_trigger: AtomicU64::new(0),
         })
     }
 
@@ -221,11 +302,38 @@ impl LiveEngine {
             let replay_span = bepi_obs::Span::enter("wal.replay");
             let (w, records, report) = Wal::open(path)?;
             let replayed = records.len();
+            let mut replay_path = "none";
             if !records.is_empty() {
                 // Recovered updates become visible immediately: the WAL
-                // acknowledged them before the crash.
-                graph = apply_updates(&graph, &records)?;
-                bepi = Arc::new(BePi::preprocess(&graph, &solver_config)?);
+                // acknowledged them before the crash. The checkpoint's
+                // symbolic plan survived the save/load round-trip (format
+                // v4+ persists every plan field), so a numeric-only batch
+                // replays through the cheap refactor path instead of a
+                // full preprocess.
+                let new_graph = apply_updates(&graph, &records)?;
+                let sources: Vec<usize> = records
+                    .iter()
+                    .map(|u| match *u {
+                        EdgeUpdate::Insert(a, _) | EdgeUpdate::Remove(a, _) => a,
+                    })
+                    .collect();
+                bepi = match classify(&bepi.symbolic_plan(), &graph, &new_graph, &sources) {
+                    Classification::NumericOnly(dirty) => match bepi.refactor(&new_graph, &dirty) {
+                        Ok(b) => {
+                            replay_path = "numeric";
+                            Arc::new(b)
+                        }
+                        Err(_) => {
+                            replay_path = "full";
+                            Arc::new(BePi::preprocess(&new_graph, &solver_config)?)
+                        }
+                    },
+                    Classification::Structural(_) => {
+                        replay_path = "full";
+                        Arc::new(BePi::preprocess(&new_graph, &solver_config)?)
+                    }
+                };
+                graph = new_graph;
                 replayed_through = report.segments;
             }
             let replay_time = replay_span.exit();
@@ -235,6 +343,7 @@ impl LiveEngine {
                 records = replayed,
                 segments = report.segments,
                 truncated_bytes = report.truncated_bytes,
+                path = replay_path,
                 elapsed_ms = replay_time.as_millis()
             );
             wal = Some(w);
@@ -256,6 +365,7 @@ impl LiveEngine {
                 worker_gone: false,
                 last_error: None,
                 failed: None,
+                trigger: RebuildTrigger::None,
             }),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -268,6 +378,12 @@ impl LiveEngine {
             rebuilds_total: AtomicU64::new(0),
             updates_total: AtomicU64::new(0),
             last_rebuild_micros: AtomicU64::new(0),
+            numeric_rebuilds_total: AtomicU64::new(0),
+            structural_rebuilds_total: AtomicU64::new(0),
+            numeric_rebuild_micros: AtomicU64::new(0),
+            full_rebuild_micros: AtomicU64::new(0),
+            last_rebuild_kind: AtomicU64::new(0),
+            last_rebuild_trigger: AtomicU64::new(0),
         });
 
         if replayed_through > 0 {
@@ -333,6 +449,36 @@ impl LiveEngine {
         self.last_rebuild_micros.load(Ordering::Relaxed)
     }
 
+    /// Rebuilds that took the numeric-only refactorization path.
+    pub fn numeric_rebuilds(&self) -> u64 {
+        self.numeric_rebuilds_total.load(Ordering::Relaxed)
+    }
+
+    /// Rebuilds that ran the full (structural) preprocessing pipeline.
+    pub fn structural_rebuilds(&self) -> u64 {
+        self.structural_rebuilds_total.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative wall time of numeric-path rebuilds, in seconds.
+    pub fn numeric_rebuild_seconds(&self) -> f64 {
+        self.numeric_rebuild_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Cumulative wall time of full-path rebuilds, in seconds.
+    pub fn full_rebuild_seconds(&self) -> f64 {
+        self.full_rebuild_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Which path produced the currently served index.
+    pub fn last_rebuild_kind(&self) -> RebuildKind {
+        decode_kind(self.last_rebuild_kind.load(Ordering::Relaxed))
+    }
+
+    /// What scheduled the most recent rebuild pass.
+    pub fn last_rebuild_trigger(&self) -> RebuildTrigger {
+        decode_trigger(self.last_rebuild_trigger.load(Ordering::Relaxed))
+    }
+
     /// Point-in-time status summary.
     pub fn info(&self) -> VersionInfo {
         let current = self.current();
@@ -344,6 +490,8 @@ impl LiveEngine {
             rebuilds: self.rebuilds(),
             live: st.graph.is_some(),
             last_error: st.last_error.clone(),
+            rebuild_kind: self.last_rebuild_kind().name(),
+            rebuild_trigger: self.last_rebuild_trigger().name(),
         }
     }
 
@@ -399,6 +547,7 @@ impl LiveEngine {
             // `request_gen == done_gen` would leave a threshold-crossing
             // batch invisible forever if no later submit arrived.
             st.request_gen += 1;
+            st.trigger = RebuildTrigger::Threshold;
             self.cv.notify_all();
         }
         drop(st);
@@ -421,6 +570,7 @@ impl LiveEngine {
             ));
         }
         st.request_gen += 1;
+        st.trigger = RebuildTrigger::Explicit;
         let target = st.request_gen;
         self.cv.notify_all();
         while st.done_gen < target {
@@ -581,7 +731,7 @@ fn worker_loop(engine: &LiveEngine) {
     loop {
         // Phase 1 (cheap, under the state lock): claim the buffered
         // updates and the rebuild generation.
-        let (updates, graph, upto, target) = {
+        let (updates, graph, upto, target, trigger) = {
             let mut st = engine.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if engine.shutdown.load(Ordering::SeqCst) {
@@ -595,10 +745,11 @@ fn worker_loop(engine: &LiveEngine) {
             let target = st.request_gen;
             let updates = std::mem::take(&mut st.pending);
             let upto = st.wal.as_ref().map(|w| w.seq()).unwrap_or(0);
+            let trigger = st.trigger;
             let Some(graph) = st.graph.clone() else {
                 return; // unreachable: live engines always carry a graph
             };
-            (updates, graph, upto, target)
+            (updates, graph, upto, target, trigger)
         };
 
         if updates.is_empty() {
@@ -608,22 +759,80 @@ fn worker_loop(engine: &LiveEngine) {
             continue;
         }
 
-        // Phase 2 (expensive, NO locks held): apply the batch and re-run
-        // the full preprocessing pipeline while queries keep being served
-        // from the old snapshot.
+        // Phase 2 (expensive, NO locks held): apply the batch and rebuild
+        // while queries keep being served from the old snapshot. A batch
+        // that provably preserves the served index's symbolic plan takes
+        // the numeric-only refactorization; anything structural (or a
+        // refactor error) runs the full preprocessing pipeline.
         let started = Instant::now();
         let rebuild_span = bepi_obs::Span::enter("live.rebuild");
+        let served = engine.current();
         let rebuilt = apply_updates(&graph, &updates).and_then(|new_graph| {
-            let bepi = BePi::preprocess(&new_graph, &engine.solver_config)?;
-            Ok((new_graph, bepi))
+            let sources: Vec<usize> = updates
+                .iter()
+                .map(|u| match *u {
+                    EdgeUpdate::Insert(a, _) | EdgeUpdate::Remove(a, _) => a,
+                })
+                .collect();
+            let plan = served.bepi.symbolic_plan();
+            let (bepi, kind) = match classify(&plan, &graph, &new_graph, &sources) {
+                Classification::NumericOnly(dirty) => {
+                    match served.bepi.refactor(&new_graph, &dirty) {
+                        Ok(b) => (b, RebuildKind::Numeric),
+                        Err(e) => {
+                            bepi_obs::warn!(
+                                "live",
+                                "numeric refactor failed; falling back to full preprocess",
+                                error = e
+                            );
+                            (
+                                BePi::preprocess(&new_graph, &engine.solver_config)?,
+                                RebuildKind::Full,
+                            )
+                        }
+                    }
+                }
+                Classification::Structural(why) => {
+                    bepi_obs::debug!("live", "structural batch", reason = why);
+                    (
+                        BePi::preprocess(&new_graph, &engine.solver_config)?,
+                        RebuildKind::Full,
+                    )
+                }
+            };
+            Ok((new_graph, bepi, kind))
         });
         let rebuild_time = rebuild_span.exit();
+        drop(served);
 
         match rebuilt {
-            Ok((new_graph, bepi)) => {
+            Ok((new_graph, bepi, kind)) => {
+                let micros = started.elapsed().as_micros() as u64;
+                engine.last_rebuild_micros.store(micros, Ordering::Relaxed);
+                match kind {
+                    RebuildKind::Numeric => {
+                        engine
+                            .numeric_rebuilds_total
+                            .fetch_add(1, Ordering::Relaxed);
+                        engine
+                            .numeric_rebuild_micros
+                            .fetch_add(micros, Ordering::Relaxed);
+                    }
+                    _ => {
+                        engine
+                            .structural_rebuilds_total
+                            .fetch_add(1, Ordering::Relaxed);
+                        engine
+                            .full_rebuild_micros
+                            .fetch_add(micros, Ordering::Relaxed);
+                    }
+                }
                 engine
-                    .last_rebuild_micros
-                    .store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    .last_rebuild_kind
+                    .store(encode_kind(kind), Ordering::Relaxed);
+                engine
+                    .last_rebuild_trigger
+                    .store(encode_trigger(trigger), Ordering::Relaxed);
                 // The approximate lane swaps in lockstep with the exact
                 // one: both engines in a snapshot answer from the same
                 // graph state, so a mode=approx response can never mix
@@ -651,6 +860,8 @@ fn worker_loop(engine: &LiveEngine) {
                     "rebuild hot-swapped",
                     version = new_version,
                     updates = updates.len(),
+                    rebuild_kind = kind.name(),
+                    trigger = trigger.name(),
                     elapsed_ms = rebuild_time.as_millis()
                 );
                 let mut st = engine.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -882,7 +1093,11 @@ mod tests {
             !engine.current().bepi.is_mapped(),
             "nothing checkpointed yet: still the heap index"
         );
-        engine.submit(&[EdgeUpdate::Insert(0, 6)]).unwrap();
+        // Remove(3,4) flips node 3 to a deadend — a structural batch, so
+        // the rebuild runs the full pipeline and bit-identity against a
+        // from-scratch preprocess holds below.
+        let batch = [EdgeUpdate::Insert(0, 6), EdgeUpdate::Remove(3, 4)];
+        engine.submit(&batch).unwrap();
         let v = engine.rebuild_and_wait().unwrap();
         assert_eq!(v, 2);
 
@@ -895,7 +1110,7 @@ mod tests {
 
         // Bit-identical to a from-scratch heap preprocess of the updated
         // graph (the --mmap byte-identity acceptance bar).
-        let expected_graph = apply_updates(&g, &[EdgeUpdate::Insert(0, 6)]).unwrap();
+        let expected_graph = apply_updates(&g, &batch).unwrap();
         let expected = BePi::preprocess(&expected_graph, &cfg).unwrap();
         assert_eq!(
             served.bepi.query(0).unwrap().scores,
@@ -904,7 +1119,7 @@ mod tests {
 
         // A second update cycle keeps working over the mapped snapshot:
         // the rebuild preprocesses on the heap, checkpoints, and re-maps.
-        engine.submit(&[EdgeUpdate::Remove(3, 4)]).unwrap();
+        engine.submit(&[EdgeUpdate::Remove(5, 6)]).unwrap();
         assert_eq!(engine.rebuild_and_wait().unwrap(), 3);
         assert!(engine.current().bepi.is_mapped());
         engine.shutdown();
@@ -995,6 +1210,48 @@ mod tests {
         assert_eq!(info.rebuilds, 0);
         assert!(info.live);
         assert!(info.last_error.is_none());
+        assert_eq!(info.rebuild_kind, "initial");
+        assert_eq!(info.rebuild_trigger, "none");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn numeric_batch_takes_refactor_path_and_reports_kind() {
+        let g = generators::rmat(7, 400, generators::RmatParams::default(), 5).unwrap();
+        let cfg = BePiConfig::default();
+        let bepi = Arc::new(BePi::preprocess(&g, &cfg).unwrap());
+        let engine = LiveEngine::start(bepi, g.clone(), cfg, LiveConfig::default()).unwrap();
+
+        // Removing one edge of a multi-out-edge source is numeric-only.
+        let u = (0..g.n()).find(|&u| g.out_degree(u) >= 2).unwrap();
+        let v = g.out_neighbors(u).next().unwrap();
+        engine.submit(&[EdgeUpdate::Remove(u, v)]).unwrap();
+        assert_eq!(engine.rebuild_and_wait().unwrap(), 2);
+        assert_eq!(engine.numeric_rebuilds(), 1);
+        assert_eq!(engine.structural_rebuilds(), 0);
+        assert!(engine.numeric_rebuild_seconds() > 0.0);
+        let info = engine.info();
+        assert_eq!(info.rebuild_kind, "numeric");
+        assert_eq!(info.rebuild_trigger, "explicit");
+
+        // The refactored snapshot answers like a from-scratch preprocess
+        // of the updated graph.
+        let expected_graph = apply_updates(&g, &[EdgeUpdate::Remove(u, v)]).unwrap();
+        let expected = BePi::preprocess(&expected_graph, &cfg).unwrap();
+        let got = engine.current().bepi.query(0).unwrap().scores;
+        for (a, b) in got.iter().zip(&expected.query(0).unwrap().scores) {
+            assert!((a - b).abs() < 1e-6);
+        }
+
+        // A deadend flip is structural: the full pipeline must run.
+        let w = (0..g.n())
+            .find(|&w| expected_graph.out_degree(w) == 1)
+            .unwrap();
+        let wv = expected_graph.out_neighbors(w).next().unwrap();
+        engine.submit(&[EdgeUpdate::Remove(w, wv)]).unwrap();
+        assert_eq!(engine.rebuild_and_wait().unwrap(), 3);
+        assert_eq!(engine.structural_rebuilds(), 1);
+        assert_eq!(engine.info().rebuild_kind, "full");
         engine.shutdown();
     }
 }

@@ -1,16 +1,19 @@
 //! # bepi-live
 //!
 //! Live-update subsystem for the BePI query daemon: a durable
-//! write-ahead log of edge updates, a background worker that re-runs the
-//! full BePI preprocessing pipeline off the serving path, and an atomic
-//! hot-swap of the served index.
+//! write-ahead log of edge updates, a background worker that rebuilds
+//! the index off the serving path, and an atomic hot-swap of the served
+//! index.
 //!
 //! The design follows the paper's observation (Section 5) that BePI's
 //! preprocessing is cheap enough to re-run for *batches* of graph
-//! changes: rather than incrementally patching the Schur complement, the
-//! daemon buffers updates, rebuilds the whole index in the background,
-//! and swaps it in atomically once ready. Queries always see exactly one
-//! consistent snapshot — the last *completed* rebuild, never the WAL tip.
+//! changes. On top of that, the worker exploits the symbolic/numeric
+//! split of `bepi-incr`: a batch that provably preserves the frozen
+//! SlashBurn ordering takes a KLU-style numeric-only refactorization
+//! (only touched `H11` blocks, Schur rows, and ILU values recomputed),
+//! while structural batches fall back to the full pipeline. Queries
+//! always see exactly one consistent snapshot — the last *completed*
+//! rebuild, never the WAL tip.
 //!
 //! - [`wal`] — the on-disk log: length-validated, CRC-32-trailed
 //!   segments, replay-on-restart with truncated-tail tolerance.
@@ -23,5 +26,7 @@
 pub mod engine;
 pub mod wal;
 
-pub use engine::{LiveConfig, LiveEngine, SubmitOutcome, VersionInfo, VersionedIndex};
+pub use engine::{
+    LiveConfig, LiveEngine, RebuildTrigger, SubmitOutcome, VersionInfo, VersionedIndex,
+};
 pub use wal::{ReplayReport, Wal};

@@ -53,7 +53,9 @@ pub mod trace;
 pub mod worker;
 
 pub use cache::{QueryKey, ResponseCache, ResponseMode};
-pub use metrics::{parse_metric, render_live_metrics, render_obs_metrics, Metrics};
+pub use metrics::{
+    parse_metric, render_live_metrics, render_obs_metrics, LiveMetricsSample, Metrics,
+};
 pub use slowlog::{SlowQuery, SlowQueryLog};
 pub use trace::{TraceLog, TracedQuery};
 

@@ -200,19 +200,53 @@ impl Metrics {
     }
 }
 
+/// A point-in-time sample of the live engine's counters, rendered by
+/// [`render_live_metrics`]. Grouping the values in a struct keeps the
+/// sample site (`GET /metrics`) readable as the counter set grows.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiveMetricsSample {
+    /// Served snapshot version.
+    pub version: u64,
+    /// Buffered, not-yet-visible updates.
+    pub pending: usize,
+    /// Background rebuilds completed.
+    pub rebuilds: u64,
+    /// Edge updates accepted.
+    pub updates: u64,
+    /// Duration of the most recent rebuild, in seconds.
+    pub last_rebuild_seconds: f64,
+    /// Served index bytes on the process heap.
+    pub index_heap_bytes: usize,
+    /// Served index bytes backed by a shared file mapping.
+    pub index_mapped_bytes: usize,
+    /// Rebuilds served by the numeric-only refactorization path.
+    pub numeric_rebuilds: u64,
+    /// Rebuilds that ran the full preprocessing pipeline.
+    pub structural_rebuilds: u64,
+    /// Cumulative wall seconds spent in numeric-path rebuilds.
+    pub numeric_rebuild_seconds: f64,
+    /// Cumulative wall seconds spent in full-path rebuilds.
+    pub full_rebuild_seconds: f64,
+}
+
 /// Renders the live-update metric block appended to `/metrics` by the
 /// daemon. Unlike [`Metrics`], these values live in the
 /// `bepi_live::LiveEngine` (version counters, pending buffer), so they
 /// are sampled at render time rather than accumulated here.
-pub fn render_live_metrics(
-    version: u64,
-    pending: usize,
-    rebuilds: u64,
-    updates: u64,
-    last_rebuild_seconds: f64,
-    index_heap_bytes: usize,
-    index_mapped_bytes: usize,
-) -> String {
+pub fn render_live_metrics(s: &LiveMetricsSample) -> String {
+    let LiveMetricsSample {
+        version,
+        pending,
+        rebuilds,
+        updates,
+        last_rebuild_seconds,
+        index_heap_bytes,
+        index_mapped_bytes,
+        numeric_rebuilds,
+        structural_rebuilds,
+        numeric_rebuild_seconds,
+        full_rebuild_seconds,
+    } = *s;
     format!(
         "# HELP bepi_graph_version Snapshot version currently served (bumped by each hot-swap).\n\
          # TYPE bepi_graph_version gauge\n\
@@ -229,6 +263,16 @@ pub fn render_live_metrics(
          # HELP bepi_rebuilds_total Background index rebuilds completed.\n\
          # TYPE bepi_rebuilds_total counter\n\
          bepi_rebuilds_total {rebuilds}\n\
+         # HELP bepi_numeric_rebuilds_total Rebuilds served by the numeric-only (plan-frozen) refactorization path.\n\
+         # TYPE bepi_numeric_rebuilds_total counter\n\
+         bepi_numeric_rebuilds_total {numeric_rebuilds}\n\
+         # HELP bepi_structural_rebuilds_total Rebuilds that ran the full preprocessing pipeline.\n\
+         # TYPE bepi_structural_rebuilds_total counter\n\
+         bepi_structural_rebuilds_total {structural_rebuilds}\n\
+         # HELP bepi_rebuild_path_seconds Cumulative rebuild wall time, split by rebuild path.\n\
+         # TYPE bepi_rebuild_path_seconds counter\n\
+         bepi_rebuild_path_seconds{{path=\"numeric\"}} {numeric_rebuild_seconds}\n\
+         bepi_rebuild_path_seconds{{path=\"full\"}} {full_rebuild_seconds}\n\
          # HELP bepi_updates_total Edge updates accepted via POST /edges.\n\
          # TYPE bepi_updates_total counter\n\
          bepi_updates_total {updates}\n\
@@ -345,7 +389,10 @@ mod tests {
         bepi_obs::telemetry::wal_fsync_seconds().observe(0.00007);
         bepi_obs::record_duration("test.metrics_render", Duration::from_millis(5));
         let mut text = m.render();
-        text.push_str(&render_live_metrics(1, 0, 0, 0, 0.0, 0, 0));
+        text.push_str(&render_live_metrics(&LiveMetricsSample {
+            version: 1,
+            ..LiveMetricsSample::default()
+        }));
         text.push_str(&render_obs_metrics());
         let mut le_labels = 0;
         for line in text.lines() {
@@ -435,7 +482,19 @@ mod tests {
 
     #[test]
     fn live_block_renders_and_parses() {
-        let text = render_live_metrics(3, 17, 2, 40, 0.125, 1024, 4096);
+        let text = render_live_metrics(&LiveMetricsSample {
+            version: 3,
+            pending: 17,
+            rebuilds: 2,
+            updates: 40,
+            last_rebuild_seconds: 0.125,
+            index_heap_bytes: 1024,
+            index_mapped_bytes: 4096,
+            numeric_rebuilds: 1,
+            structural_rebuilds: 1,
+            numeric_rebuild_seconds: 0.025,
+            full_rebuild_seconds: 0.1,
+        });
         assert_eq!(parse_metric(&text, "bepi_graph_version"), Some(3.0));
         assert_eq!(parse_metric(&text, "bepi_index_heap_bytes"), Some(1024.0));
         assert_eq!(parse_metric(&text, "bepi_index_mapped_bytes"), Some(4096.0));
@@ -451,6 +510,22 @@ mod tests {
         assert!(text.contains("# TYPE bepi_graph_version gauge"));
         assert!(text.contains("# TYPE bepi_pending_updates gauge"));
         assert!(text.contains("# TYPE bepi_rebuilds_total counter"));
+        assert_eq!(
+            parse_metric(&text, "bepi_numeric_rebuilds_total"),
+            Some(1.0)
+        );
+        assert_eq!(
+            parse_metric(&text, "bepi_structural_rebuilds_total"),
+            Some(1.0)
+        );
+        assert_eq!(
+            parse_metric(&text, "bepi_rebuild_path_seconds{path=\"numeric\"}"),
+            Some(0.025)
+        );
+        assert_eq!(
+            parse_metric(&text, "bepi_rebuild_path_seconds{path=\"full\"}"),
+            Some(0.1)
+        );
         assert_eq!(
             text.matches("# HELP").count(),
             text.matches("# TYPE").count()

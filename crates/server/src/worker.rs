@@ -13,7 +13,7 @@
 
 use crate::cache::{QueryKey, ResponseCache, ResponseMode};
 use crate::http::{self, ParseError, Request};
-use crate::metrics::{render_live_metrics, render_obs_metrics, Metrics};
+use crate::metrics::{render_live_metrics, render_obs_metrics, LiveMetricsSample, Metrics};
 use crate::slowlog::{SlowQuery, SlowQueryLog};
 use crate::trace::{TraceLog, TracedQuery};
 use bepi_core::rwr::RwrSolver;
@@ -366,15 +366,19 @@ fn serve_one(
             let engine = &ctx.engine;
             let mut body = ctx.metrics.render();
             let snapshot = engine.current();
-            body.push_str(&render_live_metrics(
-                snapshot.version,
-                engine.pending_len(),
-                engine.rebuilds(),
-                engine.updates_accepted(),
-                engine.last_rebuild_micros() as f64 / 1e6,
-                snapshot.bepi.heap_bytes(),
-                snapshot.bepi.mapped_bytes(),
-            ));
+            body.push_str(&render_live_metrics(&LiveMetricsSample {
+                version: snapshot.version,
+                pending: engine.pending_len(),
+                rebuilds: engine.rebuilds(),
+                updates: engine.updates_accepted(),
+                last_rebuild_seconds: engine.last_rebuild_micros() as f64 / 1e6,
+                index_heap_bytes: snapshot.bepi.heap_bytes(),
+                index_mapped_bytes: snapshot.bepi.mapped_bytes(),
+                numeric_rebuilds: engine.numeric_rebuilds(),
+                structural_rebuilds: engine.structural_rebuilds(),
+                numeric_rebuild_seconds: engine.numeric_rebuild_seconds(),
+                full_rebuild_seconds: engine.full_rebuild_seconds(),
+            }));
             body.push_str(&render_obs_metrics());
             let mut headers: Vec<(&str, &str)> = Vec::new();
             headers.extend(ctx.shard_header());
@@ -898,8 +902,16 @@ fn handle_version(stream: &TcpStream, ctx: &WorkerContext, keep_alive: bool) -> 
         None => "null".to_string(),
     };
     let body = format!(
-        "{{\"version\":{},\"nodes\":{},\"pending\":{},\"rebuilds\":{},\"live\":{},\"last_error\":{}}}",
-        info.version, info.nodes, info.pending, info.rebuilds, info.live, last_error
+        "{{\"version\":{},\"nodes\":{},\"pending\":{},\"rebuilds\":{},\"live\":{},\
+         \"rebuild_kind\":\"{}\",\"rebuild_trigger\":\"{}\",\"last_error\":{}}}",
+        info.version,
+        info.nodes,
+        info.pending,
+        info.rebuilds,
+        info.live,
+        info.rebuild_kind,
+        info.rebuild_trigger,
+        last_error
     );
     let version_header = info.version.to_string();
     let mut headers: Vec<(&str, &str)> = vec![("X-Graph-Version", &version_header)];

@@ -149,6 +149,32 @@ impl Ilu0 {
         Ok(Self { factors, diag_pos })
     }
 
+    /// Value-only refresh: recomputes the factorization of `a`, which
+    /// must have *exactly* the sparsity pattern of the original input —
+    /// the numeric half of the analyze/factor split, for incremental
+    /// rebuilds where edge weights moved but the Schur pattern did not.
+    ///
+    /// The elimination is deterministic, so the result is bit-identical
+    /// to `Ilu0::factor(a)`; the pattern check is what callers rely on
+    /// to detect that a batch changed the Schur structure and fall back
+    /// to a fresh factorization.
+    ///
+    /// # Errors
+    /// [`SparseError::Parse`] if `a`'s pattern differs from the pattern
+    /// these factors were built on; [`SparseError::ZeroDiagonal`] as in
+    /// [`Ilu0::factor`].
+    pub fn refresh_values(&self, a: &Csr) -> Result<Self> {
+        if a.shape() != self.factors.shape()
+            || a.indptr() != self.factors.indptr()
+            || a.indices() != self.factors.indices()
+        {
+            return Err(SparseError::Parse(
+                "ILU(0) refresh requires an unchanged sparsity pattern".into(),
+            ));
+        }
+        Self::factor(a)
+    }
+
     /// Dimension.
     pub fn n(&self) -> usize {
         self.factors.nrows()
@@ -288,6 +314,47 @@ mod tests {
             .sqrt();
         let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!(res < 0.5 * nb, "residual {res} vs ‖b‖ {nb}");
+    }
+
+    #[test]
+    fn refresh_values_is_bit_identical_to_fresh_factor() {
+        let a = dd_matrix(25);
+        let ilu = Ilu0::factor(&a).unwrap();
+        // Same pattern, different values.
+        let mut b = a.clone();
+        for v in b.values_mut() {
+            *v *= 1.25;
+        }
+        let refreshed = ilu.refresh_values(&b).unwrap();
+        let fresh = Ilu0::factor(&b).unwrap();
+        assert_eq!(refreshed.factors().indices(), fresh.factors().indices());
+        assert_eq!(refreshed.factors().values(), fresh.factors().values());
+        assert_eq!(refreshed.diag_pos(), fresh.diag_pos());
+    }
+
+    #[test]
+    fn refresh_values_rejects_pattern_change() {
+        let a = dd_matrix(12);
+        let ilu = Ilu0::factor(&a).unwrap();
+        let other = dd_matrix(13);
+        assert!(matches!(
+            ilu.refresh_values(&other),
+            Err(SparseError::Parse(_))
+        ));
+        // Same shape, different pattern.
+        let shifted = {
+            let mut coo = Coo::new(12, 12).unwrap();
+            for (r, c, v) in a.iter() {
+                coo.push(r, (c + 1) % 12, v).unwrap();
+            }
+            for i in 0..12 {
+                if a.get(i, i) == 0.0 {
+                    coo.push(i, i, 5.0).unwrap();
+                }
+            }
+            coo.to_csr()
+        };
+        assert!(ilu.refresh_values(&shifted).is_err());
     }
 
     #[test]

@@ -409,6 +409,137 @@ exec 4>&-
 wait "$TR_PID"
 TR_PID=""
 
+# Incremental-rebuild drill: boot a live daemon with a WAL, push a
+# numeric-safe edge batch through an explicit rebuild, and require the
+# symbolic/numeric split to fire — bepi_numeric_rebuilds_total up by one,
+# /version reporting rebuild_kind=numeric + rebuild_trigger=explicit.
+# Then acknowledge a second batch, SIGKILL before its rebuild, restart on
+# the same WAL, and require the replayed daemon (whose replay must also
+# take the numeric path) to answer byte-for-byte like a daemon cleanly
+# preprocessed from the same final edge list: the second batch undoes the
+# first, so two chained refactorizations under the checkpoint's frozen
+# plan must land exactly back on the from-scratch index.
+echo "==> incremental-rebuild drill (numeric path + SIGKILL + WAL replay oracle)"
+IR_TMP=$(mktemp -d)
+cleanup_ir() {
+  exec 3>&- 2>/dev/null || true
+  [ -n "${IR_OFD:-}" ] && eval "exec $IR_OFD>&-" 2>/dev/null || true
+  [ -n "${IR_PID:-}" ] && kill "$IR_PID" 2>/dev/null || true
+  [ -n "${IR_ORACLE_PID:-}" ] && kill "$IR_ORACLE_PID" 2>/dev/null || true
+  rm -rf "$IR_TMP"
+}
+trap 'cleanup_obs; cleanup_mmap; cleanup_sat; cleanup_rt; cleanup_tr; cleanup_ir' EXIT
+python3 - "$IR_TMP/edges.txt" <<'EOF'
+import sys
+with open(sys.argv[1], "w") as f:
+    n = 64
+    for i in range(n):
+        f.write(f"{i} {(i + 1) % n}\n")
+        f.write(f"{i} {(i * 7 + 3) % n}\n")
+EOF
+./target/release/bepi preprocess "$IR_TMP/edges.txt" "$IR_TMP/index.bepi" --embed-graph
+mkfifo "$IR_TMP/fifo"
+exec 3<> "$IR_TMP/fifo"
+./target/release/bepi serve "$IR_TMP/index.bepi" --listen 127.0.0.1:0 \
+  --wal "$IR_TMP/updates.wal" --log-level info \
+  < "$IR_TMP/fifo" > "$IR_TMP/serve.log" 2>&1 3>&- &
+IR_PID=$!
+IR_ADDR=""
+for _ in $(seq 1 100); do
+  IR_ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\).*#\1#p' "$IR_TMP/serve.log" | head -n1)
+  [ -n "$IR_ADDR" ] && break
+  kill -0 "$IR_PID" 2>/dev/null || { cat "$IR_TMP/serve.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$IR_ADDR" ] || { echo "daemon never reported its address"; cat "$IR_TMP/serve.log"; exit 1; }
+python3 - "$IR_ADDR" <<'EOF'
+import json, sys, urllib.request
+
+addr = sys.argv[1]
+
+def get(target):
+    with urllib.request.urlopen(f"http://{addr}{target}", timeout=30) as r:
+        return r.read().decode()
+
+def post(target, body):
+    req = urllib.request.Request(f"http://{addr}{target}", data=body.encode(), method="POST")
+    with urllib.request.urlopen(req, timeout=30) as r:
+        return r.read().decode()
+
+def metric(name):
+    for line in get("/metrics").splitlines():
+        if line.startswith(name + " "):
+            return float(line.split()[-1])
+    return None
+
+assert metric("bepi_numeric_rebuilds_total") == 0.0, "counter must start at 0"
+
+# Node 0's edges are (0,1) and (0,3); removing (0,3) leaves out-degree 1,
+# so no deadend flips and the batch must classify numeric-only.
+post("/edges", '{"op":"remove","u":0,"v":3}\n')
+post("/rebuild", "")
+assert metric("bepi_numeric_rebuilds_total") == 1.0, "numeric path never fired"
+assert metric("bepi_structural_rebuilds_total") == 0.0, "batch misclassified structural"
+assert metric('bepi_rebuild_path_seconds{path="numeric"}') > 0.0, "numeric path time missing"
+v = json.loads(get("/version"))
+assert v["version"] == 2, v
+assert v["rebuild_kind"] == "numeric", v
+assert v["rebuild_trigger"] == "explicit", v
+
+# Second batch undoes the first; acknowledge it into the WAL and leave it
+# pending — the SIGKILL below lands before any rebuild of it.
+post("/edges", '{"op":"insert","u":0,"v":3}\n')
+print("numeric rebuild counted; second batch acknowledged, ready for SIGKILL")
+EOF
+kill -9 "$IR_PID"
+wait "$IR_PID" 2>/dev/null || true
+IR_PID=""
+# Restart on the same WAL: the pending insert replays on top of the
+# checkpointed (refactored) index.
+./target/release/bepi serve "$IR_TMP/index.bepi" --listen 127.0.0.1:0 \
+  --wal "$IR_TMP/updates.wal" --log-level info \
+  < "$IR_TMP/fifo" > "$IR_TMP/replay.log" 2>&1 3>&- &
+IR_PID=$!
+IR_ADDR=""
+for _ in $(seq 1 100); do
+  IR_ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\).*#\1#p' "$IR_TMP/replay.log" | head -n1)
+  [ -n "$IR_ADDR" ] && break
+  kill -0 "$IR_PID" 2>/dev/null || { cat "$IR_TMP/replay.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$IR_ADDR" ] || { echo "restarted daemon never reported its address"; cat "$IR_TMP/replay.log"; exit 1; }
+grep -q "WAL replay complete.*path=numeric" "$IR_TMP/replay.log" \
+  || { echo "WAL replay did not take the numeric path"; cat "$IR_TMP/replay.log"; exit 1; }
+# Oracle: a clean preprocess of the same final edge list (the insert
+# undid the remove, so that is the original list). Its fifo gets its own
+# auto-allocated fd — fd 3 still holds the replayed daemon's stdin open.
+./target/release/bepi preprocess "$IR_TMP/edges.txt" "$IR_TMP/oracle.bepi" --embed-graph
+mkfifo "$IR_TMP/fifo_oracle"
+exec {IR_OFD}<> "$IR_TMP/fifo_oracle"
+./target/release/bepi serve "$IR_TMP/oracle.bepi" --listen 127.0.0.1:0 \
+  < "$IR_TMP/fifo_oracle" > "$IR_TMP/oracle.log" 2>&1 3>&- {IR_OFD}>&- &
+IR_ORACLE_PID=$!
+IR_ORACLE_ADDR=""
+for _ in $(seq 1 100); do
+  IR_ORACLE_ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\).*#\1#p' "$IR_TMP/oracle.log" | head -n1)
+  [ -n "$IR_ORACLE_ADDR" ] && break
+  kill -0 "$IR_ORACLE_PID" 2>/dev/null || { cat "$IR_TMP/oracle.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$IR_ORACLE_ADDR" ] || { echo "oracle daemon never reported its address"; cat "$IR_TMP/oracle.log"; exit 1; }
+for seed in 0 3 17 42 63; do
+  curl -sf "http://$IR_ADDR/query?seed=$seed&top=10" > "$IR_TMP/replayed.json"
+  curl -sf "http://$IR_ORACLE_ADDR/query?seed=$seed&top=10" > "$IR_TMP/oracle.json"
+  cmp "$IR_TMP/replayed.json" "$IR_TMP/oracle.json" \
+    || { echo "seed $seed: replayed daemon differs from clean preprocess"; exit 1; }
+done
+kill "$IR_PID" "$IR_ORACLE_PID" 2>/dev/null || true
+wait "$IR_PID" "$IR_ORACLE_PID" 2>/dev/null || true
+IR_PID=""; IR_ORACLE_PID=""
+exec 3>&-
+eval "exec $IR_OFD>&-"
+echo "incremental rebuild: numeric path fired, replay survived SIGKILL byte-for-byte"
+
 # Bench-harness smoke: the quick presets must run end to end and emit
 # schema-valid artifacts — bepi-bench/v1 clearing the approximate-lane
 # quality bar (both engines at precision@20 >= 0.9 on every dataset;
@@ -427,6 +558,12 @@ echo "==> route bench smoke (bepi bench --route --quick)"
 echo "==> trace bench smoke (bepi bench --trace --quick)"
 ./target/release/bepi bench --trace --quick --out "$BENCH_TMP/BENCH_PR8.json"
 ./target/release/bench_check "$BENCH_TMP/BENCH_PR8.json"
+# The rebuild bench's validation is the incremental gate itself: every
+# batch on the numeric fast path, arms agreeing, incremental p50 beating
+# the from-scratch preprocess.
+echo "==> rebuild bench smoke (bepi bench --rebuild --quick)"
+./target/release/bepi bench --rebuild --quick --out "$BENCH_TMP/BENCH_PR10.json"
+./target/release/bench_check "$BENCH_TMP/BENCH_PR10.json"
 rm -rf "$BENCH_TMP"
 
 echo "==> ci OK"
